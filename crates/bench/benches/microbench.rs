@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks for HEB's hot paths: the PAT lookup, the
+//! Holt-Winters step, the device step functions, and a full control
+//! slot of the end-to-end simulation per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heb_core::{PolicyKind, PowerAllocationTable, SimConfig, Simulation};
+use heb_esd::{LeadAcidBattery, StorageDevice, SuperCapacitor};
+use heb_forecast::{HoltWinters, Predictor};
+use heb_units::{Joules, Ratio, Seconds, Watts};
+use heb_workload::Archetype;
+use std::hint::black_box;
+
+fn bench_pat(c: &mut Criterion) {
+    let mut pat = PowerAllocationTable::new(
+        Joules::from_watt_hours(10.0),
+        Watts::new(20.0),
+        Ratio::new_clamped(0.01),
+    );
+    // Populate a realistic table (hundreds of entries).
+    for sc in 0..8 {
+        for ba in 0..12 {
+            for pm in 0..8 {
+                let key = pat.key(
+                    Joules::from_watt_hours(f64::from(sc) * 10.0),
+                    Joules::from_watt_hours(f64::from(ba) * 10.0),
+                    Watts::new(f64::from(pm) * 20.0),
+                );
+                pat.insert(key, Ratio::new_clamped(0.3));
+            }
+        }
+    }
+    let miss = pat.key(
+        Joules::from_watt_hours(83.0),
+        Joules::from_watt_hours(123.0),
+        Watts::new(171.0),
+    );
+    c.bench_function("pat/lookup_similar_miss", |b| {
+        b.iter(|| black_box(pat.lookup_similar(black_box(miss))))
+    });
+    let hit = pat.key(
+        Joules::from_watt_hours(40.0),
+        Joules::from_watt_hours(60.0),
+        Watts::new(80.0),
+    );
+    c.bench_function("pat/lookup_hit", |b| {
+        b.iter(|| black_box(pat.lookup(black_box(hit))))
+    });
+}
+
+fn bench_forecast(c: &mut Criterion) {
+    c.bench_function("forecast/holt_winters_observe", |b| {
+        let mut hw = HoltWinters::for_power_series(144);
+        let mut x = 0.0_f64;
+        b.iter(|| {
+            x += 1.0;
+            hw.observe(black_box(200.0 + (x * 0.1).sin() * 50.0));
+            black_box(hw.forecast(1))
+        })
+    });
+}
+
+fn bench_devices(c: &mut Criterion) {
+    c.bench_function("esd/battery_discharge_tick", |b| {
+        let mut battery = LeadAcidBattery::prototype_string();
+        b.iter(|| {
+            let r = battery.discharge(black_box(Watts::new(120.0)), Seconds::new(1.0));
+            if battery.is_depleted() {
+                battery = LeadAcidBattery::prototype_string();
+            }
+            black_box(r)
+        })
+    });
+    c.bench_function("esd/supercap_discharge_tick", |b| {
+        let mut sc = SuperCapacitor::prototype_module();
+        b.iter(|| {
+            let r = sc.discharge(black_box(Watts::new(120.0)), Seconds::new(1.0));
+            if sc.is_depleted() {
+                sc = SuperCapacitor::prototype_module();
+            }
+            black_box(r)
+        })
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/one_slot");
+    group.sample_size(10);
+    for policy in [PolicyKind::BaOnly, PolicyKind::ScFirst, PolicyKind::HebD] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter_batched(
+                    || {
+                        Simulation::new(
+                            SimConfig::prototype().with_policy(policy),
+                            &[Archetype::WebSearch, Archetype::Terasort],
+                            42,
+                        )
+                    },
+                    |mut sim| black_box(sim.run_ticks(600)),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pat,
+    bench_forecast,
+    bench_devices,
+    bench_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Extension experiment: pooled vs per-server batteries (the Figure
+//! 7(b) critique of dedicated in-server UPSes).
+
+use heb_bench::{json_path, print_table, Figure, Series};
+use heb_core::experiments::sharing_comparison;
+use heb_units::{Joules, Watts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rows = Vec::new();
+    let mut gains = Vec::new();
+    for hot in 1..=4usize {
+        let r = sharing_comparison(
+            6,
+            hot,
+            Watts::new(70.0),
+            Watts::new(32.0),
+            Joules::from_watt_hours(150.0),
+        );
+        rows.push(vec![
+            format!("{hot} of 6"),
+            format!("{:.0} s", r.pooled_runtime.get()),
+            format!("{:.0} s", r.dedicated_runtime.get()),
+            format!("{:.2}x", r.sharing_gain()),
+            format!("{:.0} Wh", r.stranded.as_watt_hours().get()),
+        ]);
+        gains.push((hot as f64, r.sharing_gain()));
+    }
+    print_table(
+        "pooled vs per-server batteries (150 Wh total, hot servers at 70 W, idle at 32 W)",
+        &[
+            "hot servers",
+            "pooled runtime",
+            "dedicated runtime",
+            "sharing gain",
+            "stranded (dedicated)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nthe paper's Section 4 point: dedicated in-server batteries cannot\n\
+         assist each other, so imbalanced load strands energy that a pooled\n\
+         bank would have delivered."
+    );
+
+    if let Some(path) = json_path(&args) {
+        Figure::new(
+            "sharing gain vs load imbalance",
+            vec![Series::new("gain", gains)],
+        )
+        .write_json(&path)
+        .expect("write json");
+        println!("(series written to {})", path.display());
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 3: round-trip efficiency comparison with 1, 2, and 4 servers.
+
+use heb_bench::{json_path, print_table, Figure, Series};
+use heb_core::experiments::efficiency_characterization;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let results = efficiency_characterization(&[1, 2, 4]);
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.servers.to_string(),
+                format!("{:.1} %", r.sc_efficiency.as_percent()),
+                format!("{:.1} %", r.battery_one_shot.as_percent()),
+                format!("{:.1} %", r.battery_with_recovery.as_percent()),
+                format!(
+                    "+{:.1} pts",
+                    r.battery_with_recovery.as_percent() - r.battery_one_shot.as_percent()
+                ),
+                format!("{:.0} %", r.on_off_waste_fraction.as_percent()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 3: energy-efficiency characterisation",
+        &[
+            "servers",
+            "SC round trip",
+            "battery one-shot",
+            "battery w/ recovery",
+            "recovery gain",
+            "on/off waste of gain",
+        ],
+        &rows,
+    );
+    println!(
+        "\nshape check: SC 90-95 % band, battery <80 % and falling with load, \
+         recovery adds points but server cycling burns a large share of them."
+    );
+
+    if let Some(path) = json_path(&args) {
+        let to_series = |label: &str, f: fn(&heb_core::experiments::EfficiencyResult) -> f64| {
+            Series::new(
+                label,
+                results.iter().map(|r| (r.servers as f64, f(r))).collect(),
+            )
+        };
+        let fig = Figure::new(
+            "Figure 3: efficiency comparison",
+            vec![
+                to_series("supercap", |r| r.sc_efficiency.get()),
+                to_series("battery one-shot", |r| r.battery_one_shot.get()),
+                to_series("battery recovery", |r| r.battery_with_recovery.get()),
+            ],
+        );
+        fig.write_json(&path).expect("write json");
+        println!("(series written to {})", path.display());
+    }
+}

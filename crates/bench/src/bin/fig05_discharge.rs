@@ -1,0 +1,60 @@
+//! Figure 5: discharge voltage curves, super-capacitor vs battery.
+
+use heb_bench::{json_path, print_table, Figure, Series};
+use heb_core::experiments::discharge_curves;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let curves = discharge_curves(&[1, 2, 4]);
+
+    let rows: Vec<Vec<String>> = curves
+        .iter()
+        .map(|c| {
+            let duration = c.sample_every.get() * (c.voltages.len().max(1) - 1) as f64;
+            vec![
+                c.device.to_string(),
+                c.servers.to_string(),
+                format!("{:.0} s", duration),
+                format!("{:.2} V", c.total_drop().get()),
+                format!("{:.3} V", c.max_step_drop().get()),
+                format!("{:.3}", c.nonlinearity()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 5: discharge voltage characterisation",
+        &[
+            "device",
+            "servers",
+            "runtime",
+            "total drop",
+            "worst step drop",
+            "nonlinearity",
+        ],
+        &rows,
+    );
+    println!(
+        "\nshape check: SC curves decline near-linearly at every load; battery \
+         curves hold a plateau then collapse, the harder the bigger the load."
+    );
+
+    if let Some(path) = json_path(&args) {
+        let series = curves
+            .iter()
+            .map(|c| {
+                Series::new(
+                    format!("{} x{}", c.device, c.servers),
+                    c.voltages
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| (i as f64 * c.sample_every.get(), v.get()))
+                        .collect(),
+                )
+            })
+            .collect();
+        Figure::new("Figure 5: discharge curves", series)
+            .write_json(&path)
+            .expect("write json");
+        println!("(series written to {})", path.display());
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 6: cluster runtime vs SC/battery server assignment.
+
+use heb_bench::{json_path, print_table, Figure, Series};
+use heb_core::experiments::assignment_sweep;
+use heb_units::{Joules, Ratio, Watts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let servers = 4;
+    let points = assignment_sweep(
+        servers,
+        Watts::new(65.0),
+        Joules::from_watt_hours(150.0),
+        Ratio::new_clamped(0.3),
+    );
+    let best = points
+        .iter()
+        .map(|p| p.runtime.get())
+        .fold(0.0_f64, f64::max);
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{} SC / {} BA", p.sc_servers, p.total_servers - p.sc_servers),
+                format!("{:.2}", p.r_lambda().get()),
+                format!("{:.0} s", p.runtime.get()),
+                format!("{:.1} %", 100.0 * p.runtime.get() / best),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 6: runtime vs server assignment (constant demand, buffers only)",
+        &["assignment", "R_lambda", "runtime", "vs best"],
+        &rows,
+    );
+    println!(
+        "\nshape check: an interior assignment maximises runtime; leaning fully \
+         on the SC pool costs ~10-25 % of uptime."
+    );
+
+    if let Some(path) = json_path(&args) {
+        let fig = Figure::new(
+            "Figure 6: assignment sweep",
+            vec![Series::new(
+                "runtime (s)",
+                points
+                    .iter()
+                    .map(|p| (p.r_lambda().get(), p.runtime.get()))
+                    .collect(),
+            )],
+        );
+        fig.write_json(&path).expect("write json");
+        println!("(series written to {})", path.display());
+    }
+}

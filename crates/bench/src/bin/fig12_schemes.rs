@@ -1,0 +1,234 @@
+//! Figure 12: the six-scheme comparison on all four metrics, plus the
+//! ablation sweeps DESIGN.md calls out (`--ablate-threshold`,
+//! `--ablate-dr`, `--ablate-slot`, `--ablate-pat`).
+//!
+//! Two regimes are run, mirroring Section 7's methodology:
+//! * the **standard** regime (260 W budget, 150 Wh buffer) for energy
+//!   efficiency (12a), battery lifetime (12c), and daily REU (12d);
+//! * the **stressed** regime (245 W budget, 60 Wh buffer — the paper's
+//!   "intentionally lower the utility power budget") for server
+//!   downtime (12b);
+//! * plus the event-scale deep-valley absorption test behind the
+//!   paper's headline REU improvement.
+
+use heb_bench::{hours_arg, json_path, print_table, Figure, Series};
+use heb_core::experiments::{deep_valley_absorption, scheme_comparison, SchemeResult};
+use heb_core::{PolicyKind, SimConfig};
+use heb_units::{Joules, Ratio, Seconds, Watts};
+use heb_workload::PeakClass;
+
+fn standard_config() -> SimConfig {
+    SimConfig::prototype()
+}
+
+fn stressed_config() -> SimConfig {
+    SimConfig::prototype()
+        .with_budget(Watts::new(245.0))
+        .with_total_capacity(Joules::from_watt_hours(60.0))
+}
+
+fn find(results: &[SchemeResult], policy: PolicyKind) -> &SchemeResult {
+    results
+        .iter()
+        .find(|r| r.policy == policy)
+        .expect("scheme present")
+}
+
+fn report(standard: &[SchemeResult], stressed: &[SchemeResult], title: &str) {
+    let base = find(standard, PolicyKind::BaOnly);
+    let base_eff = base.mean_efficiency(None).get();
+    let base_reu = base.reu().get();
+    let base_down = find(stressed, PolicyKind::BaOnly)
+        .total_downtime(None)
+        .get()
+        .max(1.0);
+
+    let rows: Vec<Vec<String>> = standard
+        .iter()
+        .map(|r| {
+            let eff = r.mean_efficiency(None).get();
+            let eff_small = r.mean_efficiency(Some(PeakClass::Small)).get();
+            let eff_large = r.mean_efficiency(Some(PeakClass::Large)).get();
+            let down = find(stressed, r.policy).total_downtime(None).get();
+            let life = r.mean_battery_lifetime_years().unwrap_or(f64::NAN);
+            let life_x = r.lifetime_improvement_vs(base, 10.0);
+            let reu = r.reu().get();
+            vec![
+                r.policy.name().to_string(),
+                format!("{:.1} % ({:+.1} %)", 100.0 * eff, 100.0 * (eff - base_eff) / base_eff),
+                format!("{:.1}/{:.1} %", 100.0 * eff_small, 100.0 * eff_large),
+                format!("{down:.0} s ({:+.0} %)", 100.0 * (down - base_down) / base_down),
+                format!("{life:.1} y ({life_x:.1}x wear)"),
+                format!("{:.1} % ({:+.1} %)", 100.0 * reu, 100.0 * (reu - base_reu) / base_reu),
+            ]
+        })
+        .collect();
+    print_table(
+        title,
+        &[
+            "scheme",
+            "efficiency (vs BaOnly)",
+            "eff small/large",
+            "downtime (vs BaOnly)",
+            "battery life (vs BaOnly)",
+            "daily REU (vs BaOnly)",
+        ],
+        &rows,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let hours = hours_arg(&args, 8.0);
+    let solar_hours = 12.0_f64.min(hours * 1.5);
+    let seed = 2015;
+
+    let standard = scheme_comparison(&standard_config(), hours, solar_hours, seed);
+    let stressed = scheme_comparison(&stressed_config(), hours, 0.1, seed);
+    report(
+        &standard,
+        &stressed,
+        &format!(
+            "Figure 12: scheme comparison ({hours:.1} h/workload standard + stressed, {solar_hours:.1} h solar)"
+        ),
+    );
+
+    // Event-scale REU: the deep-valley absorption test.
+    let valley = deep_valley_absorption(&standard_config(), Watts::new(230.0), 15.0, seed);
+    let base_reu = valley
+        .iter()
+        .find(|v| v.policy == PolicyKind::BaOnly)
+        .expect("BaOnly present")
+        .reu
+        .get();
+    let rows: Vec<Vec<String>> = valley
+        .iter()
+        .map(|v| {
+            vec![
+                v.policy.name().to_string(),
+                format!("{:.1} %", 100.0 * v.reu.get()),
+                format!("{:.1} Wh", v.absorbed_wh),
+                format!("{:+.1} %", 100.0 * (v.reu.get() - base_reu) / base_reu),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 12(d) at event scale: deep-valley absorption (230 W surplus, 15 min)",
+        &["scheme", "window REU", "absorbed", "vs BaOnly"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: HEB-D leads every metric — higher efficiency (more on \
+         small peaks), ~-41 % downtime under a lowered budget, ~4.7x battery \
+         life, and ~+81 % renewable utilisation in deep-valley windows."
+    );
+
+    // Ablations (each reruns the sweep with one knob varied).
+    let ablate = |label: &str, configs: Vec<(String, SimConfig)>| {
+        for (name, cfg) in configs {
+            let std_r = scheme_comparison(&cfg, hours / 2.0, (solar_hours / 2.0).max(0.1), seed);
+            let mut stress = stressed_config();
+            stress.small_peak_threshold = cfg.small_peak_threshold;
+            stress.delta_r = cfg.delta_r;
+            stress.slot_length = cfg.slot_length;
+            stress.pat_energy_bucket = cfg.pat_energy_bucket;
+            let str_r = scheme_comparison(&stress, hours / 2.0, 0.1, seed);
+            report(&std_r, &str_r, &format!("ablation {label}: {name}"));
+        }
+    };
+    if args.iter().any(|a| a == "--ablate-threshold") {
+        ablate(
+            "small-peak threshold",
+            [40.0, 80.0, 120.0]
+                .iter()
+                .map(|&t| {
+                    let mut c = standard_config();
+                    c.small_peak_threshold = Watts::new(t);
+                    (format!("{t} W"), c)
+                })
+                .collect(),
+        );
+    }
+    if args.iter().any(|a| a == "--ablate-dr") {
+        ablate(
+            "delta_r",
+            [0.005, 0.01, 0.05]
+                .iter()
+                .map(|&d| {
+                    let mut c = standard_config();
+                    c.delta_r = Ratio::new_clamped(d);
+                    (format!("{d}"), c)
+                })
+                .collect(),
+        );
+    }
+    if args.iter().any(|a| a == "--ablate-slot") {
+        ablate(
+            "slot length",
+            [5.0, 10.0, 20.0]
+                .iter()
+                .map(|&m| {
+                    let mut c = standard_config();
+                    c.slot_length = Seconds::from_minutes(m);
+                    (format!("{m} min"), c)
+                })
+                .collect(),
+        );
+    }
+    if args.iter().any(|a| a == "--ablate-pat") {
+        ablate(
+            "PAT energy bucket",
+            [5.0, 10.0, 20.0]
+                .iter()
+                .map(|&b| {
+                    let mut c = standard_config();
+                    c.pat_energy_bucket = Joules::from_watt_hours(b);
+                    (format!("{b} Wh"), c)
+                })
+                .collect(),
+        );
+    }
+
+    if let Some(path) = json_path(&args) {
+        let series = vec![
+            Series::new(
+                "efficiency",
+                standard
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| (i as f64, r.mean_efficiency(None).get()))
+                    .collect(),
+            ),
+            Series::new(
+                "downtime_s",
+                stressed
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| (i as f64, r.total_downtime(None).get()))
+                    .collect(),
+            ),
+            Series::new(
+                "battery_life_y",
+                standard
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        (i as f64, r.mean_battery_lifetime_years().unwrap_or(f64::NAN))
+                    })
+                    .collect(),
+            ),
+            Series::new(
+                "valley_reu",
+                valley
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (i as f64, v.reu.get()))
+                    .collect(),
+            ),
+        ];
+        Figure::new("Figure 12: scheme comparison", series)
+            .write_json(&path)
+            .expect("write json");
+        println!("(series written to {})", path.display());
+    }
+}

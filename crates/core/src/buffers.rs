@@ -1,0 +1,241 @@
+//! The heterogeneous buffer pair the controller dispatches.
+
+use heb_esd::{
+    Bank, LeadAcidBattery, LeadAcidParams, StorageDevice, SuperCapacitor, SuperCapacitorParams,
+};
+use heb_units::{AmpHours, Farads, Joules, Ratio, Seconds, Volts, Watts};
+
+/// The SC pool and battery pool, sized jointly.
+///
+/// All compared schemes get *equal total usable capacity* (the paper's
+/// fairness rule in Section 7): `BaOnly` puts everything into the
+/// battery pool; hybrid schemes split it by `sc_fraction`.
+///
+/// # Examples
+///
+/// ```
+/// use heb_core::HybridBuffers;
+/// use heb_units::{Joules, Ratio};
+///
+/// let buffers = HybridBuffers::build(
+///     Joules::from_watt_hours(150.0),
+///     Ratio::new_clamped(0.3),
+///     Ratio::new_clamped(0.8),
+/// );
+/// let total = buffers.total_capacity();
+/// assert!((total.as_watt_hours().get() - 150.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridBuffers {
+    sc_pool: Bank<SuperCapacitor>,
+    ba_pool: Bank<LeadAcidBattery>,
+}
+
+impl HybridBuffers {
+    /// Builds pools totalling `total_usable` energy with `sc_fraction`
+    /// of it in super-capacitors, both managed at `dod_limit`.
+    ///
+    /// The battery's management DoD is `dod_limit`; the SC pool's usable
+    /// voltage window is scaled so its usable share matches. Device
+    /// internal parameters scale with size as in the prototype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_usable` is not positive.
+    #[must_use]
+    pub fn build(total_usable: Joules, sc_fraction: Ratio, dod_limit: Ratio) -> Self {
+        assert!(total_usable.get() > 0.0, "capacity must be positive");
+        let sc_usable = Joules::new(total_usable.get() * sc_fraction.get());
+        let ba_usable = total_usable - sc_usable;
+
+        let sc_pool = if sc_usable.get() > 0.0 {
+            // Usable window is rated→half-rated voltage (75 % of the
+            // physical energy): ½·C·V² · 0.75 = usable.
+            let params = SuperCapacitorParams::prototype_module();
+            let v = params.rated_voltage.get();
+            let window = 1.0 - (params.min_voltage.get() / v).powi(2);
+            let capacitance = 2.0 * sc_usable.get() / (v * v * window);
+            Bank::new(vec![SuperCapacitor::new(SuperCapacitorParams {
+                capacitance: Farads::new(capacitance),
+                ..params
+            })])
+        } else {
+            Bank::empty()
+        };
+
+        let ba_pool = if ba_usable.get() > 0.0 {
+            // usable = Ah · DoD · V_nominal.
+            let nominal = Volts::new(24.0);
+            let ah = ba_usable.as_watt_hours().get() / (dod_limit.get() * nominal.get());
+            let params =
+                LeadAcidParams::with_capacity(AmpHours::new(ah)).with_dod_limit(dod_limit);
+            Bank::new(vec![LeadAcidBattery::new(params)])
+        } else {
+            Bank::empty()
+        };
+
+        Self { sc_pool, ba_pool }
+    }
+
+    /// The super-capacitor pool.
+    #[must_use]
+    pub fn sc_pool(&self) -> &Bank<SuperCapacitor> {
+        &self.sc_pool
+    }
+
+    /// Mutable super-capacitor pool.
+    pub fn sc_pool_mut(&mut self) -> &mut Bank<SuperCapacitor> {
+        &mut self.sc_pool
+    }
+
+    /// The battery pool.
+    #[must_use]
+    pub fn ba_pool(&self) -> &Bank<LeadAcidBattery> {
+        &self.ba_pool
+    }
+
+    /// Mutable battery pool.
+    pub fn ba_pool_mut(&mut self) -> &mut Bank<LeadAcidBattery> {
+        &mut self.ba_pool
+    }
+
+    /// Combined usable capacity.
+    #[must_use]
+    pub fn total_capacity(&self) -> Joules {
+        self.sc_pool.usable_capacity() + self.ba_pool.usable_capacity()
+    }
+
+    /// Combined available energy (`ΔSC + ΔBA` in the paper's notation).
+    #[must_use]
+    pub fn total_available(&self) -> Joules {
+        self.sc_pool.available_energy() + self.ba_pool.available_energy()
+    }
+
+    /// Available energy in the SC pool (`ΔSC`).
+    #[must_use]
+    pub fn sc_available(&self) -> Joules {
+        self.sc_pool.available_energy()
+    }
+
+    /// Available energy in the battery pool (`ΔBA`).
+    #[must_use]
+    pub fn ba_available(&self) -> Joules {
+        self.ba_pool.available_energy()
+    }
+
+    /// Combined dispatchable power right now.
+    #[must_use]
+    pub fn total_discharge_power(&self) -> Watts {
+        self.sc_pool.max_discharge_power() + self.ba_pool.max_discharge_power()
+    }
+
+    /// Advances both pools one idle tick (used when neither charges nor
+    /// discharges this tick).
+    pub fn idle(&mut self, dt: Seconds) {
+        self.sc_pool.idle(dt);
+        self.ba_pool.idle(dt);
+    }
+
+    /// Projected battery lifetime under the usage so far (the
+    /// Figure 12(c) metric); `None` when there is no battery pool.
+    #[must_use]
+    pub fn battery_projected_lifetime(&self) -> Option<Seconds> {
+        let devices = self.ba_pool.devices();
+        if devices.is_empty() {
+            return None;
+        }
+        // The pool's lifetime is its worst member's.
+        devices
+            .iter()
+            .map(|d| d.lifetime().projected_lifetime())
+            .min_by(|a, b| a.get().partial_cmp(&b.get()).expect("finite lifetimes"))
+    }
+
+    /// Total battery life fraction consumed so far (0 for no battery).
+    #[must_use]
+    pub fn battery_life_used(&self) -> Ratio {
+        let devices = self.ba_pool.devices();
+        devices
+            .iter()
+            .map(|d| d.lifetime().life_used())
+            .fold(Ratio::ZERO, Ratio::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_default() -> HybridBuffers {
+        HybridBuffers::build(
+            Joules::from_watt_hours(150.0),
+            Ratio::new_clamped(0.3),
+            Ratio::new_clamped(0.8),
+        )
+    }
+
+    #[test]
+    fn capacity_split_matches_fractions() {
+        let b = build_default();
+        let sc = b.sc_pool().usable_capacity().as_watt_hours().get();
+        let ba = b.ba_pool().usable_capacity().as_watt_hours().get();
+        assert!((sc - 45.0).abs() < 0.5, "SC share {sc} Wh");
+        assert!((ba - 105.0).abs() < 0.5, "battery share {ba} Wh");
+    }
+
+    #[test]
+    fn starts_full() {
+        let b = build_default();
+        assert!((b.total_available() / b.total_capacity() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ba_only_configuration_has_empty_sc_pool() {
+        let b = HybridBuffers::build(
+            Joules::from_watt_hours(150.0),
+            Ratio::ZERO,
+            Ratio::new_clamped(0.8),
+        );
+        assert!(b.sc_pool().is_empty());
+        assert!((b.total_capacity().as_watt_hours().get() - 150.0).abs() < 0.5);
+        assert!(b.battery_projected_lifetime().is_some());
+    }
+
+    #[test]
+    fn sc_only_configuration_has_no_battery_lifetime() {
+        let b = HybridBuffers::build(
+            Joules::from_watt_hours(50.0),
+            Ratio::ONE,
+            Ratio::new_clamped(0.8),
+        );
+        assert!(b.ba_pool().is_empty());
+        assert!(b.battery_projected_lifetime().is_none());
+        assert_eq!(b.battery_life_used(), Ratio::ZERO);
+    }
+
+    #[test]
+    fn discharge_power_is_meaningful() {
+        let b = build_default();
+        // The pools must be able to cover the prototype's worst-case
+        // 160 W mismatch comfortably.
+        assert!(b.total_discharge_power().get() > 160.0);
+    }
+
+    #[test]
+    fn capacity_scales_with_dod() {
+        let tight = HybridBuffers::build(
+            Joules::from_watt_hours(100.0),
+            Ratio::new_clamped(0.3),
+            Ratio::new_clamped(0.4),
+        );
+        // Total usable is what was asked for, regardless of DoD — DoD
+        // changes the *physical* battery behind it.
+        assert!((tight.total_capacity().as_watt_hours().get() - 100.0).abs() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = HybridBuffers::build(Joules::zero(), Ratio::HALF, Ratio::HALF);
+    }
+}

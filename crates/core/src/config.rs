@@ -1,0 +1,203 @@
+//! Simulation and controller configuration.
+
+use crate::policy::PolicyKind;
+use heb_powersys::Topology;
+use heb_units::{Joules, Ratio, Seconds, Watts};
+
+/// Everything a [`Simulation`](crate::Simulation) run is parameterised
+/// by. Defaults mirror the scale-down prototype of Section 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of servers in the rack.
+    pub servers: usize,
+    /// Utility power budget (the under-provisioned supply).
+    pub budget: Watts,
+    /// Total *usable* energy across both buffer pools.
+    pub total_capacity: Joules,
+    /// Fraction of `total_capacity` held in super-capacitors. The
+    /// prototype's initial ratio is SC:battery = 3:7.
+    pub sc_fraction: Ratio,
+    /// Management depth-of-discharge limit applied to both pools (the
+    /// Figure 13–14 capacity knob).
+    pub dod_limit: Ratio,
+    /// Control-slot length (10 minutes by default).
+    pub slot_length: Seconds,
+    /// Metering tick (1 second, the IPDU rate).
+    pub tick: Seconds,
+    /// The power-management scheme under test.
+    pub policy: PolicyKind,
+    /// Predicted mismatch below which a peak is classified *small*
+    /// (handled by SCs alone). Ablation knob.
+    pub small_peak_threshold: Watts,
+    /// PAT self-optimisation step `Δr` (default 1 %). Ablation knob.
+    pub delta_r: Ratio,
+    /// PAT bucket width for stored-energy dimensions.
+    pub pat_energy_bucket: Joules,
+    /// PAT bucket width for the mismatch dimension.
+    pub pat_power_bucket: Watts,
+    /// Holt-Winters seasonal period, in slots (one day of 10-minute
+    /// slots by default would be 144; the prototype runs shorter
+    /// sessions, so default to a single-hour season of 6).
+    pub forecast_period: usize,
+    /// The energy-storage architecture (Figure 7): where conversion
+    /// losses sit on the utility→load, buffer→load, and source→buffer
+    /// paths. The prototype deploys HEB at rack level (direct DC).
+    pub topology: Topology,
+    /// Relative (1-sigma) IPDU measurement noise. The controller only
+    /// sees metered values, so noise here degrades its predictions and
+    /// PAT keys — a robustness ablation knob. 0 = ideal instrument.
+    pub metering_noise: f64,
+}
+
+impl SimConfig {
+    /// The prototype configuration: six 30–70 W servers, a 260 W
+    /// budget, 150 Wh of usable buffer at 3:7 SC:battery, 10-minute
+    /// slots, `HEB-D` policy.
+    #[must_use]
+    pub fn prototype() -> Self {
+        Self {
+            servers: 6,
+            budget: Watts::new(260.0),
+            total_capacity: Joules::from_watt_hours(150.0),
+            sc_fraction: Ratio::new_clamped(0.3),
+            dod_limit: Ratio::new_clamped(0.8),
+            slot_length: Seconds::from_minutes(10.0),
+            tick: Seconds::new(1.0),
+            policy: PolicyKind::HebD,
+            small_peak_threshold: Watts::new(80.0),
+            delta_r: Ratio::new_clamped(0.01),
+            pat_energy_bucket: Joules::from_watt_hours(10.0),
+            pat_power_bucket: Watts::new(20.0),
+            forecast_period: 6,
+            topology: Topology::heb_rack_level(),
+            metering_noise: 0.0,
+        }
+    }
+
+    /// Same configuration with a different storage architecture (the
+    /// Figure 7 comparison knob).
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Same configuration with a different policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Same configuration with a different SC capacity fraction (the
+    /// Figure 13 ratio knob).
+    #[must_use]
+    pub fn with_sc_fraction(mut self, sc_fraction: Ratio) -> Self {
+        self.sc_fraction = sc_fraction;
+        self
+    }
+
+    /// Same configuration with a different total usable capacity (the
+    /// Figure 14 growth knob).
+    #[must_use]
+    pub fn with_total_capacity(mut self, total: Joules) -> Self {
+        self.total_capacity = total;
+        self
+    }
+
+    /// Same configuration with a different utility budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Watts) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Ticks per control slot.
+    #[must_use]
+    pub fn ticks_per_slot(&self) -> u64 {
+        (self.slot_length.get() / self.tick.get()).round().max(1.0) as u64
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a field is outside its meaningful range.
+    pub fn validate(&self) {
+        assert!(self.servers > 0, "need at least one server");
+        assert!(self.budget.get() >= 0.0, "budget must be non-negative");
+        assert!(
+            self.total_capacity.get() > 0.0,
+            "buffer capacity must be positive"
+        );
+        assert!(self.tick.get() > 0.0, "tick must be positive");
+        assert!(
+            self.slot_length.get() >= self.tick.get(),
+            "slot must span at least one tick"
+        );
+        assert!(
+            self.small_peak_threshold.get() >= 0.0,
+            "threshold must be non-negative"
+        );
+        assert!(self.forecast_period >= 2, "forecast period must be >= 2");
+        assert!(
+            self.metering_noise >= 0.0,
+            "metering noise must be non-negative"
+        );
+        assert!(
+            self.pat_energy_bucket.get() > 0.0 && self.pat_power_bucket.get() > 0.0,
+            "PAT bucket widths must be positive"
+        );
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::prototype()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_is_valid() {
+        SimConfig::prototype().validate();
+    }
+
+    #[test]
+    fn ticks_per_slot() {
+        assert_eq!(SimConfig::prototype().ticks_per_slot(), 600);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = SimConfig::prototype()
+            .with_policy(PolicyKind::BaOnly)
+            .with_sc_fraction(Ratio::HALF)
+            .with_budget(Watts::new(200.0))
+            .with_total_capacity(Joules::from_watt_hours(300.0));
+        assert_eq!(c.policy, PolicyKind::BaOnly);
+        assert_eq!(c.sc_fraction, Ratio::HALF);
+        assert_eq!(c.budget, Watts::new(200.0));
+        assert_eq!(c.total_capacity, Joules::from_watt_hours(300.0));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_invalid() {
+        let mut c = SimConfig::prototype();
+        c.servers = 0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "slot must span")]
+    fn sub_tick_slot_invalid() {
+        let mut c = SimConfig::prototype();
+        c.slot_length = Seconds::new(0.5);
+        c.validate();
+    }
+}

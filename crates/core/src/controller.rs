@@ -1,0 +1,402 @@
+//! The hControl slot-level decision loop (Section 5).
+
+use crate::config::SimConfig;
+use crate::pat::{PatKey, PowerAllocationTable};
+use crate::policy::{ChargePriority, DischargePriority, PeakSize, PolicyKind};
+use heb_forecast::{HoltWinters, LastValue, Predictor};
+use heb_units::{Joules, Ratio, Watts};
+
+/// The slot forecaster: either the paper's Holt-Winters or the naive
+/// last-value model that `HEB-F` amounts to.
+#[derive(Debug, Clone)]
+enum SlotPredictor {
+    HoltWinters(HoltWinters),
+    Naive(LastValue),
+}
+
+impl SlotPredictor {
+    fn observe(&mut self, value: f64) {
+        match self {
+            SlotPredictor::HoltWinters(p) => p.observe(value),
+            SlotPredictor::Naive(p) => p.observe(value),
+        }
+    }
+
+    fn forecast(&self) -> f64 {
+        match self {
+            SlotPredictor::HoltWinters(p) => p.forecast(1),
+            SlotPredictor::Naive(p) => p.forecast(1),
+        }
+    }
+}
+
+/// The controller's decision for one control slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotPlan {
+    /// Predicted net mismatch `ΔPM = P_peak − P_valley` for the slot.
+    pub predicted_mismatch: Watts,
+    /// Small/large classification of the predicted peak.
+    pub peak_size: PeakSize,
+    /// Load-assignment ratio: fraction of buffer-carried load on SCs.
+    pub r_lambda: Ratio,
+    /// Discharge routing for the slot.
+    pub discharge: DischargePriority,
+    /// Charge routing for the slot.
+    pub charge: ChargePriority,
+}
+
+/// State remembered from `begin_slot` so `end_slot` can run the PAT
+/// update against the right entry.
+#[derive(Debug, Clone, Copy)]
+struct OpenSlot {
+    sc_start: Joules,
+    ba_start: Joules,
+    r_used: Ratio,
+    matched_key: Option<PatKey>,
+    planned_size: PeakSize,
+}
+
+/// The hControl decision component.
+///
+/// Drive it with [`HebController::begin_slot`] at each slot boundary and
+/// [`HebController::end_slot`] when the slot's actual peak/valley and
+/// final buffer levels are known.
+///
+/// # Examples
+///
+/// ```
+/// use heb_core::{HebController, SimConfig};
+/// use heb_units::{Joules, Watts};
+///
+/// let config = SimConfig::prototype();
+/// let mut ctl = HebController::new(&config);
+/// let plan = ctl.begin_slot(
+///     Joules::from_watt_hours(45.0),
+///     Joules::from_watt_hours(105.0),
+/// );
+/// assert!(plan.r_lambda.in_unit_interval());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HebController {
+    policy: PolicyKind,
+    peak_predictor: SlotPredictor,
+    valley_predictor: SlotPredictor,
+    pat: PowerAllocationTable,
+    small_peak_threshold: Watts,
+    open_slot: Option<OpenSlot>,
+    slots_completed: u64,
+}
+
+impl HebController {
+    /// Creates a controller for the configured policy.
+    ///
+    /// For `HEB-S` the PAT is pre-populated with a coarse static profile
+    /// (the paper's pilot-run table) and never updated afterwards.
+    #[must_use]
+    pub fn new(config: &SimConfig) -> Self {
+        let make_predictor = || {
+            if config.policy.uses_holt_winters() {
+                SlotPredictor::HoltWinters(HoltWinters::for_power_series(config.forecast_period))
+            } else {
+                SlotPredictor::Naive(LastValue::new())
+            }
+        };
+        let mut pat = PowerAllocationTable::new(
+            config.pat_energy_bucket,
+            config.pat_power_bucket,
+            config.delta_r,
+        );
+        if config.policy == PolicyKind::HebS {
+            Self::populate_static_profile(&mut pat, config);
+        }
+        Self {
+            policy: config.policy,
+            peak_predictor: make_predictor(),
+            valley_predictor: make_predictor(),
+            pat,
+            small_peak_threshold: config.small_peak_threshold,
+            open_slot: None,
+            slots_completed: 0,
+        }
+    }
+
+    /// Seeds the coarse pilot-run profile used by `HEB-S`: a sparse grid
+    /// over buffer levels and mismatch magnitudes whose `R_λ` follows
+    /// the available-energy share of the SC pool (the Figure 6
+    /// observation: runtime is maximised near the proportional split).
+    fn populate_static_profile(pat: &mut PowerAllocationTable, config: &SimConfig) {
+        let total = config.total_capacity;
+        let fractions = [0.25, 0.5, 0.75, 1.0];
+        let mismatches = [0.25, 0.5, 1.0];
+        let sc_cap = total.get() * config.sc_fraction.get();
+        let ba_cap = total.get() - sc_cap;
+        let max_mismatch = 70.0 * config.servers as f64;
+        for &fs in &fractions {
+            for &fb in &fractions {
+                for &fm in &mismatches {
+                    let sc = Joules::new(sc_cap * fs);
+                    let ba = Joules::new(ba_cap * fb);
+                    let pm = Watts::new(max_mismatch * fm);
+                    let share = if sc.get() + ba.get() > 0.0 {
+                        sc.get() / (sc.get() + ba.get())
+                    } else {
+                        0.0
+                    };
+                    pat.insert(pat.key(sc, ba, pm), Ratio::new_clamped(share));
+                }
+            }
+        }
+    }
+
+    /// The policy driving this controller.
+    #[must_use]
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// Read-only access to the PAT (diagnostics, experiments).
+    #[must_use]
+    pub fn pat(&self) -> &PowerAllocationTable {
+        &self.pat
+    }
+
+    /// Number of slots for which `end_slot` has run.
+    #[must_use]
+    pub fn slots_completed(&self) -> u64 {
+        self.slots_completed
+    }
+
+    /// Classifies a predicted mismatch (Section 5.2's small/large
+    /// dichotomy).
+    #[must_use]
+    pub fn classify(&self, mismatch: Watts) -> PeakSize {
+        if mismatch <= self.small_peak_threshold {
+            PeakSize::Small
+        } else {
+            PeakSize::Large
+        }
+    }
+
+    /// Runs the slot-start decision (Figure 10 lines 1–11): predicts
+    /// `ΔPM`, classifies it, and selects `R_λ`.
+    pub fn begin_slot(&mut self, sc_available: Joules, ba_available: Joules) -> SlotPlan {
+        let p_peak = self.peak_predictor.forecast().max(0.0);
+        let p_valley = self.valley_predictor.forecast().max(0.0);
+        let mismatch = Watts::new((p_peak - p_valley).max(0.0));
+        let peak_size = self.classify(mismatch);
+
+        let (r_lambda, matched_key) = if self.policy.uses_pat() {
+            match peak_size {
+                PeakSize::Small => (Ratio::ONE, None),
+                PeakSize::Large => {
+                    let key = self.pat.key(sc_available, ba_available, mismatch);
+                    match self.pat.lookup_similar(key) {
+                        Some((hit, r)) => (r, Some(hit)),
+                        None => {
+                            // Cold table: start from the available-energy
+                            // share, the Figure 6 heuristic.
+                            let total = sc_available.get() + ba_available.get();
+                            let share = if total > 0.0 {
+                                sc_available.get() / total
+                            } else {
+                                0.0
+                            };
+                            (Ratio::new_clamped(share), None)
+                        }
+                    }
+                }
+            }
+        } else {
+            (Ratio::ZERO, None)
+        };
+
+        self.open_slot = Some(OpenSlot {
+            sc_start: sc_available,
+            ba_start: ba_available,
+            r_used: r_lambda,
+            matched_key,
+            planned_size: peak_size,
+        });
+
+        SlotPlan {
+            predicted_mismatch: mismatch,
+            peak_size,
+            r_lambda,
+            discharge: self.policy.discharge_priority(peak_size),
+            charge: self.policy.charge_priority(),
+        }
+    }
+
+    /// Runs the slot-end bookkeeping (Figure 10 lines 12–23): feeds the
+    /// observed peak/valley into the predictors and inserts/updates the
+    /// PAT entry for optimising policies.
+    pub fn end_slot(
+        &mut self,
+        actual_peak: Watts,
+        actual_valley: Watts,
+        sc_end: Joules,
+        ba_end: Joules,
+    ) {
+        self.peak_predictor.observe(actual_peak.get().max(0.0));
+        self.valley_predictor.observe(actual_valley.get().max(0.0));
+        self.slots_completed += 1;
+
+        let Some(open) = self.open_slot.take() else {
+            return;
+        };
+        if !self.policy.optimizes_pat() {
+            return;
+        }
+        let actual_pm = (actual_peak - actual_valley).max(Watts::zero());
+        // Only slots that actually exercised a split carry meaningful
+        // R_λ information: the slot must have been *planned* large (so
+        // `r_used` drove a split) and the realised mismatch must have
+        // been large too.
+        if open.planned_size == PeakSize::Small || self.classify(actual_pm) == PeakSize::Small {
+            return;
+        }
+        match open.matched_key {
+            Some(key) => {
+                self.pat
+                    .update(key, open.sc_start, open.ba_start, sc_end, ba_end);
+            }
+            None => {
+                // New entry keyed by the *actual* demand (line 14's
+                // Round on real measurements).
+                let key = self.pat.key(open.sc_start, open.ba_start, actual_pm);
+                self.pat.insert(key, open.r_used);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wh(x: f64) -> Joules {
+        Joules::from_watt_hours(x)
+    }
+
+    fn controller(policy: PolicyKind) -> HebController {
+        HebController::new(&SimConfig::prototype().with_policy(policy))
+    }
+
+    /// Drives `n` identical slots of the given peak/valley through the
+    /// controller, returning the last plan.
+    fn drive_slots(
+        ctl: &mut HebController,
+        n: usize,
+        peak: f64,
+        valley: f64,
+        sc: f64,
+        ba: f64,
+    ) -> SlotPlan {
+        let mut plan = ctl.begin_slot(wh(sc), wh(ba));
+        for _ in 0..n {
+            ctl.end_slot(Watts::new(peak), Watts::new(valley), wh(sc), wh(ba));
+            plan = ctl.begin_slot(wh(sc), wh(ba));
+        }
+        plan
+    }
+
+    #[test]
+    fn classification_threshold() {
+        let ctl = controller(PolicyKind::HebD);
+        assert_eq!(ctl.classify(Watts::new(50.0)), PeakSize::Small);
+        assert_eq!(ctl.classify(Watts::new(80.0)), PeakSize::Small);
+        assert_eq!(ctl.classify(Watts::new(81.0)), PeakSize::Large);
+    }
+
+    #[test]
+    fn small_peaks_route_everything_to_sc() {
+        let mut ctl = controller(PolicyKind::HebD);
+        let plan = drive_slots(&mut ctl, 8, 300.0, 260.0, 45.0, 105.0);
+        assert_eq!(plan.peak_size, PeakSize::Small);
+        assert_eq!(plan.r_lambda, Ratio::ONE);
+        assert_eq!(plan.discharge, DischargePriority::ScThenBattery);
+    }
+
+    #[test]
+    fn large_peaks_split_between_pools() {
+        let mut ctl = controller(PolicyKind::HebD);
+        let plan = drive_slots(&mut ctl, 10, 420.0, 260.0, 45.0, 105.0);
+        assert_eq!(plan.peak_size, PeakSize::Large);
+        assert_eq!(plan.discharge, DischargePriority::Split);
+        assert!(plan.r_lambda.get() > 0.0 && plan.r_lambda.get() < 1.0);
+    }
+
+    #[test]
+    fn heb_d_learns_pat_entries() {
+        let mut ctl = controller(PolicyKind::HebD);
+        assert!(ctl.pat().is_empty());
+        drive_slots(&mut ctl, 10, 420.0, 260.0, 45.0, 105.0);
+        assert!(!ctl.pat().is_empty(), "large peaks must populate the PAT");
+    }
+
+    #[test]
+    fn heb_s_profile_is_static() {
+        let mut ctl = controller(PolicyKind::HebS);
+        let before = ctl.pat().len();
+        assert!(before > 0, "HEB-S ships a pilot profile");
+        drive_slots(&mut ctl, 10, 420.0, 260.0, 45.0, 105.0);
+        assert_eq!(ctl.pat().len(), before, "HEB-S never grows its table");
+    }
+
+    #[test]
+    fn non_pat_policies_keep_empty_tables() {
+        for policy in [PolicyKind::BaOnly, PolicyKind::BaFirst, PolicyKind::ScFirst] {
+            let mut ctl = controller(policy);
+            drive_slots(&mut ctl, 6, 420.0, 260.0, 45.0, 105.0);
+            assert!(ctl.pat().is_empty(), "{policy} must not use the PAT");
+        }
+    }
+
+    #[test]
+    fn pat_update_shifts_r_lambda_toward_lagging_pool() {
+        let mut ctl = controller(PolicyKind::HebD);
+        // Slot 1: warms the predictors (planned small, no PAT effect).
+        ctl.begin_slot(wh(45.0), wh(105.0));
+        ctl.end_slot(Watts::new(420.0), Watts::new(260.0), wh(45.0), wh(105.0));
+        // Slot 2: planned large on a cold table -> inserts the entry.
+        ctl.begin_slot(wh(45.0), wh(105.0));
+        ctl.end_slot(Watts::new(420.0), Watts::new(260.0), wh(45.0), wh(105.0));
+        let plan = ctl.begin_slot(wh(45.0), wh(105.0));
+        let before = plan.r_lambda.get();
+        // Slot 3 hits the entry; battery drains disproportionately, so
+        // the Δr update must shift load toward the SC pool.
+        ctl.end_slot(Watts::new(420.0), Watts::new(260.0), wh(44.0), wh(70.0));
+        let plan = ctl.begin_slot(wh(45.0), wh(105.0));
+        assert!(
+            plan.r_lambda.get() > before,
+            "R_λ should rise when battery drains fast: {before} -> {}",
+            plan.r_lambda.get()
+        );
+    }
+
+    #[test]
+    fn first_slot_without_history_is_small() {
+        let mut ctl = controller(PolicyKind::HebD);
+        let plan = ctl.begin_slot(wh(45.0), wh(105.0));
+        assert_eq!(plan.predicted_mismatch, Watts::zero());
+        assert_eq!(plan.peak_size, PeakSize::Small);
+    }
+
+    #[test]
+    fn slots_completed_counts_end_slots() {
+        let mut ctl = controller(PolicyKind::BaOnly);
+        drive_slots(&mut ctl, 4, 300.0, 200.0, 0.0, 150.0);
+        assert_eq!(ctl.slots_completed(), 4);
+    }
+
+    #[test]
+    fn heb_f_uses_last_value_prediction() {
+        let mut ctl = controller(PolicyKind::HebF);
+        // One observed slot of 420/260 ...
+        ctl.begin_slot(wh(45.0), wh(105.0));
+        ctl.end_slot(Watts::new(420.0), Watts::new(260.0), wh(45.0), wh(105.0));
+        // ... is parroted verbatim as the next prediction.
+        let plan = ctl.begin_slot(wh(45.0), wh(105.0));
+        assert_eq!(plan.predicted_mismatch, Watts::new(160.0));
+    }
+}

@@ -1,0 +1,182 @@
+//! Figure 6: cluster runtime vs. SC/battery server assignment.
+//!
+//! The characterisation that motivates load-aware assignment: run the
+//! cluster *entirely* from the buffers (no utility) at constant demand,
+//! varying how many servers sit on the SC pool vs the battery pool, and
+//! measure how long the cluster stays up. The curve has an interior
+//! optimum — lean too hard on either pool and runtime collapses.
+
+use crate::buffers::HybridBuffers;
+use heb_esd::StorageDevice;
+use heb_units::{Joules, Ratio, Seconds, Watts};
+
+/// One point of the Figure 6 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AssignmentPoint {
+    /// Servers assigned to the SC pool (the rest are on batteries).
+    pub sc_servers: usize,
+    /// Total servers.
+    pub total_servers: usize,
+    /// How long the cluster ran before either pool (after takeover)
+    /// could no longer carry its load.
+    pub runtime: Seconds,
+}
+
+impl AssignmentPoint {
+    /// The assignment expressed as the paper's `R_λ`.
+    #[must_use]
+    pub fn r_lambda(&self) -> Ratio {
+        if self.total_servers == 0 {
+            Ratio::ZERO
+        } else {
+            Ratio::new_clamped(self.sc_servers as f64 / self.total_servers as f64)
+        }
+    }
+}
+
+/// Runs the Figure 6 sweep: for each split of `servers` between the SC
+/// pool and the battery pool, discharge both pools at constant
+/// per-server power until *both* are exhausted (when one pool empties,
+/// its servers fail over to the other pool — the prototype's relay
+/// takeover), and record total runtime.
+///
+/// # Panics
+///
+/// Panics if `servers` is zero or `per_server` is not positive.
+#[must_use]
+pub fn assignment_sweep(
+    servers: usize,
+    per_server: Watts,
+    total_capacity: Joules,
+    sc_fraction: Ratio,
+) -> Vec<AssignmentPoint> {
+    assert!(servers > 0, "need at least one server");
+    assert!(per_server.get() > 0.0, "per-server power must be positive");
+    let dt = Seconds::new(1.0);
+    (0..=servers)
+        .map(|sc_servers| {
+            let mut buffers =
+                HybridBuffers::build(total_capacity, sc_fraction, Ratio::new_clamped(0.8));
+            // Loads currently assigned to each pool. A pool that fails
+            // to fully carry its group hands the *whole group* to the
+            // other pool (the prototype's relay takeover) — servers are
+            // hard-wired to one source at a time, there is no blending.
+            let mut sc_load = per_server * sc_servers as f64;
+            let mut ba_load = per_server * (servers - sc_servers) as f64;
+            let mut sc_alive = true;
+            let mut ba_alive = true;
+            let mut runtime = Seconds::zero();
+            // Hard cap: no configuration should outlive a week at these
+            // loads; prevents infinite loops on trickle discharge.
+            for _ in 0..(7 * 24 * 3600) {
+                let mut tick_ok = true;
+                if sc_load.get() > 0.0 {
+                    let r = buffers.sc_pool_mut().discharge(sc_load, dt);
+                    if r.delivered.get() < 0.99 * sc_load.get() * dt.get() {
+                        sc_alive = false;
+                        if ba_alive {
+                            ba_load += sc_load;
+                            sc_load = Watts::zero();
+                        }
+                        tick_ok = false;
+                    }
+                }
+                if ba_load.get() > 0.0 {
+                    let r = buffers.ba_pool_mut().discharge(ba_load, dt);
+                    if r.delivered.get() < 0.99 * ba_load.get() * dt.get() {
+                        ba_alive = false;
+                        if sc_alive {
+                            sc_load += ba_load;
+                            ba_load = Watts::zero();
+                        }
+                        tick_ok = false;
+                    }
+                }
+                if !sc_alive && !ba_alive {
+                    break;
+                }
+                if tick_ok {
+                    runtime += dt;
+                }
+            }
+            AssignmentPoint {
+                sc_servers,
+                total_servers: servers,
+                runtime,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> Vec<AssignmentPoint> {
+        assignment_sweep(
+            4,
+            Watts::new(65.0),
+            Joules::from_watt_hours(150.0),
+            Ratio::new_clamped(0.3),
+        )
+    }
+
+    #[test]
+    fn covers_all_splits() {
+        let points = sweep();
+        assert_eq!(points.len(), 5);
+        assert_eq!(points[0].sc_servers, 0);
+        assert_eq!(points[4].sc_servers, 4);
+        assert!((points[2].r_lambda().get() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interior_optimum_exists() {
+        // The paper's Figure 6 finding: the best split is neither
+        // all-battery nor all-SC.
+        let points = sweep();
+        let best = points
+            .iter()
+            .max_by(|a, b| a.runtime.get().partial_cmp(&b.runtime.get()).unwrap())
+            .unwrap();
+        assert!(
+            best.sc_servers > 0 && best.sc_servers < 4,
+            "optimum at the boundary: {} of 4",
+            best.sc_servers
+        );
+    }
+
+    #[test]
+    fn heavy_sc_assignment_hurts_runtime() {
+        // Assigning everything to the (smaller) SC pool shortens uptime
+        // noticeably vs the optimum — the paper reports ~25 %.
+        let points = sweep();
+        let best = points
+            .iter()
+            .map(|p| p.runtime.get())
+            .fold(0.0_f64, f64::max);
+        let all_sc = points.last().unwrap().runtime.get();
+        assert!(
+            all_sc < 0.9 * best,
+            "all-SC runtime {all_sc} should trail the optimum {best}"
+        );
+    }
+
+    #[test]
+    fn all_runtimes_positive() {
+        for p in sweep() {
+            assert!(p.runtime.get() > 0.0, "split {} never ran", p.sc_servers);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _ = assignment_sweep(
+            0,
+            Watts::new(65.0),
+            Joules::from_watt_hours(150.0),
+            Ratio::new_clamped(0.3),
+        );
+    }
+}

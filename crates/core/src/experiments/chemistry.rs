@@ -1,0 +1,195 @@
+//! Buffer-chemistry comparison: lead-acid vs lithium-ion vs
+//! super-capacitor on the same peak-shaving duty cycle.
+//!
+//! The paper's prototype pairs SCs with lead-acid because that is what
+//! UPS rooms contain; Figure 4's catalogue prices the alternatives.
+//! This experiment runs each chemistry — at *equal usable energy* —
+//! through a repeating shave/recharge duty cycle and reports what the
+//! datasheet numbers translate to operationally: coverage (fraction of
+//! peak energy actually served), round-trip efficiency, and wear.
+
+use heb_esd::{
+    LeadAcidBattery, LeadAcidParams, LiIonParams, LithiumIonBattery, StorageDevice,
+    SuperCapacitor, SuperCapacitorParams,
+};
+use heb_units::{AmpHours, Farads, Joules, Ratio, Seconds, Volts, Watts};
+
+/// One chemistry's outcome on the duty cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChemistryPoint {
+    /// Chemistry name.
+    pub chemistry: &'static str,
+    /// Fraction of the total peak energy the device actually served.
+    pub coverage: Ratio,
+    /// Delivered energy over energy drawn for recharge.
+    pub round_trip: Ratio,
+    /// Fraction of rated life consumed by the run.
+    pub life_used: f64,
+}
+
+/// The repeating duty cycle: `peak` for `peak_secs`, then recharge at
+/// `recharge` for `valley_secs`, `cycles` times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycle {
+    /// Power the buffer must shave during the peak phase.
+    pub peak: Watts,
+    /// Peak duration per cycle.
+    pub peak_secs: u32,
+    /// Charging power available during the valley phase.
+    pub recharge: Watts,
+    /// Valley duration per cycle.
+    pub valley_secs: u32,
+    /// Number of cycles.
+    pub cycles: u32,
+}
+
+impl DutyCycle {
+    /// The prototype's large-peak pattern: 150 W peaks of 6 minutes
+    /// with 25 W of recharge headroom over 24-minute valleys, 48 times
+    /// (a day's worth of half-hour cycles).
+    #[must_use]
+    pub fn prototype_day() -> Self {
+        Self {
+            peak: Watts::new(150.0),
+            peak_secs: 360,
+            recharge: Watts::new(25.0),
+            valley_secs: 1440,
+            cycles: 48,
+        }
+    }
+}
+
+fn drive<D: StorageDevice>(device: &mut D, duty: &DutyCycle) -> (Ratio, Ratio) {
+    let dt = Seconds::new(1.0);
+    let initial = device.available_energy().get();
+    let mut needed = 0.0;
+    let mut served = 0.0;
+    let mut drawn = 0.0;
+    for _ in 0..duty.cycles {
+        for _ in 0..duty.peak_secs {
+            needed += duty.peak.get();
+            served += device.discharge(duty.peak, dt).delivered.get();
+        }
+        for _ in 0..duty.valley_secs {
+            drawn += device.charge(duty.recharge, dt).drawn.get();
+        }
+    }
+    let coverage = Ratio::new_clamped(served / needed.max(1.0));
+    // Round trip: useful output over every joule that went in — the
+    // recharge intake plus whatever the initial store contributed.
+    let store_contribution = (initial - device.available_energy().get()).max(0.0);
+    let round_trip = Ratio::new_clamped(served / (drawn + store_contribution).max(1.0));
+    (coverage, round_trip)
+}
+
+/// Runs the duty cycle against each chemistry at `usable` energy.
+#[must_use]
+pub fn chemistry_comparison(usable: Joules, duty: &DutyCycle) -> Vec<ChemistryPoint> {
+    let dod = Ratio::new_clamped(0.8);
+    let nominal = Volts::new(24.0);
+    let ah = AmpHours::new(usable.as_watt_hours().get() / (dod.get() * nominal.get()));
+
+    let mut out = Vec::new();
+
+    let mut la =
+        LeadAcidBattery::new(LeadAcidParams::with_capacity(ah).with_dod_limit(dod));
+    let (coverage, round_trip) = drive(&mut la, duty);
+    out.push(ChemistryPoint {
+        chemistry: "lead-acid",
+        coverage,
+        round_trip,
+        life_used: la.lifetime().life_used().get(),
+    });
+
+    let mut li = LithiumIonBattery::new(LiIonParams::with_capacity(ah));
+    let (coverage, round_trip) = drive(&mut li, duty);
+    out.push(ChemistryPoint {
+        chemistry: "lithium-ion",
+        coverage,
+        round_trip,
+        life_used: li.life_used().get(),
+    });
+
+    // SC sized to the same usable energy: ½CV²·window = usable.
+    let base = SuperCapacitorParams::prototype_module();
+    let v = base.rated_voltage.get();
+    let window = 1.0 - (base.min_voltage.get() / v).powi(2);
+    let capacitance = 2.0 * usable.get() / (v * v * window);
+    let mut sc = SuperCapacitor::new(SuperCapacitorParams {
+        capacitance: Farads::new(capacitance),
+        ..base
+    });
+    let (coverage, round_trip) = drive(&mut sc, duty);
+    out.push(ChemistryPoint {
+        chemistry: "super-capacitor",
+        coverage,
+        round_trip,
+        life_used: sc.life_used().get(),
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run() -> Vec<ChemistryPoint> {
+        chemistry_comparison(Joules::from_watt_hours(105.0), &DutyCycle::prototype_day())
+    }
+
+    fn get<'a>(points: &'a [ChemistryPoint], name: &str) -> &'a ChemistryPoint {
+        points.iter().find(|p| p.chemistry == name).expect("present")
+    }
+
+    #[test]
+    fn covers_three_chemistries() {
+        let points = run();
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.coverage.in_unit_interval());
+            assert!(p.life_used >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lithium_outperforms_lead_acid_everywhere() {
+        let points = run();
+        let la = get(&points, "lead-acid");
+        let li = get(&points, "lithium-ion");
+        assert!(li.coverage >= la.coverage, "coverage");
+        assert!(li.round_trip > la.round_trip, "round trip");
+        assert!(li.life_used < la.life_used, "wear");
+    }
+
+    #[test]
+    fn supercap_has_best_round_trip_and_negligible_wear() {
+        let points = run();
+        let sc = get(&points, "super-capacitor");
+        for other in ["lead-acid", "lithium-ion"] {
+            assert!(sc.life_used < 0.1 * get(&points, other).life_used.max(1e-9));
+        }
+        assert!(sc.round_trip.get() > 0.9);
+    }
+
+    #[test]
+    fn recharge_starvation_limits_all_chemistries() {
+        // A duty cycle whose valleys cannot replace the peak energy
+        // must eventually starve everyone.
+        let harsh = DutyCycle {
+            peak: Watts::new(200.0),
+            peak_secs: 600,
+            recharge: Watts::new(5.0),
+            valley_secs: 600,
+            cycles: 24,
+        };
+        for p in chemistry_comparison(Joules::from_watt_hours(60.0), &harsh) {
+            assert!(
+                p.coverage.get() < 0.5,
+                "{} should starve on a 5 W recharge, covered {}",
+                p.chemistry,
+                p.coverage
+            );
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Figure 5: discharge voltage curves, SC vs battery.
+//!
+//! The characterisation behind the architecture choice: under constant
+//! server loads, a super-capacitor's terminal voltage declines linearly
+//! with charge regardless of load, while a lead-acid battery holds a
+//! plateau and then collapses — steeply under heavy load — threatening
+//! server uptime.
+
+use heb_esd::{LeadAcidBattery, StorageDevice, SuperCapacitor};
+use heb_units::{Seconds, Volts, Watts};
+
+/// One device's voltage-over-time trace at a constant load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DischargeCurve {
+    /// "supercap" or "battery".
+    pub device: &'static str,
+    /// Number of 70 W servers in the load.
+    pub servers: usize,
+    /// Sampling interval of `voltages`.
+    pub sample_every: Seconds,
+    /// Terminal voltage samples until the device quit.
+    pub voltages: Vec<Volts>,
+}
+
+impl DischargeCurve {
+    /// Total voltage drop over the run.
+    #[must_use]
+    pub fn total_drop(&self) -> Volts {
+        match (self.voltages.first(), self.voltages.last()) {
+            (Some(&first), Some(&last)) => first - last,
+            _ => Volts::zero(),
+        }
+    }
+
+    /// Maximum drop between consecutive samples (the "knee" steepness).
+    #[must_use]
+    pub fn max_step_drop(&self) -> Volts {
+        self.voltages
+            .windows(2)
+            .map(|w| w[0] - w[1])
+            .fold(Volts::zero(), Volts::max)
+    }
+
+    /// Linearity measure: the RMS deviation of the curve from the
+    /// straight line joining its endpoints, normalised by the total
+    /// drop. Near zero for an SC; large for a battery knee.
+    #[must_use]
+    pub fn nonlinearity(&self) -> f64 {
+        let n = self.voltages.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let first = self.voltages[0].get();
+        let last = self.voltages[n - 1].get();
+        let drop = (first - last).abs();
+        if drop < 1e-9 {
+            return 0.0;
+        }
+        let mse: f64 = self
+            .voltages
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let ideal = first + (last - first) * i as f64 / (n - 1) as f64;
+                (v.get() - ideal).powi(2)
+            })
+            .sum::<f64>()
+            / n as f64;
+        mse.sqrt() / drop
+    }
+}
+
+/// Discharges a device at `servers × 70 W`, sampling the loaded terminal
+/// voltage every `sample_every`, until it can no longer sustain half the
+/// load.
+fn trace<D: StorageDevice>(
+    device: &mut D,
+    name: &'static str,
+    servers: usize,
+    sample_every: Seconds,
+) -> DischargeCurve {
+    let load = Watts::new(70.0 * servers as f64);
+    let tick = Seconds::new(1.0);
+    let stride = (sample_every.get() / tick.get()).round().max(1.0) as usize;
+    let mut voltages = vec![device.loaded_voltage(load)];
+    for step in 1..500_000usize {
+        let r = device.discharge(load, tick);
+        if r.delivered.get() < 0.5 * load.get() {
+            break;
+        }
+        if step % stride == 0 {
+            voltages.push(device.loaded_voltage(load));
+        }
+    }
+    DischargeCurve {
+        device: name,
+        servers,
+        sample_every,
+        voltages,
+    }
+}
+
+/// Produces the Figure 5 curve family for the given server counts.
+#[must_use]
+pub fn discharge_curves(server_counts: &[usize]) -> Vec<DischargeCurve> {
+    let sample_every = Seconds::new(10.0);
+    let mut out = Vec::with_capacity(server_counts.len() * 2);
+    for &servers in server_counts {
+        let mut sc = SuperCapacitor::prototype_module();
+        out.push(trace(&mut sc, "supercap", servers, sample_every));
+        let mut ba = LeadAcidBattery::prototype_string();
+        out.push(trace(&mut ba, "battery", servers, sample_every));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curves() -> Vec<DischargeCurve> {
+        discharge_curves(&[1, 4])
+    }
+
+    fn find(curves: &[DischargeCurve], device: &str, servers: usize) -> DischargeCurve {
+        curves
+            .iter()
+            .find(|c| c.device == device && c.servers == servers)
+            .cloned()
+            .expect("curve present")
+    }
+
+    #[test]
+    fn produces_both_devices_per_load() {
+        let cs = curves();
+        assert_eq!(cs.len(), 4);
+        assert!(!find(&cs, "supercap", 1).voltages.is_empty());
+        assert!(!find(&cs, "battery", 4).voltages.is_empty());
+    }
+
+    #[test]
+    fn sc_curves_are_linear_battery_curves_are_not() {
+        let cs = curves();
+        let sc = find(&cs, "supercap", 4);
+        let ba = find(&cs, "battery", 4);
+        assert!(
+            sc.nonlinearity() < 0.1,
+            "SC nonlinearity {}",
+            sc.nonlinearity()
+        );
+        assert!(
+            ba.nonlinearity() > sc.nonlinearity() * 1.5,
+            "battery {} vs SC {}",
+            ba.nonlinearity(),
+            sc.nonlinearity()
+        );
+    }
+
+    #[test]
+    fn sc_linearity_holds_across_loads() {
+        // "SC discharging voltage shows linearly declining trend
+        // irrespective of power demands."
+        let cs = curves();
+        for servers in [1, 4] {
+            assert!(find(&cs, "supercap", servers).nonlinearity() < 0.1);
+        }
+    }
+
+    #[test]
+    fn battery_knee_steepens_with_load() {
+        let cs = curves();
+        let light = find(&cs, "battery", 1);
+        let heavy = find(&cs, "battery", 4);
+        assert!(
+            heavy.max_step_drop() >= light.max_step_drop(),
+            "heavy-load knee {} should be at least light-load {}",
+            heavy.max_step_drop(),
+            light.max_step_drop()
+        );
+    }
+
+    #[test]
+    fn voltages_monotonically_decline() {
+        for c in curves() {
+            for w in c.voltages.windows(2) {
+                assert!(
+                    w[1] <= w[0] + Volts::new(0.05),
+                    "{} should not rise under constant load",
+                    c.device
+                );
+            }
+        }
+    }
+}

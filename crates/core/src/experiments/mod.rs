@@ -1,0 +1,32 @@
+//! Ready-made drivers for the paper's evaluation (Figures 3–14).
+//!
+//! Each submodule reproduces one experiment end-to-end and returns a
+//! structured result; the `heb-bench` binaries print them as the
+//! paper's tables/series and the integration tests assert the paper's
+//! qualitative findings on them.
+
+mod architecture;
+mod assignment;
+mod capacity;
+mod chemistry;
+mod deployment;
+mod discharge;
+mod efficiency;
+mod outage;
+mod prediction;
+mod schemes;
+mod sharing;
+mod valley;
+
+pub use architecture::{architecture_comparison, ArchitecturePoint};
+pub use assignment::{assignment_sweep, AssignmentPoint};
+pub use capacity::{capacity_growth_sweep, capacity_ratio_sweep, CapacityPoint};
+pub use chemistry::{chemistry_comparison, ChemistryPoint, DutyCycle};
+pub use deployment::{deployment_comparison, DeploymentResult};
+pub use discharge::{discharge_curves, DischargeCurve};
+pub use efficiency::{efficiency_characterization, EfficiencyResult};
+pub use outage::{outage_ride_through, OutagePoint};
+pub use prediction::{predictor_comparison, PredictionPoint};
+pub use schemes::{run_scheme, scheme_comparison, SchemeResult, WorkloadGroupResult};
+pub use sharing::{sharing_comparison, SharingResult};
+pub use valley::{deep_valley_absorption, ValleyPoint};

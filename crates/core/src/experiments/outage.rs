@@ -1,0 +1,136 @@
+//! Utility-outage ride-through: the original UPS duty.
+//!
+//! HEB repurposes backup energy storage for mismatch management, but
+//! the buffers remain the rack's blackout insurance ("an additional
+//! layer of safety in the event of unexpected power mismatches"). This
+//! experiment cuts the feed entirely for a window and measures how long
+//! each buffer configuration keeps the rack alive — the worst-case
+//! emergency the paper's equal-total-capacity fairness rule is designed
+//! around.
+
+use crate::config::SimConfig;
+use crate::policy::PolicyKind;
+use crate::sim::{PowerMode, Simulation};
+use heb_units::{Seconds, Watts};
+use heb_workload::{Archetype, PowerTrace};
+
+/// One scheme's blackout performance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutagePoint {
+    /// The scheme.
+    pub policy: PolicyKind,
+    /// Server-seconds of downtime accumulated during the outage window.
+    pub downtime: Seconds,
+    /// Time until the *first* server was shed (full window if none).
+    pub survival: Seconds,
+}
+
+/// Simulates a total feed outage of `outage_minutes`, preceded by
+/// `warmup_minutes` of normal budgeted operation, for every scheme.
+#[must_use]
+pub fn outage_ride_through(
+    base: &SimConfig,
+    warmup_minutes: f64,
+    outage_minutes: f64,
+    seed: u64,
+) -> Vec<OutagePoint> {
+    let warmup_ticks = (warmup_minutes * 60.0).round() as usize;
+    let outage_ticks = (outage_minutes * 60.0).round() as usize;
+    let mut samples = vec![base.budget; warmup_ticks];
+    samples.extend(vec![Watts::zero(); outage_ticks]);
+    let trace = PowerTrace::new(samples, base.tick);
+    let mix = [Archetype::WebSearch, Archetype::MediaStreaming];
+
+    PolicyKind::ALL
+        .iter()
+        .map(|&policy| {
+            let config = base.clone().with_policy(policy);
+            let mut sim =
+                Simulation::new(config, &mix, seed).with_mode(PowerMode::Solar(trace.clone()));
+            let before = sim.run_ticks(warmup_ticks as u64);
+            let warmup_downtime = before.server_downtime;
+            // Track the first shed during the outage.
+            let mut survival = Seconds::new(outage_minutes * 60.0);
+            let mut first_shed: Option<u64> = None;
+            let shed_before = before.shed_events;
+            for t in 0..outage_ticks as u64 {
+                sim.step();
+                if first_shed.is_none() && sim.snapshot().shed_events > shed_before {
+                    first_shed = Some(t);
+                }
+            }
+            if let Some(t) = first_shed {
+                survival = Seconds::new(t as f64);
+            }
+            let report = sim.snapshot();
+            OutagePoint {
+                policy,
+                downtime: report.server_downtime - warmup_downtime,
+                survival,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run() -> Vec<OutagePoint> {
+        outage_ride_through(&SimConfig::prototype(), 5.0, 30.0, 13)
+    }
+
+    #[test]
+    fn covers_all_schemes() {
+        let points = run();
+        assert_eq!(points.len(), 6);
+    }
+
+    #[test]
+    fn full_buffers_ride_through_several_minutes() {
+        // 150 Wh against a ~230 W idle-ish rack is well over 30 minutes
+        // of ride-through; every scheme must survive meaningfully.
+        for p in run() {
+            assert!(
+                p.survival.as_minutes() >= 5.0,
+                "{} survived only {:.1} min",
+                p.policy,
+                p.survival.as_minutes()
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_buffers_fail_fast() {
+        let base = SimConfig::prototype()
+            .with_total_capacity(heb_units::Joules::from_watt_hours(10.0));
+        let points = outage_ride_through(&base, 2.0, 30.0, 13);
+        for p in points {
+            assert!(
+                p.survival.as_minutes() < 15.0,
+                "{} should not survive a blackout on 10 Wh",
+                p.policy
+            );
+            assert!(p.downtime.get() > 0.0);
+        }
+    }
+
+    #[test]
+    fn survival_grows_with_capacity() {
+        let small = SimConfig::prototype()
+            .with_total_capacity(heb_units::Joules::from_watt_hours(30.0));
+        let large = SimConfig::prototype()
+            .with_total_capacity(heb_units::Joules::from_watt_hours(120.0));
+        let s = outage_ride_through(&small, 2.0, 40.0, 3);
+        let l = outage_ride_through(&large, 2.0, 40.0, 3);
+        for (a, b) in s.iter().zip(&l) {
+            assert!(
+                b.survival >= a.survival,
+                "{}: {:.0}s on 120Wh vs {:.0}s on 30Wh",
+                a.policy,
+                b.survival.get(),
+                a.survival.get()
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! HEB — hybrid energy buffering for datacenter power-mismatch
+//! management.
+//!
+//! This crate is the paper's primary contribution (Sections 4–5): the
+//! *hControl* controller that pools lead-acid batteries and
+//! super-capacitors behind a relay fabric and dynamically decides, slot
+//! by slot, which fraction of server load each buffer carries.
+//!
+//! The moving parts:
+//!
+//! * [`HybridBuffers`] — the SC pool + battery pool, sized to a total
+//!   usable capacity and an SC:battery ratio (3:7 by default, as in the
+//!   prototype);
+//! * [`PowerAllocationTable`] — the PAT of Figure 10: a coarse-grained
+//!   lookup from (SC level, battery level, predicted mismatch) to the
+//!   load-assignment ratio `R_λ`, with nearest-entry *similar* search
+//!   and the `Δr` self-optimisation update;
+//! * [`PolicyKind`] — the six power-management schemes of Table 2
+//!   (`BaOnly`, `BaFirst`, `SCFirst`, `HEB-F`, `HEB-S`, `HEB-D`);
+//! * [`HebController`] — slot-level decision making: Holt-Winters
+//!   peak/valley prediction, small/large peak classification, PAT
+//!   lookup and update;
+//! * [`Simulation`] — the discrete-time engine tying cluster, feeds,
+//!   relays, buffers, and controller together at 1-second resolution;
+//! * [`SimReport`] — the paper's four metrics: energy efficiency,
+//!   server downtime, battery lifetime, and renewable-energy
+//!   utilisation;
+//! * [`experiments`] — ready-made drivers for every figure of the
+//!   evaluation (used by the `heb-bench` binaries, the examples, and
+//!   the integration tests).
+//!
+//! # Examples
+//!
+//! ```
+//! use heb_core::{PolicyKind, SimConfig, Simulation};
+//! use heb_workload::Archetype;
+//!
+//! // Ten simulated minutes of Terasort under the dynamic HEB policy:
+//! let config = SimConfig::prototype().with_policy(PolicyKind::HebD);
+//! let mut sim = Simulation::new(config, &[Archetype::Terasort], 42);
+//! let report = sim.run_for_hours(0.2);
+//! assert!(report.energy_efficiency().get() > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffers;
+mod config;
+mod controller;
+pub mod experiments;
+mod metrics;
+mod pat;
+mod policy;
+mod sim;
+
+pub use buffers::HybridBuffers;
+pub use config::SimConfig;
+pub use controller::{HebController, SlotPlan};
+pub use metrics::SimReport;
+pub use pat::{PatEntry, PatKey, PowerAllocationTable};
+pub use policy::{ChargePriority, DischargePriority, PeakSize, PolicyKind};
+pub use sim::{PowerMode, Simulation, SlotRecord};

@@ -1,0 +1,190 @@
+//! The evaluation metrics of Section 7.
+
+use heb_units::{Joules, Ratio, Seconds, Watts};
+
+/// Aggregated results of one simulation run — the paper's four headline
+/// metrics plus the raw energy accounting they derive from.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimReport {
+    /// Simulated time covered.
+    pub sim_time: Seconds,
+    /// Energy buffers delivered to servers.
+    pub buffer_delivered: Joules,
+    /// Energy drained out of buffer stores (delivered + discharge loss).
+    pub buffer_drained: Joules,
+    /// Energy dissipated while discharging buffers.
+    pub discharge_loss: Joules,
+    /// Energy drawn from sources into buffers while charging.
+    pub charge_drawn: Joules,
+    /// Energy actually stored while charging.
+    pub charge_stored: Joules,
+    /// Energy dissipated while charging.
+    pub charge_loss: Joules,
+    /// Energy dissipated in the architecture's conversion stages
+    /// (Figure 7: double conversion, inverters, rectifiers).
+    pub conversion_loss: Joules,
+    /// Energy supplied directly by the utility feed.
+    pub utility_supplied: Joules,
+    /// Highest power the utility meter registered (what a demand charge
+    /// bills on).
+    pub utility_peak: Watts,
+    /// Renewable energy generated (solar mode only).
+    pub renewable_generated: Joules,
+    /// Renewable energy put to use — load plus storage (solar mode).
+    pub renewable_used: Joules,
+    /// Aggregated server downtime (the paper's SD metric).
+    pub server_downtime: Seconds,
+    /// Server off→on cycles performed.
+    pub server_restarts: u64,
+    /// Demand energy that went unserved because servers were shed.
+    pub unserved_energy: Joules,
+    /// Boot energy burned by power-capping off/on cycles (Figure 3's
+    /// "server on/off" waste), chargeable to the management scheme.
+    pub restart_waste: Joules,
+    /// Number of shedding events.
+    pub shed_events: u64,
+    /// Projected battery lifetime under the observed usage; `None` when
+    /// the configuration has no battery pool.
+    pub battery_lifetime: Option<Seconds>,
+    /// Fraction of battery lifetime budget consumed during the run.
+    pub battery_life_used: Ratio,
+    /// Control slots executed.
+    pub slots: u64,
+    /// PAT entries at the end of the run (0 for non-PAT policies).
+    pub pat_entries: usize,
+    /// Relay actuations performed by the switch fabric.
+    pub relay_actuations: u64,
+}
+
+impl SimReport {
+    /// The paper's *energy efficiency* metric: the fraction of the
+    /// energy a power-management scheme handled that did useful work —
+    /// `delivered / (delivered + charge losses + discharge losses +
+    /// restart waste)`. The restart term charges the scheme for the
+    /// boot energy its power-capping shutdowns burn, exactly the
+    /// "server on/off" waste the paper's Figure 3 accounts.
+    ///
+    /// Returns `Ratio::ONE` for a run in which the buffers were never
+    /// used (nothing was wasted).
+    #[must_use]
+    pub fn energy_efficiency(&self) -> Ratio {
+        let useful = self.buffer_delivered.get();
+        let wasted = self.charge_loss.get()
+            + self.discharge_loss.get()
+            + self.restart_waste.get()
+            + self.conversion_loss.get();
+        if useful + wasted <= 0.0 {
+            Ratio::ONE
+        } else {
+            Ratio::new_clamped(useful / (useful + wasted))
+        }
+    }
+
+    /// Renewable-energy utilisation: `(ΣB_RE + ΣL_RE) / ΣS_RE`
+    /// (Section 2.2). `Ratio::ONE` when no renewable generation was
+    /// simulated.
+    #[must_use]
+    pub fn reu(&self) -> Ratio {
+        if self.renewable_generated.get() <= 0.0 {
+            Ratio::ONE
+        } else {
+            Ratio::new_clamped(self.renewable_used / self.renewable_generated)
+        }
+    }
+
+    /// Downtime as a fraction of total server-time, given the fleet
+    /// size.
+    #[must_use]
+    pub fn downtime_fraction(&self, servers: usize) -> Ratio {
+        let total = self.sim_time.get() * servers as f64;
+        if total <= 0.0 {
+            Ratio::ZERO
+        } else {
+            Ratio::new_clamped(self.server_downtime.get() / total)
+        }
+    }
+
+    /// Battery lifetime in years (convenience for reports); `None` when
+    /// there is no battery pool.
+    #[must_use]
+    pub fn battery_lifetime_years(&self) -> Option<f64> {
+        self.battery_lifetime
+            .map(|s| s.as_hours() / (24.0 * 365.0))
+    }
+}
+
+impl core::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "simulated {:.1} h", self.sim_time.as_hours())?;
+        writeln!(
+            f,
+            "  buffer: delivered {:.1} Wh, eff {:.1}",
+            self.buffer_delivered.as_watt_hours().get(),
+            self.energy_efficiency()
+        )?;
+        writeln!(
+            f,
+            "  downtime {:.0} s over {} shed events, {} restarts",
+            self.server_downtime.get(),
+            self.shed_events,
+            self.server_restarts
+        )?;
+        if let Some(years) = self.battery_lifetime_years() {
+            writeln!(f, "  battery lifetime projection {years:.1} y")?;
+        }
+        if self.renewable_generated.get() > 0.0 {
+            writeln!(f, "  REU {:.1}", self.reu())?;
+        }
+        write!(f, "  slots {}, PAT entries {}", self.slots, self.pat_entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_of_unused_buffers_is_one() {
+        let r = SimReport::default();
+        assert_eq!(r.energy_efficiency(), Ratio::ONE);
+        assert_eq!(r.reu(), Ratio::ONE);
+    }
+
+    #[test]
+    fn efficiency_accounts_both_loss_sides() {
+        let r = SimReport {
+            buffer_delivered: Joules::new(800.0),
+            charge_loss: Joules::new(100.0),
+            discharge_loss: Joules::new(100.0),
+            ..SimReport::default()
+        };
+        assert!((r.energy_efficiency().get() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reu_ratio() {
+        let r = SimReport {
+            renewable_generated: Joules::new(1000.0),
+            renewable_used: Joules::new(650.0),
+            ..SimReport::default()
+        };
+        assert!((r.reu().get() - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downtime_fraction() {
+        let r = SimReport {
+            sim_time: Seconds::new(100.0),
+            server_downtime: Seconds::new(30.0),
+            ..SimReport::default()
+        };
+        assert!((r.downtime_fraction(6).get() - 0.05).abs() < 1e-12);
+        assert_eq!(r.downtime_fraction(0), Ratio::ZERO);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let out = SimReport::default().to_string();
+        assert!(out.contains("simulated"));
+    }
+}

@@ -1,0 +1,320 @@
+//! The power allocation table (PAT) of Figure 10.
+//!
+//! The PAT answers: given how much energy each pool holds and how big
+//! the predicted mismatch is, what fraction `R_λ` of buffer-powered
+//! servers should ride on super-capacitors? Keys are coarse buckets
+//! (the paper "formats" results before insertion to bound table size);
+//! misses fall back to the nearest stored entry (the paper's
+//! `Similar(...)` search); and at the end of every slot the controller
+//! either inserts a new entry or nudges the hit entry by `±Δr`
+//! depending on which pool drained faster than expected.
+
+use heb_units::{Joules, Ratio, Watts};
+use std::collections::HashMap;
+
+/// A bucketed PAT key: (SC level, battery level, mismatch) in grid
+/// units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatKey {
+    /// SC available energy, in energy-bucket units.
+    pub sc_bucket: i64,
+    /// Battery available energy, in energy-bucket units.
+    pub ba_bucket: i64,
+    /// Predicted mismatch, in power-bucket units.
+    pub pm_bucket: i64,
+}
+
+/// A stored allocation with bookkeeping for the update rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatEntry {
+    /// The stored load-assignment ratio.
+    pub r_lambda: Ratio,
+    /// How many slots have hit this entry (diagnostics).
+    pub hits: u64,
+}
+
+/// The lookup table.
+///
+/// # Examples
+///
+/// ```
+/// use heb_core::PowerAllocationTable;
+/// use heb_units::{Joules, Ratio, Watts};
+///
+/// let mut pat = PowerAllocationTable::new(
+///     Joules::from_watt_hours(10.0),
+///     Watts::new(20.0),
+///     Ratio::new_clamped(0.01),
+/// );
+/// let key = pat.key(
+///     Joules::from_watt_hours(45.0),
+///     Joules::from_watt_hours(105.0),
+///     Watts::new(120.0),
+/// );
+/// pat.insert(key, Ratio::new_clamped(0.4));
+/// assert_eq!(pat.lookup(key).unwrap().get(), 0.4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerAllocationTable {
+    entries: HashMap<PatKey, PatEntry>,
+    energy_bucket: Joules,
+    power_bucket: Watts,
+    delta_r: Ratio,
+}
+
+impl PowerAllocationTable {
+    /// Creates an empty table with the given bucket widths and update
+    /// step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bucket width is not positive.
+    #[must_use]
+    pub fn new(energy_bucket: Joules, power_bucket: Watts, delta_r: Ratio) -> Self {
+        assert!(energy_bucket.get() > 0.0, "energy bucket must be positive");
+        assert!(power_bucket.get() > 0.0, "power bucket must be positive");
+        Self {
+            entries: HashMap::new(),
+            energy_bucket,
+            power_bucket,
+            delta_r,
+        }
+    }
+
+    /// Buckets raw state into a key (the paper's `Round(...)`).
+    #[must_use]
+    pub fn key(&self, sc: Joules, ba: Joules, pm: Watts) -> PatKey {
+        PatKey {
+            sc_bucket: (sc.get() / self.energy_bucket.get()).round() as i64,
+            ba_bucket: (ba.get() / self.energy_bucket.get()).round() as i64,
+            pm_bucket: (pm.get() / self.power_bucket.get()).round() as i64,
+        }
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Exact lookup (Figure 10 lines 2–6).
+    #[must_use]
+    pub fn lookup(&self, key: PatKey) -> Option<Ratio> {
+        self.entries.get(&key).map(|e| e.r_lambda)
+    }
+
+    /// Exact-then-similar lookup (lines 2–10): on a miss, returns the
+    /// entry with the smallest squared bucket distance, ties broken by
+    /// insertion-independent ordering on the key.
+    #[must_use]
+    pub fn lookup_similar(&self, key: PatKey) -> Option<(PatKey, Ratio)> {
+        if let Some(r) = self.lookup(key) {
+            return Some((key, r));
+        }
+        self.entries
+            .iter()
+            .min_by_key(|(k, _)| {
+                let d_sc = k.sc_bucket - key.sc_bucket;
+                let d_ba = k.ba_bucket - key.ba_bucket;
+                let d_pm = k.pm_bucket - key.pm_bucket;
+                (
+                    d_sc * d_sc + d_ba * d_ba + d_pm * d_pm,
+                    k.sc_bucket,
+                    k.ba_bucket,
+                    k.pm_bucket,
+                )
+            })
+            .map(|(k, e)| (*k, e.r_lambda))
+    }
+
+    /// Inserts a new entry (lines 13–15). Overwrites an existing one.
+    pub fn insert(&mut self, key: PatKey, r_lambda: Ratio) {
+        self.entries.insert(
+            key,
+            PatEntry {
+                r_lambda: r_lambda.clamp_unit(),
+                hits: 0,
+            },
+        );
+    }
+
+    /// The slot-end update (lines 16–23): compares how the SC:battery
+    /// energy ratio evolved over the slot against the starting ratio
+    /// and nudges `R_λ` by `±Δr`.
+    ///
+    /// * Ratio grew (battery drained relatively faster than expected) →
+    ///   shift more load onto SCs: `R_λ += Δr`.
+    /// * Ratio shrank → shift load back to batteries: `R_λ −= Δr`.
+    ///
+    /// No-op when the key is absent (callers insert first).
+    pub fn update(
+        &mut self,
+        key: PatKey,
+        sc_start: Joules,
+        ba_start: Joules,
+        sc_end: Joules,
+        ba_end: Joules,
+    ) {
+        let Some(entry) = self.entries.get_mut(&key) else {
+            return;
+        };
+        entry.hits += 1;
+        let start_ratio = safe_ratio(sc_start, ba_start);
+        let end_ratio = safe_ratio(sc_end, ba_end);
+        let dr = self.delta_r.get();
+        let r = entry.r_lambda.get();
+        if end_ratio > start_ratio {
+            entry.r_lambda = Ratio::new_clamped(r + dr);
+        } else if end_ratio < start_ratio {
+            entry.r_lambda = Ratio::new_clamped(r - dr);
+        }
+    }
+
+    /// Diagnostics view of an entry.
+    #[must_use]
+    pub fn entry(&self, key: PatKey) -> Option<&PatEntry> {
+        self.entries.get(&key)
+    }
+
+    /// Iterates all `(key, entry)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (&PatKey, &PatEntry)> {
+        self.entries.iter()
+    }
+}
+
+/// SC:battery energy ratio with an empty-battery guard: an empty
+/// battery pool maps to +∞ so the comparison still orders correctly.
+fn safe_ratio(sc: Joules, ba: Joules) -> f64 {
+    if ba.get() <= 1e-9 {
+        if sc.get() <= 1e-9 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        sc.get() / ba.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PowerAllocationTable {
+        PowerAllocationTable::new(
+            Joules::from_watt_hours(10.0),
+            Watts::new(20.0),
+            Ratio::new_clamped(0.01),
+        )
+    }
+
+    fn wh(x: f64) -> Joules {
+        Joules::from_watt_hours(x)
+    }
+
+    #[test]
+    fn bucketing_rounds_to_grid() {
+        let pat = table();
+        let a = pat.key(wh(42.0), wh(102.0), Watts::new(118.0));
+        let b = pat.key(wh(44.0), wh(104.0), Watts::new(122.0));
+        assert_eq!(a, b, "nearby states share a bucket");
+        let c = pat.key(wh(75.0), wh(104.0), Watts::new(118.0));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let mut pat = table();
+        let key = pat.key(wh(40.0), wh(100.0), Watts::new(120.0));
+        assert!(pat.lookup(key).is_none());
+        pat.insert(key, Ratio::new_clamped(0.35));
+        assert_eq!(pat.lookup(key).unwrap().get(), 0.35);
+        assert_eq!(pat.len(), 1);
+    }
+
+    #[test]
+    fn similar_search_finds_nearest() {
+        let mut pat = table();
+        let near = pat.key(wh(40.0), wh(100.0), Watts::new(120.0));
+        let far = pat.key(wh(10.0), wh(20.0), Watts::new(40.0));
+        pat.insert(near, Ratio::new_clamped(0.4));
+        pat.insert(far, Ratio::new_clamped(0.9));
+        let probe = pat.key(wh(50.0), wh(100.0), Watts::new(120.0));
+        let (hit, r) = pat.lookup_similar(probe).unwrap();
+        assert_eq!(hit, near);
+        assert_eq!(r.get(), 0.4);
+    }
+
+    #[test]
+    fn similar_search_on_empty_table_is_none() {
+        let pat = table();
+        let probe = pat.key(wh(1.0), wh(1.0), Watts::new(1.0));
+        assert!(pat.lookup_similar(probe).is_none());
+    }
+
+    #[test]
+    fn update_nudges_toward_sc_when_battery_drains_fast() {
+        let mut pat = table();
+        let key = pat.key(wh(40.0), wh(100.0), Watts::new(120.0));
+        pat.insert(key, Ratio::new_clamped(0.30));
+        // Battery fell 100→60 Wh, SC 40→35: ratio rose 0.4→0.58.
+        pat.update(key, wh(40.0), wh(100.0), wh(35.0), wh(60.0));
+        assert!((pat.lookup(key).unwrap().get() - 0.31).abs() < 1e-12);
+        assert_eq!(pat.entry(key).unwrap().hits, 1);
+    }
+
+    #[test]
+    fn update_nudges_toward_battery_when_sc_drains_fast() {
+        let mut pat = table();
+        let key = pat.key(wh(40.0), wh(100.0), Watts::new(120.0));
+        pat.insert(key, Ratio::new_clamped(0.30));
+        // SC fell 40→10, battery 100→95: ratio fell.
+        pat.update(key, wh(40.0), wh(100.0), wh(10.0), wh(95.0));
+        assert!((pat.lookup(key).unwrap().get() - 0.29).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_is_noop_for_unchanged_ratio_or_missing_key() {
+        let mut pat = table();
+        let key = pat.key(wh(40.0), wh(100.0), Watts::new(120.0));
+        pat.update(key, wh(40.0), wh(100.0), wh(20.0), wh(50.0));
+        assert!(pat.is_empty(), "missing key must not be created");
+        pat.insert(key, Ratio::new_clamped(0.5));
+        // Equal drain keeps the ratio: 40/100 == 20/50.
+        pat.update(key, wh(40.0), wh(100.0), wh(20.0), wh(50.0));
+        assert_eq!(pat.lookup(key).unwrap().get(), 0.5);
+    }
+
+    #[test]
+    fn update_clamps_at_unit_interval() {
+        let mut pat = table();
+        let key = pat.key(wh(40.0), wh(100.0), Watts::new(120.0));
+        pat.insert(key, Ratio::new_clamped(0.995));
+        for _ in 0..5 {
+            pat.update(key, wh(40.0), wh(100.0), wh(40.0), wh(50.0));
+        }
+        assert_eq!(pat.lookup(key).unwrap().get(), 1.0);
+    }
+
+    #[test]
+    fn empty_battery_counts_as_infinite_ratio() {
+        let mut pat = table();
+        let key = pat.key(wh(40.0), wh(100.0), Watts::new(120.0));
+        pat.insert(key, Ratio::new_clamped(0.5));
+        // Battery hit empty during the slot: ratio -> infinity -> +Δr.
+        pat.update(key, wh(40.0), wh(100.0), wh(30.0), wh(0.0));
+        assert!((pat.lookup(key).unwrap().get() - 0.51).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "energy bucket")]
+    fn zero_bucket_panics() {
+        let _ = PowerAllocationTable::new(Joules::zero(), Watts::new(1.0), Ratio::ZERO);
+    }
+}

@@ -1,0 +1,218 @@
+//! The six power-management schemes of Table 2.
+
+/// Which pool a discharge request tries first, and whether the other
+/// pool backs it up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DischargePriority {
+    /// Battery only (`BaOnly`): no SC pool exists.
+    BatteryOnly,
+    /// Battery first, SC as overflow (`BaFirst`).
+    BatteryThenSc,
+    /// SC first, battery as overflow (`SCFirst`, and HEB small peaks).
+    ScThenBattery,
+    /// Split by `R_λ` with mutual overflow (HEB large peaks).
+    Split,
+}
+
+/// Which pool absorbs charging headroom first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChargePriority {
+    /// Battery only.
+    BatteryOnly,
+    /// Battery first, then SC.
+    BatteryThenSc,
+    /// SC first, then battery — the choice that captures deep renewable
+    /// valleys (SCs have no charge-current bound).
+    ScThenBattery,
+}
+
+/// The controller's slot-level classification of the predicted peak
+/// (Section 5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeakSize {
+    /// Mild and short: SCs handle it alone (`R_λ = 1`).
+    Small,
+    /// Significant and long: batteries and SCs share it (`0 < R_λ < 1`).
+    Large,
+}
+
+/// The evaluated power-management schemes (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PolicyKind {
+    /// Homogeneous batteries only — the prior-work baseline.
+    BaOnly,
+    /// Hybrid, battery-priority, no load-aware assignment.
+    BaFirst,
+    /// Hybrid, SC-priority, no load-aware assignment.
+    ScFirst,
+    /// Load-aware assignment driven by *last slot's* demand (naive
+    /// forecasting).
+    HebF,
+    /// Load-aware assignment from a static profiling table (no runtime
+    /// optimisation).
+    HebS,
+    /// The full dynamic framework: Holt-Winters prediction + PAT with
+    /// `Δr` self-optimisation.
+    #[default]
+    HebD,
+}
+
+impl PolicyKind {
+    /// All six schemes, in Table 2 order.
+    pub const ALL: [PolicyKind; 6] = [
+        PolicyKind::BaOnly,
+        PolicyKind::BaFirst,
+        PolicyKind::ScFirst,
+        PolicyKind::HebF,
+        PolicyKind::HebS,
+        PolicyKind::HebD,
+    ];
+
+    /// Display name matching the paper's Table 2.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::BaOnly => "BaOnly",
+            PolicyKind::BaFirst => "BaFirst",
+            PolicyKind::ScFirst => "SCFirst",
+            PolicyKind::HebF => "HEB-F",
+            PolicyKind::HebS => "HEB-S",
+            PolicyKind::HebD => "HEB-D",
+        }
+    }
+
+    /// Whether the scheme provisions any super-capacitors.
+    #[must_use]
+    pub fn is_hybrid(self) -> bool {
+        !matches!(self, PolicyKind::BaOnly)
+    }
+
+    /// Whether the scheme consults the power allocation table.
+    #[must_use]
+    pub fn uses_pat(self) -> bool {
+        matches!(self, PolicyKind::HebF | PolicyKind::HebS | PolicyKind::HebD)
+    }
+
+    /// Whether the scheme updates the PAT at slot end.
+    #[must_use]
+    pub fn optimizes_pat(self) -> bool {
+        matches!(self, PolicyKind::HebF | PolicyKind::HebD)
+    }
+
+    /// Whether the scheme predicts with Holt-Winters (vs last-value).
+    #[must_use]
+    pub fn uses_holt_winters(self) -> bool {
+        matches!(self, PolicyKind::HebS | PolicyKind::HebD)
+    }
+
+    /// The scheme's charging-priority rule.
+    #[must_use]
+    pub fn charge_priority(self) -> ChargePriority {
+        match self {
+            PolicyKind::BaOnly => ChargePriority::BatteryOnly,
+            PolicyKind::BaFirst => ChargePriority::BatteryThenSc,
+            // SC-first charging is shared by SCFirst and all HEB
+            // variants (Section 7.4: "SCFirst and HEB always utilize SC
+            // first to absorb renewable energy").
+            PolicyKind::ScFirst | PolicyKind::HebF | PolicyKind::HebS | PolicyKind::HebD => {
+                ChargePriority::ScThenBattery
+            }
+        }
+    }
+
+    /// The scheme's discharge rule for a peak classified as `size`.
+    #[must_use]
+    pub fn discharge_priority(self, size: PeakSize) -> DischargePriority {
+        match self {
+            PolicyKind::BaOnly => DischargePriority::BatteryOnly,
+            PolicyKind::BaFirst => DischargePriority::BatteryThenSc,
+            PolicyKind::ScFirst => DischargePriority::ScThenBattery,
+            PolicyKind::HebF | PolicyKind::HebS | PolicyKind::HebD => match size {
+                PeakSize::Small => DischargePriority::ScThenBattery,
+                PeakSize::Large => DischargePriority::Split,
+            },
+        }
+    }
+}
+
+impl core::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_six_schemes() {
+        assert_eq!(PolicyKind::ALL.len(), 6);
+        let mut names: Vec<_> = PolicyKind::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn only_ba_only_is_homogeneous() {
+        for p in PolicyKind::ALL {
+            assert_eq!(p.is_hybrid(), p != PolicyKind::BaOnly);
+        }
+    }
+
+    #[test]
+    fn pat_usage_matrix() {
+        assert!(!PolicyKind::BaOnly.uses_pat());
+        assert!(!PolicyKind::ScFirst.uses_pat());
+        assert!(PolicyKind::HebS.uses_pat());
+        assert!(!PolicyKind::HebS.optimizes_pat());
+        assert!(PolicyKind::HebD.uses_pat());
+        assert!(PolicyKind::HebD.optimizes_pat());
+        assert!(PolicyKind::HebF.optimizes_pat());
+        assert!(!PolicyKind::HebF.uses_holt_winters());
+        assert!(PolicyKind::HebD.uses_holt_winters());
+    }
+
+    #[test]
+    fn heb_small_peaks_go_to_sc() {
+        assert_eq!(
+            PolicyKind::HebD.discharge_priority(PeakSize::Small),
+            DischargePriority::ScThenBattery
+        );
+        assert_eq!(
+            PolicyKind::HebD.discharge_priority(PeakSize::Large),
+            DischargePriority::Split
+        );
+    }
+
+    #[test]
+    fn fixed_priority_schemes_ignore_peak_size() {
+        for size in [PeakSize::Small, PeakSize::Large] {
+            assert_eq!(
+                PolicyKind::BaFirst.discharge_priority(size),
+                DischargePriority::BatteryThenSc
+            );
+            assert_eq!(
+                PolicyKind::ScFirst.discharge_priority(size),
+                DischargePriority::ScThenBattery
+            );
+            assert_eq!(
+                PolicyKind::BaOnly.discharge_priority(size),
+                DischargePriority::BatteryOnly
+            );
+        }
+    }
+
+    #[test]
+    fn charging_priorities() {
+        assert_eq!(PolicyKind::BaOnly.charge_priority(), ChargePriority::BatteryOnly);
+        assert_eq!(
+            PolicyKind::BaFirst.charge_priority(),
+            ChargePriority::BatteryThenSc
+        );
+        for p in [PolicyKind::ScFirst, PolicyKind::HebF, PolicyKind::HebS, PolicyKind::HebD] {
+            assert_eq!(p.charge_priority(), ChargePriority::ScThenBattery);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Parallel composition of identical devices into a dispatchable pool.
+//!
+//! The HEB architecture (Figure 8) pools batteries into a battery bank
+//! and super-capacitor modules into an SC pool; the controller addresses
+//! each pool as one logical buffer. [`Bank`] implements that aggregation:
+//! power requests are split across member devices proportionally to what
+//! each can serve, with a redistribution pass so that one depleted member
+//! does not strand capacity held by its siblings.
+
+use crate::device::{ChargeResult, DischargeResult, StorageDevice};
+use heb_units::{Joules, Seconds, Volts, Watts};
+
+/// A pool of identical storage devices dispatched as one logical buffer.
+///
+/// # Examples
+///
+/// ```
+/// use heb_esd::{Bank, StorageDevice, SuperCapacitor};
+/// use heb_units::{Seconds, Watts};
+///
+/// let mut pool = Bank::new(
+///     (0..3).map(|_| SuperCapacitor::prototype_module()).collect::<Vec<_>>(),
+/// );
+/// assert_eq!(pool.len(), 3);
+/// let r = pool.discharge(Watts::new(300.0), Seconds::new(1.0));
+/// assert!(r.delivered.get() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bank<D> {
+    devices: Vec<D>,
+}
+
+impl<D: StorageDevice> Bank<D> {
+    /// Creates a bank from member devices. An empty bank is legal and
+    /// behaves as a zero-capacity buffer (useful for `BaOnly`-style
+    /// configurations with no SC pool).
+    #[must_use]
+    pub fn new(devices: Vec<D>) -> Self {
+        Self { devices }
+    }
+
+    /// An empty, zero-capacity bank.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            devices: Vec::new(),
+        }
+    }
+
+    /// Number of member devices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the bank has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Immutable view of the member devices.
+    #[must_use]
+    pub fn devices(&self) -> &[D] {
+        &self.devices
+    }
+
+    /// Mutable view of the member devices (for experiment setup such as
+    /// presetting SoC).
+    pub fn devices_mut(&mut self) -> &mut [D] {
+        &mut self.devices
+    }
+
+    /// Adds a device to the pool (the architecture's scale-out knob).
+    pub fn push(&mut self, device: D) {
+        self.devices.push(device);
+    }
+
+    /// Splits `total` across members proportionally to `weight`, calls
+    /// `f` per member, and re-offers any shortfall to members the first
+    /// pass did not touch. A member is driven **at most once per call**
+    /// — each `f` invocation advances that device's internal clock by
+    /// `dt`, so re-offering to an already-driven member would make it
+    /// live two ticks in one. Members never driven this call idle
+    /// instead (battery recovery keeps flowing).
+    fn dispatch<R: Copy + Default>(
+        &mut self,
+        total: Watts,
+        dt: Seconds,
+        weight: impl Fn(&D) -> Watts,
+        mut f: impl FnMut(&mut D, Watts, Seconds) -> R,
+        realized: impl Fn(&R) -> Watts,
+        mut absorb: impl FnMut(&mut R, R),
+    ) -> R {
+        let mut acc = R::default();
+        if self.devices.is_empty() {
+            return acc;
+        }
+        if total.get() <= 0.0 {
+            self.idle(dt);
+            return acc;
+        }
+        let weights: Vec<Watts> = self.devices.iter().map(&weight).collect();
+        let cap: Watts = weights.iter().copied().sum();
+        let mut used = vec![false; self.devices.len()];
+        let mut remaining = total;
+        // Pass 1: proportional split by capability.
+        if cap.get() > 0.0 {
+            for (idx, device) in self.devices.iter_mut().enumerate() {
+                let share = total * (weights[idx] / cap);
+                let share = share.min(remaining);
+                if share.get() <= 0.0 {
+                    continue;
+                }
+                let r = f(device, share, dt);
+                used[idx] = true;
+                remaining -= realized(&r);
+                absorb(&mut acc, r);
+                if remaining.get() <= 1e-9 {
+                    break;
+                }
+            }
+        }
+        // Pass 2: offer the shortfall to members pass 1 never drove.
+        if remaining.get() > 1e-9 {
+            for (idx, device) in self.devices.iter_mut().enumerate() {
+                if used[idx] {
+                    continue;
+                }
+                let r = f(device, remaining, dt);
+                used[idx] = true;
+                remaining -= realized(&r);
+                absorb(&mut acc, r);
+                if remaining.get() <= 1e-9 {
+                    break;
+                }
+            }
+        }
+        // Untouched members idle so their internal clocks stay aligned.
+        for (idx, device) in self.devices.iter_mut().enumerate() {
+            if !used[idx] {
+                device.idle(dt);
+            }
+        }
+        acc
+    }
+}
+
+impl<D: StorageDevice> StorageDevice for Bank<D> {
+    fn usable_capacity(&self) -> Joules {
+        self.devices.iter().map(StorageDevice::usable_capacity).sum()
+    }
+
+    fn available_energy(&self) -> Joules {
+        self.devices.iter().map(StorageDevice::available_energy).sum()
+    }
+
+    fn headroom(&self) -> Joules {
+        self.devices.iter().map(StorageDevice::headroom).sum()
+    }
+
+    fn max_discharge_power(&self) -> Watts {
+        self.devices
+            .iter()
+            .map(StorageDevice::max_discharge_power)
+            .sum()
+    }
+
+    fn max_charge_power(&self) -> Watts {
+        self.devices
+            .iter()
+            .map(StorageDevice::max_charge_power)
+            .sum()
+    }
+
+    fn open_circuit_voltage(&self) -> Volts {
+        // Members are paralleled behind per-device converters; report the
+        // mean member voltage as the pool telemetry value.
+        if self.devices.is_empty() {
+            return Volts::zero();
+        }
+        let sum: Volts = self
+            .devices
+            .iter()
+            .map(StorageDevice::open_circuit_voltage)
+            .sum();
+        sum / self.devices.len() as f64
+    }
+
+    fn loaded_voltage(&self, load: Watts) -> Volts {
+        if self.devices.is_empty() {
+            return Volts::zero();
+        }
+        let share = load / self.devices.len() as f64;
+        let sum: Volts = self
+            .devices
+            .iter()
+            .map(|d| d.loaded_voltage(share))
+            .sum();
+        sum / self.devices.len() as f64
+    }
+
+    fn discharge(&mut self, request: Watts, dt: Seconds) -> DischargeResult {
+        if request.get() <= 0.0 {
+            self.idle(dt);
+            return DischargeResult::none();
+        }
+        
+        self.dispatch(
+            request,
+            dt,
+            StorageDevice::max_discharge_power,
+            |d, p, dt| d.discharge(p, dt),
+            |r: &DischargeResult| {
+                if dt.get() > 0.0 {
+                    r.delivered / dt
+                } else {
+                    Watts::zero()
+                }
+            },
+            DischargeResult::absorb,
+        )
+    }
+
+    fn charge(&mut self, offered: Watts, dt: Seconds) -> ChargeResult {
+        if offered.get() <= 0.0 {
+            self.idle(dt);
+            return ChargeResult::none();
+        }
+        self.dispatch(
+            offered,
+            dt,
+            StorageDevice::max_charge_power,
+            |d, p, dt| d.charge(p, dt),
+            |r: &ChargeResult| {
+                if dt.get() > 0.0 {
+                    r.drawn / dt
+                } else {
+                    Watts::zero()
+                }
+            },
+            ChargeResult::absorb,
+        )
+    }
+
+    fn idle(&mut self, dt: Seconds) {
+        for device in &mut self.devices {
+            device.idle(dt);
+        }
+    }
+}
+
+impl<D> FromIterator<D> for Bank<D> {
+    fn from_iter<I: IntoIterator<Item = D>>(iter: I) -> Self {
+        Self {
+            devices: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<D> Extend<D> for Bank<D> {
+    fn extend<I: IntoIterator<Item = D>>(&mut self, iter: I) {
+        self.devices.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LeadAcidBattery, SuperCapacitor};
+    use heb_units::Ratio;
+
+    const TICK: Seconds = Seconds::new(1.0);
+
+    fn sc_bank(n: usize) -> Bank<SuperCapacitor> {
+        (0..n).map(|_| SuperCapacitor::prototype_module()).collect()
+    }
+
+    #[test]
+    fn empty_bank_is_inert() {
+        let mut bank: Bank<SuperCapacitor> = Bank::empty();
+        assert!(bank.is_empty());
+        assert!(bank.usable_capacity().is_zero());
+        assert!(bank.discharge(Watts::new(100.0), TICK).is_empty());
+        assert!(bank.charge(Watts::new(100.0), TICK).is_empty());
+        assert_eq!(bank.open_circuit_voltage(), Volts::zero());
+    }
+
+    #[test]
+    fn capacity_aggregates() {
+        let bank = sc_bank(3);
+        let single = SuperCapacitor::prototype_module();
+        assert!(
+            (bank.usable_capacity().get() - 3.0 * single.usable_capacity().get()).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn discharge_splits_across_members() {
+        let mut bank = sc_bank(2);
+        let r = bank.discharge(Watts::new(200.0), TICK);
+        assert!((r.delivered.get() - 200.0).abs() < 5.0);
+        let socs: Vec<f64> = bank.devices().iter().map(|d| d.soc().get()).collect();
+        assert!((socs[0] - socs[1]).abs() < 1e-6, "equal split expected");
+    }
+
+    #[test]
+    fn shortfall_redistributes_to_charged_members() {
+        let mut bank = sc_bank(2);
+        bank.devices_mut()[0].set_soc(Ratio::ZERO);
+        let r = bank.discharge(Watts::new(200.0), TICK);
+        // Member 1 must cover (nearly) the whole request.
+        assert!(
+            r.delivered.get() > 190.0,
+            "got only {} W·s",
+            r.delivered.get()
+        );
+    }
+
+    #[test]
+    fn charge_respects_member_limits() {
+        let mut bank: Bank<LeadAcidBattery> =
+            (0..2).map(|_| LeadAcidBattery::prototype_string()).collect();
+        for d in bank.devices_mut() {
+            d.set_soc(Ratio::HALF);
+        }
+        let r = bank.charge(Watts::new(10_000.0), TICK);
+        // Two strings at 0.25C (2 A) each accept well under 10 kW.
+        assert!(r.drawn.get() < 300.0);
+        assert!(r.stored.get() > 0.0);
+    }
+
+    #[test]
+    fn bank_of_batteries_recovers_when_idle() {
+        let mut bank: Bank<LeadAcidBattery> =
+            (0..2).map(|_| LeadAcidBattery::prototype_string()).collect();
+        for _ in 0..20_000 {
+            if bank.discharge(Watts::new(400.0), TICK).is_empty() {
+                break;
+            }
+        }
+        let exhausted = bank.max_discharge_power();
+        bank.idle(Seconds::from_hours(1.0));
+        assert!(bank.max_discharge_power() > exhausted);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut bank: Bank<SuperCapacitor> =
+            std::iter::once(SuperCapacitor::prototype_module()).collect();
+        bank.extend(std::iter::once(SuperCapacitor::prototype_module()));
+        bank.push(SuperCapacitor::prototype_module());
+        assert_eq!(bank.len(), 3);
+    }
+}

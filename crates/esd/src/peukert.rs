@@ -1,0 +1,113 @@
+//! Peukert's-law helpers for battery characterisation.
+//!
+//! Peukert's law captures the rate-capacity effect of lead-acid
+//! batteries: at discharge currents above the rating, the *usable*
+//! capacity shrinks — `t = H · (C / (I·H))^k` for a battery rated to
+//! deliver capacity `C` over `H` hours, discharged at current `I`, with
+//! Peukert exponent `k` (≈1.1–1.3 for lead-acid).
+//!
+//! The dynamic simulation uses the kinetic battery model (which exhibits
+//! this effect emergently); these closed-form helpers back the
+//! characterisation analyses behind the paper's Figures 3 and 5 and give
+//! the tests an independent oracle.
+
+use heb_units::{AmpHours, Amps, Seconds};
+
+/// Runtime of a battery rated `capacity` over `rated_hours`, discharged
+/// at constant `current`, with Peukert exponent `k`.
+///
+/// # Panics
+///
+/// Panics if `current`, `capacity`, or `rated_hours` are not positive,
+/// or if `k < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use heb_esd::peukert_runtime;
+/// use heb_units::{AmpHours, Amps, Seconds};
+///
+/// // An 8 Ah (20-hour rate) battery at its rated 0.4 A lasts 20 h...
+/// let t = peukert_runtime(AmpHours::new(8.0), 20.0, Amps::new(0.4), 1.2);
+/// assert!((t.as_hours() - 20.0).abs() < 1e-9);
+/// // ...but at 10x the current it lasts far less than 2 h:
+/// let t = peukert_runtime(AmpHours::new(8.0), 20.0, Amps::new(4.0), 1.2);
+/// assert!(t.as_hours() < 2.0);
+/// ```
+#[must_use]
+pub fn peukert_runtime(capacity: AmpHours, rated_hours: f64, current: Amps, k: f64) -> Seconds {
+    assert!(capacity.get() > 0.0, "capacity must be positive");
+    assert!(rated_hours > 0.0, "rated_hours must be positive");
+    assert!(current.get() > 0.0, "current must be positive");
+    assert!(k >= 1.0, "Peukert exponent must be >= 1");
+    let hours = rated_hours * (capacity.get() / (current.get() * rated_hours)).powf(k);
+    Seconds::from_hours(hours)
+}
+
+/// Effective (usable) capacity at a constant discharge `current`:
+/// `runtime × current`.
+///
+/// At the rated current this equals the nameplate capacity; above it,
+/// the effective capacity falls off with exponent `k − 1`.
+///
+/// # Panics
+///
+/// Same conditions as [`peukert_runtime`].
+///
+/// # Examples
+///
+/// ```
+/// use heb_esd::effective_capacity;
+/// use heb_units::{AmpHours, Amps};
+///
+/// let at_rated = effective_capacity(AmpHours::new(8.0), 20.0, Amps::new(0.4), 1.2);
+/// let at_high = effective_capacity(AmpHours::new(8.0), 20.0, Amps::new(4.0), 1.2);
+/// assert!(at_high < at_rated);
+/// ```
+#[must_use]
+pub fn effective_capacity(capacity: AmpHours, rated_hours: f64, current: Amps, k: f64) -> AmpHours {
+    let t = peukert_runtime(capacity, rated_hours, current, k);
+    AmpHours::new(current.get() * t.as_hours())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rated_current_gives_nameplate_capacity() {
+        let cap = effective_capacity(AmpHours::new(8.0), 20.0, Amps::new(0.4), 1.25);
+        assert!((cap.get() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_monotonically_decreases_with_current() {
+        let mut last = f64::INFINITY;
+        for i in [0.4, 0.8, 1.6, 3.2, 6.4] {
+            let cap = effective_capacity(AmpHours::new(8.0), 20.0, Amps::new(i), 1.2).get();
+            assert!(cap < last, "capacity must fall as current rises");
+            last = cap;
+        }
+    }
+
+    #[test]
+    fn unity_exponent_is_ideal_battery() {
+        // k = 1 means no rate-capacity effect at all.
+        for i in [0.4, 2.0, 8.0] {
+            let cap = effective_capacity(AmpHours::new(8.0), 20.0, Amps::new(i), 1.0);
+            assert!((cap.get() - 8.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "current must be positive")]
+    fn zero_current_panics() {
+        let _ = peukert_runtime(AmpHours::new(8.0), 20.0, Amps::zero(), 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "Peukert exponent")]
+    fn sub_unity_exponent_panics() {
+        let _ = peukert_runtime(AmpHours::new(8.0), 20.0, Amps::new(1.0), 0.9);
+    }
+}

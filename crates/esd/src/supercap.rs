@@ -1,0 +1,474 @@
+//! Super-capacitor model: ideal capacitor + ESR + interface converter.
+//!
+//! Super-capacitors store charge electrostatically, so the model is
+//! simple physics: `Q = C·V`, `E = ½·C·V²`, a linear discharge-voltage
+//! ramp (Figure 5), tiny ohmic ESR losses, and essentially unbounded
+//! charge/discharge current. The measured 90–95 % *system-level*
+//! round-trip efficiency in Figure 3 includes the DC interface and cell
+//! balancing, which the ESR alone would under-state; that overhead is
+//! modelled as a fixed per-direction interface efficiency.
+
+use crate::device::{ChargeResult, DischargeResult, StorageDevice};
+use heb_units::{capacitor_energy, Farads, Joules, Ohms, Ratio, Seconds, Volts, Watts};
+
+/// Parameters of a super-capacitor module or string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuperCapacitorParams {
+    /// Total capacitance.
+    pub capacitance: Farads,
+    /// Rated (maximum) terminal voltage.
+    pub rated_voltage: Volts,
+    /// Lower edge of the usable voltage window. Energy below this is
+    /// stranded (the downstream converter drops out); ½ V_rated leaves
+    /// 75 % of the physical energy usable.
+    pub min_voltage: Volts,
+    /// Equivalent series resistance.
+    pub esr: Ohms,
+    /// One-way efficiency of the DC interface (converter + balancing).
+    pub interface_efficiency: Ratio,
+    /// Hard current limit imposed by wiring/fusing.
+    pub max_current: f64,
+    /// Rated cycle life (full equivalent cycles).
+    pub rated_cycles: f64,
+}
+
+impl SuperCapacitorParams {
+    /// A Maxwell-class 16 V / 600 F module as used on the prototype.
+    #[must_use]
+    pub fn prototype_module() -> Self {
+        Self {
+            capacitance: Farads::new(600.0),
+            rated_voltage: Volts::new(16.0),
+            min_voltage: Volts::new(8.0),
+            esr: Ohms::new(0.003),
+            interface_efficiency: Ratio::new_clamped(0.97),
+            max_current: 500.0,
+            rated_cycles: 1_000_000.0,
+        }
+    }
+
+    /// Prototype module scaled to a different capacitance at the same
+    /// voltage window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacitance` is not positive.
+    #[must_use]
+    pub fn with_capacitance(capacitance: Farads) -> Self {
+        assert!(capacitance.get() > 0.0, "capacitance must be positive");
+        Self {
+            capacitance,
+            ..Self::prototype_module()
+        }
+    }
+
+    /// Same parameters with a different usable-window floor, expressed as
+    /// a fraction of rated voltage (used by DoD sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor` is not within `[0, 1)`.
+    #[must_use]
+    pub fn with_voltage_floor(mut self, floor: Ratio) -> Self {
+        assert!(floor.get() < 1.0, "voltage floor must be below rated");
+        self.min_voltage = self.rated_voltage * floor.get();
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.capacitance.get() > 0.0, "capacitance must be positive");
+        assert!(
+            self.rated_voltage > self.min_voltage,
+            "rated voltage must exceed the usable floor"
+        );
+        assert!(self.min_voltage.get() >= 0.0, "floor must be non-negative");
+        assert!(self.esr.get() >= 0.0, "ESR must be non-negative");
+        assert!(self.max_current > 0.0, "current limit must be positive");
+    }
+}
+
+/// A simulated super-capacitor bank.
+///
+/// # Examples
+///
+/// ```
+/// use heb_esd::{StorageDevice, SuperCapacitor};
+/// use heb_units::{Seconds, Watts};
+///
+/// let mut sc = SuperCapacitor::prototype_module();
+/// let r = sc.discharge(Watts::new(200.0), Seconds::new(10.0));
+/// // Super-capacitors are nearly lossless compared to what they drain:
+/// assert!(r.efficiency().get() > 0.9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuperCapacitor {
+    params: SuperCapacitorParams,
+    /// Terminal (open-circuit) voltage — the single state variable.
+    voltage: Volts,
+    /// Cumulative energy moved in/out, for equivalent-cycle accounting.
+    throughput: Joules,
+}
+
+impl SuperCapacitor {
+    /// Creates a full super-capacitor from `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are inconsistent (see
+    /// [`SuperCapacitorParams`] field docs for the constraints).
+    #[must_use]
+    pub fn new(params: SuperCapacitorParams) -> Self {
+        params.validate();
+        Self {
+            voltage: params.rated_voltage,
+            params,
+            throughput: Joules::zero(),
+        }
+    }
+
+    /// A full Maxwell-class 16 V / 600 F module.
+    #[must_use]
+    pub fn prototype_module() -> Self {
+        Self::new(SuperCapacitorParams::prototype_module())
+    }
+
+    /// The model parameters.
+    #[must_use]
+    pub fn params(&self) -> &SuperCapacitorParams {
+        &self.params
+    }
+
+    /// Sets the stored energy to `soc` of the usable window. Intended for
+    /// experiment setup.
+    pub fn set_soc(&mut self, soc: Ratio) {
+        let e_min = self.floor_energy();
+        let target = e_min + Joules::new(soc.get() * self.usable_capacity().get());
+        // E = ½CV² ⇒ V = sqrt(2E/C).
+        let v = (2.0 * target.get() / self.params.capacitance.get()).sqrt();
+        self.voltage = Volts::new(v);
+    }
+
+    /// Equivalent full charge/discharge cycles performed so far.
+    #[must_use]
+    pub fn equivalent_cycles(&self) -> f64 {
+        let window = self.usable_capacity().get();
+        if window <= 0.0 {
+            0.0
+        } else {
+            self.throughput.get() / (2.0 * window)
+        }
+    }
+
+    /// Fraction of rated cycle life consumed (negligible in practice —
+    /// the paper's premise).
+    #[must_use]
+    pub fn life_used(&self) -> Ratio {
+        Ratio::new_unclamped(self.equivalent_cycles() / self.params.rated_cycles)
+    }
+
+    fn physical_energy(&self) -> Joules {
+        capacitor_energy(self.params.capacitance, self.voltage)
+    }
+
+    fn floor_energy(&self) -> Joules {
+        capacitor_energy(self.params.capacitance, self.params.min_voltage)
+    }
+
+    fn ceiling_energy(&self) -> Joules {
+        capacitor_energy(self.params.capacitance, self.params.rated_voltage)
+    }
+
+    /// Applies an internal energy delta (positive = charge), returning
+    /// the actual delta after window clamping.
+    fn shift_energy(&mut self, delta: Joules) -> Joules {
+        let before = self.physical_energy();
+        let target = (before + delta)
+            .clamp(self.floor_energy(), self.ceiling_energy());
+        let v = (2.0 * target.get() / self.params.capacitance.get()).sqrt();
+        self.voltage = Volts::new(v);
+        target - before
+    }
+}
+
+impl StorageDevice for SuperCapacitor {
+    fn usable_capacity(&self) -> Joules {
+        self.ceiling_energy() - self.floor_energy()
+    }
+
+    fn available_energy(&self) -> Joules {
+        (self.physical_energy() - self.floor_energy()).max(Joules::zero())
+    }
+
+    fn headroom(&self) -> Joules {
+        (self.ceiling_energy() - self.physical_energy()).max(Joules::zero())
+    }
+
+    fn max_discharge_power(&self) -> Watts {
+        if self.is_depleted() {
+            return Watts::zero();
+        }
+        let v = self.voltage.get();
+        let esr = self.params.esr.get();
+        // Current limit and the ESR maximum-power-transfer bound.
+        let p_current = self.params.max_current * (v - self.params.max_current * esr).max(0.0);
+        let p_esr = if esr > 0.0 { v * v / (4.0 * esr) } else { f64::INFINITY };
+        let p = p_current.min(p_esr) * self.params.interface_efficiency.get();
+        Watts::new(p)
+    }
+
+    fn max_charge_power(&self) -> Watts {
+        if self.is_full() {
+            return Watts::zero();
+        }
+        let v = self.voltage.get();
+        let i = self.params.max_current;
+        Watts::new(i * (v + i * self.params.esr.get()) / self.params.interface_efficiency.get().max(1e-6))
+    }
+
+    fn open_circuit_voltage(&self) -> Volts {
+        self.voltage
+    }
+
+    fn loaded_voltage(&self, load: Watts) -> Volts {
+        // V_t = V_oc − i·ESR with i from the quadratic ESR·i² − V·i + P = 0.
+        let v = self.voltage.get();
+        let esr = self.params.esr.get();
+        let p = load.get().max(0.0) / self.params.interface_efficiency.get().max(1e-6);
+        let disc = v * v - 4.0 * esr * p;
+        if disc <= 0.0 {
+            // Beyond maximum power transfer: voltage halves.
+            return Volts::new(v / 2.0);
+        }
+        let i = (v - disc.sqrt()) / (2.0 * esr.max(1e-12));
+        Volts::new(v - i * esr)
+    }
+
+    fn discharge(&mut self, request: Watts, dt: Seconds) -> DischargeResult {
+        let dt_s = dt.get();
+        if dt_s <= 0.0 || request.get() <= 0.0 || self.is_depleted() {
+            return DischargeResult::none();
+        }
+        let eta = self.params.interface_efficiency.get();
+        // Average net power that must appear at the interface input.
+        let p_cell_needed = request.get() / eta.max(1e-6);
+        let v = self.voltage.get();
+        let esr = self.params.esr.get();
+        // Over the step the OCV itself declines by i·dt/C, so the average
+        // sag per amp is the ESR plus half that ramp. Solving
+        // i·(V − i·r_step) = P keeps delivered power equal to the request
+        // whenever the device is not limited.
+        let r_step = esr + 0.5 * dt_s / self.params.capacitance.get();
+        let p_max = v * v / (4.0 * r_step);
+        let p_cell = p_cell_needed.min(p_max);
+        let disc = (v * v - 4.0 * r_step * p_cell).max(0.0);
+        let i = (v - disc.sqrt()) / (2.0 * r_step);
+        let i = i.min(self.params.max_current);
+        // Internal energy that would leave the cell this step.
+        let internal = i * (v - 0.5 * i * dt_s / self.params.capacitance.get()) * dt_s;
+        let internal = Joules::new(internal.max(0.0)).min(self.available_energy());
+        let actual = -self.shift_energy(-internal);
+        let ohmic = Joules::new(i * i * esr * dt_s).min(actual);
+        let at_terminals = actual - ohmic;
+        let delivered = at_terminals * eta;
+        self.throughput += actual;
+        DischargeResult {
+            delivered,
+            drained: actual,
+            loss: actual - delivered,
+        }
+    }
+
+    fn charge(&mut self, offered: Watts, dt: Seconds) -> ChargeResult {
+        let dt_s = dt.get();
+        if dt_s <= 0.0 || offered.get() <= 0.0 || self.is_full() {
+            return ChargeResult::none();
+        }
+        let eta = self.params.interface_efficiency.get();
+        let v = self.voltage.get();
+        let esr = self.params.esr.get();
+        // Power reaching the cell terminals after the interface.
+        let p_cell = offered.get() * eta;
+        // Mirror of the discharge solve: the OCV rises by i·dt/C over the
+        // step, so the average overpotential per amp is ESR plus half the
+        // ramp. Solving i·(V + i·r_step) = P makes drawn ≈ offered when
+        // unconstrained.
+        let r_step = esr + 0.5 * dt_s / self.params.capacitance.get();
+        let i = ((v * v + 4.0 * r_step * p_cell).sqrt() - v) / (2.0 * r_step);
+        let i = i.min(self.params.max_current);
+        let ohmic = i * i * esr * dt_s;
+        let into_cell = (i * v * dt_s + 0.5 * i * i * dt_s * dt_s / self.params.capacitance.get())
+            .min(self.headroom().get());
+        let stored = self.shift_energy(Joules::new(into_cell));
+        // Energy drawn from the source to achieve this store.
+        let drawn = Joules::new((stored.get() + ohmic) / eta.max(1e-6));
+        self.throughput += stored;
+        ChargeResult {
+            drawn,
+            stored,
+            loss: drawn - stored,
+        }
+    }
+
+    fn idle(&mut self, _dt: Seconds) {
+        // Self-discharge is negligible on control-loop timescales.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Seconds = Seconds::new(1.0);
+
+    #[test]
+    fn starts_full_with_expected_window() {
+        let sc = SuperCapacitor::prototype_module();
+        // ½·600·16² = 76.8 kJ total, window floor at 8 V strands 25 %.
+        assert!((sc.usable_capacity().get() - 0.75 * 76_800.0).abs() < 1.0);
+        assert!((sc.soc().get() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_voltage_decline() {
+        // Equal charge increments produce equal voltage decrements.
+        let mut sc = SuperCapacitor::prototype_module();
+        let mut voltages = vec![sc.open_circuit_voltage().get()];
+        for _ in 0..5 {
+            // Draw a fixed slug of charge (constant current, not power).
+            let i = 20.0;
+            let dq = i * 10.0;
+            let v = sc.open_circuit_voltage().get();
+            let de = dq * v - 0.5 * dq * dq / 600.0;
+            sc.shift_energy(Joules::new(-de));
+            voltages.push(sc.open_circuit_voltage().get());
+        }
+        let drops: Vec<f64> = voltages.windows(2).map(|w| w[0] - w[1]).collect();
+        for pair in drops.windows(2) {
+            assert!(
+                (pair[0] - pair[1]).abs() < 0.01,
+                "voltage decline should be linear in charge: {drops:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_efficiency_in_sc_band() {
+        let mut sc = SuperCapacitor::prototype_module();
+        sc.set_soc(Ratio::ZERO);
+        let mut drawn = Joules::zero();
+        while !sc.is_full() {
+            let r = sc.charge(Watts::new(150.0), TICK);
+            if r.is_empty() {
+                break;
+            }
+            drawn += r.drawn;
+        }
+        let mut delivered = Joules::zero();
+        while !sc.is_depleted() {
+            let r = sc.discharge(Watts::new(150.0), TICK);
+            if r.is_empty() {
+                break;
+            }
+            delivered += r.delivered;
+        }
+        let eta = delivered.get() / drawn.get();
+        assert!(
+            (0.88..0.97).contains(&eta),
+            "SC round trip should be 90–95 %, got {eta}"
+        );
+    }
+
+    #[test]
+    fn discharge_conservation() {
+        let mut sc = SuperCapacitor::prototype_module();
+        let r = sc.discharge(Watts::new(300.0), TICK);
+        assert!(((r.delivered + r.loss) - r.drained).get().abs() < 1e-9);
+        assert!(r.loss.get() >= 0.0);
+    }
+
+    #[test]
+    fn charge_conservation() {
+        let mut sc = SuperCapacitor::prototype_module();
+        sc.set_soc(Ratio::HALF);
+        let r = sc.charge(Watts::new(300.0), TICK);
+        assert!(((r.stored + r.loss) - r.drawn).get().abs() < 1e-9);
+        assert!(r.loss.get() >= 0.0);
+    }
+
+    #[test]
+    fn absorbs_very_large_charge_power() {
+        // No meaningful charge-current bound — the key REU property.
+        let mut sc = SuperCapacitor::prototype_module();
+        sc.set_soc(Ratio::new_clamped(0.1));
+        let r = sc.charge(Watts::new(3_000.0), TICK);
+        assert!(
+            r.stored.get() > 2_500.0,
+            "SC should swallow a deep power valley, stored {}",
+            r.stored.get()
+        );
+    }
+
+    #[test]
+    fn respects_voltage_floor() {
+        let mut sc = SuperCapacitor::prototype_module();
+        for _ in 0..100_000 {
+            if sc.discharge(Watts::new(400.0), TICK).is_empty() {
+                break;
+            }
+        }
+        assert!(sc.open_circuit_voltage() >= sc.params().min_voltage - Volts::new(1e-9));
+        assert!(sc.is_depleted());
+    }
+
+    #[test]
+    fn respects_voltage_ceiling() {
+        let mut sc = SuperCapacitor::prototype_module();
+        for _ in 0..100_000 {
+            if sc.charge(Watts::new(400.0), TICK).is_empty() {
+                break;
+            }
+        }
+        assert!(sc.open_circuit_voltage() <= sc.params().rated_voltage + Volts::new(1e-9));
+    }
+
+    #[test]
+    fn cycle_accounting() {
+        let mut sc = SuperCapacitor::prototype_module();
+        // One full discharge + one full charge ≈ one equivalent cycle.
+        while !sc.is_depleted() {
+            if sc.discharge(Watts::new(200.0), TICK).is_empty() {
+                break;
+            }
+        }
+        while !sc.is_full() {
+            if sc.charge(Watts::new(200.0), TICK).is_empty() {
+                break;
+            }
+        }
+        assert!((sc.equivalent_cycles() - 1.0).abs() < 0.1);
+        assert!(sc.life_used().get() < 1e-5);
+    }
+
+    #[test]
+    fn set_soc_round_trips() {
+        let mut sc = SuperCapacitor::prototype_module();
+        for target in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            sc.set_soc(Ratio::new_clamped(target));
+            assert!((sc.soc().get() - target).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn loaded_voltage_sags_slightly() {
+        let sc = SuperCapacitor::prototype_module();
+        let sag = sc.open_circuit_voltage() - sc.loaded_voltage(Watts::new(300.0));
+        assert!(sag.get() > 0.0);
+        assert!(sag.get() < 0.5, "ESR sag should be small, got {}", sag.get());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn zero_capacitance_panics() {
+        let _ = SuperCapacitorParams::with_capacitance(Farads::zero());
+    }
+}

@@ -1,0 +1,223 @@
+//! Property tests for the storage-device models: conservation,
+//! bounds, and monotonicity under arbitrary operation sequences.
+
+use heb_esd::{Bank, LeadAcidBattery, LithiumIonBattery, StorageDevice, SuperCapacitor};
+use heb_units::{Ratio, Seconds, Watts};
+use proptest::prelude::*;
+
+/// One random controller action.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Discharge(f64),
+    Charge(f64),
+    Idle(f64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1.0..400.0f64).prop_map(Op::Discharge),
+        (1.0..400.0f64).prop_map(Op::Charge),
+        (1.0..600.0f64).prop_map(Op::Idle),
+    ]
+}
+
+fn apply<D: StorageDevice>(device: &mut D, op: Op) -> (f64, f64, f64) {
+    let dt = Seconds::new(1.0);
+    match op {
+        Op::Discharge(p) => {
+            let r = device.discharge(Watts::new(p), dt);
+            // Conservation: delivered + loss == drained.
+            assert!(
+                ((r.delivered + r.loss) - r.drained).get().abs() < 1e-6,
+                "discharge books: {r:?}"
+            );
+            // Never delivers more than asked (plus numerical slack).
+            assert!(r.delivered.get() <= p * dt.get() + 1e-6);
+            assert!(r.loss.get() >= -1e-9 && r.drained.get() >= -1e-9);
+            (-r.drained.get(), r.delivered.get(), 0.0)
+        }
+        Op::Charge(p) => {
+            let r = device.charge(Watts::new(p), dt);
+            assert!(
+                ((r.stored + r.loss) - r.drawn).get().abs() < 1e-6,
+                "charge books: {r:?}"
+            );
+            assert!(r.drawn.get() <= p * dt.get() + 1e-6);
+            assert!(r.loss.get() >= -1e-9 && r.stored.get() >= -1e-9);
+            (r.stored.get(), 0.0, r.drawn.get())
+        }
+        Op::Idle(secs) => {
+            device.idle(Seconds::new(secs));
+            (0.0, 0.0, 0.0)
+        }
+    }
+}
+
+fn check_device_invariants<D: StorageDevice>(device: &D) {
+    let soc = device.soc().get();
+    assert!((0.0..=1.0 + 1e-9).contains(&soc), "SoC {soc} out of range");
+    assert!(device.available_energy().get() >= -1e-9);
+    assert!(device.headroom().get() >= -1e-9);
+    assert!(
+        device.available_energy() <= device.usable_capacity() * (1.0 + 1e-9),
+        "available exceeds usable"
+    );
+    assert!(device.max_discharge_power().get() >= 0.0);
+    assert!(device.max_charge_power().get() >= 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn battery_survives_any_operation_sequence(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        start_soc in 0.0..=1.0f64,
+    ) {
+        let mut battery = LeadAcidBattery::prototype_string();
+        battery.set_soc(Ratio::new_clamped(start_soc));
+        for op in ops {
+            apply(&mut battery, op);
+            check_device_invariants(&battery);
+            // Terminal voltage stays within the physical window.
+            let v = battery.open_circuit_voltage().get();
+            prop_assert!((20.0..26.0).contains(&v), "OCV {v}");
+        }
+    }
+
+    #[test]
+    fn supercap_survives_any_operation_sequence(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        start_soc in 0.0..=1.0f64,
+    ) {
+        let mut sc = SuperCapacitor::prototype_module();
+        sc.set_soc(Ratio::new_clamped(start_soc));
+        for op in ops {
+            apply(&mut sc, op);
+            check_device_invariants(&sc);
+            let v = sc.open_circuit_voltage().get();
+            let min = sc.params().min_voltage.get();
+            let max = sc.params().rated_voltage.get();
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9, "V {v} outside [{min}, {max}]");
+        }
+    }
+
+    #[test]
+    fn li_ion_survives_any_operation_sequence(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        start_soc in 0.0..=1.0f64,
+    ) {
+        let mut li = LithiumIonBattery::prototype_string();
+        li.set_soc(Ratio::new_clamped(start_soc));
+        for op in ops {
+            apply(&mut li, op);
+            check_device_invariants(&li);
+            let v = li.open_circuit_voltage().get();
+            prop_assert!((20.0..29.0).contains(&v), "OCV {v}");
+        }
+    }
+
+    #[test]
+    fn li_ion_never_creates_energy(
+        charge_w in 20.0..400.0f64,
+        discharge_w in 20.0..400.0f64,
+    ) {
+        let mut li = LithiumIonBattery::prototype_string();
+        li.set_soc(Ratio::new_clamped(0.2));
+        let mut drawn = 0.0;
+        for _ in 0..50_000 {
+            let r = li.charge(Watts::new(charge_w), Seconds::new(1.0));
+            if r.is_empty() || r.drawn.get() < 0.5 { break; }
+            drawn += r.drawn.get();
+        }
+        let mut delivered = 0.0;
+        for _ in 0..50_000 {
+            let r = li.discharge(Watts::new(discharge_w), Seconds::new(1.0));
+            if r.is_empty() { break; }
+            delivered += r.delivered.get();
+        }
+        prop_assert!(delivered <= drawn * (1.0 + 1e-6), "free energy: {delivered} > {drawn}");
+    }
+
+    #[test]
+    fn battery_energy_balances_over_random_runs(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        // Energy bookkeeping: final available == initial + net internal
+        // flows, tracked at the OCV boundary (tolerate OCV drift since
+        // stored joules are valued at the instantaneous OCV).
+        let mut battery = LeadAcidBattery::prototype_string();
+        battery.set_soc(Ratio::HALF);
+        let initial = battery.available_energy().get();
+        let mut net = 0.0;
+        for op in ops {
+            let (delta, _, _) = apply(&mut battery, op);
+            net += delta;
+        }
+        let expected = initial + net;
+        let actual = battery.available_energy().get();
+        let tolerance = 0.08 * (initial + net.abs()).max(1000.0);
+        prop_assert!(
+            (actual - expected).abs() <= tolerance,
+            "drift: expected {expected}, got {actual}"
+        );
+    }
+
+    #[test]
+    fn supercap_round_trip_never_creates_energy(
+        charge_w in 20.0..400.0f64,
+        discharge_w in 20.0..400.0f64,
+    ) {
+        let mut sc = SuperCapacitor::prototype_module();
+        sc.set_soc(Ratio::ZERO);
+        let mut drawn = 0.0;
+        for _ in 0..20_000 {
+            let r = sc.charge(Watts::new(charge_w), Seconds::new(1.0));
+            if r.is_empty() { break; }
+            drawn += r.drawn.get();
+        }
+        let mut delivered = 0.0;
+        for _ in 0..20_000 {
+            let r = sc.discharge(Watts::new(discharge_w), Seconds::new(1.0));
+            if r.is_empty() { break; }
+            delivered += r.delivered.get();
+        }
+        prop_assert!(delivered <= drawn * (1.0 + 1e-6), "free energy: {delivered} > {drawn}");
+    }
+
+    #[test]
+    fn battery_rest_never_reduces_deliverable_power(
+        drain_secs in 10u32..2000,
+        rest_secs in 10.0..7200.0f64,
+    ) {
+        let mut battery = LeadAcidBattery::prototype_string();
+        for _ in 0..drain_secs {
+            let r = battery.discharge(Watts::new(200.0), Seconds::new(1.0));
+            if r.is_empty() { break; }
+        }
+        let before = battery.max_discharge_power().get();
+        battery.idle(Seconds::new(rest_secs));
+        let after = battery.max_discharge_power().get();
+        prop_assert!(after >= before - 1e-6, "rest hurt: {before} -> {after}");
+    }
+
+    #[test]
+    fn bank_capacity_is_sum_of_members(n in 1usize..5) {
+        let bank: Bank<SuperCapacitor> =
+            (0..n).map(|_| SuperCapacitor::prototype_module()).collect();
+        let single = SuperCapacitor::prototype_module().usable_capacity().get();
+        prop_assert!((bank.usable_capacity().get() - n as f64 * single).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bank_discharge_respects_request(
+        n in 1usize..4,
+        request in 1.0..900.0f64,
+    ) {
+        let mut bank: Bank<SuperCapacitor> =
+            (0..n).map(|_| SuperCapacitor::prototype_module()).collect();
+        let r = bank.discharge(Watts::new(request), Seconds::new(1.0));
+        prop_assert!(r.delivered.get() <= request + 1e-6);
+        prop_assert!(((r.delivered + r.loss) - r.drained).get().abs() < 1e-6);
+    }
+}

@@ -1,0 +1,196 @@
+//! Additional baseline predictors for the forecasting comparison.
+
+use crate::Predictor;
+use std::collections::VecDeque;
+
+/// Sliding-window moving average.
+///
+/// # Examples
+///
+/// ```
+/// use heb_forecast::{MovingAverage, Predictor};
+///
+/// let mut ma = MovingAverage::new(3);
+/// for v in [10.0, 20.0, 30.0, 40.0] {
+///     ma.observe(v);
+/// }
+/// assert_eq!(ma.forecast(1), 30.0); // mean of the last 3
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovingAverage {
+    window: usize,
+    values: VecDeque<f64>,
+    n: usize,
+}
+
+impl MovingAverage {
+    /// Creates a moving average over the last `window` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be non-empty");
+        Self {
+            window,
+            values: VecDeque::with_capacity(window),
+            n: 0,
+        }
+    }
+
+    /// The configured window length.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Predictor for MovingAverage {
+    fn observe(&mut self, value: f64) {
+        if self.values.len() == self.window {
+            self.values.pop_front();
+        }
+        self.values.push_back(value);
+        self.n += 1;
+    }
+
+    fn forecast(&self, _horizon: usize) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    fn observations(&self) -> usize {
+        self.n
+    }
+}
+
+/// Seasonal naive: predicts the value observed one full season ago
+/// (falling back to the latest observation during the first season).
+///
+/// # Examples
+///
+/// ```
+/// use heb_forecast::{Predictor, SeasonalNaive};
+///
+/// let mut sn = SeasonalNaive::new(3);
+/// for v in [1.0, 2.0, 3.0, 10.0, 20.0, 30.0] {
+///     sn.observe(v);
+/// }
+/// // Next slot is season-position 0 -> last season's value there:
+/// assert_eq!(sn.forecast(1), 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeasonalNaive {
+    period: usize,
+    history: Vec<f64>,
+    n: usize,
+}
+
+impl SeasonalNaive {
+    /// Creates a seasonal-naive predictor with the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(period: usize) -> Self {
+        assert!(period > 0, "period must be positive");
+        Self {
+            period,
+            history: Vec::new(),
+            n: 0,
+        }
+    }
+
+    /// The seasonal period.
+    #[must_use]
+    pub fn period(&self) -> usize {
+        self.period
+    }
+}
+
+impl Predictor for SeasonalNaive {
+    fn observe(&mut self, value: f64) {
+        self.history.push(value);
+        self.n += 1;
+        // Keep only what forecasting needs: the last full season.
+        if self.history.len() > self.period {
+            self.history.remove(0);
+        }
+    }
+
+    fn forecast(&self, horizon: usize) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        if self.history.len() < self.period {
+            // First season: fall back to the latest observation.
+            return *self.history.last().expect("non-empty");
+        }
+        // history holds the last `period` values; the forecast for
+        // `horizon` steps ahead is the value at the same seasonal slot.
+        let idx = (horizon - 1 + self.history.len()) % self.period;
+        self.history[idx % self.history.len()]
+    }
+
+    fn observations(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_slides() {
+        let mut ma = MovingAverage::new(2);
+        assert_eq!(ma.forecast(1), 0.0);
+        ma.observe(2.0);
+        assert_eq!(ma.forecast(1), 2.0);
+        ma.observe(4.0);
+        assert_eq!(ma.forecast(1), 3.0);
+        ma.observe(6.0);
+        assert_eq!(ma.forecast(1), 5.0);
+        assert_eq!(ma.observations(), 3);
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_the_season() {
+        let mut sn = SeasonalNaive::new(4);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            sn.observe(v);
+        }
+        // Next observations would be seasonal slots 0, 1, 2, 3 again.
+        assert_eq!(sn.forecast(1), 1.0);
+        assert_eq!(sn.forecast(2), 2.0);
+        assert_eq!(sn.forecast(4), 4.0);
+        // Observe one more: the window slides.
+        sn.observe(10.0);
+        assert_eq!(sn.forecast(4), 10.0);
+    }
+
+    #[test]
+    fn seasonal_naive_warmup_uses_last_value() {
+        let mut sn = SeasonalNaive::new(5);
+        sn.observe(7.0);
+        sn.observe(9.0);
+        assert_eq!(sn.forecast(1), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let _ = MovingAverage::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_panics() {
+        let _ = SeasonalNaive::new(0);
+    }
+}

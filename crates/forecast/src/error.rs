@@ -1,0 +1,120 @@
+//! Forecast error metrics.
+
+/// Mean absolute error between forecasts and actuals.
+///
+/// Pairs are truncated to the shorter slice; returns 0.0 when either is
+/// empty.
+///
+/// # Examples
+///
+/// ```
+/// use heb_forecast::mae;
+///
+/// assert_eq!(mae(&[10.0, 20.0], &[12.0, 16.0]), 3.0);
+/// ```
+#[must_use]
+pub fn mae(forecasts: &[f64], actuals: &[f64]) -> f64 {
+    let n = forecasts.len().min(actuals.len());
+    if n == 0 {
+        return 0.0;
+    }
+    forecasts
+        .iter()
+        .zip(actuals)
+        .map(|(f, a)| (f - a).abs())
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Root-mean-square error between forecasts and actuals.
+///
+/// Pairs are truncated to the shorter slice; returns 0.0 when either is
+/// empty.
+///
+/// # Examples
+///
+/// ```
+/// use heb_forecast::rmse;
+///
+/// assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn rmse(forecasts: &[f64], actuals: &[f64]) -> f64 {
+    let n = forecasts.len().min(actuals.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let mse = forecasts
+        .iter()
+        .zip(actuals)
+        .map(|(f, a)| (f - a) * (f - a))
+        .sum::<f64>()
+        / n as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute percentage error, in percent. Pairs whose actual value
+/// is zero are skipped (the conventional MAPE dodge); returns 0.0 when
+/// no usable pair exists.
+///
+/// # Examples
+///
+/// ```
+/// use heb_forecast::mape;
+///
+/// assert!((mape(&[90.0, 110.0], &[100.0, 100.0]) - 10.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn mape(forecasts: &[f64], actuals: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (f, a) in forecasts.iter().zip(actuals) {
+        if *a != 0.0 {
+            sum += ((f - a) / a).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        100.0 * sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_forecast_scores_zero() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(mae(&xs, &xs), 0.0);
+        assert_eq!(rmse(&xs, &xs), 0.0);
+        assert_eq!(mape(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        assert_eq!(mae(&[], &[1.0]), 0.0);
+        assert_eq!(rmse(&[1.0], &[]), 0.0);
+        assert_eq!(mape(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let m = mape(&[5.0, 90.0], &[0.0, 100.0]);
+        assert!((m - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_penalises_outliers_more_than_mae() {
+        let f = [0.0, 0.0, 0.0, 0.0];
+        let a = [0.0, 0.0, 0.0, 8.0];
+        assert!(rmse(&f, &a) > mae(&f, &a));
+    }
+
+    #[test]
+    fn truncates_to_shorter() {
+        assert_eq!(mae(&[1.0, 100.0], &[2.0]), 1.0);
+    }
+}

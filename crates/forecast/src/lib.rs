@@ -1,0 +1,84 @@
+//! Time-series prediction for the HEB power-management framework.
+//!
+//! At the start of every control slot the HEB controller predicts the
+//! coming slot's peak power and valley power; their difference `ΔPM` is
+//! the net buffer requirement (Section 5.2). The paper uses classical
+//! *triple exponential smoothing* (Holt-Winters); the naive last-value
+//! predictor is what the `HEB-F` baseline scheme amounts to.
+//!
+//! * [`SingleExponential`] — simple exponential smoothing (level only);
+//! * [`DoubleExponential`] — Holt's method (level + trend);
+//! * [`HoltWinters`] — additive-seasonal triple smoothing, the paper's
+//!   predictor;
+//! * [`LastValue`] — the naive baseline;
+//! * [`MovingAverage`] / [`SeasonalNaive`] — further baselines for the
+//!   predictor comparison;
+//! * [`mae`]/[`mape`]/[`rmse`] — error metrics for comparing them.
+//!
+//! All predictors implement [`Predictor`] so the controller can swap
+//! them freely ("any sophisticated prediction approach can be integrated
+//! into our power management framework").
+//!
+//! # Examples
+//!
+//! ```
+//! use heb_forecast::{HoltWinters, Predictor};
+//!
+//! let mut hw = HoltWinters::new(0.4, 0.1, 0.3, 4);
+//! // A noiseless period-4 sawtooth...
+//! for cycle in 0..8 {
+//!     for v in [10.0, 20.0, 30.0, 40.0] {
+//!         hw.observe(v + cycle as f64);
+//!     }
+//! }
+//! // ...is predicted to within a small error one step ahead:
+//! let next = hw.forecast(1);
+//! assert!((next - 18.0).abs() < 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod error;
+mod naive;
+mod smoothing;
+
+pub use baseline::{MovingAverage, SeasonalNaive};
+pub use error::{mae, mape, rmse};
+pub use naive::LastValue;
+pub use smoothing::{DoubleExponential, HoltWinters, SingleExponential};
+
+/// A one-dimensional online forecaster.
+///
+/// Implementations consume observations one at a time via
+/// [`Predictor::observe`] and produce point forecasts `h` steps ahead.
+/// Until enough history has accumulated, forecasts fall back to the
+/// most recent observation (never to an arbitrary constant), so a
+/// controller can use a predictor from its very first slot.
+pub trait Predictor {
+    /// Feeds the next observation.
+    fn observe(&mut self, value: f64);
+
+    /// Point forecast `horizon` steps past the last observation.
+    ///
+    /// `horizon` is 1-based: `forecast(1)` predicts the next value.
+    /// Implementations return 0.0 when no observation has been seen.
+    fn forecast(&self, horizon: usize) -> f64;
+
+    /// Number of observations consumed so far.
+    fn observations(&self) -> usize;
+
+    /// Convenience: observe `value` and return the *previous* one-step
+    /// forecast error for it (forecast − actual), useful for online
+    /// error tracking.
+    fn observe_scored(&mut self, value: f64) -> f64 {
+        let err = if self.observations() == 0 {
+            0.0
+        } else {
+            self.forecast(1) - value
+        };
+        self.observe(value);
+        err
+    }
+}

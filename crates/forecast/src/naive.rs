@@ -1,0 +1,77 @@
+//! The naive last-value predictor.
+
+use crate::Predictor;
+
+/// Predicts that the next value equals the last observed one.
+///
+/// This is exactly the information the paper's `HEB-F` baseline scheme
+/// acts on ("assigns the heterogeneous energy buffers … based on the
+/// power demand information of last time-slot"), so keeping it behind
+/// the common [`Predictor`] trait lets the scheme comparison isolate the
+/// value of real forecasting.
+///
+/// # Examples
+///
+/// ```
+/// use heb_forecast::{LastValue, Predictor};
+///
+/// let mut naive = LastValue::new();
+/// naive.observe(250.0);
+/// naive.observe(310.0);
+/// assert_eq!(naive.forecast(1), 310.0);
+/// assert_eq!(naive.forecast(100), 310.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LastValue {
+    last: f64,
+    n: usize,
+}
+
+impl LastValue {
+    /// Creates a predictor with no history.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Predictor for LastValue {
+    fn observe(&mut self, value: f64) {
+        self.last = value;
+        self.n += 1;
+    }
+
+    fn forecast(&self, _horizon: usize) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.last
+        }
+    }
+
+    fn observations(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_last_observation() {
+        let mut p = LastValue::new();
+        assert_eq!(p.forecast(1), 0.0);
+        p.observe(5.0);
+        p.observe(-3.0);
+        assert_eq!(p.forecast(1), -3.0);
+        assert_eq!(p.observations(), 2);
+    }
+
+    #[test]
+    fn horizon_is_irrelevant() {
+        let mut p = LastValue::new();
+        p.observe(9.0);
+        assert_eq!(p.forecast(1), p.forecast(1000));
+    }
+}

@@ -1,0 +1,384 @@
+//! Exponential-smoothing predictors, up to Holt-Winters.
+
+use crate::Predictor;
+
+/// Simple exponential smoothing: a level tracked with gain `alpha`.
+///
+/// # Examples
+///
+/// ```
+/// use heb_forecast::{Predictor, SingleExponential};
+///
+/// let mut ses = SingleExponential::new(0.5);
+/// for v in [10.0, 10.0, 10.0] {
+///     ses.observe(v);
+/// }
+/// assert!((ses.forecast(1) - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleExponential {
+    alpha: f64,
+    level: f64,
+    n: usize,
+}
+
+impl SingleExponential {
+    /// Creates a smoother with gain `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self {
+            alpha,
+            level: 0.0,
+            n: 0,
+        }
+    }
+
+    /// The current level estimate.
+    #[must_use]
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+}
+
+impl Predictor for SingleExponential {
+    fn observe(&mut self, value: f64) {
+        if self.n == 0 {
+            self.level = value;
+        } else {
+            self.level = self.alpha * value + (1.0 - self.alpha) * self.level;
+        }
+        self.n += 1;
+    }
+
+    fn forecast(&self, _horizon: usize) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.level
+        }
+    }
+
+    fn observations(&self) -> usize {
+        self.n
+    }
+}
+
+/// Holt's double exponential smoothing: level plus linear trend.
+///
+/// # Examples
+///
+/// ```
+/// use heb_forecast::{DoubleExponential, Predictor};
+///
+/// let mut holt = DoubleExponential::new(0.6, 0.3);
+/// for t in 0..50 {
+///     holt.observe(5.0 + 2.0 * t as f64); // a clean ramp
+/// }
+/// // The trend is learned: three steps ahead ≈ value + 3·slope.
+/// assert!((holt.forecast(3) - (5.0 + 2.0 * 49.0 + 3.0 * 2.0)).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoubleExponential {
+    alpha: f64,
+    beta: f64,
+    level: f64,
+    trend: f64,
+    n: usize,
+}
+
+impl DoubleExponential {
+    /// Creates a smoother with level gain `alpha` and trend gain `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both gains are in `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+        Self {
+            alpha,
+            beta,
+            level: 0.0,
+            trend: 0.0,
+            n: 0,
+        }
+    }
+
+    /// The current trend (slope) estimate.
+    #[must_use]
+    pub fn trend(&self) -> f64 {
+        self.trend
+    }
+}
+
+impl Predictor for DoubleExponential {
+    fn observe(&mut self, value: f64) {
+        match self.n {
+            0 => self.level = value,
+            1 => {
+                self.trend = value - self.level;
+                self.level = value;
+            }
+            _ => {
+                let prev_level = self.level;
+                self.level =
+                    self.alpha * value + (1.0 - self.alpha) * (self.level + self.trend);
+                self.trend =
+                    self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+            }
+        }
+        self.n += 1;
+    }
+
+    fn forecast(&self, horizon: usize) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.level + horizon as f64 * self.trend
+        }
+    }
+
+    fn observations(&self) -> usize {
+        self.n
+    }
+}
+
+/// Additive Holt-Winters triple exponential smoothing — the paper's
+/// predictor for slot-level peak and valley power (Section 5.2).
+///
+/// Maintains a level (gain `alpha`), a trend (gain `beta`), and a
+/// seasonal profile of `period` terms (gain `gamma`). Seasonal state is
+/// bootstrapped from the first full period of observations; until then
+/// the model behaves like Holt's method.
+///
+/// # Examples
+///
+/// ```
+/// use heb_forecast::{HoltWinters, Predictor};
+///
+/// let mut hw = HoltWinters::new(0.3, 0.05, 0.4, 3);
+/// for _ in 0..20 {
+///     for v in [100.0, 150.0, 120.0] {
+///         hw.observe(v);
+///     }
+/// }
+/// assert!((hw.forecast(1) - 100.0).abs() < 5.0);
+/// assert!((hw.forecast(2) - 150.0).abs() < 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HoltWinters {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+    period: usize,
+    level: f64,
+    trend: f64,
+    seasonal: Vec<f64>,
+    /// Buffer for the bootstrap period.
+    warmup: Vec<f64>,
+    n: usize,
+}
+
+impl HoltWinters {
+    /// Creates a Holt-Winters smoother.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all gains are in `(0, 1]` and `period >= 2`.
+    #[must_use]
+    pub fn new(alpha: f64, beta: f64, gamma: f64, period: usize) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        assert!(period >= 2, "seasonal period must be at least 2");
+        Self {
+            alpha,
+            beta,
+            gamma,
+            period,
+            level: 0.0,
+            trend: 0.0,
+            seasonal: Vec::new(),
+            warmup: Vec::with_capacity(period),
+            n: 0,
+        }
+    }
+
+    /// Defaults tuned for slot-level datacenter power series: moderately
+    /// reactive level, slow trend, diurnal seasonality over `period`
+    /// slots.
+    #[must_use]
+    pub fn for_power_series(period: usize) -> Self {
+        Self::new(0.45, 0.05, 0.30, period.max(2))
+    }
+
+    /// The seasonal period.
+    #[must_use]
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Whether the seasonal profile has been bootstrapped.
+    #[must_use]
+    pub fn is_seasonal(&self) -> bool {
+        !self.seasonal.is_empty()
+    }
+
+    fn seasonal_index(&self, horizon: usize) -> usize {
+        // Observation n corresponds to seasonal slot n % period; the
+        // next observation is slot n % period, h steps ahead is
+        // (n + h − 1) % period.
+        (self.n + horizon - 1) % self.period
+    }
+}
+
+impl Predictor for HoltWinters {
+    fn observe(&mut self, value: f64) {
+        if self.seasonal.is_empty() {
+            self.warmup.push(value);
+            self.n += 1;
+            if self.warmup.len() == self.period {
+                // Bootstrap: level = period mean, trend = mean first
+                // difference, seasonal = deviations from the mean.
+                let mean = self.warmup.iter().sum::<f64>() / self.period as f64;
+                let diffs: f64 = self
+                    .warmup
+                    .windows(2)
+                    .map(|w| w[1] - w[0])
+                    .sum::<f64>()
+                    / (self.period - 1) as f64;
+                self.level = mean;
+                self.trend = diffs / self.period as f64;
+                self.seasonal = self.warmup.iter().map(|v| v - mean).collect();
+            }
+            return;
+        }
+        let s_idx = (self.n) % self.period;
+        let s = self.seasonal[s_idx];
+        let prev_level = self.level;
+        self.level =
+            self.alpha * (value - s) + (1.0 - self.alpha) * (self.level + self.trend);
+        self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+        self.seasonal[s_idx] =
+            self.gamma * (value - self.level) + (1.0 - self.gamma) * s;
+        self.n += 1;
+    }
+
+    fn forecast(&self, horizon: usize) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        if self.seasonal.is_empty() {
+            // Still warming up: fall back to the latest observation.
+            return *self.warmup.last().expect("warmup non-empty when n > 0");
+        }
+        let horizon = horizon.max(1);
+        self.level + horizon as f64 * self.trend + self.seasonal[self.seasonal_index(horizon)]
+    }
+
+    fn observations(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ses_converges_to_constant() {
+        let mut ses = SingleExponential::new(0.3);
+        for _ in 0..100 {
+            ses.observe(42.0);
+        }
+        assert!((ses.forecast(5) - 42.0).abs() < 1e-9);
+        assert_eq!(ses.observations(), 100);
+    }
+
+    #[test]
+    fn ses_empty_forecasts_zero() {
+        let ses = SingleExponential::new(0.3);
+        assert_eq!(ses.forecast(1), 0.0);
+    }
+
+    #[test]
+    fn holt_learns_a_ramp() {
+        let mut holt = DoubleExponential::new(0.5, 0.3);
+        for t in 0..100 {
+            holt.observe(3.0 * t as f64);
+        }
+        assert!((holt.trend() - 3.0).abs() < 0.1);
+        assert!((holt.forecast(10) - (3.0 * 99.0 + 30.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn holt_winters_learns_seasonality() {
+        let pattern = [100.0, 180.0, 140.0, 90.0];
+        let mut hw = HoltWinters::new(0.3, 0.05, 0.4, 4);
+        for _ in 0..25 {
+            for v in pattern {
+                hw.observe(v);
+            }
+        }
+        assert!(hw.is_seasonal());
+        for (h, expect) in pattern.iter().enumerate() {
+            let f = hw.forecast(h + 1);
+            assert!(
+                (f - expect).abs() < 4.0,
+                "h={} forecast {f} expected {expect}",
+                h + 1
+            );
+        }
+    }
+
+    #[test]
+    fn holt_winters_tracks_seasonal_plus_trend() {
+        let mut hw = HoltWinters::new(0.4, 0.1, 0.3, 4);
+        let mut t = 0.0;
+        for _ in 0..50 {
+            for v in [10.0, 20.0, 30.0, 40.0] {
+                hw.observe(v + t);
+                t += 0.25; // +1 per full season
+            }
+        }
+        // Next value would be 10 + t with the learned trend.
+        let expected = 10.0 + t;
+        let f = hw.forecast(1);
+        assert!((f - expected).abs() < 2.0, "forecast {f} expected {expected}");
+    }
+
+    #[test]
+    fn holt_winters_warmup_falls_back_to_last_value() {
+        let mut hw = HoltWinters::new(0.3, 0.1, 0.2, 10);
+        hw.observe(7.0);
+        hw.observe(9.0);
+        assert!(!hw.is_seasonal());
+        assert_eq!(hw.forecast(3), 9.0);
+    }
+
+    #[test]
+    fn observe_scored_returns_prior_error() {
+        let mut ses = SingleExponential::new(1.0);
+        assert_eq!(ses.observe_scored(10.0), 0.0);
+        // Forecast was 10, actual 14 -> error −4.
+        assert_eq!(ses.observe_scored(14.0), -4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        let _ = SingleExponential::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn bad_period_panics() {
+        let _ = HoltWinters::new(0.5, 0.5, 0.5, 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the predictors and error metrics.
+
+use heb_forecast::{mae, mape, rmse, DoubleExponential, HoltWinters, LastValue, Predictor, SingleExponential};
+use proptest::prelude::*;
+
+fn bounded_series() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..1e4f64, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn last_value_parrots(series in bounded_series()) {
+        let mut p = LastValue::new();
+        for &v in &series {
+            p.observe(v);
+            prop_assert_eq!(p.forecast(1), v);
+        }
+        prop_assert_eq!(p.observations(), series.len());
+    }
+
+    #[test]
+    fn ses_forecast_is_within_observed_hull(series in bounded_series(), alpha in 0.01..1.0f64) {
+        let mut p = SingleExponential::new(alpha);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &series {
+            p.observe(v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+            let f = p.forecast(1);
+            prop_assert!(f >= lo - 1e-9 && f <= hi + 1e-9, "SES {f} left hull [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn holt_forecasts_are_finite(
+        series in bounded_series(),
+        alpha in 0.01..1.0f64,
+        beta in 0.01..1.0f64,
+    ) {
+        let mut p = DoubleExponential::new(alpha, beta);
+        for &v in &series {
+            p.observe(v);
+            prop_assert!(p.forecast(1).is_finite());
+            prop_assert!(p.forecast(10).is_finite());
+        }
+    }
+
+    #[test]
+    fn holt_winters_forecasts_are_finite(
+        series in bounded_series(),
+        period in 2usize..12,
+    ) {
+        let mut p = HoltWinters::for_power_series(period);
+        for &v in &series {
+            p.observe(v);
+            let f = p.forecast(1);
+            prop_assert!(f.is_finite(), "HW produced {f}");
+        }
+    }
+
+    #[test]
+    fn holt_winters_nails_exact_seasonality(
+        pattern in proptest::collection::vec(0.0..1e3f64, 2..8),
+    ) {
+        let mut p = HoltWinters::new(0.3, 0.05, 0.4, pattern.len());
+        for _ in 0..60 {
+            for &v in &pattern {
+                p.observe(v);
+            }
+        }
+        // After many clean periods, one-period-ahead error is small
+        // relative to the pattern's spread.
+        let spread = pattern
+            .iter()
+            .fold(0.0_f64, |acc, &v| acc.max(v))
+            - pattern.iter().fold(f64::INFINITY, |acc, &v| acc.min(v));
+        for (h, &expect) in pattern.iter().enumerate() {
+            let err = (p.forecast(h + 1) - expect).abs();
+            prop_assert!(
+                err <= 0.15 * spread + 1.0,
+                "h={} err {err} vs spread {spread}",
+                h + 1
+            );
+        }
+    }
+
+    #[test]
+    fn rmse_dominates_mae(f in bounded_series(), a in bounded_series()) {
+        let n = f.len().min(a.len());
+        prop_assume!(n > 0);
+        let (f, a) = (&f[..n], &a[..n]);
+        prop_assert!(rmse(f, a) + 1e-9 >= mae(f, a));
+    }
+
+    #[test]
+    fn error_metrics_are_nonnegative_and_zero_on_self(series in bounded_series()) {
+        prop_assert!(mae(&series, &series).abs() < 1e-12);
+        prop_assert!(rmse(&series, &series).abs() < 1e-12);
+        prop_assert!(mape(&series, &series).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_scored_error_matches_direct_computation(series in bounded_series()) {
+        let mut scored = LastValue::new();
+        let mut plain = LastValue::new();
+        for &v in &series {
+            let expected = if plain.observations() == 0 { 0.0 } else { plain.forecast(1) - v };
+            let got = scored.observe_scored(v);
+            plain.observe(v);
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

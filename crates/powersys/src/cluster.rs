@@ -1,0 +1,235 @@
+//! A rack of servers addressed as one load.
+
+use crate::server::{FrequencyLevel, PowerState, Server};
+use heb_units::{Joules, Ratio, Seconds, Watts};
+
+/// The server rack: the unit of load the HEB controller manages.
+///
+/// # Examples
+///
+/// ```
+/// use heb_powersys::Cluster;
+/// use heb_units::Ratio;
+///
+/// let mut cluster = Cluster::prototype(6);
+/// cluster.set_all_utilization(Ratio::ONE);
+/// assert_eq!(cluster.total_demand().get(), 6.0 * 70.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    servers: Vec<Server>,
+}
+
+impl Cluster {
+    /// Creates a cluster from pre-built servers.
+    #[must_use]
+    pub fn new(servers: Vec<Server>) -> Self {
+        Self { servers }
+    }
+
+    /// A cluster of `n` prototype-spec servers with ids `0..n`.
+    #[must_use]
+    pub fn prototype(n: usize) -> Self {
+        Self {
+            servers: (0..n).map(Server::prototype).collect(),
+        }
+    }
+
+    /// Number of servers (running or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the cluster has no servers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Immutable access to the servers.
+    #[must_use]
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Mutable access to the servers.
+    pub fn servers_mut(&mut self) -> &mut [Server] {
+        &mut self.servers
+    }
+
+    /// Iterator over running servers.
+    pub fn running(&self) -> impl Iterator<Item = &Server> {
+        self.servers
+            .iter()
+            .filter(|s| s.state() == PowerState::On)
+    }
+
+    /// Number of running servers.
+    #[must_use]
+    pub fn running_count(&self) -> usize {
+        self.running().count()
+    }
+
+    /// Sets every server's utilization for the next tick.
+    pub fn set_all_utilization(&mut self, utilization: Ratio) {
+        for s in &mut self.servers {
+            s.set_utilization(utilization);
+        }
+    }
+
+    /// Sets per-server utilizations; extra values are ignored, missing
+    /// values leave the server unchanged.
+    pub fn set_utilizations(&mut self, utilizations: &[Ratio]) {
+        for (s, &u) in self.servers.iter_mut().zip(utilizations) {
+            s.set_utilization(u);
+        }
+    }
+
+    /// Splits the rack into a low-frequency group (first `low_count`
+    /// servers) and a high-frequency group — the paper's method for
+    /// constructing small-peak and large-peak demand shapes.
+    pub fn split_frequency_groups(&mut self, low_count: usize) {
+        for (idx, s) in self.servers.iter_mut().enumerate() {
+            s.set_frequency(if idx < low_count {
+                FrequencyLevel::Low
+            } else {
+                FrequencyLevel::High
+            });
+        }
+    }
+
+    /// Aggregate instantaneous demand of all running servers.
+    #[must_use]
+    pub fn total_demand(&self) -> Watts {
+        self.servers.iter().map(Server::power_draw).sum()
+    }
+
+    /// Advances every server one tick, returning total energy consumed.
+    pub fn tick(&mut self, now: Seconds, dt: Seconds) -> Joules {
+        self.servers.iter_mut().map(|s| s.tick(now, dt)).sum()
+    }
+
+    /// Aggregate downtime across all servers (the paper's *server
+    /// downtime* metric, Figure 12(b)).
+    #[must_use]
+    pub fn total_downtime(&self) -> Seconds {
+        self.servers.iter().map(Server::downtime).sum()
+    }
+
+    /// Total off→on cycles across all servers.
+    #[must_use]
+    pub fn total_restarts(&self) -> u64 {
+        self.servers.iter().map(Server::restarts).sum()
+    }
+
+    /// The id of the least-recently-used *running* server — the victim
+    /// the paper shuts down first when buffers cannot cover a peak.
+    #[must_use]
+    pub fn least_recently_used_running(&self) -> Option<usize> {
+        self.running()
+            .min_by(|a, b| {
+                a.last_active()
+                    .get()
+                    .partial_cmp(&b.last_active().get())
+                    .unwrap_or(core::cmp::Ordering::Equal)
+            })
+            .map(Server::id)
+    }
+
+    /// Powers off the `count` least-recently-used running servers,
+    /// returning the ids actually shut down.
+    pub fn shed_least_recently_used(&mut self, count: usize) -> Vec<usize> {
+        let mut shed = Vec::with_capacity(count);
+        for _ in 0..count {
+            match self.least_recently_used_running() {
+                Some(id) => {
+                    self.servers[id].power_off();
+                    shed.push(id);
+                }
+                None => break,
+            }
+        }
+        shed
+    }
+
+    /// Powers on every off server.
+    pub fn restore_all(&mut self) {
+        for s in &mut self.servers {
+            s.power_on();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_cluster_demand_band() {
+        let mut c = Cluster::prototype(6);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.total_demand().get(), 180.0); // all idle
+        c.set_all_utilization(Ratio::ONE);
+        assert_eq!(c.total_demand().get(), 420.0); // all peak
+    }
+
+    #[test]
+    fn frequency_split_reduces_group_power() {
+        let mut c = Cluster::prototype(6);
+        c.set_all_utilization(Ratio::ONE);
+        c.split_frequency_groups(3);
+        // 3 low (54 W) + 3 high (70 W)
+        assert_eq!(c.total_demand().get(), 3.0 * 54.0 + 3.0 * 70.0);
+    }
+
+    #[test]
+    fn lru_victim_selection() {
+        let mut c = Cluster::prototype(3);
+        let _ = c.tick(Seconds::new(1.0), Seconds::new(1.0));
+        // Make server 1 the least recently used by powering it off
+        // before a later tick refreshes the others.
+        c.servers_mut()[1].power_off();
+        let _ = c.tick(Seconds::new(2.0), Seconds::new(1.0));
+        c.servers_mut()[1].power_on();
+        // Servers 0 and 2 were active at t=2; server 1 at t=1.
+        assert_eq!(c.least_recently_used_running(), Some(1));
+    }
+
+    #[test]
+    fn shedding_and_restoring() {
+        let mut c = Cluster::prototype(4);
+        let _ = c.tick(Seconds::new(1.0), Seconds::new(1.0));
+        let shed = c.shed_least_recently_used(2);
+        assert_eq!(shed.len(), 2);
+        assert_eq!(c.running_count(), 2);
+        c.restore_all();
+        assert_eq!(c.running_count(), 4);
+        assert_eq!(c.total_restarts(), 2);
+    }
+
+    #[test]
+    fn shedding_more_than_running_stops_early() {
+        let mut c = Cluster::prototype(2);
+        let shed = c.shed_least_recently_used(5);
+        assert_eq!(shed.len(), 2);
+        assert_eq!(c.running_count(), 0);
+        assert_eq!(c.least_recently_used_running(), None);
+    }
+
+    #[test]
+    fn downtime_aggregates() {
+        let mut c = Cluster::prototype(2);
+        c.servers_mut()[0].power_off();
+        let _ = c.tick(Seconds::new(0.0), Seconds::new(5.0));
+        assert_eq!(c.total_downtime(), Seconds::new(5.0));
+    }
+
+    #[test]
+    fn set_utilizations_partial() {
+        let mut c = Cluster::prototype(3);
+        c.set_utilizations(&[Ratio::ONE]);
+        assert_eq!(c.servers()[0].utilization(), Ratio::ONE);
+        assert_eq!(c.servers()[1].utilization(), Ratio::ZERO);
+    }
+}

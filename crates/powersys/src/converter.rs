@@ -1,0 +1,195 @@
+//! Power-conversion stages and their losses.
+//!
+//! Conversion loss is what separates the three architectures of
+//! Figure 7: a centralized double-converting UPS burns 4–10 % of every
+//! watt it forwards, rack-level DC distribution avoids the inverter, and
+//! HEB's cluster-level deployment pays one DC/AC stage. Converters are
+//! value types; chain them with [`ConverterChain`].
+
+use heb_units::{Ratio, Watts};
+
+/// A single conversion stage with a fixed efficiency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Converter {
+    label: &'static str,
+    efficiency: Ratio,
+}
+
+impl Converter {
+    /// Creates a converter with the given one-way efficiency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `efficiency` is zero (a converter that delivers nothing
+    /// is a configuration error, not a model state).
+    #[must_use]
+    pub fn new(label: &'static str, efficiency: Ratio) -> Self {
+        assert!(efficiency.get() > 0.0, "converter efficiency must be positive");
+        Self { label, efficiency }
+    }
+
+    /// An AC→DC rectifier stage (95 % efficient).
+    #[must_use]
+    pub fn rectifier() -> Self {
+        Self::new("AC/DC", Ratio::new_clamped(0.95))
+    }
+
+    /// A DC→AC inverter stage (95 % efficient).
+    #[must_use]
+    pub fn inverter() -> Self {
+        Self::new("DC/AC", Ratio::new_clamped(0.95))
+    }
+
+    /// A DC→DC regulation stage (98 % efficient).
+    #[must_use]
+    pub fn dc_regulator() -> Self {
+        Self::new("DC/DC", Ratio::new_clamped(0.98))
+    }
+
+    /// Human-readable stage label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// The stage's one-way efficiency.
+    #[must_use]
+    pub fn efficiency(&self) -> Ratio {
+        self.efficiency
+    }
+
+    /// Power appearing at the output for `input` at the input.
+    #[must_use]
+    pub fn forward(&self, input: Watts) -> Watts {
+        input * self.efficiency.get()
+    }
+
+    /// Power that must enter the stage for `output` to appear at the
+    /// output.
+    #[must_use]
+    pub fn required_input(&self, output: Watts) -> Watts {
+        output / self.efficiency.get()
+    }
+
+    /// Power dissipated when forwarding `input`.
+    #[must_use]
+    pub fn loss(&self, input: Watts) -> Watts {
+        input - self.forward(input)
+    }
+}
+
+/// An ordered chain of conversion stages.
+///
+/// # Examples
+///
+/// ```
+/// use heb_powersys::{Converter, ConverterChain};
+/// use heb_units::Watts;
+///
+/// // The centralized UPS double conversion of Figure 7(a):
+/// let chain = ConverterChain::new(vec![Converter::rectifier(), Converter::inverter()]);
+/// let out = chain.forward(Watts::new(100.0));
+/// assert!((out.get() - 90.25).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConverterChain {
+    stages: Vec<Converter>,
+}
+
+impl ConverterChain {
+    /// Creates a chain from ordered stages. An empty chain is lossless.
+    #[must_use]
+    pub fn new(stages: Vec<Converter>) -> Self {
+        Self { stages }
+    }
+
+    /// A lossless pass-through.
+    #[must_use]
+    pub fn direct() -> Self {
+        Self::default()
+    }
+
+    /// The stages in order.
+    #[must_use]
+    pub fn stages(&self) -> &[Converter] {
+        &self.stages
+    }
+
+    /// End-to-end efficiency of the chain.
+    #[must_use]
+    pub fn efficiency(&self) -> Ratio {
+        self.stages
+            .iter()
+            .fold(Ratio::ONE, |acc, s| acc * s.efficiency())
+    }
+
+    /// Power delivered at the end of the chain for `input`.
+    #[must_use]
+    pub fn forward(&self, input: Watts) -> Watts {
+        input * self.efficiency().get()
+    }
+
+    /// Power that must enter the chain for `output` to emerge.
+    #[must_use]
+    pub fn required_input(&self, output: Watts) -> Watts {
+        output / self.efficiency().get()
+    }
+
+    /// Total power dissipated across all stages for `input`.
+    #[must_use]
+    pub fn loss(&self, input: Watts) -> Watts {
+        input - self.forward(input)
+    }
+}
+
+impl FromIterator<Converter> for ConverterChain {
+    fn from_iter<I: IntoIterator<Item = Converter>>(iter: I) -> Self {
+        Self {
+            stages: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_back() {
+        let c = Converter::rectifier();
+        let out = c.forward(Watts::new(100.0));
+        assert_eq!(out, Watts::new(95.0));
+        let needed = c.required_input(out);
+        assert!((needed.get() - 100.0).abs() < 1e-9);
+        assert_eq!(c.loss(Watts::new(100.0)), Watts::new(5.0));
+    }
+
+    #[test]
+    fn double_conversion_band() {
+        // Double conversion should land in the paper's 4–10 % loss band.
+        let chain = ConverterChain::new(vec![Converter::rectifier(), Converter::inverter()]);
+        let loss_fraction = chain.loss(Watts::new(100.0)).get() / 100.0;
+        assert!((0.04..=0.10).contains(&loss_fraction));
+    }
+
+    #[test]
+    fn empty_chain_is_lossless() {
+        let chain = ConverterChain::direct();
+        assert_eq!(chain.forward(Watts::new(42.0)), Watts::new(42.0));
+        assert_eq!(chain.efficiency(), Ratio::ONE);
+    }
+
+    #[test]
+    fn chain_from_iterator() {
+        let chain: ConverterChain =
+            [Converter::dc_regulator(), Converter::inverter()].into_iter().collect();
+        assert_eq!(chain.stages().len(), 2);
+        assert!((chain.efficiency().get() - 0.98 * 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency must be positive")]
+    fn zero_efficiency_panics() {
+        let _ = Converter::new("broken", Ratio::ZERO);
+    }
+}

@@ -1,0 +1,233 @@
+//! Utility and renewable power feeds.
+
+use heb_units::{Joules, Seconds, Watts};
+
+/// The (possibly under-provisioned) utility feed.
+///
+/// The feed supplies at most its provisioned `budget`; demand above the
+/// budget is the *peak power mismatch* the energy buffers must shave,
+/// and headroom below it is the charging opportunity (Section 2.1).
+///
+/// # Examples
+///
+/// ```
+/// use heb_powersys::UtilityFeed;
+/// use heb_units::{Seconds, Watts};
+///
+/// let mut feed = UtilityFeed::new(Watts::new(260.0));
+/// let (granted, shortfall) = feed.draw(Watts::new(300.0), Seconds::new(1.0));
+/// assert_eq!(granted.get(), 260.0);
+/// assert_eq!(shortfall.get(), 40.0);
+/// assert_eq!(feed.headroom(Watts::new(300.0)).get(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilityFeed {
+    budget: Watts,
+    energy_supplied: Joules,
+    peak_drawn: Watts,
+}
+
+impl UtilityFeed {
+    /// Creates a feed with a provisioned power budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is negative.
+    #[must_use]
+    pub fn new(budget: Watts) -> Self {
+        assert!(budget.get() >= 0.0, "budget must be non-negative");
+        Self {
+            budget,
+            energy_supplied: Joules::zero(),
+            peak_drawn: Watts::zero(),
+        }
+    }
+
+    /// The provisioned budget.
+    #[must_use]
+    pub fn budget(&self) -> Watts {
+        self.budget
+    }
+
+    /// Re-provisions the budget (for sweep experiments).
+    pub fn set_budget(&mut self, budget: Watts) {
+        self.budget = budget;
+    }
+
+    /// Draws up to `demand` for `dt`: returns `(granted, shortfall)`
+    /// powers, accounting supplied energy and the running peak.
+    pub fn draw(&mut self, demand: Watts, dt: Seconds) -> (Watts, Watts) {
+        let granted = demand.min(self.budget).max(Watts::zero());
+        let shortfall = (demand - granted).max(Watts::zero());
+        self.energy_supplied += granted * dt;
+        self.peak_drawn = self.peak_drawn.max(granted);
+        (granted, shortfall)
+    }
+
+    /// Charging headroom left under the budget at a given demand.
+    #[must_use]
+    pub fn headroom(&self, demand: Watts) -> Watts {
+        (self.budget - demand).max(Watts::zero())
+    }
+
+    /// Total energy supplied so far.
+    #[must_use]
+    pub fn energy_supplied(&self) -> Joules {
+        self.energy_supplied
+    }
+
+    /// Highest power actually drawn so far (the quantity a peak tariff
+    /// bills on).
+    #[must_use]
+    pub fn peak_drawn(&self) -> Watts {
+        self.peak_drawn
+    }
+}
+
+/// A renewable (solar) feed: a power supply that varies tick to tick and
+/// cannot be dispatched — only used or lost.
+///
+/// # Examples
+///
+/// ```
+/// use heb_powersys::RenewableFeed;
+/// use heb_units::{Seconds, Watts};
+///
+/// let mut feed = RenewableFeed::new();
+/// feed.set_supply(Watts::new(300.0));
+/// let (used, surplus) = feed.draw(Watts::new(220.0), Seconds::new(1.0));
+/// assert_eq!(used.get(), 220.0);
+/// assert_eq!(surplus.get(), 80.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RenewableFeed {
+    supply: Watts,
+    energy_generated: Joules,
+    energy_used: Joules,
+}
+
+impl RenewableFeed {
+    /// Creates a feed with zero current supply.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the generation level for the coming tick (driven by the
+    /// solar trace).
+    pub fn set_supply(&mut self, supply: Watts) {
+        self.supply = supply.max(Watts::zero());
+    }
+
+    /// Current generation level.
+    #[must_use]
+    pub fn supply(&self) -> Watts {
+        self.supply
+    }
+
+    /// Draws up to `demand` for `dt`: returns `(used, surplus)`. The
+    /// surplus is available for charging buffers; whatever the caller
+    /// does not absorb is lost (curtailed) — the REU metric charges for
+    /// exactly that loss.
+    pub fn draw(&mut self, demand: Watts, dt: Seconds) -> (Watts, Watts) {
+        let used = demand.min(self.supply).max(Watts::zero());
+        let surplus = (self.supply - used).max(Watts::zero());
+        self.energy_generated += self.supply * dt;
+        self.energy_used += used * dt;
+        (used, surplus)
+    }
+
+    /// Records additional supply absorbed into storage (counts toward
+    /// utilisation, not curtailment).
+    pub fn absorb_into_storage(&mut self, power: Watts, dt: Seconds) {
+        self.energy_used += power.max(Watts::zero()) * dt;
+    }
+
+    /// Total energy generated so far (`ΣS_RE`).
+    #[must_use]
+    pub fn energy_generated(&self) -> Joules {
+        self.energy_generated
+    }
+
+    /// Total energy put to use so far (`ΣL_RE + ΣB_RE`).
+    #[must_use]
+    pub fn energy_used(&self) -> Joules {
+        self.energy_used
+    }
+
+    /// Renewable energy utilisation so far — the paper's REU metric.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.energy_generated.is_zero() {
+            1.0
+        } else {
+            (self.energy_used / self.energy_generated).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Seconds = Seconds::new(1.0);
+
+    #[test]
+    fn utility_grants_within_budget() {
+        let mut feed = UtilityFeed::new(Watts::new(260.0));
+        let (granted, shortfall) = feed.draw(Watts::new(200.0), TICK);
+        assert_eq!(granted.get(), 200.0);
+        assert_eq!(shortfall.get(), 0.0);
+        assert_eq!(feed.energy_supplied().get(), 200.0);
+        assert_eq!(feed.headroom(Watts::new(200.0)).get(), 60.0);
+    }
+
+    #[test]
+    fn utility_caps_at_budget() {
+        let mut feed = UtilityFeed::new(Watts::new(260.0));
+        let (granted, shortfall) = feed.draw(Watts::new(420.0), TICK);
+        assert_eq!(granted.get(), 260.0);
+        assert_eq!(shortfall.get(), 160.0);
+        assert_eq!(feed.peak_drawn().get(), 260.0);
+    }
+
+    #[test]
+    fn negative_demand_grants_nothing() {
+        let mut feed = UtilityFeed::new(Watts::new(100.0));
+        let (granted, shortfall) = feed.draw(Watts::new(-5.0), TICK);
+        assert_eq!(granted, Watts::zero());
+        assert_eq!(shortfall, Watts::zero());
+    }
+
+    #[test]
+    fn renewable_surplus_and_reu() {
+        let mut feed = RenewableFeed::new();
+        feed.set_supply(Watts::new(100.0));
+        let (_, surplus) = feed.draw(Watts::new(60.0), TICK);
+        assert_eq!(surplus.get(), 40.0);
+        // Absorb half the surplus into storage; the rest is curtailed.
+        feed.absorb_into_storage(Watts::new(20.0), TICK);
+        assert!((feed.utilization() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renewable_deficit_uses_everything() {
+        let mut feed = RenewableFeed::new();
+        feed.set_supply(Watts::new(50.0));
+        let (used, surplus) = feed.draw(Watts::new(200.0), TICK);
+        assert_eq!(used.get(), 50.0);
+        assert_eq!(surplus.get(), 0.0);
+        assert!((feed.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fresh_renewable_feed_reports_full_utilization() {
+        assert_eq!(RenewableFeed::new().utilization(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_budget_panics() {
+        let _ = UtilityFeed::new(Watts::new(-1.0));
+    }
+}

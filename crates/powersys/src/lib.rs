@@ -1,0 +1,43 @@
+//! Power-delivery substrate for the HEB datacenter simulator.
+//!
+//! This crate replaces the prototype's electrical plumbing (Figure 11 of
+//! the paper): the server rack, the intelligent power distribution unit
+//! (IPDU) that meters every server once per second, the two-way relays
+//! that steer each server between utility power and an energy buffer,
+//! the AC/DC conversion stages whose losses distinguish the three
+//! architectures of Figure 7, and the utility / renewable feeds.
+//!
+//! The pieces compose into a [`Cluster`] of [`Server`]s metered by an
+//! [`Ipdu`], wired through a [`SwitchFabric`] to power sources, and
+//! supplied by a [`UtilityFeed`] with an (under-)provisioned budget.
+//!
+//! # Examples
+//!
+//! ```
+//! use heb_powersys::{Cluster, PowerSource, SwitchFabric};
+//!
+//! let cluster = Cluster::prototype(6); // six 30–70 W servers
+//! let mut fabric = SwitchFabric::new(cluster.len());
+//! fabric.assign(0, PowerSource::SuperCap);
+//! assert_eq!(fabric.source_of(0), PowerSource::SuperCap);
+//! assert_eq!(fabric.count_on(PowerSource::Utility), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod converter;
+mod feed;
+mod metering;
+mod server;
+mod switch;
+mod topology;
+
+pub use cluster::Cluster;
+pub use converter::{Converter, ConverterChain};
+pub use feed::{RenewableFeed, UtilityFeed};
+pub use metering::{Ipdu, MeterReading};
+pub use server::{FrequencyLevel, PowerState, Server, ServerParams};
+pub use switch::{PowerSource, SwitchFabric};
+pub use topology::{DeliveryPath, Topology};

@@ -1,0 +1,275 @@
+//! The intelligent PDU: per-second, per-server power metering.
+//!
+//! The prototype's IPDU reports every server's draw once per second over
+//! SNMP; the hControl bases all decisions on these readings rather than
+//! on ground truth. Keeping metering as an explicit layer preserves that
+//! structure (and gives experiments a place to inject metering noise).
+
+use crate::cluster::Cluster;
+use heb_units::{Seconds, Watts};
+use std::collections::VecDeque;
+
+/// One metering sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeterReading {
+    /// Simulation time of the sample.
+    pub at: Seconds,
+    /// Per-server draws, indexed by server id.
+    pub per_server: Vec<Watts>,
+    /// Aggregate draw.
+    pub total: Watts,
+}
+
+/// The metering unit, retaining a bounded history window, with
+/// optional multiplicative Gaussian-ish noise on every per-server
+/// sample — real IPDUs are 1–3 % instruments, and the controller only
+/// ever sees their readings.
+///
+/// # Examples
+///
+/// ```
+/// use heb_powersys::{Cluster, Ipdu};
+/// use heb_units::{Ratio, Seconds};
+///
+/// let mut cluster = Cluster::prototype(2);
+/// cluster.set_all_utilization(Ratio::ONE);
+/// let mut ipdu = Ipdu::new(60);
+/// let reading = ipdu.sample(&cluster, Seconds::new(1.0));
+/// assert_eq!(reading.total.get(), 140.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ipdu {
+    history: VecDeque<MeterReading>,
+    window: usize,
+    /// Relative (1-sigma) measurement noise; 0 = ideal instrument.
+    noise_std: f64,
+    /// Internal xorshift state for deterministic noise.
+    rng_state: u64,
+}
+
+impl Ipdu {
+    /// Creates a meter retaining the last `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "history window must be non-empty");
+        Self {
+            history: VecDeque::with_capacity(window),
+            window,
+            noise_std: 0.0,
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Same meter with multiplicative measurement noise of the given
+    /// relative standard deviation, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_std` is negative.
+    #[must_use]
+    pub fn with_noise(mut self, noise_std: f64, seed: u64) -> Self {
+        assert!(noise_std >= 0.0, "noise must be non-negative");
+        self.noise_std = noise_std;
+        self.rng_state = seed | 1;
+        self
+    }
+
+    /// One xorshift64* step mapped to a zero-mean, unit-ish-variance
+    /// sample (sum of two uniforms, Irwin–Hall of 2, scaled).
+    fn noise_sample(&mut self) -> f64 {
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        let u1 = (x >> 11) as f64 / (1u64 << 53) as f64;
+        let mut y = self.rng_state;
+        y ^= y << 13;
+        y ^= y >> 7;
+        y ^= y << 17;
+        self.rng_state = y;
+        let u2 = (y >> 11) as f64 / (1u64 << 53) as f64;
+        // Irwin-Hall(2) has variance 1/6; scale to unit variance.
+        (u1 + u2 - 1.0) * (6.0_f64).sqrt()
+    }
+
+    /// Samples the cluster at time `at`, appends to history, and returns
+    /// the reading.
+    pub fn sample(&mut self, cluster: &Cluster, at: Seconds) -> MeterReading {
+        let noise_std = self.noise_std;
+        let per_server: Vec<Watts> = cluster
+            .servers()
+            .iter()
+            .map(|s| {
+                let truth = s.power_draw();
+                if noise_std > 0.0 {
+                    (truth * (1.0 + noise_std * self.noise_sample())).max(Watts::zero())
+                } else {
+                    truth
+                }
+            })
+            .collect();
+        let total = per_server.iter().copied().sum();
+        let reading = MeterReading {
+            at,
+            per_server,
+            total,
+        };
+        if self.history.len() == self.window {
+            self.history.pop_front();
+        }
+        self.history.push_back(reading.clone());
+        reading
+    }
+
+    /// The retained samples, oldest first.
+    pub fn history(&self) -> impl Iterator<Item = &MeterReading> {
+        self.history.iter()
+    }
+
+    /// The most recent sample.
+    #[must_use]
+    pub fn latest(&self) -> Option<&MeterReading> {
+        self.history.back()
+    }
+
+    /// Mean aggregate draw over the retained window.
+    #[must_use]
+    pub fn mean_total(&self) -> Watts {
+        if self.history.is_empty() {
+            return Watts::zero();
+        }
+        let sum: Watts = self.history.iter().map(|r| r.total).sum();
+        sum / self.history.len() as f64
+    }
+
+    /// Peak aggregate draw over the retained window.
+    #[must_use]
+    pub fn peak_total(&self) -> Watts {
+        self.history
+            .iter()
+            .map(|r| r.total)
+            .fold(Watts::zero(), Watts::max)
+    }
+
+    /// Minimum aggregate draw over the retained window (the valley).
+    #[must_use]
+    pub fn valley_total(&self) -> Watts {
+        self.history
+            .iter()
+            .map(|r| r.total)
+            .fold(Watts::new(f64::INFINITY), Watts::min)
+    }
+
+    /// Number of retained samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Whether no samples have been taken yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heb_units::Ratio;
+
+    #[test]
+    fn sampling_and_stats() {
+        let mut cluster = Cluster::prototype(2);
+        let mut ipdu = Ipdu::new(10);
+        cluster.set_all_utilization(Ratio::ZERO);
+        ipdu.sample(&cluster, Seconds::new(0.0)); // 60 W
+        cluster.set_all_utilization(Ratio::ONE);
+        ipdu.sample(&cluster, Seconds::new(1.0)); // 140 W
+        assert_eq!(ipdu.len(), 2);
+        assert_eq!(ipdu.mean_total().get(), 100.0);
+        assert_eq!(ipdu.peak_total().get(), 140.0);
+        assert_eq!(ipdu.valley_total().get(), 60.0);
+        assert_eq!(ipdu.latest().unwrap().total.get(), 140.0);
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let cluster = Cluster::prototype(1);
+        let mut ipdu = Ipdu::new(3);
+        for t in 0..5 {
+            ipdu.sample(&cluster, Seconds::new(t as f64));
+        }
+        assert_eq!(ipdu.len(), 3);
+        let oldest = ipdu.history().next().unwrap();
+        assert_eq!(oldest.at, Seconds::new(2.0));
+    }
+
+    #[test]
+    fn per_server_readings_indexed_by_id() {
+        let mut cluster = Cluster::prototype(3);
+        cluster.servers_mut()[1].set_utilization(Ratio::ONE);
+        let mut ipdu = Ipdu::new(1);
+        let r = ipdu.sample(&cluster, Seconds::zero());
+        assert_eq!(r.per_server[0].get(), 30.0);
+        assert_eq!(r.per_server[1].get(), 70.0);
+        assert_eq!(r.per_server[2].get(), 30.0);
+    }
+
+    #[test]
+    fn empty_meter_stats() {
+        let ipdu = Ipdu::new(5);
+        assert!(ipdu.is_empty());
+        assert_eq!(ipdu.mean_total(), Watts::zero());
+        assert!(ipdu.latest().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "history window")]
+    fn zero_window_panics() {
+        let _ = Ipdu::new(0);
+    }
+
+    #[test]
+    fn noise_perturbs_but_stays_unbiased() {
+        let mut cluster = Cluster::prototype(1);
+        cluster.set_all_utilization(Ratio::ONE); // 70 W truth
+        let mut ipdu = Ipdu::new(1).with_noise(0.02, 7);
+        let mut sum = 0.0;
+        let mut any_off = false;
+        let n = 5000;
+        for t in 0..n {
+            let r = ipdu.sample(&cluster, Seconds::new(f64::from(t)));
+            sum += r.total.get();
+            if (r.total.get() - 70.0).abs() > 1e-9 {
+                any_off = true;
+            }
+        }
+        assert!(any_off, "noise must actually perturb readings");
+        let mean = sum / f64::from(n);
+        assert!((mean - 70.0).abs() < 0.5, "biased meter: mean {mean}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_under_seed() {
+        let cluster = Cluster::prototype(2);
+        let mut a = Ipdu::new(4).with_noise(0.05, 99);
+        let mut b = Ipdu::new(4).with_noise(0.05, 99);
+        for t in 0..50 {
+            let ra = a.sample(&cluster, Seconds::new(f64::from(t)));
+            let rb = b.sample(&cluster, Seconds::new(f64::from(t)));
+            assert_eq!(ra.total, rb.total);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "noise must be non-negative")]
+    fn negative_noise_panics() {
+        let _ = Ipdu::new(1).with_noise(-0.1, 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! The two-way relay fabric steering servers between power sources.
+//!
+//! The prototype wires every server through a two-way relay so the
+//! hControl can place it on utility power, the battery pool, or the SC
+//! pool within one control action (Figure 8). The fabric tracks relay
+//! wear (actuation counts) because mechanical relays are a real
+//! maintenance item at datacenter scale.
+
+use heb_units::Ratio;
+
+/// Where a server's relay currently points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PowerSource {
+    /// The (budget-limited) utility feed — the default position.
+    #[default]
+    Utility,
+    /// The lead-acid battery pool.
+    Battery,
+    /// The super-capacitor pool.
+    SuperCap,
+}
+
+impl PowerSource {
+    /// All source kinds, for iteration in reports.
+    pub const ALL: [PowerSource; 3] =
+        [PowerSource::Utility, PowerSource::Battery, PowerSource::SuperCap];
+}
+
+impl core::fmt::Display for PowerSource {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            PowerSource::Utility => "utility",
+            PowerSource::Battery => "battery",
+            PowerSource::SuperCap => "supercap",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The bank of per-server relays.
+///
+/// # Examples
+///
+/// ```
+/// use heb_powersys::{PowerSource, SwitchFabric};
+///
+/// let mut fabric = SwitchFabric::new(6);
+/// // Put 30 % of servers (here: the first two) on the SC pool:
+/// fabric.assign_ratio_to(PowerSource::SuperCap, 2);
+/// assert_eq!(fabric.count_on(PowerSource::SuperCap), 2);
+/// assert_eq!(fabric.count_on(PowerSource::Utility), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchFabric {
+    positions: Vec<PowerSource>,
+    actuations: u64,
+}
+
+impl SwitchFabric {
+    /// Creates a fabric of `n` relays, all pointing at utility power.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            positions: vec![PowerSource::Utility; n],
+            actuations: 0,
+        }
+    }
+
+    /// Number of relays.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the fabric has no relays.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Current position of relay `server`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    #[must_use]
+    pub fn source_of(&self, server: usize) -> PowerSource {
+        self.positions[server]
+    }
+
+    /// Points relay `server` at `source`, counting an actuation only on
+    /// actual change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn assign(&mut self, server: usize, source: PowerSource) {
+        if self.positions[server] != source {
+            self.positions[server] = source;
+            self.actuations += 1;
+        }
+    }
+
+    /// Points every relay at `source`.
+    pub fn assign_all(&mut self, source: PowerSource) {
+        for idx in 0..self.positions.len() {
+            self.assign(idx, source);
+        }
+    }
+
+    /// Points the first `count` relays at `source` and the rest at the
+    /// other buffer-or-utility default. Used to realise a coarse `R_λ`
+    /// split: `count = round(R_λ · N)` servers on the SC pool.
+    pub fn assign_ratio_to(&mut self, source: PowerSource, count: usize) {
+        let count = count.min(self.positions.len());
+        for idx in 0..count {
+            self.assign(idx, source);
+        }
+    }
+
+    /// Realises a full HEB split: `sc_count` relays on the SC pool, the
+    /// next `battery_count` on the battery pool, the rest on utility.
+    pub fn assign_split(&mut self, sc_count: usize, battery_count: usize) {
+        let n = self.positions.len();
+        let sc_end = sc_count.min(n);
+        let ba_end = (sc_count + battery_count).min(n);
+        for idx in 0..n {
+            let source = if idx < sc_end {
+                PowerSource::SuperCap
+            } else if idx < ba_end {
+                PowerSource::Battery
+            } else {
+                PowerSource::Utility
+            };
+            self.assign(idx, source);
+        }
+    }
+
+    /// Number of relays currently on `source`.
+    #[must_use]
+    pub fn count_on(&self, source: PowerSource) -> usize {
+        self.positions.iter().filter(|&&p| p == source).count()
+    }
+
+    /// Relay indices currently on `source`.
+    #[must_use]
+    pub fn servers_on(&self, source: PowerSource) -> Vec<usize> {
+        self.positions
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, &p)| (p == source).then_some(idx))
+            .collect()
+    }
+
+    /// The realised SC share of servers (an `R_λ` readback).
+    #[must_use]
+    pub fn sc_share(&self) -> Ratio {
+        if self.positions.is_empty() {
+            Ratio::ZERO
+        } else {
+            Ratio::new_clamped(
+                self.count_on(PowerSource::SuperCap) as f64 / self.positions.len() as f64,
+            )
+        }
+    }
+
+    /// Total relay actuations so far (a wear metric).
+    #[must_use]
+    pub fn actuations(&self) -> u64 {
+        self.actuations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_utility() {
+        let fabric = SwitchFabric::new(4);
+        assert_eq!(fabric.count_on(PowerSource::Utility), 4);
+        assert_eq!(fabric.sc_share(), Ratio::ZERO);
+        assert_eq!(fabric.actuations(), 0);
+    }
+
+    #[test]
+    fn assign_counts_actuations_only_on_change() {
+        let mut fabric = SwitchFabric::new(2);
+        fabric.assign(0, PowerSource::Battery);
+        fabric.assign(0, PowerSource::Battery);
+        assert_eq!(fabric.actuations(), 1);
+        fabric.assign(0, PowerSource::SuperCap);
+        assert_eq!(fabric.actuations(), 2);
+    }
+
+    #[test]
+    fn split_assignment() {
+        let mut fabric = SwitchFabric::new(6);
+        fabric.assign_split(2, 4);
+        assert_eq!(fabric.count_on(PowerSource::SuperCap), 2);
+        assert_eq!(fabric.count_on(PowerSource::Battery), 4);
+        assert_eq!(fabric.count_on(PowerSource::Utility), 0);
+        assert_eq!(fabric.servers_on(PowerSource::SuperCap), vec![0, 1]);
+        assert!((fabric.sc_share().get() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_saturates_at_fabric_size() {
+        let mut fabric = SwitchFabric::new(3);
+        fabric.assign_split(2, 5);
+        assert_eq!(fabric.count_on(PowerSource::SuperCap), 2);
+        assert_eq!(fabric.count_on(PowerSource::Battery), 1);
+    }
+
+    #[test]
+    fn assign_all() {
+        let mut fabric = SwitchFabric::new(3);
+        fabric.assign_all(PowerSource::Battery);
+        assert_eq!(fabric.count_on(PowerSource::Battery), 3);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PowerSource::SuperCap.to_string(), "supercap");
+        assert_eq!(PowerSource::ALL.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let fabric = SwitchFabric::new(1);
+        let _ = fabric.source_of(5);
+    }
+}

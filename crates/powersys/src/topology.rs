@@ -1,0 +1,166 @@
+//! The three energy-storage architectures of Figure 7.
+//!
+//! What distinguishes them, for the simulator, is *where conversion
+//! losses sit on each delivery path*:
+//!
+//! * **Centralized** (Figure 7(a)) — a double-converting online UPS on
+//!   the critical path: every watt, utility or stored, pays AC→DC→AC.
+//! * **Distributed** (Figure 7(b), the Facebook/Google style) — DC
+//!   batteries behind the PSU: utility power is clean, stored power pays
+//!   only a DC regulation stage, but buffers are homogeneous batteries.
+//! * **Hybrid HEB** (Figure 7(c)) — the paper's proposal: a switch
+//!   fabric steers servers between utility, a battery pool, and an SC
+//!   pool. Cluster-level deployment pays one DC/AC inversion on the
+//!   buffer path; rack-level deployment delivers DC directly.
+
+use crate::converter::{Converter, ConverterChain};
+
+/// A delivery path from one kind of source to the servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeliveryPath {
+    /// Utility feed to servers.
+    UtilityToLoad,
+    /// Energy buffer (battery or SC pool) to servers.
+    BufferToLoad,
+    /// Utility/renewable surplus into the energy buffer.
+    SourceToBuffer,
+}
+
+/// An energy-storage system architecture, defined by the converter chain
+/// on each delivery path.
+///
+/// # Examples
+///
+/// ```
+/// use heb_powersys::{DeliveryPath, Topology};
+/// use heb_units::Watts;
+///
+/// let central = Topology::centralized();
+/// let heb = Topology::heb_cluster_level();
+/// let path = DeliveryPath::UtilityToLoad;
+/// // The centralized UPS taxes utility power; HEB does not.
+/// assert!(central.chain(path).loss(Watts::new(100.0)) > heb.chain(path).loss(Watts::new(100.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    name: &'static str,
+    utility_to_load: ConverterChain,
+    buffer_to_load: ConverterChain,
+    source_to_buffer: ConverterChain,
+}
+
+impl Topology {
+    /// Centralized online UPS (Figure 7(a)): double conversion on every
+    /// path.
+    #[must_use]
+    pub fn centralized() -> Self {
+        let double = || {
+            ConverterChain::new(vec![Converter::rectifier(), Converter::inverter()])
+        };
+        Self {
+            name: "centralized",
+            utility_to_load: double(),
+            buffer_to_load: ConverterChain::new(vec![Converter::inverter()]),
+            source_to_buffer: ConverterChain::new(vec![Converter::rectifier()]),
+        }
+    }
+
+    /// Distributed per-rack/per-server batteries (Figure 7(b)): utility
+    /// power flows untaxed; the buffer path pays DC regulation.
+    #[must_use]
+    pub fn distributed() -> Self {
+        Self {
+            name: "distributed",
+            utility_to_load: ConverterChain::direct(),
+            buffer_to_load: ConverterChain::new(vec![Converter::dc_regulator()]),
+            source_to_buffer: ConverterChain::new(vec![Converter::rectifier()]),
+        }
+    }
+
+    /// HEB deployed at cluster level (Figure 8(b)): one hControl and one
+    /// buffer group; long-haul delivery needs a DC/AC inversion.
+    #[must_use]
+    pub fn heb_cluster_level() -> Self {
+        Self {
+            name: "heb-cluster",
+            utility_to_load: ConverterChain::direct(),
+            buffer_to_load: ConverterChain::new(vec![Converter::inverter()]),
+            source_to_buffer: ConverterChain::new(vec![Converter::rectifier()]),
+        }
+    }
+
+    /// HEB deployed at rack level (Figure 8(c)): buffers feed servers DC
+    /// directly, avoiding the inversion; buffer groups cannot share.
+    #[must_use]
+    pub fn heb_rack_level() -> Self {
+        Self {
+            name: "heb-rack",
+            utility_to_load: ConverterChain::direct(),
+            buffer_to_load: ConverterChain::new(vec![Converter::dc_regulator()]),
+            source_to_buffer: ConverterChain::new(vec![Converter::rectifier()]),
+        }
+    }
+
+    /// Architecture name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The converter chain on a given delivery path.
+    #[must_use]
+    pub fn chain(&self, path: DeliveryPath) -> &ConverterChain {
+        match path {
+            DeliveryPath::UtilityToLoad => &self.utility_to_load,
+            DeliveryPath::BufferToLoad => &self.buffer_to_load,
+            DeliveryPath::SourceToBuffer => &self.source_to_buffer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heb_units::Watts;
+
+    #[test]
+    fn centralized_double_conversion_taxes_utility_path() {
+        let t = Topology::centralized();
+        let eff = t.chain(DeliveryPath::UtilityToLoad).efficiency().get();
+        assert!((0.90..=0.96).contains(&eff), "double conversion 4–10 % loss");
+    }
+
+    #[test]
+    fn distributed_utility_path_is_free() {
+        let t = Topology::distributed();
+        assert_eq!(
+            t.chain(DeliveryPath::UtilityToLoad)
+                .forward(Watts::new(100.0)),
+            Watts::new(100.0)
+        );
+    }
+
+    #[test]
+    fn rack_level_buffer_path_beats_cluster_level() {
+        let rack = Topology::heb_rack_level();
+        let cluster = Topology::heb_cluster_level();
+        assert!(
+            rack.chain(DeliveryPath::BufferToLoad).efficiency()
+                > cluster.chain(DeliveryPath::BufferToLoad).efficiency()
+        );
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            Topology::centralized().name(),
+            Topology::distributed().name(),
+            Topology::heb_cluster_level().name(),
+            Topology::heb_rack_level().name(),
+        ];
+        let mut unique = names.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+}

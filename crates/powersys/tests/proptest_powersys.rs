@@ -1,0 +1,104 @@
+//! Property tests for the power-delivery substrate.
+
+use heb_powersys::{
+    Cluster, Converter, ConverterChain, Ipdu, PowerSource, RenewableFeed, SwitchFabric,
+    UtilityFeed,
+};
+use heb_units::{Ratio, Seconds, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn cluster_demand_stays_in_band(
+        n in 1usize..32,
+        utils in proptest::collection::vec(0.0..=1.0f64, 1..32),
+    ) {
+        let mut cluster = Cluster::prototype(n);
+        let ratios: Vec<Ratio> = utils.iter().map(|&u| Ratio::new_clamped(u)).collect();
+        cluster.set_utilizations(&ratios);
+        let demand = cluster.total_demand().get();
+        prop_assert!(demand >= 30.0 * n as f64 - 1e-9);
+        prop_assert!(demand <= 70.0 * n as f64 + 1e-9);
+    }
+
+    #[test]
+    fn shedding_and_restoring_is_idempotent(
+        n in 1usize..16,
+        shed in 0usize..20,
+    ) {
+        let mut cluster = Cluster::prototype(n);
+        let _ = cluster.tick(Seconds::new(1.0), Seconds::new(1.0));
+        let shed_ids = cluster.shed_least_recently_used(shed);
+        prop_assert_eq!(shed_ids.len(), shed.min(n));
+        prop_assert_eq!(cluster.running_count(), n - shed.min(n));
+        cluster.restore_all();
+        cluster.restore_all();
+        prop_assert_eq!(cluster.running_count(), n);
+        prop_assert_eq!(cluster.total_restarts(), shed.min(n) as u64);
+    }
+
+    #[test]
+    fn utility_feed_conserves(budget in 0.0..1e4f64, demand in -100.0..2e4f64) {
+        let mut feed = UtilityFeed::new(Watts::new(budget));
+        let (granted, shortfall) = feed.draw(Watts::new(demand), Seconds::new(1.0));
+        prop_assert!(granted.get() >= 0.0);
+        prop_assert!(granted.get() <= budget + 1e-9);
+        if demand > 0.0 {
+            prop_assert!((granted + shortfall).get() >= demand - 1e-9);
+        }
+        prop_assert!(feed.peak_drawn() <= Watts::new(budget));
+    }
+
+    #[test]
+    fn renewable_utilization_is_a_fraction(
+        supplies in proptest::collection::vec(0.0..1e3f64, 1..100),
+        demand in 0.0..1e3f64,
+        absorb_fraction in 0.0..=1.0f64,
+    ) {
+        let mut feed = RenewableFeed::new();
+        for s in supplies {
+            feed.set_supply(Watts::new(s));
+            let (_, surplus) = feed.draw(Watts::new(demand), Seconds::new(1.0));
+            feed.absorb_into_storage(surplus * absorb_fraction, Seconds::new(1.0));
+        }
+        let reu = feed.utilization();
+        prop_assert!((0.0..=1.0).contains(&reu), "REU {reu}");
+        prop_assert!(feed.energy_used() <= feed.energy_generated() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn fabric_counts_partition(n in 1usize..64, sc in 0usize..64, ba in 0usize..64) {
+        let mut fabric = SwitchFabric::new(n);
+        fabric.assign_split(sc, ba);
+        let total = fabric.count_on(PowerSource::SuperCap)
+            + fabric.count_on(PowerSource::Battery)
+            + fabric.count_on(PowerSource::Utility);
+        prop_assert_eq!(total, n);
+        prop_assert_eq!(fabric.count_on(PowerSource::SuperCap), sc.min(n));
+        prop_assert!(fabric.sc_share().in_unit_interval());
+    }
+
+    #[test]
+    fn converter_chain_round_trips(effs in proptest::collection::vec(0.5..1.0f64, 0..5), p in 0.0..1e4f64) {
+        let chain: ConverterChain = effs
+            .iter()
+            .map(|&e| Converter::new("stage", Ratio::new_clamped(e)))
+            .collect();
+        let out = chain.forward(Watts::new(p));
+        prop_assert!(out.get() <= p + 1e-9, "chains never amplify");
+        let back = chain.required_input(out);
+        prop_assert!((back.get() - p).abs() <= 1e-6 * p.max(1.0));
+        prop_assert!((chain.loss(Watts::new(p)) + out - Watts::new(p)).get().abs() <= 1e-9 * p.max(1.0));
+    }
+
+    #[test]
+    fn ipdu_window_never_overflows(window in 1usize..50, samples in 1usize..200) {
+        let cluster = Cluster::prototype(2);
+        let mut ipdu = Ipdu::new(window);
+        for t in 0..samples {
+            ipdu.sample(&cluster, Seconds::new(t as f64));
+        }
+        prop_assert_eq!(ipdu.len(), window.min(samples));
+        prop_assert!(ipdu.valley_total() <= ipdu.peak_total());
+    }
+}

@@ -1,0 +1,153 @@
+//! Operational billing: what a simulated run costs in dollars.
+//!
+//! Bridges the evaluation metrics (Section 7) to the economics
+//! (Section 7.6): a utility bill has an energy component ($/kWh), a
+//! demand charge on the billing-window peak ($/kW·month), and — the
+//! term datacenter operators actually fear — the cost of downtime,
+//! which the paper quotes at ~$100k/hour for a full facility and which
+//! scales down to a per-server-hour rate here.
+
+use heb_units::{Dollars, Joules, Seconds, Watts};
+
+/// A utility tariff plus the operator's cost of downtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tariff {
+    /// Energy price per kWh.
+    pub energy_per_kwh: Dollars,
+    /// Monthly demand charge per kW of billed peak.
+    pub demand_per_kw_month: Dollars,
+    /// Cost of one server-hour of downtime (lost revenue/SLA).
+    pub downtime_per_server_hour: Dollars,
+}
+
+impl Tariff {
+    /// Defaults consistent with the paper's numbers: 0.10 $/kWh energy,
+    /// 12 $/kW monthly demand charge, and the paper's ~$100k/hour
+    /// facility downtime scaled to a small-cluster server ($20 per
+    /// server-hour).
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        Self {
+            energy_per_kwh: Dollars::new(0.10),
+            demand_per_kw_month: Dollars::new(12.0),
+            downtime_per_server_hour: Dollars::new(20.0),
+        }
+    }
+}
+
+/// One run's operating bill, itemised.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Bill {
+    /// Energy consumed from the grid.
+    pub energy_cost: Dollars,
+    /// Demand charge, pro-rated to the run's duration.
+    pub demand_cost: Dollars,
+    /// Downtime cost.
+    pub downtime_cost: Dollars,
+}
+
+impl Bill {
+    /// The bill's total.
+    #[must_use]
+    pub fn total(&self) -> Dollars {
+        self.energy_cost + self.demand_cost + self.downtime_cost
+    }
+}
+
+/// Prices a run from its raw observables.
+///
+/// * `grid_energy` — energy drawn from the utility feed;
+/// * `billed_peak` — the peak power the meter registered;
+/// * `downtime` — aggregated server-seconds of downtime;
+/// * `duration` — the run length (for pro-rating the monthly demand
+///   charge).
+///
+/// # Panics
+///
+/// Panics if `duration` is not positive.
+#[must_use]
+pub fn bill_run(
+    tariff: &Tariff,
+    grid_energy: Joules,
+    billed_peak: Watts,
+    downtime: Seconds,
+    duration: Seconds,
+) -> Bill {
+    assert!(duration.get() > 0.0, "duration must be positive");
+    let energy_cost = tariff.energy_per_kwh * grid_energy.as_kilowatt_hours();
+    let month_fraction = duration.as_hours() / (30.0 * 24.0);
+    let demand_cost =
+        tariff.demand_per_kw_month * (billed_peak.as_kilowatts() * month_fraction);
+    let downtime_cost =
+        tariff.downtime_per_server_hour * (downtime.as_hours());
+    Bill {
+        energy_cost,
+        demand_cost,
+        downtime_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bill_components_add_up() {
+        let t = Tariff::paper_defaults();
+        // 24 h at steady 100 kW, a 120 kW peak, 3 server-hours down.
+        let b = bill_run(
+            &t,
+            Joules::from_kilowatt_hours(2400.0),
+            Watts::from_kilowatts(120.0),
+            Seconds::from_hours(3.0),
+            Seconds::from_hours(24.0),
+        );
+        assert!((b.energy_cost.get() - 240.0).abs() < 1e-9);
+        // 120 kW * 12 $ * (24/720) of a month = 48 $.
+        assert!((b.demand_cost.get() - 48.0).abs() < 1e-9);
+        assert!((b.downtime_cost.get() - 60.0).abs() < 1e-9);
+        assert!((b.total().get() - 348.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_usage_costs_nothing() {
+        let b = bill_run(
+            &Tariff::paper_defaults(),
+            Joules::zero(),
+            Watts::zero(),
+            Seconds::zero(),
+            Seconds::from_hours(1.0),
+        );
+        assert_eq!(b.total(), Dollars::zero());
+    }
+
+    #[test]
+    fn downtime_dominates_at_paper_rates() {
+        // The paper's point: downtime is the expensive failure mode.
+        let t = Tariff::paper_defaults();
+        let one_server_hour_down = bill_run(
+            &t,
+            Joules::zero(),
+            Watts::zero(),
+            Seconds::from_hours(1.0),
+            Seconds::from_hours(1.0),
+        );
+        // One server-hour of downtime costs as much as 200 kWh.
+        assert!(
+            one_server_hour_down.total().get()
+                >= 200.0 * t.energy_per_kwh.get()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_panics() {
+        let _ = bill_run(
+            &Tariff::paper_defaults(),
+            Joules::zero(),
+            Watts::zero(),
+            Seconds::zero(),
+            Seconds::zero(),
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! The prototype bill of materials (Figure 15(a)).
+
+use heb_units::{Dollars, Ratio};
+
+/// One line item of the prototype cost breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostComponent {
+    /// Component name.
+    pub name: &'static str,
+    /// Purchase cost.
+    pub cost: Dollars,
+}
+
+/// The HEB-node bill of materials.
+///
+/// Figure 15(a)'s findings: energy-storage devices dominate at ~55 % of
+/// node cost, and a node powering six servers costs under 16 % of the
+/// servers it protects (≈ $4,850 of server).
+///
+/// # Examples
+///
+/// ```
+/// use heb_tco::CostBreakdown;
+///
+/// let bom = CostBreakdown::prototype();
+/// let esd_share = bom.share_of("energy storage (SC + battery)").unwrap();
+/// assert!((esd_share.get() - 0.55).abs() < 0.03);
+/// assert!(bom.total() < bom.protected_server_cost() * 0.16);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostBreakdown {
+    components: Vec<CostComponent>,
+    protected_server_cost: Dollars,
+}
+
+impl CostBreakdown {
+    /// Creates a breakdown from line items plus the cost of the servers
+    /// the node protects.
+    #[must_use]
+    pub fn new(components: Vec<CostComponent>, protected_server_cost: Dollars) -> Self {
+        Self {
+            components,
+            protected_server_cost,
+        }
+    }
+
+    /// The scale-down prototype's bill of materials: one HEB node
+    /// (buffer cabinet, relays, control plane) protecting six servers
+    /// worth ≈ $4,850.
+    #[must_use]
+    pub fn prototype() -> Self {
+        Self::new(
+            vec![
+                CostComponent {
+                    name: "energy storage (SC + battery)",
+                    cost: Dollars::new(420.0),
+                },
+                CostComponent {
+                    name: "two-way relays",
+                    cost: Dollars::new(60.0),
+                },
+                CostComponent {
+                    name: "controller node + PLC",
+                    cost: Dollars::new(130.0),
+                },
+                CostComponent {
+                    name: "sensors (V/I/T)",
+                    cost: Dollars::new(45.0),
+                },
+                CostComponent {
+                    name: "inverters",
+                    cost: Dollars::new(80.0),
+                },
+                CostComponent {
+                    name: "cabinet + wiring",
+                    cost: Dollars::new(30.0),
+                },
+            ],
+            Dollars::new(4850.0),
+        )
+    }
+
+    /// The line items.
+    #[must_use]
+    pub fn components(&self) -> &[CostComponent] {
+        &self.components
+    }
+
+    /// Cost of the servers the node protects.
+    #[must_use]
+    pub fn protected_server_cost(&self) -> Dollars {
+        self.protected_server_cost
+    }
+
+    /// Total node cost.
+    #[must_use]
+    pub fn total(&self) -> Dollars {
+        self.components.iter().map(|c| c.cost).sum()
+    }
+
+    /// A component's share of the total, by exact name.
+    #[must_use]
+    pub fn share_of(&self, name: &str) -> Option<Ratio> {
+        let total = self.total();
+        if total.get() <= 0.0 {
+            return None;
+        }
+        self.components
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| Ratio::new_clamped(c.cost / total))
+    }
+
+    /// All `(name, share)` pairs, in line-item order.
+    #[must_use]
+    pub fn shares(&self) -> Vec<(&'static str, Ratio)> {
+        let total = self.total();
+        self.components
+            .iter()
+            .map(|c| {
+                let share = if total.get() > 0.0 {
+                    Ratio::new_clamped(c.cost / total)
+                } else {
+                    Ratio::ZERO
+                };
+                (c.name, share)
+            })
+            .collect()
+    }
+
+    /// The node's cost as a fraction of the protected servers' cost
+    /// (the paper's "<16 %" claim).
+    #[must_use]
+    pub fn fraction_of_server_cost(&self) -> Ratio {
+        if self.protected_server_cost.get() <= 0.0 {
+            Ratio::ONE
+        } else {
+            Ratio::new_unclamped(self.total() / self.protected_server_cost)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn esd_dominates_at_55_percent() {
+        let bom = CostBreakdown::prototype();
+        let share = bom.share_of("energy storage (SC + battery)").unwrap();
+        assert!((share.get() - 0.55).abs() < 0.03, "got {share}");
+    }
+
+    #[test]
+    fn node_is_under_16_percent_of_server_cost() {
+        let bom = CostBreakdown::prototype();
+        assert!(bom.fraction_of_server_cost().get() < 0.16);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let bom = CostBreakdown::prototype();
+        let sum: f64 = bom.shares().iter().map(|(_, s)| s.get()).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_component_is_none() {
+        assert!(CostBreakdown::prototype().share_of("flux capacitor").is_none());
+    }
+
+    #[test]
+    fn empty_breakdown_has_no_shares() {
+        let empty = CostBreakdown::new(Vec::new(), Dollars::new(100.0));
+        assert_eq!(empty.total(), Dollars::zero());
+        assert!(empty.share_of("anything").is_none());
+    }
+}

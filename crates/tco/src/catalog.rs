@@ -1,0 +1,183 @@
+//! The energy-storage technology catalogue behind Figure 4.
+
+use heb_units::Dollars;
+
+/// An energy-storage technology's cost/lifetime datasheet.
+///
+/// Figure 4's argument: super-capacitors look absurd on initial $/kWh
+/// (10–30 k$ vs 100–300 $ for lead-acid) but competitive once amortised
+/// over cycle life (hundreds of thousands of cycles vs ~2000).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageTechnology {
+    name: &'static str,
+    initial_cost_per_kwh: Dollars,
+    cycle_life: f64,
+    round_trip_efficiency: f64,
+    calendar_life_years: f64,
+}
+
+impl StorageTechnology {
+    /// Creates a technology entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any numeric field is non-positive or the efficiency is
+    /// outside `(0, 1]`.
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        initial_cost_per_kwh: Dollars,
+        cycle_life: f64,
+        round_trip_efficiency: f64,
+        calendar_life_years: f64,
+    ) -> Self {
+        assert!(initial_cost_per_kwh.get() > 0.0, "cost must be positive");
+        assert!(cycle_life > 0.0, "cycle life must be positive");
+        assert!(
+            round_trip_efficiency > 0.0 && round_trip_efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
+        assert!(calendar_life_years > 0.0, "calendar life must be positive");
+        Self {
+            name,
+            initial_cost_per_kwh,
+            cycle_life,
+            round_trip_efficiency,
+            calendar_life_years,
+        }
+    }
+
+    /// Deep-cycle lead-acid (the paper's UPS batteries): cheap up front,
+    /// ~2000 cycles, <80 % round trip, ~4-year service life.
+    #[must_use]
+    pub fn lead_acid() -> Self {
+        Self::new("lead-acid", Dollars::new(300.0), 2000.0, 0.78, 4.0)
+    }
+
+    /// Nickel-cadmium.
+    #[must_use]
+    pub fn nicd() -> Self {
+        Self::new("NiCd", Dollars::new(1000.0), 2500.0, 0.72, 8.0)
+    }
+
+    /// Lithium-ion.
+    #[must_use]
+    pub fn li_ion() -> Self {
+        Self::new("Li-ion", Dollars::new(1500.0), 4000.0, 0.90, 8.0)
+    }
+
+    /// Super-capacitors: 10–30 k$/kWh class (20 k here, the range
+    /// midpoint), 90–95 % round trip, ~12-year service life. The cycle
+    /// count is the *effective* figure behind the paper's ≈0.4 $/kWh
+    /// per-cycle amortisation — calendar life, not electrode wear,
+    /// bounds how many cycles a deployed module actually delivers.
+    #[must_use]
+    pub fn super_capacitor() -> Self {
+        Self::new("super-capacitor", Dollars::new(20_000.0), 50_000.0, 0.93, 12.0)
+    }
+
+    /// The four technologies of Figure 4, in the figure's order.
+    #[must_use]
+    pub fn figure4_catalog() -> Vec<StorageTechnology> {
+        vec![
+            Self::lead_acid(),
+            Self::nicd(),
+            Self::li_ion(),
+            Self::super_capacitor(),
+        ]
+    }
+
+    /// Technology name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Purchase cost per kWh of capacity.
+    #[must_use]
+    pub fn initial_cost_per_kwh(&self) -> Dollars {
+        self.initial_cost_per_kwh
+    }
+
+    /// Rated full charge/discharge cycles.
+    #[must_use]
+    pub fn cycle_life(&self) -> f64 {
+        self.cycle_life
+    }
+
+    /// Round-trip energy efficiency.
+    #[must_use]
+    pub fn round_trip_efficiency(&self) -> f64 {
+        self.round_trip_efficiency
+    }
+
+    /// Calendar service life in years.
+    #[must_use]
+    pub fn calendar_life_years(&self) -> f64 {
+        self.calendar_life_years
+    }
+
+    /// Figure 4's amortised metric: dollars per kWh *per cycle*.
+    #[must_use]
+    pub fn amortized_cost_per_kwh_cycle(&self) -> Dollars {
+        self.initial_cost_per_kwh / self.cycle_life
+    }
+
+    /// Purchase cost amortised per year of calendar life, per kWh.
+    #[must_use]
+    pub fn amortized_cost_per_kwh_year(&self) -> Dollars {
+        self.initial_cost_per_kwh / self.calendar_life_years
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_initial_cost_ordering() {
+        // Initial: LA < NiCd <= Li-ion << SC.
+        let c = StorageTechnology::figure4_catalog();
+        assert!(c[0].initial_cost_per_kwh() < c[1].initial_cost_per_kwh());
+        assert!(c[1].initial_cost_per_kwh() <= c[2].initial_cost_per_kwh());
+        assert!(c[3].initial_cost_per_kwh().get() >= 10_000.0);
+    }
+
+    #[test]
+    fn figure4_amortized_story() {
+        // Amortised per cycle, SC is close to NiCd/Li-ion (≈0.4 $/kWh
+        // band) and above lead-acid — but not by orders of magnitude.
+        let sc = StorageTechnology::super_capacitor();
+        let la = StorageTechnology::lead_acid();
+        let nicd = StorageTechnology::nicd();
+        let li = StorageTechnology::li_ion();
+        let sc_am = sc.amortized_cost_per_kwh_cycle().get();
+        assert!(sc_am < 0.5, "SC amortised should be sub-dollar, got {sc_am}");
+        assert!(la.amortized_cost_per_kwh_cycle().get() < sc_am);
+        assert!((nicd.amortized_cost_per_kwh_cycle().get() - 0.4).abs() < 0.1);
+        assert!(li.amortized_cost_per_kwh_cycle().get() < 0.5);
+    }
+
+    #[test]
+    fn yearly_amortization() {
+        let la = StorageTechnology::lead_acid();
+        assert_eq!(la.amortized_cost_per_kwh_year().get(), 75.0);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<_> = StorageTechnology::figure4_catalog()
+            .iter()
+            .map(|t| t.name())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn invalid_efficiency_panics() {
+        let _ = StorageTechnology::new("bad", Dollars::new(1.0), 1.0, 1.5, 1.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Total-cost-of-ownership analysis for hybrid energy buffers.
+//!
+//! Implements the paper's Section 7.6 economics:
+//!
+//! * [`StorageTechnology`] — the initial-vs-amortised cost comparison of
+//!   Figure 4 (lead-acid, NiCd, Li-ion, super-capacitors);
+//! * [`CostBreakdown`] — the prototype bill of materials of Figure 15(a);
+//! * [`RoiModel`] — the return-on-investment surface of Figure 15(b):
+//!   is it worth buying buffers instead of provisioning infrastructure?
+//! * [`PeakShavingModel`] / [`SchemeEconomics`] — the 8-year
+//!   peak-shaving revenue race of Figure 15(c) with per-scheme
+//!   efficiency, availability, and battery-replacement schedules;
+//! * [`bill_run`] / [`Tariff`] — price a simulated run's grid energy,
+//!   demand charge, and downtime in dollars.
+//!
+//! # Examples
+//!
+//! ```
+//! use heb_tco::StorageTechnology;
+//!
+//! let sc = StorageTechnology::super_capacitor();
+//! let la = StorageTechnology::lead_acid();
+//! // SCs cost orders of magnitude more up front...
+//! assert!(sc.initial_cost_per_kwh().get() > 30.0 * la.initial_cost_per_kwh().get());
+//! // ...but amortised per cycle they are competitive:
+//! assert!(sc.amortized_cost_per_kwh_cycle().get() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod billing;
+mod breakdown;
+mod catalog;
+mod peak_shaving;
+mod roi;
+
+pub use billing::{bill_run, Bill, Tariff};
+pub use breakdown::{CostBreakdown, CostComponent};
+pub use catalog::StorageTechnology;
+pub use peak_shaving::{PeakShavingModel, SchemeEconomics};
+pub use roi::RoiModel;

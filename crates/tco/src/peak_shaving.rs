@@ -1,0 +1,323 @@
+//! The 8-year peak-shaving revenue race of Figure 15(c).
+//!
+//! Utilities bill datacenters a demand charge on the peak draw averaged
+//! over a short billing window; an energy buffer that reliably rides
+//! through that window shaves `ΔP = usable_energy / window` kilowatts
+//! off the bill, every month. Figure 15(c) races four buffer
+//! configurations over 8 years for a 100 kW facility with a 20 kWh
+//! buffer and a 12 $/kW monthly peak tariff.
+//!
+//! Cost accounting: the up-front buffer purchase, plus battery
+//! replacement accrued as a *sinking fund* (`replacement cost / battery
+//! life` per year). The sinking-fund form is what makes the paper's
+//! reported break-even points (BaOnly 4.2 y between its replacement
+//! boundaries) arithmetically possible at all; lump replacements can
+//! only produce break-evens below 4 or above 8 years for BaOnly.
+//!
+//! Pricing note (documented in EXPERIMENTS.md): at the paper's headline
+//! 10 k$/kWh super-capacitor price, a 6 kWh SC pool costs $60 k against
+//! ≤$35 k of attainable 8-year revenue, so *no* hybrid scheme could break
+//! even and Figure 15(c) is unreproducible as stated. We price SCs at
+//! 2 k$/kWh — the near-term cost the paper's own ref. [41] projects —
+//! which reproduces the figure's break-even ordering and the ≥1.9× gain.
+
+use heb_units::{Dollars, Ratio};
+
+/// Per-scheme parameters feeding the revenue race. The efficiency and
+/// availability numbers come out of the Section 7 experiments; the
+/// battery life is Figure 12(c)'s result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeEconomics {
+    /// Display name ("BaOnly", "HEB", …).
+    pub name: &'static str,
+    /// Fraction of buffer capacity that is battery (the rest is SC).
+    pub battery_fraction: Ratio,
+    /// Round-trip efficiency achieved by the scheme's dispatch policy —
+    /// scales how much billed peak each stored kWh actually shaves.
+    pub shaving_efficiency: Ratio,
+    /// Fraction of billing peaks the buffer successfully covers
+    /// (1 − normalised downtime).
+    pub availability: Ratio,
+    /// Battery service life under this scheme, in years.
+    pub battery_life_years: f64,
+}
+
+impl SchemeEconomics {
+    /// Homogeneous-battery baseline (`BaOnly`): full battery capacity,
+    /// lead-acid efficiency, Peukert-limited availability, 4-year
+    /// replacement cadence.
+    #[must_use]
+    pub fn ba_only() -> Self {
+        Self {
+            name: "BaOnly",
+            battery_fraction: Ratio::ONE,
+            shaving_efficiency: Ratio::new_clamped(0.76),
+            availability: Ratio::new_clamped(0.80),
+            battery_life_years: 4.0,
+        }
+    }
+
+    /// Hybrid with battery-first priority (`BaFirst`): pays for SCs but
+    /// barely uses them, so batteries wear almost as fast as `BaOnly`.
+    #[must_use]
+    pub fn ba_first() -> Self {
+        Self {
+            name: "BaFirst",
+            battery_fraction: Ratio::new_clamped(0.7),
+            shaving_efficiency: Ratio::new_clamped(0.78),
+            availability: Ratio::new_clamped(0.89),
+            battery_life_years: 4.5,
+        }
+    }
+
+    /// Hybrid with SC-first priority (`SCFirst`).
+    #[must_use]
+    pub fn sc_first() -> Self {
+        Self {
+            name: "SCFirst",
+            battery_fraction: Ratio::new_clamped(0.7),
+            shaving_efficiency: Ratio::new_clamped(0.86),
+            availability: Ratio::new_clamped(0.92),
+            battery_life_years: 9.0,
+        }
+    }
+
+    /// The full HEB dynamic policy: highest efficiency and availability,
+    /// batteries protected enough to outlive the 8-year window.
+    #[must_use]
+    pub fn heb() -> Self {
+        Self {
+            name: "HEB",
+            battery_fraction: Ratio::new_clamped(0.7),
+            shaving_efficiency: Ratio::new_clamped(0.95),
+            availability: Ratio::new_clamped(0.97),
+            battery_life_years: 16.0,
+        }
+    }
+
+    /// The four schemes of Figure 15(c), in the figure's order.
+    #[must_use]
+    pub fn figure15_schemes() -> Vec<SchemeEconomics> {
+        vec![Self::ba_only(), Self::ba_first(), Self::sc_first(), Self::heb()]
+    }
+}
+
+/// The facility-level revenue model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeakShavingModel {
+    buffer_kwh: f64,
+    usable_fraction: Ratio,
+    peak_tariff_per_kw_month: Dollars,
+    battery_cost_per_kwh: Dollars,
+    sc_cost_per_kwh: Dollars,
+    /// The demand-charge billing window the buffer must ride through.
+    billing_window_hours: f64,
+}
+
+impl PeakShavingModel {
+    /// The paper's configuration: a 100 kW datacenter with a 20 kWh
+    /// buffer (80 % usable), 12 $/kW monthly peak tariff, battery
+    /// 300 $/kWh, SC 2 k$/kWh (see the module pricing note), 30-minute
+    /// demand-charge window.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        Self {
+            buffer_kwh: 20.0,
+            usable_fraction: Ratio::new_clamped(0.8),
+            peak_tariff_per_kw_month: Dollars::new(12.0),
+            battery_cost_per_kwh: Dollars::new(300.0),
+            sc_cost_per_kwh: Dollars::new(2_000.0),
+            billing_window_hours: 0.5,
+        }
+    }
+
+    /// Buffer size in kWh.
+    #[must_use]
+    pub fn buffer_kwh(&self) -> f64 {
+        self.buffer_kwh
+    }
+
+    /// Up-front purchase cost of a scheme's buffer mix.
+    #[must_use]
+    pub fn capex(&self, scheme: &SchemeEconomics) -> Dollars {
+        let ba_kwh = self.buffer_kwh * scheme.battery_fraction.get();
+        let sc_kwh = self.buffer_kwh - ba_kwh;
+        self.battery_cost_per_kwh * ba_kwh + self.sc_cost_per_kwh * sc_kwh
+    }
+
+    /// Cost of one full battery replacement for the scheme.
+    #[must_use]
+    pub fn battery_replacement_cost(&self, scheme: &SchemeEconomics) -> Dollars {
+        self.battery_cost_per_kwh * (self.buffer_kwh * scheme.battery_fraction.get())
+    }
+
+    /// Yearly sinking-fund accrual toward battery replacement.
+    #[must_use]
+    pub fn replacement_accrual_per_year(&self, scheme: &SchemeEconomics) -> Dollars {
+        self.battery_replacement_cost(scheme) / scheme.battery_life_years
+    }
+
+    /// Billed peak reduction the scheme sustains, in kW.
+    #[must_use]
+    pub fn peak_reduction_kw(&self, scheme: &SchemeEconomics) -> f64 {
+        self.buffer_kwh * self.usable_fraction.get() / self.billing_window_hours
+            * scheme.shaving_efficiency.get()
+            * scheme.availability.get()
+    }
+
+    /// Revenue earned per year.
+    #[must_use]
+    pub fn annual_revenue(&self, scheme: &SchemeEconomics) -> Dollars {
+        self.peak_tariff_per_kw_month * (12.0 * self.peak_reduction_kw(scheme))
+    }
+
+    /// Cumulative cost at `years`: capex plus the sinking-fund accrual.
+    #[must_use]
+    pub fn cumulative_cost(&self, scheme: &SchemeEconomics, years: f64) -> Dollars {
+        self.capex(scheme) + self.replacement_accrual_per_year(scheme) * years
+    }
+
+    /// Cumulative net profit (revenue − cost) at `years`.
+    #[must_use]
+    pub fn net_profit(&self, scheme: &SchemeEconomics, years: f64) -> Dollars {
+        self.annual_revenue(scheme) * years - self.cumulative_cost(scheme, years)
+    }
+
+    /// First point (in years, month granularity) at which cumulative
+    /// revenue covers cumulative cost, within `horizon_years`. `None` if
+    /// the scheme never breaks even in the horizon.
+    #[must_use]
+    pub fn break_even_years(&self, scheme: &SchemeEconomics, horizon_years: f64) -> Option<f64> {
+        let months = (horizon_years * 12.0).ceil() as usize;
+        for m in 1..=months {
+            let years = m as f64 / 12.0;
+            if self.net_profit(scheme, years).get() >= 0.0 {
+                return Some(years);
+            }
+        }
+        None
+    }
+
+    /// Per-year net profit of `scheme` relative to `baseline`,
+    /// accumulated and averaged over `horizon_years` (the paper's
+    /// "accumulating and then averaging the per-year net profit within
+    /// 8 years"). Returns `None` when the baseline's average profit is
+    /// not positive (the ratio would be meaningless).
+    #[must_use]
+    pub fn gain_vs(
+        &self,
+        scheme: &SchemeEconomics,
+        baseline: &SchemeEconomics,
+        horizon_years: f64,
+    ) -> Option<f64> {
+        let base = self.net_profit(baseline, horizon_years).get() / horizon_years;
+        if base <= 0.0 {
+            return None;
+        }
+        let ours = self.net_profit(scheme, horizon_years).get() / horizon_years;
+        Some(ours / base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PeakShavingModel {
+        PeakShavingModel::paper_defaults()
+    }
+
+    #[test]
+    fn capex_matches_mix() {
+        let m = model();
+        // BaOnly: 20 kWh * 300 $ = 6000 $.
+        assert_eq!(m.capex(&SchemeEconomics::ba_only()).get(), 6000.0);
+        // Hybrid: 14 kWh battery + 6 kWh SC = 4200 + 12000.
+        assert_eq!(m.capex(&SchemeEconomics::heb()).get(), 16_200.0);
+    }
+
+    #[test]
+    fn ba_only_break_even_near_paper_value() {
+        // Paper: 4.2 years for BaOnly.
+        let be = model()
+            .break_even_years(&SchemeEconomics::ba_only(), 10.0)
+            .expect("BaOnly must break even");
+        assert!(
+            (3.6..=5.2).contains(&be),
+            "BaOnly break-even {be} far from the paper's 4.2 y"
+        );
+    }
+
+    #[test]
+    fn break_even_ordering_matches_figure() {
+        // Paper ordering: HEB 3.7 < BaOnly 4.2 < SCFirst 4.9 < BaFirst 6.3.
+        let m = model();
+        let be = |s: &SchemeEconomics| m.break_even_years(s, 20.0).unwrap();
+        let heb = be(&SchemeEconomics::heb());
+        let ba_only = be(&SchemeEconomics::ba_only());
+        let sc_first = be(&SchemeEconomics::sc_first());
+        let ba_first = be(&SchemeEconomics::ba_first());
+        assert!(
+            heb < ba_only && ba_only < sc_first && sc_first < ba_first,
+            "ordering violated: heb={heb} baonly={ba_only} scfirst={sc_first} bafirst={ba_first}"
+        );
+    }
+
+    #[test]
+    fn heb_gains_at_least_1_9x_over_8_years() {
+        let m = model();
+        let gain = m
+            .gain_vs(&SchemeEconomics::heb(), &SchemeEconomics::ba_only(), 8.0)
+            .expect("baseline profitable over 8 years");
+        assert!(gain >= 1.9, "HEB gain {gain} below the paper's 1.9x");
+    }
+
+    #[test]
+    fn ba_first_is_less_profitable_than_ba_only() {
+        // The paper's cautionary result: badly managed hybrid buffers
+        // under-perform homogeneous ones.
+        let m = model();
+        assert!(
+            m.net_profit(&SchemeEconomics::ba_first(), 8.0)
+                < m.net_profit(&SchemeEconomics::ba_only(), 8.0)
+        );
+    }
+
+    #[test]
+    fn sinking_fund_accrues_linearly() {
+        let m = model();
+        let s = SchemeEconomics::ba_only();
+        // 6000 $ replacement over 4 years = 1500 $/y accrual.
+        assert_eq!(m.replacement_accrual_per_year(&s).get(), 1500.0);
+        let c5 = m.cumulative_cost(&s, 5.0).get();
+        let c3 = m.cumulative_cost(&s, 3.0).get();
+        assert!((c5 - c3 - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heb_protects_batteries_hence_tiny_accrual() {
+        let m = model();
+        let heb = m.replacement_accrual_per_year(&SchemeEconomics::heb());
+        let ba = m.replacement_accrual_per_year(&SchemeEconomics::ba_only());
+        assert!(heb.get() < 0.2 * ba.get());
+    }
+
+    #[test]
+    fn never_breaking_even_is_none() {
+        let m = model();
+        let mut hopeless = SchemeEconomics::ba_first();
+        hopeless.shaving_efficiency = Ratio::new_clamped(0.01);
+        assert!(m.break_even_years(&hopeless, 8.0).is_none());
+        assert!(m.gain_vs(&SchemeEconomics::heb(), &hopeless, 8.0).is_none());
+    }
+
+    #[test]
+    fn figure15_schemes_complete() {
+        let schemes = SchemeEconomics::figure15_schemes();
+        assert_eq!(schemes.len(), 4);
+        let mut names: Vec<_> = schemes.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

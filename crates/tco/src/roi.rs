@@ -1,0 +1,176 @@
+//! The return-on-investment model of Figure 15(b).
+//!
+//! The question the figure answers: given an under-provisioned facility,
+//! is procuring hybrid buffers to ride out `e` hours of peak cheaper
+//! than provisioning `C_cap` dollars of infrastructure per watt? The
+//! paper's metric is `ROI = (C_cap − e·C_HEB) / (e·C_HEB)`, with all
+//! costs amortised over component lifetimes (battery 4 y, SC 12 y,
+//! infrastructure 12 y).
+//!
+//! Note on the blend: the paper's prose sets `x = 0.3, y = 0.7` with `x`
+//! described as the battery ratio, which contradicts the prototype's
+//! 3:7 SC:battery capacity split everywhere else in the paper. We treat
+//! that sentence as a typo and use 30 % SC / 70 % battery, matching
+//! Section 7's experimental configuration (see EXPERIMENTS.md).
+
+use heb_units::{Dollars, Ratio};
+
+/// The ROI model with its cost assumptions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoiModel {
+    battery_cost_per_kwh: Dollars,
+    sc_cost_per_kwh: Dollars,
+    sc_fraction: Ratio,
+    battery_life_years: f64,
+    sc_life_years: f64,
+    infrastructure_life_years: f64,
+}
+
+impl RoiModel {
+    /// The paper's assumptions: battery 300 $/kWh over 4 years, SC
+    /// 10 k$/kWh over 12 years, infrastructure amortised over 12 years,
+    /// 30 % SC / 70 % battery by capacity.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        Self {
+            battery_cost_per_kwh: Dollars::new(300.0),
+            sc_cost_per_kwh: Dollars::new(10_000.0),
+            sc_fraction: Ratio::new_clamped(0.3),
+            battery_life_years: 4.0,
+            sc_life_years: 12.0,
+            infrastructure_life_years: 12.0,
+        }
+    }
+
+    /// Adjusts the SC capacity fraction (for ratio sweeps).
+    #[must_use]
+    pub fn with_sc_fraction(mut self, sc_fraction: Ratio) -> Self {
+        self.sc_fraction = sc_fraction;
+        self
+    }
+
+    /// Blended buffer cost per kWh *before* amortisation:
+    /// `C_HEB = C_bat·(1−f_sc) + C_sc·f_sc`.
+    #[must_use]
+    pub fn blended_cost_per_kwh(&self) -> Dollars {
+        self.battery_cost_per_kwh * self.sc_fraction.complement().get()
+            + self.sc_cost_per_kwh * self.sc_fraction.get()
+    }
+
+    /// Blended buffer cost per kWh *per year*, amortising each chemistry
+    /// over its own service life.
+    #[must_use]
+    pub fn amortized_cost_per_kwh_year(&self) -> Dollars {
+        self.battery_cost_per_kwh * self.sc_fraction.complement().get()
+            / self.battery_life_years
+            + self.sc_cost_per_kwh * self.sc_fraction.get() / self.sc_life_years
+    }
+
+    /// Yearly amortised buffer cost per *watt* of peak sustained for
+    /// `peak_hours`: `e` hours of peak at 1 W needs `e` Wh of buffer.
+    #[must_use]
+    pub fn buffer_cost_per_watt_year(&self, peak_hours: f64) -> Dollars {
+        self.amortized_cost_per_kwh_year() * (peak_hours / 1000.0)
+    }
+
+    /// Yearly amortised infrastructure cost per watt at a CAPEX of
+    /// `c_cap` dollars per provisioned watt.
+    #[must_use]
+    pub fn infrastructure_cost_per_watt_year(&self, c_cap: Dollars) -> Dollars {
+        c_cap / self.infrastructure_life_years
+    }
+
+    /// The paper's ROI: `(C_cap − e·C_HEB) / (e·C_HEB)` on amortised
+    /// per-watt-year costs. Positive means buying buffers beats
+    /// provisioning infrastructure.
+    #[must_use]
+    pub fn roi(&self, c_cap: Dollars, peak_hours: f64) -> f64 {
+        let buffer = self.buffer_cost_per_watt_year(peak_hours).get();
+        let infra = self.infrastructure_cost_per_watt_year(c_cap).get();
+        if buffer <= 0.0 {
+            return f64::INFINITY;
+        }
+        (infra - buffer) / buffer
+    }
+
+    /// The full ROI surface over a grid of `c_cap` values and peak
+    /// durations, row-major by `c_cap`.
+    #[must_use]
+    pub fn surface(&self, c_caps: &[Dollars], peak_hours: &[f64]) -> Vec<Vec<f64>> {
+        c_caps
+            .iter()
+            .map(|&c| peak_hours.iter().map(|&e| self.roi(c, e)).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blended_cost_matches_hand_calculation() {
+        let m = RoiModel::paper_defaults();
+        // 0.7·300 + 0.3·10000 = 3210 $/kWh
+        assert!((m.blended_cost_per_kwh().get() - 3210.0).abs() < 1e-9);
+        // Amortised: 0.7·300/4 + 0.3·10000/12 = 52.5 + 250 = 302.5 $/kWh·y
+        assert!((m.amortized_cost_per_kwh_year().get() - 302.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roi_positive_across_most_operating_region() {
+        // The paper's observation for C_cap in [2, 20] $/W and sub-hour
+        // peaks: deploying buffers is worthwhile almost everywhere.
+        let m = RoiModel::paper_defaults();
+        let mut positive = 0;
+        let mut total = 0;
+        for c_cap in [2.0, 5.0, 10.0, 15.0, 20.0] {
+            for e in [0.25, 0.5, 1.0, 2.0] {
+                total += 1;
+                if m.roi(Dollars::new(c_cap), e) > 0.0 {
+                    positive += 1;
+                }
+            }
+        }
+        assert!(
+            positive as f64 / total as f64 > 0.7,
+            "only {positive}/{total} cells positive"
+        );
+    }
+
+    #[test]
+    fn roi_grows_with_c_cap_and_shrinks_with_duration() {
+        let m = RoiModel::paper_defaults();
+        assert!(m.roi(Dollars::new(20.0), 1.0) > m.roi(Dollars::new(5.0), 1.0));
+        assert!(m.roi(Dollars::new(10.0), 0.5) > m.roi(Dollars::new(10.0), 2.0));
+    }
+
+    #[test]
+    fn long_peaks_with_cheap_infrastructure_go_negative() {
+        // Sustaining very long peaks from buffers cannot beat cheap
+        // infrastructure.
+        let m = RoiModel::paper_defaults();
+        assert!(m.roi(Dollars::new(2.0), 8.0) < 0.0);
+    }
+
+    #[test]
+    fn pure_battery_blend_is_cheaper_per_kwh() {
+        let hybrid = RoiModel::paper_defaults();
+        let pure_ba = RoiModel::paper_defaults().with_sc_fraction(Ratio::ZERO);
+        assert!(pure_ba.blended_cost_per_kwh() < hybrid.blended_cost_per_kwh());
+    }
+
+    #[test]
+    fn surface_shape() {
+        let m = RoiModel::paper_defaults();
+        let s = m.surface(
+            &[Dollars::new(2.0), Dollars::new(20.0)],
+            &[0.5, 1.0, 2.0],
+        );
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].len(), 3);
+        // Monotone in both axes.
+        assert!(s[1][0] > s[0][0]);
+        assert!(s[0][0] > s[0][2]);
+    }
+}

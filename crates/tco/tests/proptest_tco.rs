@@ -1,0 +1,94 @@
+//! Property tests for the economics models.
+
+use heb_tco::{PeakShavingModel, RoiModel, SchemeEconomics};
+use heb_units::{Dollars, Ratio};
+use proptest::prelude::*;
+
+fn scheme_strategy() -> impl Strategy<Value = SchemeEconomics> {
+    (
+        0.0..=1.0f64,
+        0.3..=1.0f64,
+        0.3..=1.0f64,
+        1.0..=20.0f64,
+    )
+        .prop_map(|(ba_frac, eff, avail, life)| SchemeEconomics {
+            name: "generated",
+            battery_fraction: Ratio::new_clamped(ba_frac),
+            shaving_efficiency: Ratio::new_clamped(eff),
+            availability: Ratio::new_clamped(avail),
+            battery_life_years: life,
+        })
+}
+
+proptest! {
+    #[test]
+    fn roi_monotone_in_capex_and_antitone_in_duration(
+        c1 in 1.0..30.0f64,
+        c2 in 1.0..30.0f64,
+        e1 in 0.1..8.0f64,
+        e2 in 0.1..8.0f64,
+    ) {
+        let m = RoiModel::paper_defaults();
+        let (c_lo, c_hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        prop_assert!(m.roi(Dollars::new(c_hi), e1) >= m.roi(Dollars::new(c_lo), e1));
+        let (e_lo, e_hi) = if e1 <= e2 { (e1, e2) } else { (e2, e1) };
+        prop_assert!(m.roi(Dollars::new(c1), e_lo) >= m.roi(Dollars::new(c1), e_hi));
+    }
+
+    #[test]
+    fn blended_cost_interpolates_between_chemistries(f in 0.0..=1.0f64) {
+        let m = RoiModel::paper_defaults().with_sc_fraction(Ratio::new_clamped(f));
+        let cost = m.blended_cost_per_kwh().get();
+        prop_assert!((300.0 - 1e-9..=10_000.0 + 1e-9).contains(&cost));
+    }
+
+    #[test]
+    fn cumulative_cost_is_nondecreasing(scheme in scheme_strategy(), y1 in 0.0..20.0f64, y2 in 0.0..20.0f64) {
+        let m = PeakShavingModel::paper_defaults();
+        let (lo, hi) = if y1 <= y2 { (y1, y2) } else { (y2, y1) };
+        prop_assert!(m.cumulative_cost(&scheme, hi) >= m.cumulative_cost(&scheme, lo));
+    }
+
+    #[test]
+    fn break_even_is_consistent_with_net_profit(scheme in scheme_strategy()) {
+        let m = PeakShavingModel::paper_defaults();
+        match m.break_even_years(&scheme, 30.0) {
+            Some(be) => {
+                prop_assert!(m.net_profit(&scheme, be).get() >= -1e-6);
+                // One month earlier, it had not yet broken even (unless
+                // break-even is the very first month).
+                if be > 0.1 {
+                    prop_assert!(m.net_profit(&scheme, be - 1.0 / 12.0).get() < 1e-6);
+                }
+            }
+            None => {
+                prop_assert!(m.net_profit(&scheme, 30.0).get() < 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn revenue_scales_with_quality(
+        eff1 in 0.3..=1.0f64,
+        eff2 in 0.3..=1.0f64,
+    ) {
+        let m = PeakShavingModel::paper_defaults();
+        let mut a = SchemeEconomics::heb();
+        let mut b = SchemeEconomics::heb();
+        a.shaving_efficiency = Ratio::new_clamped(eff1);
+        b.shaving_efficiency = Ratio::new_clamped(eff2);
+        if eff1 >= eff2 {
+            prop_assert!(m.annual_revenue(&a) >= m.annual_revenue(&b));
+        } else {
+            prop_assert!(m.annual_revenue(&a) <= m.annual_revenue(&b));
+        }
+    }
+
+    #[test]
+    fn gain_vs_self_is_unity_when_profitable(scheme in scheme_strategy()) {
+        let m = PeakShavingModel::paper_defaults();
+        if let Some(gain) = m.gain_vs(&scheme, &scheme, 8.0) {
+            prop_assert!((gain - 1.0).abs() < 1e-9);
+        }
+    }
+}

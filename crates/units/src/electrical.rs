@@ -1,0 +1,273 @@
+//! Voltage, current, resistance, capacitance, and charge.
+
+use crate::{Joules, Seconds, Watts, SECONDS_PER_HOUR};
+
+quantity!(
+    /// Electrical potential in volts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use heb_units::{Volts, Amps};
+    ///
+    /// // A 24 V lead-acid string sourcing 10 A delivers 240 W:
+    /// assert_eq!((Volts::new(24.0) * Amps::new(10.0)).get(), 240.0);
+    /// ```
+    Volts,
+    "V"
+);
+
+quantity!(
+    /// Electrical current in amperes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use heb_units::{Amps, Seconds};
+    ///
+    /// // 10 A for an hour moves 10 Ah of charge:
+    /// let q = Amps::new(10.0) * Seconds::new(3600.0);
+    /// assert_eq!(q.as_amp_hours().get(), 10.0);
+    /// ```
+    Amps,
+    "A"
+);
+
+quantity!(
+    /// Electrical resistance in ohms, used for internal/equivalent series
+    /// resistance of storage devices.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use heb_units::{Ohms, Amps};
+    ///
+    /// let drop = Amps::new(20.0) * Ohms::new(0.05);
+    /// assert_eq!(drop.get(), 1.0);
+    /// ```
+    Ohms,
+    "Ω"
+);
+
+quantity!(
+    /// Capacitance in farads (the Maxwell modules in the paper are 600 F).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use heb_units::{Farads, Volts};
+    ///
+    /// let q = Farads::new(600.0) * Volts::new(16.0);
+    /// assert_eq!(q.get(), 9600.0);
+    /// ```
+    Farads,
+    "F"
+);
+
+quantity!(
+    /// Electrical charge in coulombs (amp-seconds).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use heb_units::Coulombs;
+    ///
+    /// assert_eq!(Coulombs::new(3600.0).as_amp_hours().get(), 1.0);
+    /// ```
+    Coulombs,
+    "C"
+);
+
+quantity!(
+    /// Charge capacity in amp-hours — the unit battery datasheets and the
+    /// Ah-throughput lifetime model use.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use heb_units::{AmpHours, Volts};
+    ///
+    /// // A 24 V, 8 Ah string stores 192 Wh:
+    /// let e = AmpHours::new(8.0).energy_at(Volts::new(24.0));
+    /// assert_eq!(e.as_watt_hours().get(), 192.0);
+    /// ```
+    AmpHours,
+    "Ah"
+);
+
+impl Coulombs {
+    /// The equivalent amp-hour quantity.
+    #[must_use]
+    pub fn as_amp_hours(self) -> AmpHours {
+        AmpHours::new(self.get() / SECONDS_PER_HOUR)
+    }
+}
+
+impl AmpHours {
+    /// The equivalent coulomb quantity.
+    #[must_use]
+    pub fn as_coulombs(self) -> Coulombs {
+        Coulombs::new(self.get() * SECONDS_PER_HOUR)
+    }
+
+    /// Energy held by this charge at a (nominal) voltage.
+    #[must_use]
+    pub fn energy_at(self, voltage: Volts) -> Joules {
+        Joules::from_watt_hours(self.get() * voltage.get())
+    }
+}
+
+impl From<Coulombs> for AmpHours {
+    fn from(q: Coulombs) -> Self {
+        q.as_amp_hours()
+    }
+}
+
+impl From<AmpHours> for Coulombs {
+    fn from(q: AmpHours) -> Self {
+        q.as_coulombs()
+    }
+}
+
+impl core::ops::Mul<Amps> for Volts {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts::new(self.get() * rhs.get())
+    }
+}
+
+impl core::ops::Mul<Volts> for Amps {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        rhs * self
+    }
+}
+
+impl core::ops::Div<Volts> for Watts {
+    type Output = Amps;
+    /// Current drawn when this power is sourced at `rhs`.
+    #[inline]
+    fn div(self, rhs: Volts) -> Amps {
+        Amps::new(self.get() / rhs.get())
+    }
+}
+
+impl core::ops::Div<Amps> for Watts {
+    type Output = Volts;
+    #[inline]
+    fn div(self, rhs: Amps) -> Volts {
+        Volts::new(self.get() / rhs.get())
+    }
+}
+
+impl core::ops::Mul<Ohms> for Amps {
+    type Output = Volts;
+    /// Ohmic voltage drop.
+    #[inline]
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts::new(self.get() * rhs.get())
+    }
+}
+
+impl core::ops::Div<Ohms> for Volts {
+    type Output = Amps;
+    #[inline]
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps::new(self.get() / rhs.get())
+    }
+}
+
+impl core::ops::Mul<Seconds> for Amps {
+    type Output = Coulombs;
+    /// Charge moved by this current over `rhs`.
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Coulombs {
+        Coulombs::new(self.get() * rhs.get())
+    }
+}
+
+impl core::ops::Div<Seconds> for Coulombs {
+    type Output = Amps;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Amps {
+        Amps::new(self.get() / rhs.get())
+    }
+}
+
+impl core::ops::Mul<Volts> for Farads {
+    type Output = Coulombs;
+    /// Charge on a capacitor at a given terminal voltage (`Q = C·V`).
+    #[inline]
+    fn mul(self, rhs: Volts) -> Coulombs {
+        Coulombs::new(self.get() * rhs.get())
+    }
+}
+
+impl core::ops::Div<Farads> for Coulombs {
+    type Output = Volts;
+    /// Capacitor voltage at a given stored charge (`V = Q/C`).
+    #[inline]
+    fn div(self, rhs: Farads) -> Volts {
+        Volts::new(self.get() / rhs.get())
+    }
+}
+
+/// Energy stored in an ideal capacitor at a given voltage (`½·C·V²`).
+///
+/// # Examples
+///
+/// ```
+/// use heb_units::{capacitor_energy, Farads, Volts};
+///
+/// let e = capacitor_energy(Farads::new(600.0), Volts::new(16.0));
+/// assert!((e.as_watt_hours().get() - 21.33).abs() < 0.01);
+/// ```
+#[must_use]
+pub fn capacitor_energy(capacitance: Farads, voltage: Volts) -> Joules {
+    Joules::new(0.5 * capacitance.get() * voltage.get() * voltage.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_chain() {
+        let v = Amps::new(4.0) * Ohms::new(6.0);
+        assert_eq!(v, Volts::new(24.0));
+        assert_eq!(v / Ohms::new(6.0), Amps::new(4.0));
+    }
+
+    #[test]
+    fn power_voltage_current_triangle() {
+        let p = Volts::new(24.0) * Amps::new(5.0);
+        assert_eq!(p, Watts::new(120.0));
+        assert_eq!(p / Volts::new(24.0), Amps::new(5.0));
+        assert_eq!(p / Amps::new(5.0), Volts::new(24.0));
+    }
+
+    #[test]
+    fn charge_conversions() {
+        let q = Amps::new(2.0) * Seconds::new(1800.0);
+        assert_eq!(q, Coulombs::new(3600.0));
+        assert_eq!(AmpHours::from(q), AmpHours::new(1.0));
+        assert_eq!(Coulombs::from(AmpHours::new(1.0)), Coulombs::new(3600.0));
+    }
+
+    #[test]
+    fn capacitor_relations() {
+        let c = Farads::new(600.0);
+        let q = c * Volts::new(16.0);
+        assert_eq!(q / c, Volts::new(16.0));
+        let e = capacitor_energy(c, Volts::new(16.0));
+        assert_eq!(e.get(), 0.5 * 600.0 * 256.0);
+    }
+
+    #[test]
+    fn amp_hour_energy() {
+        let e = AmpHours::new(4.0).energy_at(Volts::new(12.0));
+        assert_eq!(e.as_watt_hours().get(), 48.0);
+    }
+}

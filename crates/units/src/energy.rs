@@ -1,0 +1,146 @@
+//! Electrical energy.
+
+use crate::{Seconds, Watts, SECONDS_PER_HOUR};
+
+quantity!(
+    /// Energy in joules (watt-seconds) — the simulator's base energy unit.
+    ///
+    /// The 1-second metering tick makes joules the natural bookkeeping
+    /// unit; storage capacities quoted in the paper (kWh, Ah) convert via
+    /// [`Joules::from_watt_hours`] and the electrical types.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use heb_units::{Joules, Seconds};
+    ///
+    /// let stored = Joules::from_watt_hours(100.0);
+    /// assert_eq!(stored.get(), 360_000.0);
+    /// // Draining it over an hour is a 100 W discharge:
+    /// assert_eq!((stored / Seconds::new(3600.0)).get(), 100.0);
+    /// ```
+    Joules,
+    "J"
+);
+
+quantity!(
+    /// Energy expressed in watt-hours; a convenience view over [`Joules`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use heb_units::{Joules, WattHours};
+    ///
+    /// let wh = WattHours::new(20_000.0); // the paper's 20 kWh buffer
+    /// assert_eq!(wh.as_kilowatt_hours(), 20.0);
+    /// assert_eq!(Joules::from(wh).get(), 72_000_000.0);
+    /// ```
+    WattHours,
+    "Wh"
+);
+
+impl Joules {
+    /// Constructs from watt-hours.
+    #[must_use]
+    pub fn from_watt_hours(wh: f64) -> Self {
+        Self::new(wh * SECONDS_PER_HOUR)
+    }
+
+    /// Constructs from kilowatt-hours.
+    #[must_use]
+    pub fn from_kilowatt_hours(kwh: f64) -> Self {
+        Self::from_watt_hours(kwh * 1e3)
+    }
+
+    /// The equivalent watt-hour quantity.
+    #[must_use]
+    pub fn as_watt_hours(self) -> WattHours {
+        WattHours::new(self.get() / SECONDS_PER_HOUR)
+    }
+
+    /// The value expressed in kilowatt-hours.
+    #[must_use]
+    pub fn as_kilowatt_hours(self) -> f64 {
+        self.as_watt_hours().get() / 1e3
+    }
+}
+
+impl WattHours {
+    /// Constructs from kilowatt-hours.
+    #[must_use]
+    pub fn from_kilowatt_hours(kwh: f64) -> Self {
+        Self::new(kwh * 1e3)
+    }
+
+    /// The value expressed in kilowatt-hours.
+    #[must_use]
+    pub fn as_kilowatt_hours(self) -> f64 {
+        self.get() / 1e3
+    }
+}
+
+impl From<WattHours> for Joules {
+    fn from(wh: WattHours) -> Self {
+        Joules::from_watt_hours(wh.get())
+    }
+}
+
+impl From<Joules> for WattHours {
+    fn from(j: Joules) -> Self {
+        j.as_watt_hours()
+    }
+}
+
+impl core::ops::Div<Seconds> for Joules {
+    type Output = Watts;
+
+    /// Average power when this energy is spread over `rhs`.
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.get() / rhs.get())
+    }
+}
+
+impl core::ops::Div<Watts> for Joules {
+    type Output = Seconds;
+
+    /// How long this energy lasts at a constant power draw of `rhs`.
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds::new(self.get() / rhs.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watt_hour_conversions() {
+        let j = Joules::from_watt_hours(1.0);
+        assert_eq!(j.get(), 3600.0);
+        assert_eq!(j.as_watt_hours(), WattHours::new(1.0));
+        assert_eq!(Joules::from_kilowatt_hours(2.0).get(), 7_200_000.0);
+        assert_eq!(Joules::from_kilowatt_hours(2.0).as_kilowatt_hours(), 2.0);
+    }
+
+    #[test]
+    fn from_impls_round_trip() {
+        let wh = WattHours::from_kilowatt_hours(20.0);
+        let j: Joules = wh.into();
+        let back: WattHours = j.into();
+        assert_eq!(back, wh);
+    }
+
+    #[test]
+    fn energy_over_time_is_power() {
+        let p = Joules::new(6000.0) / Seconds::new(60.0);
+        assert_eq!(p, Watts::new(100.0));
+    }
+
+    #[test]
+    fn energy_over_power_is_duration() {
+        let t = Joules::new(6000.0) / Watts::new(100.0);
+        assert_eq!(t, Seconds::new(60.0));
+    }
+}

@@ -1,0 +1,54 @@
+//! Typed physical quantities for the HEB datacenter power-simulation stack.
+//!
+//! Every value flowing through the HEB simulator — power demands, stored
+//! energy, battery currents, bus voltages, tariffs — is wrapped in a
+//! dimension-specific newtype so that the compiler rejects unit confusion
+//! (e.g. adding watts to watt-hours, or treating amp-hours as amps).
+//!
+//! The base representation is always `f64` in SI-flavoured units:
+//!
+//! * [`Watts`] for power,
+//! * [`Joules`] for energy (with [`WattHours`] / kWh convenience views),
+//! * [`Volts`], [`Amps`], [`Ohms`], [`Farads`], [`Coulombs`] and
+//!   [`AmpHours`] for the electrical models,
+//! * [`Seconds`] for simulated time,
+//! * [`Dollars`] for the TCO analysis,
+//! * [`Ratio`] for dimensionless fractions such as efficiencies, the HEB
+//!   load-assignment ratio `R_λ`, state-of-charge, and depth-of-discharge.
+//!
+//! Cross-dimension arithmetic follows physics: `Watts * Seconds = Joules`,
+//! `Volts * Amps = Watts`, `Amps * Ohms = Volts`, `Farads * Volts =
+//! Coulombs`, and so on.
+//!
+//! # Examples
+//!
+//! ```
+//! use heb_units::{Watts, Seconds, Volts, Amps};
+//!
+//! let demand = Watts::new(70.0) * 6.0;          // six servers at peak
+//! let energy = demand * Seconds::new(600.0);    // one 10-minute slot
+//! assert_eq!(energy.as_watt_hours().get(), 70.0);
+//!
+//! let current = Watts::new(240.0) / Volts::new(24.0);
+//! assert_eq!(current, Amps::new(10.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod macros;
+
+mod electrical;
+mod energy;
+mod money;
+mod power;
+mod ratio;
+mod time;
+
+pub use electrical::{capacitor_energy, AmpHours, Amps, Coulombs, Farads, Ohms, Volts};
+pub use energy::{Joules, WattHours};
+pub use money::Dollars;
+pub use power::Watts;
+pub use ratio::{Ratio, RatioOutOfRange};
+pub use time::{Seconds, HOUR, MINUTE, SECONDS_PER_HOUR};

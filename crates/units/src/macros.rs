@@ -1,0 +1,205 @@
+//! Internal macro generating the shared surface of every quantity newtype.
+
+/// Defines an `f64` newtype with the full arithmetic/ordering/formatting
+/// surface shared by every physical quantity in this crate.
+///
+/// Generated for each type:
+/// * `new`, `get`, `zero`, `is_zero`, `abs`, `min`, `max`,
+///   `clamp`, `is_finite`, `is_sign_negative`
+/// * `Add`, `Sub`, `Neg`, `AddAssign`, `SubAssign`
+/// * `Mul<f64>`, `Div<f64>` (scaling) and `Div<Self> -> f64` (ratios)
+/// * `Mul<T> for f64` (commutative scaling)
+/// * `Sum`, `Default`, `PartialEq`, `PartialOrd`, `Copy`, `Clone`, `Debug`
+/// * `Display` with the unit suffix
+/// * `From<f64>` / `From<T> for f64`
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw `f64` value expressed in the type's base unit.
+            #[inline]
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw `f64` value in the type's base unit.
+            #[inline]
+            #[must_use]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// The zero quantity.
+            #[inline]
+            #[must_use]
+            pub const fn zero() -> Self {
+                Self(0.0)
+            }
+
+            /// Returns `true` when the value is exactly zero.
+            #[inline]
+            #[must_use]
+            pub fn is_zero(self) -> bool {
+                self.0 == 0.0
+            }
+
+            /// Absolute value.
+            #[inline]
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// The smaller of `self` and `other` (NaN-propagating like
+            /// `f64::min` is *not* used; ties resolve to `self`).
+            #[inline]
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                if other.0 < self.0 { other } else { self }
+            }
+
+            /// The larger of `self` and `other`.
+            #[inline]
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                if other.0 > self.0 { other } else { self }
+            }
+
+            /// Clamps the value into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[inline]
+            #[must_use]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(lo.0 <= hi.0, "clamp: lo > hi");
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` when the underlying value is finite.
+            #[inline]
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns `true` when the value is negative (sign bit set).
+            #[inline]
+            #[must_use]
+            pub fn is_sign_negative(self) -> bool {
+                self.0.is_sign_negative()
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl From<f64> for $name {
+            #[inline]
+            fn from(value: f64) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for f64 {
+            #[inline]
+            fn from(value: $name) -> f64 {
+                value.0
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                if let Some(precision) = f.precision() {
+                    write!(f, "{:.*} {}", precision, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+    };
+}

@@ -1,0 +1,51 @@
+//! Currency amounts for the TCO analysis.
+
+quantity!(
+    /// US dollars, used by the cost-breakdown, ROI, and peak-shaving
+    /// revenue models of the paper's Section 7.6.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use heb_units::Dollars;
+    ///
+    /// let battery = Dollars::new(300.0); // $/kWh lead-acid
+    /// let sc = Dollars::new(10_000.0);   // $/kWh super-capacitor
+    /// let blended = battery * 0.7 + sc * 0.3;
+    /// assert_eq!(blended.get(), 3210.0);
+    /// ```
+    Dollars,
+    "$"
+);
+
+impl Dollars {
+    /// Constructs from a value expressed in thousands of dollars.
+    #[must_use]
+    pub fn from_thousands(k: f64) -> Self {
+        Self::new(k * 1e3)
+    }
+
+    /// The value expressed in thousands of dollars.
+    #[must_use]
+    pub fn as_thousands(self) -> f64 {
+        self.get() / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_round_trip() {
+        let d = Dollars::from_thousands(4.85);
+        assert_eq!(d.get(), 4850.0);
+        assert_eq!(d.as_thousands(), 4.85);
+    }
+
+    #[test]
+    fn blending_costs() {
+        let blended = Dollars::new(300.0) * 0.7 + Dollars::new(10_000.0) * 0.3;
+        assert_eq!(blended.get(), 3210.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Electrical power.
+
+use crate::{Joules, Seconds};
+
+quantity!(
+    /// Electrical power in watts.
+    ///
+    /// This is the unit the IPDU reports per server each second and the
+    /// unit in which budgets, mismatches, and buffer throughput are
+    /// expressed throughout the simulator.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use heb_units::{Watts, Seconds};
+    ///
+    /// let peak = Watts::new(70.0);
+    /// let idle = Watts::new(30.0);
+    /// assert!(peak > idle);
+    /// assert_eq!((peak - idle).get(), 40.0);
+    /// // Power over time is energy:
+    /// assert_eq!((peak * Seconds::new(3600.0)).as_watt_hours().get(), 70.0);
+    /// ```
+    Watts,
+    "W"
+);
+
+impl Watts {
+    /// Constructs from a value expressed in kilowatts.
+    #[must_use]
+    pub fn from_kilowatts(kw: f64) -> Self {
+        Self::new(kw * 1e3)
+    }
+
+    /// The value expressed in kilowatts.
+    #[must_use]
+    pub fn as_kilowatts(self) -> f64 {
+        self.get() / 1e3
+    }
+}
+
+impl core::ops::Mul<Seconds> for Watts {
+    type Output = Joules;
+
+    /// Energy delivered at this power over `rhs`.
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.get() * rhs.get())
+    }
+}
+
+impl core::ops::Mul<Watts> for Seconds {
+    type Output = Joules;
+
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kilowatt_round_trip() {
+        let p = Watts::from_kilowatts(1.5);
+        assert_eq!(p.get(), 1500.0);
+        assert_eq!(p.as_kilowatts(), 1.5);
+    }
+
+    #[test]
+    fn power_times_time_is_energy() {
+        let e = Watts::new(100.0) * Seconds::new(60.0);
+        assert_eq!(e.get(), 6000.0);
+        let e2 = Seconds::new(60.0) * Watts::new(100.0);
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = Watts::new(30.0);
+        let b = Watts::new(70.0);
+        assert!(a < b);
+        assert_eq!((a + b).get(), 100.0);
+        assert_eq!((b - a).get(), 40.0);
+        assert_eq!((b * 2.0).get(), 140.0);
+        assert_eq!((b / 2.0).get(), 35.0);
+        assert_eq!(b / a, 70.0 / 30.0);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{:.1}", Watts::new(70.0)), "70.0 W");
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Watts = (0..6).map(|_| Watts::new(70.0)).sum();
+        assert_eq!(total.get(), 420.0);
+    }
+}

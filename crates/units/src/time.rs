@@ -1,0 +1,93 @@
+//! Simulated time.
+
+/// Seconds per hour, used by the watt-hour/amp-hour conversions.
+pub const SECONDS_PER_HOUR: f64 = 3600.0;
+
+quantity!(
+    /// A span of simulated time in seconds.
+    ///
+    /// The simulator advances in 1-second metering ticks (the IPDU in the
+    /// prototype reports power once per second) grouped into 10-minute
+    /// control slots.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use heb_units::{Seconds, MINUTE};
+    ///
+    /// let slot = MINUTE * 10.0;
+    /// assert_eq!(slot, Seconds::new(600.0));
+    /// assert_eq!(slot.as_hours(), 1.0 / 6.0);
+    /// ```
+    Seconds,
+    "s"
+);
+
+/// One minute.
+pub const MINUTE: Seconds = Seconds::new(60.0);
+
+/// One hour.
+pub const HOUR: Seconds = Seconds::new(3600.0);
+
+impl Seconds {
+    /// Constructs from a value expressed in hours.
+    #[must_use]
+    pub fn from_hours(hours: f64) -> Self {
+        Self::new(hours * SECONDS_PER_HOUR)
+    }
+
+    /// Constructs from a value expressed in minutes.
+    #[must_use]
+    pub fn from_minutes(minutes: f64) -> Self {
+        Self::new(minutes * 60.0)
+    }
+
+    /// The value expressed in hours.
+    #[must_use]
+    pub fn as_hours(self) -> f64 {
+        self.get() / SECONDS_PER_HOUR
+    }
+
+    /// The value expressed in minutes.
+    #[must_use]
+    pub fn as_minutes(self) -> f64 {
+        self.get() / 60.0
+    }
+
+    /// The number of whole 1-second ticks this span covers, saturating at
+    /// zero for negative spans.
+    #[must_use]
+    pub fn whole_ticks(self) -> u64 {
+        if self.get() <= 0.0 {
+            0
+        } else {
+            self.get().floor() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hour_and_minute_constants() {
+        assert_eq!(HOUR.get(), 3600.0);
+        assert_eq!(MINUTE.get(), 60.0);
+        assert_eq!(Seconds::from_hours(2.0), HOUR * 2.0);
+        assert_eq!(Seconds::from_minutes(10.0).get(), 600.0);
+    }
+
+    #[test]
+    fn unit_views() {
+        assert_eq!(Seconds::new(5400.0).as_hours(), 1.5);
+        assert_eq!(Seconds::new(90.0).as_minutes(), 1.5);
+    }
+
+    #[test]
+    fn whole_ticks_saturates() {
+        assert_eq!(Seconds::new(-3.0).whole_ticks(), 0);
+        assert_eq!(Seconds::new(0.0).whole_ticks(), 0);
+        assert_eq!(Seconds::new(2.9).whole_ticks(), 2);
+    }
+}

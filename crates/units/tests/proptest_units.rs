@@ -1,0 +1,115 @@
+//! Property tests for the quantity algebra.
+
+use heb_units::{
+    capacitor_energy, AmpHours, Amps, Coulombs, Farads, Joules, Ohms, Ratio, Seconds, Volts,
+    WattHours, Watts,
+};
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e6..1e6f64
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1e-3..1e6f64
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in finite(), b in finite()) {
+        prop_assert_eq!(Watts::new(a) + Watts::new(b), Watts::new(b) + Watts::new(a));
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in finite(), b in finite()) {
+        let diff = (Watts::new(a) + Watts::new(b) - Watts::new(b)).get() - a;
+        prop_assert!(diff.abs() <= 1e-6 * a.abs().max(b.abs()).max(1.0));
+    }
+
+    #[test]
+    fn scaling_distributes(a in finite(), b in finite(), k in -1e3..1e3f64) {
+        let lhs = (Joules::new(a) + Joules::new(b)) * k;
+        let rhs = Joules::new(a) * k + Joules::new(b) * k;
+        prop_assert!((lhs - rhs).get().abs() <= 1e-6 * (a.abs() + b.abs()).max(1.0) * k.abs().max(1.0));
+    }
+
+    #[test]
+    fn power_time_energy_round_trip(p in positive(), t in positive()) {
+        let e = Watts::new(p) * Seconds::new(t);
+        let back = e / Seconds::new(t);
+        prop_assert!((back.get() - p).abs() <= 1e-9 * p.max(1.0));
+        let dur = e / Watts::new(p);
+        prop_assert!((dur.get() - t).abs() <= 1e-9 * t.max(1.0));
+    }
+
+    #[test]
+    fn watt_hours_round_trip(wh in positive()) {
+        let j = Joules::from_watt_hours(wh);
+        prop_assert!((j.as_watt_hours().get() - wh).abs() <= 1e-9 * wh);
+        let via_type: Joules = WattHours::new(wh).into();
+        prop_assert_eq!(via_type, j);
+    }
+
+    #[test]
+    fn electrical_triangle(v in positive(), i in positive()) {
+        let p = Volts::new(v) * Amps::new(i);
+        prop_assert!(((p / Volts::new(v)).get() - i).abs() <= 1e-9 * i.max(1.0));
+        prop_assert!(((p / Amps::new(i)).get() - v).abs() <= 1e-9 * v.max(1.0));
+    }
+
+    #[test]
+    fn ohms_law_round_trip(i in positive(), r in positive()) {
+        let v = Amps::new(i) * Ohms::new(r);
+        prop_assert!(((v / Ohms::new(r)).get() - i).abs() <= 1e-9 * i.max(1.0));
+    }
+
+    #[test]
+    fn charge_round_trips(ah in positive()) {
+        let q: Coulombs = AmpHours::new(ah).as_coulombs();
+        prop_assert!((q.as_amp_hours().get() - ah).abs() <= 1e-9 * ah);
+    }
+
+    #[test]
+    fn capacitor_energy_is_quadratic(c in positive(), v in positive()) {
+        let e1 = capacitor_energy(Farads::new(c), Volts::new(v));
+        let e2 = capacitor_energy(Farads::new(c), Volts::new(2.0 * v));
+        prop_assert!((e2.get() - 4.0 * e1.get()).abs() <= 1e-6 * e2.get().max(1.0));
+    }
+
+    #[test]
+    fn ratio_clamped_always_unit(x in proptest::num::f64::ANY) {
+        let r = Ratio::new_clamped(x);
+        prop_assert!(r.in_unit_interval());
+    }
+
+    #[test]
+    fn ratio_complement_involutes(x in 0.0..=1.0f64) {
+        let r = Ratio::new(x).unwrap();
+        let back = r.complement().complement();
+        prop_assert!((back.get() - x).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn ratio_product_never_grows(a in 0.0..=1.0f64, b in 0.0..=1.0f64) {
+        let r = Ratio::new(a).unwrap() * Ratio::new(b).unwrap();
+        prop_assert!(r.get() <= a.min(b) + 1e-12);
+    }
+
+    #[test]
+    fn min_max_clamp_consistency(x in finite(), lo in finite(), hi in finite()) {
+        prop_assume!(lo <= hi);
+        let c = Seconds::new(x).clamp(Seconds::new(lo), Seconds::new(hi));
+        prop_assert!(c.get() >= lo && c.get() <= hi);
+        prop_assert_eq!(
+            Seconds::new(x).max(Seconds::new(lo)).get(),
+            x.max(lo)
+        );
+    }
+
+    #[test]
+    fn sum_matches_fold(values in proptest::collection::vec(finite(), 0..20)) {
+        let total: Watts = values.iter().map(|&v| Watts::new(v)).sum();
+        let folded = values.iter().fold(0.0, |acc, v| acc + v);
+        prop_assert!((total.get() - folded).abs() <= 1e-6 * folded.abs().max(1.0));
+    }
+}

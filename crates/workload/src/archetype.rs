@@ -1,0 +1,290 @@
+//! The eight evaluated workloads of Table 1 as burst-process parameters.
+
+use crate::generator::UtilizationGenerator;
+
+/// The paper's two peak shapes (Section 6): the evaluation runs one
+/// workload group at low CPU frequency to produce *small* peaks and the
+/// other at high frequency to produce *large* peaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeakClass {
+    /// Mild height, short duration — best served by SCs alone.
+    Small,
+    /// Significant height, long duration — needs the joint buffer.
+    Large,
+}
+
+impl core::fmt::Display for PeakClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            PeakClass::Small => "small",
+            PeakClass::Large => "large",
+        })
+    }
+}
+
+/// Parameters of a workload's utilization process: a noisy base load on
+/// which bursts arrive as a Poisson process, each holding an elevated
+/// utilization for an exponentially distributed duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstProfile {
+    /// Mean utilization between bursts.
+    pub base_utilization: f64,
+    /// Standard deviation of the tick-to-tick base noise.
+    pub base_noise: f64,
+    /// Mean burst arrivals per hour.
+    pub bursts_per_hour: f64,
+    /// Mean utilization added during a burst (clamped into `[0, 1]`).
+    pub burst_amplitude: f64,
+    /// Mean burst duration in seconds.
+    pub mean_burst_secs: f64,
+}
+
+impl BurstProfile {
+    /// Validates that the profile describes a realisable process.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a field is outside its meaningful range.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.base_utilization),
+            "base utilization must be in [0, 1]"
+        );
+        assert!(self.base_noise >= 0.0, "noise must be non-negative");
+        assert!(self.bursts_per_hour >= 0.0, "burst rate must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&self.burst_amplitude),
+            "burst amplitude must be in [0, 1]"
+        );
+        assert!(self.mean_burst_secs > 0.0, "burst duration must be positive");
+    }
+}
+
+/// The eight workloads of Table 1.
+///
+/// The *shape* parameters matter for HEB, not the application semantics:
+/// web-serving workloads produce frequent shallow request surges while
+/// the Hadoop/HDFS batch jobs produce long full-throttle phases.
+///
+/// # Examples
+///
+/// ```
+/// use heb_workload::Archetype;
+///
+/// for w in Archetype::ALL {
+///     let profile = w.profile();
+///     profile.validate();
+///     println!("{w}: {} bursts/h", profile.bursts_per_hour);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Archetype {
+    /// PageRank on Mahout (web-search benchmarks).
+    PageRank,
+    /// WordCount on Hadoop (micro benchmarks).
+    WordCount,
+    /// CloudSuite Data Analysis.
+    DataAnalysis,
+    /// CloudSuite Web Search.
+    WebSearch,
+    /// CloudSuite Media Streaming.
+    MediaStreaming,
+    /// Dfsioe (HDFS benchmarks).
+    Dfsioe,
+    /// Hivebench (data analytics).
+    Hivebench,
+    /// Terasort (micro benchmarks).
+    Terasort,
+}
+
+impl Archetype {
+    /// All eight workloads, in Table 1 order.
+    pub const ALL: [Archetype; 8] = [
+        Archetype::PageRank,
+        Archetype::WordCount,
+        Archetype::DataAnalysis,
+        Archetype::WebSearch,
+        Archetype::MediaStreaming,
+        Archetype::Dfsioe,
+        Archetype::Hivebench,
+        Archetype::Terasort,
+    ];
+
+    /// The workloads in the small-peak group.
+    pub const SMALL_PEAK: [Archetype; 5] = [
+        Archetype::PageRank,
+        Archetype::WordCount,
+        Archetype::DataAnalysis,
+        Archetype::WebSearch,
+        Archetype::MediaStreaming,
+    ];
+
+    /// The workloads in the large-peak group.
+    pub const LARGE_PEAK: [Archetype; 3] =
+        [Archetype::Dfsioe, Archetype::Hivebench, Archetype::Terasort];
+
+    /// The paper's abbreviation (PR, WC, …).
+    #[must_use]
+    pub fn abbreviation(self) -> &'static str {
+        match self {
+            Archetype::PageRank => "PR",
+            Archetype::WordCount => "WC",
+            Archetype::DataAnalysis => "DA",
+            Archetype::WebSearch => "WS",
+            Archetype::MediaStreaming => "MS",
+            Archetype::Dfsioe => "DFS",
+            Archetype::Hivebench => "HB",
+            Archetype::Terasort => "TS",
+        }
+    }
+
+    /// Which peak-shape group the workload belongs to.
+    #[must_use]
+    pub fn peak_class(self) -> PeakClass {
+        match self {
+            Archetype::PageRank
+            | Archetype::WordCount
+            | Archetype::DataAnalysis
+            | Archetype::WebSearch
+            | Archetype::MediaStreaming => PeakClass::Small,
+            Archetype::Dfsioe | Archetype::Hivebench | Archetype::Terasort => PeakClass::Large,
+        }
+    }
+
+    /// The burst-process parameters for this workload.
+    #[must_use]
+    pub fn profile(self) -> BurstProfile {
+        match self {
+            // Small-peak group: frequent, shallow, short surges.
+            Archetype::PageRank => BurstProfile {
+                base_utilization: 0.30,
+                base_noise: 0.04,
+                bursts_per_hour: 22.0,
+                burst_amplitude: 0.58,
+                mean_burst_secs: 60.0,
+            },
+            Archetype::WordCount => BurstProfile {
+                base_utilization: 0.28,
+                base_noise: 0.05,
+                bursts_per_hour: 18.0,
+                burst_amplitude: 0.55,
+                mean_burst_secs: 75.0,
+            },
+            Archetype::DataAnalysis => BurstProfile {
+                base_utilization: 0.34,
+                base_noise: 0.04,
+                bursts_per_hour: 15.0,
+                burst_amplitude: 0.52,
+                mean_burst_secs: 90.0,
+            },
+            Archetype::WebSearch => BurstProfile {
+                base_utilization: 0.32,
+                base_noise: 0.06,
+                bursts_per_hour: 30.0,
+                burst_amplitude: 0.60,
+                mean_burst_secs: 45.0,
+            },
+            Archetype::MediaStreaming => BurstProfile {
+                base_utilization: 0.36,
+                base_noise: 0.03,
+                bursts_per_hour: 12.0,
+                burst_amplitude: 0.50,
+                mean_burst_secs: 120.0,
+            },
+            // Large-peak group: rarer, tall, long phases.
+            Archetype::Dfsioe => BurstProfile {
+                base_utilization: 0.20,
+                base_noise: 0.05,
+                bursts_per_hour: 2.5,
+                burst_amplitude: 0.70,
+                mean_burst_secs: 420.0,
+            },
+            Archetype::Hivebench => BurstProfile {
+                base_utilization: 0.22,
+                base_noise: 0.04,
+                bursts_per_hour: 2.0,
+                burst_amplitude: 0.68,
+                mean_burst_secs: 540.0,
+            },
+            Archetype::Terasort => BurstProfile {
+                base_utilization: 0.21,
+                base_noise: 0.05,
+                bursts_per_hour: 3.0,
+                burst_amplitude: 0.72,
+                mean_burst_secs: 360.0,
+            },
+        }
+    }
+
+    /// A seeded utilization generator for this workload.
+    #[must_use]
+    pub fn generator(self, seed: u64) -> UtilizationGenerator {
+        UtilizationGenerator::new(self.profile(), seed)
+    }
+}
+
+impl core::fmt::Display for Archetype {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.abbreviation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for w in Archetype::ALL {
+            w.profile().validate();
+        }
+    }
+
+    #[test]
+    fn groups_partition_the_eight() {
+        assert_eq!(
+            Archetype::SMALL_PEAK.len() + Archetype::LARGE_PEAK.len(),
+            Archetype::ALL.len()
+        );
+        for w in Archetype::SMALL_PEAK {
+            assert_eq!(w.peak_class(), PeakClass::Small);
+        }
+        for w in Archetype::LARGE_PEAK {
+            assert_eq!(w.peak_class(), PeakClass::Large);
+        }
+    }
+
+    #[test]
+    fn abbreviations_are_unique() {
+        let mut abbrs: Vec<_> = Archetype::ALL.iter().map(|w| w.abbreviation()).collect();
+        abbrs.sort_unstable();
+        abbrs.dedup();
+        assert_eq!(abbrs.len(), 8);
+    }
+
+    #[test]
+    fn large_peak_bursts_are_taller_and_longer() {
+        let avg = |ws: &[Archetype], f: fn(&BurstProfile) -> f64| {
+            ws.iter().map(|w| f(&w.profile())).sum::<f64>() / ws.len() as f64
+        };
+        let small_amp = avg(&Archetype::SMALL_PEAK, |p| p.burst_amplitude);
+        let large_amp = avg(&Archetype::LARGE_PEAK, |p| p.burst_amplitude);
+        assert!(large_amp > small_amp);
+        let small_dur = avg(&Archetype::SMALL_PEAK, |p| p.mean_burst_secs);
+        let large_dur = avg(&Archetype::LARGE_PEAK, |p| p.mean_burst_secs);
+        assert!(large_dur > 3.0 * small_dur);
+    }
+
+    #[test]
+    #[should_panic(expected = "base utilization")]
+    fn invalid_profile_panics() {
+        BurstProfile {
+            base_utilization: 1.5,
+            base_noise: 0.0,
+            bursts_per_hour: 1.0,
+            burst_amplitude: 0.1,
+            mean_burst_secs: 10.0,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,169 @@
+//! Seeded stochastic utilization streams.
+
+use crate::archetype::BurstProfile;
+use heb_units::Ratio;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An infinite, reproducible per-server utilization stream driven by a
+/// [`BurstProfile`]: Gaussian-ish noise around the base load, plus
+/// Poisson-arriving bursts that hold an elevated level for an
+/// exponentially distributed time.
+///
+/// One tick is one simulated second (the IPDU metering rate).
+///
+/// # Examples
+///
+/// ```
+/// use heb_workload::Archetype;
+///
+/// let mut a = Archetype::WebSearch.generator(7);
+/// let mut b = Archetype::WebSearch.generator(7);
+/// // Same seed, same stream:
+/// assert_eq!(a.take_utilization(100), b.take_utilization(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UtilizationGenerator {
+    profile: BurstProfile,
+    rng: StdRng,
+    /// Remaining ticks of the burst currently in progress, if any.
+    burst_remaining: u64,
+    /// Amplitude of the burst currently in progress.
+    burst_level: f64,
+}
+
+impl UtilizationGenerator {
+    /// Creates a generator for `profile` seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`BurstProfile::validate`].
+    #[must_use]
+    pub fn new(profile: BurstProfile, seed: u64) -> Self {
+        profile.validate();
+        Self {
+            profile,
+            rng: StdRng::seed_from_u64(seed),
+            burst_remaining: 0,
+            burst_level: 0.0,
+        }
+    }
+
+    /// The driving profile.
+    #[must_use]
+    pub fn profile(&self) -> &BurstProfile {
+        &self.profile
+    }
+
+    /// Produces the next one-second utilization sample.
+    pub fn next_utilization(&mut self) -> Ratio {
+        let p = &self.profile;
+        // Burst arrivals: Bernoulli approximation of a Poisson process
+        // at one-second resolution.
+        if self.burst_remaining == 0 {
+            let arrival_prob = p.bursts_per_hour / 3600.0;
+            if self.rng.gen::<f64>() < arrival_prob {
+                // Exponential duration via inverse transform.
+                let u: f64 = self.rng.gen_range(1e-9..1.0);
+                let dur = -p.mean_burst_secs * u.ln();
+                self.burst_remaining = dur.ceil().max(1.0) as u64;
+                // Burst height jitters ±25 % around the profile mean.
+                let jitter = self.rng.gen_range(0.75..1.25);
+                self.burst_level = p.burst_amplitude * jitter;
+            }
+        }
+        let burst = if self.burst_remaining > 0 {
+            self.burst_remaining -= 1;
+            self.burst_level
+        } else {
+            0.0
+        };
+        // Cheap symmetric noise (Irwin–Hall-of-2), bounded and smooth
+        // enough for load traces.
+        let noise = (self.rng.gen::<f64>() + self.rng.gen::<f64>() - 1.0) * p.base_noise * 2.0;
+        Ratio::new_clamped(p.base_utilization + noise + burst)
+    }
+
+    /// Collects the next `n` samples into a vector.
+    pub fn take_utilization(&mut self, n: usize) -> Vec<Ratio> {
+        (0..n).map(|_| self.next_utilization()).collect()
+    }
+
+    /// Whether a burst is currently in progress.
+    #[must_use]
+    pub fn in_burst(&self) -> bool {
+        self.burst_remaining > 0
+    }
+}
+
+impl Iterator for UtilizationGenerator {
+    type Item = Ratio;
+
+    fn next(&mut self) -> Option<Ratio> {
+        Some(self.next_utilization())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archetype::Archetype;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = Archetype::PageRank.generator(123);
+        let mut b = Archetype::PageRank.generator(123);
+        assert_eq!(a.take_utilization(500), b.take_utilization(500));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Archetype::PageRank.generator(1);
+        let mut b = Archetype::PageRank.generator(2);
+        assert_ne!(a.take_utilization(500), b.take_utilization(500));
+    }
+
+    #[test]
+    fn samples_stay_in_unit_interval() {
+        let mut g = Archetype::Terasort.generator(9);
+        for u in g.take_utilization(10_000) {
+            assert!(u.in_unit_interval(), "got {u:?}");
+        }
+    }
+
+    #[test]
+    fn mean_tracks_base_plus_burst_load() {
+        let mut g = Archetype::MediaStreaming.generator(5);
+        let n = 200_000;
+        let mean: f64 = g.take_utilization(n).iter().map(|u| u.get()).sum::<f64>() / n as f64;
+        let p = Archetype::MediaStreaming.profile();
+        // Bursts cannot overlap, so the process is an on/off renewal:
+        // time-in-burst = on / (on + off), off = 1 / arrival rate.
+        let mean_off = 3600.0 / p.bursts_per_hour;
+        let burst_fraction = p.mean_burst_secs / (p.mean_burst_secs + mean_off);
+        let expected = p.base_utilization + burst_fraction * p.burst_amplitude;
+        assert!(
+            (mean - expected).abs() < 0.03,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn bursts_do_occur() {
+        let mut g = Archetype::WebSearch.generator(11);
+        let samples = g.take_utilization(3600 * 3);
+        let p = Archetype::WebSearch.profile();
+        let above = samples
+            .iter()
+            .filter(|u| u.get() > p.base_utilization + 0.5 * p.burst_amplitude)
+            .count();
+        assert!(above > 0, "three hours of WS should contain bursts");
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let g = Archetype::WordCount.generator(3);
+        let v: Vec<Ratio> = g.take(10).collect();
+        assert_eq!(v.len(), 10);
+    }
+}

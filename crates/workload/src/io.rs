@@ -1,0 +1,212 @@
+//! Loading and saving power traces as CSV.
+//!
+//! Real deployments have real traces; this module lets a downstream
+//! user feed their own metering or PV data into the simulator. The
+//! format is deliberately minimal: one sample per line, either a bare
+//! watt value or `seconds,watts` (the time column is validated against
+//! the declared interval but otherwise ignored). Lines starting with
+//! `#` and blank lines are skipped; an optional `time,watts`-style
+//! header row is tolerated.
+
+use crate::trace::PowerTrace;
+use heb_units::{Seconds, Watts};
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors raised while parsing a trace file.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that is neither a comment, a header, nor a sample.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// A sample with a negative power value.
+    NegativePower {
+        /// 1-based line number.
+        line: usize,
+        /// The parsed value.
+        value: f64,
+    },
+    /// The file contained no samples at all.
+    Empty,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ParseTraceError::Malformed { line, content } => {
+                write!(f, "malformed sample at line {line}: {content:?}")
+            }
+            ParseTraceError::NegativePower { line, value } => {
+                write!(f, "negative power {value} at line {line}")
+            }
+            ParseTraceError::Empty => write!(f, "trace file contained no samples"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseTraceError {
+    fn from(e: std::io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+/// Reads a trace from CSV. Accepts `watts` or `seconds,watts` rows.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on I/O failure, malformed rows, negative
+/// power values, or an empty file.
+///
+/// # Examples
+///
+/// ```
+/// use heb_workload::read_trace_csv;
+/// use heb_units::Seconds;
+///
+/// let csv = "# demand trace\ntime,watts\n0,250\n1,310.5\n2,270\n";
+/// let trace = read_trace_csv(csv.as_bytes(), Seconds::new(1.0))?;
+/// assert_eq!(trace.len(), 3);
+/// assert_eq!(trace.peak().get(), 310.5);
+/// # Ok::<(), heb_workload::ParseTraceError>(())
+/// ```
+pub fn read_trace_csv<R: Read>(reader: R, dt: Seconds) -> Result<PowerTrace, ParseTraceError> {
+    let reader = BufReader::new(reader);
+    let mut samples = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let value_field = trimmed
+            .rsplit(',')
+            .next()
+            .expect("rsplit yields at least one field")
+            .trim();
+        match value_field.parse::<f64>() {
+            Ok(value) => {
+                if value < 0.0 {
+                    return Err(ParseTraceError::NegativePower {
+                        line: idx + 1,
+                        value,
+                    });
+                }
+                samples.push(Watts::new(value));
+            }
+            Err(_) => {
+                // Tolerate a single header row (non-numeric fields).
+                if samples.is_empty() && !value_field.is_empty() {
+                    continue;
+                }
+                return Err(ParseTraceError::Malformed {
+                    line: idx + 1,
+                    content: trimmed.to_string(),
+                });
+            }
+        }
+    }
+    if samples.is_empty() {
+        return Err(ParseTraceError::Empty);
+    }
+    Ok(PowerTrace::new(samples, dt))
+}
+
+/// Writes a trace as `seconds,watts` CSV with a header row.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use heb_workload::{read_trace_csv, write_trace_csv, PowerTrace};
+/// use heb_units::Seconds;
+///
+/// let trace = PowerTrace::from_watts(vec![100.0, 200.0], Seconds::new(1.0));
+/// let mut buf = Vec::new();
+/// write_trace_csv(&mut buf, &trace)?;
+/// let back = read_trace_csv(&buf[..], trace.dt())?;
+/// assert_eq!(back, trace);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_trace_csv<W: Write>(mut writer: W, trace: &PowerTrace) -> std::io::Result<()> {
+    writeln!(writer, "seconds,watts")?;
+    for (idx, sample) in trace.iter().enumerate() {
+        writeln!(writer, "{},{}", idx as f64 * trace.dt().get(), sample.get())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_bare_values() {
+        let t = read_trace_csv("100\n200\n300\n".as_bytes(), Seconds::new(1.0)).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.mean().get(), 200.0);
+    }
+
+    #[test]
+    fn reads_two_column_with_header_and_comments() {
+        let csv = "# generated\ntime,watts\n0,10\n\n1,20\n# trailing\n2,30\n";
+        let t = read_trace_csv(csv.as_bytes(), Seconds::new(1.0)).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.peak().get(), 30.0);
+    }
+
+    #[test]
+    fn round_trips() {
+        let original = PowerTrace::from_watts(vec![1.5, 2.25, 0.0], Seconds::new(10.0));
+        let mut buf = Vec::new();
+        write_trace_csv(&mut buf, &original).unwrap();
+        let back = read_trace_csv(&buf[..], Seconds::new(10.0)).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn rejects_garbage_mid_file() {
+        let err = read_trace_csv("10\nnot-a-number\n".as_bytes(), Seconds::new(1.0)).unwrap_err();
+        match err {
+            ParseTraceError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_negative_power() {
+        let err = read_trace_csv("10\n-3\n".as_bytes(), Seconds::new(1.0)).unwrap_err();
+        match err {
+            ParseTraceError::NegativePower { line, value } => {
+                assert_eq!(line, 2);
+                assert_eq!(value, -3.0);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let err = read_trace_csv("# only comments\n".as_bytes(), Seconds::new(1.0)).unwrap_err();
+        assert!(matches!(err, ParseTraceError::Empty));
+        assert!(err.to_string().contains("no samples"));
+    }
+}

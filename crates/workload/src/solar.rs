@@ -1,0 +1,241 @@
+//! Synthetic rooftop-solar generation traces.
+//!
+//! The paper's REU experiments (Section 7.4) power the prototype from a
+//! small rooftop array. The builder reproduces the properties that
+//! matter to energy buffering: a diurnal clear-sky bell, zero output at
+//! night, and stochastic cloud transients that carve deep, fast valleys
+//! and restore equally fast — the events whose energy only a device with
+//! unbounded charging current can capture.
+
+use crate::trace::PowerTrace;
+use heb_units::{Seconds, Watts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builder for a solar generation trace.
+///
+/// # Examples
+///
+/// ```
+/// use heb_workload::SolarTraceBuilder;
+/// use heb_units::Watts;
+///
+/// let trace = SolarTraceBuilder::new(Watts::new(400.0)).seed(1).days(1.0).build();
+/// // Night at the boundaries, sun in the middle:
+/// assert_eq!(trace.samples()[0].get(), 0.0);
+/// assert!(trace.peak().get() > 250.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SolarTraceBuilder {
+    peak_output: Watts,
+    seed: u64,
+    days: f64,
+    dt: Seconds,
+    sunrise_hour: f64,
+    sunset_hour: f64,
+    clouds_per_day: f64,
+    mean_cloud_secs: f64,
+}
+
+impl SolarTraceBuilder {
+    /// Creates a builder for an array with the given clear-sky peak
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak_output` is not positive.
+    #[must_use]
+    pub fn new(peak_output: Watts) -> Self {
+        assert!(peak_output.get() > 0.0, "peak output must be positive");
+        Self {
+            peak_output,
+            seed: 0,
+            days: 1.0,
+            dt: Seconds::new(1.0),
+            sunrise_hour: 6.0,
+            sunset_hour: 18.0,
+            clouds_per_day: 30.0,
+            mean_cloud_secs: 240.0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the trace length in days.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days` is not positive.
+    #[must_use]
+    pub fn days(mut self, days: f64) -> Self {
+        assert!(days > 0.0, "days must be positive");
+        self.days = days;
+        self
+    }
+
+    /// Sets the sampling interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    #[must_use]
+    pub fn dt(mut self, dt: Seconds) -> Self {
+        assert!(dt.get() > 0.0, "dt must be positive");
+        self.dt = dt;
+        self
+    }
+
+    /// Sets the mean number of cloud transients per day.
+    #[must_use]
+    pub fn clouds_per_day(mut self, clouds: f64) -> Self {
+        self.clouds_per_day = clouds;
+        self
+    }
+
+    /// Sets the mean cloud-transient duration in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is not positive.
+    #[must_use]
+    pub fn mean_cloud_secs(mut self, secs: f64) -> Self {
+        assert!(secs > 0.0, "cloud duration must be positive");
+        self.mean_cloud_secs = secs;
+        self
+    }
+
+    /// Generates the trace.
+    #[must_use]
+    pub fn build(&self) -> PowerTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let ticks = (self.days * 24.0 * 3600.0 / self.dt.get()).round() as usize;
+        let day_secs = 24.0 * 3600.0;
+        let daylight = (self.sunset_hour - self.sunrise_hour) * 3600.0;
+        let mut cloud_remaining = 0_usize;
+        let mut cloud_attenuation = 1.0_f64;
+        let mut samples = Vec::with_capacity(ticks);
+        for t in 0..ticks {
+            let second_of_day = (t as f64 * self.dt.get()) % day_secs;
+            let since_sunrise = second_of_day - self.sunrise_hour * 3600.0;
+            let clear_sky = if (0.0..daylight).contains(&since_sunrise) {
+                let x = core::f64::consts::PI * since_sunrise / daylight;
+                // Slightly peaked bell matches insolation curves better
+                // than a pure sine.
+                x.sin().powf(1.3)
+            } else {
+                0.0
+            };
+            if clear_sky > 0.0 && cloud_remaining == 0 {
+                let prob = self.clouds_per_day / (daylight / self.dt.get());
+                if rng.gen::<f64>() < prob {
+                    let u: f64 = rng.gen_range(1e-9..1.0);
+                    let dur = -self.mean_cloud_secs * u.ln() / self.dt.get();
+                    cloud_remaining = (dur.ceil() as usize).max(1);
+                    cloud_attenuation = rng.gen_range(0.15..0.7);
+                }
+            }
+            let attenuation = if cloud_remaining > 0 {
+                cloud_remaining -= 1;
+                cloud_attenuation
+            } else {
+                1.0
+            };
+            samples.push(self.peak_output * (clear_sky * attenuation));
+        }
+        PowerTrace::new(samples, self.dt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(seed: u64) -> PowerTrace {
+        SolarTraceBuilder::new(Watts::new(400.0))
+            .seed(seed)
+            .days(1.0)
+            .dt(Seconds::new(10.0))
+            .build()
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(build(8), build(8));
+        assert_ne!(build(8), build(9));
+    }
+
+    #[test]
+    fn night_is_dark() {
+        let t = build(1);
+        let ticks_per_hour = 360;
+        for hour in [0, 1, 2, 3, 4, 5, 19, 20, 21, 22, 23] {
+            let idx = hour * ticks_per_hour;
+            assert_eq!(t.samples()[idx].get(), 0.0, "hour {hour} should be dark");
+        }
+    }
+
+    #[test]
+    fn midday_is_bright() {
+        // Clear-sky run: noon must be near the array's rated output.
+        let t = SolarTraceBuilder::new(Watts::new(400.0))
+            .clouds_per_day(0.0)
+            .days(1.0)
+            .dt(Seconds::new(10.0))
+            .build();
+        let noon = 12 * 360;
+        assert!(t.samples()[noon].get() > 380.0);
+        assert!(t.peak() <= Watts::new(400.0));
+        // A cloudy run never exceeds the clear-sky envelope.
+        assert!(build(2).peak() <= Watts::new(400.0));
+    }
+
+    #[test]
+    fn clouds_carve_valleys() {
+        // With many clouds, daytime output must dip well below the
+        // clear-sky envelope somewhere.
+        let cloudy = SolarTraceBuilder::new(Watts::new(400.0))
+            .seed(3)
+            .clouds_per_day(60.0)
+            .days(1.0)
+            .dt(Seconds::new(10.0))
+            .build();
+        let clear = SolarTraceBuilder::new(Watts::new(400.0))
+            .seed(3)
+            .clouds_per_day(0.0)
+            .days(1.0)
+            .dt(Seconds::new(10.0))
+            .build();
+        assert!(cloudy.energy() < clear.energy());
+        let dips = cloudy
+            .iter()
+            .zip(clear.iter())
+            .filter(|(c, s)| s.get() > 100.0 && c.get() < 0.8 * s.get())
+            .count();
+        assert!(dips > 10, "expected cloud dips, found {dips}");
+    }
+
+    #[test]
+    fn multi_day_repeats_diurnal_cycle() {
+        let t = SolarTraceBuilder::new(Watts::new(100.0))
+            .clouds_per_day(0.0)
+            .days(2.0)
+            .dt(Seconds::new(60.0))
+            .build();
+        let day = 24 * 60;
+        // Clear-sky output is identical across days.
+        for i in 0..day {
+            assert!((t.samples()[i].get() - t.samples()[i + day].get()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "peak output")]
+    fn zero_peak_panics() {
+        let _ = SolarTraceBuilder::new(Watts::zero());
+    }
+}

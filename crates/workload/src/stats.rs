@@ -1,0 +1,219 @@
+//! Statistical characterisation of power traces.
+//!
+//! The knobs HEB turns (slot length, peak threshold, buffer sizing) are
+//! all bets about the *statistics* of the demand process; this module
+//! provides the estimators an operator would run on their own traces
+//! before configuring the controller: percentiles for budget selection,
+//! autocorrelation for slot-length selection, and a burst census for
+//! peak-class thresholds.
+
+use crate::trace::PowerTrace;
+use heb_units::{Seconds, Watts};
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Sample mean.
+    pub mean: Watts,
+    /// Sample standard deviation.
+    pub std_dev: Watts,
+    /// Median (p50).
+    pub p50: Watts,
+    /// 95th percentile — a common budget-selection point.
+    pub p95: Watts,
+    /// 99th percentile.
+    pub p99: Watts,
+    /// Peak-to-mean ratio — how bursty the trace is.
+    pub peak_to_mean: f64,
+}
+
+/// Computes [`TraceSummary`] for a non-empty trace.
+///
+/// # Panics
+///
+/// Panics if the trace is empty.
+#[must_use]
+pub fn summarize(trace: &PowerTrace) -> TraceSummary {
+    assert!(!trace.is_empty(), "cannot summarise an empty trace");
+    let n = trace.len() as f64;
+    let mean = trace.mean();
+    let var = trace
+        .iter()
+        .map(|p| {
+            let d = (p - mean).get();
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    TraceSummary {
+        mean,
+        std_dev: Watts::new(var.sqrt()),
+        p50: percentile(trace, 0.50),
+        p95: percentile(trace, 0.95),
+        p99: percentile(trace, 0.99),
+        peak_to_mean: if mean.get() > 0.0 {
+            trace.peak() / mean
+        } else {
+            1.0
+        },
+    }
+}
+
+/// The `q`-quantile of the trace (nearest-rank method).
+///
+/// # Panics
+///
+/// Panics if the trace is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn percentile(trace: &PowerTrace, q: f64) -> Watts {
+    assert!(!trace.is_empty(), "cannot take a percentile of nothing");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let mut values: Vec<f64> = trace.iter().map(Watts::get).collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+    Watts::new(values[rank - 1])
+}
+
+/// Sample autocorrelation of the trace at the given lag (in samples).
+/// Returns 0 for lags at or beyond the trace length or for a constant
+/// trace.
+#[must_use]
+pub fn autocorrelation(trace: &PowerTrace, lag: usize) -> f64 {
+    let n = trace.len();
+    if lag == 0 {
+        return 1.0;
+    }
+    if lag >= n {
+        return 0.0;
+    }
+    let mean = trace.mean().get();
+    let samples = trace.samples();
+    let denom: f64 = samples.iter().map(|p| (p.get() - mean).powi(2)).sum();
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    let num: f64 = samples
+        .windows(lag + 1)
+        .map(|w| (w[0].get() - mean) * (w[lag].get() - mean))
+        .sum();
+    num / denom
+}
+
+/// One detected burst (a maximal run above `threshold`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// First sample index of the burst.
+    pub start: usize,
+    /// Duration in trace time.
+    pub duration: Seconds,
+    /// Peak power within the burst.
+    pub peak: Watts,
+    /// Mean excess above the threshold.
+    pub mean_excess: Watts,
+}
+
+/// Finds all maximal runs strictly above `threshold`.
+#[must_use]
+pub fn bursts(trace: &PowerTrace, threshold: Watts) -> Vec<Burst> {
+    trace
+        .segments(threshold)
+        .into_iter()
+        .filter(|s| s.kind == crate::trace::SegmentKind::Peak)
+        .map(|s| Burst {
+            start: s.start,
+            duration: s.duration(trace.dt()),
+            peak: threshold + s.max_magnitude,
+            mean_excess: s.mean_magnitude,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Archetype, PowerTrace};
+
+    fn demand_trace(archetype: Archetype, ticks: usize) -> PowerTrace {
+        let mut generator = archetype.generator(5);
+        (0..ticks)
+            .map(|_| Watts::new(30.0 + 40.0 * generator.next_utilization().get()))
+            .collect()
+    }
+
+    #[test]
+    fn summary_orders_percentiles() {
+        let t = demand_trace(Archetype::WebSearch, 7200);
+        let s = summarize(&t);
+        assert!(s.p50 <= s.p95);
+        assert!(s.p95 <= s.p99);
+        assert!(s.p99 <= t.peak());
+        assert!(s.std_dev.get() > 0.0);
+        assert!(s.peak_to_mean > 1.0);
+    }
+
+    #[test]
+    fn percentile_edges() {
+        let t = PowerTrace::from_watts(vec![10.0, 20.0, 30.0, 40.0], Seconds::new(1.0));
+        assert_eq!(percentile(&t, 0.0).get(), 10.0);
+        assert_eq!(percentile(&t, 1.0).get(), 40.0);
+        assert_eq!(percentile(&t, 0.5).get(), 20.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_bursty_trace_decays() {
+        let t = demand_trace(Archetype::MediaStreaming, 7200);
+        let short = autocorrelation(&t, 5);
+        let long = autocorrelation(&t, 2000);
+        assert!(autocorrelation(&t, 0) == 1.0);
+        assert!(short > 0.3, "bursts should correlate at short lags: {short}");
+        assert!(long < short, "correlation should decay: {long} vs {short}");
+    }
+
+    #[test]
+    fn autocorrelation_degenerate_cases() {
+        let flat = PowerTrace::from_watts(vec![5.0; 100], Seconds::new(1.0));
+        assert_eq!(autocorrelation(&flat, 3), 0.0);
+        let tiny = PowerTrace::from_watts(vec![1.0, 2.0], Seconds::new(1.0));
+        assert_eq!(autocorrelation(&tiny, 10), 0.0);
+    }
+
+    #[test]
+    fn burst_census_matches_known_trace() {
+        let t = PowerTrace::from_watts(
+            vec![10.0, 50.0, 60.0, 10.0, 10.0, 70.0, 10.0],
+            Seconds::new(1.0),
+        );
+        let found = bursts(&t, Watts::new(30.0));
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].start, 1);
+        assert_eq!(found[0].duration, Seconds::new(2.0));
+        assert_eq!(found[0].peak.get(), 60.0);
+        assert_eq!(found[1].peak.get(), 70.0);
+    }
+
+    #[test]
+    fn large_peak_workloads_have_longer_bursts() {
+        let small = demand_trace(Archetype::WebSearch, 4 * 3600);
+        let large = demand_trace(Archetype::Terasort, 4 * 3600);
+        let mean_dur = |t: &PowerTrace| {
+            let b = bursts(t, Watts::new(52.0));
+            if b.is_empty() {
+                0.0
+            } else {
+                b.iter().map(|x| x.duration.get()).sum::<f64>() / b.len() as f64
+            }
+        };
+        assert!(
+            mean_dur(&large) > 2.0 * mean_dur(&small),
+            "TS bursts {} s should dwarf WS bursts {} s",
+            mean_dur(&large),
+            mean_dur(&small)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_summary_panics() {
+        let _ = summarize(&PowerTrace::new(Vec::new(), Seconds::new(1.0)));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for trace generation and trace statistics.
+
+use heb_units::{Seconds, Watts};
+use heb_workload::{Archetype, ClusterTraceBuilder, PowerTrace, SegmentKind, SolarTraceBuilder};
+use proptest::prelude::*;
+
+fn archetype_strategy() -> impl Strategy<Value = Archetype> {
+    proptest::sample::select(Archetype::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn utilization_always_in_unit_interval(
+        archetype in archetype_strategy(),
+        seed in proptest::num::u64::ANY,
+    ) {
+        let mut generator = archetype.generator(seed);
+        for u in generator.take_utilization(2000) {
+            prop_assert!(u.in_unit_interval());
+        }
+    }
+
+    #[test]
+    fn generators_are_reproducible(
+        archetype in archetype_strategy(),
+        seed in proptest::num::u64::ANY,
+    ) {
+        let a = archetype.generator(seed).take_utilization(300);
+        let b = archetype.generator(seed).take_utilization(300);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_stats_ordering(samples in proptest::collection::vec(0.0..1e4f64, 1..200)) {
+        let trace = PowerTrace::from_watts(samples, Seconds::new(1.0));
+        prop_assert!(trace.valley() <= trace.mean() + Watts::new(1e-9));
+        prop_assert!(trace.mean() <= trace.peak() + Watts::new(1e-9));
+        prop_assert!((trace.energy().get() - trace.mean().get() * trace.len() as f64).abs()
+            <= 1e-6 * trace.energy().get().max(1.0));
+    }
+
+    #[test]
+    fn mppu_is_monotone_decreasing_in_budget(
+        samples in proptest::collection::vec(0.0..1e3f64, 1..200),
+        b1 in 0.0..1e3f64,
+        b2 in 0.0..1e3f64,
+    ) {
+        let trace = PowerTrace::from_watts(samples, Seconds::new(1.0));
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        prop_assert!(trace.mppu(Watts::new(lo)) >= trace.mppu(Watts::new(hi)));
+    }
+
+    #[test]
+    fn energy_above_plus_below_is_total_deviation(
+        samples in proptest::collection::vec(0.0..1e3f64, 1..100),
+        budget in 0.0..1e3f64,
+    ) {
+        let trace = PowerTrace::from_watts(samples.clone(), Seconds::new(1.0));
+        let b = Watts::new(budget);
+        let above = trace.energy_above(b).get();
+        let below = trace.energy_below(b).get();
+        let deviation: f64 = samples.iter().map(|s| (s - budget).abs()).sum();
+        prop_assert!((above + below - deviation).abs() <= 1e-6 * deviation.max(1.0));
+    }
+
+    #[test]
+    fn segments_partition_the_trace(
+        samples in proptest::collection::vec(0.0..500.0f64, 1..150),
+        budget in 0.0..500.0f64,
+    ) {
+        let trace = PowerTrace::from_watts(samples, Seconds::new(1.0));
+        let segments = trace.segments(Watts::new(budget));
+        let covered: usize = segments.iter().map(|s| s.len).sum();
+        prop_assert_eq!(covered, trace.len());
+        // Alternating kinds, contiguous starts.
+        let mut next_start = 0;
+        let mut last_kind: Option<SegmentKind> = None;
+        for seg in &segments {
+            prop_assert_eq!(seg.start, next_start);
+            next_start += seg.len;
+            if let Some(k) = last_kind {
+                prop_assert!(k != seg.kind, "adjacent segments share a kind");
+            }
+            last_kind = Some(seg.kind);
+            prop_assert!(seg.max_magnitude >= seg.mean_magnitude - Watts::new(1e-9));
+        }
+    }
+
+    #[test]
+    fn cluster_trace_within_nameplate(
+        seed in proptest::num::u64::ANY,
+        nameplate in 100.0..5e4f64,
+    ) {
+        let trace = ClusterTraceBuilder::new(Watts::new(nameplate))
+            .seed(seed)
+            .days(0.5)
+            .build();
+        prop_assert!(trace.peak().get() <= nameplate + 1e-9);
+        prop_assert!(trace.valley().get() >= 0.0);
+    }
+
+    #[test]
+    fn solar_trace_respects_physics(
+        seed in proptest::num::u64::ANY,
+        peak in 50.0..2e3f64,
+    ) {
+        let trace = SolarTraceBuilder::new(Watts::new(peak))
+            .seed(seed)
+            .days(1.0)
+            .dt(Seconds::new(30.0))
+            .build();
+        prop_assert!(trace.peak().get() <= peak + 1e-9);
+        // Night (first sample, midnight) is always dark.
+        prop_assert_eq!(trace.samples()[0].get(), 0.0);
+        prop_assert!(trace.valley().get() >= 0.0);
+    }
+
+    #[test]
+    fn scaled_trace_scales_stats(
+        samples in proptest::collection::vec(0.0..100.0f64, 1..50),
+        factor in 0.1..10.0f64,
+    ) {
+        let trace = PowerTrace::from_watts(samples, Seconds::new(1.0));
+        let scaled = trace.scaled(factor);
+        prop_assert!((scaled.mean().get() - factor * trace.mean().get()).abs() <= 1e-6);
+        prop_assert!((scaled.peak().get() - factor * trace.peak().get()).abs() <= 1e-6);
+    }
+}

@@ -1,0 +1,60 @@
+//! Scenario: audit the hControl's slot-by-slot decisions.
+//!
+//! Prints the controller's telemetry for a few hours of operation —
+//! predicted vs observed mismatch, the small/large classification's
+//! effect on `R_λ`, and buffer state — plus the prediction error the
+//! Holt-Winters forecaster achieved. This is the view a datacenter
+//! operator would chart to decide whether to trust the controller.
+//!
+//! ```bash
+//! cargo run --release --example controller_trace
+//! ```
+
+use heb::workload::Archetype;
+use heb::{PolicyKind, SimConfig, Simulation, Watts};
+
+fn main() {
+    let config = SimConfig::prototype()
+        .with_policy(PolicyKind::HebD)
+        .with_budget(Watts::new(250.0));
+    let mut sim = Simulation::new(
+        config,
+        &[Archetype::Terasort, Archetype::WebSearch, Archetype::Dfsioe],
+        123,
+    );
+    let report = sim.run_for_hours(5.0);
+
+    println!(
+        "{:>4}  {:>10} {:>10} {:>8}  {:>7} {:>7}",
+        "slot", "predicted", "observed", "R_l", "SC SoC", "BA SoC"
+    );
+    let mut abs_err = 0.0;
+    let mut count = 0usize;
+    for rec in sim.slot_log() {
+        println!(
+            "{:>4}  {:>8.1} W {:>8.1} W {:>8.2}  {:>6.1}% {:>6.1}%",
+            rec.slot,
+            rec.predicted_mismatch.get(),
+            rec.actual_mismatch.get(),
+            rec.r_lambda.get(),
+            rec.sc_soc.as_percent(),
+            rec.ba_soc.as_percent(),
+        );
+        if rec.slot > 2 {
+            abs_err += (rec.predicted_mismatch - rec.actual_mismatch).get().abs();
+            count += 1;
+        }
+    }
+    if count > 0 {
+        println!(
+            "\nmean absolute prediction error after warm-up: {:.1} W over {count} slots",
+            abs_err / count as f64
+        );
+    }
+    println!(
+        "run summary: efficiency {:.1}, downtime {:.0} s, PAT {} entries",
+        report.energy_efficiency(),
+        report.server_downtime.get(),
+        report.pat_entries
+    );
+}

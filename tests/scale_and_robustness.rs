@@ -1,0 +1,113 @@
+//! Scale-out and robustness integration tests: the simulator must hold
+//! its invariants on datacenter-sized racks and under degraded
+//! instrumentation.
+
+use heb::workload::Archetype;
+use heb::{Joules, PolicyKind, SimConfig, Simulation, Watts};
+
+/// A 48-server hall with proportionally scaled budget and buffers.
+fn hall_config(policy: PolicyKind) -> SimConfig {
+    let mut config = SimConfig::prototype().with_policy(policy);
+    let scale = 8.0;
+    config.servers = 48;
+    config.budget = config.budget * scale;
+    config.total_capacity = Joules::new(config.total_capacity.get() * scale);
+    config
+}
+
+#[test]
+fn datacenter_scale_run_holds_invariants() {
+    let mut sim = Simulation::new(
+        hall_config(PolicyKind::HebD),
+        &Archetype::ALL,
+        2024,
+    );
+    let report = sim.run_for_hours(6.0);
+    assert_eq!(report.sim_time.as_hours(), 6.0);
+    assert!(report.buffer_delivered.get() > 0.0);
+    assert!(
+        ((report.buffer_delivered + report.discharge_loss) - report.buffer_drained)
+            .get()
+            .abs()
+            < 10.0
+    );
+    assert!(report.energy_efficiency().get() > 0.5);
+    // Downtime bounded by fleet-time.
+    assert!(report.server_downtime.get() <= 6.0 * 3600.0 * 48.0);
+}
+
+#[test]
+fn scale_out_preserves_scheme_ordering() {
+    // The HEB-vs-BaOnly efficiency win must survive the jump from 6 to
+    // 48 servers.
+    let run = |policy| {
+        let mut sim = Simulation::new(hall_config(policy), &Archetype::ALL, 7);
+        sim.run_for_hours(4.0)
+    };
+    let heb = run(PolicyKind::HebD);
+    let ba = run(PolicyKind::BaOnly);
+    assert!(
+        heb.energy_efficiency() > ba.energy_efficiency(),
+        "HEB-D {} vs BaOnly {}",
+        heb.energy_efficiency(),
+        ba.energy_efficiency()
+    );
+}
+
+#[test]
+fn metering_noise_degrades_gracefully() {
+    // A 3 % instrument must not break the controller: the run completes,
+    // books balance, and performance stays within a sane band of the
+    // ideal-instrument run.
+    let run = |noise: f64| {
+        let mut config = SimConfig::prototype()
+            .with_policy(PolicyKind::HebD)
+            .with_budget(Watts::new(250.0));
+        config.metering_noise = noise;
+        let mut sim = Simulation::new(
+            config,
+            &[Archetype::Terasort, Archetype::WebSearch],
+            33,
+        );
+        sim.run_for_hours(6.0)
+    };
+    let clean = run(0.0);
+    let noisy = run(0.03);
+    assert!(
+        ((noisy.buffer_delivered + noisy.discharge_loss) - noisy.buffer_drained)
+            .get()
+            .abs()
+            < 10.0
+    );
+    let clean_eff = clean.energy_efficiency().get();
+    let noisy_eff = noisy.energy_efficiency().get();
+    assert!(
+        noisy_eff > clean_eff - 0.15,
+        "3 % metering noise collapsed efficiency: {clean_eff} -> {noisy_eff}"
+    );
+}
+
+#[test]
+fn heavy_noise_is_survivable() {
+    // Even a 10 % instrument (broken, by datacenter standards) must not
+    // panic or produce nonsense accounting.
+    let mut config = SimConfig::prototype().with_policy(PolicyKind::HebD);
+    config.metering_noise = 0.10;
+    let mut sim = Simulation::new(config, &[Archetype::Dfsioe], 1);
+    let report = sim.run_for_hours(2.0);
+    assert!(report.energy_efficiency().in_unit_interval());
+    assert!(report.server_downtime.get() >= 0.0);
+}
+
+#[test]
+fn single_server_rack_works() {
+    // Degenerate fleet size.
+    let mut config = SimConfig::prototype().with_policy(PolicyKind::HebD);
+    config.servers = 1;
+    config.budget = Watts::new(45.0);
+    config.total_capacity = Joules::from_watt_hours(25.0);
+    let mut sim = Simulation::new(config, &[Archetype::WebSearch], 3);
+    let report = sim.run_for_hours(2.0);
+    assert_eq!(report.sim_time.as_hours(), 2.0);
+    assert!(report.energy_efficiency().in_unit_interval());
+}
