@@ -1,16 +1,43 @@
-//! Criterion micro-benchmarks for HEB's hot paths: the PAT lookup, the
+//! Micro-benchmarks for HEB's hot paths: the PAT lookup, the
 //! Holt-Winters step, the device step functions, and a full control
 //! slot of the end-to-end simulation per policy.
+//!
+//! Plain `harness = false` timing loops (median-of-runs over a fixed
+//! iteration budget) — the build environment is offline, so criterion
+//! is unavailable. Run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use heb_core::{PolicyKind, PowerAllocationTable, SimConfig, Simulation};
 use heb_esd::{LeadAcidBattery, StorageDevice, SuperCapacitor};
 use heb_forecast::{HoltWinters, Predictor};
 use heb_units::{Joules, Ratio, Seconds, Watts};
 use heb_workload::Archetype;
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_pat(c: &mut Criterion) {
+/// Times `iters` calls of `f`, repeated over `runs` runs, and prints
+/// the best per-iteration latency (least-noise estimator for short,
+/// deterministic kernels).
+fn bench(name: &str, runs: usize, iters: u64, mut f: impl FnMut()) {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+        best = best.min(per_iter);
+    }
+    let (value, unit) = if best < 1e-6 {
+        (best * 1e9, "ns")
+    } else if best < 1e-3 {
+        (best * 1e6, "us")
+    } else {
+        (best * 1e3, "ms")
+    };
+    println!("{name:<40} {value:>10.2} {unit}/iter  ({runs} runs x {iters} iters)");
+}
+
+fn bench_pat() {
     let mut pat = PowerAllocationTable::new(
         Joules::from_watt_hours(10.0),
         Watts::new(20.0),
@@ -34,84 +61,65 @@ fn bench_pat(c: &mut Criterion) {
         Joules::from_watt_hours(123.0),
         Watts::new(171.0),
     );
-    c.bench_function("pat/lookup_similar_miss", |b| {
-        b.iter(|| black_box(pat.lookup_similar(black_box(miss))))
+    bench("pat/lookup_similar_miss", 10, 10_000, || {
+        black_box(pat.lookup_similar(black_box(miss)));
     });
     let hit = pat.key(
         Joules::from_watt_hours(40.0),
         Joules::from_watt_hours(60.0),
         Watts::new(80.0),
     );
-    c.bench_function("pat/lookup_hit", |b| {
-        b.iter(|| black_box(pat.lookup(black_box(hit))))
+    bench("pat/lookup_hit", 10, 100_000, || {
+        black_box(pat.lookup(black_box(hit)));
     });
 }
 
-fn bench_forecast(c: &mut Criterion) {
-    c.bench_function("forecast/holt_winters_observe", |b| {
-        let mut hw = HoltWinters::for_power_series(144);
-        let mut x = 0.0_f64;
-        b.iter(|| {
-            x += 1.0;
-            hw.observe(black_box(200.0 + (x * 0.1).sin() * 50.0));
-            black_box(hw.forecast(1))
-        })
+fn bench_forecast() {
+    let mut hw = HoltWinters::for_power_series(144);
+    let mut x = 0.0_f64;
+    bench("forecast/holt_winters_observe", 10, 50_000, || {
+        x += 1.0;
+        hw.observe(black_box(200.0 + (x * 0.1).sin() * 50.0));
+        black_box(hw.forecast(1));
     });
 }
 
-fn bench_devices(c: &mut Criterion) {
-    c.bench_function("esd/battery_discharge_tick", |b| {
-        let mut battery = LeadAcidBattery::prototype_string();
-        b.iter(|| {
-            let r = battery.discharge(black_box(Watts::new(120.0)), Seconds::new(1.0));
-            if battery.is_depleted() {
-                battery = LeadAcidBattery::prototype_string();
-            }
-            black_box(r)
-        })
+fn bench_devices() {
+    let mut battery = LeadAcidBattery::prototype_string();
+    bench("esd/battery_discharge_tick", 10, 50_000, || {
+        let r = battery.discharge(black_box(Watts::new(120.0)), Seconds::new(1.0));
+        if battery.is_depleted() {
+            battery = LeadAcidBattery::prototype_string();
+        }
+        black_box(r);
     });
-    c.bench_function("esd/supercap_discharge_tick", |b| {
-        let mut sc = SuperCapacitor::prototype_module();
-        b.iter(|| {
-            let r = sc.discharge(black_box(Watts::new(120.0)), Seconds::new(1.0));
-            if sc.is_depleted() {
-                sc = SuperCapacitor::prototype_module();
-            }
-            black_box(r)
-        })
+    let mut sc = SuperCapacitor::prototype_module();
+    bench("esd/supercap_discharge_tick", 10, 50_000, || {
+        let r = sc.discharge(black_box(Watts::new(120.0)), Seconds::new(1.0));
+        if sc.is_depleted() {
+            sc = SuperCapacitor::prototype_module();
+        }
+        black_box(r);
     });
 }
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim/one_slot");
-    group.sample_size(10);
+fn bench_simulation() {
     for policy in [PolicyKind::BaOnly, PolicyKind::ScFirst, PolicyKind::HebD] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(policy.name()),
-            &policy,
-            |b, &policy| {
-                b.iter_batched(
-                    || {
-                        Simulation::new(
-                            SimConfig::prototype().with_policy(policy),
-                            &[Archetype::WebSearch, Archetype::Terasort],
-                            42,
-                        )
-                    },
-                    |mut sim| black_box(sim.run_ticks(600)),
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
+        bench(&format!("sim/one_slot/{}", policy.name()), 5, 10, || {
+            let mut sim = Simulation::new(
+                SimConfig::prototype().with_policy(policy),
+                &[Archetype::WebSearch, Archetype::Terasort],
+                42,
+            );
+            black_box(sim.run_ticks(600));
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_pat,
-    bench_forecast,
-    bench_devices,
-    bench_simulation
-);
-criterion_main!(benches);
+fn main() {
+    println!("HEB micro-benchmarks (best-of-runs per-iteration latency)\n");
+    bench_pat();
+    bench_forecast();
+    bench_devices();
+    bench_simulation();
+}

@@ -61,9 +61,12 @@ fn main() {
     );
 
     if let Some(path) = json_path(&args) {
-        Figure::new("operating bill per scheme", vec![Series::new("total_usd", totals)])
-            .write_json(&path)
-            .expect("write json");
+        Figure::new(
+            "operating bill per scheme",
+            vec![Series::new("total_usd", totals)],
+        )
+        .write_json(&path)
+        .expect("write json");
         println!("(series written to {})", path.display());
     }
 }

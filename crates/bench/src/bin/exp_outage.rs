@@ -11,8 +11,7 @@ fn main() {
     let outage_minutes = hours_arg(&args, 0.5) * 60.0;
 
     for capacity_wh in [60.0, 150.0] {
-        let base =
-            SimConfig::prototype().with_total_capacity(Joules::from_watt_hours(capacity_wh));
+        let base = SimConfig::prototype().with_total_capacity(Joules::from_watt_hours(capacity_wh));
         let points = outage_ride_through(&base, 5.0, outage_minutes, 2015);
         let rows: Vec<Vec<String>> = points
             .iter()
@@ -45,7 +44,9 @@ fn main() {
             );
             let file = path.with_file_name(format!(
                 "{}_{capacity_wh:.0}wh.json",
-                path.file_stem().and_then(|s| s.to_str()).unwrap_or("outage")
+                path.file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("outage")
             ));
             fig.write_json(&file).expect("write json");
         }

@@ -9,7 +9,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let days = hours_arg(&args, 72.0) / 24.0;
     let nameplate = Watts::new(1000.0);
-    let trace = ClusterTraceBuilder::new(nameplate).seed(42).days(days).build();
+    let trace = ClusterTraceBuilder::new(nameplate)
+        .seed(42)
+        .days(days)
+        .build();
 
     // Part (a): provisioning levels P1 (over) … P4 (40 %).
     let levels = [("P1", 1.0), ("P2", 0.8), ("P3", 0.6), ("P4", 0.4)];
@@ -42,7 +45,10 @@ fn main() {
         .build();
     let demand_mean = trace.mean();
     let segments = solar.segments(demand_mean);
-    let peaks = segments.iter().filter(|s| s.kind == SegmentKind::Peak).count();
+    let peaks = segments
+        .iter()
+        .filter(|s| s.kind == SegmentKind::Peak)
+        .count();
     let valleys = segments.len() - peaks;
     println!(
         "\nFigure 1(b): vs a stable {demand_mean:.0} demand, the solar supply produced \

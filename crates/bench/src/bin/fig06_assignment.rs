@@ -22,7 +22,11 @@ fn main() {
         .iter()
         .map(|p| {
             vec![
-                format!("{} SC / {} BA", p.sc_servers, p.total_servers - p.sc_servers),
+                format!(
+                    "{} SC / {} BA",
+                    p.sc_servers,
+                    p.total_servers - p.sc_servers
+                ),
                 format!("{:.2}", p.r_lambda().get()),
                 format!("{:.0} s", p.runtime.get()),
                 format!("{:.1} %", 100.0 * p.runtime.get() / best),

@@ -60,9 +60,7 @@ fn main() {
                     points
                         .iter()
                         .enumerate()
-                        .map(|(i, p)| {
-                            (i as f64, p.report.conversion_loss.as_watt_hours().get())
-                        })
+                        .map(|(i, p)| (i as f64, p.report.conversion_loss.as_watt_hours().get()))
                         .collect(),
                 ),
             ],

@@ -55,11 +55,22 @@ fn report(standard: &[SchemeResult], stressed: &[SchemeResult], title: &str) {
             let reu = r.reu().get();
             vec![
                 r.policy.name().to_string(),
-                format!("{:.1} % ({:+.1} %)", 100.0 * eff, 100.0 * (eff - base_eff) / base_eff),
+                format!(
+                    "{:.1} % ({:+.1} %)",
+                    100.0 * eff,
+                    100.0 * (eff - base_eff) / base_eff
+                ),
                 format!("{:.1}/{:.1} %", 100.0 * eff_small, 100.0 * eff_large),
-                format!("{down:.0} s ({:+.0} %)", 100.0 * (down - base_down) / base_down),
+                format!(
+                    "{down:.0} s ({:+.0} %)",
+                    100.0 * (down - base_down) / base_down
+                ),
                 format!("{life:.1} y ({life_x:.1}x wear)"),
-                format!("{:.1} % ({:+.1} %)", 100.0 * reu, 100.0 * (reu - base_reu) / base_reu),
+                format!(
+                    "{:.1} % ({:+.1} %)",
+                    100.0 * reu,
+                    100.0 * (reu - base_reu) / base_reu
+                ),
             ]
         })
         .collect();
@@ -213,7 +224,10 @@ fn main() {
                     .iter()
                     .enumerate()
                     .map(|(i, r)| {
-                        (i as f64, r.mean_battery_lifetime_years().unwrap_or(f64::NAN))
+                        (
+                            i as f64,
+                            r.mean_battery_lifetime_years().unwrap_or(f64::NAN),
+                        )
                     })
                     .collect(),
             ),

@@ -13,11 +13,13 @@ fn main() {
     let rows: Vec<Vec<String>> = bom
         .shares()
         .iter()
-        .map(|(name, share)| {
-            vec![(*name).to_string(), format!("{:.1} %", share.as_percent())]
-        })
+        .map(|(name, share)| vec![(*name).to_string(), format!("{:.1} %", share.as_percent())])
         .collect();
-    print_table("Figure 15(a): HEB node cost breakdown", &["component", "share"], &rows);
+    print_table(
+        "Figure 15(a): HEB node cost breakdown",
+        &["component", "share"],
+        &rows,
+    );
     println!(
         "node total ${:.0} = {:.1} % of the ${:.0} of servers it protects",
         bom.total().get(),
@@ -75,7 +77,14 @@ fn main() {
         .collect();
     print_table(
         "Figure 15(c): 8-year peak-shaving race (100 kW DC, 20 kWh buffer, 12 $/kW tariff)",
-        &["scheme", "capex", "revenue", "break-even", "8-y net", "gain vs BaOnly"],
+        &[
+            "scheme",
+            "capex",
+            "revenue",
+            "break-even",
+            "8-y net",
+            "gain vs BaOnly",
+        ],
         &rows,
     );
     println!(

@@ -10,13 +10,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
 use std::fs;
 use std::path::Path;
 
 /// A labelled series of `(x, y)` points — the common shape every
 /// figure's output reduces to.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -36,7 +35,7 @@ impl Series {
 }
 
 /// A complete figure: a title plus its series, serialisable to JSON.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Figure identifier ("Figure 12(a)").
     pub title: String,
@@ -58,10 +57,75 @@ impl Figure {
     ///
     /// # Errors
     ///
-    /// Returns any I/O or serialisation error.
+    /// Returns any I/O error.
     pub fn write_json(&self, path: &Path) -> Result<(), Box<dyn std::error::Error>> {
-        fs::write(path, serde_json::to_string_pretty(self)?)?;
+        fs::write(path, self.to_json_pretty())?;
         Ok(())
+    }
+
+    /// Renders the figure as pretty-printed JSON.
+    ///
+    /// Hand-rolled emitter: the build environment is offline, so the
+    /// figure shape is kept simple enough (strings and finite floats)
+    /// that serde is unnecessary.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str("  \"series\": [\n");
+        for (si, s) in self.series.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"label\": {},\n", json_string(&s.label)));
+            out.push_str("      \"points\": [\n");
+            for (pi, (x, y)) in s.points.iter().enumerate() {
+                let comma = if pi + 1 < s.points.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "        [{}, {}]{comma}\n",
+                    json_number(*x),
+                    json_number(*y)
+                ));
+            }
+            out.push_str("      ]\n");
+            let comma = if si + 1 < self.series.len() { "," } else { "" };
+            out.push_str(&format!("    }}{comma}\n"));
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (JSON has no NaN/Inf — map to null).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // `{}` prints integral floats without a dot; keep them valid
+        // JSON numbers either way, but add `.0` for round-trip clarity.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
     }
 }
 

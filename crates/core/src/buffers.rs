@@ -44,7 +44,27 @@ impl HybridBuffers {
     /// Panics if `total_usable` is not positive.
     #[must_use]
     pub fn build(total_usable: Joules, sc_fraction: Ratio, dod_limit: Ratio) -> Self {
+        Self::build_split(total_usable, sc_fraction, dod_limit, 1)
+    }
+
+    /// Like [`HybridBuffers::build`], but splits the battery share into
+    /// `ba_strings` equal independent strings. Total usable capacity is
+    /// unchanged; what changes is the failure granularity — the
+    /// fault-injection layer quarantines one string at a time, so more
+    /// strings lose a smaller slice per failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_usable` is not positive or `ba_strings` is zero.
+    #[must_use]
+    pub fn build_split(
+        total_usable: Joules,
+        sc_fraction: Ratio,
+        dod_limit: Ratio,
+        ba_strings: usize,
+    ) -> Self {
         assert!(total_usable.get() > 0.0, "capacity must be positive");
+        assert!(ba_strings > 0, "need at least one battery string");
         let sc_usable = Joules::new(total_usable.get() * sc_fraction.get());
         let ba_usable = total_usable - sc_usable;
 
@@ -64,12 +84,15 @@ impl HybridBuffers {
         };
 
         let ba_pool = if ba_usable.get() > 0.0 {
-            // usable = Ah · DoD · V_nominal.
+            // usable = Ah · DoD · V_nominal, divided evenly over the
+            // strings (parallel strings share the bus voltage).
             let nominal = Volts::new(24.0);
-            let ah = ba_usable.as_watt_hours().get() / (dod_limit.get() * nominal.get());
-            let params =
-                LeadAcidParams::with_capacity(AmpHours::new(ah)).with_dod_limit(dod_limit);
-            Bank::new(vec![LeadAcidBattery::new(params)])
+            let ah = ba_usable.as_watt_hours().get()
+                / (dod_limit.get() * nominal.get() * ba_strings as f64);
+            let params = LeadAcidParams::with_capacity(AmpHours::new(ah)).with_dod_limit(dod_limit);
+            (0..ba_strings)
+                .map(|_| LeadAcidBattery::new(params.clone()))
+                .collect()
         } else {
             Bank::empty()
         };
@@ -237,5 +260,40 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = HybridBuffers::build(Joules::zero(), Ratio::HALF, Ratio::HALF);
+    }
+
+    #[test]
+    fn split_strings_preserve_total_capacity() {
+        let mono = build_default();
+        let split = HybridBuffers::build_split(
+            Joules::from_watt_hours(150.0),
+            Ratio::new_clamped(0.3),
+            Ratio::new_clamped(0.8),
+            3,
+        );
+        assert_eq!(split.ba_pool().len(), 3);
+        let mono_wh = mono.total_capacity().as_watt_hours().get();
+        let split_wh = split.total_capacity().as_watt_hours().get();
+        assert!(
+            (mono_wh - split_wh).abs() < 1.0,
+            "splitting must not change capacity: {mono_wh} vs {split_wh}"
+        );
+        // Quarantining one of three strings removes ~1/3 of the battery
+        // share and nothing else.
+        let mut split = split;
+        let before = split.ba_available().get();
+        assert!(split.ba_pool_mut().quarantine(1));
+        let after = split.ba_available().get();
+        assert!(
+            (after / before - 2.0 / 3.0).abs() < 0.05,
+            "one string of three is a third of the pool: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one battery string")]
+    fn zero_strings_panics() {
+        let _ =
+            HybridBuffers::build_split(Joules::from_watt_hours(10.0), Ratio::HALF, Ratio::HALF, 0);
     }
 }

@@ -1,5 +1,6 @@
 //! Simulation and controller configuration.
 
+use crate::errors::SimError;
 use crate::policy::PolicyKind;
 use heb_powersys::Topology;
 use heb_units::{Joules, Ratio, Seconds, Watts};
@@ -47,6 +48,10 @@ pub struct SimConfig {
     /// sees metered values, so noise here degrades its predictions and
     /// PAT keys — a robustness ablation knob. 0 = ideal instrument.
     pub metering_noise: f64,
+    /// Number of independent battery strings the battery pool is split
+    /// into. More strings mean a single string failure quarantines a
+    /// smaller capacity slice — the fault-tolerance granularity knob.
+    pub battery_strings: usize,
 }
 
 impl SimConfig {
@@ -71,6 +76,7 @@ impl SimConfig {
             forecast_period: 6,
             topology: Topology::heb_rack_level(),
             metering_noise: 0.0,
+            battery_strings: 1,
         }
     }
 
@@ -112,42 +118,70 @@ impl SimConfig {
         self
     }
 
+    /// Same configuration with the battery pool split into `strings`
+    /// independent strings (fault-isolation granularity).
+    #[must_use]
+    pub fn with_battery_strings(mut self, strings: usize) -> Self {
+        self.battery_strings = strings;
+        self
+    }
+
     /// Ticks per control slot.
     #[must_use]
     pub fn ticks_per_slot(&self) -> u64 {
         (self.slot_length.get() / self.tick.get()).round().max(1.0) as u64
     }
 
+    /// Validates internal consistency, reporting the first field that
+    /// is outside its meaningful range.
+    ///
+    /// # Errors
+    ///
+    /// Returns the corresponding [`SimError`] for the invalid field.
+    pub fn try_validate(&self) -> Result<(), SimError> {
+        if self.servers == 0 {
+            return Err(SimError::NoServers);
+        }
+        if self.budget.get() < 0.0 {
+            return Err(SimError::NegativeBudget);
+        }
+        if self.total_capacity.get() <= 0.0 {
+            return Err(SimError::NonPositiveCapacity);
+        }
+        if self.tick.get() <= 0.0 {
+            return Err(SimError::NonPositiveTick);
+        }
+        if self.slot_length.get() < self.tick.get() {
+            return Err(SimError::SlotShorterThanTick);
+        }
+        if self.small_peak_threshold.get() < 0.0 {
+            return Err(SimError::NegativeSmallPeakThreshold);
+        }
+        if self.forecast_period < 2 {
+            return Err(SimError::ForecastPeriodTooShort);
+        }
+        if self.metering_noise < 0.0 {
+            return Err(SimError::NegativeMeteringNoise);
+        }
+        if self.pat_energy_bucket.get() <= 0.0 || self.pat_power_bucket.get() <= 0.0 {
+            return Err(SimError::NonPositivePatBucket);
+        }
+        if self.battery_strings == 0 {
+            return Err(SimError::NoBatteryStrings);
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
     ///
-    /// Panics when a field is outside its meaningful range.
+    /// Panics when a field is outside its meaningful range; the message
+    /// is the [`SimError`] display string.
     pub fn validate(&self) {
-        assert!(self.servers > 0, "need at least one server");
-        assert!(self.budget.get() >= 0.0, "budget must be non-negative");
-        assert!(
-            self.total_capacity.get() > 0.0,
-            "buffer capacity must be positive"
-        );
-        assert!(self.tick.get() > 0.0, "tick must be positive");
-        assert!(
-            self.slot_length.get() >= self.tick.get(),
-            "slot must span at least one tick"
-        );
-        assert!(
-            self.small_peak_threshold.get() >= 0.0,
-            "threshold must be non-negative"
-        );
-        assert!(self.forecast_period >= 2, "forecast period must be >= 2");
-        assert!(
-            self.metering_noise >= 0.0,
-            "metering noise must be non-negative"
-        );
-        assert!(
-            self.pat_energy_bucket.get() > 0.0 && self.pat_power_bucket.get() > 0.0,
-            "PAT bucket widths must be positive"
-        );
+        if let Err(err) = self.try_validate() {
+            panic!("{err}");
+        }
     }
 }
 
@@ -190,6 +224,28 @@ mod tests {
     fn zero_servers_invalid() {
         let mut c = SimConfig::prototype();
         c.servers = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn try_validate_reports_typed_errors() {
+        use crate::errors::SimError;
+        assert_eq!(SimConfig::prototype().try_validate(), Ok(()));
+        let mut c = SimConfig::prototype();
+        c.battery_strings = 0;
+        assert_eq!(c.try_validate(), Err(SimError::NoBatteryStrings));
+        let mut c = SimConfig::prototype();
+        c.budget = Watts::new(-1.0);
+        assert_eq!(c.try_validate(), Err(SimError::NegativeBudget));
+        let mut c = SimConfig::prototype();
+        c.forecast_period = 1;
+        assert_eq!(c.try_validate(), Err(SimError::ForecastPeriodTooShort));
+    }
+
+    #[test]
+    fn battery_strings_builder() {
+        let c = SimConfig::prototype().with_battery_strings(3);
+        assert_eq!(c.battery_strings, 3);
         c.validate();
     }
 

@@ -85,6 +85,13 @@ pub struct HebController {
     small_peak_threshold: Watts,
     open_slot: Option<OpenSlot>,
     slots_completed: u64,
+    /// Last trustworthy metered peak/valley, kept for degraded
+    /// operation when the metering path goes dark.
+    last_peak: Option<f64>,
+    last_valley: Option<f64>,
+    /// When set, predictions come from the last good values instead of
+    /// the (stale-fed) forecaster.
+    degraded: bool,
 }
 
 impl HebController {
@@ -117,6 +124,9 @@ impl HebController {
             small_peak_threshold: config.small_peak_threshold,
             open_slot: None,
             slots_completed: 0,
+            last_peak: None,
+            last_valley: None,
+            degraded: false,
         }
     }
 
@@ -180,8 +190,20 @@ impl HebController {
     /// Runs the slot-start decision (Figure 10 lines 1–11): predicts
     /// `ΔPM`, classifies it, and selects `R_λ`.
     pub fn begin_slot(&mut self, sc_available: Joules, ba_available: Joules) -> SlotPlan {
-        let p_peak = self.peak_predictor.forecast().max(0.0);
-        let p_valley = self.valley_predictor.forecast().max(0.0);
+        // Degraded mode: the metering path is unreliable, so the
+        // forecaster's state cannot be trusted to extrapolate. Fall
+        // back to the last slot that was fully metered.
+        let (p_peak, p_valley) = if self.degraded {
+            (
+                self.last_peak.unwrap_or(0.0).max(0.0),
+                self.last_valley.unwrap_or(0.0).max(0.0),
+            )
+        } else {
+            (
+                self.peak_predictor.forecast().max(0.0),
+                self.valley_predictor.forecast().max(0.0),
+            )
+        };
         let mismatch = Watts::new((p_peak - p_valley).max(0.0));
         let peak_size = self.classify(mismatch);
 
@@ -239,6 +261,10 @@ impl HebController {
     ) {
         self.peak_predictor.observe(actual_peak.get().max(0.0));
         self.valley_predictor.observe(actual_valley.get().max(0.0));
+        self.last_peak = Some(actual_peak.get().max(0.0));
+        self.last_valley = Some(actual_valley.get().max(0.0));
+        // A fully metered slot just closed: fresh data is flowing again.
+        self.degraded = false;
         self.slots_completed += 1;
 
         let Some(open) = self.open_slot.take() else {
@@ -267,6 +293,34 @@ impl HebController {
                 self.pat.insert(key, open.r_used);
             }
         }
+    }
+
+    /// Closes a slot for which metering was mostly or entirely missing.
+    ///
+    /// The slot still counts, but nothing is fed to the predictors and
+    /// no PAT update runs — a blind slot carries no trustworthy
+    /// peak/valley observation, and learning from garbage would poison
+    /// both the forecast state and the table. Pair this with
+    /// [`HebController::set_forecast_degraded`] so the next
+    /// [`HebController::begin_slot`] plans from the last good values.
+    pub fn end_slot_unmetered(&mut self) {
+        self.slots_completed += 1;
+        self.open_slot = None;
+    }
+
+    /// Switches degraded forecasting on or off. While degraded,
+    /// [`HebController::begin_slot`] plans from the last fully metered
+    /// slot instead of the forecaster. The flag self-clears on the next
+    /// healthy [`HebController::end_slot`].
+    pub fn set_forecast_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
+
+    /// Whether the controller is currently planning from last-good
+    /// values rather than live forecasts.
+    #[must_use]
+    pub fn is_forecast_degraded(&self) -> bool {
+        self.degraded
     }
 }
 
@@ -387,6 +441,51 @@ mod tests {
         let mut ctl = controller(PolicyKind::BaOnly);
         drive_slots(&mut ctl, 4, 300.0, 200.0, 0.0, 150.0);
         assert_eq!(ctl.slots_completed(), 4);
+    }
+
+    #[test]
+    fn degraded_mode_plans_from_last_good_slot() {
+        let mut ctl = controller(PolicyKind::HebD);
+        // Two healthy slots establish 420/260 as the last good values.
+        drive_slots(&mut ctl, 2, 420.0, 260.0, 45.0, 105.0);
+        // Meters go dark: the controller must keep planning a 160 W
+        // mismatch from memory, not from a stale forecaster.
+        ctl.set_forecast_degraded(true);
+        assert!(ctl.is_forecast_degraded());
+        let plan = ctl.begin_slot(wh(45.0), wh(105.0));
+        assert_eq!(plan.predicted_mismatch, Watts::new(160.0));
+        // A healthy slot end clears the flag.
+        ctl.end_slot(Watts::new(400.0), Watts::new(280.0), wh(45.0), wh(105.0));
+        assert!(!ctl.is_forecast_degraded());
+    }
+
+    #[test]
+    fn degraded_mode_without_history_predicts_zero() {
+        let mut ctl = controller(PolicyKind::HebD);
+        ctl.set_forecast_degraded(true);
+        let plan = ctl.begin_slot(wh(45.0), wh(105.0));
+        assert_eq!(plan.predicted_mismatch, Watts::zero());
+        assert_eq!(plan.peak_size, PeakSize::Small);
+    }
+
+    #[test]
+    fn unmetered_slot_counts_but_never_learns() {
+        let mut ctl = controller(PolicyKind::HebD);
+        drive_slots(&mut ctl, 3, 420.0, 260.0, 45.0, 105.0);
+        let pat_before = ctl.pat().len();
+        let slots_before = ctl.slots_completed();
+        let plan_before = {
+            let mut probe = ctl.clone();
+            probe.begin_slot(wh(45.0), wh(105.0)).predicted_mismatch
+        };
+        ctl.begin_slot(wh(45.0), wh(105.0));
+        ctl.end_slot_unmetered();
+        assert_eq!(ctl.slots_completed(), slots_before + 1);
+        assert_eq!(ctl.pat().len(), pat_before, "blind slot must not touch PAT");
+        // Predictor state untouched: the next forecast matches what it
+        // would have been before the blind slot.
+        let plan_after = ctl.begin_slot(wh(45.0), wh(105.0)).predicted_mismatch;
+        assert_eq!(plan_after, plan_before);
     }
 
     #[test]

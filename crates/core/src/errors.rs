@@ -1,0 +1,79 @@
+//! Typed construction-time errors for the simulation stack.
+//!
+//! [`SimConfig::try_validate`](crate::SimConfig::try_validate) and
+//! [`Simulation::try_new`](crate::Simulation::try_new) return these
+//! instead of panicking, so library callers (CLI flag parsing, sweep
+//! harnesses) can report bad inputs gracefully. The panicking
+//! constructors remain as thin wrappers whose messages are exactly the
+//! [`Display`](core::fmt::Display) strings below.
+
+/// Why a simulation could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The workload list was empty.
+    NoWorkloads,
+    /// The configured rack has zero servers.
+    NoServers,
+    /// The metering tick is zero or negative.
+    NonPositiveTick,
+    /// The control slot is shorter than one metering tick.
+    SlotShorterThanTick,
+    /// The total buffer capacity is zero or negative.
+    NonPositiveCapacity,
+    /// The utility budget is negative.
+    NegativeBudget,
+    /// The Holt-Winters seasonal period is below two slots.
+    ForecastPeriodTooShort,
+    /// The IPDU noise sigma is negative.
+    NegativeMeteringNoise,
+    /// A PAT bucket width is zero or negative.
+    NonPositivePatBucket,
+    /// The small-peak threshold is negative.
+    NegativeSmallPeakThreshold,
+    /// The battery pool was configured with zero strings.
+    NoBatteryStrings,
+    /// A solar trace with no samples was supplied.
+    EmptySolarTrace,
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let msg = match self {
+            SimError::NoWorkloads => "need at least one workload",
+            SimError::NoServers => "need at least one server",
+            SimError::NonPositiveTick => "tick must be positive",
+            SimError::SlotShorterThanTick => "slot must span at least one tick",
+            SimError::NonPositiveCapacity => "buffer capacity must be positive",
+            SimError::NegativeBudget => "budget must be non-negative",
+            SimError::ForecastPeriodTooShort => "forecast period must be >= 2",
+            SimError::NegativeMeteringNoise => "metering noise must be non-negative",
+            SimError::NonPositivePatBucket => "PAT bucket widths must be positive",
+            SimError::NegativeSmallPeakThreshold => "threshold must be non-negative",
+            SimError::NoBatteryStrings => "need at least one battery string",
+            SimError::EmptySolarTrace => "solar trace must contain at least one sample",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings_match_panic_messages() {
+        // The panicking constructors format these errors verbatim, so
+        // the strings are load-bearing for `should_panic(expected)`
+        // tests downstream.
+        assert_eq!(SimError::NoServers.to_string(), "need at least one server");
+        assert_eq!(
+            SimError::EmptySolarTrace.to_string(),
+            "solar trace must contain at least one sample"
+        );
+        let err: &dyn std::error::Error = &SimError::NoWorkloads;
+        assert!(err.to_string().contains("workload"));
+    }
+}

@@ -37,7 +37,9 @@ impl CapacityPoint {
         (
             self.report.energy_efficiency().get(),
             self.report.server_downtime.get(),
-            self.report.battery_lifetime_years().unwrap_or(f64::INFINITY),
+            self.report
+                .battery_lifetime_years()
+                .unwrap_or(f64::INFINITY),
             self.solar.reu().get(),
         )
     }

@@ -9,8 +9,8 @@
 //! peak energy actually served), round-trip efficiency, and wear.
 
 use heb_esd::{
-    LeadAcidBattery, LeadAcidParams, LiIonParams, LithiumIonBattery, StorageDevice,
-    SuperCapacitor, SuperCapacitorParams,
+    LeadAcidBattery, LeadAcidParams, LiIonParams, LithiumIonBattery, StorageDevice, SuperCapacitor,
+    SuperCapacitorParams,
 };
 use heb_units::{AmpHours, Farads, Joules, Ratio, Seconds, Volts, Watts};
 
@@ -91,8 +91,7 @@ pub fn chemistry_comparison(usable: Joules, duty: &DutyCycle) -> Vec<ChemistryPo
 
     let mut out = Vec::new();
 
-    let mut la =
-        LeadAcidBattery::new(LeadAcidParams::with_capacity(ah).with_dod_limit(dod));
+    let mut la = LeadAcidBattery::new(LeadAcidParams::with_capacity(ah).with_dod_limit(dod));
     let (coverage, round_trip) = drive(&mut la, duty);
     out.push(ChemistryPoint {
         chemistry: "lead-acid",
@@ -139,7 +138,10 @@ mod tests {
     }
 
     fn get<'a>(points: &'a [ChemistryPoint], name: &str) -> &'a ChemistryPoint {
-        points.iter().find(|p| p.chemistry == name).expect("present")
+        points
+            .iter()
+            .find(|p| p.chemistry == name)
+            .expect("present")
     }
 
     #[test]

@@ -126,8 +126,7 @@ pub fn deployment_comparison(
             } else {
                 cool_workloads.to_vec()
             };
-            let mut sim =
-                Simulation::new(config, &archetypes, seed.wrapping_add(rack as u64 * 31));
+            let mut sim = Simulation::new(config, &archetypes, seed.wrapping_add(rack as u64 * 31));
             sim.run_for_hours(hours)
         })
         .collect();

@@ -12,6 +12,7 @@ mod chemistry;
 mod deployment;
 mod discharge;
 mod efficiency;
+mod faults;
 mod outage;
 mod prediction;
 mod schemes;
@@ -25,6 +26,7 @@ pub use chemistry::{chemistry_comparison, ChemistryPoint, DutyCycle};
 pub use deployment::{deployment_comparison, DeploymentResult};
 pub use discharge::{discharge_curves, DischargeCurve};
 pub use efficiency::{efficiency_characterization, EfficiencyResult};
+pub use faults::{fault_intensity_sweep, FaultSweepPoint};
 pub use outage::{outage_ride_through, OutagePoint};
 pub use prediction::{predictor_comparison, PredictionPoint};
 pub use schemes::{run_scheme, scheme_comparison, SchemeResult, WorkloadGroupResult};

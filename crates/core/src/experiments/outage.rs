@@ -102,8 +102,8 @@ mod tests {
 
     #[test]
     fn tiny_buffers_fail_fast() {
-        let base = SimConfig::prototype()
-            .with_total_capacity(heb_units::Joules::from_watt_hours(10.0));
+        let base =
+            SimConfig::prototype().with_total_capacity(heb_units::Joules::from_watt_hours(10.0));
         let points = outage_ride_through(&base, 2.0, 30.0, 13);
         for p in points {
             assert!(
@@ -117,10 +117,10 @@ mod tests {
 
     #[test]
     fn survival_grows_with_capacity() {
-        let small = SimConfig::prototype()
-            .with_total_capacity(heb_units::Joules::from_watt_hours(30.0));
-        let large = SimConfig::prototype()
-            .with_total_capacity(heb_units::Joules::from_watt_hours(120.0));
+        let small =
+            SimConfig::prototype().with_total_capacity(heb_units::Joules::from_watt_hours(30.0));
+        let large =
+            SimConfig::prototype().with_total_capacity(heb_units::Joules::from_watt_hours(120.0));
         let s = outage_ride_through(&small, 2.0, 40.0, 3);
         let l = outage_ride_through(&large, 2.0, 40.0, 3);
         for (a, b) in s.iter().zip(&l) {

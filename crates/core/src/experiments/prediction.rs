@@ -8,9 +8,7 @@
 //! one slot ahead.
 
 use crate::config::SimConfig;
-use heb_forecast::{
-    mae, mape, HoltWinters, LastValue, MovingAverage, Predictor, SeasonalNaive,
-};
+use heb_forecast::{mae, mape, HoltWinters, LastValue, MovingAverage, Predictor, SeasonalNaive};
 use heb_units::Watts;
 use heb_workload::Archetype;
 

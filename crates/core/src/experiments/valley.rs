@@ -83,7 +83,8 @@ mod tests {
     fn sc_schemes_absorb_far_more_than_battery_only() {
         let points = run();
         let reu = |p: PolicyKind| points.iter().find(|v| v.policy == p).unwrap().reu.get();
-        let improvement = (reu(PolicyKind::HebD) - reu(PolicyKind::BaOnly)) / reu(PolicyKind::BaOnly);
+        let improvement =
+            (reu(PolicyKind::HebD) - reu(PolicyKind::BaOnly)) / reu(PolicyKind::BaOnly);
         assert!(
             improvement > 0.3,
             "deep-valley REU improvement {improvement} too small (BaOnly {} vs HEB-D {})",
@@ -95,8 +96,7 @@ mod tests {
     #[test]
     fn absorbed_energy_ordering() {
         let points = run();
-        let absorbed =
-            |p: PolicyKind| points.iter().find(|v| v.policy == p).unwrap().absorbed_wh;
+        let absorbed = |p: PolicyKind| points.iter().find(|v| v.policy == p).unwrap().absorbed_wh;
         assert!(absorbed(PolicyKind::ScFirst) > 2.0 * absorbed(PolicyKind::BaOnly));
         assert!(absorbed(PolicyKind::HebD) > 2.0 * absorbed(PolicyKind::BaOnly));
     }

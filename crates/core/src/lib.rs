@@ -48,7 +48,9 @@
 mod buffers;
 mod config;
 mod controller;
+mod errors;
 pub mod experiments;
+mod faults;
 mod metrics;
 mod pat;
 mod policy;
@@ -57,6 +59,11 @@ mod sim;
 pub use buffers::HybridBuffers;
 pub use config::SimConfig;
 pub use controller::{HebController, SlotPlan};
+pub use errors::SimError;
+pub use faults::{
+    FaultEvent, FaultInjector, FaultKind, FaultLedger, FaultProfile, FaultSchedule, FaultSpecError,
+    FaultTransition,
+};
 pub use metrics::SimReport;
 pub use pat::{PatEntry, PatKey, PowerAllocationTable};
 pub use policy::{ChargePriority, DischargePriority, PeakSize, PolicyKind};

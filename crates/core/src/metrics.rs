@@ -1,5 +1,6 @@
 //! The evaluation metrics of Section 7.
 
+use crate::faults::FaultLedger;
 use heb_units::{Joules, Ratio, Seconds, Watts};
 
 /// Aggregated results of one simulation run — the paper's four headline
@@ -54,6 +55,8 @@ pub struct SimReport {
     pub pat_entries: usize,
     /// Relay actuations performed by the switch fabric.
     pub relay_actuations: u64,
+    /// Fault-injection audit trail (all-zero for fault-free runs).
+    pub faults: FaultLedger,
 }
 
 impl SimReport {
@@ -108,8 +111,7 @@ impl SimReport {
     /// there is no battery pool.
     #[must_use]
     pub fn battery_lifetime_years(&self) -> Option<f64> {
-        self.battery_lifetime
-            .map(|s| s.as_hours() / (24.0 * 365.0))
+        self.battery_lifetime.map(|s| s.as_hours() / (24.0 * 365.0))
     }
 }
 
@@ -135,7 +137,15 @@ impl core::fmt::Display for SimReport {
         if self.renewable_generated.get() > 0.0 {
             writeln!(f, "  REU {:.1}", self.reu())?;
         }
-        write!(f, "  slots {}, PAT entries {}", self.slots, self.pat_entries)
+        write!(
+            f,
+            "  slots {}, PAT entries {}",
+            self.slots, self.pat_entries
+        )?;
+        if self.faults.any() {
+            write!(f, "\n  {}", self.faults)?;
+        }
+        Ok(())
     }
 }
 

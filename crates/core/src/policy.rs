@@ -206,12 +206,20 @@ mod tests {
 
     #[test]
     fn charging_priorities() {
-        assert_eq!(PolicyKind::BaOnly.charge_priority(), ChargePriority::BatteryOnly);
+        assert_eq!(
+            PolicyKind::BaOnly.charge_priority(),
+            ChargePriority::BatteryOnly
+        );
         assert_eq!(
             PolicyKind::BaFirst.charge_priority(),
             ChargePriority::BatteryThenSc
         );
-        for p in [PolicyKind::ScFirst, PolicyKind::HebF, PolicyKind::HebS, PolicyKind::HebD] {
+        for p in [
+            PolicyKind::ScFirst,
+            PolicyKind::HebF,
+            PolicyKind::HebS,
+            PolicyKind::HebD,
+        ] {
             assert_eq!(p.charge_priority(), ChargePriority::ScThenBattery);
         }
     }

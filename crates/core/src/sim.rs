@@ -15,14 +15,16 @@
 use crate::buffers::HybridBuffers;
 use crate::config::SimConfig;
 use crate::controller::{HebController, SlotPlan};
+use crate::errors::SimError;
+use crate::faults::{FaultInjector, FaultKind, FaultSchedule, FaultTransition};
 use crate::metrics::SimReport;
 use crate::policy::{ChargePriority, DischargePriority, PolicyKind};
 use heb_esd::{ChargeResult, DischargeResult, StorageDevice};
 use heb_powersys::{
-    Cluster, DeliveryPath, FrequencyLevel, Ipdu, PowerSource, RenewableFeed, SwitchFabric,
-    UtilityFeed,
+    Cluster, DeliveryPath, FrequencyLevel, Ipdu, MeterFault, PowerSource, PowerState,
+    RenewableFeed, SwitchFabric, UtilityFeed,
 };
-use heb_units::{Joules, Seconds, Watts};
+use heb_units::{Joules, Ratio, Seconds, Watts};
 use heb_workload::{Archetype, PeakClass, PowerTrace, UtilizationGenerator};
 
 /// Where the rack's power comes from.
@@ -109,6 +111,15 @@ pub struct Simulation {
     slot_valley: Watts,
     report: SimReport,
     slot_log: Vec<SlotRecord>,
+    injector: FaultInjector,
+    /// Budget factor in force last tick, for edge detection.
+    prev_budget_factor: Ratio,
+    /// Ticks of the current slot with no usable meter reading.
+    slot_gap_ticks: u64,
+    /// Whether a supply fault was active last tick.
+    supply_fault_prev: bool,
+    /// When the last supply fault cleared with servers still down.
+    recovery_pending_since: Option<Seconds>,
 }
 
 impl Simulation {
@@ -120,11 +131,29 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Panics if `archetypes` is empty or the config is invalid.
+    /// Panics if `archetypes` is empty or the config is invalid; the
+    /// message is the corresponding [`SimError`] display string.
     #[must_use]
     pub fn new(config: SimConfig, archetypes: &[Archetype], seed: u64) -> Self {
-        config.validate();
-        assert!(!archetypes.is_empty(), "need at least one workload");
+        Self::try_new(config, archetypes, seed).unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible twin of [`Simulation::new`] for callers (CLI parsing,
+    /// sweep harnesses) that must report bad inputs gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when the config fails
+    /// [`SimConfig::try_validate`] or `archetypes` is empty.
+    pub fn try_new(
+        config: SimConfig,
+        archetypes: &[Archetype],
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        config.try_validate()?;
+        if archetypes.is_empty() {
+            return Err(SimError::NoWorkloads);
+        }
         let mut cluster = Cluster::prototype(config.servers);
         let mut generators = Vec::with_capacity(config.servers);
         for idx in 0..config.servers {
@@ -141,12 +170,17 @@ impl Simulation {
         } else {
             config.sc_fraction
         };
-        let buffers = HybridBuffers::build(config.total_capacity, sc_fraction, config.dod_limit);
+        let buffers = HybridBuffers::build_split(
+            config.total_capacity,
+            sc_fraction,
+            config.dod_limit,
+            config.battery_strings,
+        );
         let mut controller = HebController::new(&config);
         let plan = controller.begin_slot(buffers.sc_available(), buffers.ba_available());
         let fabric = SwitchFabric::new(config.servers);
-        let utility = UtilityFeed::new(config.budget);
-        Self {
+        let utility = UtilityFeed::try_new(config.budget).map_err(|_| SimError::NegativeBudget)?;
+        Ok(Self {
             ipdu: Ipdu::new(config.ticks_per_slot() as usize)
                 .with_noise(config.metering_noise, seed ^ 0xA5A5_5A5A),
             cluster,
@@ -163,14 +197,49 @@ impl Simulation {
             slot_valley: Watts::new(f64::INFINITY),
             report: SimReport::default(),
             slot_log: Vec::new(),
+            injector: FaultInjector::idle(),
+            prev_budget_factor: Ratio::ONE,
+            slot_gap_ticks: 0,
+            supply_fault_prev: false,
+            recovery_pending_since: None,
             config,
-        }
+        })
     }
 
     /// Switches the power source (chainable at construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a solar trace with no samples is supplied.
     #[must_use]
-    pub fn with_mode(mut self, mode: PowerMode) -> Self {
+    pub fn with_mode(self, mode: PowerMode) -> Self {
+        self.try_with_mode(mode)
+            .unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// Fallible twin of [`Simulation::with_mode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptySolarTrace`] for a solar trace with no
+    /// samples — a silent all-zero supply would otherwise masquerade as
+    /// a perpetual blackout.
+    pub fn try_with_mode(mut self, mode: PowerMode) -> Result<Self, SimError> {
+        if let PowerMode::Solar(trace) = &mode {
+            if trace.is_empty() {
+                return Err(SimError::EmptySolarTrace);
+            }
+        }
         self.mode = mode;
+        Ok(self)
+    }
+
+    /// Installs a fault schedule (chainable at construction). The
+    /// schedule's events are applied at tick boundaries as simulated
+    /// time reaches them; [`SimReport::faults`] audits every one.
+    #[must_use]
+    pub fn with_faults(mut self, schedule: FaultSchedule) -> Self {
+        self.injector = FaultInjector::new(schedule);
         self
     }
 
@@ -265,6 +334,35 @@ impl Simulation {
             self.slot_boundary();
         }
 
+        // Fault edges crossed since the last tick (quarantines, relay
+        // sticks, ageing steps), then the continuous fault state.
+        self.apply_fault_transitions(now);
+        let factor = self.injector.budget_factor();
+        if factor != self.prev_budget_factor {
+            self.utility.derate(factor);
+            self.prev_budget_factor = factor;
+            // The slot plan was drawn against a different budget;
+            // re-plan immediately instead of riding out the slot.
+            self.replan();
+            self.report.faults.replans += 1;
+        }
+        self.renewable.set_online(self.injector.solar_online());
+
+        if factor.get() <= 0.0 {
+            self.report.faults.blackout_ticks += 1;
+        } else if factor.get() < 1.0 {
+            self.report.faults.brownout_ticks += 1;
+        }
+        if matches!(self.mode, PowerMode::Solar(_)) && !self.injector.solar_online() {
+            self.report.faults.solar_dropout_ticks += 1;
+        }
+        // A supply fault is one that shrinks what the feed can deliver.
+        let supply_fault = match &self.mode {
+            PowerMode::Utility => factor.get() < 1.0,
+            PowerMode::Solar(_) => !self.injector.solar_online(),
+        };
+        let unserved_before = self.report.unserved_energy;
+
         // Drive workloads.
         for (server, generator) in self
             .cluster
@@ -281,29 +379,53 @@ impl Simulation {
             self.try_restore();
         }
 
-        // Metering.
+        // Metering through the (possibly faulted) instrument path.
         let demand = self.cluster.total_demand();
         // The controller sees the *metered* totals, never ground truth.
-        let reading = self.ipdu.sample(&self.cluster, now);
-        self.slot_peak = self.slot_peak.max(reading.total);
-        self.slot_valley = self.slot_valley.min(reading.total);
+        let meter_fault = self.injector.meter_fault();
+        match self.ipdu.try_sample(&self.cluster, now, meter_fault) {
+            Some(reading) => {
+                self.slot_peak = self.slot_peak.max(reading.total);
+                self.slot_valley = self.slot_valley.min(reading.total);
+                if matches!(meter_fault, MeterFault::Spike(_)) {
+                    self.report.faults.meter_spike_ticks += 1;
+                }
+            }
+            None => {
+                self.slot_gap_ticks += 1;
+                self.report.faults.meter_gap_ticks += 1;
+            }
+        }
 
-        // Raw supply limit for this tick (at the feed).
+        // Raw supply limit for this tick (at the feed), after any
+        // derating or trip the fault layer imposed.
         let raw_limit = match &self.mode {
-            PowerMode::Utility => self.config.budget,
+            PowerMode::Utility => self.utility.effective_budget(),
             PowerMode::Solar(trace) => {
                 let idx = (self.tick_index as usize) % trace.len().max(1);
                 let supply = trace.samples().get(idx).copied().unwrap_or_default();
                 self.renewable.set_supply(supply);
-                supply
+                self.renewable.available()
             }
         };
         // What actually reaches the servers depends on the architecture
         // (Figure 7): a centralized double-converting UPS taxes every
         // watt on the utility path, HEB does not.
-        let u2l = self.config.topology.chain(DeliveryPath::UtilityToLoad).clone();
-        let b2l = self.config.topology.chain(DeliveryPath::BufferToLoad).clone();
-        let s2b = self.config.topology.chain(DeliveryPath::SourceToBuffer).clone();
+        let u2l = self
+            .config
+            .topology
+            .chain(DeliveryPath::UtilityToLoad)
+            .clone();
+        let b2l = self
+            .config
+            .topology
+            .chain(DeliveryPath::BufferToLoad)
+            .clone();
+        let s2b = self
+            .config
+            .topology
+            .chain(DeliveryPath::SourceToBuffer)
+            .clone();
         let supply_at_load = u2l.forward(raw_limit);
 
         let mut activity = PoolActivity::default();
@@ -313,12 +435,14 @@ impl Simulation {
             let buffer_request = b2l.required_input(mismatch);
             let outcome = self.discharge_buffers(buffer_request, dt, &mut activity);
             let at_load = b2l.forward(Watts::new(outcome.delivered.get() / dt.get()));
-            self.report.conversion_loss +=
-                outcome.delivered - at_load * dt;
+            self.report.conversion_loss += outcome.delivered - at_load * dt;
             let shortfall = mismatch - at_load;
             if shortfall.get() > 1.0 {
                 self.shed_for_shortfall(mismatch, shortfall, &outcome, dt);
             }
+            // Servers behind stuck-open relays cannot reach the buffers
+            // during the mismatch: their share of the peak browns out.
+            self.shed_stuck_relays(mismatch, dt);
             // The grid/array supplies the rest (at the feed side).
             self.report.conversion_loss += (raw_limit - supply_at_load) * dt;
             match &self.mode {
@@ -368,7 +492,132 @@ impl Simulation {
         // Servers consume; downtime accrues inside the cluster.
         let _ = self.cluster.tick(now, dt);
         self.report.sim_time += dt;
+
+        // Resilience accounting: ride-through while the whole rack
+        // survives an active supply fault, unserved energy attributable
+        // to supply faults, and the latency from fault recovery until
+        // the rack is fully re-powered.
+        let fully_up = self.cluster.running_count() == self.cluster.len();
+        if supply_fault {
+            if fully_up {
+                self.report.faults.ride_through += dt;
+            }
+            self.report.faults.fault_unserved += self.report.unserved_energy - unserved_before;
+        }
+        if self.supply_fault_prev && !supply_fault && !fully_up {
+            self.recovery_pending_since = Some(now);
+        }
+        if let Some(since) = self.recovery_pending_since {
+            if fully_up {
+                self.report.faults.recovery_latency += now - since;
+                self.recovery_pending_since = None;
+            }
+        }
+        self.supply_fault_prev = supply_fault;
         self.tick_index += 1;
+    }
+
+    /// Applies every fault edge the injector crossed since last tick:
+    /// one-shot state changes happen here; continuous effects (grid
+    /// derating, solar trips, meter health) are queried per tick.
+    fn apply_fault_transitions(&mut self, now: Seconds) {
+        for transition in self.injector.poll(now) {
+            match transition {
+                FaultTransition::Started(event) => {
+                    self.report.faults.events_applied += 1;
+                    match event.kind {
+                        FaultKind::BatteryStringFailure { index } => {
+                            if self.buffers.ba_pool_mut().quarantine(index) {
+                                self.report.faults.strings_quarantined += 1;
+                            }
+                        }
+                        FaultKind::ScModuleFailure { index } => {
+                            if self.buffers.sc_pool_mut().quarantine(index) {
+                                self.report.faults.strings_quarantined += 1;
+                            }
+                        }
+                        FaultKind::BatteryDegradation {
+                            capacity_fade,
+                            resistance_growth,
+                        } => {
+                            self.buffers
+                                .ba_pool_mut()
+                                .degrade(capacity_fade, resistance_growth);
+                        }
+                        FaultKind::RelayStuckOpen { server } => {
+                            if server < self.config.servers {
+                                self.fabric.set_stuck_open(server, true);
+                            }
+                        }
+                        // Continuous faults: realised via the injector's
+                        // budget_factor/solar_online/meter_fault queries.
+                        FaultKind::UtilityBrownout { .. }
+                        | FaultKind::UtilityBlackout
+                        | FaultKind::SolarDropout
+                        | FaultKind::MeterDropout
+                        | FaultKind::MeterFreeze
+                        | FaultKind::MeterSpike { .. } => {}
+                    }
+                }
+                FaultTransition::Ended(event) => {
+                    self.report.faults.events_recovered += 1;
+                    match event.kind {
+                        FaultKind::BatteryStringFailure { index }
+                            if self.buffers.ba_pool_mut().restore(index) =>
+                        {
+                            self.report.faults.strings_restored += 1;
+                        }
+                        FaultKind::ScModuleFailure { index }
+                            if self.buffers.sc_pool_mut().restore(index) =>
+                        {
+                            self.report.faults.strings_restored += 1;
+                        }
+                        FaultKind::RelayStuckOpen { server } if server < self.config.servers => {
+                            self.fabric.set_stuck_open(server, false);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sheds running servers stranded behind stuck-open relays during a
+    /// mismatch. They cannot switch onto the buffers, and the utility
+    /// side is already at its limit, so their share of the peak browns
+    /// out — capped at the number of servers the mismatch spans.
+    fn shed_stuck_relays(&mut self, mismatch: Watts, dt: Seconds) {
+        let stuck = self.fabric.stuck_open_servers();
+        if stuck.is_empty() {
+            return;
+        }
+        let mut quota = (mismatch.get() / 70.0).ceil().max(1.0) as usize;
+        let mut shed_any = false;
+        for id in stuck {
+            if quota == 0 {
+                break;
+            }
+            let server = &mut self.cluster.servers_mut()[id];
+            if server.state() == PowerState::On {
+                let draw = server.power_draw();
+                server.power_off();
+                self.report.unserved_energy += draw * dt;
+                shed_any = true;
+                quota -= 1;
+            }
+        }
+        if shed_any {
+            self.report.shed_events += 1;
+        }
+    }
+
+    /// Re-runs the slot decision mid-slot (after the available budget
+    /// changed) and mirrors the fresh plan onto the relay fabric.
+    fn replan(&mut self) {
+        self.plan = self
+            .controller
+            .begin_slot(self.buffers.sc_available(), self.buffers.ba_available());
+        self.mirror_plan();
     }
 
     /// Routes a discharge request through the pools per the slot plan,
@@ -516,8 +765,7 @@ impl Simulation {
         // Split the buffered group across pools proportionally to the
         // primary targets.
         let total_target = (outcome.sc_target + outcome.ba_target).max(per_server);
-        let sc_n =
-            ((outcome.sc_target / total_target) * buffered as f64).round() as usize;
+        let sc_n = ((outcome.sc_target / total_target) * buffered as f64).round() as usize;
         let ba_n = buffered - sc_n.min(buffered);
         let sc_failed = outcome.sc_target.get() > 0.0
             && outcome.sc_delivered < outcome.sc_target - Watts::new(1.0);
@@ -555,9 +803,11 @@ impl Simulation {
             .iter()
             .map(heb_powersys::Server::prospective_draw)
             .sum();
+        // Use the *effective* supply: a derated or blacked-out feed
+        // must not lure shed servers back mid-outage.
         let supply = match &self.mode {
-            PowerMode::Utility => self.config.budget,
-            PowerMode::Solar(_) => self.renewable.supply(),
+            PowerMode::Utility => self.utility.effective_budget(),
+            PowerMode::Solar(_) => self.renewable.available(),
         };
         let supply = self
             .config
@@ -602,36 +852,52 @@ impl Simulation {
                 heb_esd::StorageDevice::soc(self.buffers.ba_pool())
             },
         });
-        self.controller.end_slot(
-            peak,
-            valley,
-            self.buffers.sc_available(),
-            self.buffers.ba_available(),
-        );
+        // A slot that was mostly blind carries no trustworthy
+        // peak/valley: close it without feeding the predictors or the
+        // PAT, and plan the next slot from the last good values.
+        let blind = self.slot_gap_ticks * 2 > self.config.ticks_per_slot();
+        self.slot_gap_ticks = 0;
+        if blind {
+            self.controller.end_slot_unmetered();
+            self.controller.set_forecast_degraded(true);
+            self.report.faults.forecast_fallbacks += 1;
+        } else {
+            self.controller.end_slot(
+                peak,
+                valley,
+                self.buffers.sc_available(),
+                self.buffers.ba_available(),
+            );
+        }
         self.plan = self
             .controller
             .begin_slot(self.buffers.sc_available(), self.buffers.ba_available());
-
-        // Mirror the plan onto the relay fabric: R_λ of servers point at
-        // the SC pool, the rest at the battery pool (utility default
-        // applies outside mismatch events).
-        let n = self.config.servers;
-        let sc_servers = (self.plan.r_lambda.get() * n as f64).round() as usize;
-        match self.plan.discharge {
-            DischargePriority::BatteryOnly => self.fabric.assign_all(PowerSource::Battery),
-            DischargePriority::BatteryThenSc => self.fabric.assign_all(PowerSource::Battery),
-            DischargePriority::ScThenBattery => self.fabric.assign_all(PowerSource::SuperCap),
-            DischargePriority::Split => self.fabric.assign_split(sc_servers, n - sc_servers),
-        }
+        self.mirror_plan();
 
         self.slot_peak = Watts::zero();
         self.slot_valley = Watts::new(f64::INFINITY);
+    }
+
+    /// Mirrors the current plan onto the relay fabric: R_λ of servers
+    /// point at the SC pool, the rest at the battery pool (utility
+    /// default applies outside mismatch events).
+    fn mirror_plan(&mut self) {
+        let n = self.config.servers;
+        let sc_servers = (self.plan.r_lambda.get() * n as f64).round() as usize;
+        match self.plan.discharge {
+            DischargePriority::BatteryOnly | DischargePriority::BatteryThenSc => {
+                self.fabric.assign_all(PowerSource::Battery);
+            }
+            DischargePriority::ScThenBattery => self.fabric.assign_all(PowerSource::SuperCap),
+            DischargePriority::Split => self.fabric.assign_split(sc_servers, n - sc_servers),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultEvent;
     use heb_units::Ratio;
 
     fn sim(policy: PolicyKind) -> Simulation {
@@ -755,5 +1021,212 @@ mod tests {
     #[should_panic(expected = "at least one workload")]
     fn empty_workloads_panic() {
         let _ = Simulation::new(SimConfig::prototype(), &[], 0);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        use crate::errors::SimError;
+        assert_eq!(
+            Simulation::try_new(SimConfig::prototype(), &[], 0).err(),
+            Some(SimError::NoWorkloads)
+        );
+        let mut config = SimConfig::prototype();
+        config.servers = 0;
+        assert_eq!(
+            Simulation::try_new(config, &[Archetype::WebSearch], 0).err(),
+            Some(SimError::NoServers)
+        );
+    }
+
+    #[test]
+    fn empty_solar_trace_is_rejected_at_construction() {
+        use crate::errors::SimError;
+        let trace = PowerTrace::new(Vec::new(), Seconds::new(1.0));
+        let result = Simulation::try_new(SimConfig::prototype(), &[Archetype::WebSearch], 0)
+            .unwrap()
+            .try_with_mode(PowerMode::Solar(trace));
+        assert!(matches!(result, Err(SimError::EmptySolarTrace)));
+    }
+
+    #[test]
+    #[should_panic(expected = "solar trace must contain at least one sample")]
+    fn empty_solar_trace_panics_in_with_mode() {
+        let trace = PowerTrace::new(Vec::new(), Seconds::new(1.0));
+        let _ = sim(PolicyKind::HebD).with_mode(PowerMode::Solar(trace));
+    }
+
+    #[test]
+    fn faulted_run_completes_and_ledger_accounts_every_event() {
+        let schedule = FaultSchedule::parse(
+            "blackout@900~300; ba-fail(0)@600~600; meter-drop@300~120; \
+             meter-spike(3)@1500~60; relay-open(2)@100~900; ba-degrade(0.1,0.2)@1200; \
+             sc-fail(0)@200~400; brownout(0.5)@1900~200",
+        )
+        .unwrap();
+        let config = SimConfig::prototype()
+            .with_policy(PolicyKind::HebD)
+            .with_battery_strings(3);
+        let mut s = Simulation::new(config, &[Archetype::WebSearch, Archetype::Terasort], 11)
+            .with_faults(schedule);
+        let report = s.run_for_hours(1.0);
+        let ledger = &report.faults;
+        assert_eq!(ledger.events_applied, 8, "every onset must be applied");
+        // Everything recovers except the instantaneous ageing step.
+        assert_eq!(ledger.events_recovered, 7);
+        assert_eq!(ledger.blackout_ticks, 300);
+        assert_eq!(ledger.brownout_ticks, 200);
+        assert_eq!(ledger.meter_gap_ticks, 120);
+        assert_eq!(ledger.meter_spike_ticks, 60);
+        assert_eq!(
+            ledger.strings_quarantined, 2,
+            "one BA string + one SC module"
+        );
+        assert_eq!(ledger.strings_restored, 2);
+        // Budget changed four times: blackout on/off, brownout on/off.
+        assert_eq!(ledger.replans, 4);
+        assert!(
+            ledger.ride_through.get() > 0.0,
+            "150 Wh of buffer must ride through some of a 5-minute blackout"
+        );
+        // Energy conservation holds through quarantines, degradation,
+        // and outages.
+        assert!(
+            ((report.buffer_delivered + report.discharge_loss) - report.buffer_drained)
+                .get()
+                .abs()
+                < 1.0
+        );
+        assert!(
+            ((report.charge_stored + report.charge_loss) - report.charge_drawn)
+                .get()
+                .abs()
+                < 1.0
+        );
+        // No NaN leaked into the headline metrics.
+        assert!(report.energy_efficiency().get().is_finite());
+        assert!(report.server_downtime.get().is_finite());
+    }
+
+    #[test]
+    fn fully_blind_slot_degrades_forecast_instead_of_poisoning_it() {
+        // The meter is dark for the whole of slot 1 (ticks 600..1200).
+        let schedule = FaultSchedule::parse("meter-drop@600~600").unwrap();
+        let mut s = Simulation::new(
+            SimConfig::prototype().with_policy(PolicyKind::HebD),
+            &[Archetype::WebSearch, Archetype::Terasort],
+            11,
+        )
+        .with_faults(schedule);
+        let report = s.run_ticks(1201);
+        assert_eq!(report.faults.meter_gap_ticks, 600);
+        assert_eq!(report.faults.forecast_fallbacks, 1);
+        assert!(
+            s.controller().is_forecast_degraded(),
+            "controller must be planning from last good values"
+        );
+        assert_eq!(report.slots, 2, "blind slots still count");
+        // Recovery: the next fully metered slot clears the flag.
+        let report = s.run_ticks(600);
+        assert!(!s.controller().is_forecast_degraded());
+        assert_eq!(report.faults.forecast_fallbacks, 1);
+    }
+
+    #[test]
+    fn mid_run_blackout_via_faults_matches_solar_trace_outage() {
+        // The same outage expressed two ways must shed identically:
+        // (a) utility mode with an injected blackout, (b) the
+        // exp_outage construction — a solar trace that drops to zero.
+        let warmup = 600_u64;
+        let outage = 1800_u64;
+        let config = SimConfig::prototype().with_policy(PolicyKind::HebD);
+        let mix = [Archetype::WebSearch, Archetype::MediaStreaming];
+
+        let mut faulted =
+            Simulation::new(config.clone(), &mix, 13).with_faults(FaultSchedule::scripted(vec![
+                FaultEvent::lasting(
+                    Seconds::new(warmup as f64),
+                    Seconds::new(outage as f64),
+                    FaultKind::UtilityBlackout,
+                ),
+            ]));
+        let a = faulted.run_ticks(warmup + outage);
+
+        let mut samples = vec![config.budget; warmup as usize];
+        samples.extend(vec![Watts::zero(); outage as usize]);
+        let trace = PowerTrace::new(samples, config.tick);
+        let mut traced = Simulation::new(config, &mix, 13).with_mode(PowerMode::Solar(trace));
+        let b = traced.run_ticks(warmup + outage);
+
+        assert_eq!(
+            a.server_downtime, b.server_downtime,
+            "blackout-by-fault and blackout-by-trace must agree on downtime"
+        );
+        assert_eq!(a.shed_events, b.shed_events);
+        assert_eq!(a.buffer_delivered, b.buffer_delivered);
+        assert_eq!(a.faults.blackout_ticks, outage);
+        assert_eq!(b.faults.events_applied, 0, "trace run injects nothing");
+    }
+
+    #[test]
+    fn stuck_relay_browns_out_its_server_during_peaks() {
+        // Tiny budget forces a standing mismatch; relay 0 stuck open for
+        // the whole run means its server cannot ride the buffers.
+        let schedule = FaultSchedule::parse("relay-open(0)@60").unwrap();
+        let config = SimConfig::prototype()
+            .with_policy(PolicyKind::HebD)
+            .with_budget(Watts::new(150.0));
+        let mut s = Simulation::new(config, &[Archetype::Terasort], 3).with_faults(schedule);
+        let report = s.run_for_hours(0.3);
+        assert!(
+            report.shed_events > 0,
+            "the stranded server must brown out during mismatches"
+        );
+        assert!(report.server_downtime.get() > 0.0);
+    }
+
+    #[test]
+    fn solar_dropout_curtails_generation_use() {
+        use heb_workload::SolarTraceBuilder;
+        let trace = SolarTraceBuilder::new(Watts::new(400.0))
+            .seed(2)
+            .days(1.0)
+            .build();
+        let config = SimConfig::prototype().with_policy(PolicyKind::HebD);
+        let healthy = Simulation::new(config.clone(), &[Archetype::WebSearch], 9)
+            .with_mode(PowerMode::Solar(trace.clone()))
+            .run_ticks(12 * 3600);
+        let schedule = FaultSchedule::parse("solar-drop@36000~3600").unwrap();
+        let faulted = Simulation::new(config, &[Archetype::WebSearch], 9)
+            .with_mode(PowerMode::Solar(trace))
+            .with_faults(schedule)
+            .run_ticks(12 * 3600);
+        assert_eq!(faulted.faults.solar_dropout_ticks, 3600);
+        // Generation continues (the sun does not care) but use drops.
+        assert_eq!(faulted.renewable_generated, healthy.renewable_generated);
+        assert!(faulted.renewable_used < healthy.renewable_used);
+        assert!(faulted.reu() < healthy.reu());
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let run = || {
+            let schedule = FaultSchedule::stochastic(
+                21,
+                Seconds::from_hours(1.0),
+                &crate::faults::FaultProfile::nominal().scaled(4.0),
+            );
+            Simulation::new(
+                SimConfig::prototype().with_policy(PolicyKind::HebD),
+                &[Archetype::WebSearch, Archetype::Terasort],
+                11,
+            )
+            .with_faults(schedule)
+            .run_for_hours(1.0)
+        };
+        let r1 = run();
+        let r2 = run();
+        assert_eq!(r1.faults, r2.faults);
+        assert_eq!(r1.server_downtime, r2.server_downtime);
+        assert_eq!(r1.buffer_delivered, r2.buffer_delivered);
     }
 }

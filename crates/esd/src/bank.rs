@@ -28,6 +28,11 @@ use heb_units::{Joules, Seconds, Volts, Watts};
 #[derive(Debug, Clone, PartialEq)]
 pub struct Bank<D> {
     devices: Vec<D>,
+    /// Per-member quarantine flags (fault isolation). A quarantined
+    /// member is excluded from aggregates and dispatch but keeps its
+    /// state of charge, so restoring it returns exactly the energy it
+    /// held — nothing is created or destroyed by isolation itself.
+    quarantined: Vec<bool>,
 }
 
 impl<D: StorageDevice> Bank<D> {
@@ -36,7 +41,11 @@ impl<D: StorageDevice> Bank<D> {
     /// configurations with no SC pool).
     #[must_use]
     pub fn new(devices: Vec<D>) -> Self {
-        Self { devices }
+        let quarantined = vec![false; devices.len()];
+        Self {
+            devices,
+            quarantined,
+        }
     }
 
     /// An empty, zero-capacity bank.
@@ -44,10 +53,11 @@ impl<D: StorageDevice> Bank<D> {
     pub fn empty() -> Self {
         Self {
             devices: Vec::new(),
+            quarantined: Vec::new(),
         }
     }
 
-    /// Number of member devices.
+    /// Number of member devices (including quarantined ones).
     #[must_use]
     pub fn len(&self) -> usize {
         self.devices.len()
@@ -59,7 +69,9 @@ impl<D: StorageDevice> Bank<D> {
         self.devices.is_empty()
     }
 
-    /// Immutable view of the member devices.
+    /// Immutable view of the member devices (including quarantined
+    /// ones — check [`Bank::is_quarantined`] before interpreting one as
+    /// dispatchable).
     #[must_use]
     pub fn devices(&self) -> &[D] {
         &self.devices
@@ -74,6 +86,60 @@ impl<D: StorageDevice> Bank<D> {
     /// Adds a device to the pool (the architecture's scale-out knob).
     pub fn push(&mut self, device: D) {
         self.devices.push(device);
+        self.quarantined.push(false);
+    }
+
+    /// Takes member `index` out of service: it stops contributing to
+    /// capacity, power limits, and dispatch, but retains its charge.
+    /// Returns `false` (and does nothing) if the index is out of range
+    /// or the member is already quarantined.
+    pub fn quarantine(&mut self, index: usize) -> bool {
+        match self.quarantined.get_mut(index) {
+            Some(q) if !*q => {
+                *q = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Returns member `index` to service. Returns `false` if the index
+    /// is out of range or the member was not quarantined.
+    pub fn restore(&mut self, index: usize) -> bool {
+        match self.quarantined.get_mut(index) {
+            Some(q) if *q => {
+                *q = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether member `index` is currently quarantined (out-of-range
+    /// indices read as not quarantined).
+    #[must_use]
+    pub fn is_quarantined(&self, index: usize) -> bool {
+        self.quarantined.get(index).copied().unwrap_or(false)
+    }
+
+    /// Number of members currently quarantined.
+    #[must_use]
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| q).count()
+    }
+
+    /// Number of members currently in service.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.devices.len() - self.quarantined_count()
+    }
+
+    /// Iterator over the in-service members.
+    fn active(&self) -> impl Iterator<Item = &D> {
+        self.devices
+            .iter()
+            .zip(self.quarantined.iter())
+            .filter_map(|(d, &q)| (!q).then_some(d))
     }
 
     /// Splits `total` across members proportionally to `weight`, calls
@@ -100,7 +166,14 @@ impl<D: StorageDevice> Bank<D> {
             self.idle(dt);
             return acc;
         }
-        let weights: Vec<Watts> = self.devices.iter().map(&weight).collect();
+        // Quarantined members carry zero weight and are skipped by both
+        // passes; they idle with the rest of the untouched members.
+        let weights: Vec<Watts> = self
+            .devices
+            .iter()
+            .zip(self.quarantined.iter())
+            .map(|(d, &q)| if q { Watts::zero() } else { weight(d) })
+            .collect();
         let cap: Watts = weights.iter().copied().sum();
         let mut used = vec![false; self.devices.len()];
         let mut remaining = total;
@@ -124,7 +197,7 @@ impl<D: StorageDevice> Bank<D> {
         // Pass 2: offer the shortfall to members pass 1 never drove.
         if remaining.get() > 1e-9 {
             for (idx, device) in self.devices.iter_mut().enumerate() {
-                if used[idx] {
+                if used[idx] || self.quarantined[idx] {
                     continue;
                 }
                 let r = f(device, remaining, dt);
@@ -148,56 +221,44 @@ impl<D: StorageDevice> Bank<D> {
 
 impl<D: StorageDevice> StorageDevice for Bank<D> {
     fn usable_capacity(&self) -> Joules {
-        self.devices.iter().map(StorageDevice::usable_capacity).sum()
+        self.active().map(StorageDevice::usable_capacity).sum()
     }
 
     fn available_energy(&self) -> Joules {
-        self.devices.iter().map(StorageDevice::available_energy).sum()
+        self.active().map(StorageDevice::available_energy).sum()
     }
 
     fn headroom(&self) -> Joules {
-        self.devices.iter().map(StorageDevice::headroom).sum()
+        self.active().map(StorageDevice::headroom).sum()
     }
 
     fn max_discharge_power(&self) -> Watts {
-        self.devices
-            .iter()
-            .map(StorageDevice::max_discharge_power)
-            .sum()
+        self.active().map(StorageDevice::max_discharge_power).sum()
     }
 
     fn max_charge_power(&self) -> Watts {
-        self.devices
-            .iter()
-            .map(StorageDevice::max_charge_power)
-            .sum()
+        self.active().map(StorageDevice::max_charge_power).sum()
     }
 
     fn open_circuit_voltage(&self) -> Volts {
         // Members are paralleled behind per-device converters; report the
-        // mean member voltage as the pool telemetry value.
-        if self.devices.is_empty() {
+        // mean in-service member voltage as the pool telemetry value.
+        let n = self.active_count();
+        if n == 0 {
             return Volts::zero();
         }
-        let sum: Volts = self
-            .devices
-            .iter()
-            .map(StorageDevice::open_circuit_voltage)
-            .sum();
-        sum / self.devices.len() as f64
+        let sum: Volts = self.active().map(StorageDevice::open_circuit_voltage).sum();
+        sum / n as f64
     }
 
     fn loaded_voltage(&self, load: Watts) -> Volts {
-        if self.devices.is_empty() {
+        let n = self.active_count();
+        if n == 0 {
             return Volts::zero();
         }
-        let share = load / self.devices.len() as f64;
-        let sum: Volts = self
-            .devices
-            .iter()
-            .map(|d| d.loaded_voltage(share))
-            .sum();
-        sum / self.devices.len() as f64
+        let share = load / n as f64;
+        let sum: Volts = self.active().map(|d| d.loaded_voltage(share)).sum();
+        sum / n as f64
     }
 
     fn discharge(&mut self, request: Watts, dt: Seconds) -> DischargeResult {
@@ -205,7 +266,7 @@ impl<D: StorageDevice> StorageDevice for Bank<D> {
             self.idle(dt);
             return DischargeResult::none();
         }
-        
+
         self.dispatch(
             request,
             dt,
@@ -248,12 +309,23 @@ impl<D: StorageDevice> StorageDevice for Bank<D> {
             device.idle(dt);
         }
     }
+
+    fn degrade(&mut self, capacity_fade: heb_units::Ratio, resistance_growth: f64) {
+        // Ageing hits every member, quarantined or not — a string on the
+        // repair bench fades just like its in-service siblings.
+        for device in &mut self.devices {
+            device.degrade(capacity_fade, resistance_growth);
+        }
+    }
 }
 
 impl<D> FromIterator<D> for Bank<D> {
     fn from_iter<I: IntoIterator<Item = D>>(iter: I) -> Self {
+        let devices: Vec<D> = iter.into_iter().collect();
+        let quarantined = vec![false; devices.len()];
         Self {
-            devices: iter.into_iter().collect(),
+            devices,
+            quarantined,
         }
     }
 }
@@ -261,6 +333,7 @@ impl<D> FromIterator<D> for Bank<D> {
 impl<D> Extend<D> for Bank<D> {
     fn extend<I: IntoIterator<Item = D>>(&mut self, iter: I) {
         self.devices.extend(iter);
+        self.quarantined.resize(self.devices.len(), false);
     }
 }
 
@@ -290,9 +363,7 @@ mod tests {
     fn capacity_aggregates() {
         let bank = sc_bank(3);
         let single = SuperCapacitor::prototype_module();
-        assert!(
-            (bank.usable_capacity().get() - 3.0 * single.usable_capacity().get()).abs() < 1e-6
-        );
+        assert!((bank.usable_capacity().get() - 3.0 * single.usable_capacity().get()).abs() < 1e-6);
     }
 
     #[test]
@@ -319,8 +390,9 @@ mod tests {
 
     #[test]
     fn charge_respects_member_limits() {
-        let mut bank: Bank<LeadAcidBattery> =
-            (0..2).map(|_| LeadAcidBattery::prototype_string()).collect();
+        let mut bank: Bank<LeadAcidBattery> = (0..2)
+            .map(|_| LeadAcidBattery::prototype_string())
+            .collect();
         for d in bank.devices_mut() {
             d.set_soc(Ratio::HALF);
         }
@@ -332,8 +404,9 @@ mod tests {
 
     #[test]
     fn bank_of_batteries_recovers_when_idle() {
-        let mut bank: Bank<LeadAcidBattery> =
-            (0..2).map(|_| LeadAcidBattery::prototype_string()).collect();
+        let mut bank: Bank<LeadAcidBattery> = (0..2)
+            .map(|_| LeadAcidBattery::prototype_string())
+            .collect();
         for _ in 0..20_000 {
             if bank.discharge(Watts::new(400.0), TICK).is_empty() {
                 break;
@@ -351,5 +424,66 @@ mod tests {
         bank.extend(std::iter::once(SuperCapacitor::prototype_module()));
         bank.push(SuperCapacitor::prototype_module());
         assert_eq!(bank.len(), 3);
+        assert_eq!(bank.active_count(), 3);
+    }
+
+    #[test]
+    fn quarantine_excludes_member_without_destroying_energy() {
+        let mut bank = sc_bank(3);
+        let full = bank.available_energy();
+        let per_member = full.get() / 3.0;
+        assert!(bank.quarantine(1));
+        assert!(bank.is_quarantined(1));
+        assert_eq!(bank.quarantined_count(), 1);
+        assert_eq!(bank.active_count(), 2);
+        // Aggregates drop to the two in-service members...
+        assert!((bank.available_energy().get() - 2.0 * per_member).abs() < 1e-6);
+        // ...and return exactly on restore: isolation moves no energy.
+        assert!(bank.restore(1));
+        assert!((bank.available_energy().get() - full.get()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quarantined_member_is_never_dispatched() {
+        let mut bank = sc_bank(2);
+        let before = bank.devices()[0].soc();
+        bank.quarantine(0);
+        let r = bank.discharge(Watts::new(150.0), TICK);
+        assert!(r.delivered.get() > 0.0, "survivor must carry the load");
+        assert_eq!(
+            bank.devices()[0].soc(),
+            before,
+            "quarantined member must hold its charge"
+        );
+        assert!(bank.devices()[1].soc() < before);
+    }
+
+    #[test]
+    fn quarantine_is_idempotent_and_bounds_checked() {
+        let mut bank = sc_bank(2);
+        assert!(bank.quarantine(0));
+        assert!(!bank.quarantine(0), "double quarantine must be a no-op");
+        assert!(!bank.quarantine(7), "out of range must be a no-op");
+        assert!(!bank.restore(1), "restoring a healthy member is a no-op");
+        assert!(!bank.is_quarantined(7));
+    }
+
+    #[test]
+    fn fully_quarantined_bank_is_inert() {
+        let mut bank = sc_bank(2);
+        bank.quarantine(0);
+        bank.quarantine(1);
+        assert!(bank.available_energy().is_zero());
+        assert_eq!(bank.max_discharge_power(), Watts::zero());
+        assert!(bank.discharge(Watts::new(100.0), TICK).is_empty());
+        assert_eq!(bank.open_circuit_voltage(), Volts::zero());
+    }
+
+    #[test]
+    fn degrade_forwards_to_members() {
+        let mut bank = sc_bank(2);
+        let before = bank.usable_capacity();
+        bank.degrade(Ratio::new_clamped(0.2), 0.5);
+        assert!(bank.usable_capacity() < before);
     }
 }

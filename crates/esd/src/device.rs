@@ -165,6 +165,18 @@ pub trait StorageDevice {
     fn is_full(&self) -> bool {
         self.headroom().get() <= 1e-9
     }
+
+    /// Applies a step of ageing: permanently fades usable capacity by
+    /// `capacity_fade` (0 = none, 1 = total) and grows internal
+    /// resistance by `resistance_growth` (0 = none, 1 = doubled). The
+    /// fault-injection layer uses this to model calendar/cycle ageing
+    /// and sulfation events mid-run.
+    ///
+    /// The default implementation is a no-op so that chemistries without
+    /// an ageing model remain valid implementations.
+    fn degrade(&mut self, capacity_fade: Ratio, resistance_growth: f64) {
+        let _ = (capacity_fade, resistance_growth);
+    }
 }
 
 #[cfg(test)]

@@ -259,8 +259,7 @@ impl LeadAcidBattery {
         } else if self.temperature_c >= t.charge_cutoff_c {
             0.0
         } else {
-            (t.charge_cutoff_c - self.temperature_c)
-                / (t.charge_cutoff_c - t.derate_onset_c)
+            (t.charge_cutoff_c - self.temperature_c) / (t.charge_cutoff_c - t.derate_onset_c)
         }
     }
 
@@ -331,8 +330,7 @@ impl LeadAcidBattery {
         let e = (-k * dt).exp();
         let q0 = self.q_total();
         let y1 = a1 - i * b1;
-        let y2 = self.y2 * e + q0 * (1.0 - c) * (1.0 - e)
-            - i * (1.0 - c) * (k * dt - 1.0 + e) / k;
+        let y2 = self.y2 * e + q0 * (1.0 - c) * (1.0 - e) - i * (1.0 - c) * (k * dt - 1.0 + e) / k;
         self.y1 = y1.clamp(0.0, c * self.q_max());
         self.y2 = y2.clamp(0.0, (1.0 - c) * self.q_max());
     }
@@ -463,7 +461,8 @@ impl StorageDevice for LeadAcidBattery {
         let c_rate = i / self.params.capacity.get();
         // Heat accelerates plate wear: scale the recorded amp-hours.
         let ah_weighted = ah * self.thermal_wear_factor();
-        self.lifetime.record_discharge(ah_weighted, soc_before, c_rate);
+        self.lifetime
+            .record_discharge(ah_weighted, soc_before, c_rate);
         self.lifetime.advance(dt);
 
         let drained = Joules::new(i * ocv.get() * dt_s);
@@ -521,6 +520,22 @@ impl StorageDevice for LeadAcidBattery {
             self.advance_thermal(Joules::zero(), dt.get());
             self.lifetime.advance(dt);
         }
+    }
+
+    fn degrade(&mut self, capacity_fade: Ratio, resistance_growth: f64) {
+        // Sulfation: the nameplate shrinks and the series resistance
+        // grows. Stored charge above the shrunken wells is lost to the
+        // plates (it was never dispatched, so the energy books — which
+        // only track flows — stay balanced).
+        let keep = (1.0 - capacity_fade.get()).max(0.01);
+        self.params.capacity = AmpHours::new(self.params.capacity.get() * keep);
+        let growth = 1.0 + resistance_growth.max(0.0);
+        self.params.internal_resistance = self.params.internal_resistance * growth;
+        self.params.polarization = self.params.polarization * growth;
+        let q_max = self.q_max();
+        let c = self.params.kibam_c;
+        self.y1 = self.y1.clamp(0.0, c * q_max);
+        self.y2 = self.y2.clamp(0.0, (1.0 - c) * q_max);
     }
 }
 
@@ -726,7 +741,10 @@ mod tests {
             let _ = b.discharge(Watts::new(300.0), TICK);
         }
         let hot = b.temperature_c();
-        assert!(hot > 25.5, "sustained 300 W should heat the string, got {hot}");
+        assert!(
+            hot > 25.5,
+            "sustained 300 W should heat the string, got {hot}"
+        );
         b.idle(Seconds::from_hours(4.0));
         assert!(
             b.temperature_c() < hot && b.temperature_c() < 26.0,
@@ -772,6 +790,32 @@ mod tests {
             hot.lifetime().weighted_throughput().get(),
             cool.lifetime().weighted_throughput().get()
         );
+    }
+
+    #[test]
+    fn degrade_fades_capacity_and_grows_resistance() {
+        let mut b = LeadAcidBattery::prototype_string();
+        let cap_before = b.usable_capacity();
+        let r_before = b.effective_resistance();
+        b.degrade(Ratio::new_clamped(0.25), 0.5);
+        assert!((b.params().capacity.get() - 6.0).abs() < 1e-9);
+        assert!(b.usable_capacity() < cap_before);
+        assert!(b.effective_resistance() > r_before);
+        // Wells were clamped into the shrunken envelope: SoC stays valid
+        // and the device still serves load.
+        assert!(b.soc().get() <= 1.0 + 1e-9);
+        let r = b.discharge(Watts::new(50.0), TICK);
+        assert!(r.delivered.get() > 0.0);
+        assert!(((r.delivered + r.loss) - r.drained).get().abs() < 1e-9);
+    }
+
+    #[test]
+    fn degrade_is_bounded_below() {
+        let mut b = LeadAcidBattery::prototype_string();
+        b.degrade(Ratio::ONE, -2.0);
+        // Full fade clamps to a 1 % floor and negative growth is ignored.
+        assert!(b.params().capacity.get() > 0.0);
+        assert!((b.params().internal_resistance.get() - 0.12).abs() < 1e-12);
     }
 
     #[test]

@@ -172,8 +172,7 @@ impl LithiumIonBattery {
         // Flat plateau with gentle slope plus a sharper roll-off in the
         // bottom 10 % — the familiar Li-ion discharge curve.
         let soc = self.soc_raw();
-        let plateau =
-            self.params.ocv_empty + (self.params.ocv_full - self.params.ocv_empty) * soc;
+        let plateau = self.params.ocv_empty + (self.params.ocv_full - self.params.ocv_empty) * soc;
         if soc < 0.1 {
             let droop = (0.1 - soc) / 0.1;
             plateau - Volts::new(1.2 * droop)
@@ -207,8 +206,7 @@ impl LithiumIonBattery {
 
 impl StorageDevice for LithiumIonBattery {
     fn usable_capacity(&self) -> Joules {
-        (self.params.capacity * self.params.dod_limit.get())
-            .energy_at(self.params.nominal_voltage)
+        (self.params.capacity * self.params.dod_limit.get()).energy_at(self.params.nominal_voltage)
     }
 
     fn available_energy(&self) -> Joules {
@@ -442,9 +440,9 @@ mod tests {
         let low = li.open_circuit_voltage();
         // The bottom-of-charge droop is distinctly steeper than the
         // plateau slope.
-        let plateau_drop_per_soc =
-            (LiIonParams::prototype_string().ocv_full - LiIonParams::prototype_string().ocv_empty)
-                .get();
+        let plateau_drop_per_soc = (LiIonParams::prototype_string().ocv_full
+            - LiIonParams::prototype_string().ocv_empty)
+            .get();
         assert!((mid - low).get() > 0.45 * plateau_drop_per_soc);
     }
 

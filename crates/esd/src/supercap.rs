@@ -182,8 +182,7 @@ impl SuperCapacitor {
     /// the actual delta after window clamping.
     fn shift_energy(&mut self, delta: Joules) -> Joules {
         let before = self.physical_energy();
-        let target = (before + delta)
-            .clamp(self.floor_energy(), self.ceiling_energy());
+        let target = (before + delta).clamp(self.floor_energy(), self.ceiling_energy());
         let v = (2.0 * target.get() / self.params.capacitance.get()).sqrt();
         self.voltage = Volts::new(v);
         target - before
@@ -211,7 +210,11 @@ impl StorageDevice for SuperCapacitor {
         let esr = self.params.esr.get();
         // Current limit and the ESR maximum-power-transfer bound.
         let p_current = self.params.max_current * (v - self.params.max_current * esr).max(0.0);
-        let p_esr = if esr > 0.0 { v * v / (4.0 * esr) } else { f64::INFINITY };
+        let p_esr = if esr > 0.0 {
+            v * v / (4.0 * esr)
+        } else {
+            f64::INFINITY
+        };
         let p = p_current.min(p_esr) * self.params.interface_efficiency.get();
         Watts::new(p)
     }
@@ -222,7 +225,9 @@ impl StorageDevice for SuperCapacitor {
         }
         let v = self.voltage.get();
         let i = self.params.max_current;
-        Watts::new(i * (v + i * self.params.esr.get()) / self.params.interface_efficiency.get().max(1e-6))
+        Watts::new(
+            i * (v + i * self.params.esr.get()) / self.params.interface_efficiency.get().max(1e-6),
+        )
     }
 
     fn open_circuit_voltage(&self) -> Volts {
@@ -311,6 +316,15 @@ impl StorageDevice for SuperCapacitor {
 
     fn idle(&mut self, _dt: Seconds) {
         // Self-discharge is negligible on control-loop timescales.
+    }
+
+    fn degrade(&mut self, capacity_fade: Ratio, resistance_growth: f64) {
+        // Electrolyte dry-out: capacitance fades and ESR grows. The
+        // terminal voltage is unchanged, so stored energy scales down
+        // with C (½CV²) — charge is lost with the plates, not teleported.
+        let keep = (1.0 - capacity_fade.get()).max(0.01);
+        self.params.capacitance = Farads::new(self.params.capacitance.get() * keep);
+        self.params.esr = Ohms::new(self.params.esr.get() * (1.0 + resistance_growth.max(0.0)));
     }
 }
 
@@ -463,12 +477,32 @@ mod tests {
         let sc = SuperCapacitor::prototype_module();
         let sag = sc.open_circuit_voltage() - sc.loaded_voltage(Watts::new(300.0));
         assert!(sag.get() > 0.0);
-        assert!(sag.get() < 0.5, "ESR sag should be small, got {}", sag.get());
+        assert!(
+            sag.get() < 0.5,
+            "ESR sag should be small, got {}",
+            sag.get()
+        );
     }
 
     #[test]
     #[should_panic(expected = "capacitance must be positive")]
     fn zero_capacitance_panics() {
         let _ = SuperCapacitorParams::with_capacitance(Farads::zero());
+    }
+
+    #[test]
+    fn degrade_shrinks_window_and_keeps_device_serviceable() {
+        let mut sc = SuperCapacitor::prototype_module();
+        let cap_before = sc.usable_capacity();
+        let avail_before = sc.available_energy();
+        sc.degrade(Ratio::new_clamped(0.2), 1.0);
+        assert!((sc.params().capacitance.get() - 480.0).abs() < 1e-9);
+        assert!((sc.params().esr.get() - 0.006).abs() < 1e-12);
+        assert!(sc.usable_capacity() < cap_before);
+        assert!(sc.available_energy() < avail_before);
+        assert!(sc.soc().get() <= 1.0 + 1e-9);
+        let r = sc.discharge(Watts::new(100.0), TICK);
+        assert!(r.delivered.get() > 0.0);
+        assert!(((r.delivered + r.loss) - r.drained).get().abs() < 1e-9);
     }
 }

@@ -127,10 +127,8 @@ impl Predictor for DoubleExponential {
             }
             _ => {
                 let prev_level = self.level;
-                self.level =
-                    self.alpha * value + (1.0 - self.alpha) * (self.level + self.trend);
-                self.trend =
-                    self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+                self.level = self.alpha * value + (1.0 - self.alpha) * (self.level + self.trend);
+                self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
             }
         }
         self.n += 1;
@@ -247,11 +245,7 @@ impl Predictor for HoltWinters {
                 // Bootstrap: level = period mean, trend = mean first
                 // difference, seasonal = deviations from the mean.
                 let mean = self.warmup.iter().sum::<f64>() / self.period as f64;
-                let diffs: f64 = self
-                    .warmup
-                    .windows(2)
-                    .map(|w| w[1] - w[0])
-                    .sum::<f64>()
+                let diffs: f64 = self.warmup.windows(2).map(|w| w[1] - w[0]).sum::<f64>()
                     / (self.period - 1) as f64;
                 self.level = mean;
                 self.trend = diffs / self.period as f64;
@@ -262,11 +256,9 @@ impl Predictor for HoltWinters {
         let s_idx = (self.n) % self.period;
         let s = self.seasonal[s_idx];
         let prev_level = self.level;
-        self.level =
-            self.alpha * (value - s) + (1.0 - self.alpha) * (self.level + self.trend);
+        self.level = self.alpha * (value - s) + (1.0 - self.alpha) * (self.level + self.trend);
         self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
-        self.seasonal[s_idx] =
-            self.gamma * (value - self.level) + (1.0 - self.gamma) * s;
+        self.seasonal[s_idx] = self.gamma * (value - self.level) + (1.0 - self.gamma) * s;
         self.n += 1;
     }
 
@@ -350,7 +342,10 @@ mod tests {
         // Next value would be 10 + t with the learned trend.
         let expected = 10.0 + t;
         let f = hw.forecast(1);
-        assert!((f - expected).abs() < 2.0, "forecast {f} expected {expected}");
+        assert!(
+            (f - expected).abs() < 2.0,
+            "forecast {f} expected {expected}"
+        );
     }
 
     #[test]

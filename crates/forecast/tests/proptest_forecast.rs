@@ -1,6 +1,8 @@
 //! Property tests for the predictors and error metrics.
 
-use heb_forecast::{mae, mape, rmse, DoubleExponential, HoltWinters, LastValue, Predictor, SingleExponential};
+use heb_forecast::{
+    mae, mape, rmse, DoubleExponential, HoltWinters, LastValue, Predictor, SingleExponential,
+};
 use proptest::prelude::*;
 
 fn bounded_series() -> impl Strategy<Value = Vec<f64>> {

@@ -60,9 +60,7 @@ impl Cluster {
 
     /// Iterator over running servers.
     pub fn running(&self) -> impl Iterator<Item = &Server> {
-        self.servers
-            .iter()
-            .filter(|s| s.state() == PowerState::On)
+        self.servers.iter().filter(|s| s.state() == PowerState::On)
     }
 
     /// Number of running servers.

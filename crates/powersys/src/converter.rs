@@ -24,7 +24,10 @@ impl Converter {
     /// is a configuration error, not a model state).
     #[must_use]
     pub fn new(label: &'static str, efficiency: Ratio) -> Self {
-        assert!(efficiency.get() > 0.0, "converter efficiency must be positive");
+        assert!(
+            efficiency.get() > 0.0,
+            "converter efficiency must be positive"
+        );
         Self { label, efficiency }
     }
 
@@ -181,8 +184,9 @@ mod tests {
 
     #[test]
     fn chain_from_iterator() {
-        let chain: ConverterChain =
-            [Converter::dc_regulator(), Converter::inverter()].into_iter().collect();
+        let chain: ConverterChain = [Converter::dc_regulator(), Converter::inverter()]
+            .into_iter()
+            .collect();
         assert_eq!(chain.stages().len(), 2);
         assert!((chain.efficiency().get() - 0.98 * 0.95).abs() < 1e-12);
     }

@@ -1,0 +1,53 @@
+//! Typed construction errors for power-system components.
+
+/// Why a power-system component could not be constructed.
+///
+/// The panicking constructors (`UtilityFeed::new`, `Ipdu::new`, …)
+/// remain as thin wrappers over the `try_*` variants; embedders that
+/// build components from untrusted configuration should use the
+/// fallible forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerSysError {
+    /// A utility budget below zero watts.
+    NegativeBudget,
+    /// A metering history window of zero samples.
+    EmptyMeterWindow,
+    /// A negative metering noise standard deviation.
+    NegativeNoise,
+}
+
+impl core::fmt::Display for PowerSysError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The strings double as the panic messages of the infallible
+        // constructors, so tests matching on them keep working.
+        let msg = match self {
+            PowerSysError::NegativeBudget => "budget must be non-negative",
+            PowerSysError::EmptyMeterWindow => "history window must be non-empty",
+            PowerSysError::NegativeNoise => "noise must be non-negative",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for PowerSysError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_panic_messages() {
+        assert_eq!(
+            PowerSysError::NegativeBudget.to_string(),
+            "budget must be non-negative"
+        );
+        assert_eq!(
+            PowerSysError::EmptyMeterWindow.to_string(),
+            "history window must be non-empty"
+        );
+        assert_eq!(
+            PowerSysError::NegativeNoise.to_string(),
+            "noise must be non-negative"
+        );
+    }
+}

@@ -1,6 +1,7 @@
 //! Utility and renewable power feeds.
 
-use heb_units::{Joules, Seconds, Watts};
+use crate::error::PowerSysError;
+use heb_units::{Joules, Ratio, Seconds, Watts};
 
 /// The (possibly under-provisioned) utility feed.
 ///
@@ -23,6 +24,8 @@ use heb_units::{Joules, Seconds, Watts};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UtilityFeed {
     budget: Watts,
+    /// Brownout derating factor: 1 = healthy grid, 0 = blackout.
+    derate: Ratio,
     energy_supplied: Joules,
     peak_drawn: Watts,
 }
@@ -35,15 +38,29 @@ impl UtilityFeed {
     /// Panics if the budget is negative.
     #[must_use]
     pub fn new(budget: Watts) -> Self {
-        assert!(budget.get() >= 0.0, "budget must be non-negative");
-        Self {
-            budget,
-            energy_supplied: Joules::zero(),
-            peak_drawn: Watts::zero(),
-        }
+        Self::try_new(budget).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// The provisioned budget.
+    /// Fallible constructor: rejects a negative budget instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerSysError::NegativeBudget`] if `budget` is below
+    /// zero watts.
+    pub fn try_new(budget: Watts) -> Result<Self, PowerSysError> {
+        if budget.get() < 0.0 {
+            return Err(PowerSysError::NegativeBudget);
+        }
+        Ok(Self {
+            budget,
+            derate: Ratio::ONE,
+            energy_supplied: Joules::zero(),
+            peak_drawn: Watts::zero(),
+        })
+    }
+
+    /// The provisioned budget (nameplate, before any derating).
     #[must_use]
     pub fn budget(&self) -> Watts {
         self.budget
@@ -54,20 +71,41 @@ impl UtilityFeed {
         self.budget = budget;
     }
 
+    /// Derates the feed for a grid fault: `Ratio::ONE` restores full
+    /// capacity, `Ratio::ZERO` models a blackout, anything between is a
+    /// brownout. The nameplate budget is untouched so recovery is exact.
+    pub fn derate(&mut self, factor: Ratio) {
+        self.derate = factor;
+    }
+
+    /// The current derating factor (1 when the grid is healthy).
+    #[must_use]
+    pub fn derate_factor(&self) -> Ratio {
+        self.derate
+    }
+
+    /// The budget actually deliverable right now: nameplate × derate.
+    #[must_use]
+    pub fn effective_budget(&self) -> Watts {
+        self.budget * self.derate.get()
+    }
+
     /// Draws up to `demand` for `dt`: returns `(granted, shortfall)`
-    /// powers, accounting supplied energy and the running peak.
+    /// powers, accounting supplied energy and the running peak. Grants
+    /// are capped at the *effective* (possibly derated) budget.
     pub fn draw(&mut self, demand: Watts, dt: Seconds) -> (Watts, Watts) {
-        let granted = demand.min(self.budget).max(Watts::zero());
+        let granted = demand.min(self.effective_budget()).max(Watts::zero());
         let shortfall = (demand - granted).max(Watts::zero());
         self.energy_supplied += granted * dt;
         self.peak_drawn = self.peak_drawn.max(granted);
         (granted, shortfall)
     }
 
-    /// Charging headroom left under the budget at a given demand.
+    /// Charging headroom left under the effective budget at a given
+    /// demand.
     #[must_use]
     pub fn headroom(&self, demand: Watts) -> Watts {
-        (self.budget - demand).max(Watts::zero())
+        (self.effective_budget() - demand).max(Watts::zero())
     }
 
     /// Total energy supplied so far.
@@ -102,6 +140,10 @@ impl UtilityFeed {
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RenewableFeed {
     supply: Watts,
+    /// A tripped feed (inverter trip, disconnect fault): insolation
+    /// still accrues as generated energy, but none of it is deliverable
+    /// — it is all curtailed, so REU drops for the outage's duration.
+    offline: bool,
     energy_generated: Joules,
     energy_used: Joules,
 }
@@ -119,19 +161,45 @@ impl RenewableFeed {
         self.supply = supply.max(Watts::zero());
     }
 
-    /// Current generation level.
+    /// Current generation level (raw insolation, ignoring trips).
     #[must_use]
     pub fn supply(&self) -> Watts {
         self.supply
     }
 
+    /// Trips the feed offline or brings it back. While offline the
+    /// array keeps producing (the sun does not care) but nothing is
+    /// deliverable.
+    pub fn set_online(&mut self, online: bool) {
+        self.offline = !online;
+    }
+
+    /// Whether the feed is currently deliverable.
+    #[must_use]
+    pub fn is_online(&self) -> bool {
+        !self.offline
+    }
+
+    /// The power actually deliverable this tick: the raw supply, or
+    /// zero while tripped offline.
+    #[must_use]
+    pub fn available(&self) -> Watts {
+        if self.offline {
+            Watts::zero()
+        } else {
+            self.supply
+        }
+    }
+
     /// Draws up to `demand` for `dt`: returns `(used, surplus)`. The
     /// surplus is available for charging buffers; whatever the caller
     /// does not absorb is lost (curtailed) — the REU metric charges for
-    /// exactly that loss.
+    /// exactly that loss. While tripped offline, everything generated
+    /// this tick is curtailed.
     pub fn draw(&mut self, demand: Watts, dt: Seconds) -> (Watts, Watts) {
-        let used = demand.min(self.supply).max(Watts::zero());
-        let surplus = (self.supply - used).max(Watts::zero());
+        let available = self.available();
+        let used = demand.min(available).max(Watts::zero());
+        let surplus = (available - used).max(Watts::zero());
         self.energy_generated += self.supply * dt;
         self.energy_used += used * dt;
         (used, surplus)
@@ -229,5 +297,52 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_budget_panics() {
         let _ = UtilityFeed::new(Watts::new(-1.0));
+    }
+
+    #[test]
+    fn try_new_rejects_negative_budget() {
+        assert_eq!(
+            UtilityFeed::try_new(Watts::new(-1.0)),
+            Err(PowerSysError::NegativeBudget)
+        );
+        assert!(UtilityFeed::try_new(Watts::zero()).is_ok());
+    }
+
+    #[test]
+    fn brownout_derates_grants_and_recovers_exactly() {
+        let mut feed = UtilityFeed::new(Watts::new(260.0));
+        feed.derate(Ratio::new_clamped(0.5));
+        assert_eq!(feed.effective_budget().get(), 130.0);
+        let (granted, shortfall) = feed.draw(Watts::new(200.0), TICK);
+        assert_eq!(granted.get(), 130.0);
+        assert_eq!(shortfall.get(), 70.0);
+        assert_eq!(feed.headroom(Watts::new(100.0)).get(), 30.0);
+        // Blackout: nothing deliverable.
+        feed.derate(Ratio::ZERO);
+        let (granted, shortfall) = feed.draw(Watts::new(50.0), TICK);
+        assert_eq!(granted, Watts::zero());
+        assert_eq!(shortfall.get(), 50.0);
+        // Recovery restores the exact nameplate.
+        feed.derate(Ratio::ONE);
+        assert_eq!(feed.effective_budget().get(), 260.0);
+    }
+
+    #[test]
+    fn renewable_trip_curtails_everything() {
+        let mut feed = RenewableFeed::new();
+        feed.set_supply(Watts::new(100.0));
+        feed.set_online(false);
+        assert!(!feed.is_online());
+        assert_eq!(feed.available(), Watts::zero());
+        let (used, surplus) = feed.draw(Watts::new(60.0), TICK);
+        assert_eq!(used, Watts::zero());
+        assert_eq!(surplus, Watts::zero());
+        // Generation still accrued, so utilisation drops below 1.
+        assert_eq!(feed.energy_generated().get(), 100.0);
+        assert!((feed.utilization() - 0.0).abs() < 1e-12);
+        // Back online the feed behaves exactly as before the trip.
+        feed.set_online(true);
+        let (used, _) = feed.draw(Watts::new(60.0), TICK);
+        assert_eq!(used.get(), 60.0);
     }
 }

@@ -28,6 +28,7 @@
 
 mod cluster;
 mod converter;
+mod error;
 mod feed;
 mod metering;
 mod server;
@@ -36,8 +37,9 @@ mod topology;
 
 pub use cluster::Cluster;
 pub use converter::{Converter, ConverterChain};
+pub use error::PowerSysError;
 pub use feed::{RenewableFeed, UtilityFeed};
-pub use metering::{Ipdu, MeterReading};
+pub use metering::{Ipdu, MeterFault, MeterReading};
 pub use server::{FrequencyLevel, PowerState, Server, ServerParams};
 pub use switch::{PowerSource, SwitchFabric};
 pub use topology::{DeliveryPath, Topology};

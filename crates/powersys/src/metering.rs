@@ -6,8 +6,30 @@
 //! structure (and gives experiments a place to inject metering noise).
 
 use crate::cluster::Cluster;
+use crate::error::PowerSysError;
 use heb_units::{Seconds, Watts};
 use std::collections::VecDeque;
+
+/// The health of the metering path for one sampling instant.
+///
+/// Real SNMP metering fails in three characteristic ways: the poll
+/// times out (dropout), the agent keeps answering with a stale cached
+/// reading (freeze), or a transducer glitch returns a wildly scaled
+/// value (spike). The fault-injection layer drives this enum; the
+/// controller must survive all three.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum MeterFault {
+    /// The meter answers truthfully.
+    #[default]
+    Healthy,
+    /// The poll is lost: no reading at all this tick.
+    Dropout,
+    /// The meter repeats its last reading instead of sampling.
+    Freeze,
+    /// The reading is scaled by the given factor (e.g. 3.0 for a 3×
+    /// over-read).
+    Spike(f64),
+}
 
 /// One metering sample.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,13 +77,25 @@ impl Ipdu {
     /// Panics if `window` is zero.
     #[must_use]
     pub fn new(window: usize) -> Self {
-        assert!(window > 0, "history window must be non-empty");
-        Self {
+        Self::try_new(window).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects a zero-length window instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerSysError::EmptyMeterWindow`] if `window` is zero.
+    pub fn try_new(window: usize) -> Result<Self, PowerSysError> {
+        if window == 0 {
+            return Err(PowerSysError::EmptyMeterWindow);
+        }
+        Ok(Self {
             history: VecDeque::with_capacity(window),
             window,
             noise_std: 0.0,
             rng_state: 0x9E37_79B9_7F4A_7C15,
-        }
+        })
     }
 
     /// Same meter with multiplicative measurement noise of the given
@@ -124,6 +158,44 @@ impl Ipdu {
         }
         self.history.push_back(reading.clone());
         reading
+    }
+
+    /// Samples the cluster through a possibly faulty metering path.
+    ///
+    /// - [`MeterFault::Healthy`] behaves exactly like [`Ipdu::sample`].
+    /// - [`MeterFault::Dropout`] returns `None` and records nothing —
+    ///   the poll was simply lost.
+    /// - [`MeterFault::Freeze`] returns a copy of the latest retained
+    ///   reading (or `None` if there is none) without touching history:
+    ///   the agent keeps serving stale data.
+    /// - [`MeterFault::Spike(f)`] takes a real sample, scales every
+    ///   channel by `f`, and *does* append the corrupted reading — bad
+    ///   data enters the history window just as it would in the field.
+    pub fn try_sample(
+        &mut self,
+        cluster: &Cluster,
+        at: Seconds,
+        fault: MeterFault,
+    ) -> Option<MeterReading> {
+        match fault {
+            MeterFault::Healthy => Some(self.sample(cluster, at)),
+            MeterFault::Dropout => None,
+            MeterFault::Freeze => self.latest().cloned(),
+            MeterFault::Spike(factor) => {
+                let factor = factor.max(0.0);
+                let mut reading = self.sample(cluster, at);
+                // Rewrite the just-appended entry in place so history
+                // and the returned value agree on the corrupt data.
+                for w in &mut reading.per_server {
+                    *w = *w * factor;
+                }
+                reading.total = reading.per_server.iter().copied().sum();
+                if let Some(back) = self.history.back_mut() {
+                    *back = reading.clone();
+                }
+                Some(reading)
+            }
+        }
     }
 
     /// The retained samples, oldest first.
@@ -271,5 +343,65 @@ mod tests {
     #[should_panic(expected = "noise must be non-negative")]
     fn negative_noise_panics() {
         let _ = Ipdu::new(1).with_noise(-0.1, 1);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_window() {
+        assert_eq!(Ipdu::try_new(0), Err(PowerSysError::EmptyMeterWindow));
+        assert!(Ipdu::try_new(1).is_ok());
+    }
+
+    #[test]
+    fn dropout_returns_none_and_records_nothing() {
+        let cluster = Cluster::prototype(2);
+        let mut ipdu = Ipdu::new(4);
+        assert!(ipdu
+            .try_sample(&cluster, Seconds::zero(), MeterFault::Dropout)
+            .is_none());
+        assert!(ipdu.is_empty());
+    }
+
+    #[test]
+    fn freeze_serves_stale_reading_without_appending() {
+        let mut cluster = Cluster::prototype(2);
+        let mut ipdu = Ipdu::new(4);
+        // No history yet: a frozen meter has nothing to serve.
+        assert!(ipdu
+            .try_sample(&cluster, Seconds::zero(), MeterFault::Freeze)
+            .is_none());
+        cluster.set_all_utilization(Ratio::ONE);
+        ipdu.sample(&cluster, Seconds::new(1.0)); // 140 W truth
+        cluster.set_all_utilization(Ratio::ZERO); // truth drops to 60 W
+        let stale = ipdu
+            .try_sample(&cluster, Seconds::new(2.0), MeterFault::Freeze)
+            .unwrap();
+        assert_eq!(stale.total.get(), 140.0, "freeze must serve stale data");
+        assert_eq!(stale.at, Seconds::new(1.0));
+        assert_eq!(ipdu.len(), 1, "freeze must not grow history");
+    }
+
+    #[test]
+    fn spike_scales_reading_and_corrupts_history() {
+        let mut cluster = Cluster::prototype(2);
+        cluster.set_all_utilization(Ratio::ONE); // 140 W truth
+        let mut ipdu = Ipdu::new(4);
+        let r = ipdu
+            .try_sample(&cluster, Seconds::zero(), MeterFault::Spike(3.0))
+            .unwrap();
+        assert_eq!(r.total.get(), 420.0);
+        assert_eq!(ipdu.latest().unwrap().total.get(), 420.0);
+        assert_eq!(ipdu.peak_total().get(), 420.0);
+    }
+
+    #[test]
+    fn healthy_try_sample_matches_sample() {
+        let cluster = Cluster::prototype(2);
+        let mut a = Ipdu::new(4);
+        let mut b = Ipdu::new(4);
+        let ra = a
+            .try_sample(&cluster, Seconds::zero(), MeterFault::Healthy)
+            .unwrap();
+        let rb = b.sample(&cluster, Seconds::zero());
+        assert_eq!(ra, rb);
     }
 }

@@ -228,8 +228,7 @@ impl Server {
                 if self.pending_restart_energy.get() > 0.0 {
                     // Spread the boot-energy surcharge over the first
                     // post-restart ticks at up to peak draw.
-                    let surcharge = (self.params.peak_power * dt)
-                        .min(self.pending_restart_energy);
+                    let surcharge = (self.params.peak_power * dt).min(self.pending_restart_energy);
                     self.pending_restart_energy -= surcharge;
                     energy += surcharge;
                 }

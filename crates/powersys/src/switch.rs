@@ -22,8 +22,11 @@ pub enum PowerSource {
 
 impl PowerSource {
     /// All source kinds, for iteration in reports.
-    pub const ALL: [PowerSource; 3] =
-        [PowerSource::Utility, PowerSource::Battery, PowerSource::SuperCap];
+    pub const ALL: [PowerSource; 3] = [
+        PowerSource::Utility,
+        PowerSource::Battery,
+        PowerSource::SuperCap,
+    ];
 }
 
 impl core::fmt::Display for PowerSource {
@@ -53,6 +56,10 @@ impl core::fmt::Display for PowerSource {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwitchFabric {
     positions: Vec<PowerSource>,
+    /// Relays mechanically stuck in the open (utility) position: the
+    /// server cannot be switched onto either buffer pool until the
+    /// relay is repaired.
+    stuck_open: Vec<bool>,
     actuations: u64,
 }
 
@@ -62,6 +69,7 @@ impl SwitchFabric {
     pub fn new(n: usize) -> Self {
         Self {
             positions: vec![PowerSource::Utility; n],
+            stuck_open: vec![false; n],
             actuations: 0,
         }
     }
@@ -89,16 +97,62 @@ impl SwitchFabric {
     }
 
     /// Points relay `server` at `source`, counting an actuation only on
-    /// actual change.
+    /// actual change. A stuck-open relay refuses to move off utility:
+    /// the assignment is silently dropped (the field failure mode — the
+    /// coil energises, the contact never closes).
     ///
     /// # Panics
     ///
     /// Panics if `server` is out of range.
     pub fn assign(&mut self, server: usize, source: PowerSource) {
+        if self.stuck_open[server] && source != PowerSource::Utility {
+            return;
+        }
         if self.positions[server] != source {
             self.positions[server] = source;
             self.actuations += 1;
         }
+    }
+
+    /// Marks relay `server` as stuck open (or repaired, with `false`).
+    /// Sticking a relay forces its position back to utility without
+    /// counting an actuation — the contact dropped out, nothing was
+    /// commanded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn set_stuck_open(&mut self, server: usize, stuck: bool) {
+        self.stuck_open[server] = stuck;
+        if stuck {
+            self.positions[server] = PowerSource::Utility;
+        }
+    }
+
+    /// Whether relay `server` is stuck open.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    #[must_use]
+    pub fn is_stuck_open(&self, server: usize) -> bool {
+        self.stuck_open[server]
+    }
+
+    /// Number of relays currently stuck open.
+    #[must_use]
+    pub fn stuck_open_count(&self) -> usize {
+        self.stuck_open.iter().filter(|&&s| s).count()
+    }
+
+    /// Indices of relays currently stuck open.
+    #[must_use]
+    pub fn stuck_open_servers(&self) -> Vec<usize> {
+        self.stuck_open
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, &s)| s.then_some(idx))
+            .collect()
     }
 
     /// Points every relay at `source`.
@@ -230,5 +284,27 @@ mod tests {
     fn out_of_range_panics() {
         let fabric = SwitchFabric::new(1);
         let _ = fabric.source_of(5);
+    }
+
+    #[test]
+    fn stuck_open_relay_refuses_buffer_assignment() {
+        let mut fabric = SwitchFabric::new(3);
+        fabric.assign(1, PowerSource::Battery);
+        let worn = fabric.actuations();
+        fabric.set_stuck_open(1, true);
+        // Sticking forced the relay back to utility without an actuation.
+        assert_eq!(fabric.source_of(1), PowerSource::Utility);
+        assert_eq!(fabric.actuations(), worn);
+        // Buffer assignments are dropped while stuck...
+        fabric.assign(1, PowerSource::SuperCap);
+        assert_eq!(fabric.source_of(1), PowerSource::Utility);
+        fabric.assign_all(PowerSource::Battery);
+        assert_eq!(fabric.count_on(PowerSource::Battery), 2);
+        assert_eq!(fabric.stuck_open_servers(), vec![1]);
+        assert_eq!(fabric.stuck_open_count(), 1);
+        // ...and honoured again after repair.
+        fabric.set_stuck_open(1, false);
+        fabric.assign(1, PowerSource::Battery);
+        assert_eq!(fabric.source_of(1), PowerSource::Battery);
     }
 }

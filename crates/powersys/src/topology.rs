@@ -54,9 +54,7 @@ impl Topology {
     /// path.
     #[must_use]
     pub fn centralized() -> Self {
-        let double = || {
-            ConverterChain::new(vec![Converter::rectifier(), Converter::inverter()])
-        };
+        let double = || ConverterChain::new(vec![Converter::rectifier(), Converter::inverter()]);
         Self {
             name: "centralized",
             utility_to_load: double(),
@@ -127,7 +125,10 @@ mod tests {
     fn centralized_double_conversion_taxes_utility_path() {
         let t = Topology::centralized();
         let eff = t.chain(DeliveryPath::UtilityToLoad).efficiency().get();
-        assert!((0.90..=0.96).contains(&eff), "double conversion 4–10 % loss");
+        assert!(
+            (0.90..=0.96).contains(&eff),
+            "double conversion 4–10 % loss"
+        );
     }
 
     #[test]

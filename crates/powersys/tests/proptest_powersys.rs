@@ -1,8 +1,7 @@
 //! Property tests for the power-delivery substrate.
 
 use heb_powersys::{
-    Cluster, Converter, ConverterChain, Ipdu, PowerSource, RenewableFeed, SwitchFabric,
-    UtilityFeed,
+    Cluster, Converter, ConverterChain, Ipdu, PowerSource, RenewableFeed, SwitchFabric, UtilityFeed,
 };
 use heb_units::{Ratio, Seconds, Watts};
 use proptest::prelude::*;

@@ -76,10 +76,8 @@ pub fn bill_run(
     assert!(duration.get() > 0.0, "duration must be positive");
     let energy_cost = tariff.energy_per_kwh * grid_energy.as_kilowatt_hours();
     let month_fraction = duration.as_hours() / (30.0 * 24.0);
-    let demand_cost =
-        tariff.demand_per_kw_month * (billed_peak.as_kilowatts() * month_fraction);
-    let downtime_cost =
-        tariff.downtime_per_server_hour * (downtime.as_hours());
+    let demand_cost = tariff.demand_per_kw_month * (billed_peak.as_kilowatts() * month_fraction);
+    let downtime_cost = tariff.downtime_per_server_hour * (downtime.as_hours());
     Bill {
         energy_cost,
         demand_cost,
@@ -133,10 +131,7 @@ mod tests {
             Seconds::from_hours(1.0),
         );
         // One server-hour of downtime costs as much as 200 kWh.
-        assert!(
-            one_server_hour_down.total().get()
-                >= 200.0 * t.energy_per_kwh.get()
-        );
+        assert!(one_server_hour_down.total().get() >= 200.0 * t.energy_per_kwh.get());
     }
 
     #[test]

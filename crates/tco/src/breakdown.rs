@@ -166,7 +166,9 @@ mod tests {
 
     #[test]
     fn unknown_component_is_none() {
-        assert!(CostBreakdown::prototype().share_of("flux capacitor").is_none());
+        assert!(CostBreakdown::prototype()
+            .share_of("flux capacitor")
+            .is_none());
     }
 
     #[test]

@@ -73,7 +73,13 @@ impl StorageTechnology {
     /// bounds how many cycles a deployed module actually delivers.
     #[must_use]
     pub fn super_capacitor() -> Self {
-        Self::new("super-capacitor", Dollars::new(20_000.0), 50_000.0, 0.93, 12.0)
+        Self::new(
+            "super-capacitor",
+            Dollars::new(20_000.0),
+            50_000.0,
+            0.93,
+            12.0,
+        )
     }
 
     /// The four technologies of Figure 4, in the figure's order.
@@ -152,7 +158,10 @@ mod tests {
         let nicd = StorageTechnology::nicd();
         let li = StorageTechnology::li_ion();
         let sc_am = sc.amortized_cost_per_kwh_cycle().get();
-        assert!(sc_am < 0.5, "SC amortised should be sub-dollar, got {sc_am}");
+        assert!(
+            sc_am < 0.5,
+            "SC amortised should be sub-dollar, got {sc_am}"
+        );
         assert!(la.amortized_cost_per_kwh_cycle().get() < sc_am);
         assert!((nicd.amortized_cost_per_kwh_cycle().get() - 0.4).abs() < 0.1);
         assert!(li.amortized_cost_per_kwh_cycle().get() < 0.5);

@@ -98,7 +98,12 @@ impl SchemeEconomics {
     /// The four schemes of Figure 15(c), in the figure's order.
     #[must_use]
     pub fn figure15_schemes() -> Vec<SchemeEconomics> {
-        vec![Self::ba_only(), Self::ba_first(), Self::sc_first(), Self::heb()]
+        vec![
+            Self::ba_only(),
+            Self::ba_first(),
+            Self::sc_first(),
+            Self::heb(),
+        ]
     }
 }
 

@@ -61,8 +61,7 @@ impl RoiModel {
     /// over its own service life.
     #[must_use]
     pub fn amortized_cost_per_kwh_year(&self) -> Dollars {
-        self.battery_cost_per_kwh * self.sc_fraction.complement().get()
-            / self.battery_life_years
+        self.battery_cost_per_kwh * self.sc_fraction.complement().get() / self.battery_life_years
             + self.sc_cost_per_kwh * self.sc_fraction.get() / self.sc_life_years
     }
 
@@ -163,10 +162,7 @@ mod tests {
     #[test]
     fn surface_shape() {
         let m = RoiModel::paper_defaults();
-        let s = m.surface(
-            &[Dollars::new(2.0), Dollars::new(20.0)],
-            &[0.5, 1.0, 2.0],
-        );
+        let s = m.surface(&[Dollars::new(2.0), Dollars::new(20.0)], &[0.5, 1.0, 2.0]);
         assert_eq!(s.len(), 2);
         assert_eq!(s[0].len(), 3);
         // Monotone in both axes.

@@ -5,19 +5,15 @@ use heb_units::{Dollars, Ratio};
 use proptest::prelude::*;
 
 fn scheme_strategy() -> impl Strategy<Value = SchemeEconomics> {
-    (
-        0.0..=1.0f64,
-        0.3..=1.0f64,
-        0.3..=1.0f64,
-        1.0..=20.0f64,
-    )
-        .prop_map(|(ba_frac, eff, avail, life)| SchemeEconomics {
+    (0.0..=1.0f64, 0.3..=1.0f64, 0.3..=1.0f64, 1.0..=20.0f64).prop_map(
+        |(ba_frac, eff, avail, life)| SchemeEconomics {
             name: "generated",
             battery_fraction: Ratio::new_clamped(ba_frac),
             shaving_efficiency: Ratio::new_clamped(eff),
             availability: Ratio::new_clamped(avail),
             battery_life_years: life,
-        })
+        },
+    )
 }
 
 proptest! {

@@ -51,12 +51,18 @@ impl BurstProfile {
             "base utilization must be in [0, 1]"
         );
         assert!(self.base_noise >= 0.0, "noise must be non-negative");
-        assert!(self.bursts_per_hour >= 0.0, "burst rate must be non-negative");
+        assert!(
+            self.bursts_per_hour >= 0.0,
+            "burst rate must be non-negative"
+        );
         assert!(
             (0.0..=1.0).contains(&self.burst_amplitude),
             "burst amplitude must be in [0, 1]"
         );
-        assert!(self.mean_burst_secs > 0.0, "burst duration must be positive");
+        assert!(
+            self.mean_burst_secs > 0.0,
+            "burst duration must be positive"
+        );
     }
 }
 

@@ -8,9 +8,8 @@
 //! AR(1) mid-frequency wander, and Pareto-tailed surges.
 
 use crate::trace::PowerTrace;
+use heb_rng::Rng;
 use heb_units::{Seconds, Watts};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Builder for a normalized aggregate datacenter demand trace.
 ///
@@ -112,7 +111,7 @@ impl ClusterTraceBuilder {
     /// Generates the trace.
     #[must_use]
     pub fn build(&self) -> PowerTrace {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let ticks = (self.days * 24.0 * 3600.0 / self.dt.get()).round() as usize;
         let day_ticks = 24.0 * 3600.0 / self.dt.get();
         let mut ar = 0.0_f64; // AR(1) wander state
@@ -124,19 +123,18 @@ impl ClusterTraceBuilder {
             let phase = (t as f64 / day_ticks) * core::f64::consts::TAU;
             let diurnal = self.diurnal_swing * (phase - core::f64::consts::FRAC_PI_2).sin();
             // Mid-frequency AR(1) wander.
-            ar = 0.98 * ar + 0.02 * (rng.gen::<f64>() - 0.5) * 0.8;
+            ar = 0.98 * ar + 0.02 * (rng.gen_f64() - 0.5) * 0.8;
             // Pareto-tailed surges.
             if surge_remaining == 0 {
                 let prob = self.surge_rate_per_day / day_ticks;
-                if rng.gen::<f64>() < prob {
+                if rng.gen_f64() < prob {
                     // Pareto(α=1.8) height, scaled into [0.1, 0.5] of
                     // nameplate above base.
-                    let u: f64 = rng.gen_range(1e-6..1.0);
+                    let u: f64 = rng.range_f64(1e-6, 1.0);
                     let pareto = u.powf(-1.0 / 1.8);
                     surge_height = (0.1 * pareto).min(0.5);
                     let dur_ticks = (600.0 / self.dt.get()).max(1.0);
-                    let u2: f64 = rng.gen_range(1e-9..1.0);
-                    surge_remaining = ((-dur_ticks * u2.ln()).ceil() as usize).max(1);
+                    surge_remaining = (rng.exp_f64(dur_ticks).ceil() as usize).max(1);
                 }
             }
             let surge = if surge_remaining > 0 {

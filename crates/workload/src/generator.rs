@@ -1,9 +1,8 @@
 //! Seeded stochastic utilization streams.
 
 use crate::archetype::BurstProfile;
+use heb_rng::Rng;
 use heb_units::Ratio;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// An infinite, reproducible per-server utilization stream driven by a
 /// [`BurstProfile`]: Gaussian-ish noise around the base load, plus
@@ -25,7 +24,7 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct UtilizationGenerator {
     profile: BurstProfile,
-    rng: StdRng,
+    rng: Rng,
     /// Remaining ticks of the burst currently in progress, if any.
     burst_remaining: u64,
     /// Amplitude of the burst currently in progress.
@@ -43,7 +42,7 @@ impl UtilizationGenerator {
         profile.validate();
         Self {
             profile,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             burst_remaining: 0,
             burst_level: 0.0,
         }
@@ -62,13 +61,12 @@ impl UtilizationGenerator {
         // at one-second resolution.
         if self.burst_remaining == 0 {
             let arrival_prob = p.bursts_per_hour / 3600.0;
-            if self.rng.gen::<f64>() < arrival_prob {
+            if self.rng.gen_f64() < arrival_prob {
                 // Exponential duration via inverse transform.
-                let u: f64 = self.rng.gen_range(1e-9..1.0);
-                let dur = -p.mean_burst_secs * u.ln();
+                let dur = self.rng.exp_f64(p.mean_burst_secs);
                 self.burst_remaining = dur.ceil().max(1.0) as u64;
                 // Burst height jitters ±25 % around the profile mean.
-                let jitter = self.rng.gen_range(0.75..1.25);
+                let jitter = self.rng.range_f64(0.75, 1.25);
                 self.burst_level = p.burst_amplitude * jitter;
             }
         }
@@ -80,7 +78,7 @@ impl UtilizationGenerator {
         };
         // Cheap symmetric noise (Irwin–Hall-of-2), bounded and smooth
         // enough for load traces.
-        let noise = (self.rng.gen::<f64>() + self.rng.gen::<f64>() - 1.0) * p.base_noise * 2.0;
+        let noise = (self.rng.gen_f64() + self.rng.gen_f64() - 1.0) * p.base_noise * 2.0;
         Ratio::new_clamped(p.base_utilization + noise + burst)
     }
 

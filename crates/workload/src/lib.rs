@@ -43,9 +43,9 @@ mod stats;
 mod trace;
 
 pub use archetype::{Archetype, BurstProfile, PeakClass};
-pub use io::{read_trace_csv, write_trace_csv, ParseTraceError};
 pub use cluster_trace::ClusterTraceBuilder;
 pub use generator::UtilizationGenerator;
+pub use io::{read_trace_csv, write_trace_csv, ParseTraceError};
 pub use solar::SolarTraceBuilder;
 pub use stats::{autocorrelation, bursts, percentile, summarize, Burst, TraceSummary};
 pub use trace::{MismatchSegment, PowerTrace, SegmentKind};

@@ -8,9 +8,8 @@
 //! unbounded charging current can capture.
 
 use crate::trace::PowerTrace;
+use heb_rng::Rng;
 use heb_units::{Seconds, Watts};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Builder for a solar generation trace.
 ///
@@ -112,7 +111,7 @@ impl SolarTraceBuilder {
     /// Generates the trace.
     #[must_use]
     pub fn build(&self) -> PowerTrace {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let ticks = (self.days * 24.0 * 3600.0 / self.dt.get()).round() as usize;
         let day_secs = 24.0 * 3600.0;
         let daylight = (self.sunset_hour - self.sunrise_hour) * 3600.0;
@@ -132,11 +131,10 @@ impl SolarTraceBuilder {
             };
             if clear_sky > 0.0 && cloud_remaining == 0 {
                 let prob = self.clouds_per_day / (daylight / self.dt.get());
-                if rng.gen::<f64>() < prob {
-                    let u: f64 = rng.gen_range(1e-9..1.0);
-                    let dur = -self.mean_cloud_secs * u.ln() / self.dt.get();
+                if rng.gen_f64() < prob {
+                    let dur = rng.exp_f64(self.mean_cloud_secs) / self.dt.get();
                     cloud_remaining = (dur.ceil() as usize).max(1);
-                    cloud_attenuation = rng.gen_range(0.15..0.7);
+                    cloud_attenuation = rng.range_f64(0.15, 0.7);
                 }
             }
             let attenuation = if cloud_remaining > 0 {

@@ -165,7 +165,10 @@ mod tests {
         let short = autocorrelation(&t, 5);
         let long = autocorrelation(&t, 2000);
         assert!(autocorrelation(&t, 0) == 1.0);
-        assert!(short > 0.3, "bursts should correlate at short lags: {short}");
+        assert!(
+            short > 0.3,
+            "bursts should correlate at short lags: {short}"
+        );
         assert!(long < short, "correlation should decay: {long} vs {short}");
     }
 

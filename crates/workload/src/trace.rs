@@ -216,11 +216,7 @@ impl PowerTrace {
     #[must_use]
     pub fn zip_add(&self, other: &PowerTrace) -> PowerTrace {
         assert_eq!(self.dt, other.dt, "tick intervals must match");
-        let samples = self
-            .iter()
-            .zip(other.iter())
-            .map(|(a, b)| a + b)
-            .collect();
+        let samples = self.iter().zip(other.iter()).map(|(a, b)| a + b).collect();
         PowerTrace::new(samples, self.dt)
     }
 

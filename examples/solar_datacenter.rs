@@ -36,8 +36,7 @@ fn main() {
     println!("\nfull-day REU by scheme (buffers start drained overnight):");
     for policy in [PolicyKind::BaOnly, PolicyKind::BaFirst, PolicyKind::HebD] {
         let config = SimConfig::prototype().with_policy(policy);
-        let mut sim = Simulation::new(config, &mix, 11)
-            .with_mode(PowerMode::Solar(trace.clone()));
+        let mut sim = Simulation::new(config, &mix, 11).with_mode(PowerMode::Solar(trace.clone()));
         sim.set_buffer_soc(Ratio::new_clamped(0.15));
         let report = sim.run_for_hours(24.0);
         println!(

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline verification gate: formatting, lints, release build, tests.
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "verify: all checks passed"

@@ -9,7 +9,9 @@
 //! ```
 
 use heb::workload::{read_trace_csv, Archetype, SolarTraceBuilder};
-use heb::{Joules, PolicyKind, PowerMode, Ratio, Seconds, SimConfig, Simulation, Watts};
+use heb::{
+    FaultSchedule, Joules, PolicyKind, PowerMode, Ratio, Seconds, SimConfig, Simulation, Watts,
+};
 use std::process::ExitCode;
 
 struct Options {
@@ -22,6 +24,7 @@ struct Options {
     workloads: Vec<Archetype>,
     solar_peak: Option<f64>,
     trace_path: Option<String>,
+    faults: Option<FaultSchedule>,
     seed: u64,
 }
 
@@ -37,15 +40,19 @@ impl Default for Options {
             workloads: vec![Archetype::WebSearch, Archetype::Terasort],
             solar_peak: None,
             trace_path: None,
+            faults: None,
             seed: 42,
         }
     }
 }
 
 fn parse_policy(s: &str) -> Option<PolicyKind> {
-    PolicyKind::ALL
-        .into_iter()
-        .find(|p| p.name().eq_ignore_ascii_case(s) || p.name().replace('-', "").eq_ignore_ascii_case(&s.replace('-', "")))
+    PolicyKind::ALL.into_iter().find(|p| {
+        p.name().eq_ignore_ascii_case(s)
+            || p.name()
+                .replace('-', "")
+                .eq_ignore_ascii_case(&s.replace('-', ""))
+    })
 }
 
 fn parse_workloads(s: &str) -> Option<Vec<Archetype>> {
@@ -71,6 +78,10 @@ fn usage() {
          --workloads <list>   comma list of PR,WC,DA,WS,MS,DFS,HB,TS (default WS,TS)\n\
          --solar <W>          power the rack from a solar array with this peak\n\
          --trace <file.csv>   power the rack from a CSV supply trace (1 s samples)\n\
+         --faults <spec>      inject faults, e.g. 'blackout@1800~600;ba-fail(0)@3600'\n\
+         \u{20}                    names: blackout brownout(x) solar-drop ba-fail(i)\n\
+         \u{20}                    ba-degrade(f,g) sc-fail(i) relay-open(s) meter-drop\n\
+         \u{20}                    meter-freeze meter-spike(x); times in seconds\n\
          --seed <n>           RNG seed (default 42)"
     );
 }
@@ -87,8 +98,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--policy" => {
                 let v = value("--policy")?;
-                opts.policy =
-                    parse_policy(&v).ok_or_else(|| format!("unknown policy {v:?}"))?;
+                opts.policy = parse_policy(&v).ok_or_else(|| format!("unknown policy {v:?}"))?;
             }
             "--all-policies" => opts.all_policies = true,
             "--hours" => {
@@ -124,6 +134,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 );
             }
             "--trace" => opts.trace_path = Some(value("--trace")?),
+            "--faults" => {
+                let v = value("--faults")?;
+                opts.faults = Some(FaultSchedule::parse(&v).map_err(|e| e.to_string())?);
+            }
             "--seed" => {
                 opts.seed = value("--seed")?
                     .parse()
@@ -148,8 +162,8 @@ fn run_one(opts: &Options, policy: PolicyKind) -> Result<heb::SimReport, String>
     let mut sim = Simulation::new(config, &opts.workloads, opts.seed);
     if let Some(path) = &opts.trace_path {
         let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-        let trace = read_trace_csv(file, Seconds::new(1.0))
-            .map_err(|e| format!("parse {path}: {e}"))?;
+        let trace =
+            read_trace_csv(file, Seconds::new(1.0)).map_err(|e| format!("parse {path}: {e}"))?;
         sim = sim.with_mode(PowerMode::Solar(trace));
     } else if let Some(peak) = opts.solar_peak {
         let trace = SolarTraceBuilder::new(Watts::new(peak))
@@ -157,6 +171,9 @@ fn run_one(opts: &Options, policy: PolicyKind) -> Result<heb::SimReport, String>
             .days((opts.hours / 24.0).max(1.0).ceil())
             .build();
         sim = sim.with_mode(PowerMode::Solar(trace));
+    }
+    if let Some(schedule) = &opts.faults {
+        sim = sim.with_faults(schedule.clone());
     }
     Ok(sim.run_for_hours(opts.hours))
 }
@@ -223,9 +240,20 @@ mod tests {
     #[test]
     fn full_option_set_parses() {
         let o = parse_args(&args(&[
-            "--policy", "sc-first", "--hours", "2.5", "--budget", "200",
-            "--capacity", "80", "--sc-fraction", "0.5",
-            "--workloads", "ts,ws,pr", "--seed", "9",
+            "--policy",
+            "sc-first",
+            "--hours",
+            "2.5",
+            "--budget",
+            "200",
+            "--capacity",
+            "80",
+            "--sc-fraction",
+            "0.5",
+            "--workloads",
+            "ts,ws,pr",
+            "--seed",
+            "9",
         ]))
         .unwrap();
         assert_eq!(o.policy, PolicyKind::ScFirst);
@@ -258,5 +286,17 @@ mod tests {
         assert!(parse_args(&args(&["--hours", "x"])).is_err());
         assert!(parse_args(&args(&["--frobnicate"])).is_err());
         assert!(parse_args(&args(&["--policy", "zap"])).is_err());
+    }
+
+    #[test]
+    fn fault_spec_parses_into_schedule() {
+        let o = parse_args(&args(&[
+            "--faults",
+            "blackout@1800~600;ba-fail(0)@3600;meter-spike(2.5)@100~60",
+        ]))
+        .unwrap();
+        assert_eq!(o.faults.as_ref().map(FaultSchedule::len), Some(3));
+        assert!(parse_args(&args(&["--faults", "nonsense@10"])).is_err());
+        assert!(parse_args(&args(&["--faults"])).is_err());
     }
 }

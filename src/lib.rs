@@ -50,8 +50,9 @@ pub use heb_units as units;
 pub use heb_workload as workload;
 
 pub use heb_core::{
-    experiments, HebController, HybridBuffers, PolicyKind, PowerAllocationTable, PowerMode,
-    SimConfig, SimReport, Simulation, SlotPlan,
+    experiments, FaultInjector, FaultKind, FaultLedger, FaultProfile, FaultSchedule, HebController,
+    HybridBuffers, PolicyKind, PowerAllocationTable, PowerMode, SimConfig, SimError, SimReport,
+    Simulation, SlotPlan,
 };
 pub use heb_esd::{Bank, LeadAcidBattery, StorageDevice, SuperCapacitor};
 pub use heb_units::{Joules, Ratio, Seconds, Watts};

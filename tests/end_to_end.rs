@@ -99,7 +99,10 @@ fn bigger_buffers_never_hurt() {
             .with_total_capacity(Joules::from_watt_hours(wh));
         let mut sim = Simulation::new(config, &mixed_rack(), 21);
         let down = sim.run_for_hours(6.0).server_downtime.get();
-        assert!(down <= last, "{wh} Wh: downtime {down} above smaller buffer's {last}");
+        assert!(
+            down <= last,
+            "{wh} Wh: downtime {down} above smaller buffer's {last}"
+        );
         last = down;
     }
 }
@@ -116,8 +119,8 @@ fn solar_rack_reu_is_a_valid_fraction_and_hybrids_lead() {
     let mut reu_heb = 0.0;
     for policy in [PolicyKind::BaOnly, PolicyKind::HebD] {
         let config = SimConfig::prototype().with_policy(policy);
-        let mut sim = Simulation::new(config, &mixed_rack(), 31)
-            .with_mode(PowerMode::Solar(trace.clone()));
+        let mut sim =
+            Simulation::new(config, &mixed_rack(), 31).with_mode(PowerMode::Solar(trace.clone()));
         sim.set_buffer_soc(Ratio::new_clamped(0.15));
         let report = sim.run_for_hours(24.0);
         let reu = report.reu().get();

@@ -157,8 +157,7 @@ fn claim_fig12c_battery_life_extension() {
 /// far more renewable energy than battery-only.
 #[test]
 fn claim_fig12d_deep_valley_reu() {
-    let points =
-        deep_valley_absorption(&SimConfig::prototype(), Watts::new(230.0), 15.0, 2015);
+    let points = deep_valley_absorption(&SimConfig::prototype(), Watts::new(230.0), 15.0, 2015);
     let reu = |p: PolicyKind| points.iter().find(|v| v.policy == p).unwrap().reu.get();
     let improvement = (reu(PolicyKind::HebD) - reu(PolicyKind::BaOnly)) / reu(PolicyKind::BaOnly);
     assert!(

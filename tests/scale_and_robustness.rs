@@ -17,11 +17,7 @@ fn hall_config(policy: PolicyKind) -> SimConfig {
 
 #[test]
 fn datacenter_scale_run_holds_invariants() {
-    let mut sim = Simulation::new(
-        hall_config(PolicyKind::HebD),
-        &Archetype::ALL,
-        2024,
-    );
+    let mut sim = Simulation::new(hall_config(PolicyKind::HebD), &Archetype::ALL, 2024);
     let report = sim.run_for_hours(6.0);
     assert_eq!(report.sim_time.as_hours(), 6.0);
     assert!(report.buffer_delivered.get() > 0.0);
@@ -64,11 +60,7 @@ fn metering_noise_degrades_gracefully() {
             .with_policy(PolicyKind::HebD)
             .with_budget(Watts::new(250.0));
         config.metering_noise = noise;
-        let mut sim = Simulation::new(
-            config,
-            &[Archetype::Terasort, Archetype::WebSearch],
-            33,
-        );
+        let mut sim = Simulation::new(config, &[Archetype::Terasort, Archetype::WebSearch], 33);
         sim.run_for_hours(6.0)
     };
     let clean = run(0.0);
