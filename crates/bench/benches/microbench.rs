@@ -6,8 +6,9 @@
 //! iteration budget) — the build environment is offline, so criterion
 //! is unavailable. Run with `cargo bench`.
 
-use heb_core::{PolicyKind, PowerAllocationTable, SimConfig, Simulation};
+use heb_core::{PolicyKind, PowerAllocationTable, Scenario, SimConfig, Simulation};
 use heb_esd::{LeadAcidBattery, StorageDevice, SuperCapacitor};
+use heb_fleet::FleetEngine;
 use heb_forecast::{HoltWinters, Predictor};
 use heb_units::{Joules, Ratio, Seconds, Watts};
 use heb_workload::Archetype;
@@ -116,10 +117,48 @@ fn bench_simulation() {
     }
 }
 
+fn bench_fleet_engine() {
+    // Engine throughput: a 16-scenario batch of short mixed-workload
+    // runs, executed at increasing worker counts (no cache, so every
+    // scenario simulates). On a single-core host the levels collapse
+    // to serial throughput; on multi-core the scaling is visible.
+    let batch: Vec<Scenario> = (0..16)
+        .map(|i| {
+            Scenario::new(
+                format!("microbench/{i}"),
+                SimConfig::prototype().with_policy(PolicyKind::HebD),
+                &[Archetype::WebSearch, Archetype::Terasort],
+                0.05,
+                42 + i,
+            )
+        })
+        .collect();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut levels = vec![1, 4];
+    if !levels.contains(&cores) {
+        levels.push(cores);
+    }
+    for jobs in levels {
+        let engine = FleetEngine::new(jobs);
+        let mut throughput = 0.0_f64;
+        for _ in 0..3 {
+            let start = Instant::now();
+            black_box(engine.run(black_box(&batch)));
+            throughput = throughput.max(batch.len() as f64 / start.elapsed().as_secs_f64());
+        }
+        println!(
+            "{:<40} {throughput:>10.2} scenarios/s  (best of 3 x {}-scenario batches)",
+            format!("fleet/engine_throughput/jobs={jobs}"),
+            batch.len()
+        );
+    }
+}
+
 fn main() {
     println!("HEB micro-benchmarks (best-of-runs per-iteration latency)\n");
     bench_pat();
     bench_forecast();
     bench_devices();
     bench_simulation();
+    bench_fleet_engine();
 }

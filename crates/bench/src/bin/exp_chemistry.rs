@@ -1,13 +1,14 @@
 //! Extension experiment: buffer-chemistry shoot-out on a peak-shaving
 //! duty cycle, with Figure 4's economics attached.
 
-use heb_bench::{json_path, print_table, Figure, Series};
+use heb_bench::cli::BenchArgs;
+use heb_bench::{print_table, Figure, Series};
 use heb_core::experiments::{chemistry_comparison, DutyCycle};
 use heb_tco::StorageTechnology;
 use heb_units::Joules;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = BenchArgs::from_env(1.0, 2015);
     let usable = Joules::from_watt_hours(105.0);
     let points = chemistry_comparison(usable, &DutyCycle::prototype_day());
 
@@ -57,7 +58,7 @@ fn main() {
          which is exactly why HEB pairs a small SC pool with bulk batteries."
     );
 
-    if let Some(path) = json_path(&args) {
+    if let Some(path) = cli.json.as_deref() {
         Figure::new(
             "chemistry comparison",
             vec![
@@ -79,7 +80,7 @@ fn main() {
                 ),
             ],
         )
-        .write_json(&path)
+        .write_json(path)
         .expect("write json");
         println!("(series written to {})", path.display());
     }

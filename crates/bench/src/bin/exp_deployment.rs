@@ -1,14 +1,16 @@
 //! Extension experiment: cluster-level vs rack-level deployment
 //! (Figure 8(b) vs 8(c)) on an imbalanced multi-rack datacenter.
 
-use heb_bench::{hours_arg, json_path, print_table, Figure, Series};
-use heb_core::experiments::deployment_comparison;
+use heb_bench::cli::BenchArgs;
+use heb_bench::{print_table, Figure, Series};
+use heb_core::experiments::deployment_comparison_with;
 use heb_core::SimConfig;
 use heb_units::{Joules, Watts};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let hours = hours_arg(&args, 6.0);
+    let cli = BenchArgs::from_env(6.0, 2015);
+    let hours = cli.hours;
+    let engine = cli.engine();
     let base = SimConfig::prototype()
         .with_budget(Watts::new(250.0))
         .with_total_capacity(Joules::from_watt_hours(50.0));
@@ -16,7 +18,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut benefit_series = Vec::new();
     for racks in [2usize, 3, 4] {
-        let r = deployment_comparison(&base, racks, hours, 2015);
+        let r = deployment_comparison_with(&engine, &base, racks, hours, cli.seed);
         rows.push(vec![
             racks.to_string(),
             format!("{:.0} s", r.cluster_level.server_downtime.get()),
@@ -54,12 +56,12 @@ fn main() {
          is lossless but strands the cool racks' energy."
     );
 
-    if let Some(path) = json_path(&args) {
+    if let Some(path) = cli.json.as_deref() {
         Figure::new(
             "deployment sharing benefit",
             vec![Series::new("rack/cluster downtime ratio", benefit_series)],
         )
-        .write_json(&path)
+        .write_json(path)
         .expect("write json");
         println!("(series written to {})", path.display());
     }

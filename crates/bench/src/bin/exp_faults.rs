@@ -5,19 +5,20 @@
 //! degrades: efficiency, downtime, ride-through, unserved energy during
 //! faults, and recovery latency.
 
-use heb_bench::{hours_arg, json_path, print_table, Figure, Series};
-use heb_core::experiments::fault_intensity_sweep;
+use heb_bench::cli::BenchArgs;
+use heb_bench::{print_table, Figure, Series};
+use heb_core::experiments::fault_intensity_sweep_with;
 use heb_core::SimConfig;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let hours = hours_arg(&args, 2.0);
+    let cli = BenchArgs::from_env(2.0, 2015);
+    let hours = cli.hours;
     let intensities = [0.0, 1.0, 2.0, 4.0];
 
     // Three battery strings so string failures quarantine a slice of
     // the pool instead of all of it.
     let base = SimConfig::prototype().with_battery_strings(3);
-    let points = fault_intensity_sweep(&base, hours, &intensities, 2015);
+    let points = fault_intensity_sweep_with(&cli.engine(), &base, hours, &intensities, cli.seed);
 
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -53,7 +54,7 @@ fn main() {
         &rows,
     );
 
-    if let Some(path) = json_path(&args) {
+    if let Some(path) = cli.json.as_deref() {
         let mut series = Vec::new();
         for &intensity in &intensities {
             let pts: Vec<(f64, f64)> = points
@@ -65,7 +66,7 @@ fn main() {
             series.push(Series::new(format!("downtime_{intensity}x"), pts));
         }
         let fig = Figure::new("fault intensity sweep", series);
-        fig.write_json(&path).expect("write json");
+        fig.write_json(path).expect("write json");
     }
 
     println!(

@@ -2,15 +2,16 @@
 //! metrics priced at Figure 15's rates (energy + demand charge +
 //! downtime cost), in dollars.
 
-use heb_bench::{hours_arg, json_path, print_table, Figure, Series};
+use heb_bench::cli::BenchArgs;
+use heb_bench::{print_table, Figure, Series};
 use heb_core::{PolicyKind, SimConfig, Simulation};
 use heb_tco::{bill_run, Tariff};
 use heb_units::{Joules, Watts};
 use heb_workload::Archetype;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let hours = hours_arg(&args, 12.0);
+    let cli = BenchArgs::from_env(12.0, 2015);
+    let hours = cli.hours;
     // The stressed regime where scheme quality shows up as money.
     let base = SimConfig::prototype()
         .with_budget(Watts::new(245.0))
@@ -28,7 +29,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut totals = Vec::new();
     for (idx, policy) in PolicyKind::ALL.into_iter().enumerate() {
-        let mut sim = Simulation::new(base.clone().with_policy(policy), &mix, 2015);
+        let mut sim = Simulation::new(base.clone().with_policy(policy), &mix, cli.seed);
         let report = sim.run_for_hours(hours);
         let bill = bill_run(
             &tariff,
@@ -60,12 +61,12 @@ fn main() {
          is what pays."
     );
 
-    if let Some(path) = json_path(&args) {
+    if let Some(path) = cli.json.as_deref() {
         Figure::new(
             "operating bill per scheme",
             vec![Series::new("total_usd", totals)],
         )
-        .write_json(&path)
+        .write_json(path)
         .expect("write json");
         println!("(series written to {})", path.display());
     }

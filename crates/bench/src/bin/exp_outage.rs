@@ -1,18 +1,20 @@
 //! Extension experiment: utility-outage ride-through (the original UPS
 //! duty the buffers still owe the rack).
 
-use heb_bench::{hours_arg, json_path, print_table, Figure, Series};
-use heb_core::experiments::outage_ride_through;
+use heb_bench::cli::BenchArgs;
+use heb_bench::{print_table, Figure, Series};
+use heb_core::experiments::outage_ride_through_with;
 use heb_core::SimConfig;
 use heb_units::Joules;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let outage_minutes = hours_arg(&args, 0.5) * 60.0;
+    let cli = BenchArgs::from_env(0.5, 2015);
+    let outage_minutes = cli.hours * 60.0;
+    let engine = cli.engine();
 
     for capacity_wh in [60.0, 150.0] {
         let base = SimConfig::prototype().with_total_capacity(Joules::from_watt_hours(capacity_wh));
-        let points = outage_ride_through(&base, 5.0, outage_minutes, 2015);
+        let points = outage_ride_through_with(&engine, &base, 5.0, outage_minutes, cli.seed);
         let rows: Vec<Vec<String>> = points
             .iter()
             .map(|p| {
@@ -30,7 +32,7 @@ fn main() {
             &["scheme", "survival to first shed", "downtime during outage"],
             &rows,
         );
-        if let Some(path) = json_path(&args) {
+        if let Some(path) = cli.json.as_deref() {
             let fig = Figure::new(
                 format!("outage ride-through ({capacity_wh:.0} Wh)"),
                 vec![Series::new(

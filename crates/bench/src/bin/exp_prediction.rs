@@ -1,13 +1,14 @@
 //! Extension experiment: slot-peak prediction accuracy — the quantified
 //! motivation for HEB-D over HEB-F.
 
-use heb_bench::{json_path, print_table, Figure, Series};
+use heb_bench::cli::BenchArgs;
+use heb_bench::{print_table, Figure, Series};
 use heb_core::experiments::predictor_comparison;
 use heb_core::SimConfig;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let points = predictor_comparison(&SimConfig::prototype(), 288, 2015);
+    let cli = BenchArgs::from_env(1.0, 2015);
+    let points = predictor_comparison(&SimConfig::prototype(), 288, cli.seed);
 
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -30,7 +31,7 @@ fn main() {
          scheme comparison is designed to expose."
     );
 
-    if let Some(path) = json_path(&args) {
+    if let Some(path) = cli.json.as_deref() {
         let fig = Figure::new(
             "prediction accuracy",
             vec![Series::new(
@@ -42,7 +43,7 @@ fn main() {
                     .collect(),
             )],
         );
-        fig.write_json(&path).expect("write json");
+        fig.write_json(path).expect("write json");
         println!("(series written to {})", path.display());
     }
 }

@@ -1,12 +1,13 @@
 //! Extension experiment: pooled vs per-server batteries (the Figure
 //! 7(b) critique of dedicated in-server UPSes).
 
-use heb_bench::{json_path, print_table, Figure, Series};
+use heb_bench::cli::BenchArgs;
+use heb_bench::{print_table, Figure, Series};
 use heb_core::experiments::sharing_comparison;
 use heb_units::{Joules, Watts};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = BenchArgs::from_env(1.0, 2015);
     let mut rows = Vec::new();
     let mut gains = Vec::new();
     for hot in 1..=4usize {
@@ -43,12 +44,12 @@ fn main() {
          bank would have delivered."
     );
 
-    if let Some(path) = json_path(&args) {
+    if let Some(path) = cli.json.as_deref() {
         Figure::new(
             "sharing gain vs load imbalance",
             vec![Series::new("gain", gains)],
         )
-        .write_json(&path)
+        .write_json(path)
         .expect("write json");
         println!("(series written to {})", path.display());
     }

@@ -1,13 +1,14 @@
 //! Figure 1: (a) MPPU vs provisioning level P1–P4 on a Google-style
 //! cluster trace; (b) peak/valley mismatch under renewable supply.
 
-use heb_bench::{hours_arg, json_path, print_table, Figure, Series};
+use heb_bench::cli::BenchArgs;
+use heb_bench::{print_table, Figure, Series};
 use heb_units::{Seconds, Watts};
 use heb_workload::{ClusterTraceBuilder, SegmentKind, SolarTraceBuilder};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let days = hours_arg(&args, 72.0) / 24.0;
+    let cli = BenchArgs::from_env(72.0, 2015);
+    let days = cli.hours / 24.0;
     let nameplate = Watts::new(1000.0);
     let trace = ClusterTraceBuilder::new(nameplate)
         .seed(42)
@@ -56,12 +57,12 @@ fn main() {
          HEB buffers absorb."
     );
 
-    if let Some(path) = json_path(&args) {
+    if let Some(path) = cli.json.as_deref() {
         let fig = Figure::new(
             "Figure 1(a): MPPU vs provisioning level",
             vec![Series::new("MPPU", points)],
         );
-        fig.write_json(&path).expect("write json");
+        fig.write_json(path).expect("write json");
         println!("(series written to {})", path.display());
     }
 }

@@ -1,10 +1,11 @@
 //! Figure 3: round-trip efficiency comparison with 1, 2, and 4 servers.
 
-use heb_bench::{json_path, print_table, Figure, Series};
+use heb_bench::cli::BenchArgs;
+use heb_bench::{print_table, Figure, Series};
 use heb_core::experiments::efficiency_characterization;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = BenchArgs::from_env(1.0, 2015);
     let results = efficiency_characterization(&[1, 2, 4]);
 
     let rows: Vec<Vec<String>> = results
@@ -40,7 +41,7 @@ fn main() {
          recovery adds points but server cycling burns a large share of them."
     );
 
-    if let Some(path) = json_path(&args) {
+    if let Some(path) = cli.json.as_deref() {
         let to_series = |label: &str, f: fn(&heb_core::experiments::EfficiencyResult) -> f64| {
             Series::new(
                 label,
@@ -55,7 +56,7 @@ fn main() {
                 to_series("battery recovery", |r| r.battery_with_recovery.get()),
             ],
         );
-        fig.write_json(&path).expect("write json");
+        fig.write_json(path).expect("write json");
         println!("(series written to {})", path.display());
     }
 }

@@ -1,10 +1,11 @@
 //! Figure 4: initial vs amortised cost of storage technologies.
 
-use heb_bench::{json_path, print_table, Figure, Series};
+use heb_bench::cli::BenchArgs;
+use heb_bench::{print_table, Figure, Series};
 use heb_tco::StorageTechnology;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = BenchArgs::from_env(1.0, 2015);
     let catalog = StorageTechnology::figure4_catalog();
 
     let rows: Vec<Vec<String>> = catalog
@@ -37,7 +38,7 @@ fn main() {
          NiCd/Li-ion ~0.4 $/kWh/cycle band once amortised."
     );
 
-    if let Some(path) = json_path(&args) {
+    if let Some(path) = cli.json.as_deref() {
         let fig = Figure::new(
             "Figure 4: cost comparison",
             vec![
@@ -59,7 +60,7 @@ fn main() {
                 ),
             ],
         );
-        fig.write_json(&path).expect("write json");
+        fig.write_json(path).expect("write json");
         println!("(series written to {})", path.display());
     }
 }

@@ -1,10 +1,11 @@
 //! Figure 5: discharge voltage curves, super-capacitor vs battery.
 
-use heb_bench::{json_path, print_table, Figure, Series};
+use heb_bench::cli::BenchArgs;
+use heb_bench::{print_table, Figure, Series};
 use heb_core::experiments::discharge_curves;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = BenchArgs::from_env(1.0, 2015);
     let curves = discharge_curves(&[1, 2, 4]);
 
     let rows: Vec<Vec<String>> = curves
@@ -38,7 +39,7 @@ fn main() {
          curves hold a plateau then collapse, the harder the bigger the load."
     );
 
-    if let Some(path) = json_path(&args) {
+    if let Some(path) = cli.json.as_deref() {
         let series = curves
             .iter()
             .map(|c| {
@@ -53,7 +54,7 @@ fn main() {
             })
             .collect();
         Figure::new("Figure 5: discharge curves", series)
-            .write_json(&path)
+            .write_json(path)
             .expect("write json");
         println!("(series written to {})", path.display());
     }

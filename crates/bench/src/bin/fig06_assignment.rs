@@ -1,11 +1,12 @@
 //! Figure 6: cluster runtime vs SC/battery server assignment.
 
-use heb_bench::{json_path, print_table, Figure, Series};
+use heb_bench::cli::BenchArgs;
+use heb_bench::{print_table, Figure, Series};
 use heb_core::experiments::assignment_sweep;
 use heb_units::{Joules, Ratio, Watts};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = BenchArgs::from_env(1.0, 2015);
     let servers = 4;
     let points = assignment_sweep(
         servers,
@@ -43,7 +44,7 @@ fn main() {
          on the SC pool costs ~10-25 % of uptime."
     );
 
-    if let Some(path) = json_path(&args) {
+    if let Some(path) = cli.json.as_deref() {
         let fig = Figure::new(
             "Figure 6: assignment sweep",
             vec![Series::new(
@@ -54,7 +55,7 @@ fn main() {
                     .collect(),
             )],
         );
-        fig.write_json(&path).expect("write json");
+        fig.write_json(path).expect("write json");
         println!("(series written to {})", path.display());
     }
 }

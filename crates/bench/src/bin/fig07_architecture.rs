@@ -2,16 +2,17 @@
 //! double-converting UPS vs distributed DC batteries vs HEB at cluster
 //! and rack level, all running the same HEB-D policy and workloads.
 
-use heb_bench::{hours_arg, json_path, print_table, Figure, Series};
-use heb_core::experiments::architecture_comparison;
+use heb_bench::cli::BenchArgs;
+use heb_bench::{print_table, Figure, Series};
+use heb_core::experiments::architecture_comparison_with;
 use heb_core::SimConfig;
 use heb_units::Watts;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let hours = hours_arg(&args, 6.0);
+    let cli = BenchArgs::from_env(6.0, 2015);
+    let hours = cli.hours;
     let base = SimConfig::prototype().with_budget(Watts::new(255.0));
-    let points = architecture_comparison(&base, hours, 2015);
+    let points = architecture_comparison_with(&cli.engine(), &base, hours, cli.seed);
 
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -43,7 +44,7 @@ fn main() {
          buffer energy across the whole cluster."
     );
 
-    if let Some(path) = json_path(&args) {
+    if let Some(path) = cli.json.as_deref() {
         let fig = Figure::new(
             "Figures 7-8: architecture comparison",
             vec![
@@ -65,7 +66,7 @@ fn main() {
                 ),
             ],
         );
-        fig.write_json(&path).expect("write json");
+        fig.write_json(path).expect("write json");
         println!("(series written to {})", path.display());
     }
 }

@@ -11,8 +11,9 @@
 //! * plus the event-scale deep-valley absorption test behind the
 //!   paper's headline REU improvement.
 
-use heb_bench::{hours_arg, json_path, print_table, Figure, Series};
-use heb_core::experiments::{deep_valley_absorption, scheme_comparison, SchemeResult};
+use heb_bench::cli::BenchArgs;
+use heb_bench::{print_table, Figure, Series};
+use heb_core::experiments::{deep_valley_absorption_with, scheme_comparison_with, SchemeResult};
 use heb_core::{PolicyKind, SimConfig};
 use heb_units::{Joules, Ratio, Seconds, Watts};
 use heb_workload::PeakClass;
@@ -89,13 +90,14 @@ fn report(standard: &[SchemeResult], stressed: &[SchemeResult], title: &str) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let hours = hours_arg(&args, 8.0);
+    let cli = BenchArgs::from_env(8.0, 2015);
+    let hours = cli.hours;
     let solar_hours = 12.0_f64.min(hours * 1.5);
-    let seed = 2015;
+    let seed = cli.seed;
+    let engine = cli.engine();
 
-    let standard = scheme_comparison(&standard_config(), hours, solar_hours, seed);
-    let stressed = scheme_comparison(&stressed_config(), hours, 0.1, seed);
+    let standard = scheme_comparison_with(&engine, &standard_config(), hours, solar_hours, seed);
+    let stressed = scheme_comparison_with(&engine, &stressed_config(), hours, 0.1, seed);
     report(
         &standard,
         &stressed,
@@ -105,7 +107,8 @@ fn main() {
     );
 
     // Event-scale REU: the deep-valley absorption test.
-    let valley = deep_valley_absorption(&standard_config(), Watts::new(230.0), 15.0, seed);
+    let valley =
+        deep_valley_absorption_with(&engine, &standard_config(), Watts::new(230.0), 15.0, seed);
     let base_reu = valley
         .iter()
         .find(|v| v.policy == PolicyKind::BaOnly)
@@ -137,17 +140,23 @@ fn main() {
     // Ablations (each reruns the sweep with one knob varied).
     let ablate = |label: &str, configs: Vec<(String, SimConfig)>| {
         for (name, cfg) in configs {
-            let std_r = scheme_comparison(&cfg, hours / 2.0, (solar_hours / 2.0).max(0.1), seed);
+            let std_r = scheme_comparison_with(
+                &engine,
+                &cfg,
+                hours / 2.0,
+                (solar_hours / 2.0).max(0.1),
+                seed,
+            );
             let mut stress = stressed_config();
             stress.small_peak_threshold = cfg.small_peak_threshold;
             stress.delta_r = cfg.delta_r;
             stress.slot_length = cfg.slot_length;
             stress.pat_energy_bucket = cfg.pat_energy_bucket;
-            let str_r = scheme_comparison(&stress, hours / 2.0, 0.1, seed);
+            let str_r = scheme_comparison_with(&engine, &stress, hours / 2.0, 0.1, seed);
             report(&std_r, &str_r, &format!("ablation {label}: {name}"));
         }
     };
-    if args.iter().any(|a| a == "--ablate-threshold") {
+    if cli.flag("--ablate-threshold") {
         ablate(
             "small-peak threshold",
             [40.0, 80.0, 120.0]
@@ -160,7 +169,7 @@ fn main() {
                 .collect(),
         );
     }
-    if args.iter().any(|a| a == "--ablate-dr") {
+    if cli.flag("--ablate-dr") {
         ablate(
             "delta_r",
             [0.005, 0.01, 0.05]
@@ -173,7 +182,7 @@ fn main() {
                 .collect(),
         );
     }
-    if args.iter().any(|a| a == "--ablate-slot") {
+    if cli.flag("--ablate-slot") {
         ablate(
             "slot length",
             [5.0, 10.0, 20.0]
@@ -186,7 +195,7 @@ fn main() {
                 .collect(),
         );
     }
-    if args.iter().any(|a| a == "--ablate-pat") {
+    if cli.flag("--ablate-pat") {
         ablate(
             "PAT energy bucket",
             [5.0, 10.0, 20.0]
@@ -200,7 +209,7 @@ fn main() {
         );
     }
 
-    if let Some(path) = json_path(&args) {
+    if let Some(path) = cli.json.as_deref() {
         let series = vec![
             Series::new(
                 "efficiency",
@@ -241,7 +250,7 @@ fn main() {
             ),
         ];
         Figure::new("Figure 12: scheme comparison", series)
-            .write_json(&path)
+            .write_json(path)
             .expect("write json");
         println!("(series written to {})", path.display());
     }

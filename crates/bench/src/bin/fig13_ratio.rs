@@ -1,18 +1,26 @@
 //! Figure 13: SC:battery capacity-ratio sweep, normalised to 3:7.
 
-use heb_bench::{hours_arg, json_path, print_table, Figure, Series};
-use heb_core::experiments::capacity_ratio_sweep;
+use heb_bench::cli::BenchArgs;
+use heb_bench::{print_table, Figure, Series};
+use heb_core::experiments::capacity_ratio_sweep_with;
 use heb_core::SimConfig;
 use heb_units::Watts;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let hours = hours_arg(&args, 4.0);
+    let cli = BenchArgs::from_env(4.0, 13);
+    let hours = cli.hours;
     // The standard regime: the ratio's dominant effect is on battery
     // wear (the paper's strongest Figure 13 trend); efficiency, REU and
     // downtime shift by smaller margins.
     let base = SimConfig::prototype().with_budget(Watts::new(245.0));
-    let points = capacity_ratio_sweep(&base, &[1, 2, 3, 4, 5], hours, hours, 13);
+    let points = capacity_ratio_sweep_with(
+        &cli.engine(),
+        &base,
+        &[1, 2, 3, 4, 5],
+        hours,
+        hours,
+        cli.seed,
+    );
 
     let reference = points
         .iter()
@@ -52,7 +60,7 @@ fn main() {
          lifetime improves the most, efficiency and downtime flatten out."
     );
 
-    if let Some(path) = json_path(&args) {
+    if let Some(path) = cli.json.as_deref() {
         let fig = Figure::new(
             "Figure 13: ratio sweep",
             vec![
@@ -79,7 +87,7 @@ fn main() {
                 ),
             ],
         );
-        fig.write_json(&path).expect("write json");
+        fig.write_json(path).expect("write json");
         println!("(series written to {})", path.display());
     }
 }

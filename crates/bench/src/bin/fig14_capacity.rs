@@ -1,16 +1,24 @@
 //! Figure 14: total-capacity growth (DoD 40 % → 80 %) at fixed 3:7.
 
-use heb_bench::{hours_arg, json_path, print_table, Figure, Series};
-use heb_core::experiments::capacity_growth_sweep;
+use heb_bench::cli::BenchArgs;
+use heb_bench::{print_table, Figure, Series};
+use heb_core::experiments::capacity_growth_sweep_with;
 use heb_core::SimConfig;
 use heb_units::Watts;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let hours = hours_arg(&args, 4.0);
+    let cli = BenchArgs::from_env(4.0, 14);
+    let hours = cli.hours;
     // Mild stress so the smallest configuration visibly struggles.
     let base = SimConfig::prototype().with_budget(Watts::new(240.0));
-    let points = capacity_growth_sweep(&base, &[40, 50, 60, 70, 80], hours, hours, 14);
+    let points = capacity_growth_sweep_with(
+        &cli.engine(),
+        &base,
+        &[40, 50, 60, 70, 80],
+        hours,
+        hours,
+        cli.seed,
+    );
 
     let smallest = &points[0];
     let (ref_eff, ref_down, _, ref_reu) = smallest.metrics();
@@ -48,7 +56,7 @@ fn main() {
          resiliency, but the relationship is non-linear — gains taper."
     );
 
-    if let Some(path) = json_path(&args) {
+    if let Some(path) = cli.json.as_deref() {
         let fig = Figure::new(
             "Figure 14: capacity growth",
             vec![
@@ -75,7 +83,7 @@ fn main() {
                 ),
             ],
         );
-        fig.write_json(&path).expect("write json");
+        fig.write_json(path).expect("write json");
         println!("(series written to {})", path.display());
     }
 }

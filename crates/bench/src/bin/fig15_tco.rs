@@ -1,12 +1,13 @@
 //! Figure 15: TCO — (a) cost breakdown, (b) ROI surface, (c) 8-year
 //! peak-shaving revenue race.
 
-use heb_bench::{json_path, print_table, Figure, Series};
+use heb_bench::cli::BenchArgs;
+use heb_bench::{print_table, Figure, Series};
 use heb_tco::{CostBreakdown, PeakShavingModel, RoiModel, SchemeEconomics};
 use heb_units::Dollars;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = BenchArgs::from_env(1.0, 2015);
 
     // (a) cost breakdown.
     let bom = CostBreakdown::prototype();
@@ -93,7 +94,7 @@ fn main() {
          mismanaged hybrid (BaFirst) under-performs homogeneous batteries."
     );
 
-    if let Some(path) = json_path(&args) {
+    if let Some(path) = cli.json.as_deref() {
         let series = schemes
             .iter()
             .map(|s| {
@@ -109,7 +110,7 @@ fn main() {
             })
             .collect();
         Figure::new("Figure 15(c): cumulative net profit", series)
-            .write_json(&path)
+            .write_json(path)
             .expect("write json");
         println!("(series written to {})", path.display());
     }

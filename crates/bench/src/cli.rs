@@ -1,0 +1,159 @@
+//! Shared command-line parsing for the experiment binaries.
+//!
+//! Every binary under `src/bin/` accepts the same core flags; this
+//! module parses them once so the binaries stay thin:
+//!
+//! ```text
+//! --hours H      simulated hours (per-binary default; CI passes small)
+//! --seed S       base RNG seed (per-binary default)
+//! --json PATH    also serialise the figure's raw series
+//! --jobs N       fleet-engine worker count (default: all cores)
+//! --no-cache     bypass the content-addressed result cache
+//! --cache-dir D  cache root (default results/cache)
+//! ```
+//!
+//! [`BenchArgs::engine`] builds the [`FleetEngine`] the scenario-ised
+//! experiments run on; binaries with no simulation batches just read
+//! `hours` / `seed` / `json` and ignore the engine knobs.
+
+use std::path::PathBuf;
+
+use heb_fleet::{FleetEngine, ResultCache};
+
+use crate::{hours_arg, json_path};
+
+/// The core flags shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Simulated hours (`--hours`, per-binary default).
+    pub hours: f64,
+    /// Base RNG seed (`--seed`, per-binary default).
+    pub seed: u64,
+    /// Optional JSON output path (`--json`).
+    pub json: Option<PathBuf>,
+    /// Fleet-engine worker count (`--jobs`, default: all cores).
+    pub jobs: usize,
+    /// Whether the result cache is consulted (`--no-cache` disables).
+    pub use_cache: bool,
+    /// Result-cache root (`--cache-dir`, default `results/cache`).
+    pub cache_dir: PathBuf,
+    /// The raw argument list, for binary-specific flags.
+    pub raw: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Parses the process's own arguments.
+    #[must_use]
+    pub fn from_env(default_hours: f64, default_seed: u64) -> Self {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_slice(&raw, default_hours, default_seed)
+    }
+
+    /// Parses an explicit argument slice (testable entry point).
+    #[must_use]
+    pub fn from_slice(args: &[String], default_hours: f64, default_seed: u64) -> Self {
+        let value_of = |flag: &str| args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone());
+        let default_jobs = std::thread::available_parallelism().map_or(1, usize::from);
+        Self {
+            hours: hours_arg(args, default_hours),
+            seed: value_of("--seed")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default_seed),
+            json: json_path(args),
+            jobs: value_of("--jobs")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default_jobs),
+            use_cache: !args.iter().any(|a| a == "--no-cache"),
+            cache_dir: value_of("--cache-dir")
+                .map_or_else(|| PathBuf::from("results/cache"), PathBuf::from),
+            raw: args.to_vec(),
+        }
+    }
+
+    /// Whether a bare flag (e.g. `--ablate-pat`) was passed.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+
+    /// Builds the fleet engine these arguments describe: `jobs`
+    /// workers, with the result cache attached unless `--no-cache`.
+    #[must_use]
+    pub fn engine(&self) -> FleetEngine {
+        let engine = FleetEngine::new(self.jobs);
+        if self.use_cache {
+            engine.with_cache(ResultCache::new(&self.cache_dir))
+        } else {
+            engine
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_args(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| (*w).to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_apply_when_unset() {
+        let args = BenchArgs::from_slice(&[], 6.0, 2015);
+        assert_eq!(args.hours, 6.0);
+        assert_eq!(args.seed, 2015);
+        assert!(args.json.is_none());
+        assert!(args.use_cache);
+        assert_eq!(args.cache_dir, PathBuf::from("results/cache"));
+        assert!(args.jobs >= 1);
+    }
+
+    #[test]
+    fn every_core_flag_parses() {
+        let args = BenchArgs::from_slice(
+            &to_args(&[
+                "--hours",
+                "0.5",
+                "--seed",
+                "7",
+                "--json",
+                "/tmp/f.json",
+                "--jobs",
+                "3",
+                "--no-cache",
+                "--cache-dir",
+                "/tmp/cc",
+            ]),
+            6.0,
+            2015,
+        );
+        assert_eq!(args.hours, 0.5);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.json.unwrap(), PathBuf::from("/tmp/f.json"));
+        assert_eq!(args.jobs, 3);
+        assert!(!args.use_cache);
+        assert_eq!(args.cache_dir, PathBuf::from("/tmp/cc"));
+    }
+
+    #[test]
+    fn malformed_values_fall_back_to_defaults() {
+        let args = BenchArgs::from_slice(&to_args(&["--seed", "x", "--jobs", "y"]), 1.0, 11);
+        assert_eq!(args.seed, 11);
+        assert!(args.jobs >= 1);
+    }
+
+    #[test]
+    fn binary_specific_flags_stay_reachable() {
+        let args = BenchArgs::from_slice(&to_args(&["--ablate-pat"]), 1.0, 1);
+        assert!(args.flag("--ablate-pat"));
+        assert!(!args.flag("--ablate-dr"));
+    }
+
+    #[test]
+    fn engine_honours_the_cache_switch() {
+        let on = BenchArgs::from_slice(&[], 1.0, 1).engine();
+        assert!(on.cache().is_some());
+        let off = BenchArgs::from_slice(&to_args(&["--no-cache"]), 1.0, 1).engine();
+        assert!(off.cache().is_none());
+    }
+}

@@ -9,7 +9,7 @@
 
 use crate::config::SimConfig;
 use crate::metrics::SimReport;
-use crate::sim::Simulation;
+use crate::scenario::{Scenario, ScenarioRunner, SerialRunner};
 use heb_powersys::Topology;
 use heb_units::Joules;
 use heb_workload::Archetype;
@@ -32,33 +32,67 @@ impl ArchitecturePoint {
     }
 }
 
-/// Runs the same configuration under all four architectures.
-#[must_use]
-pub fn architecture_comparison(base: &SimConfig, hours: f64, seed: u64) -> Vec<ArchitecturePoint> {
-    let topologies = [
+/// The four delivery architectures, in figure order.
+fn topologies() -> [Topology; 4] {
+    [
         Topology::centralized(),
         Topology::distributed(),
         Topology::heb_cluster_level(),
         Topology::heb_rack_level(),
-    ];
-    let mix = [
-        Archetype::WebSearch,
-        Archetype::Terasort,
-        Archetype::PageRank,
-        Archetype::Dfsioe,
-        Archetype::MediaStreaming,
-        Archetype::Hivebench,
-    ];
-    topologies
+    ]
+}
+
+const MIX: [Archetype; 6] = [
+    Archetype::WebSearch,
+    Archetype::Terasort,
+    Archetype::PageRank,
+    Archetype::Dfsioe,
+    Archetype::MediaStreaming,
+    Archetype::Hivebench,
+];
+
+/// Figure 7 as a scenario batch: one scenario per architecture, in
+/// figure order.
+#[must_use]
+pub fn architecture_scenarios(base: &SimConfig, hours: f64, seed: u64) -> Vec<Scenario> {
+    topologies()
         .into_iter()
         .map(|topology| {
-            let name = topology.name();
-            let config = base.clone().with_topology(topology);
-            let mut sim = Simulation::new(config, &mix, seed);
-            ArchitecturePoint {
-                name,
-                report: sim.run_for_hours(hours),
-            }
+            Scenario::new(
+                format!("architecture/{}", topology.name()),
+                base.clone().with_topology(topology),
+                &MIX,
+                hours,
+                seed,
+            )
+        })
+        .collect()
+}
+
+/// Runs the same configuration under all four architectures.
+#[must_use]
+pub fn architecture_comparison(base: &SimConfig, hours: f64, seed: u64) -> Vec<ArchitecturePoint> {
+    architecture_comparison_with(&SerialRunner, base, hours, seed)
+}
+
+/// [`architecture_comparison`] executed by an arbitrary
+/// [`ScenarioRunner`].
+#[must_use]
+pub fn architecture_comparison_with(
+    runner: &dyn ScenarioRunner,
+    base: &SimConfig,
+    hours: f64,
+    seed: u64,
+) -> Vec<ArchitecturePoint> {
+    let batch = architecture_scenarios(base, hours, seed);
+    let reports = runner.run_batch(&batch);
+    assert_eq!(reports.len(), 4, "one report per architecture");
+    topologies()
+        .into_iter()
+        .zip(reports)
+        .map(|(topology, report)| ArchitecturePoint {
+            name: topology.name(),
+            report,
         })
         .collect()
 }

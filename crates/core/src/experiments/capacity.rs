@@ -10,7 +10,8 @@
 use crate::config::SimConfig;
 use crate::metrics::SimReport;
 use crate::policy::PolicyKind;
-use crate::sim::{PowerMode, Simulation};
+use crate::scenario::{Scenario, ScenarioRunner, SerialRunner};
+use crate::sim::PowerMode;
 use heb_units::{Joules, Ratio, Watts};
 use heb_workload::{Archetype, SolarTraceBuilder};
 
@@ -55,40 +56,45 @@ const MIX: [Archetype; 6] = [
     Archetype::Hivebench,
 ];
 
-fn run_point(config: SimConfig, hours: f64, solar_hours: f64, seed: u64) -> (SimReport, SimReport) {
-    let mut sim = Simulation::new(config.clone(), &MIX, seed);
-    let report = sim.run_for_hours(hours);
+/// A sunrise-rotated solar trace so short solar runs see generation.
+fn sunrise_solar(seed: u64) -> heb_workload::PowerTrace {
     let trace = SolarTraceBuilder::new(Watts::new(500.0))
         .seed(seed)
         .days(1.0)
         .clouds_per_day(80.0)
         .mean_cloud_secs(360.0)
         .build();
-    // Rotate to sunrise so short solar runs see generation.
     let samples = trace.samples();
     let rotated: Vec<_> = samples[6 * 3600..]
         .iter()
         .chain(&samples[..6 * 3600])
         .copied()
         .collect();
-    let solar_trace = heb_workload::PowerTrace::new(rotated, trace.dt());
-    let mut solar_sim =
-        Simulation::new(config, &MIX, seed).with_mode(PowerMode::Solar(solar_trace));
-    solar_sim.set_buffer_soc(Ratio::new_clamped(0.15));
-    let solar = solar_sim.run_for_hours(solar_hours);
-    (report, solar)
+    heb_workload::PowerTrace::new(rotated, trace.dt())
 }
 
-/// Figure 13: constant total capacity, SC:battery ratio sweep. The
-/// ratios are given as SC tenths (`&[1, 2, 3, 4, 5]` = 1:9 … 5:5).
-#[must_use]
-pub fn capacity_ratio_sweep(
-    base: &SimConfig,
-    sc_tenths: &[u32],
+/// The two scenarios of one capacity point: the peak-shaving run and
+/// the solar (REU) run.
+fn point_scenarios(
+    label: &str,
+    config: SimConfig,
     hours: f64,
     solar_hours: f64,
     seed: u64,
-) -> Vec<CapacityPoint> {
+) -> [Scenario; 2] {
+    [
+        Scenario::new(format!("{label}/shave"), config.clone(), &MIX, hours, seed),
+        Scenario::new(format!("{label}/solar"), config, &MIX, solar_hours, seed)
+            .with_mode(PowerMode::Solar(sunrise_solar(seed)))
+            .with_initial_soc(Ratio::new_clamped(0.15)),
+    ]
+}
+
+/// The sweep skeleton both figures share: per-point labels plus the
+/// configured `(sc_fraction, total_capacity, config)` triples.
+type PointSpec = (String, Ratio, Joules, SimConfig);
+
+fn ratio_point_specs(base: &SimConfig, sc_tenths: &[u32]) -> Vec<PointSpec> {
     sc_tenths
         .iter()
         .map(|&tenths| {
@@ -97,29 +103,17 @@ pub fn capacity_ratio_sweep(
                 .clone()
                 .with_policy(PolicyKind::HebD)
                 .with_sc_fraction(sc_fraction);
-            let (report, solar) = run_point(config, hours, solar_hours, seed);
-            CapacityPoint {
-                label: format!("{tenths}:{}", 10 - tenths),
+            (
+                format!("{tenths}:{}", 10 - tenths),
                 sc_fraction,
-                total_capacity: base.total_capacity,
-                report,
-                solar,
-            }
+                base.total_capacity,
+                config,
+            )
         })
         .collect()
 }
 
-/// Figure 14: constant 3:7 ratio, capacity grown by relaxing DoD. The
-/// same physical devices are managed at each DoD in `dod_percents`
-/// (e.g. `&[40, 50, 60, 70, 80]`), so usable capacity scales with DoD.
-#[must_use]
-pub fn capacity_growth_sweep(
-    base: &SimConfig,
-    dod_percents: &[u32],
-    hours: f64,
-    solar_hours: f64,
-    seed: u64,
-) -> Vec<CapacityPoint> {
+fn growth_point_specs(base: &SimConfig, dod_percents: &[u32]) -> Vec<PointSpec> {
     // The base config's capacity is defined at its own DoD; hold the
     // *physical* size fixed and scale usable energy with DoD.
     let physical = base.total_capacity.get() / base.dod_limit.get();
@@ -133,16 +127,151 @@ pub fn capacity_growth_sweep(
                 .with_policy(PolicyKind::HebD)
                 .with_total_capacity(usable);
             config.dod_limit = dod;
-            let (report, solar) = run_point(config, hours, solar_hours, seed);
+            (format!("DoD {percent} %"), base.sc_fraction, usable, config)
+        })
+        .collect()
+}
+
+fn specs_to_scenarios(
+    prefix: &str,
+    specs: &[PointSpec],
+    hours: f64,
+    solar_hours: f64,
+    seed: u64,
+) -> Vec<Scenario> {
+    specs
+        .iter()
+        .flat_map(|(label, _, _, config)| {
+            point_scenarios(
+                &format!("{prefix}/{label}"),
+                config.clone(),
+                hours,
+                solar_hours,
+                seed,
+            )
+        })
+        .collect()
+}
+
+fn assemble_points(specs: Vec<PointSpec>, reports: Vec<SimReport>) -> Vec<CapacityPoint> {
+    assert_eq!(
+        reports.len(),
+        specs.len() * 2,
+        "capacity batches carry two reports per point"
+    );
+    let mut reports = reports.into_iter();
+    specs
+        .into_iter()
+        .map(|(label, sc_fraction, total_capacity, _)| {
+            let report = reports.next().expect("shave report");
+            let solar = reports.next().expect("solar report");
             CapacityPoint {
-                label: format!("DoD {percent} %"),
-                sc_fraction: base.sc_fraction,
-                total_capacity: usable,
+                label,
+                sc_fraction,
+                total_capacity,
                 report,
                 solar,
             }
         })
         .collect()
+}
+
+/// Figure 13 as a scenario batch: two scenarios (peak-shave + solar)
+/// per ratio, in `sc_tenths` order. Assemble the runner's reports with
+/// [`capacity_ratio_sweep_with`] or by zipping pairs yourself.
+#[must_use]
+pub fn capacity_ratio_scenarios(
+    base: &SimConfig,
+    sc_tenths: &[u32],
+    hours: f64,
+    solar_hours: f64,
+    seed: u64,
+) -> Vec<Scenario> {
+    specs_to_scenarios(
+        "capacity/ratio",
+        &ratio_point_specs(base, sc_tenths),
+        hours,
+        solar_hours,
+        seed,
+    )
+}
+
+/// Figure 14 as a scenario batch: two scenarios per DoD point, in
+/// `dod_percents` order.
+#[must_use]
+pub fn capacity_growth_scenarios(
+    base: &SimConfig,
+    dod_percents: &[u32],
+    hours: f64,
+    solar_hours: f64,
+    seed: u64,
+) -> Vec<Scenario> {
+    specs_to_scenarios(
+        "capacity/growth",
+        &growth_point_specs(base, dod_percents),
+        hours,
+        solar_hours,
+        seed,
+    )
+}
+
+/// Figure 13: constant total capacity, SC:battery ratio sweep. The
+/// ratios are given as SC tenths (`&[1, 2, 3, 4, 5]` = 1:9 … 5:5).
+#[must_use]
+pub fn capacity_ratio_sweep(
+    base: &SimConfig,
+    sc_tenths: &[u32],
+    hours: f64,
+    solar_hours: f64,
+    seed: u64,
+) -> Vec<CapacityPoint> {
+    capacity_ratio_sweep_with(&SerialRunner, base, sc_tenths, hours, solar_hours, seed)
+}
+
+/// [`capacity_ratio_sweep`] executed by an arbitrary
+/// [`ScenarioRunner`].
+#[must_use]
+pub fn capacity_ratio_sweep_with(
+    runner: &dyn ScenarioRunner,
+    base: &SimConfig,
+    sc_tenths: &[u32],
+    hours: f64,
+    solar_hours: f64,
+    seed: u64,
+) -> Vec<CapacityPoint> {
+    let specs = ratio_point_specs(base, sc_tenths);
+    let batch = specs_to_scenarios("capacity/ratio", &specs, hours, solar_hours, seed);
+    assemble_points(specs, runner.run_batch(&batch))
+}
+
+/// Figure 14: constant 3:7 ratio, capacity grown by relaxing DoD. The
+/// same physical devices are managed at each DoD in `dod_percents`
+/// (e.g. `&[40, 50, 60, 70, 80]`), so usable capacity scales with DoD.
+#[must_use]
+pub fn capacity_growth_sweep(
+    base: &SimConfig,
+    dod_percents: &[u32],
+    hours: f64,
+    solar_hours: f64,
+    seed: u64,
+) -> Vec<CapacityPoint> {
+    capacity_growth_sweep_with(&SerialRunner, base, dod_percents, hours, solar_hours, seed)
+}
+
+/// [`capacity_growth_sweep`] executed by an arbitrary
+/// [`ScenarioRunner`].
+#[must_use]
+pub fn capacity_growth_sweep_with(
+    runner: &dyn ScenarioRunner,
+    base: &SimConfig,
+    dod_percents: &[u32],
+    hours: f64,
+    solar_hours: f64,
+    seed: u64,
+) -> Vec<CapacityPoint> {
+    let specs = growth_point_specs(base, dod_percents);
+    let batch = specs_to_scenarios("capacity/growth", &specs, hours, solar_hours, seed);
+    assemble_points(specs, runner.run_batch(&batch))
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 
 use crate::config::SimConfig;
 use crate::metrics::SimReport;
-use crate::sim::Simulation;
+use crate::scenario::{Scenario, ScenarioRunner, SerialRunner};
 use heb_powersys::Topology;
 use heb_units::{Joules, Seconds};
 use heb_workload::Archetype;
@@ -64,6 +64,7 @@ fn aggregate(reports: Vec<SimReport>) -> SimReport {
         total.unserved_energy += r.unserved_energy;
         total.restart_waste += r.restart_waste;
         total.shed_events += r.shed_events;
+        total.shed_times.extend(r.shed_times.iter().copied());
         total.slots = total.slots.max(r.slots);
         total.pat_entries += r.pat_entries;
         total.relay_actuations += r.relay_actuations;
@@ -73,24 +74,24 @@ fn aggregate(reports: Vec<SimReport>) -> SimReport {
             (a, b) => a.or(b),
         };
     }
+    // Racks shed independently; restore onset order across the fleet.
+    total.shed_times.sort_by(|a, b| a.get().total_cmp(&b.get()));
     total
 }
 
-/// Runs `racks` racks with *imbalanced* load (rack 0 runs the large-peak
-/// group, the rest run light small-peak workloads) under both
-/// deployment styles, with equal total buffer capacity and equal total
-/// budget.
+/// The deployment comparison as a scenario batch: the cluster-level
+/// run first, then one rack-level run per rack.
 ///
 /// # Panics
 ///
 /// Panics if `racks` is zero.
 #[must_use]
-pub fn deployment_comparison(
+pub fn deployment_scenarios(
     base: &SimConfig,
     racks: usize,
     hours: f64,
     seed: u64,
-) -> DeploymentResult {
+) -> Vec<Scenario> {
     assert!(racks > 0, "need at least one rack");
     let hot_workloads = [Archetype::Terasort, Archetype::Dfsioe, Archetype::Hivebench];
     let cool_workloads = [Archetype::PageRank, Archetype::MediaStreaming];
@@ -113,25 +114,71 @@ pub fn deployment_comparison(
             cluster_archetypes.push(cool_workloads[idx % cool_workloads.len()]);
         }
     }
-    let mut cluster_sim = Simulation::new(cluster_config, &cluster_archetypes, seed);
-    let cluster_level = cluster_sim.run_for_hours(hours);
+    let mut batch = Vec::with_capacity(racks + 1);
+    batch.push(Scenario::new(
+        "deployment/cluster".to_string(),
+        cluster_config,
+        &cluster_archetypes,
+        hours,
+        seed,
+    ));
 
     // Rack-level: independent simulations with per-rack buffers and
     // budgets; rack 0 is hot, the rest cool.
-    let rack_reports: Vec<SimReport> = (0..racks)
-        .map(|rack| {
-            let config = base.clone().with_topology(Topology::heb_rack_level());
-            let archetypes: Vec<Archetype> = if rack == 0 {
-                hot_workloads.to_vec()
-            } else {
-                cool_workloads.to_vec()
-            };
-            let mut sim = Simulation::new(config, &archetypes, seed.wrapping_add(rack as u64 * 31));
-            sim.run_for_hours(hours)
-        })
-        .collect();
-    let rack_level = aggregate(rack_reports);
+    for rack in 0..racks {
+        let config = base.clone().with_topology(Topology::heb_rack_level());
+        let archetypes: &[Archetype] = if rack == 0 {
+            &hot_workloads
+        } else {
+            &cool_workloads
+        };
+        batch.push(Scenario::new(
+            format!("deployment/rack{rack}"),
+            config,
+            archetypes,
+            hours,
+            seed.wrapping_add(rack as u64 * 31),
+        ));
+    }
+    batch
+}
 
+/// Runs `racks` racks with *imbalanced* load (rack 0 runs the large-peak
+/// group, the rest run light small-peak workloads) under both
+/// deployment styles, with equal total buffer capacity and equal total
+/// budget.
+///
+/// # Panics
+///
+/// Panics if `racks` is zero.
+#[must_use]
+pub fn deployment_comparison(
+    base: &SimConfig,
+    racks: usize,
+    hours: f64,
+    seed: u64,
+) -> DeploymentResult {
+    deployment_comparison_with(&SerialRunner, base, racks, hours, seed)
+}
+
+/// [`deployment_comparison`] executed by an arbitrary
+/// [`ScenarioRunner`].
+///
+/// # Panics
+///
+/// Panics if `racks` is zero.
+#[must_use]
+pub fn deployment_comparison_with(
+    runner: &dyn ScenarioRunner,
+    base: &SimConfig,
+    racks: usize,
+    hours: f64,
+    seed: u64,
+) -> DeploymentResult {
+    let batch = deployment_scenarios(base, racks, hours, seed);
+    let mut reports = runner.run_batch(&batch).into_iter();
+    let cluster_level = reports.next().expect("cluster report");
+    let rack_level = aggregate(reports.collect());
     DeploymentResult {
         cluster_level,
         rack_level,

@@ -12,7 +12,7 @@ use crate::config::SimConfig;
 use crate::faults::{FaultLedger, FaultProfile, FaultSchedule};
 use crate::metrics::SimReport;
 use crate::policy::PolicyKind;
-use crate::sim::Simulation;
+use crate::scenario::{Scenario, ScenarioRunner, SerialRunner};
 use heb_units::{Ratio, Seconds};
 use heb_workload::Archetype;
 
@@ -35,6 +35,45 @@ pub struct FaultSweepPoint {
     pub report: SimReport,
 }
 
+/// The storm every policy faces at one intensity level.
+fn storm_for(base: &SimConfig, hours: f64, intensity: f64, seed: u64) -> FaultSchedule {
+    let profile =
+        FaultProfile::nominal()
+            .scaled(intensity)
+            .sized(base.servers, base.battery_strings, 1);
+    FaultSchedule::stochastic(seed, Seconds::from_hours(hours), &profile)
+}
+
+/// The fault sweep as a scenario batch: intensities in order, and for
+/// each intensity one scenario per scheme in [`PolicyKind::ALL`] order,
+/// all riding the same seeded storm.
+#[must_use]
+pub fn fault_sweep_scenarios(
+    base: &SimConfig,
+    hours: f64,
+    intensities: &[f64],
+    seed: u64,
+) -> Vec<Scenario> {
+    let mix = [Archetype::WebSearch, Archetype::Terasort];
+    let mut batch = Vec::with_capacity(intensities.len() * PolicyKind::ALL.len());
+    for &intensity in intensities {
+        let schedule = storm_for(base, hours, intensity, seed);
+        for &policy in &PolicyKind::ALL {
+            batch.push(
+                Scenario::new(
+                    format!("faults/x{intensity}/{}", policy.name()),
+                    base.clone().with_policy(policy),
+                    &mix,
+                    hours,
+                    seed,
+                )
+                .with_faults(schedule.clone()),
+            );
+        }
+    }
+    batch
+}
+
 /// Sweeps fault intensity × policy: for each intensity, a stochastic
 /// schedule is drawn once (seeded, shared across policies) from
 /// [`FaultProfile::nominal`] scaled by that intensity and sized to the
@@ -49,23 +88,30 @@ pub fn fault_intensity_sweep(
     intensities: &[f64],
     seed: u64,
 ) -> Vec<FaultSweepPoint> {
-    let horizon = Seconds::from_hours(hours);
-    let mix = [Archetype::WebSearch, Archetype::Terasort];
+    fault_intensity_sweep_with(&SerialRunner, base, hours, intensities, seed)
+}
+
+/// [`fault_intensity_sweep`] executed by an arbitrary
+/// [`ScenarioRunner`].
+#[must_use]
+pub fn fault_intensity_sweep_with(
+    runner: &dyn ScenarioRunner,
+    base: &SimConfig,
+    hours: f64,
+    intensities: &[f64],
+    seed: u64,
+) -> Vec<FaultSweepPoint> {
+    let batch = fault_sweep_scenarios(base, hours, intensities, seed);
+    let mut reports = runner.run_batch(&batch).into_iter();
     let mut points = Vec::with_capacity(intensities.len() * PolicyKind::ALL.len());
     for &intensity in intensities {
-        let profile =
-            FaultProfile::nominal()
-                .scaled(intensity)
-                .sized(base.servers, base.battery_strings, 1);
-        let schedule = FaultSchedule::stochastic(seed, horizon, &profile);
+        let events = storm_for(base, hours, intensity, seed).len();
         for &policy in &PolicyKind::ALL {
-            let config = base.clone().with_policy(policy);
-            let mut sim = Simulation::new(config, &mix, seed).with_faults(schedule.clone());
-            let report = sim.run_for_hours(hours);
+            let report = reports.next().expect("one report per sweep cell");
             points.push(FaultSweepPoint {
                 policy,
                 intensity,
-                events: schedule.len(),
+                events,
                 efficiency: report.energy_efficiency(),
                 downtime: report.server_downtime,
                 ledger: report.faults.clone(),

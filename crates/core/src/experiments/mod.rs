@@ -19,16 +19,31 @@ mod schemes;
 mod sharing;
 mod valley;
 
-pub use architecture::{architecture_comparison, ArchitecturePoint};
+pub use architecture::{
+    architecture_comparison, architecture_comparison_with, architecture_scenarios,
+    ArchitecturePoint,
+};
 pub use assignment::{assignment_sweep, AssignmentPoint};
-pub use capacity::{capacity_growth_sweep, capacity_ratio_sweep, CapacityPoint};
+pub use capacity::{
+    capacity_growth_scenarios, capacity_growth_sweep, capacity_growth_sweep_with,
+    capacity_ratio_scenarios, capacity_ratio_sweep, capacity_ratio_sweep_with, CapacityPoint,
+};
 pub use chemistry::{chemistry_comparison, ChemistryPoint, DutyCycle};
-pub use deployment::{deployment_comparison, DeploymentResult};
+pub use deployment::{
+    deployment_comparison, deployment_comparison_with, deployment_scenarios, DeploymentResult,
+};
 pub use discharge::{discharge_curves, DischargeCurve};
 pub use efficiency::{efficiency_characterization, EfficiencyResult};
-pub use faults::{fault_intensity_sweep, FaultSweepPoint};
-pub use outage::{outage_ride_through, OutagePoint};
+pub use faults::{
+    fault_intensity_sweep, fault_intensity_sweep_with, fault_sweep_scenarios, FaultSweepPoint,
+};
+pub use outage::{outage_ride_through, outage_ride_through_with, outage_scenarios, OutagePoint};
 pub use prediction::{predictor_comparison, PredictionPoint};
-pub use schemes::{run_scheme, scheme_comparison, SchemeResult, WorkloadGroupResult};
+pub use schemes::{
+    run_scheme, scheme_comparison, scheme_comparison_assemble, scheme_comparison_scenarios,
+    scheme_comparison_with, SchemeResult, WorkloadGroupResult,
+};
 pub use sharing::{sharing_comparison, SharingResult};
-pub use valley::{deep_valley_absorption, ValleyPoint};
+pub use valley::{
+    deep_valley_absorption, deep_valley_absorption_with, valley_scenarios, ValleyPoint,
+};

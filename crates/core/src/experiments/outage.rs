@@ -10,7 +10,8 @@
 
 use crate::config::SimConfig;
 use crate::policy::PolicyKind;
-use crate::sim::{PowerMode, Simulation};
+use crate::scenario::{Scenario, ScenarioRunner, SerialRunner};
+use crate::sim::PowerMode;
 use heb_units::{Seconds, Watts};
 use heb_workload::{Archetype, PowerTrace};
 
@@ -25,6 +26,45 @@ pub struct OutagePoint {
     pub survival: Seconds,
 }
 
+/// The outage experiment as a scenario batch: per scheme, the full
+/// warmup-plus-outage run followed by a warmup-only run. The
+/// warmup-only run is a bit-identical prefix of the full run
+/// (determinism), so subtracting its downtime isolates the outage
+/// window without stepping the simulation by hand.
+#[must_use]
+pub fn outage_scenarios(
+    base: &SimConfig,
+    warmup_minutes: f64,
+    outage_minutes: f64,
+    seed: u64,
+) -> Vec<Scenario> {
+    let warmup_ticks = (warmup_minutes * 60.0).round() as u64;
+    let outage_ticks = (outage_minutes * 60.0).round() as u64;
+    let mut samples = vec![base.budget; warmup_ticks as usize];
+    samples.extend(vec![Watts::zero(); outage_ticks as usize]);
+    let trace = PowerTrace::new(samples, base.tick);
+    let mix = [Archetype::WebSearch, Archetype::MediaStreaming];
+
+    let mut batch = Vec::with_capacity(PolicyKind::ALL.len() * 2);
+    for &policy in &PolicyKind::ALL {
+        let full = Scenario::from_ticks(
+            format!("outage/{}/full", policy.name()),
+            base.clone().with_policy(policy),
+            &mix,
+            warmup_ticks + outage_ticks,
+            seed,
+        )
+        .with_mode(PowerMode::Solar(trace.clone()));
+        let warmup = full
+            .clone()
+            .relabeled(format!("outage/{}/warmup", policy.name()))
+            .with_ticks(warmup_ticks);
+        batch.push(full);
+        batch.push(warmup);
+    }
+    batch
+}
+
 /// Simulates a total feed outage of `outage_minutes`, preceded by
 /// `warmup_minutes` of normal budgeted operation, for every scheme.
 #[must_use]
@@ -34,38 +74,38 @@ pub fn outage_ride_through(
     outage_minutes: f64,
     seed: u64,
 ) -> Vec<OutagePoint> {
-    let warmup_ticks = (warmup_minutes * 60.0).round() as usize;
-    let outage_ticks = (outage_minutes * 60.0).round() as usize;
-    let mut samples = vec![base.budget; warmup_ticks];
-    samples.extend(vec![Watts::zero(); outage_ticks]);
-    let trace = PowerTrace::new(samples, base.tick);
-    let mix = [Archetype::WebSearch, Archetype::MediaStreaming];
+    outage_ride_through_with(&SerialRunner, base, warmup_minutes, outage_minutes, seed)
+}
 
+/// [`outage_ride_through`] executed by an arbitrary [`ScenarioRunner`].
+#[must_use]
+pub fn outage_ride_through_with(
+    runner: &dyn ScenarioRunner,
+    base: &SimConfig,
+    warmup_minutes: f64,
+    outage_minutes: f64,
+    seed: u64,
+) -> Vec<OutagePoint> {
+    let warmup_ticks = (warmup_minutes * 60.0).round() as u64;
+    let dt = base.tick.get();
+    let warmup_end = Seconds::new(warmup_ticks as f64 * dt);
+    let batch = outage_scenarios(base, warmup_minutes, outage_minutes, seed);
+    let mut reports = runner.run_batch(&batch).into_iter();
     PolicyKind::ALL
         .iter()
         .map(|&policy| {
-            let config = base.clone().with_policy(policy);
-            let mut sim =
-                Simulation::new(config, &mix, seed).with_mode(PowerMode::Solar(trace.clone()));
-            let before = sim.run_ticks(warmup_ticks as u64);
-            let warmup_downtime = before.server_downtime;
-            // Track the first shed during the outage.
-            let mut survival = Seconds::new(outage_minutes * 60.0);
-            let mut first_shed: Option<u64> = None;
-            let shed_before = before.shed_events;
-            for t in 0..outage_ticks as u64 {
-                sim.step();
-                if first_shed.is_none() && sim.snapshot().shed_events > shed_before {
-                    first_shed = Some(t);
-                }
-            }
-            if let Some(t) = first_shed {
-                survival = Seconds::new(t as f64);
-            }
-            let report = sim.snapshot();
+            let full = reports.next().expect("full-run report");
+            let warmup = reports.next().expect("warmup-run report");
+            // Survival is the outage tick of the first shed at or past
+            // the cut, in the original tick-count-as-seconds units.
+            let survival = full
+                .first_shed_at_or_after(warmup_end)
+                .map_or(Seconds::new(outage_minutes * 60.0), |at| {
+                    Seconds::new(((at.get() / dt).round() - warmup_ticks as f64).max(0.0))
+                });
             OutagePoint {
                 policy,
-                downtime: report.server_downtime - warmup_downtime,
+                downtime: full.server_downtime - warmup.server_downtime,
                 survival,
             }
         })

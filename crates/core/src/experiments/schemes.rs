@@ -8,6 +8,7 @@
 use crate::config::SimConfig;
 use crate::metrics::SimReport;
 use crate::policy::PolicyKind;
+use crate::scenario::{Scenario, ScenarioRunner, SerialRunner};
 use crate::sim::{PowerMode, Simulation};
 use heb_units::{Ratio, Seconds, Watts};
 use heb_workload::{Archetype, PeakClass, PowerTrace, SolarTraceBuilder};
@@ -150,6 +151,96 @@ pub fn run_scheme(
     sim.run_for_hours(hours)
 }
 
+/// The mixed rack the solar (REU) run uses.
+const SOLAR_MIX: [Archetype; 6] = [
+    Archetype::WebSearch,
+    Archetype::Terasort,
+    Archetype::PageRank,
+    Archetype::Dfsioe,
+    Archetype::MediaStreaming,
+    Archetype::Hivebench,
+];
+
+/// Scenarios per scheme in the Figure 12 batch: the eight workload
+/// runs plus the solar run.
+const SCENARIOS_PER_SCHEME: usize = Archetype::ALL.len() + 1;
+
+/// The Figure 12 sweep as a scenario batch: for every scheme, eight
+/// workload runs plus the solar REU run, in [`PolicyKind::ALL`] ×
+/// [`Archetype::ALL`] order. Feed the batch to any
+/// [`ScenarioRunner`] and assemble with
+/// [`scheme_comparison_assemble`].
+#[must_use]
+pub fn scheme_comparison_scenarios(
+    base: &SimConfig,
+    hours_per_workload: f64,
+    solar_hours: f64,
+    seed: u64,
+) -> Vec<Scenario> {
+    let mut batch = Vec::with_capacity(PolicyKind::ALL.len() * SCENARIOS_PER_SCHEME);
+    for &policy in &PolicyKind::ALL {
+        for &workload in &Archetype::ALL {
+            batch.push(Scenario::new(
+                format!("schemes/{}/{}", policy.name(), workload.abbreviation()),
+                base.clone().with_policy(policy),
+                &[workload],
+                hours_per_workload,
+                seed,
+            ));
+        }
+        // Mixed rack under solar power for the REU comparison. The
+        // rack ran from the buffers overnight: start the solar day
+        // with nearly drained pools, as the prototype would.
+        batch.push(
+            Scenario::new(
+                format!("schemes/{}/solar", policy.name()),
+                base.clone().with_policy(policy),
+                &SOLAR_MIX,
+                solar_hours,
+                seed,
+            )
+            .with_mode(PowerMode::Solar(sunrise_aligned_solar(seed)))
+            .with_initial_soc(heb_units::Ratio::new_clamped(0.15)),
+        );
+    }
+    batch
+}
+
+/// Pairs the reports of a [`scheme_comparison_scenarios`] batch back
+/// into per-scheme results.
+///
+/// # Panics
+///
+/// Panics if `reports` does not have one entry per scenario of the
+/// batch shape.
+#[must_use]
+pub fn scheme_comparison_assemble(base: &SimConfig, reports: Vec<SimReport>) -> Vec<SchemeResult> {
+    assert_eq!(
+        reports.len(),
+        PolicyKind::ALL.len() * SCENARIOS_PER_SCHEME,
+        "report count must match the scheme batch shape"
+    );
+    let mut out = Vec::with_capacity(PolicyKind::ALL.len());
+    let mut reports = reports.into_iter();
+    for &policy in &PolicyKind::ALL {
+        let per_workload = Archetype::ALL
+            .iter()
+            .map(|&workload| WorkloadGroupResult {
+                workload,
+                report: reports.next().expect("workload report"),
+            })
+            .collect();
+        let solar = reports.next().expect("solar report");
+        out.push(SchemeResult {
+            policy,
+            per_workload,
+            solar,
+            servers: base.servers,
+        });
+    }
+    out
+}
+
 /// The full Figure 12 sweep: every scheme × every workload for
 /// `hours_per_workload`, plus a `solar_hours` renewable run on a mixed
 /// rack.
@@ -160,40 +251,22 @@ pub fn scheme_comparison(
     solar_hours: f64,
     seed: u64,
 ) -> Vec<SchemeResult> {
-    PolicyKind::ALL
-        .iter()
-        .map(|&policy| {
-            let per_workload = Archetype::ALL
-                .iter()
-                .map(|&workload| WorkloadGroupResult {
-                    workload,
-                    report: run_scheme(base, policy, workload, hours_per_workload, seed),
-                })
-                .collect();
-            // Mixed rack under solar power for the REU comparison.
-            let config = base.clone().with_policy(policy);
-            let mix = [
-                Archetype::WebSearch,
-                Archetype::Terasort,
-                Archetype::PageRank,
-                Archetype::Dfsioe,
-                Archetype::MediaStreaming,
-                Archetype::Hivebench,
-            ];
-            let mut sim = Simulation::new(config, &mix, seed)
-                .with_mode(PowerMode::Solar(sunrise_aligned_solar(seed)));
-            // The rack ran from the buffers overnight: start the solar
-            // day with nearly drained pools, as the prototype would.
-            sim.set_buffer_soc(heb_units::Ratio::new_clamped(0.15));
-            let solar = sim.run_for_hours(solar_hours);
-            SchemeResult {
-                policy,
-                per_workload,
-                solar,
-                servers: base.servers,
-            }
-        })
-        .collect()
+    scheme_comparison_with(&SerialRunner, base, hours_per_workload, solar_hours, seed)
+}
+
+/// [`scheme_comparison`] executed by an arbitrary [`ScenarioRunner`] —
+/// the fleet engine parallelises and caches the batch, and the result
+/// is bit-identical to the serial sweep.
+#[must_use]
+pub fn scheme_comparison_with(
+    runner: &dyn ScenarioRunner,
+    base: &SimConfig,
+    hours_per_workload: f64,
+    solar_hours: f64,
+    seed: u64,
+) -> Vec<SchemeResult> {
+    let batch = scheme_comparison_scenarios(base, hours_per_workload, solar_hours, seed);
+    scheme_comparison_assemble(base, runner.run_batch(&batch))
 }
 
 #[cfg(test)]

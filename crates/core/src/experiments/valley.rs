@@ -13,7 +13,8 @@
 
 use crate::config::SimConfig;
 use crate::policy::PolicyKind;
-use crate::sim::{PowerMode, Simulation};
+use crate::scenario::{Scenario, ScenarioRunner, SerialRunner};
+use crate::sim::PowerMode;
 use heb_units::{Ratio, Watts};
 use heb_workload::{Archetype, PowerTrace};
 
@@ -28,17 +29,15 @@ pub struct ValleyPoint {
     pub absorbed_wh: f64,
 }
 
-/// Runs the deep-valley absorption test for every scheme: buffers start
-/// drained (15 % SoC), the rack runs a steady low-noise workload, and
-/// generation holds `surplus` above the configured budget for
-/// `minutes`.
+/// The deep-valley test as a scenario batch: one scenario per scheme,
+/// in [`PolicyKind::ALL`] order.
 #[must_use]
-pub fn deep_valley_absorption(
+pub fn valley_scenarios(
     base: &SimConfig,
     surplus: Watts,
     minutes: f64,
     seed: u64,
-) -> Vec<ValleyPoint> {
+) -> Vec<Scenario> {
     let ticks = (minutes * 60.0).round() as usize;
     // Generation sits `surplus` above the nominal budget; the steady
     // MediaStreaming rack draws just under the budget, so essentially
@@ -48,16 +47,51 @@ pub fn deep_valley_absorption(
     PolicyKind::ALL
         .iter()
         .map(|&policy| {
-            let config = base.clone().with_policy(policy);
-            let mut sim = Simulation::new(config, &[Archetype::MediaStreaming], seed)
-                .with_mode(PowerMode::Solar(trace.clone()));
-            sim.set_buffer_soc(Ratio::new_clamped(0.05));
-            let report = sim.run_ticks(ticks as u64);
-            ValleyPoint {
-                policy,
-                reu: report.reu(),
-                absorbed_wh: report.charge_stored.as_watt_hours().get(),
-            }
+            Scenario::from_ticks(
+                format!("valley/{}", policy.name()),
+                base.clone().with_policy(policy),
+                &[Archetype::MediaStreaming],
+                ticks as u64,
+                seed,
+            )
+            .with_mode(PowerMode::Solar(trace.clone()))
+            .with_initial_soc(Ratio::new_clamped(0.05))
+        })
+        .collect()
+}
+
+/// Runs the deep-valley absorption test for every scheme: buffers start
+/// drained (5 % SoC), the rack runs a steady low-noise workload, and
+/// generation holds `surplus` above the configured budget for
+/// `minutes`.
+#[must_use]
+pub fn deep_valley_absorption(
+    base: &SimConfig,
+    surplus: Watts,
+    minutes: f64,
+    seed: u64,
+) -> Vec<ValleyPoint> {
+    deep_valley_absorption_with(&SerialRunner, base, surplus, minutes, seed)
+}
+
+/// [`deep_valley_absorption`] executed by an arbitrary
+/// [`ScenarioRunner`].
+#[must_use]
+pub fn deep_valley_absorption_with(
+    runner: &dyn ScenarioRunner,
+    base: &SimConfig,
+    surplus: Watts,
+    minutes: f64,
+    seed: u64,
+) -> Vec<ValleyPoint> {
+    let batch = valley_scenarios(base, surplus, minutes, seed);
+    PolicyKind::ALL
+        .iter()
+        .zip(runner.run_batch(&batch))
+        .map(|(&policy, report)| ValleyPoint {
+            policy,
+            reu: report.reu(),
+            absorbed_wh: report.charge_stored.as_watt_hours().get(),
         })
         .collect()
 }

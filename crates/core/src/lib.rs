@@ -25,9 +25,14 @@
 //! * [`SimReport`] — the paper's four metrics: energy efficiency,
 //!   server downtime, battery lifetime, and renewable-energy
 //!   utilisation;
+//! * [`Scenario`] — a content-addressed, self-contained run
+//!   description (config + workloads + mode + faults + horizon + seed)
+//!   with a stable 128-bit hash, executed serially by [`SerialRunner`]
+//!   or in parallel (with result caching) by the `heb-fleet` engine;
 //! * [`experiments`] — ready-made drivers for every figure of the
 //!   evaluation (used by the `heb-bench` binaries, the examples, and
-//!   the integration tests).
+//!   the integration tests); each sweep exposes a scenario-batch
+//!   builder so the fleet engine can run it.
 //!
 //! # Examples
 //!
@@ -54,6 +59,7 @@ mod faults;
 mod metrics;
 mod pat;
 mod policy;
+mod scenario;
 mod sim;
 
 pub use buffers::HybridBuffers;
@@ -67,4 +73,5 @@ pub use faults::{
 pub use metrics::SimReport;
 pub use pat::{PatEntry, PatKey, PowerAllocationTable};
 pub use policy::{ChargePriority, DischargePriority, PeakSize, PolicyKind};
+pub use scenario::{ticks_for, ContentHasher, Scenario, ScenarioRunner, SerialRunner};
 pub use sim::{PowerMode, Simulation, SlotRecord};

@@ -1,0 +1,588 @@
+//! Scenarios: self-contained, content-addressed simulation runs.
+//!
+//! A [`Scenario`] captures *everything* a [`Simulation`] run depends on
+//! — the [`SimConfig`], the workload mix, the power mode (utility
+//! budget or a solar trace), the fault schedule, the initial buffer
+//! state of charge, the horizon in ticks, and the RNG seed — so that
+//! the run is a pure function of the scenario. That purity is what the
+//! fleet engine (`heb-fleet`) builds on:
+//!
+//! * **determinism** — the same scenario yields a bit-identical
+//!   [`SimReport`] no matter which worker thread executes it or in
+//!   which order the batch is scheduled;
+//! * **content addressing** — [`Scenario::content_hash`] folds every
+//!   semantic field (but *not* the cosmetic label) into a stable
+//!   128-bit FNV-1a digest, giving an on-disk cache key that changes
+//!   exactly when the result could;
+//! * **batching** — experiment drivers build `Vec<Scenario>` and hand
+//!   them to any [`ScenarioRunner`]; the bundled [`SerialRunner`] runs
+//!   them inline, while `heb_fleet::FleetEngine` runs them on a worker
+//!   pool with a result cache.
+
+use crate::config::SimConfig;
+use crate::errors::SimError;
+use crate::faults::{FaultKind, FaultSchedule};
+use crate::metrics::SimReport;
+use crate::sim::{PowerMode, Simulation};
+use heb_powersys::DeliveryPath;
+use heb_units::Ratio;
+use heb_workload::Archetype;
+
+/// Streaming FNV-1a hasher over 128 bits — stable across runs,
+/// platforms, and Rust versions (unlike `std::hash`, which is seeded
+/// per process). Used to derive scenario cache keys.
+#[derive(Debug, Clone)]
+pub struct ContentHasher {
+    state: u128,
+}
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+impl ContentHasher {
+    /// A fresh hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Folds one byte into the digest.
+    pub fn write_byte(&mut self, byte: u8) {
+        self.state ^= u128::from(byte);
+        self.state = self.state.wrapping_mul(FNV128_PRIME);
+    }
+
+    /// Folds a byte slice into the digest.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_byte(b);
+        }
+    }
+
+    /// Folds a `u64` (little-endian) into the digest.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Folds a `usize` into the digest (widened to `u64` so 32- and
+    /// 64-bit builds agree).
+    pub fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    /// Folds an `f64` into the digest *by bit pattern*, so that any
+    /// representable change — however small — changes the hash.
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// Folds a boolean into the digest.
+    pub fn write_bool(&mut self, value: bool) {
+        self.write_byte(u8::from(value));
+    }
+
+    /// Folds a length-prefixed string into the digest (the prefix keeps
+    /// `"ab" + "c"` distinct from `"a" + "bc"`).
+    pub fn write_str(&mut self, value: &str) {
+        self.write_usize(value.len());
+        self.write_bytes(value.as_bytes());
+    }
+
+    /// The 128-bit digest.
+    #[must_use]
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A complete, self-contained simulation run: configuration, workload
+/// mix, power mode, faults, initial state, horizon, and seed.
+///
+/// # Examples
+///
+/// ```
+/// use heb_core::{Scenario, SimConfig};
+/// use heb_workload::Archetype;
+///
+/// let s = Scenario::new(
+///     "quick/ws",
+///     SimConfig::prototype(),
+///     &[Archetype::WebSearch],
+///     0.1,
+///     7,
+/// );
+/// let report = s.run().unwrap();
+/// assert!(report.sim_time.as_hours() > 0.09);
+/// // Same scenario, same hash; the label is cosmetic.
+/// assert_eq!(
+///     s.content_hash(),
+///     s.clone().relabeled("other").content_hash()
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    label: String,
+    config: SimConfig,
+    workloads: Vec<Archetype>,
+    mode: PowerMode,
+    faults: Option<FaultSchedule>,
+    initial_soc: Option<Ratio>,
+    ticks: u64,
+    seed: u64,
+}
+
+impl Scenario {
+    /// A utility-mode scenario spanning `hours` of simulated time. The
+    /// tick count is derived exactly as
+    /// [`Simulation::run_for_hours`] derives it, so scenario runs and
+    /// direct runs agree to the bit.
+    #[must_use]
+    pub fn new(
+        label: impl Into<String>,
+        config: SimConfig,
+        workloads: &[Archetype],
+        hours: f64,
+        seed: u64,
+    ) -> Self {
+        let ticks = ticks_for(&config, hours);
+        Self::from_ticks(label, config, workloads, ticks, seed)
+    }
+
+    /// A utility-mode scenario spanning an explicit number of metering
+    /// ticks.
+    #[must_use]
+    pub fn from_ticks(
+        label: impl Into<String>,
+        config: SimConfig,
+        workloads: &[Archetype],
+        ticks: u64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            config,
+            workloads: workloads.to_vec(),
+            mode: PowerMode::Utility,
+            faults: None,
+            initial_soc: None,
+            ticks,
+            seed,
+        }
+    }
+
+    /// Replaces the power mode (chainable).
+    #[must_use]
+    pub fn with_mode(mut self, mode: PowerMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Installs a fault schedule (chainable).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Presets both buffer pools to `soc` before the run (chainable).
+    #[must_use]
+    pub fn with_initial_soc(mut self, soc: Ratio) -> Self {
+        self.initial_soc = Some(soc);
+        self
+    }
+
+    /// Replaces the seed (chainable) — the Monte-Carlo replication
+    /// knob.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the horizon in ticks (chainable).
+    #[must_use]
+    pub fn with_ticks(mut self, ticks: u64) -> Self {
+        self.ticks = ticks;
+        self
+    }
+
+    /// Replaces the display label (chainable). Labels are cosmetic:
+    /// they do **not** contribute to [`Scenario::content_hash`].
+    #[must_use]
+    pub fn relabeled(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The display label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The workload mix.
+    #[must_use]
+    pub fn workloads(&self) -> &[Archetype] {
+        &self.workloads
+    }
+
+    /// The power mode.
+    #[must_use]
+    pub fn mode(&self) -> &PowerMode {
+        &self.mode
+    }
+
+    /// The fault schedule, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<&FaultSchedule> {
+        self.faults.as_ref()
+    }
+
+    /// The preset initial state of charge, if any.
+    #[must_use]
+    pub fn initial_soc(&self) -> Option<Ratio> {
+        self.initial_soc
+    }
+
+    /// The horizon in metering ticks.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The RNG seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The stable 128-bit content digest over every semantic field.
+    ///
+    /// Two scenarios share a hash exactly when they would produce the
+    /// same [`SimReport`]: the digest folds in the config (including
+    /// the topology's converter chains), the workload mix, the power
+    /// mode (with every trace sample, bit-exact), the fault schedule,
+    /// the initial SoC, the horizon, and the seed. The label is
+    /// excluded — it is presentation, not physics.
+    #[must_use]
+    pub fn content_hash(&self) -> u128 {
+        let mut h = ContentHasher::new();
+        h.write_str("heb-scenario v1");
+        hash_config(&mut h, &self.config);
+        h.write_usize(self.workloads.len());
+        for w in &self.workloads {
+            h.write_str(w.abbreviation());
+        }
+        match &self.mode {
+            PowerMode::Utility => h.write_str("utility"),
+            PowerMode::Solar(trace) => {
+                h.write_str("solar");
+                h.write_f64(trace.dt().get());
+                h.write_usize(trace.len());
+                for sample in trace.samples() {
+                    h.write_f64(sample.get());
+                }
+            }
+        }
+        match &self.faults {
+            None => h.write_bool(false),
+            Some(schedule) => {
+                h.write_bool(true);
+                h.write_usize(schedule.len());
+                for event in schedule.events() {
+                    h.write_f64(event.at.get());
+                    match event.duration {
+                        None => h.write_bool(false),
+                        Some(d) => {
+                            h.write_bool(true);
+                            h.write_f64(d.get());
+                        }
+                    }
+                    hash_fault_kind(&mut h, &event.kind);
+                }
+            }
+        }
+        match self.initial_soc {
+            None => h.write_bool(false),
+            Some(soc) => {
+                h.write_bool(true);
+                h.write_f64(soc.get());
+            }
+        }
+        h.write_u64(self.ticks);
+        h.write_u64(self.seed);
+        h.finish()
+    }
+
+    /// The content hash as a 32-character lowercase hex string — the
+    /// cache file stem.
+    #[must_use]
+    pub fn hash_hex(&self) -> String {
+        format!("{:032x}", self.content_hash())
+    }
+
+    /// Builds the simulation (mode, faults, and initial SoC applied)
+    /// without running it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] for an invalid config, an empty workload
+    /// mix, or an empty solar trace.
+    pub fn build(&self) -> Result<Simulation, SimError> {
+        let mut sim = Simulation::try_new(self.config.clone(), &self.workloads, self.seed)?
+            .try_with_mode(self.mode.clone())?;
+        if let Some(schedule) = &self.faults {
+            sim = sim.with_faults(schedule.clone());
+        }
+        if let Some(soc) = self.initial_soc {
+            sim.set_buffer_soc(soc);
+        }
+        Ok(sim)
+    }
+
+    /// Runs the scenario to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when [`Scenario::build`] does.
+    pub fn run(&self) -> Result<SimReport, SimError> {
+        Ok(self.build()?.run_ticks(self.ticks))
+    }
+
+    /// Runs the scenario, panicking with the scenario label on error —
+    /// the behaviour experiment drivers had when they called
+    /// [`Simulation::new`] directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario cannot be built; the message names the
+    /// scenario and the underlying [`SimError`].
+    #[must_use]
+    pub fn run_expect(&self) -> SimReport {
+        self.run()
+            .unwrap_or_else(|err| panic!("scenario {:?}: {err}", self.label))
+    }
+}
+
+/// Ticks covered by `hours` under `config` — the exact rounding
+/// [`Simulation::run_for_hours`] applies.
+#[must_use]
+pub fn ticks_for(config: &SimConfig, hours: f64) -> u64 {
+    (hours * 3600.0 / config.tick.get()).round() as u64
+}
+
+fn hash_config(h: &mut ContentHasher, config: &SimConfig) {
+    h.write_usize(config.servers);
+    h.write_f64(config.budget.get());
+    h.write_f64(config.total_capacity.get());
+    h.write_f64(config.sc_fraction.get());
+    h.write_f64(config.dod_limit.get());
+    h.write_f64(config.slot_length.get());
+    h.write_f64(config.tick.get());
+    h.write_str(config.policy.name());
+    h.write_f64(config.small_peak_threshold.get());
+    h.write_f64(config.delta_r.get());
+    h.write_f64(config.pat_energy_bucket.get());
+    h.write_f64(config.pat_power_bucket.get());
+    h.write_usize(config.forecast_period);
+    h.write_str(config.topology.name());
+    for path in [
+        DeliveryPath::UtilityToLoad,
+        DeliveryPath::BufferToLoad,
+        DeliveryPath::SourceToBuffer,
+    ] {
+        let chain = config.topology.chain(path);
+        h.write_usize(chain.stages().len());
+        for stage in chain.stages() {
+            h.write_str(stage.label());
+            h.write_f64(stage.efficiency().get());
+        }
+    }
+    h.write_f64(config.metering_noise);
+    h.write_usize(config.battery_strings);
+}
+
+fn hash_fault_kind(h: &mut ContentHasher, kind: &FaultKind) {
+    h.write_str(kind.name());
+    match kind {
+        FaultKind::UtilityBrownout { derate } => h.write_f64(derate.get()),
+        FaultKind::BatteryStringFailure { index } | FaultKind::ScModuleFailure { index } => {
+            h.write_usize(*index);
+        }
+        FaultKind::BatteryDegradation {
+            capacity_fade,
+            resistance_growth,
+        } => {
+            h.write_f64(capacity_fade.get());
+            h.write_f64(*resistance_growth);
+        }
+        FaultKind::RelayStuckOpen { server } => h.write_usize(*server),
+        FaultKind::MeterSpike { factor } => h.write_f64(*factor),
+        FaultKind::UtilityBlackout
+        | FaultKind::SolarDropout
+        | FaultKind::MeterDropout
+        | FaultKind::MeterFreeze => {}
+    }
+}
+
+/// Anything that can execute a scenario batch and return one report per
+/// scenario, **in scenario order**.
+///
+/// The determinism contract every implementation must honour: the
+/// returned reports are bit-identical to
+/// `batch.iter().map(Scenario::run_expect)`, regardless of worker
+/// count, scheduling, or caching.
+pub trait ScenarioRunner: Sync {
+    /// Executes the batch, returning reports ordered by scenario index.
+    fn run_batch(&self, batch: &[Scenario]) -> Vec<SimReport>;
+}
+
+/// The reference implementation: runs every scenario inline, in order.
+/// The parallel engine is verified against this.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialRunner;
+
+impl ScenarioRunner for SerialRunner {
+    fn run_batch(&self, batch: &[Scenario]) -> Vec<SimReport> {
+        batch.iter().map(Scenario::run_expect).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use heb_units::{Seconds, Watts};
+    use heb_workload::PowerTrace;
+
+    fn base() -> Scenario {
+        Scenario::new(
+            "t/base",
+            SimConfig::prototype(),
+            &[Archetype::WebSearch, Archetype::Terasort],
+            0.2,
+            11,
+        )
+    }
+
+    #[test]
+    fn hash_is_stable_and_label_blind() {
+        let a = base();
+        assert_eq!(a.content_hash(), base().content_hash());
+        assert_eq!(a.content_hash(), a.clone().relabeled("x").content_hash());
+        assert_eq!(a.hash_hex().len(), 32);
+    }
+
+    #[test]
+    fn every_semantic_field_moves_the_hash() {
+        let a = base();
+        let h = a.content_hash();
+        assert_ne!(a.clone().with_seed(12).content_hash(), h);
+        assert_ne!(a.clone().with_ticks(721).content_hash(), h);
+        assert_ne!(
+            a.clone()
+                .with_initial_soc(Ratio::new_clamped(0.5))
+                .content_hash(),
+            h
+        );
+        assert_ne!(
+            a.clone()
+                .with_faults(FaultSchedule::parse("blackout@60~30").unwrap())
+                .content_hash(),
+            h
+        );
+        let trace = PowerTrace::new(vec![Watts::new(260.0); 10], Seconds::new(1.0));
+        assert_ne!(
+            a.clone().with_mode(PowerMode::Solar(trace)).content_hash(),
+            h
+        );
+        let cfg = SimConfig::prototype().with_budget(Watts::new(259.0));
+        assert_ne!(
+            Scenario::new(
+                "t/base",
+                cfg,
+                &[Archetype::WebSearch, Archetype::Terasort],
+                0.2,
+                11
+            )
+            .content_hash(),
+            h
+        );
+        let cfg = SimConfig::prototype().with_policy(PolicyKind::ScFirst);
+        assert_ne!(
+            Scenario::new(
+                "t/base",
+                cfg,
+                &[Archetype::WebSearch, Archetype::Terasort],
+                0.2,
+                11
+            )
+            .content_hash(),
+            h
+        );
+    }
+
+    #[test]
+    fn trace_samples_are_hashed_bit_exactly() {
+        let mk = |level: f64| {
+            base().with_mode(PowerMode::Solar(PowerTrace::new(
+                vec![Watts::new(level); 60],
+                Seconds::new(1.0),
+            )))
+        };
+        assert_eq!(mk(260.0).content_hash(), mk(260.0).content_hash());
+        assert_ne!(
+            mk(260.0).content_hash(),
+            mk(260.0 + f64::EPSILON * 260.0).content_hash()
+        );
+    }
+
+    #[test]
+    fn scenario_run_matches_direct_simulation() {
+        let report = base().run().unwrap();
+        let mut sim = Simulation::new(
+            SimConfig::prototype(),
+            &[Archetype::WebSearch, Archetype::Terasort],
+            11,
+        );
+        let direct = sim.run_for_hours(0.2);
+        assert_eq!(report, direct);
+    }
+
+    #[test]
+    fn serial_runner_preserves_order() {
+        let batch = vec![
+            base(),
+            base().with_seed(3).relabeled("t/3"),
+            base().with_seed(4).relabeled("t/4"),
+        ];
+        let reports = SerialRunner.run_batch(&batch);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0], batch[0].run().unwrap());
+        assert_eq!(reports[1], batch[1].run().unwrap());
+        assert_eq!(reports[2], batch[2].run().unwrap());
+    }
+
+    #[test]
+    fn invalid_scenarios_report_errors() {
+        let s = Scenario::new("t/empty", SimConfig::prototype(), &[], 0.1, 0);
+        assert_eq!(s.run().err(), Some(SimError::NoWorkloads));
+        let empty = PowerTrace::new(Vec::new(), Seconds::new(1.0));
+        let s = base().with_mode(PowerMode::Solar(empty));
+        assert_eq!(s.run().err(), Some(SimError::EmptySolarTrace));
+    }
+}

@@ -362,6 +362,7 @@ impl Simulation {
             PowerMode::Solar(_) => !self.injector.solar_online(),
         };
         let unserved_before = self.report.unserved_energy;
+        let shed_events_before = self.report.shed_events;
 
         // Drive workloads.
         for (server, generator) in self
@@ -487,6 +488,13 @@ impl Simulation {
         }
         if !activity.ba {
             self.buffers.ba_pool_mut().idle(dt);
+        }
+
+        // Timestamp every shedding event this tick triggered, so
+        // post-hoc analyses (outage survival, storm forensics) can
+        // locate sheds without re-running the simulation.
+        for _ in shed_events_before..self.report.shed_events {
+            self.report.shed_times.push(now);
         }
 
         // Servers consume; downtime accrues inside the cluster.

@@ -1,0 +1,144 @@
+//! Aggregation across seed-replicated scenarios.
+//!
+//! A single simulation run is one draw from the workload/cloud RNG;
+//! fleet-scale conclusions want the distribution. [`replicate`] clones
+//! a scenario across consecutive seeds and [`MetricSummary`]
+//! summarises any per-report metric over the replica set with the
+//! usual fleet statistics (mean, median, tail, extremes).
+
+use heb_core::{Scenario, SimReport};
+
+/// Clones `scenario` across `replicas` consecutive seeds (starting at
+/// the scenario's own seed), relabelling each replica with an `@s<n>`
+/// suffix. Each replica hashes differently, so the result cache keeps
+/// all of them.
+#[must_use]
+pub fn replicate(scenario: &Scenario, replicas: u64) -> Vec<Scenario> {
+    let base_seed = scenario.seed();
+    (0..replicas.max(1))
+        .map(|i| {
+            let seed = base_seed.wrapping_add(i);
+            scenario
+                .clone()
+                .with_seed(seed)
+                .relabeled(format!("{}@s{seed}", scenario.label()))
+        })
+        .collect()
+}
+
+/// Distribution summary of one metric across a replica set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    /// Number of samples summarised.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl MetricSummary {
+    /// Summarises raw samples; `None` when `values` is empty.
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let nearest_rank = |p: f64| {
+            let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Some(Self {
+            n: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: nearest_rank(50.0),
+            p95: nearest_rank(95.0),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+        })
+    }
+
+    /// Summarises `metric` evaluated on every report; `None` when
+    /// `reports` is empty.
+    #[must_use]
+    pub fn over_reports(reports: &[SimReport], metric: impl Fn(&SimReport) -> f64) -> Option<Self> {
+        let values: Vec<f64> = reports.iter().map(metric).collect();
+        Self::from_values(&values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heb_core::SimConfig;
+    use heb_workload::Archetype;
+
+    #[test]
+    fn replicas_differ_only_by_seed() {
+        let base = Scenario::new(
+            "agg-test",
+            SimConfig::prototype(),
+            &[Archetype::WebSearch],
+            0.1,
+            100,
+        );
+        let replicas = replicate(&base, 4);
+        assert_eq!(replicas.len(), 4);
+        assert_eq!(replicas[0].seed(), 100);
+        assert_eq!(replicas[3].seed(), 103);
+        assert_eq!(replicas[2].label(), "agg-test@s102");
+        let mut hashes: Vec<u128> = replicas.iter().map(Scenario::content_hash).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 4, "each replica must hash uniquely");
+        // Same seed as the base → same hash (labels are cosmetic).
+        assert_eq!(replicas[0].content_hash(), base.content_hash());
+    }
+
+    #[test]
+    fn zero_replicas_clamps_to_one() {
+        let base = Scenario::new(
+            "agg-test",
+            SimConfig::prototype(),
+            &[Archetype::WebSearch],
+            0.1,
+            5,
+        );
+        assert_eq!(replicate(&base, 0).len(), 1);
+    }
+
+    #[test]
+    fn summary_statistics_nearest_rank() {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = MetricSummary::from_values(&values).unwrap();
+        assert_eq!(s.n, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn summary_of_nothing_is_none() {
+        assert!(MetricSummary::from_values(&[]).is_none());
+        assert!(MetricSummary::over_reports(&[], |r| r.server_downtime.get()).is_none());
+    }
+
+    #[test]
+    fn single_sample_summary_is_degenerate() {
+        let s = MetricSummary::from_values(&[3.5]).unwrap();
+        assert_eq!(
+            (s.mean, s.p50, s.p95, s.min, s.max),
+            (3.5, 3.5, 3.5, 3.5, 3.5)
+        );
+    }
+}

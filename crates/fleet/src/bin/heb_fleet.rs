@@ -1,0 +1,264 @@
+//! Fleet batch driver: runs every scenario-ised experiment of the
+//! evaluation through the parallel engine and the result cache.
+//!
+//! ```text
+//! heb_fleet [--jobs N] [--no-cache] [--cache-dir DIR] [--filter NAME]
+//!           [--hours H] [--seed S] [--replicate R] [--verbose] [--list]
+//! ```
+//!
+//! The second invocation with a warm cache performs zero simulations;
+//! `--jobs N` is bit-identical to `--jobs 1` at any worker count.
+
+use std::time::Instant;
+
+use heb_core::experiments::{
+    architecture_scenarios, capacity_growth_scenarios, capacity_ratio_scenarios,
+    deployment_scenarios, fault_sweep_scenarios, outage_scenarios, scheme_comparison_scenarios,
+    valley_scenarios,
+};
+use heb_core::{Scenario, SimConfig};
+use heb_fleet::{replicate, FleetEngine, MetricSummary, ResultCache};
+use heb_units::Watts;
+
+/// One registered experiment: a name and its batch builder.
+struct Experiment {
+    name: &'static str,
+    what: &'static str,
+    build: fn(&SimConfig, f64, u64) -> Vec<Scenario>,
+}
+
+/// Every scenario-ised experiment, in evaluation order.
+const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        name: "schemes",
+        what: "Figure 12: six schemes x eight workloads + solar REU",
+        build: |base, hours, seed| scheme_comparison_scenarios(base, hours, hours, seed),
+    },
+    Experiment {
+        name: "capacity-ratio",
+        what: "Figure 13: SC:battery ratio sweep at constant capacity",
+        build: |base, hours, seed| {
+            capacity_ratio_scenarios(base, &[1, 2, 3, 4, 5], hours, hours, seed)
+        },
+    },
+    Experiment {
+        name: "capacity-growth",
+        what: "Figure 14: capacity growth by DoD relaxation at 3:7",
+        build: |base, hours, seed| {
+            capacity_growth_scenarios(base, &[40, 50, 60, 70, 80], hours, hours, seed)
+        },
+    },
+    Experiment {
+        name: "architecture",
+        what: "Figure 7: four delivery architectures",
+        build: architecture_scenarios,
+    },
+    Experiment {
+        name: "deployment",
+        what: "Figure 8: cluster-level vs rack-level deployment",
+        build: |base, hours, seed| deployment_scenarios(base, 3, hours, seed),
+    },
+    Experiment {
+        name: "valley",
+        what: "Deep-valley surplus absorption per scheme",
+        build: |base, hours, seed| {
+            valley_scenarios(base, Watts::new(230.0), (hours * 60.0).max(1.0), seed)
+        },
+    },
+    Experiment {
+        name: "faults",
+        what: "Fault-intensity sweep: shared storms x six schemes",
+        build: |base, hours, seed| fault_sweep_scenarios(base, hours, &[0.0, 1.0, 2.0, 4.0], seed),
+    },
+    Experiment {
+        name: "outage",
+        what: "Utility-outage ride-through per scheme",
+        build: |base, _hours, seed| outage_scenarios(base, 5.0, 30.0, seed),
+    },
+];
+
+/// Parsed command line.
+struct Args {
+    jobs: usize,
+    cache: bool,
+    cache_dir: String,
+    filter: Option<String>,
+    hours: f64,
+    seed: u64,
+    replicate: u64,
+    verbose: bool,
+    list: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        jobs: 1,
+        cache: true,
+        cache_dir: "results/cache".to_string(),
+        filter: None,
+        hours: 1.0,
+        seed: 42,
+        replicate: 1,
+        verbose: false,
+        list: false,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--no-cache" => args.cache = false,
+            "--cache-dir" => args.cache_dir = value("--cache-dir")?,
+            "--filter" => args.filter = Some(value("--filter")?),
+            "--hours" => {
+                args.hours = value("--hours")?
+                    .parse()
+                    .map_err(|e| format!("--hours: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--replicate" => {
+                args.replicate = value("--replicate")?
+                    .parse()
+                    .map_err(|e| format!("--replicate: {e}"))?;
+            }
+            "--verbose" => args.verbose = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: heb_fleet [--jobs N] [--no-cache] [--cache-dir DIR] \
+                     [--filter NAME] [--hours H] [--seed S] [--replicate R] \
+                     [--verbose] [--list]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if args.hours <= 0.0 {
+        return Err("--hours must be positive".to_string());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.list {
+        for exp in EXPERIMENTS {
+            println!("{:16} {}", exp.name, exp.what);
+        }
+        return;
+    }
+
+    let mut engine = FleetEngine::new(args.jobs);
+    if args.cache {
+        engine = engine.with_cache(ResultCache::new(&args.cache_dir));
+    }
+    let base = SimConfig::prototype();
+
+    let selected: Vec<&Experiment> = EXPERIMENTS
+        .iter()
+        .filter(|e| {
+            args.filter
+                .as_deref()
+                .is_none_or(|needle| e.name.contains(needle))
+        })
+        .collect();
+    if selected.is_empty() {
+        eprintln!(
+            "no experiment matches --filter {}; try --list",
+            args.filter.as_deref().unwrap_or("")
+        );
+        std::process::exit(2);
+    }
+
+    println!(
+        "heb_fleet: {} experiment(s), jobs={}, cache={}",
+        selected.len(),
+        engine.jobs(),
+        if args.cache {
+            args.cache_dir.as_str()
+        } else {
+            "off"
+        }
+    );
+
+    let mut grand_scenarios = 0;
+    let wall_start = Instant::now();
+    for exp in &selected {
+        let mut batch = (exp.build)(&base, args.hours, args.seed);
+        if args.replicate > 1 {
+            batch = batch
+                .iter()
+                .flat_map(|s| replicate(s, args.replicate))
+                .collect();
+        }
+        let before = engine.stats();
+        let start = Instant::now();
+        let reports = engine.run(&batch);
+        let elapsed = start.elapsed();
+        let after = engine.stats();
+        grand_scenarios += batch.len();
+        println!(
+            "{:16} {:4} scenario(s)  {:4} simulated  {:4} cached  {:8.2?}",
+            exp.name,
+            batch.len(),
+            after.simulated - before.simulated,
+            after.cache_hits - before.cache_hits,
+            elapsed
+        );
+        if args.verbose {
+            for (scenario, report) in batch.iter().zip(&reports) {
+                println!(
+                    "  {:40} eff {:6.4}  downtime {:8.1} s  [{}]",
+                    scenario.label(),
+                    report.energy_efficiency().get(),
+                    report.server_downtime.get(),
+                    &scenario.hash_hex()[..12],
+                );
+            }
+        }
+        if args.replicate > 1 {
+            // Per base scenario, summarise efficiency across replicas.
+            for (chunk_idx, chunk) in reports.chunks(args.replicate as usize).enumerate() {
+                let label = batch[chunk_idx * args.replicate as usize].label();
+                let base_label = label.rsplit_once("@s").map_or(label, |(l, _)| l);
+                if let Some(summary) =
+                    MetricSummary::over_reports(chunk, |r| r.energy_efficiency().get())
+                {
+                    println!(
+                        "  {:40} eff mean {:6.4}  p50 {:6.4}  p95 {:6.4}  [n={}]",
+                        base_label, summary.mean, summary.p50, summary.p95, summary.n
+                    );
+                }
+            }
+        }
+    }
+    let stats = engine.stats();
+    println!(
+        "total: {grand_scenarios} scenario(s), {} simulated, {} cache hit(s), {} written, {:.2?} wall",
+        stats.simulated,
+        stats.cache_hits,
+        stats.cache_writes,
+        wall_start.elapsed()
+    );
+}

@@ -1,0 +1,211 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Every cache entry is one [`Scenario`]'s [`SimReport`], stored under
+//! the scenario's 128-bit content hash in an engine-versioned
+//! directory:
+//!
+//! ```text
+//! <root>/v<ENGINE_VERSION>/<32-hex-digit hash>.report
+//! ```
+//!
+//! The entry embeds the scenario hash again in its header, so a file
+//! renamed or copied to the wrong key is rejected rather than replayed.
+//! Every failure mode — missing file, truncated write, corrupt header,
+//! malformed report — degrades to a cache *miss*; the engine then
+//! simulates and rewrites the entry. Writes go through a temp file and
+//! an atomic rename so a crashed run can never leave a half-written
+//! entry behind.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use heb_core::{Scenario, SimReport};
+
+/// Version of the simulation engine the cached reports were produced
+/// by. Bump whenever a change to the simulator (or the report codec)
+/// alters what a scenario's run produces: old entries then live in a
+/// different directory and are simply never consulted again.
+pub const ENGINE_VERSION: u32 = 1;
+
+/// Header line opening every cache entry.
+const MAGIC: &str = "heb-cache v1";
+
+/// Distinguishes concurrent writers of temp files within one process.
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A content-addressed store of simulation reports.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (without touching the filesystem) a cache rooted at
+    /// `root`; entries live in the engine-versioned subdirectory.
+    #[must_use]
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: root.into().join(format!("v{ENGINE_VERSION}")),
+        }
+    }
+
+    /// The engine-versioned directory entries are stored in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The path a scenario's entry lives at.
+    #[must_use]
+    pub fn entry_path(&self, scenario: &Scenario) -> PathBuf {
+        self.dir.join(format!("{}.report", scenario.hash_hex()))
+    }
+
+    /// Loads the cached report for `scenario`, or `None` on any miss
+    /// (absent, truncated, corrupt, or keyed to a different scenario).
+    #[must_use]
+    pub fn load(&self, scenario: &Scenario) -> Option<SimReport> {
+        let body = fs::read_to_string(self.entry_path(scenario)).ok()?;
+        let mut lines = body.splitn(3, '\n');
+        if lines.next()? != MAGIC {
+            return None;
+        }
+        let keyed_to = lines.next()?.strip_prefix("scenario = ")?;
+        if keyed_to != scenario.hash_hex() {
+            return None;
+        }
+        SimReport::from_record(lines.next()?).ok()
+    }
+
+    /// Stores `report` as the result of `scenario`. Best-effort: I/O
+    /// errors are reported but never corrupt an existing entry, because
+    /// the entry is written to a temp file first and renamed into
+    /// place atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error, which callers may ignore —
+    /// a failed store only costs a future re-simulation.
+    pub fn store(&self, scenario: &Scenario, report: &SimReport) -> std::io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let body = format!(
+            "{MAGIC}\nscenario = {}\n{}",
+            scenario.hash_hex(),
+            report.to_record()
+        );
+        let tmp = self.dir.join(format!(
+            "{}.tmp.{}.{}",
+            scenario.hash_hex(),
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, body)?;
+        let result = fs::rename(&tmp, self.entry_path(scenario));
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Removes `scenario`'s entry if present. Used by tests and by
+    /// `--no-cache` runs that want to invalidate a stale result.
+    pub fn evict(&self, scenario: &Scenario) {
+        let _ = fs::remove_file(self.entry_path(scenario));
+    }
+
+    /// Number of entries currently on disk (non-recursive).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "report"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the cache directory holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heb_core::SimConfig;
+    use heb_workload::Archetype;
+
+    fn temp_cache(tag: &str) -> ResultCache {
+        let root =
+            std::env::temp_dir().join(format!("heb-fleet-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        ResultCache::new(root)
+    }
+
+    fn scenario() -> Scenario {
+        Scenario::new(
+            "cache-test",
+            SimConfig::prototype(),
+            &[Archetype::WebSearch],
+            0.05,
+            7,
+        )
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let cache = temp_cache("round-trip");
+        let s = scenario();
+        assert!(cache.load(&s).is_none(), "cold cache must miss");
+        let report = s.run_expect();
+        cache.store(&s, &report).unwrap();
+        let replayed = cache.load(&s).expect("warm cache must hit");
+        assert_eq!(replayed, report);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn rejects_entry_keyed_to_a_different_scenario() {
+        let cache = temp_cache("wrong-key");
+        let s = scenario();
+        let other = s.clone().with_seed(8);
+        let report = s.run_expect();
+        cache.store(&s, &report).unwrap();
+        // Copy the entry under the other scenario's key, as a buggy
+        // sync tool might.
+        fs::copy(cache.entry_path(&s), cache.entry_path(&other)).unwrap();
+        assert!(
+            cache.load(&other).is_none(),
+            "embedded hash must reject a transplanted entry"
+        );
+    }
+
+    #[test]
+    fn corruption_degrades_to_a_miss() {
+        let cache = temp_cache("corrupt");
+        let s = scenario();
+        cache.store(&s, &s.run_expect()).unwrap();
+        let path = cache.entry_path(&s);
+        let body = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &body[..body.len() / 2]).unwrap();
+        assert!(cache.load(&s).is_none(), "truncated entry must miss");
+        fs::write(&path, "not a cache entry at all").unwrap();
+        assert!(cache.load(&s).is_none(), "garbage entry must miss");
+    }
+
+    #[test]
+    fn evict_removes_the_entry() {
+        let cache = temp_cache("evict");
+        let s = scenario();
+        cache.store(&s, &s.run_expect()).unwrap();
+        assert!(!cache.is_empty());
+        cache.evict(&s);
+        assert!(cache.load(&s).is_none());
+        assert!(cache.is_empty());
+    }
+}

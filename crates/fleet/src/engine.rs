@@ -1,0 +1,217 @@
+//! The deterministically-parallel scenario executor.
+//!
+//! Determinism argument: each [`Scenario`] is a pure function of its
+//! own fields — the simulation it builds seeds its own RNGs and shares
+//! no state with any other run — so executing scenarios on worker
+//! threads changes *when* each report is produced but not *what* it
+//! contains. Results are collected into a vector indexed by the
+//! scenario's position in the submitted batch, so the returned order
+//! is the submission order regardless of which worker finished first.
+//! `run` with any worker count is therefore bit-identical to
+//! [`heb_core::SerialRunner`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use heb_core::{Scenario, ScenarioRunner, SimReport};
+
+use crate::cache::ResultCache;
+
+/// Counters describing what one `run` call actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Scenarios simulated (cache misses plus uncached runs).
+    pub simulated: usize,
+    /// Scenarios replayed from the result cache.
+    pub cache_hits: usize,
+    /// Fresh results persisted to the cache.
+    pub cache_writes: usize,
+}
+
+/// Cumulative counters, updated atomically so workers need no lock.
+#[derive(Debug, Default)]
+struct AtomicStats {
+    simulated: AtomicUsize,
+    cache_hits: AtomicUsize,
+    cache_writes: AtomicUsize,
+}
+
+/// A fixed-width worker pool executing scenario batches, with an
+/// optional content-addressed result cache in front of the simulator.
+#[derive(Debug)]
+pub struct FleetEngine {
+    jobs: usize,
+    cache: Option<ResultCache>,
+    stats: AtomicStats,
+}
+
+impl FleetEngine {
+    /// Creates an engine running at most `jobs` scenarios concurrently
+    /// (clamped to at least one), with no cache.
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        Self {
+            jobs: jobs.max(1),
+            cache: None,
+            stats: AtomicStats::default(),
+        }
+    }
+
+    /// Attaches a result cache consulted before, and written after,
+    /// every simulation.
+    #[must_use]
+    pub fn with_cache(mut self, cache: ResultCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The attached cache, if any.
+    #[must_use]
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
+    }
+
+    /// Cumulative counters across every `run` call so far.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            simulated: self.stats.simulated.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            cache_writes: self.stats.cache_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Executes `batch`, returning one report per scenario in
+    /// submission order — bit-identical to running the batch serially.
+    ///
+    /// Cached scenarios are replayed without simulating; the rest are
+    /// spread across the worker pool and their fresh results persisted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scenario fails to build (the same panic
+    /// [`Scenario::run_expect`] raises serially) or if a worker thread
+    /// panicked, poisoning its result slot.
+    #[must_use]
+    pub fn run(&self, batch: &[Scenario]) -> Vec<SimReport> {
+        // Cache probe pass: settle every hit up front, queue the rest.
+        let mut results: Vec<Option<SimReport>> = Vec::with_capacity(batch.len());
+        let mut pending: Vec<usize> = Vec::new();
+        for (index, scenario) in batch.iter().enumerate() {
+            let hit = self.cache.as_ref().and_then(|c| c.load(scenario));
+            if hit.is_some() {
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                pending.push(index);
+            }
+            results.push(hit);
+        }
+
+        // Simulation pass: workers pull pending scenarios off a shared
+        // cursor; each result lands in the slot of its batch index, so
+        // scheduling order cannot leak into the output.
+        let slots: Vec<Mutex<Option<SimReport>>> =
+            pending.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.jobs.min(pending.len());
+        if workers > 1 {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let next = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&index) = pending.get(next) else {
+                            break;
+                        };
+                        let report = batch[index].run_expect();
+                        *slots[next].lock().expect("result slot poisoned") = Some(report);
+                    });
+                }
+            });
+        } else {
+            for (slot, &index) in slots.iter().zip(&pending) {
+                *slot.lock().expect("result slot poisoned") = Some(batch[index].run_expect());
+            }
+        }
+        self.stats
+            .simulated
+            .fetch_add(pending.len(), Ordering::Relaxed);
+
+        // Merge pass: persist fresh results and fill the output vector.
+        for (slot, &index) in slots.iter().zip(&pending) {
+            let report = slot
+                .lock()
+                .expect("result slot poisoned")
+                .take()
+                .expect("worker left a pending scenario unsimulated");
+            if let Some(cache) = &self.cache {
+                if cache.store(&batch[index], &report).is_ok() {
+                    self.stats.cache_writes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            results[index] = Some(report);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every scenario settled"))
+            .collect()
+    }
+}
+
+impl ScenarioRunner for FleetEngine {
+    fn run_batch(&self, batch: &[Scenario]) -> Vec<SimReport> {
+        self.run(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heb_core::{SerialRunner, SimConfig};
+    use heb_workload::Archetype;
+
+    fn batch() -> Vec<Scenario> {
+        Archetype::ALL
+            .iter()
+            .map(|&w| {
+                Scenario::new(
+                    format!("engine-test/{}", w.abbreviation()),
+                    SimConfig::prototype(),
+                    &[w],
+                    0.05,
+                    11,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let batch = batch();
+        let serial = SerialRunner.run_batch(&batch);
+        let engine = FleetEngine::new(4);
+        let parallel = engine.run(&batch);
+        assert_eq!(parallel, serial);
+        let stats = engine.stats();
+        assert_eq!(stats.simulated, batch.len());
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_writes, 0, "no cache attached");
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let engine = FleetEngine::new(4);
+        assert!(engine.run(&[]).is_empty());
+        assert_eq!(engine.stats(), EngineStats::default());
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(FleetEngine::new(0).jobs(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! heb-fleet — deterministically-parallel scenario engine with
+//! content-addressed result caching.
+//!
+//! The simulation core (`heb-core`) defines [`heb_core::Scenario`]: a
+//! self-contained, content-hashed description of one run. This crate
+//! supplies the machinery that makes scenario *batches* cheap:
+//!
+//! * [`FleetEngine`] — a fixed worker pool executing a batch with
+//!   results in submission order, bit-identical to serial execution at
+//!   any `--jobs` level;
+//! * [`ResultCache`] — an on-disk store keyed by scenario content hash
+//!   and engine version, so re-running an experiment whose inputs are
+//!   unchanged performs zero simulations;
+//! * [`replicate`] / [`MetricSummary`] — seed replication and
+//!   distribution summaries (mean / p50 / p95 / min / max) across the
+//!   replica set.
+//!
+//! The `heb_fleet` binary drives every scenario-ised experiment of the
+//! evaluation through this engine.
+//!
+//! # Examples
+//!
+//! ```
+//! use heb_core::{Scenario, ScenarioRunner, SimConfig};
+//! use heb_fleet::FleetEngine;
+//! use heb_workload::Archetype;
+//!
+//! let batch: Vec<Scenario> = (0..4)
+//!     .map(|seed| {
+//!         Scenario::new(
+//!             format!("demo/{seed}"),
+//!             SimConfig::prototype(),
+//!             &[Archetype::WebSearch],
+//!             0.02,
+//!             seed,
+//!         )
+//!     })
+//!     .collect();
+//! let engine = FleetEngine::new(2);
+//! let reports = engine.run_batch(&batch);
+//! assert_eq!(reports.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod cache;
+mod engine;
+
+pub use aggregate::{replicate, MetricSummary};
+pub use cache::{ResultCache, ENGINE_VERSION};
+pub use engine::{EngineStats, FleetEngine};

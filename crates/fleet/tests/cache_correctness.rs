@@ -1,0 +1,132 @@
+//! The cache's addressing contract: every semantically-meaningful
+//! scenario field moves the content hash (so no stale replay is
+//! possible), the label does not (so renaming an experiment keeps its
+//! cache), and restoring a field returns the original cached report
+//! bit-exactly.
+
+use std::fs;
+use std::path::PathBuf;
+
+use heb_core::{FaultEvent, FaultKind, FaultSchedule, PowerMode, Scenario, SimConfig};
+use heb_fleet::{FleetEngine, ResultCache};
+use heb_units::{Ratio, Seconds, Watts};
+use heb_workload::{Archetype, PowerTrace};
+
+fn temp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("heb-fleet-cc-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    root
+}
+
+fn base_scenario() -> Scenario {
+    Scenario::new(
+        "cache-correctness",
+        SimConfig::prototype(),
+        &[Archetype::WebSearch, Archetype::Terasort],
+        0.05,
+        99,
+    )
+}
+
+#[test]
+fn every_field_change_changes_the_hash() {
+    let base = base_scenario();
+    let storm = FaultSchedule::scripted(vec![FaultEvent {
+        at: Seconds::new(30.0),
+        duration: Some(Seconds::new(60.0)),
+        kind: FaultKind::UtilityBrownout {
+            derate: Ratio::new_clamped(0.5),
+        },
+    }]);
+    let solar = PowerMode::Solar(PowerTrace::new(
+        vec![Watts::new(300.0); 200],
+        Seconds::new(1.0),
+    ));
+    let variants: Vec<(&str, Scenario)> = vec![
+        ("seed", base.clone().with_seed(100)),
+        ("ticks", base.clone().with_ticks(181)),
+        ("mode", base.clone().with_mode(solar)),
+        ("faults", base.clone().with_faults(storm)),
+        (
+            "initial_soc",
+            base.clone().with_initial_soc(Ratio::new_clamped(0.4)),
+        ),
+        (
+            "config.budget",
+            Scenario::new(
+                "cache-correctness",
+                SimConfig::prototype().with_budget(Watts::new(251.0)),
+                &[Archetype::WebSearch, Archetype::Terasort],
+                0.05,
+                99,
+            ),
+        ),
+        (
+            "workloads",
+            Scenario::new(
+                "cache-correctness",
+                SimConfig::prototype(),
+                &[Archetype::WebSearch, Archetype::Dfsioe],
+                0.05,
+                99,
+            ),
+        ),
+    ];
+    for (field, variant) in &variants {
+        assert_ne!(
+            variant.content_hash(),
+            base.content_hash(),
+            "changing {field} must change the content hash"
+        );
+    }
+    // And the label must NOT: it is presentation, not semantics.
+    assert_eq!(
+        base.clone().relabeled("renamed").content_hash(),
+        base.content_hash(),
+        "relabelling must keep the cache key"
+    );
+}
+
+#[test]
+fn changed_field_misses_and_restored_field_hits_the_original() {
+    let root = temp_root("restore");
+    let cache = ResultCache::new(&root);
+    let original = base_scenario();
+    let engine = FleetEngine::new(2).with_cache(cache.clone());
+    let first = engine.run(std::slice::from_ref(&original));
+    assert_eq!(engine.stats().cache_writes, 1);
+
+    // A tweaked seed is a different scenario: the cache must not serve
+    // the old report for it.
+    let tweaked = original.clone().with_seed(100);
+    assert!(cache.load(&tweaked).is_none(), "tweaked scenario must miss");
+    let second = engine.run(std::slice::from_ref(&tweaked));
+    assert_eq!(engine.stats().simulated, 2, "the tweak forces a re-run");
+    assert_ne!(second[0], first[0], "a new seed yields a new report");
+
+    // Restoring the field restores the address: the original report
+    // comes back bit-exactly, with no simulation.
+    let restored = tweaked.with_seed(99);
+    assert_eq!(restored.content_hash(), original.content_hash());
+    let third = engine.run(std::slice::from_ref(&restored));
+    assert_eq!(
+        third[0], first[0],
+        "restored scenario must replay the original"
+    );
+    assert_eq!(engine.stats().simulated, 2, "the replay simulated nothing");
+    assert_eq!(engine.stats().cache_hits, 1);
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn no_cache_engine_never_touches_disk() {
+    let root = temp_root("nodisk");
+    let engine = FleetEngine::new(2);
+    let _ = engine.run(&[base_scenario()]);
+    assert!(
+        !root.exists(),
+        "an engine without a cache must not create cache directories"
+    );
+    assert_eq!(engine.stats().cache_writes, 0);
+}
