@@ -5,6 +5,13 @@
 //! Plain `harness = false` timing loops (median-of-runs over a fixed
 //! iteration budget) — the build environment is offline, so criterion
 //! is unavailable. Run with `cargo bench`.
+//!
+//! `cargo bench -p heb-bench --bench microbench -- --telemetry-guard`
+//! runs only the telemetry-overhead guard: an interleaved A/B of the
+//! end-to-end slot loop without and with an explicitly attached
+//! `NullRecorder`, failing (exit 1) if the attached side is more than
+//! 5 % slower. Together with the core `disabled_recorder_is_never_invoked`
+//! test this pins the "zero-cost when disabled" contract.
 
 use heb_core::{PolicyKind, PowerAllocationTable, Scenario, SimConfig, Simulation};
 use heb_esd::{LeadAcidBattery, StorageDevice, SuperCapacitor};
@@ -154,7 +161,59 @@ fn bench_fleet_engine() {
     }
 }
 
+/// Best per-iteration seconds for one full control slot, with or
+/// without an explicitly attached `NullRecorder`.
+fn slot_latency(attach_null: bool, runs: usize, iters: u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let start = Instant::now();
+        for _ in 0..iters {
+            let mut sim = Simulation::new(
+                SimConfig::prototype().with_policy(PolicyKind::HebD),
+                &[Archetype::WebSearch, Archetype::Terasort],
+                42,
+            );
+            if attach_null {
+                sim.set_recorder(heb_telemetry::null_recorder());
+            }
+            black_box(sim.run_ticks(600));
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+/// The NullRecorder overhead budget: attaching the default recorder
+/// explicitly must stay within 5 % of the untouched simulation. The
+/// sides are interleaved (A, B, A, B, …) so frequency drift and cache
+/// warm-up hit both equally; each side keeps its own best-of estimate.
+fn telemetry_guard() -> i32 {
+    println!("telemetry-overhead guard: slot loop, default vs attached NullRecorder\n");
+    let (runs, iters) = (6, 8);
+    let mut baseline = f64::INFINITY;
+    let mut with_null = f64::INFINITY;
+    for _ in 0..runs {
+        baseline = baseline.min(slot_latency(false, 1, iters));
+        with_null = with_null.min(slot_latency(true, 1, iters));
+    }
+    let ratio = with_null / baseline;
+    println!("baseline      {:>10.3} ms/slot", baseline * 1e3);
+    println!("null recorder {:>10.3} ms/slot", with_null * 1e3);
+    println!("ratio         {ratio:>10.3}  (budget 1.05)");
+    if ratio > 1.05 {
+        eprintln!("FAIL: NullRecorder overhead exceeds the 5 % budget");
+        1
+    } else {
+        println!("OK: NullRecorder within the overhead budget");
+        0
+    }
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--telemetry-guard") {
+        std::process::exit(telemetry_guard());
+    }
     println!("HEB micro-benchmarks (best-of-runs per-iteration latency)\n");
     bench_pat();
     bench_forecast();

@@ -80,6 +80,22 @@ impl SimConfig {
         }
     }
 
+    /// A validating builder seeded with the prototype defaults.
+    ///
+    /// Unlike mutating the public fields directly, the builder
+    /// range-checks every knob in [`SimConfigBuilder::build`] and
+    /// reports the offending value instead of clamping or panicking.
+    #[must_use]
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// A validating builder seeded from this configuration.
+    #[must_use]
+    pub fn to_builder(&self) -> SimConfigBuilder {
+        SimConfigBuilder::from_config(self.clone())
+    }
+
     /// Same configuration with a different storage architecture (the
     /// Figure 7 comparison knob).
     #[must_use]
@@ -191,6 +207,360 @@ impl Default for SimConfig {
     }
 }
 
+/// Why a [`SimConfigBuilder`] rejected its inputs. Each variant carries
+/// the offending value so CLI layers can echo it back to the user.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The rack was configured with zero servers.
+    NoServers,
+    /// The utility budget is negative (watts).
+    NegativeBudget(f64),
+    /// The total usable capacity is zero or negative (joules).
+    NonPositiveCapacity(f64),
+    /// The SC capacity fraction is outside `[0, 1]` (zero is legal:
+    /// a battery-only deployment).
+    ScFractionOutOfRange(f64),
+    /// The depth-of-discharge limit is outside `(0, 1]`.
+    DodLimitOutOfRange(f64),
+    /// The metering tick is zero or negative (seconds).
+    NonPositiveTick(f64),
+    /// The control slot is shorter than one metering tick.
+    SlotShorterThanTick {
+        /// Configured slot length, seconds.
+        slot: f64,
+        /// Configured metering tick, seconds.
+        tick: f64,
+    },
+    /// The small-peak threshold is negative (watts).
+    NegativeSmallPeakThreshold(f64),
+    /// The PAT self-optimisation step `Δr` is outside `(0, 1]`.
+    DeltaROutOfRange(f64),
+    /// A PAT bucket width is zero or negative.
+    NonPositivePatBucket,
+    /// The Holt-Winters seasonal period is below two slots.
+    ForecastPeriodTooShort(usize),
+    /// The IPDU noise sigma is negative.
+    NegativeMeteringNoise(f64),
+    /// The battery pool was configured with zero strings.
+    NoBatteryStrings,
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::NoServers => f.write_str("need at least one server"),
+            ConfigError::NegativeBudget(w) => {
+                write!(f, "budget must be non-negative, got {w} W")
+            }
+            ConfigError::NonPositiveCapacity(j) => {
+                write!(f, "buffer capacity must be positive, got {j} J")
+            }
+            ConfigError::ScFractionOutOfRange(v) => {
+                write!(f, "sc_fraction must be within [0, 1], got {v}")
+            }
+            ConfigError::DodLimitOutOfRange(v) => {
+                write!(f, "dod_limit must be within (0, 1], got {v}")
+            }
+            ConfigError::NonPositiveTick(s) => {
+                write!(f, "tick must be positive, got {s} s")
+            }
+            ConfigError::SlotShorterThanTick { slot, tick } => {
+                write!(
+                    f,
+                    "slot must span at least one tick ({slot} s slot < {tick} s tick)"
+                )
+            }
+            ConfigError::NegativeSmallPeakThreshold(w) => {
+                write!(f, "threshold must be non-negative, got {w} W")
+            }
+            ConfigError::DeltaROutOfRange(v) => {
+                write!(f, "delta_r must be within (0, 1], got {v}")
+            }
+            ConfigError::NonPositivePatBucket => f.write_str("PAT bucket widths must be positive"),
+            ConfigError::ForecastPeriodTooShort(p) => {
+                write!(f, "forecast period must be >= 2, got {p}")
+            }
+            ConfigError::NegativeMeteringNoise(n) => {
+                write!(f, "metering noise must be non-negative, got {n}")
+            }
+            ConfigError::NoBatteryStrings => f.write_str("need at least one battery string"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder errors collapse onto the matching [`SimError`] variants
+/// (dropping the embedded values), so a `main` returning
+/// `Result<(), SimError>` can `?` both layers.
+impl From<ConfigError> for SimError {
+    fn from(err: ConfigError) -> Self {
+        match err {
+            ConfigError::NoServers => SimError::NoServers,
+            ConfigError::NegativeBudget(_) => SimError::NegativeBudget,
+            ConfigError::NonPositiveCapacity(_) => SimError::NonPositiveCapacity,
+            ConfigError::ScFractionOutOfRange(_) => SimError::ScFractionOutOfRange,
+            ConfigError::DodLimitOutOfRange(_) => SimError::DodLimitOutOfRange,
+            ConfigError::NonPositiveTick(_) => SimError::NonPositiveTick,
+            ConfigError::SlotShorterThanTick { .. } => SimError::SlotShorterThanTick,
+            ConfigError::NegativeSmallPeakThreshold(_) => SimError::NegativeSmallPeakThreshold,
+            ConfigError::DeltaROutOfRange(_) => SimError::DeltaROutOfRange,
+            ConfigError::NonPositivePatBucket => SimError::NonPositivePatBucket,
+            ConfigError::ForecastPeriodTooShort(_) => SimError::ForecastPeriodTooShort,
+            ConfigError::NegativeMeteringNoise(_) => SimError::NegativeMeteringNoise,
+            ConfigError::NoBatteryStrings => SimError::NoBatteryStrings,
+        }
+    }
+}
+
+/// A validating constructor for [`SimConfig`].
+///
+/// Ratios are staged as raw `f64` and range-checked in [`build`]
+/// *before* any [`Ratio`] is constructed — `Ratio::new_clamped` would
+/// otherwise silently pin an out-of-range `sc_fraction` or `dod_limit`
+/// to the nearest bound instead of reporting the mistake.
+///
+/// [`build`]: SimConfigBuilder::build
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfigBuilder {
+    servers: usize,
+    budget: Watts,
+    total_capacity: Joules,
+    sc_fraction: f64,
+    dod_limit: f64,
+    slot_length: Seconds,
+    tick: Seconds,
+    policy: PolicyKind,
+    small_peak_threshold: Watts,
+    delta_r: f64,
+    pat_energy_bucket: Joules,
+    pat_power_bucket: Watts,
+    forecast_period: usize,
+    topology: Topology,
+    metering_noise: f64,
+    battery_strings: usize,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        Self::from_config(SimConfig::prototype())
+    }
+}
+
+impl SimConfigBuilder {
+    /// Starts from an existing configuration (ratios unpacked back to
+    /// raw fractions).
+    #[must_use]
+    pub fn from_config(config: SimConfig) -> Self {
+        Self {
+            servers: config.servers,
+            budget: config.budget,
+            total_capacity: config.total_capacity,
+            sc_fraction: config.sc_fraction.get(),
+            dod_limit: config.dod_limit.get(),
+            slot_length: config.slot_length,
+            tick: config.tick,
+            policy: config.policy,
+            small_peak_threshold: config.small_peak_threshold,
+            delta_r: config.delta_r.get(),
+            pat_energy_bucket: config.pat_energy_bucket,
+            pat_power_bucket: config.pat_power_bucket,
+            forecast_period: config.forecast_period,
+            topology: config.topology,
+            metering_noise: config.metering_noise,
+            battery_strings: config.battery_strings,
+        }
+    }
+
+    /// Number of servers in the rack.
+    #[must_use]
+    pub fn servers(mut self, servers: usize) -> Self {
+        self.servers = servers;
+        self
+    }
+
+    /// Utility power budget.
+    #[must_use]
+    pub fn budget(mut self, budget: Watts) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Total usable buffer energy across both pools.
+    #[must_use]
+    pub fn total_capacity(mut self, total: Joules) -> Self {
+        self.total_capacity = total;
+        self
+    }
+
+    /// Fraction of the capacity held in super-capacitors, `[0, 1]`.
+    #[must_use]
+    pub fn sc_fraction(mut self, fraction: f64) -> Self {
+        self.sc_fraction = fraction;
+        self
+    }
+
+    /// Depth-of-discharge limit for both pools, `(0, 1]`.
+    #[must_use]
+    pub fn dod_limit(mut self, limit: f64) -> Self {
+        self.dod_limit = limit;
+        self
+    }
+
+    /// Control-slot length.
+    #[must_use]
+    pub fn slot_length(mut self, slot: Seconds) -> Self {
+        self.slot_length = slot;
+        self
+    }
+
+    /// Metering tick.
+    #[must_use]
+    pub fn tick(mut self, tick: Seconds) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Power-management scheme under test.
+    #[must_use]
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Predicted-mismatch threshold below which a peak is *small*.
+    #[must_use]
+    pub fn small_peak_threshold(mut self, threshold: Watts) -> Self {
+        self.small_peak_threshold = threshold;
+        self
+    }
+
+    /// PAT self-optimisation step `Δr`, `(0, 1]`.
+    #[must_use]
+    pub fn delta_r(mut self, delta_r: f64) -> Self {
+        self.delta_r = delta_r;
+        self
+    }
+
+    /// PAT bucket width for stored-energy dimensions.
+    #[must_use]
+    pub fn pat_energy_bucket(mut self, bucket: Joules) -> Self {
+        self.pat_energy_bucket = bucket;
+        self
+    }
+
+    /// PAT bucket width for the mismatch dimension.
+    #[must_use]
+    pub fn pat_power_bucket(mut self, bucket: Watts) -> Self {
+        self.pat_power_bucket = bucket;
+        self
+    }
+
+    /// Holt-Winters seasonal period, in slots.
+    #[must_use]
+    pub fn forecast_period(mut self, period: usize) -> Self {
+        self.forecast_period = period;
+        self
+    }
+
+    /// Energy-storage architecture.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Relative 1-sigma IPDU measurement noise.
+    #[must_use]
+    pub fn metering_noise(mut self, noise: f64) -> Self {
+        self.metering_noise = noise;
+        self
+    }
+
+    /// Number of independent battery strings.
+    #[must_use]
+    pub fn battery_strings(mut self, strings: usize) -> Self {
+        self.battery_strings = strings;
+        self
+    }
+
+    /// Validates the staged fields and assembles the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] encountered, checked in field
+    /// declaration order. NaN values are rejected explicitly alongside
+    /// the range checks.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        let out_of = |v: f64, lo_open: f64, hi: f64| v.is_nan() || v <= lo_open || v > hi;
+        if self.servers == 0 {
+            return Err(ConfigError::NoServers);
+        }
+        if self.budget.get().is_nan() || self.budget.get() < 0.0 {
+            return Err(ConfigError::NegativeBudget(self.budget.get()));
+        }
+        if self.total_capacity.get().is_nan() || self.total_capacity.get() <= 0.0 {
+            return Err(ConfigError::NonPositiveCapacity(self.total_capacity.get()));
+        }
+        if !(0.0..=1.0).contains(&self.sc_fraction) {
+            return Err(ConfigError::ScFractionOutOfRange(self.sc_fraction));
+        }
+        if out_of(self.dod_limit, 0.0, 1.0) {
+            return Err(ConfigError::DodLimitOutOfRange(self.dod_limit));
+        }
+        if self.tick.get().is_nan() || self.tick.get() <= 0.0 {
+            return Err(ConfigError::NonPositiveTick(self.tick.get()));
+        }
+        if self.slot_length.get().is_nan() || self.slot_length.get() < self.tick.get() {
+            return Err(ConfigError::SlotShorterThanTick {
+                slot: self.slot_length.get(),
+                tick: self.tick.get(),
+            });
+        }
+        if self.small_peak_threshold.get().is_nan() || self.small_peak_threshold.get() < 0.0 {
+            return Err(ConfigError::NegativeSmallPeakThreshold(
+                self.small_peak_threshold.get(),
+            ));
+        }
+        if out_of(self.delta_r, 0.0, 1.0) {
+            return Err(ConfigError::DeltaROutOfRange(self.delta_r));
+        }
+        if out_of(self.pat_energy_bucket.get(), 0.0, f64::INFINITY)
+            || out_of(self.pat_power_bucket.get(), 0.0, f64::INFINITY)
+        {
+            return Err(ConfigError::NonPositivePatBucket);
+        }
+        if self.forecast_period < 2 {
+            return Err(ConfigError::ForecastPeriodTooShort(self.forecast_period));
+        }
+        if self.metering_noise.is_nan() || self.metering_noise < 0.0 {
+            return Err(ConfigError::NegativeMeteringNoise(self.metering_noise));
+        }
+        if self.battery_strings == 0 {
+            return Err(ConfigError::NoBatteryStrings);
+        }
+        Ok(SimConfig {
+            servers: self.servers,
+            budget: self.budget,
+            total_capacity: self.total_capacity,
+            sc_fraction: Ratio::new_clamped(self.sc_fraction),
+            dod_limit: Ratio::new_clamped(self.dod_limit),
+            slot_length: self.slot_length,
+            tick: self.tick,
+            policy: self.policy,
+            small_peak_threshold: self.small_peak_threshold,
+            delta_r: Ratio::new_clamped(self.delta_r),
+            pat_energy_bucket: self.pat_energy_bucket,
+            pat_power_bucket: self.pat_power_bucket,
+            forecast_period: self.forecast_period,
+            topology: self.topology,
+            metering_noise: self.metering_noise,
+            battery_strings: self.battery_strings,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,5 +625,133 @@ mod tests {
         let mut c = SimConfig::prototype();
         c.slot_length = Seconds::new(0.5);
         c.validate();
+    }
+
+    #[test]
+    fn builder_defaults_equal_prototype() {
+        assert_eq!(SimConfig::builder().build(), Ok(SimConfig::prototype()));
+        assert_eq!(
+            SimConfig::default().to_builder().build(),
+            Ok(SimConfig::default())
+        );
+    }
+
+    #[test]
+    fn builder_round_trips_every_knob() {
+        let c = SimConfig::builder()
+            .servers(12)
+            .budget(Watts::new(500.0))
+            .total_capacity(Joules::from_watt_hours(300.0))
+            .sc_fraction(0.5)
+            .dod_limit(0.6)
+            .slot_length(Seconds::from_minutes(5.0))
+            .tick(Seconds::new(2.0))
+            .policy(PolicyKind::BaOnly)
+            .small_peak_threshold(Watts::new(40.0))
+            .delta_r(0.02)
+            .pat_energy_bucket(Joules::from_watt_hours(5.0))
+            .pat_power_bucket(Watts::new(10.0))
+            .forecast_period(12)
+            .topology(Topology::heb_cluster_level())
+            .metering_noise(0.01)
+            .battery_strings(4)
+            .build()
+            .expect("all knobs in range");
+        assert_eq!(c.servers, 12);
+        assert_eq!(c.budget, Watts::new(500.0));
+        assert_eq!(c.sc_fraction, Ratio::HALF);
+        assert_eq!(c.dod_limit, Ratio::new_clamped(0.6));
+        assert_eq!(c.slot_length, Seconds::from_minutes(5.0));
+        assert_eq!(c.tick, Seconds::new(2.0));
+        assert_eq!(c.policy, PolicyKind::BaOnly);
+        assert_eq!(c.delta_r, Ratio::new_clamped(0.02));
+        assert_eq!(c.forecast_period, 12);
+        assert_eq!(c.topology, Topology::heb_cluster_level());
+        assert_eq!(c.metering_noise, 0.01);
+        assert_eq!(c.battery_strings, 4);
+        c.validate();
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_ratios_instead_of_clamping() {
+        // `Ratio::new_clamped(1.3)` would silently pin to 1.0; the
+        // builder reports the raw value instead.
+        assert_eq!(
+            SimConfig::builder().sc_fraction(1.3).build(),
+            Err(ConfigError::ScFractionOutOfRange(1.3))
+        );
+        assert_eq!(
+            SimConfig::builder().sc_fraction(-0.1).build(),
+            Err(ConfigError::ScFractionOutOfRange(-0.1))
+        );
+        // Zero SC is a legal battery-only deployment…
+        assert!(SimConfig::builder().sc_fraction(0.0).build().is_ok());
+        // …but a zero DoD limit would make both pools unusable.
+        assert_eq!(
+            SimConfig::builder().dod_limit(0.0).build(),
+            Err(ConfigError::DodLimitOutOfRange(0.0))
+        );
+        assert_eq!(
+            SimConfig::builder().delta_r(1.5).build(),
+            Err(ConfigError::DeltaROutOfRange(1.5))
+        );
+        // NaN != NaN, so match on the variant rather than the payload.
+        assert!(matches!(
+            SimConfig::builder().sc_fraction(f64::NAN).build(),
+            Err(ConfigError::ScFractionOutOfRange(v)) if v.is_nan()
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_structural_mistakes() {
+        assert_eq!(
+            SimConfig::builder().servers(0).build(),
+            Err(ConfigError::NoServers)
+        );
+        assert_eq!(
+            SimConfig::builder().budget(Watts::new(-5.0)).build(),
+            Err(ConfigError::NegativeBudget(-5.0))
+        );
+        assert_eq!(
+            SimConfig::builder().tick(Seconds::new(0.0)).build(),
+            Err(ConfigError::NonPositiveTick(0.0))
+        );
+        assert_eq!(
+            SimConfig::builder().slot_length(Seconds::new(0.5)).build(),
+            Err(ConfigError::SlotShorterThanTick {
+                slot: 0.5,
+                tick: 1.0
+            })
+        );
+        assert_eq!(
+            SimConfig::builder().forecast_period(1).build(),
+            Err(ConfigError::ForecastPeriodTooShort(1))
+        );
+        assert_eq!(
+            SimConfig::builder().battery_strings(0).build(),
+            Err(ConfigError::NoBatteryStrings)
+        );
+    }
+
+    #[test]
+    fn config_errors_collapse_onto_sim_errors() {
+        assert_eq!(
+            SimError::from(ConfigError::NegativeBudget(-5.0)),
+            SimError::NegativeBudget
+        );
+        assert_eq!(
+            SimError::from(ConfigError::ScFractionOutOfRange(2.0)),
+            SimError::ScFractionOutOfRange
+        );
+        assert_eq!(
+            SimError::from(ConfigError::SlotShorterThanTick {
+                slot: 0.5,
+                tick: 1.0
+            }),
+            SimError::SlotShorterThanTick
+        );
+        // The builder error keeps the offending value in its message.
+        let msg = ConfigError::DodLimitOutOfRange(1.7).to_string();
+        assert!(msg.contains("(0, 1]") && msg.contains("1.7"), "{msg}");
     }
 }

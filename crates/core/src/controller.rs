@@ -4,6 +4,7 @@ use crate::config::SimConfig;
 use crate::pat::{PatKey, PowerAllocationTable};
 use crate::policy::{ChargePriority, DischargePriority, PeakSize, PolicyKind};
 use heb_forecast::{HoltWinters, LastValue, Predictor};
+use heb_telemetry::{null_recorder, ControllerEvent, Event, RecorderHandle};
 use heb_units::{Joules, Ratio, Watts};
 
 /// The slot forecaster: either the paper's Holt-Winters or the naive
@@ -92,6 +93,10 @@ pub struct HebController {
     /// When set, predictions come from the last good values instead of
     /// the (stale-fed) forecaster.
     degraded: bool,
+    /// Telemetry sink (default null); `trace` caches `is_enabled()` so
+    /// the hot path pays one bool test, not a virtual call.
+    recorder: RecorderHandle,
+    trace: bool,
 }
 
 impl HebController {
@@ -127,7 +132,16 @@ impl HebController {
             last_peak: None,
             last_valley: None,
             degraded: false,
+            recorder: null_recorder(),
+            trace: false,
         }
+    }
+
+    /// Routes this controller's decisions (slot plans, PAT changes,
+    /// degraded-mode flips) to `recorder`.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.trace = recorder.is_enabled();
+        self.recorder = recorder;
     }
 
     /// Seeds the coarse pilot-run profile used by `HEB-S`: a sparse grid
@@ -240,13 +254,25 @@ impl HebController {
             planned_size: peak_size,
         });
 
-        SlotPlan {
+        let plan = SlotPlan {
             predicted_mismatch: mismatch,
             peak_size,
             r_lambda,
             discharge: self.policy.discharge_priority(peak_size),
             charge: self.policy.charge_priority(),
+        };
+        if self.trace {
+            self.recorder
+                .record(&Event::Controller(ControllerEvent::SlotPlanned {
+                    slot: self.slots_completed,
+                    predicted_mismatch: plan.predicted_mismatch,
+                    peak_size: plan.peak_size.name(),
+                    r_lambda: plan.r_lambda.get(),
+                    discharge: plan.discharge.name(),
+                    charge: plan.charge.name(),
+                }));
         }
+        plan
     }
 
     /// Runs the slot-end bookkeeping (Figure 10 lines 12–23): feeds the
@@ -264,6 +290,13 @@ impl HebController {
         self.last_peak = Some(actual_peak.get().max(0.0));
         self.last_valley = Some(actual_valley.get().max(0.0));
         // A fully metered slot just closed: fresh data is flowing again.
+        if self.trace && self.degraded {
+            self.recorder
+                .record(&Event::Controller(ControllerEvent::ForecastDegraded {
+                    slot: self.slots_completed,
+                    degraded: false,
+                }));
+        }
         self.degraded = false;
         self.slots_completed += 1;
 
@@ -285,12 +318,25 @@ impl HebController {
             Some(key) => {
                 self.pat
                     .update(key, open.sc_start, open.ba_start, sc_end, ba_end);
+                if self.trace {
+                    self.recorder
+                        .record(&Event::Controller(ControllerEvent::PatUpdated {
+                            slot: self.slots_completed,
+                        }));
+                }
             }
             None => {
                 // New entry keyed by the *actual* demand (line 14's
                 // Round on real measurements).
                 let key = self.pat.key(open.sc_start, open.ba_start, actual_pm);
                 self.pat.insert(key, open.r_used);
+                if self.trace {
+                    self.recorder
+                        .record(&Event::Controller(ControllerEvent::PatInserted {
+                            slot: self.slots_completed,
+                            r_lambda: open.r_used.get(),
+                        }));
+                }
             }
         }
     }
@@ -313,6 +359,13 @@ impl HebController {
     /// slot instead of the forecaster. The flag self-clears on the next
     /// healthy [`HebController::end_slot`].
     pub fn set_forecast_degraded(&mut self, degraded: bool) {
+        if self.trace && self.degraded != degraded {
+            self.recorder
+                .record(&Event::Controller(ControllerEvent::ForecastDegraded {
+                    slot: self.slots_completed,
+                    degraded,
+                }));
+        }
         self.degraded = degraded;
     }
 

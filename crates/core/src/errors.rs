@@ -35,6 +35,14 @@ pub enum SimError {
     NoBatteryStrings,
     /// A solar trace with no samples was supplied.
     EmptySolarTrace,
+    /// The SC capacity fraction is outside `[0, 1]`.
+    ScFractionOutOfRange,
+    /// The depth-of-discharge limit is outside `(0, 1]`.
+    DodLimitOutOfRange,
+    /// The PAT self-optimisation step `Δr` is outside `(0, 1]`.
+    DeltaROutOfRange,
+    /// A metering history window of zero samples.
+    EmptyMeterWindow,
 }
 
 impl core::fmt::Display for SimError {
@@ -52,12 +60,30 @@ impl core::fmt::Display for SimError {
             SimError::NegativeSmallPeakThreshold => "threshold must be non-negative",
             SimError::NoBatteryStrings => "need at least one battery string",
             SimError::EmptySolarTrace => "solar trace must contain at least one sample",
+            SimError::ScFractionOutOfRange => "sc_fraction must be within [0, 1]",
+            SimError::DodLimitOutOfRange => "dod_limit must be within (0, 1]",
+            SimError::DeltaROutOfRange => "delta_r must be within (0, 1]",
+            SimError::EmptyMeterWindow => "history window must be non-empty",
         };
         f.write_str(msg)
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// Power-system construction failures map onto the matching simulation
+/// errors, so callers assembling a stack can `?` across the crate
+/// boundary instead of unwrapping intermediate error types ad hoc.
+impl From<heb_powersys::PowerSysError> for SimError {
+    fn from(err: heb_powersys::PowerSysError) -> Self {
+        use heb_powersys::PowerSysError;
+        match err {
+            PowerSysError::NegativeBudget => SimError::NegativeBudget,
+            PowerSysError::EmptyMeterWindow => SimError::EmptyMeterWindow,
+            PowerSysError::NegativeNoise => SimError::NegativeMeteringNoise,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

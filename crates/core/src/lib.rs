@@ -63,7 +63,7 @@ mod scenario;
 mod sim;
 
 pub use buffers::HybridBuffers;
-pub use config::SimConfig;
+pub use config::{ConfigError, SimConfig, SimConfigBuilder};
 pub use controller::{HebController, SlotPlan};
 pub use errors::SimError;
 pub use faults::{

@@ -14,6 +14,19 @@ pub enum DischargePriority {
     Split,
 }
 
+impl DischargePriority {
+    /// Stable short name used in telemetry streams.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DischargePriority::BatteryOnly => "ba-only",
+            DischargePriority::BatteryThenSc => "ba-then-sc",
+            DischargePriority::ScThenBattery => "sc-then-ba",
+            DischargePriority::Split => "split",
+        }
+    }
+}
+
 /// Which pool absorbs charging headroom first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChargePriority {
@@ -26,6 +39,18 @@ pub enum ChargePriority {
     ScThenBattery,
 }
 
+impl ChargePriority {
+    /// Stable short name used in telemetry streams.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ChargePriority::BatteryOnly => "ba-only",
+            ChargePriority::BatteryThenSc => "ba-then-sc",
+            ChargePriority::ScThenBattery => "sc-then-ba",
+        }
+    }
+}
+
 /// The controller's slot-level classification of the predicted peak
 /// (Section 5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,6 +59,17 @@ pub enum PeakSize {
     Small,
     /// Significant and long: batteries and SCs share it (`0 < R_λ < 1`).
     Large,
+}
+
+impl PeakSize {
+    /// Stable short name used in telemetry streams.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PeakSize::Small => "small",
+            PeakSize::Large => "large",
+        }
+    }
 }
 
 /// The evaluated power-management schemes (Table 2).

@@ -137,6 +137,10 @@ pub struct Scenario {
     initial_soc: Option<Ratio>,
     ticks: u64,
     seed: u64,
+    /// Telemetry sink installed on the built simulation. Observational
+    /// only, so — like the label — it is excluded from
+    /// [`Scenario::content_hash`].
+    recorder: Option<heb_telemetry::RecorderHandle>,
 }
 
 impl Scenario {
@@ -175,6 +179,7 @@ impl Scenario {
             initial_soc: None,
             ticks,
             seed,
+            recorder: None,
         }
     }
 
@@ -211,6 +216,16 @@ impl Scenario {
     #[must_use]
     pub fn with_ticks(mut self, ticks: u64) -> Self {
         self.ticks = ticks;
+        self
+    }
+
+    /// Installs a telemetry recorder on the built simulation
+    /// (chainable). Recorders are observational: like the label, they
+    /// do **not** contribute to [`Scenario::content_hash`], so a
+    /// traced run and an untraced run share a cache key.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: heb_telemetry::RecorderHandle) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -351,6 +366,9 @@ impl Scenario {
         if let Some(soc) = self.initial_soc {
             sim.set_buffer_soc(soc);
         }
+        if let Some(recorder) = &self.recorder {
+            sim.set_recorder(heb_telemetry::RecorderHandle::clone(recorder));
+        }
         Ok(sim)
     }
 
@@ -485,6 +503,21 @@ mod tests {
         assert_eq!(a.content_hash(), base().content_hash());
         assert_eq!(a.content_hash(), a.clone().relabeled("x").content_hash());
         assert_eq!(a.hash_hex().len(), 32);
+    }
+
+    #[test]
+    fn recorder_is_hash_blind_like_the_label() {
+        let traced = base().with_recorder(std::sync::Arc::new(heb_telemetry::RingRecorder::new(8)));
+        assert_eq!(base().content_hash(), traced.content_hash());
+    }
+
+    #[test]
+    fn traced_scenario_captures_events_without_changing_the_report() {
+        let ring = std::sync::Arc::new(heb_telemetry::RingRecorder::new(4096));
+        let traced = base().with_recorder(std::sync::Arc::clone(&ring) as _);
+        let report = traced.run().unwrap();
+        assert_eq!(report, base().run().unwrap(), "tracing must not perturb");
+        assert!(!ring.is_empty(), "a run must produce events");
     }
 
     #[test]

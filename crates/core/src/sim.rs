@@ -24,6 +24,10 @@ use heb_powersys::{
     Cluster, DeliveryPath, FrequencyLevel, Ipdu, MeterFault, PowerSource, PowerState,
     RenewableFeed, SwitchFabric, UtilityFeed,
 };
+use heb_telemetry::{
+    null_recorder, ControllerEvent, EsdEvent, Event, FaultEvent as TraceFaultEvent, PoolId,
+    PowerEvent, RecorderHandle,
+};
 use heb_units::{Joules, Ratio, Seconds, Watts};
 use heb_workload::{Archetype, PeakClass, PowerTrace, UtilizationGenerator};
 
@@ -120,6 +124,12 @@ pub struct Simulation {
     supply_fault_prev: bool,
     /// When the last supply fault cleared with servers still down.
     recovery_pending_since: Option<Seconds>,
+    /// Solar feed health last tick, for availability-edge events.
+    prev_solar_online: bool,
+    /// Telemetry sink (default null); `trace` caches `is_enabled()` so
+    /// the per-tick path pays one bool test, not a virtual call.
+    recorder: RecorderHandle,
+    trace: bool,
 }
 
 impl Simulation {
@@ -179,7 +189,7 @@ impl Simulation {
         let mut controller = HebController::new(&config);
         let plan = controller.begin_slot(buffers.sc_available(), buffers.ba_available());
         let fabric = SwitchFabric::new(config.servers);
-        let utility = UtilityFeed::try_new(config.budget).map_err(|_| SimError::NegativeBudget)?;
+        let utility = UtilityFeed::try_new(config.budget)?;
         Ok(Self {
             ipdu: Ipdu::new(config.ticks_per_slot() as usize)
                 .with_noise(config.metering_noise, seed ^ 0xA5A5_5A5A),
@@ -202,8 +212,35 @@ impl Simulation {
             slot_gap_ticks: 0,
             supply_fault_prev: false,
             recovery_pending_since: None,
+            prev_solar_online: true,
+            recorder: null_recorder(),
+            trace: false,
             config,
         })
+    }
+
+    /// Routes the full event stream — controller decisions, per-slot
+    /// pool state, power transitions, fault edges — to `recorder`.
+    /// The default is a [`heb_telemetry::NullRecorder`], which keeps
+    /// the whole layer out of the per-tick path.
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.trace = recorder.is_enabled();
+        self.controller
+            .set_recorder(RecorderHandle::clone(&recorder));
+        self.buffers
+            .sc_pool_mut()
+            .set_recorder(PoolId::SuperCap, RecorderHandle::clone(&recorder));
+        self.buffers
+            .ba_pool_mut()
+            .set_recorder(PoolId::Battery, RecorderHandle::clone(&recorder));
+        self.recorder = recorder;
+    }
+
+    /// Chainable form of [`Simulation::set_recorder`].
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.set_recorder(recorder);
+        self
     }
 
     /// Switches the power source (chainable at construction).
@@ -331,7 +368,7 @@ impl Simulation {
         // Slot boundary: close the previous slot, restore shed servers
         // if the budget allows, and open the next slot.
         if self.tick_index > 0 && self.tick_index.is_multiple_of(self.config.ticks_per_slot()) {
-            self.slot_boundary();
+            self.slot_boundary(now);
         }
 
         // Fault edges crossed since the last tick (quarantines, relay
@@ -341,12 +378,33 @@ impl Simulation {
         if factor != self.prev_budget_factor {
             self.utility.derate(factor);
             self.prev_budget_factor = factor;
+            if self.trace {
+                self.recorder
+                    .record(&Event::Power(PowerEvent::BudgetDerated {
+                        time: now,
+                        factor,
+                    }));
+                self.recorder
+                    .record(&Event::Controller(ControllerEvent::Replanned {
+                        time: now,
+                        reason: "budget-change",
+                    }));
+            }
             // The slot plan was drawn against a different budget;
             // re-plan immediately instead of riding out the slot.
             self.replan();
             self.report.faults.replans += 1;
         }
-        self.renewable.set_online(self.injector.solar_online());
+        let solar_online = self.injector.solar_online();
+        if self.trace && solar_online != self.prev_solar_online {
+            self.recorder
+                .record(&Event::Power(PowerEvent::SolarAvailability {
+                    time: now,
+                    online: solar_online,
+                }));
+        }
+        self.prev_solar_online = solar_online;
+        self.renewable.set_online(solar_online);
 
         if factor.get() <= 0.0 {
             self.report.faults.blackout_ticks += 1;
@@ -377,7 +435,7 @@ impl Simulation {
         // Periodic restore check (every 30 s): bring shed servers back
         // when supply can carry the whole rack again.
         if self.tick_index.is_multiple_of(30) {
-            self.try_restore();
+            self.try_restore(now);
         }
 
         // Metering through the (possibly faulted) instrument path.
@@ -439,11 +497,11 @@ impl Simulation {
             self.report.conversion_loss += outcome.delivered - at_load * dt;
             let shortfall = mismatch - at_load;
             if shortfall.get() > 1.0 {
-                self.shed_for_shortfall(mismatch, shortfall, &outcome, dt);
+                self.shed_for_shortfall(mismatch, shortfall, &outcome, dt, now);
             }
             // Servers behind stuck-open relays cannot reach the buffers
             // during the mismatch: their share of the peak browns out.
-            self.shed_stuck_relays(mismatch, dt);
+            self.shed_stuck_relays(mismatch, dt, now);
             // The grid/array supplies the rest (at the feed side).
             self.report.conversion_loss += (raw_limit - supply_at_load) * dt;
             match &self.mode {
@@ -533,6 +591,13 @@ impl Simulation {
             match transition {
                 FaultTransition::Started(event) => {
                     self.report.faults.events_applied += 1;
+                    if self.trace {
+                        self.recorder
+                            .record(&Event::Fault(TraceFaultEvent::Injected {
+                                time: now,
+                                kind: event.kind.name(),
+                            }));
+                    }
                     match event.kind {
                         FaultKind::BatteryStringFailure { index } => {
                             if self.buffers.ba_pool_mut().quarantine(index) {
@@ -569,6 +634,13 @@ impl Simulation {
                 }
                 FaultTransition::Ended(event) => {
                     self.report.faults.events_recovered += 1;
+                    if self.trace {
+                        self.recorder
+                            .record(&Event::Fault(TraceFaultEvent::Recovered {
+                                time: now,
+                                kind: event.kind.name(),
+                            }));
+                    }
                     match event.kind {
                         FaultKind::BatteryStringFailure { index }
                             if self.buffers.ba_pool_mut().restore(index) =>
@@ -594,13 +666,13 @@ impl Simulation {
     /// mismatch. They cannot switch onto the buffers, and the utility
     /// side is already at its limit, so their share of the peak browns
     /// out — capped at the number of servers the mismatch spans.
-    fn shed_stuck_relays(&mut self, mismatch: Watts, dt: Seconds) {
+    fn shed_stuck_relays(&mut self, mismatch: Watts, dt: Seconds, now: Seconds) {
         let stuck = self.fabric.stuck_open_servers();
         if stuck.is_empty() {
             return;
         }
         let mut quota = (mismatch.get() / 70.0).ceil().max(1.0) as usize;
-        let mut shed_any = false;
+        let mut shed_count = 0_usize;
         for id in stuck {
             if quota == 0 {
                 break;
@@ -610,12 +682,18 @@ impl Simulation {
                 let draw = server.power_draw();
                 server.power_off();
                 self.report.unserved_energy += draw * dt;
-                shed_any = true;
+                shed_count += 1;
                 quota -= 1;
             }
         }
-        if shed_any {
+        if shed_count > 0 {
             self.report.shed_events += 1;
+            if self.trace {
+                self.recorder.record(&Event::Power(PowerEvent::Shed {
+                    time: now,
+                    servers: shed_count,
+                }));
+            }
         }
     }
 
@@ -765,6 +843,7 @@ impl Simulation {
         shortfall: Watts,
         outcome: &DischargeOutcome,
         dt: Seconds,
+        now: Seconds,
     ) {
         let per_server = Watts::new(70.0);
         // Servers riding on buffers this tick.
@@ -793,6 +872,12 @@ impl Simulation {
         if !shed.is_empty() {
             self.report.shed_events += 1;
             self.report.unserved_energy += shortfall * dt;
+            if self.trace {
+                self.recorder.record(&Event::Power(PowerEvent::Shed {
+                    time: now,
+                    servers: shed.len(),
+                }));
+            }
         }
     }
 
@@ -801,7 +886,7 @@ impl Simulation {
     /// must also hold enough energy to ride the prospective mismatch
     /// for at least two minutes, or the rack would thrash between shed
     /// and restore (each cycle burning restart energy).
-    fn try_restore(&mut self) {
+    fn try_restore(&mut self, now: Seconds) {
         if self.cluster.running_count() == self.cluster.len() {
             return;
         }
@@ -832,12 +917,19 @@ impl Simulation {
         let ride_through = mismatch * Seconds::new(120.0);
         if deliverable >= prospective && self.buffers.total_available() >= ride_through {
             self.cluster.restore_all();
+            if self.trace {
+                self.recorder
+                    .record(&Event::Power(PowerEvent::Restored { time: now }));
+            }
         }
     }
 
     /// Slot bookkeeping: close the finished slot, reconfigure relays,
     /// open the next one.
-    fn slot_boundary(&mut self) {
+    fn slot_boundary(&mut self, now: Seconds) {
+        if self.trace {
+            self.emit_pool_state(now);
+        }
         let peak = self.slot_peak;
         let valley = if self.slot_valley.get().is_finite() {
             self.slot_valley
@@ -892,13 +984,63 @@ impl Simulation {
     fn mirror_plan(&mut self) {
         let n = self.config.servers;
         let sc_servers = (self.plan.r_lambda.get() * n as f64).round() as usize;
-        match self.plan.discharge {
+        let (sc_n, ba_n) = match self.plan.discharge {
             DischargePriority::BatteryOnly | DischargePriority::BatteryThenSc => {
                 self.fabric.assign_all(PowerSource::Battery);
+                (0, n)
             }
-            DischargePriority::ScThenBattery => self.fabric.assign_all(PowerSource::SuperCap),
-            DischargePriority::Split => self.fabric.assign_split(sc_servers, n - sc_servers),
+            DischargePriority::ScThenBattery => {
+                self.fabric.assign_all(PowerSource::SuperCap);
+                (n, 0)
+            }
+            DischargePriority::Split => {
+                self.fabric.assign_split(sc_servers, n - sc_servers);
+                (sc_servers, n - sc_servers)
+            }
+        };
+        if self.trace {
+            self.recorder
+                .record(&Event::Power(PowerEvent::RelayAssignment {
+                    slot: self.controller.slots_completed(),
+                    sc_servers: sc_n,
+                    ba_servers: ba_n,
+                }));
         }
+    }
+
+    /// Emits one `esd.pool_state` sample per pool — the raw material
+    /// of the paper's SoC-over-time curves (Figures 5 and 12).
+    fn emit_pool_state(&self, now: Seconds) {
+        let sc = self.buffers.sc_pool();
+        self.recorder.record(&Event::Esd(EsdEvent::PoolState {
+            time: now,
+            pool: PoolId::SuperCap,
+            soc: if sc.is_empty() {
+                Ratio::ZERO
+            } else {
+                StorageDevice::soc(sc)
+            },
+            voltage: sc.open_circuit_voltage().get(),
+            available: sc.available_energy(),
+            throughput_ah: 0.0,
+        }));
+        let ba = self.buffers.ba_pool();
+        self.recorder.record(&Event::Esd(EsdEvent::PoolState {
+            time: now,
+            pool: PoolId::Battery,
+            soc: if ba.is_empty() {
+                Ratio::ZERO
+            } else {
+                StorageDevice::soc(ba)
+            },
+            voltage: ba.open_circuit_voltage().get(),
+            available: ba.available_energy(),
+            throughput_ah: ba
+                .devices()
+                .iter()
+                .map(|d| d.lifetime().raw_throughput().get())
+                .sum(),
+        }));
     }
 }
 
@@ -921,6 +1063,39 @@ mod tests {
         let mut s = sim(PolicyKind::HebD);
         let report = s.run_for_hours(0.5);
         assert_eq!(report.sim_time, Seconds::from_hours(0.5));
+        assert!(report.slots >= 2);
+    }
+
+    /// A disabled recorder whose `record` panics: proves the disabled
+    /// path never constructs or delivers an event — the semantic half
+    /// of the zero-cost claim (the perf half lives in the microbench
+    /// `--telemetry-guard` mode).
+    #[derive(Debug)]
+    struct PanicRecorder;
+
+    impl heb_telemetry::Recorder for PanicRecorder {
+        fn is_enabled(&self) -> bool {
+            false
+        }
+
+        fn record(&self, event: &Event) {
+            panic!("record() reached while disabled: {}", event.kind());
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_is_never_invoked() {
+        // Cross several slot boundaries, a budget derate, and a fault
+        // window — every emission site fires, none may call record().
+        let schedule = crate::faults::FaultSchedule::parse("blackout@300~120").unwrap();
+        let mut s = Simulation::new(
+            SimConfig::prototype().with_policy(PolicyKind::HebD),
+            &[Archetype::WebSearch, Archetype::Terasort],
+            11,
+        )
+        .with_faults(schedule);
+        s.set_recorder(std::sync::Arc::new(PanicRecorder));
+        let report = s.run_for_hours(0.5);
         assert!(report.slots >= 2);
     }
 

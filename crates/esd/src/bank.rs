@@ -8,6 +8,7 @@
 //! does not strand capacity held by its siblings.
 
 use crate::device::{ChargeResult, DischargeResult, StorageDevice};
+use heb_telemetry::{null_recorder, EsdEvent, Event, PoolId, RecorderHandle};
 use heb_units::{Joules, Seconds, Volts, Watts};
 
 /// A pool of identical storage devices dispatched as one logical buffer.
@@ -25,7 +26,7 @@ use heb_units::{Joules, Seconds, Volts, Watts};
 /// let r = pool.discharge(Watts::new(300.0), Seconds::new(1.0));
 /// assert!(r.delivered.get() > 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Bank<D> {
     devices: Vec<D>,
     /// Per-member quarantine flags (fault isolation). A quarantined
@@ -33,6 +34,21 @@ pub struct Bank<D> {
     /// state of charge, so restoring it returns exactly the energy it
     /// held — nothing is created or destroyed by isolation itself.
     quarantined: Vec<bool>,
+    /// Telemetry sink (default null). Purely observational: it never
+    /// influences dispatch, so it is excluded from equality.
+    recorder: RecorderHandle,
+    /// Which logical pool this bank plays in the telemetry stream;
+    /// `None` until [`Bank::set_recorder`] assigns one.
+    pool: Option<PoolId>,
+}
+
+/// Equality is over simulated state only — two banks with the same
+/// members and quarantine flags are equal regardless of where their
+/// telemetry flows.
+impl<D: PartialEq> PartialEq for Bank<D> {
+    fn eq(&self, other: &Self) -> bool {
+        self.devices == other.devices && self.quarantined == other.quarantined
+    }
 }
 
 impl<D: StorageDevice> Bank<D> {
@@ -45,15 +61,32 @@ impl<D: StorageDevice> Bank<D> {
         Self {
             devices,
             quarantined,
+            recorder: null_recorder(),
+            pool: None,
         }
     }
 
     /// An empty, zero-capacity bank.
     #[must_use]
     pub fn empty() -> Self {
-        Self {
-            devices: Vec::new(),
-            quarantined: Vec::new(),
+        Self::new(Vec::new())
+    }
+
+    /// Routes this bank's structural events (quarantine, restore,
+    /// ageing) to `recorder`, identified as `pool` in the stream.
+    pub fn set_recorder(&mut self, pool: PoolId, recorder: RecorderHandle) {
+        self.pool = Some(pool);
+        self.recorder = recorder;
+    }
+
+    /// Emits an ESD event if recording is on and a pool id was
+    /// assigned; with the default null recorder the closure never
+    /// runs, so event construction costs nothing.
+    fn emit(&self, event: impl FnOnce(PoolId) -> EsdEvent) {
+        if let Some(pool) = self.pool {
+            if self.recorder.is_enabled() {
+                self.recorder.record(&Event::Esd(event(pool)));
+            }
         }
     }
 
@@ -97,6 +130,10 @@ impl<D: StorageDevice> Bank<D> {
         match self.quarantined.get_mut(index) {
             Some(q) if !*q => {
                 *q = true;
+                self.emit(|pool| EsdEvent::MemberQuarantined {
+                    pool,
+                    member: index,
+                });
                 true
             }
             _ => false,
@@ -109,6 +146,10 @@ impl<D: StorageDevice> Bank<D> {
         match self.quarantined.get_mut(index) {
             Some(q) if *q => {
                 *q = false;
+                self.emit(|pool| EsdEvent::MemberRestored {
+                    pool,
+                    member: index,
+                });
                 true
             }
             _ => false,
@@ -316,6 +357,11 @@ impl<D: StorageDevice> StorageDevice for Bank<D> {
         for device in &mut self.devices {
             device.degrade(capacity_fade, resistance_growth);
         }
+        self.emit(|pool| EsdEvent::Degraded {
+            pool,
+            capacity_fade,
+            resistance_growth,
+        });
     }
 }
 
@@ -326,6 +372,8 @@ impl<D> FromIterator<D> for Bank<D> {
         Self {
             devices,
             quarantined,
+            recorder: null_recorder(),
+            pool: None,
         }
     }
 }
@@ -485,5 +533,39 @@ mod tests {
         let before = bank.usable_capacity();
         bank.degrade(Ratio::new_clamped(0.2), 0.5);
         assert!(bank.usable_capacity() < before);
+    }
+
+    #[test]
+    fn structural_events_flow_to_the_recorder() {
+        use heb_telemetry::{PoolId, RingRecorder};
+        use std::sync::Arc;
+
+        let ring = Arc::new(RingRecorder::new(16));
+        let mut bank = sc_bank(2);
+        bank.set_recorder(PoolId::SuperCap, Arc::clone(&ring) as _);
+        bank.quarantine(0);
+        bank.quarantine(0); // no-op: must not emit
+        bank.restore(0);
+        bank.degrade(Ratio::new_clamped(0.1), 0.2);
+        let kinds: Vec<&str> = ring.events().iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "esd.member_quarantined",
+                "esd.member_restored",
+                "esd.degraded"
+            ]
+        );
+    }
+
+    #[test]
+    fn equality_ignores_the_recorder() {
+        use heb_telemetry::{PoolId, RingRecorder};
+        use std::sync::Arc;
+
+        let plain = sc_bank(2);
+        let mut instrumented = sc_bank(2);
+        instrumented.set_recorder(PoolId::SuperCap, Arc::new(RingRecorder::new(4)) as _);
+        assert_eq!(plain, instrumented);
     }
 }

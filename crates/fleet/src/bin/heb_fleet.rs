@@ -3,12 +3,16 @@
 //!
 //! ```text
 //! heb_fleet [--jobs N] [--no-cache] [--cache-dir DIR] [--filter NAME]
-//!           [--hours H] [--seed S] [--replicate R] [--verbose] [--list]
+//!           [--hours H] [--seed S] [--replicate R] [--metrics]
+//!           [--verbose] [--list]
 //! ```
 //!
 //! The second invocation with a warm cache performs zero simulations;
 //! `--jobs N` is bit-identical to `--jobs 1` at any worker count.
+//! `--metrics` prints per-phase wall-clock timings (probe / simulate /
+//! merge) and the per-scenario latency histogram after the batches.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use heb_core::experiments::{
@@ -18,6 +22,7 @@ use heb_core::experiments::{
 };
 use heb_core::{Scenario, SimConfig};
 use heb_fleet::{replicate, FleetEngine, MetricSummary, ResultCache};
+use heb_telemetry::Metrics;
 use heb_units::Watts;
 
 /// One registered experiment: a name and its batch builder.
@@ -86,6 +91,7 @@ struct Args {
     hours: f64,
     seed: u64,
     replicate: u64,
+    metrics: bool,
     verbose: bool,
     list: bool,
 }
@@ -99,6 +105,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         hours: 1.0,
         seed: 42,
         replicate: 1,
+        metrics: false,
         verbose: false,
         list: false,
     };
@@ -133,13 +140,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--replicate: {e}"))?;
             }
+            "--metrics" => args.metrics = true,
             "--verbose" => args.verbose = true,
             "--list" => args.list = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: heb_fleet [--jobs N] [--no-cache] [--cache-dir DIR] \
                      [--filter NAME] [--hours H] [--seed S] [--replicate R] \
-                     [--verbose] [--list]"
+                     [--metrics] [--verbose] [--list]"
                         .to_string(),
                 )
             }
@@ -173,7 +181,14 @@ fn main() {
     if args.cache {
         engine = engine.with_cache(ResultCache::new(&args.cache_dir));
     }
-    let base = SimConfig::prototype();
+    let metrics = args.metrics.then(|| Arc::new(Metrics::new()));
+    if let Some(m) = &metrics {
+        engine = engine.with_metrics(Arc::clone(m));
+    }
+    let base = SimConfig::builder().build().unwrap_or_else(|err| {
+        eprintln!("invalid base config: {err}");
+        std::process::exit(2);
+    });
 
     let selected: Vec<&Experiment> = EXPERIMENTS
         .iter()
@@ -261,4 +276,8 @@ fn main() {
         stats.cache_writes,
         wall_start.elapsed()
     );
+    if let Some(metrics) = &metrics {
+        println!("--- engine metrics ---");
+        print!("{}", metrics.snapshot());
+    }
 }

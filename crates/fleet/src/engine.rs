@@ -11,9 +11,10 @@
 //! [`heb_core::SerialRunner`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use heb_core::{Scenario, ScenarioRunner, SimReport};
+use heb_telemetry::Metrics;
 
 use crate::cache::ResultCache;
 
@@ -43,6 +44,10 @@ pub struct FleetEngine {
     jobs: usize,
     cache: Option<ResultCache>,
     stats: AtomicStats,
+    /// Optional metrics registry: when attached, every `run` records
+    /// per-phase wall-clock timings (`fleet.phase.*`) and per-scenario
+    /// simulation latency (`fleet.scenario_seconds`).
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl FleetEngine {
@@ -54,6 +59,7 @@ impl FleetEngine {
             jobs: jobs.max(1),
             cache: None,
             stats: AtomicStats::default(),
+            metrics: None,
         }
     }
 
@@ -63,6 +69,20 @@ impl FleetEngine {
     pub fn with_cache(mut self, cache: ResultCache) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Attaches a metrics registry recording phase timings (probe /
+    /// simulate / merge) and per-scenario simulation latency.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached metrics registry, if any.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&Arc<Metrics>> {
+        self.metrics.as_ref()
     }
 
     /// The configured worker count.
@@ -101,6 +121,7 @@ impl FleetEngine {
     #[must_use]
     pub fn run(&self, batch: &[Scenario]) -> Vec<SimReport> {
         // Cache probe pass: settle every hit up front, queue the rest.
+        let probe_timer = self.metrics.as_ref().map(|m| m.timer("fleet.phase.probe"));
         let mut results: Vec<Option<SimReport>> = Vec::with_capacity(batch.len());
         let mut pending: Vec<usize> = Vec::new();
         for (index, scenario) in batch.iter().enumerate() {
@@ -112,10 +133,30 @@ impl FleetEngine {
             }
             results.push(hit);
         }
+        drop(probe_timer);
 
         // Simulation pass: workers pull pending scenarios off a shared
         // cursor; each result lands in the slot of its batch index, so
         // scheduling order cannot leak into the output.
+        let simulate_timer = self
+            .metrics
+            .as_ref()
+            .map(|m| m.timer("fleet.phase.simulate"));
+        let scenario_hist = self
+            .metrics
+            .as_ref()
+            .map(|m| m.histogram("fleet.scenario_seconds"));
+        let run_one = |index: usize| -> SimReport {
+            match &scenario_hist {
+                Some(hist) => {
+                    let start = std::time::Instant::now();
+                    let report = batch[index].run_expect();
+                    hist.observe(start.elapsed().as_secs_f64());
+                    report
+                }
+                None => batch[index].run_expect(),
+            }
+        };
         let slots: Vec<Mutex<Option<SimReport>>> =
             pending.iter().map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
@@ -128,21 +169,23 @@ impl FleetEngine {
                         let Some(&index) = pending.get(next) else {
                             break;
                         };
-                        let report = batch[index].run_expect();
+                        let report = run_one(index);
                         *slots[next].lock().expect("result slot poisoned") = Some(report);
                     });
                 }
             });
         } else {
             for (slot, &index) in slots.iter().zip(&pending) {
-                *slot.lock().expect("result slot poisoned") = Some(batch[index].run_expect());
+                *slot.lock().expect("result slot poisoned") = Some(run_one(index));
             }
         }
         self.stats
             .simulated
             .fetch_add(pending.len(), Ordering::Relaxed);
+        drop(simulate_timer);
 
         // Merge pass: persist fresh results and fill the output vector.
+        let merge_timer = self.metrics.as_ref().map(|m| m.timer("fleet.phase.merge"));
         for (slot, &index) in slots.iter().zip(&pending) {
             let report = slot
                 .lock()
@@ -155,6 +198,14 @@ impl FleetEngine {
                 }
             }
             results[index] = Some(report);
+        }
+        drop(merge_timer);
+        if let Some(metrics) = &self.metrics {
+            metrics.counter("fleet.scenarios").add(batch.len() as u64);
+            metrics.counter("fleet.simulated").add(pending.len() as u64);
+            metrics
+                .counter("fleet.cache_hits")
+                .add((batch.len() - pending.len()) as u64);
         }
         results
             .into_iter()
@@ -213,5 +264,38 @@ mod tests {
     #[test]
     fn zero_jobs_clamps_to_one() {
         assert_eq!(FleetEngine::new(0).jobs(), 1);
+    }
+
+    #[test]
+    fn metrics_capture_phases_and_per_scenario_latency() {
+        let metrics = Arc::new(Metrics::new());
+        let engine = FleetEngine::new(2).with_metrics(Arc::clone(&metrics));
+        let batch = batch();
+        let reports = engine.run(&batch);
+        assert_eq!(reports.len(), batch.len());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("fleet.scenarios"), Some(batch.len() as u64));
+        assert_eq!(snap.counter("fleet.simulated"), Some(batch.len() as u64));
+        assert_eq!(snap.counter("fleet.cache_hits"), Some(0));
+        for phase in [
+            "fleet.phase.probe",
+            "fleet.phase.simulate",
+            "fleet.phase.merge",
+        ] {
+            let h = snap.histogram(phase).expect(phase);
+            assert_eq!(h.count, 1, "{phase} must time each run() once");
+        }
+        let per_scenario = snap.histogram("fleet.scenario_seconds").unwrap();
+        assert_eq!(per_scenario.count, batch.len() as u64);
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_results() {
+        let batch = batch();
+        let plain = FleetEngine::new(3).run(&batch);
+        let instrumented = FleetEngine::new(3)
+            .with_metrics(Arc::new(Metrics::new()))
+            .run(&batch);
+        assert_eq!(plain, instrumented);
     }
 }

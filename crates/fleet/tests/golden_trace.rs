@@ -1,0 +1,98 @@
+//! Golden-trace determinism: a fixed-seed scenario batch captures a
+//! bit-identical JSONL event stream across repeated runs and across
+//! engine worker counts. Telemetry is observational — the recorder is
+//! excluded from the content hash and the event order is fixed by the
+//! simulation clock, so parallel scheduling must not leak into traces.
+
+use std::sync::Arc;
+
+use heb_core::{FaultSchedule, PolicyKind, Scenario, SimConfig};
+use heb_fleet::FleetEngine;
+use heb_telemetry::{RecorderHandle, RingRecorder};
+use heb_workload::Archetype;
+
+/// Three fixed-seed 2-hour runs with a fault storm folded in, each
+/// wired to its own ring, so the capture covers every event category.
+fn traced_batch() -> (Vec<Scenario>, Vec<Arc<RingRecorder>>) {
+    let faults =
+        FaultSchedule::parse("blackout@1800~600;brownout(0.9)@4200~900").expect("fault spec");
+    let mut scenarios = Vec::new();
+    let mut rings = Vec::new();
+    for i in 0..3u64 {
+        let ring = Arc::new(RingRecorder::new(8192));
+        let config = SimConfig::builder()
+            .policy(PolicyKind::HebD)
+            .build()
+            .expect("prototype defaults are valid");
+        let scenario = Scenario::new(
+            format!("golden/{i}"),
+            config,
+            &[Archetype::WebSearch, Archetype::Terasort],
+            2.0,
+            7 + i,
+        )
+        .with_faults(faults.clone())
+        .with_recorder(Arc::clone(&ring) as RecorderHandle);
+        scenarios.push(scenario);
+        rings.push(ring);
+    }
+    (scenarios, rings)
+}
+
+fn run_and_capture(jobs: usize) -> Vec<String> {
+    let (batch, rings) = traced_batch();
+    let reports = FleetEngine::new(jobs).run(&batch);
+    assert_eq!(reports.len(), batch.len());
+    rings.iter().map(|ring| ring.to_jsonl()).collect()
+}
+
+#[test]
+fn trace_is_bit_identical_across_runs_and_worker_counts() {
+    let first = run_and_capture(1);
+    let repeat = run_and_capture(1);
+    let parallel = run_and_capture(4);
+    assert_eq!(first, repeat, "same seed, same jobs: traces must match");
+    assert_eq!(first, parallel, "worker count must not leak into traces");
+
+    for jsonl in &first {
+        assert!(!jsonl.is_empty(), "2-hour run must produce events");
+        for prefix in ["controller.", "esd.", "power.", "fault."] {
+            assert!(
+                jsonl.contains(&format!("\"type\":\"{prefix}")),
+                "trace must cover the {prefix}* events"
+            );
+        }
+        // Every line is an object with a leading type field — the
+        // shape exp_trace and the json_field extractor rely on.
+        for line in jsonl.lines() {
+            assert!(
+                line.starts_with("{\"type\":\"") && line.ends_with('}'),
+                "{line}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dropping_the_recorder_does_not_change_the_report() {
+    let (batch, _rings) = traced_batch();
+    let untraced: Vec<Scenario> = (0..3u64)
+        .map(|i| {
+            Scenario::new(
+                format!("golden/{i}"),
+                SimConfig::prototype().with_policy(PolicyKind::HebD),
+                &[Archetype::WebSearch, Archetype::Terasort],
+                2.0,
+                7 + i,
+            )
+            .with_faults(FaultSchedule::parse("blackout@1800~600;brownout(0.9)@4200~900").unwrap())
+        })
+        .collect();
+    // Same cache identity (recorder is hash-blind) and same physics.
+    for (a, b) in batch.iter().zip(&untraced) {
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+    let traced_reports = FleetEngine::new(2).run(&batch);
+    let untraced_reports = FleetEngine::new(2).run(&untraced);
+    assert_eq!(traced_reports, untraced_reports);
+}

@@ -1,0 +1,452 @@
+//! Typed simulator events and their canonical JSONL encoding.
+//!
+//! Every observable state change in the stack maps to one [`Event`]
+//! variant: slot-level controller decisions, buffer-pool state, power
+//! delivery transitions, and fault-injection edges. The JSON encoding
+//! is hand-rolled (the build environment is offline, so serde is
+//! unavailable) and **deterministic**: field order is fixed and floats
+//! use Rust's shortest-round-trip formatting, so a fixed-seed run
+//! produces a bit-identical event stream every time.
+
+use heb_units::{Joules, Ratio, Seconds, Watts};
+
+/// Which buffer pool an ESD event concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolId {
+    /// The super-capacitor pool.
+    SuperCap,
+    /// The battery pool.
+    Battery,
+}
+
+impl PoolId {
+    /// Short stable name used in the JSON encoding (`"sc"` / `"ba"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PoolId::SuperCap => "sc",
+            PoolId::Battery => "ba",
+        }
+    }
+}
+
+/// Slot-level decisions of the hControl controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerEvent {
+    /// A control slot opened with this plan.
+    SlotPlanned {
+        /// Slot index (completed-slot count when the slot opened).
+        slot: u64,
+        /// Predicted net mismatch for the slot.
+        predicted_mismatch: Watts,
+        /// Small/large classification (`"small"` / `"large"`).
+        peak_size: &'static str,
+        /// Load-assignment ratio chosen for the slot.
+        r_lambda: f64,
+        /// Discharge routing name.
+        discharge: &'static str,
+        /// Charge routing name.
+        charge: &'static str,
+    },
+    /// The slot decision was re-run mid-slot (budget changed).
+    Replanned {
+        /// Simulated time of the re-plan.
+        time: Seconds,
+        /// What forced it (e.g. `"budget-change"`).
+        reason: &'static str,
+    },
+    /// A cold PAT key was populated at slot end.
+    PatInserted {
+        /// Slot index that produced the entry.
+        slot: u64,
+        /// The `R_λ` stored.
+        r_lambda: f64,
+    },
+    /// An existing PAT entry went through the `Δr` update.
+    PatUpdated {
+        /// Slot index that drove the update.
+        slot: u64,
+    },
+    /// Degraded forecasting switched on or off.
+    ForecastDegraded {
+        /// Slot index at the transition.
+        slot: u64,
+        /// Whether the controller now plans from last-good values.
+        degraded: bool,
+    },
+}
+
+/// Energy-storage state and structural changes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EsdEvent {
+    /// Per-pool state sampled at a slot boundary (the Figure 5/12 SoC
+    /// curves are drawn from these).
+    PoolState {
+        /// Simulated time of the sample.
+        time: Seconds,
+        /// Which pool.
+        pool: PoolId,
+        /// State of charge of the usable window.
+        soc: Ratio,
+        /// Mean member open-circuit voltage.
+        voltage: f64,
+        /// Dispatchable energy right now.
+        available: Joules,
+        /// Cumulative amp-hour throughput (battery pools; 0 for SCs).
+        throughput_ah: f64,
+    },
+    /// A member (string/module) was quarantined out of the pool.
+    MemberQuarantined {
+        /// Which pool.
+        pool: PoolId,
+        /// Member index.
+        member: usize,
+    },
+    /// A quarantined member returned to service.
+    MemberRestored {
+        /// Which pool.
+        pool: PoolId,
+        /// Member index.
+        member: usize,
+    },
+    /// A permanent ageing step was applied to the pool.
+    Degraded {
+        /// Which pool.
+        pool: PoolId,
+        /// Fraction of nameplate capacity lost.
+        capacity_fade: Ratio,
+        /// Relative internal-resistance growth.
+        resistance_growth: f64,
+    },
+}
+
+/// Power-delivery transitions: feed health, shedding, and relay moves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerEvent {
+    /// The deliverable utility budget was derated (1.0 = nameplate,
+    /// 0.0 = blackout).
+    BudgetDerated {
+        /// Simulated time of the edge.
+        time: Seconds,
+        /// Fraction of nameplate still deliverable.
+        factor: Ratio,
+    },
+    /// The renewable feed went offline or came back.
+    SolarAvailability {
+        /// Simulated time of the edge.
+        time: Seconds,
+        /// Whether the feed is online.
+        online: bool,
+    },
+    /// Servers were shed (capped) after a shortfall.
+    Shed {
+        /// Simulated time of the shed.
+        time: Seconds,
+        /// How many servers dropped.
+        servers: usize,
+    },
+    /// All shed servers were restored.
+    Restored {
+        /// Simulated time of the restore.
+        time: Seconds,
+    },
+    /// The relay fabric was reassigned to mirror a new slot plan.
+    RelayAssignment {
+        /// Slot index the assignment mirrors.
+        slot: u64,
+        /// Servers pointed at the SC pool.
+        sc_servers: usize,
+        /// Servers pointed at the battery pool.
+        ba_servers: usize,
+    },
+}
+
+/// Fault-injection edges, as applied by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// A scheduled fault took effect.
+    Injected {
+        /// Simulated time of the onset.
+        time: Seconds,
+        /// The fault's stable spec name (e.g. `"blackout"`).
+        kind: &'static str,
+    },
+    /// A fault's duration elapsed and it was rolled back.
+    Recovered {
+        /// Simulated time of the recovery.
+        time: Seconds,
+        /// The fault's stable spec name.
+        kind: &'static str,
+    },
+}
+
+/// One observable state change anywhere in the simulated stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// hControl decision.
+    Controller(ControllerEvent),
+    /// Buffer-pool state or structure.
+    Esd(EsdEvent),
+    /// Power-delivery transition.
+    Power(PowerEvent),
+    /// Fault-injection edge.
+    Fault(FaultEvent),
+}
+
+impl Event {
+    /// The event's stable dotted type name (the JSON `type` field).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Controller(e) => match e {
+                ControllerEvent::SlotPlanned { .. } => "controller.slot_planned",
+                ControllerEvent::Replanned { .. } => "controller.replanned",
+                ControllerEvent::PatInserted { .. } => "controller.pat_inserted",
+                ControllerEvent::PatUpdated { .. } => "controller.pat_updated",
+                ControllerEvent::ForecastDegraded { .. } => "controller.forecast_degraded",
+            },
+            Event::Esd(e) => match e {
+                EsdEvent::PoolState { .. } => "esd.pool_state",
+                EsdEvent::MemberQuarantined { .. } => "esd.member_quarantined",
+                EsdEvent::MemberRestored { .. } => "esd.member_restored",
+                EsdEvent::Degraded { .. } => "esd.degraded",
+            },
+            Event::Power(e) => match e {
+                PowerEvent::BudgetDerated { .. } => "power.budget_derated",
+                PowerEvent::SolarAvailability { .. } => "power.solar_availability",
+                PowerEvent::Shed { .. } => "power.shed",
+                PowerEvent::Restored { .. } => "power.restored",
+                PowerEvent::RelayAssignment { .. } => "power.relay_assignment",
+            },
+            Event::Fault(e) => match e {
+                FaultEvent::Injected { .. } => "fault.injected",
+                FaultEvent::Recovered { .. } => "fault.recovered",
+            },
+        }
+    }
+
+    /// The top-level category (`"controller"`, `"esd"`, `"power"`,
+    /// `"fault"`) — the metrics recorder counts events per category.
+    #[must_use]
+    pub fn category(&self) -> &'static str {
+        match self {
+            Event::Controller(_) => "controller",
+            Event::Esd(_) => "esd",
+            Event::Power(_) => "power",
+            Event::Fault(_) => "fault",
+        }
+    }
+
+    /// Appends the canonical one-line JSON encoding (no trailing
+    /// newline). Field order is fixed, so the encoding is
+    /// byte-deterministic for a given event.
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        let kind = self.kind();
+        let _ = write!(out, "{{\"type\":\"{kind}\"");
+        match self {
+            Event::Controller(e) => match e {
+                ControllerEvent::SlotPlanned {
+                    slot,
+                    predicted_mismatch,
+                    peak_size,
+                    r_lambda,
+                    discharge,
+                    charge,
+                } => {
+                    let _ = write!(
+                        out,
+                        ",\"slot\":{slot},\"predicted_w\":{},\"peak\":\"{peak_size}\",\
+                         \"r_lambda\":{r_lambda},\"discharge\":\"{discharge}\",\
+                         \"charge\":\"{charge}\"",
+                        predicted_mismatch.get()
+                    );
+                }
+                ControllerEvent::Replanned { time, reason } => {
+                    let _ = write!(out, ",\"t\":{},\"reason\":\"{reason}\"", time.get());
+                }
+                ControllerEvent::PatInserted { slot, r_lambda } => {
+                    let _ = write!(out, ",\"slot\":{slot},\"r_lambda\":{r_lambda}");
+                }
+                ControllerEvent::PatUpdated { slot } => {
+                    let _ = write!(out, ",\"slot\":{slot}");
+                }
+                ControllerEvent::ForecastDegraded { slot, degraded } => {
+                    let _ = write!(out, ",\"slot\":{slot},\"degraded\":{degraded}");
+                }
+            },
+            Event::Esd(e) => match e {
+                EsdEvent::PoolState {
+                    time,
+                    pool,
+                    soc,
+                    voltage,
+                    available,
+                    throughput_ah,
+                } => {
+                    let _ = write!(
+                        out,
+                        ",\"t\":{},\"pool\":\"{}\",\"soc\":{},\"volts\":{voltage},\
+                         \"available_wh\":{},\"throughput_ah\":{throughput_ah}",
+                        time.get(),
+                        pool.name(),
+                        soc.get(),
+                        available.as_watt_hours().get()
+                    );
+                }
+                EsdEvent::MemberQuarantined { pool, member } => {
+                    let _ = write!(out, ",\"pool\":\"{}\",\"member\":{member}", pool.name());
+                }
+                EsdEvent::MemberRestored { pool, member } => {
+                    let _ = write!(out, ",\"pool\":\"{}\",\"member\":{member}", pool.name());
+                }
+                EsdEvent::Degraded {
+                    pool,
+                    capacity_fade,
+                    resistance_growth,
+                } => {
+                    let _ = write!(
+                        out,
+                        ",\"pool\":\"{}\",\"capacity_fade\":{},\"resistance_growth\":{resistance_growth}",
+                        pool.name(),
+                        capacity_fade.get()
+                    );
+                }
+            },
+            Event::Power(e) => match e {
+                PowerEvent::BudgetDerated { time, factor } => {
+                    let _ = write!(out, ",\"t\":{},\"factor\":{}", time.get(), factor.get());
+                }
+                PowerEvent::SolarAvailability { time, online } => {
+                    let _ = write!(out, ",\"t\":{},\"online\":{online}", time.get());
+                }
+                PowerEvent::Shed { time, servers } => {
+                    let _ = write!(out, ",\"t\":{},\"servers\":{servers}", time.get());
+                }
+                PowerEvent::Restored { time } => {
+                    let _ = write!(out, ",\"t\":{}", time.get());
+                }
+                PowerEvent::RelayAssignment {
+                    slot,
+                    sc_servers,
+                    ba_servers,
+                } => {
+                    let _ = write!(
+                        out,
+                        ",\"slot\":{slot},\"sc_servers\":{sc_servers},\"ba_servers\":{ba_servers}"
+                    );
+                }
+            },
+            Event::Fault(e) => match e {
+                FaultEvent::Injected { time, kind } | FaultEvent::Recovered { time, kind } => {
+                    let _ = write!(out, ",\"t\":{},\"kind\":\"{kind}\"", time.get());
+                }
+            },
+        }
+        out.push('}');
+    }
+
+    /// The canonical one-line JSON encoding as an owned string.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        self.write_json(&mut out);
+        out
+    }
+}
+
+/// Extracts the raw value of `key` from a single-line JSON object
+/// produced by [`Event::write_json`] — enough of a parser for trace
+/// post-processing (the `exp_trace` renderer, tests) without a JSON
+/// dependency. String values are returned without their quotes.
+///
+/// This is *not* a general JSON parser: it relies on the canonical
+/// encoding's guarantees (no nested objects, no escapes inside the
+/// fixed key/value vocabulary).
+#[must_use]
+pub fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        Some(&stripped[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(&rest[..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_deterministic_and_field_ordered() {
+        let e = Event::Controller(ControllerEvent::SlotPlanned {
+            slot: 3,
+            predicted_mismatch: Watts::new(160.5),
+            peak_size: "large",
+            r_lambda: 0.3,
+            discharge: "split",
+            charge: "sc-then-ba",
+        });
+        let expected = "{\"type\":\"controller.slot_planned\",\"slot\":3,\
+                        \"predicted_w\":160.5,\"peak\":\"large\",\"r_lambda\":0.3,\
+                        \"discharge\":\"split\",\"charge\":\"sc-then-ba\"}";
+        assert_eq!(e.to_json(), expected);
+        assert_eq!(e.to_json(), e.to_json());
+    }
+
+    #[test]
+    fn kind_matches_category_prefix() {
+        let events = [
+            Event::Controller(ControllerEvent::PatUpdated { slot: 1 }),
+            Event::Esd(EsdEvent::MemberQuarantined {
+                pool: PoolId::Battery,
+                member: 0,
+            }),
+            Event::Power(PowerEvent::Restored {
+                time: Seconds::new(30.0),
+            }),
+            Event::Fault(FaultEvent::Injected {
+                time: Seconds::new(60.0),
+                kind: "blackout",
+            }),
+        ];
+        for e in &events {
+            assert!(e.kind().starts_with(e.category()), "{}", e.kind());
+        }
+    }
+
+    #[test]
+    fn json_field_extracts_numbers_strings_and_bools() {
+        let e = Event::Esd(EsdEvent::PoolState {
+            time: Seconds::new(600.0),
+            pool: PoolId::SuperCap,
+            soc: Ratio::new_clamped(0.75),
+            voltage: 2.5,
+            available: Joules::from_watt_hours(33.75),
+            throughput_ah: 0.0,
+        });
+        let line = e.to_json();
+        assert_eq!(json_field(&line, "type"), Some("esd.pool_state"));
+        assert_eq!(json_field(&line, "pool"), Some("sc"));
+        assert_eq!(json_field(&line, "soc"), Some("0.75"));
+        assert_eq!(json_field(&line, "t"), Some("600"));
+        assert_eq!(json_field(&line, "throughput_ah"), Some("0"));
+        assert_eq!(json_field(&line, "missing"), None);
+
+        let d = Event::Controller(ControllerEvent::ForecastDegraded {
+            slot: 2,
+            degraded: true,
+        });
+        assert_eq!(json_field(&d.to_json(), "degraded"), Some("true"));
+    }
+
+    #[test]
+    fn pool_names_are_stable() {
+        assert_eq!(PoolId::SuperCap.name(), "sc");
+        assert_eq!(PoolId::Battery.name(), "ba");
+    }
+}

@@ -1,0 +1,380 @@
+//! The [`Recorder`] trait and its stock implementations.
+//!
+//! The contract that makes the layer zero-cost when disabled: hot
+//! paths call [`Recorder::is_enabled`] *before* constructing an
+//! [`Event`], so with the default [`NullRecorder`] no event is ever
+//! built, no branch beyond one non-virtual bool load is taken (call
+//! sites cache the flag), and no allocation happens.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+use crate::metrics::Metrics;
+
+/// A sink for simulator events.
+///
+/// Implementations must be cheap to query via [`Recorder::is_enabled`]
+/// and tolerant of concurrent [`Recorder::record`] calls (the fleet
+/// engine runs scenarios on worker threads).
+pub trait Recorder: fmt::Debug + Send + Sync {
+    /// Whether events should be constructed at all. Call sites check
+    /// this first and skip event construction when it returns `false`.
+    fn is_enabled(&self) -> bool;
+
+    /// Accepts one event. Must not panic on a poisoned downstream —
+    /// observability failures never take the simulation down.
+    fn record(&self, event: &Event);
+
+    /// Flushes any buffered output (no-op for in-memory recorders).
+    fn flush(&self) {}
+}
+
+/// Shared, clonable handle to a recorder.
+pub type RecorderHandle = Arc<dyn Recorder>;
+
+/// The shared default handle: a [`NullRecorder`].
+#[must_use]
+pub fn null_recorder() -> RecorderHandle {
+    Arc::new(NullRecorder)
+}
+
+/// Discards everything; [`Recorder::is_enabled`] is `false`, so call
+/// sites never even build the event. This is the default everywhere.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: &Event) {}
+}
+
+/// Bounded in-memory recorder: keeps the most recent `capacity`
+/// events. Good for tests and post-mortem inspection without
+/// unbounded growth on long runs.
+#[derive(Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    events: Mutex<VecDeque<Event>>,
+    dropped: Mutex<u64>,
+}
+
+impl RingRecorder {
+    /// A ring holding at most `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingRecorder {
+            capacity,
+            events: Mutex::new(VecDeque::with_capacity(capacity)),
+            dropped: Mutex::new(0),
+        }
+    }
+
+    /// The retention limit.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        match self.events.lock() {
+            Ok(events) => events.iter().cloned().collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Events evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.lock().map(|d| *d).unwrap_or(0)
+    }
+
+    /// Retained count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().map(|e| e.len()).unwrap_or(0)
+    }
+
+    /// Whether nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the retained events as JSONL, one event per line
+    /// (trailing newline included when non-empty).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        if let Ok(events) = self.events.lock() {
+            for event in events.iter() {
+                event.write_json(&mut out);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: &Event) {
+        let Ok(mut events) = self.events.lock() else {
+            return;
+        };
+        if events.len() == self.capacity {
+            events.pop_front();
+            if let Ok(mut dropped) = self.dropped.lock() {
+                *dropped += 1;
+            }
+        }
+        events.push_back(event.clone());
+    }
+}
+
+/// Streams events as JSONL to any writer (typically a buffered file).
+/// Output is flushed on [`Recorder::flush`] and on drop.
+pub struct JsonlRecorder {
+    writer: Mutex<Box<dyn Write + Send>>,
+    written: Mutex<u64>,
+}
+
+impl fmt::Debug for JsonlRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlRecorder")
+            .field("events_written", &self.events_written())
+            .finish()
+    }
+}
+
+impl JsonlRecorder {
+    /// Wraps an arbitrary writer.
+    #[must_use]
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonlRecorder {
+            writer: Mutex::new(writer),
+            written: Mutex::new(0),
+        }
+    }
+
+    /// Creates (truncating) `path` and streams events into it through
+    /// a buffer.
+    ///
+    /// # Errors
+    /// Propagates the underlying file-creation error.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::new(Box::new(BufWriter::new(file))))
+    }
+
+    /// Events successfully serialised so far.
+    #[must_use]
+    pub fn events_written(&self) -> u64 {
+        self.written.lock().map(|w| *w).unwrap_or(0)
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: &Event) {
+        let mut line = String::with_capacity(96);
+        event.write_json(&mut line);
+        line.push('\n');
+        let Ok(mut writer) = self.writer.lock() else {
+            return;
+        };
+        if writer.write_all(line.as_bytes()).is_ok() {
+            if let Ok(mut written) = self.written.lock() {
+                *written += 1;
+            }
+        }
+    }
+
+    fn flush(&self) {
+        if let Ok(mut writer) = self.writer.lock() {
+            let _ = writer.flush();
+        }
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Counts events per category/type into a [`Metrics`] registry
+/// without retaining the events themselves.
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    metrics: Arc<Metrics>,
+}
+
+impl MetricsRecorder {
+    /// Counts into `metrics` under `events.<category>` and
+    /// `events.<type>` counters.
+    #[must_use]
+    pub fn new(metrics: Arc<Metrics>) -> Self {
+        MetricsRecorder { metrics }
+    }
+
+    /// The backing registry.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: &Event) {
+        self.metrics
+            .counter(&format!("events.{}", event.category()))
+            .add(1);
+        self.metrics.counter(event.kind()).add(1);
+    }
+}
+
+/// Fans events out to several recorders (e.g. JSONL to disk *and*
+/// metrics counting). Enabled iff any branch is enabled.
+#[derive(Debug)]
+pub struct TeeRecorder {
+    branches: Vec<RecorderHandle>,
+}
+
+impl TeeRecorder {
+    /// Builds a tee over `branches`.
+    #[must_use]
+    pub fn new(branches: Vec<RecorderHandle>) -> Self {
+        TeeRecorder { branches }
+    }
+}
+
+impl Recorder for TeeRecorder {
+    fn is_enabled(&self) -> bool {
+        self.branches.iter().any(|b| b.is_enabled())
+    }
+
+    fn record(&self, event: &Event) {
+        for branch in &self.branches {
+            if branch.is_enabled() {
+                branch.record(event);
+            }
+        }
+    }
+
+    fn flush(&self) {
+        for branch in &self.branches {
+            branch.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, FaultEvent, PowerEvent};
+    use heb_units::Seconds;
+
+    fn fault(t: f64) -> Event {
+        Event::Fault(FaultEvent::Injected {
+            time: Seconds::new(t),
+            kind: "blackout",
+        })
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let r = NullRecorder;
+        assert!(!r.is_enabled());
+        r.record(&fault(0.0));
+        r.flush();
+    }
+
+    #[test]
+    fn ring_recorder_keeps_most_recent_and_counts_drops() {
+        let ring = RingRecorder::new(2);
+        assert!(ring.is_empty());
+        for t in 0..4 {
+            ring.record(&fault(f64::from(t)));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 2);
+        let events = ring.events();
+        assert_eq!(events[0], fault(2.0));
+        assert_eq!(events[1], fault(3.0));
+        let jsonl = ring.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.ends_with('\n'));
+    }
+
+    #[test]
+    fn jsonl_recorder_streams_lines() {
+        let recorder = JsonlRecorder::new(Box::new(Vec::new()));
+        recorder.record(&fault(0.0));
+        recorder.record(&Event::Power(PowerEvent::Restored {
+            time: Seconds::new(9.0),
+        }));
+        assert_eq!(recorder.events_written(), 2);
+    }
+
+    #[test]
+    fn jsonl_recorder_writes_to_file() {
+        let path = std::env::temp_dir().join("heb_telemetry_recorder_test.jsonl");
+        {
+            let recorder = JsonlRecorder::create(&path).expect("create");
+            recorder.record(&fault(1.0));
+            recorder.flush();
+        }
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(body, format!("{}\n", fault(1.0).to_json()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn metrics_recorder_counts_categories_and_kinds() {
+        let metrics = Arc::new(Metrics::new());
+        let recorder = MetricsRecorder::new(Arc::clone(&metrics));
+        recorder.record(&fault(0.0));
+        recorder.record(&fault(1.0));
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.counter("events.fault"), Some(2));
+        assert_eq!(snapshot.counter("fault.injected"), Some(2));
+    }
+
+    #[test]
+    fn tee_fans_out_and_reports_enabled() {
+        let ring_a = Arc::new(RingRecorder::new(8));
+        let ring_b = Arc::new(RingRecorder::new(8));
+        let tee = TeeRecorder::new(vec![
+            Arc::clone(&ring_a) as RecorderHandle,
+            Arc::clone(&ring_b) as RecorderHandle,
+        ]);
+        assert!(tee.is_enabled());
+        tee.record(&fault(5.0));
+        assert_eq!(ring_a.len(), 1);
+        assert_eq!(ring_b.len(), 1);
+
+        let all_null = TeeRecorder::new(vec![null_recorder(), null_recorder()]);
+        assert!(!all_null.is_enabled());
+    }
+}

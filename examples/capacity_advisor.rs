@@ -11,12 +11,12 @@
 use heb::core::experiments::capacity_ratio_sweep;
 use heb::tco::{PeakShavingModel, RoiModel, SchemeEconomics};
 use heb::units::Dollars;
-use heb::{SimConfig, Watts};
+use heb::{SimConfig, SimError, Watts};
 
-fn main() {
+fn main() -> Result<(), SimError> {
     // 1. Performance side: sweep SC share at constant total capacity.
     println!("== performance vs SC:battery ratio (HEB-D, equal total capacity) ==");
-    let base = SimConfig::prototype().with_budget(Watts::new(250.0));
+    let base = SimConfig::builder().budget(Watts::new(250.0)).build()?;
     let points = capacity_ratio_sweep(&base, &[1, 3, 5], 2.0, 2.0, 9);
     for p in &points {
         let (eff, downtime, _, reu) = p.metrics();
@@ -74,4 +74,5 @@ fn main() {
          hardware under a battery-first policy would under-perform BaOnly.",
         model.break_even_years(&heb, 20.0).unwrap_or(f64::NAN),
     );
+    Ok(())
 }

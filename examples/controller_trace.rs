@@ -11,17 +11,18 @@
 //! ```
 
 use heb::workload::Archetype;
-use heb::{PolicyKind, SimConfig, Simulation, Watts};
+use heb::{PolicyKind, SimConfig, SimError, Simulation, Watts};
 
-fn main() {
-    let config = SimConfig::prototype()
-        .with_policy(PolicyKind::HebD)
-        .with_budget(Watts::new(250.0));
-    let mut sim = Simulation::new(
+fn main() -> Result<(), SimError> {
+    let config = SimConfig::builder()
+        .policy(PolicyKind::HebD)
+        .budget(Watts::new(250.0))
+        .build()?;
+    let mut sim = Simulation::try_new(
         config,
         &[Archetype::Terasort, Archetype::WebSearch, Archetype::Dfsioe],
         123,
-    );
+    )?;
     let report = sim.run_for_hours(5.0);
 
     println!(
@@ -57,4 +58,5 @@ fn main() {
         report.server_downtime.get(),
         report.pat_entries
     );
+    Ok(())
 }

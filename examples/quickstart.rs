@@ -6,12 +6,12 @@
 //! ```
 
 use heb::workload::Archetype;
-use heb::{PolicyKind, SimConfig, Simulation};
+use heb::{PolicyKind, SimConfig, SimError, Simulation};
 
-fn main() {
+fn main() -> Result<(), SimError> {
     // The paper's prototype: six 30–70 W servers on a 260 W utility
     // budget, backed by 150 Wh of buffers split 3:7 SC:battery.
-    let config = SimConfig::prototype().with_policy(PolicyKind::HebD);
+    let config = SimConfig::builder().policy(PolicyKind::HebD).build()?;
     println!(
         "prototype: {} servers, {:.0} budget, {:.0} Wh buffer ({:.0} % SC)",
         config.servers,
@@ -22,7 +22,7 @@ fn main() {
 
     // One hour of a mixed rack: web search (small peaks) alongside
     // Terasort (large peaks), exactly the two-group setup of Section 6.
-    let mut sim = Simulation::new(config, &[Archetype::WebSearch, Archetype::Terasort], 42);
+    let mut sim = Simulation::try_new(config, &[Archetype::WebSearch, Archetype::Terasort], 42)?;
     let report = sim.run_for_hours(1.0);
 
     println!("\nafter {:.1} simulated hours:", report.sim_time.as_hours());
@@ -43,4 +43,5 @@ fn main() {
         "  controller ran {} slots, PAT holds {} entries",
         report.slots, report.pat_entries
     );
+    Ok(())
 }

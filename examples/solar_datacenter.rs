@@ -12,9 +12,9 @@
 
 use heb::core::experiments::deep_valley_absorption;
 use heb::workload::{Archetype, SolarTraceBuilder};
-use heb::{PolicyKind, PowerMode, Ratio, SimConfig, Simulation, Watts};
+use heb::{PolicyKind, PowerMode, Ratio, SimConfig, SimError, Simulation, Watts};
 
-fn main() {
+fn main() -> Result<(), SimError> {
     // A cloudy day on a 500 W array.
     let trace = SolarTraceBuilder::new(Watts::new(500.0))
         .seed(11)
@@ -35,8 +35,9 @@ fn main() {
     ];
     println!("\nfull-day REU by scheme (buffers start drained overnight):");
     for policy in [PolicyKind::BaOnly, PolicyKind::BaFirst, PolicyKind::HebD] {
-        let config = SimConfig::prototype().with_policy(policy);
-        let mut sim = Simulation::new(config, &mix, 11).with_mode(PowerMode::Solar(trace.clone()));
+        let config = SimConfig::builder().policy(policy).build()?;
+        let mut sim =
+            Simulation::try_new(config, &mix, 11)?.with_mode(PowerMode::Solar(trace.clone()));
         sim.set_buffer_soc(Ratio::new_clamped(0.15));
         let report = sim.run_for_hours(24.0);
         println!(
@@ -63,4 +64,5 @@ fn main() {
         "\nthe battery pool is pinned at its charge-acceptance limit; the SC\n\
          pool swallows the whole valley — the paper's Figure 12(d) story."
     );
+    Ok(())
 }

@@ -11,14 +11,15 @@
 //! ```
 
 use heb::workload::Archetype;
-use heb::{Joules, PolicyKind, SimConfig, Simulation, Watts};
+use heb::{Joules, PolicyKind, SimConfig, SimError, Simulation, Watts};
 
-fn main() {
+fn main() -> Result<(), SimError> {
     // Aggressive under-provisioning: the stress regime the paper uses
     // to expose downtime differences (lowered budget, small buffers).
-    let base = SimConfig::prototype()
-        .with_budget(Watts::new(245.0))
-        .with_total_capacity(Joules::from_watt_hours(60.0));
+    let base = SimConfig::builder()
+        .budget(Watts::new(245.0))
+        .total_capacity(Joules::from_watt_hours(60.0))
+        .build()?;
 
     println!(
         "under-provisioned rack: 6 servers (180–420 W band) on a {:.0} feed,\n\
@@ -33,11 +34,11 @@ fn main() {
 
     for policy in PolicyKind::ALL {
         let config = base.clone().with_policy(policy);
-        let mut sim = Simulation::new(
+        let mut sim = Simulation::try_new(
             config,
             &[Archetype::Terasort, Archetype::Dfsioe, Archetype::WebSearch],
             7,
-        );
+        )?;
         let report = sim.run_for_hours(6.0);
         println!(
             "{:<8} {:>9.1}% {:>9.0}s {:>12} {:>10}",
@@ -51,11 +52,11 @@ fn main() {
 
     // Peek inside HEB-D's learned allocation table.
     let config = base.with_policy(PolicyKind::HebD);
-    let mut sim = Simulation::new(
+    let mut sim = Simulation::try_new(
         config,
         &[Archetype::Terasort, Archetype::Dfsioe, Archetype::WebSearch],
         7,
-    );
+    )?;
     let _ = sim.run_for_hours(6.0);
     println!("\nHEB-D's learned power-allocation table (bucketed):");
     let mut entries: Vec<_> = sim.controller().pat().iter().collect();
@@ -70,4 +71,5 @@ fn main() {
             entry.hits
         );
     }
+    Ok(())
 }

@@ -16,4 +16,7 @@ cargo build --release
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== telemetry-overhead guard (NullRecorder within 5% of baseline)"
+cargo bench -q -p heb-bench --bench microbench -- --telemetry-guard
+
 echo "verify: all checks passed"

@@ -5,15 +5,20 @@
 //!         --workloads TS,WS --seed 42
 //! heb-sim --all-policies --hours 4
 //! heb-sim --solar 500 --hours 24 --policy sc-first
-//! heb-sim --trace demand.csv --hours 2       # drive supply from a CSV
+//! heb-sim --supply-trace demand.csv --hours 2  # drive supply from a CSV
+//! heb-sim --trace out.jsonl --metrics --hours 2  # capture telemetry
 //! ```
 
+use heb::telemetry::{MetricsRecorder, TeeRecorder};
 use heb::workload::{read_trace_csv, Archetype, SolarTraceBuilder};
 use heb::{
-    FaultSchedule, Joules, PolicyKind, PowerMode, Ratio, Seconds, SimConfig, Simulation, Watts,
+    FaultSchedule, Joules, JsonlRecorder, Metrics, PolicyKind, PowerMode, RecorderHandle, Seconds,
+    SimConfig, Simulation, Watts,
 };
 use std::process::ExitCode;
+use std::sync::Arc;
 
+#[derive(Debug)]
 struct Options {
     policy: PolicyKind,
     all_policies: bool,
@@ -23,7 +28,9 @@ struct Options {
     sc_fraction: f64,
     workloads: Vec<Archetype>,
     solar_peak: Option<f64>,
-    trace_path: Option<String>,
+    supply_trace: Option<String>,
+    trace_out: Option<String>,
+    metrics: bool,
     faults: Option<FaultSchedule>,
     seed: u64,
 }
@@ -39,7 +46,9 @@ impl Default for Options {
             sc_fraction: 0.3,
             workloads: vec![Archetype::WebSearch, Archetype::Terasort],
             solar_peak: None,
-            trace_path: None,
+            supply_trace: None,
+            trace_out: None,
+            metrics: false,
             faults: None,
             seed: 42,
         }
@@ -77,7 +86,9 @@ fn usage() {
          --sc-fraction <f>    SC share of capacity, 0..1 (default 0.3)\n\
          --workloads <list>   comma list of PR,WC,DA,WS,MS,DFS,HB,TS (default WS,TS)\n\
          --solar <W>          power the rack from a solar array with this peak\n\
-         --trace <file.csv>   power the rack from a CSV supply trace (1 s samples)\n\
+         --supply-trace <csv> power the rack from a CSV supply trace (1 s samples)\n\
+         --trace <out.jsonl>  stream telemetry events to a JSONL file\n\
+         --metrics            print event counters after the run\n\
          --faults <spec>      inject faults, e.g. 'blackout@1800~600;ba-fail(0)@3600'\n\
          \u{20}                    names: blackout brownout(x) solar-drop ba-fail(i)\n\
          \u{20}                    ba-degrade(f,g) sc-fail(i) relay-open(s) meter-drop\n\
@@ -133,7 +144,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .map_err(|_| "bad --solar".to_string())?,
                 );
             }
-            "--trace" => opts.trace_path = Some(value("--trace")?),
+            "--supply-trace" => opts.supply_trace = Some(value("--supply-trace")?),
+            "--trace" => opts.trace_out = Some(value("--trace")?),
+            "--metrics" => opts.metrics = true,
             "--faults" => {
                 let v = value("--faults")?;
                 opts.faults = Some(FaultSchedule::parse(&v).map_err(|e| e.to_string())?);
@@ -150,17 +163,26 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
+    if opts.trace_out.is_some() && opts.all_policies {
+        return Err("--trace captures a single run; drop --all-policies".to_string());
+    }
     Ok(opts)
 }
 
-fn run_one(opts: &Options, policy: PolicyKind) -> Result<heb::SimReport, String> {
-    let config = SimConfig::prototype()
-        .with_policy(policy)
-        .with_budget(Watts::new(opts.budget))
-        .with_total_capacity(Joules::from_watt_hours(opts.capacity_wh))
-        .with_sc_fraction(Ratio::new_clamped(opts.sc_fraction));
-    let mut sim = Simulation::new(config, &opts.workloads, opts.seed);
-    if let Some(path) = &opts.trace_path {
+fn run_one(
+    opts: &Options,
+    policy: PolicyKind,
+) -> Result<(heb::SimReport, Option<Arc<Metrics>>), String> {
+    let config = SimConfig::builder()
+        .policy(policy)
+        .budget(Watts::new(opts.budget))
+        .total_capacity(Joules::from_watt_hours(opts.capacity_wh))
+        .sc_fraction(opts.sc_fraction)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut sim =
+        Simulation::try_new(config, &opts.workloads, opts.seed).map_err(|e| e.to_string())?;
+    if let Some(path) = &opts.supply_trace {
         let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
         let trace =
             read_trace_csv(file, Seconds::new(1.0)).map_err(|e| format!("parse {path}: {e}"))?;
@@ -175,7 +197,21 @@ fn run_one(opts: &Options, policy: PolicyKind) -> Result<heb::SimReport, String>
     if let Some(schedule) = &opts.faults {
         sim = sim.with_faults(schedule.clone());
     }
-    Ok(sim.run_for_hours(opts.hours))
+    let metrics = opts.metrics.then(|| Arc::new(Metrics::new()));
+    let mut branches: Vec<RecorderHandle> = Vec::new();
+    if let Some(path) = &opts.trace_out {
+        let jsonl = JsonlRecorder::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        branches.push(Arc::new(jsonl));
+    }
+    if let Some(m) = &metrics {
+        branches.push(Arc::new(MetricsRecorder::new(Arc::clone(m))));
+    }
+    match branches.len() {
+        0 => {}
+        1 => sim.set_recorder(branches.pop().expect("one branch")),
+        _ => sim.set_recorder(Arc::new(TeeRecorder::new(branches))),
+    }
+    Ok((sim.run_for_hours(opts.hours), metrics))
 }
 
 fn main() -> ExitCode {
@@ -208,9 +244,16 @@ fn main() -> ExitCode {
 
     for policy in policies {
         match run_one(&opts, policy) {
-            Ok(report) => {
+            Ok((report, metrics)) => {
                 println!("\n--- {policy} ---");
                 println!("{report}");
+                if let Some(metrics) = metrics {
+                    println!("--- telemetry counters ---");
+                    print!("{}", metrics.snapshot());
+                }
+                if let Some(path) = &opts.trace_out {
+                    eprintln!("trace written to {path}");
+                }
             }
             Err(e) => {
                 eprintln!("error: {e}");
@@ -286,6 +329,22 @@ mod tests {
         assert!(parse_args(&args(&["--hours", "x"])).is_err());
         assert!(parse_args(&args(&["--frobnicate"])).is_err());
         assert!(parse_args(&args(&["--policy", "zap"])).is_err());
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let o = parse_args(&args(&["--trace", "out.jsonl", "--metrics"])).unwrap();
+        assert_eq!(o.trace_out.as_deref(), Some("out.jsonl"));
+        assert!(o.metrics);
+        let o = parse_args(&args(&["--supply-trace", "demand.csv"])).unwrap();
+        assert_eq!(o.supply_trace.as_deref(), Some("demand.csv"));
+        assert!(o.trace_out.is_none());
+    }
+
+    #[test]
+    fn trace_conflicts_with_all_policies() {
+        let err = parse_args(&args(&["--trace", "out.jsonl", "--all-policies"])).unwrap_err();
+        assert!(err.contains("--all-policies"), "{err}");
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //! * [`core`] — the HEB controller, the six Table 2 policies, the
 //!   power-allocation table, and the end-to-end [`Simulation`];
 //! * [`tco`] — the Figure 15 economics (cost breakdown, ROI,
-//!   peak-shaving revenue).
+//!   peak-shaving revenue);
+//! * [`telemetry`] — typed trace events, zero-cost recorders
+//!   ([`NullRecorder`], [`RingRecorder`], [`JsonlRecorder`]) and a
+//!   [`Metrics`] registry for counters, gauges and phase timers.
 //!
 //! # Quickstart
 //!
@@ -46,13 +49,17 @@ pub use heb_esd as esd;
 pub use heb_forecast as forecast;
 pub use heb_powersys as powersys;
 pub use heb_tco as tco;
+pub use heb_telemetry as telemetry;
 pub use heb_units as units;
 pub use heb_workload as workload;
 
 pub use heb_core::{
-    experiments, FaultInjector, FaultKind, FaultLedger, FaultProfile, FaultSchedule, HebController,
-    HybridBuffers, PolicyKind, PowerAllocationTable, PowerMode, SimConfig, SimError, SimReport,
-    Simulation, SlotPlan,
+    experiments, ConfigError, FaultInjector, FaultKind, FaultLedger, FaultProfile, FaultSchedule,
+    HebController, HybridBuffers, PolicyKind, PowerAllocationTable, PowerMode, SimConfig,
+    SimConfigBuilder, SimError, SimReport, Simulation, SlotPlan,
 };
 pub use heb_esd::{Bank, LeadAcidBattery, StorageDevice, SuperCapacitor};
+pub use heb_telemetry::{
+    null_recorder, JsonlRecorder, Metrics, NullRecorder, Recorder, RecorderHandle, RingRecorder,
+};
 pub use heb_units::{Joules, Ratio, Seconds, Watts};
