@@ -1,0 +1,176 @@
+//! The checked-in violation baseline and the ratchet.
+//!
+//! `heb-analyze` compares its findings against a baseline file so the
+//! gate can land clean on day one and *ratchet*: new findings fail the
+//! gate, and fixed findings make the stale baseline entries themselves
+//! fail the gate until `--fix-baseline` shrinks the file — both
+//! directions are a reviewed diff, never a hand edit.
+//!
+//! Entries are [`Diagnostic::fingerprint`]s — `(rule, file, normalised
+//! snippet)` — counted as a multiset, so moving code within a file does
+//! not churn the baseline but adding a second identical offence does.
+
+use crate::diagnostics::Diagnostic;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Header line of every baseline file.
+pub const HEADER: &str = "# heb-analyze baseline v1";
+
+/// A multiset of accepted violation fingerprints.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<String, usize>,
+}
+
+/// The result of reconciling findings with a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Reconciled {
+    /// Findings not covered by the baseline: hard failures.
+    pub new: Vec<Diagnostic>,
+    /// Baseline entries no longer observed: the fix landed, the
+    /// baseline must be ratcheted down (also a failure, with a hint).
+    pub stale: Vec<String>,
+}
+
+impl Baseline {
+    /// Loads a baseline; a missing file is an empty baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error other than "not found", or a parse error
+    /// for a file that does not start with [`HEADER`].
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Self::default()),
+            Err(e) => return Err(e),
+        };
+        Self::parse(&text).map_err(io::Error::other)
+    }
+
+    /// Parses baseline text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the header line is missing.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h.trim() == HEADER => {}
+            other => {
+                return Err(format!(
+                    "bad baseline header {other:?}, expected {HEADER:?}"
+                ))
+            }
+        }
+        let mut entries = BTreeMap::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            *entries.entry(line.to_string()).or_insert(0) += 1;
+        }
+        Ok(Self { entries })
+    }
+
+    /// Renders the baseline for `findings` (sorted, deduplicated into
+    /// counted lines).
+    #[must_use]
+    pub fn render(findings: &[Diagnostic]) -> String {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for d in findings {
+            *counts.entry(d.fingerprint()).or_insert(0) += 1;
+        }
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for (fp, n) in &counts {
+            for _ in 0..*n {
+                out.push_str(fp);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Number of accepted fingerprints (with multiplicity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Whether the baseline accepts nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Splits findings into baselined and new, and reports stale
+    /// entries.
+    #[must_use]
+    pub fn reconcile(&self, findings: &[Diagnostic]) -> Reconciled {
+        let mut remaining = self.entries.clone();
+        let mut out = Reconciled::default();
+        for d in findings {
+            let fp = d.fingerprint();
+            match remaining.get_mut(&fp) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => out.new.push(d.clone()),
+            }
+        }
+        for (fp, n) in remaining {
+            for _ in 0..n {
+                out.stale.push(fp.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 1,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let findings = vec![diag("HEB003", "a.unwrap()"), diag("HEB003", "a.unwrap()")];
+        let text = Baseline::render(&findings);
+        let base = Baseline::parse(&text).unwrap();
+        assert_eq!(base.len(), 2);
+        let rec = base.reconcile(&findings);
+        assert!(rec.new.is_empty() && rec.stale.is_empty());
+    }
+
+    #[test]
+    fn new_findings_exceed_multiplicity() {
+        let base = Baseline::parse(&Baseline::render(&[diag("HEB003", "a.unwrap()")])).unwrap();
+        let rec = base.reconcile(&[diag("HEB003", "a.unwrap()"), diag("HEB003", "a.unwrap()")]);
+        assert_eq!(rec.new.len(), 1);
+        assert!(rec.stale.is_empty());
+    }
+
+    #[test]
+    fn fixed_findings_go_stale() {
+        let base = Baseline::parse(&Baseline::render(&[diag("HEB003", "a.unwrap()")])).unwrap();
+        let rec = base.reconcile(&[]);
+        assert!(rec.new.is_empty());
+        assert_eq!(rec.stale.len(), 1);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(Baseline::parse("HEB003 x y\n").is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Structured findings: rule IDs, `file:line` locations, text and JSON
+//! rendering.
+
+use std::fmt;
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule ID, e.g. `HEB002`.
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation with the required remedy.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    /// The baseline identity of this finding: rule, file, and the
+    /// whitespace-normalised snippet — deliberately line-number-free so
+    /// unrelated edits above a baselined finding do not churn the
+    /// baseline file.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        format!("{} {} {}", self.rule, self.path, normalize(&self.snippet))
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Collapses runs of whitespace to single spaces.
+#[must_use]
+pub fn normalize(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Orders findings for stable output: path, then line, then rule.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+}
+
+/// Renders findings as a JSON array (no external deps; the same
+/// hand-rolled escaping idiom as `heb-telemetry`).
+#[must_use]
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("  {");
+        out.push_str(&format!("\"rule\":\"{}\",", d.rule));
+        out.push_str(&format!("\"file\":\"{}\",", escape(&d.path)));
+        out.push_str(&format!("\"line\":{},", d.line));
+        out.push_str(&format!("\"message\":\"{}\",", escape(&d.message)));
+        out.push_str(&format!("\"snippet\":\"{}\"", escape(&d.snippet)));
+        out.push('}');
+        if i + 1 < diags.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, path: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            message: "m".to_string(),
+            snippet: "  let x  = 1; ".to_string(),
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_line_and_whitespace() {
+        let a = diag("HEB003", "a.rs", 10);
+        let mut b = diag("HEB003", "a.rs", 99);
+        b.snippet = "let x = 1;".to_string();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn sort_orders_by_path_line_rule() {
+        let mut v = vec![diag("HEB002", "b.rs", 1), diag("HEB001", "a.rs", 5)];
+        sort(&mut v);
+        assert_eq!(v[0].path, "a.rs");
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let mut d = diag("HEB001", "a.rs", 1);
+        d.snippet = "say \"hi\"".to_string();
+        let json = to_json(&[d]);
+        assert!(json.contains("say \\\"hi\\\""));
+        assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+}

@@ -1,0 +1,321 @@
+//! A comment- and string-aware scrubber for Rust source.
+//!
+//! The rules in this crate are lexical: they must never fire on the
+//! word `HashMap` inside a doc comment or on `panic!` inside a string
+//! literal. [`scrub`] separates every source line into its *code*
+//! channel (comments and literal contents blanked out with spaces,
+//! delimiters preserved so token boundaries survive) and its *comment*
+//! channel (the text of any comment on that line, where suppression
+//! directives live).
+//!
+//! The scrubber understands line comments, nested block comments,
+//! string/raw-string/byte-string literals (multi-line included), and
+//! disambiguates character literals from lifetimes. It is not a full
+//! lexer — it only has to be right about where code stops and prose
+//! starts.
+
+/// One file split into per-line code and comment channels.
+#[derive(Debug, Clone)]
+pub struct Scrubbed {
+    /// Source lines with comments and literal contents replaced by
+    /// spaces. Quotes are kept so identifiers never merge across a
+    /// blanked region.
+    pub code: Vec<String>,
+    /// The comment text found on each line (empty when none).
+    pub comments: Vec<String>,
+}
+
+impl Scrubbed {
+    /// The code channel joined back into one string (newline
+    /// separated), for rules that must parse across lines.
+    #[must_use]
+    pub fn joined_code(&self) -> String {
+        self.code.join("\n")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Normal,
+    LineComment,
+    /// Nested depth.
+    BlockComment(u32),
+    /// Inside `"…"`; tracks a pending escape.
+    Str {
+        escaped: bool,
+    },
+    /// Inside `r##"…"##`; the payload is the number of `#`s.
+    RawStr(usize),
+    /// Inside `'…'`.
+    CharLit {
+        escaped: bool,
+    },
+}
+
+/// Splits `source` into code and comment channels, line by line.
+#[must_use]
+pub fn scrub(source: &str) -> Scrubbed {
+    let bytes = source.as_bytes();
+    let mut code_lines = Vec::new();
+    let mut comment_lines = Vec::new();
+    let mut code: Vec<u8> = Vec::new();
+    let mut comment: Vec<u8> = Vec::new();
+    let mut state = State::Normal;
+    let mut i = 0;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            // A line comment ends at the newline; everything else
+            // (block comments, multi-line strings) carries over.
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            push_line(&mut code_lines, &mut code);
+            push_line(&mut comment_lines, &mut comment);
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => match b {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    state = State::LineComment;
+                    code.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    state = State::BlockComment(1);
+                    code.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                b'"' => {
+                    state = State::Str { escaped: false };
+                    code.push(b'"');
+                    i += 1;
+                }
+                b'r' | b'b' if !prev_is_ident(bytes, i) => {
+                    if let Some((hashes, consumed)) = raw_string_open(bytes, i) {
+                        state = State::RawStr(hashes);
+                        code.push(b'"');
+                        i += consumed;
+                    } else if b == b'b' && bytes.get(i + 1) == Some(&b'"') {
+                        state = State::Str { escaped: false };
+                        code.extend_from_slice(b" \"");
+                        i += 2;
+                    } else {
+                        code.push(b);
+                        i += 1;
+                    }
+                }
+                b'\'' => {
+                    if is_char_literal(bytes, i) {
+                        state = State::CharLit { escaped: false };
+                        code.push(b'\'');
+                        i += 1;
+                    } else {
+                        // A lifetime: part of the code channel.
+                        code.push(b'\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    code.push(b);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                comment.push(b);
+                code.push(b' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    comment.extend_from_slice(b"  ");
+                    code.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    comment.push(b);
+                    code.push(b' ');
+                    i += 1;
+                }
+            }
+            State::Str { escaped } => {
+                if escaped {
+                    state = State::Str { escaped: false };
+                    code.push(b' ');
+                } else if b == b'\\' {
+                    state = State::Str { escaped: true };
+                    code.push(b' ');
+                } else if b == b'"' {
+                    state = State::Normal;
+                    code.push(b'"');
+                } else {
+                    code.push(b' ');
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' && closes_raw_string(bytes, i, hashes) {
+                    state = State::Normal;
+                    code.push(b'"');
+                    code.extend(std::iter::repeat_n(b' ', hashes));
+                    i += 1 + hashes;
+                } else {
+                    code.push(b' ');
+                    i += 1;
+                }
+            }
+            State::CharLit { escaped } => {
+                if escaped {
+                    state = State::CharLit { escaped: false };
+                    code.push(b' ');
+                } else if b == b'\\' {
+                    state = State::CharLit { escaped: true };
+                    code.push(b' ');
+                } else if b == b'\'' {
+                    state = State::Normal;
+                    code.push(b'\'');
+                } else {
+                    code.push(b' ');
+                }
+                i += 1;
+            }
+        }
+    }
+    push_line(&mut code_lines, &mut code);
+    push_line(&mut comment_lines, &mut comment);
+    Scrubbed {
+        code: code_lines,
+        comments: comment_lines,
+    }
+}
+
+fn push_line(lines: &mut Vec<String>, buf: &mut Vec<u8>) {
+    lines.push(String::from_utf8_lossy(buf).into_owned());
+    buf.clear();
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// Recognises `r"`, `r#…#"`, `br"`, `br#…#"` at `i`; returns the hash
+/// count and bytes consumed through the opening quote.
+fn raw_string_open(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some((hashes, j + 1 - i))
+    } else {
+        None
+    }
+}
+
+fn closes_raw_string(bytes: &[u8], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| bytes.get(i + k) == Some(&b'#'))
+}
+
+/// Distinguishes `'x'` / `'\n'` (literal) from `'a` (lifetime).
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(&b'\\') => true,
+        Some(_) => {
+            // `'x'` — a closing quote right after one payload char.
+            // Multi-byte chars: scan ahead a short window for the
+            // closing quote before any code-significant byte.
+            let window = &bytes[i + 1..bytes.len().min(i + 6)];
+            for (k, &c) in window.iter().enumerate() {
+                if c == b'\'' {
+                    return k > 0 || window.first() != Some(&b'\'');
+                }
+                if c == b'\n' || c == b';' || c == b',' || c == b')' || c == b'>' || c == b' ' {
+                    return false;
+                }
+            }
+            false
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_line_comments_but_keeps_their_text() {
+        let s = scrub("let x = 1; // HashMap here\n");
+        assert!(!s.code[0].contains("HashMap"));
+        assert!(s.comments[0].contains("HashMap"));
+        assert!(s.code[0].contains("let x = 1;"));
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let s = scrub("let m = \"panic! .unwrap() HashMap\";\n");
+        assert!(!s.code[0].contains("panic!"));
+        assert!(!s.code[0].contains("unwrap"));
+        assert!(s.code[0].contains("let m = \""));
+    }
+
+    #[test]
+    fn handles_raw_and_byte_strings() {
+        let s = scrub("let r = r#\"Instant \"quoted\" inside\"#; let b = b\"SystemTime\";\n");
+        assert!(!s.code[0].contains("Instant"));
+        assert!(!s.code[0].contains("SystemTime"));
+        assert!(s.code[0].contains("let b = "));
+    }
+
+    #[test]
+    fn multiline_strings_and_block_comments() {
+        let src =
+            "let s = \"line1\nHashMap line2\";\n/* outer /* nested HashSet */ still */ code();\n";
+        let s = scrub(src);
+        assert!(!s.code[1].contains("HashMap"));
+        assert!(!s.code[2].contains("HashSet"));
+        assert!(s.code[2].contains("code();"));
+        assert!(s.comments[2].contains("nested"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let s = scrub("fn f<'a>(x: &'a str) -> char { 'p' }\n");
+        assert!(s.code[0].contains("<'a>"));
+        assert!(s.code[0].contains("&'a str"));
+        assert!(!s.code[0].contains("'p'"));
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal() {
+        let s = scrub("let q = '\\''; let after = 1;\n");
+        assert!(s.code[0].contains("let after = 1;"));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let s = scrub("/// uses std::time::Instant internally\npub fn f() {}\n");
+        assert!(!s.code[0].contains("Instant"));
+        assert!(s.comments[0].contains("Instant"));
+        assert!(s.code[1].contains("pub fn f"));
+    }
+}

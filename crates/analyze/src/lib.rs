@@ -1,0 +1,38 @@
+//! `heb-analyze` — workspace-aware static analysis for the HEB
+//! reproduction.
+//!
+//! Every figure in the paper's evaluation is reproducible only because
+//! every simulation run is bit-identical: the fleet engine's
+//! content-addressed cache and the golden-trace suite both assume that
+//! nothing in the simulation crates reads wall-clock time, iterates a
+//! `HashMap`, or folds recorder state into cache keys. This crate turns
+//! those conventions into a CI-gated analyzer with structured
+//! `file:line` diagnostics, rule IDs, reasoned suppressions, and a
+//! checked-in ratcheting baseline.
+//!
+//! The environment is offline (no registry crates, so no `syn`); the
+//! analysis is a purpose-built lexical pass — see [`lexer`] — in the
+//! same dependency-free spirit as the workspace's `heb-rng` and
+//! `proptest` shims. Lexical analysis is exactly right for these rules:
+//! each one is a "this token family must not appear in this scope"
+//! invariant, not a type-level property.
+//!
+//! See [`rules`] for the rule table and suppression syntax, and
+//! [`baseline`] for how the gate ratchets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use baseline::{Baseline, Reconciled};
+pub use diagnostics::Diagnostic;
+pub use rules::{analyze_source, FileContext, Role};
+pub use workspace::analyze_workspace;
+
+/// The default baseline file name, at the workspace root.
+pub const BASELINE_FILE: &str = "heb-analyze.baseline";

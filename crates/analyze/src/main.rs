@@ -1,0 +1,139 @@
+//! The `heb-analyze` binary: the CI gate.
+//!
+//! ```text
+//! heb-analyze [--root DIR] [--baseline FILE] [--json] [--fix-baseline] [--no-baseline]
+//! ```
+//!
+//! Exit codes: `0` clean (all findings baselined), `1` violations or a
+//! stale baseline, `2` usage or I/O error.
+
+use heb_analyze::{analyze_workspace, baseline::Baseline, diagnostics};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    json: bool,
+    fix_baseline: bool,
+    no_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        json: false,
+        fix_baseline: false,
+        no_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a file")?));
+            }
+            "--json" => args.json = true,
+            "--fix-baseline" => args.fix_baseline = true,
+            "--no-baseline" => args.no_baseline = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: heb-analyze [--root DIR] [--baseline FILE] [--json] \
+                     [--fix-baseline] [--no-baseline]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join(heb_analyze::BASELINE_FILE));
+
+    let diags = match analyze_workspace(&args.root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("heb-analyze: failed to analyze workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.fix_baseline {
+        let text = Baseline::render(&diags);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("heb-analyze: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "heb-analyze: wrote baseline with {} finding(s) to {}",
+            diags.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let (new, stale) = if args.no_baseline {
+        (diags.clone(), Vec::new())
+    } else {
+        let base = match Baseline::load(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("heb-analyze: cannot read {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let rec = base.reconcile(&diags);
+        (rec.new, rec.stale)
+    };
+
+    if args.json {
+        println!("{}", diagnostics::to_json(&new));
+    } else {
+        for d in &new {
+            println!("{d}");
+        }
+    }
+    for fp in &stale {
+        eprintln!("heb-analyze: stale baseline entry (the violation is gone): {fp}");
+    }
+
+    if new.is_empty() && stale.is_empty() {
+        if !args.json {
+            println!(
+                "heb-analyze: clean ({} file finding(s), all accounted)",
+                diags.len()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !stale.is_empty() {
+            eprintln!(
+                "heb-analyze: baseline is stale; run `cargo run -p heb-analyze -- \
+                 --fix-baseline` and commit the shrunken baseline"
+            );
+        }
+        if !new.is_empty() {
+            eprintln!(
+                "heb-analyze: {} new violation(s); fix them or suppress with \
+                 `// heb-analyze: allow(HEB00N, reason)`",
+                new.len()
+            );
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,741 @@
+//! The rule set: what each `HEB00N` enforces and where.
+//!
+//! | ID | Scope | Invariant |
+//! |----|-------|-----------|
+//! | HEB001 | sim-crate lib code | no wall-clock / OS entropy (`Instant`, `SystemTime`, `thread_rng`) — run determinism |
+//! | HEB002 | sim-crate lib code | no `HashMap`/`HashSet` — iteration-order nondeterminism; `BTreeMap`/`BTreeSet` required |
+//! | HEB003 | all lib code | no `.unwrap()` / `.expect(...)` / `panic!` — typed errors required |
+//! | HEB004 | physics-crate public fns | no bare `f64` for unit-suffixed quantities (`*_w`, `*_wh`, `*_v`, …) |
+//! | HEB005 | result-cache hash path | no `heb-telemetry` references — recorder hash-blindness |
+//! | HEB000 | everywhere | a malformed or reason-less suppression comment |
+//!
+//! Suppressions: `// heb-analyze: allow(HEB003, why this is fine)` on
+//! the offending line or the line above; `allow-file(...)` anywhere in
+//! the file; `allow-crate(...)` in the crate's `src/lib.rs`. The reason
+//! is mandatory — a suppression without one is itself a finding.
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{scrub, Scrubbed};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates whose library code feeds the simulation and therefore must
+/// be bit-deterministic (HEB001/HEB002). Identified by their directory
+/// name under `crates/`.
+pub const SIM_CRATES: &[&str] = &["core", "esd", "powersys", "workload", "forecast", "tco"];
+
+/// Crates modelling physical quantities, where public signatures must
+/// speak `heb-units` types rather than bare `f64` (HEB004).
+pub const PHYSICS_CRATES: &[&str] = &["esd", "powersys"];
+
+/// Crates exempt from HEB003: `proptest` is the assertion harness
+/// (panicking is its contract) and `bench` is the experiment driver
+/// (application code, morally a set of binaries).
+pub const PANIC_EXEMPT_CRATES: &[&str] = &["proptest", "bench"];
+
+/// Files on the result cache's hash path (HEB005): nothing here may
+/// reference telemetry types, or recorder wiring could leak into cache
+/// keys/payloads and poison content addressing.
+pub const HASH_BLIND_FILES: &[&str] = &["crates/fleet/src/cache.rs"];
+
+/// All rule IDs, for validation of suppression directives.
+pub const RULES: &[&str] = &["HEB001", "HEB002", "HEB003", "HEB004", "HEB005"];
+
+/// What kind of target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Library code: the rules' main subject.
+    Lib,
+    /// A `src/bin/` or `src/main.rs` binary.
+    Bin,
+    /// An integration test under `tests/`.
+    Test,
+    /// A benchmark under `benches/`.
+    Bench,
+    /// An example under `examples/`.
+    Example,
+}
+
+/// Everything the rules need to know about the file being analysed.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Crate identifier: the directory name under `crates/`, or `heb`
+    /// for the workspace root package.
+    pub crate_name: String,
+    /// Target kind.
+    pub role: Role,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// Rules suppressed crate-wide (from `allow-crate` in `lib.rs`).
+    pub crate_allows: Vec<String>,
+}
+
+impl FileContext {
+    /// A library-code context, convenient for tests.
+    #[must_use]
+    pub fn lib(crate_name: &str, path: &str) -> Self {
+        Self {
+            crate_name: crate_name.to_string(),
+            role: Role::Lib,
+            path: path.to_string(),
+            crate_allows: Vec::new(),
+        }
+    }
+
+    fn is_sim(&self) -> bool {
+        SIM_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    fn is_physics(&self) -> bool {
+        PHYSICS_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    fn is_panic_exempt(&self) -> bool {
+        PANIC_EXEMPT_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    fn is_hash_blind(&self) -> bool {
+        HASH_BLIND_FILES.contains(&self.path.as_str())
+    }
+}
+
+/// A parsed `heb-analyze:` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Directive {
+    Allow(String),
+    AllowFile(String),
+    AllowCrate(String),
+}
+
+/// Suppression state for one file.
+#[derive(Debug, Default)]
+struct Suppressions {
+    /// line (0-based) -> rules allowed on that line and the next.
+    by_line: BTreeMap<usize, BTreeSet<String>>,
+    file_wide: BTreeSet<String>,
+    crate_wide: BTreeSet<String>,
+}
+
+impl Suppressions {
+    fn allows(&self, line: usize, rule: &str) -> bool {
+        if self.file_wide.contains(rule) || self.crate_wide.contains(rule) {
+            return true;
+        }
+        let same = self.by_line.get(&line).is_some_and(|s| s.contains(rule));
+        let above = line > 0
+            && self
+                .by_line
+                .get(&(line - 1))
+                .is_some_and(|s| s.contains(rule));
+        same || above
+    }
+}
+
+/// Analyses one file's source under the given context.
+#[must_use]
+pub fn analyze_source(source: &str, ctx: &FileContext) -> Vec<Diagnostic> {
+    let scrubbed = scrub(source);
+    let original: Vec<&str> = source.lines().collect();
+    let mut diags = Vec::new();
+    let supp = collect_suppressions(&scrubbed, ctx, &mut diags);
+    let test_lines = test_spans(&scrubbed.code);
+
+    let lib_code = |line: usize| ctx.role == Role::Lib && !test_lines.contains(&line);
+    let snippet = |line: usize| original.get(line).map_or("", |s| s.trim()).to_string();
+    let mut emit = |rule: &'static str, line: usize, message: String| {
+        if !supp.allows(line, rule) {
+            diags.push(Diagnostic {
+                rule,
+                path: ctx.path.clone(),
+                line: line + 1,
+                message,
+                snippet: snippet(line),
+            });
+        }
+    };
+
+    for (idx, code) in scrubbed.code.iter().enumerate() {
+        if ctx.is_sim() && lib_code(idx) {
+            for word in ["Instant", "SystemTime", "thread_rng", "from_entropy"] {
+                if contains_word(code, word) {
+                    emit(
+                        "HEB001",
+                        idx,
+                        format!(
+                            "`{word}` in simulation crate `{}`: wall-clock time and OS \
+                             entropy break run determinism; use simulated time \
+                             (`heb_units::Seconds`) and seeded `heb_rng` streams",
+                            ctx.crate_name
+                        ),
+                    );
+                }
+            }
+            for word in ["HashMap", "HashSet"] {
+                if contains_word(code, word) {
+                    emit(
+                        "HEB002",
+                        idx,
+                        format!(
+                            "`{word}` in simulation crate `{}`: iteration order is \
+                             nondeterministic and poisons content-addressed caching; \
+                             use `BTreeMap`/`BTreeSet` or sorted keys",
+                            ctx.crate_name
+                        ),
+                    );
+                }
+            }
+        }
+        if !ctx.is_panic_exempt() && lib_code(idx) {
+            for (pat, what) in [
+                (".unwrap()", "`.unwrap()`"),
+                (".expect(", "`.expect(...)`"),
+                ("panic!", "`panic!`"),
+            ] {
+                if find_pattern(code, pat) {
+                    emit(
+                        "HEB003",
+                        idx,
+                        format!(
+                            "{what} in library code: return a typed error \
+                             (`SimError`, `ConfigError`, …) so callers can recover"
+                        ),
+                    );
+                }
+            }
+        }
+        if ctx.is_hash_blind() && !test_lines.contains(&idx) {
+            for word in ["heb_telemetry", "Recorder", "RecorderHandle", "Metrics"] {
+                if contains_word(code, word) {
+                    emit(
+                        "HEB005",
+                        idx,
+                        format!(
+                            "`{word}` on the result-cache hash path: cache entries must \
+                             be blind to recorder state or identical scenarios stop \
+                             sharing cache keys"
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    if ctx.is_physics() && ctx.role == Role::Lib {
+        check_unit_discipline(&scrubbed, &test_lines, &mut emit);
+    }
+
+    crate::diagnostics::sort(&mut diags);
+    diags
+}
+
+/// Scans comments for `heb-analyze:` directives; malformed ones become
+/// HEB000 findings.
+fn collect_suppressions(
+    scrubbed: &Scrubbed,
+    ctx: &FileContext,
+    diags: &mut Vec<Diagnostic>,
+) -> Suppressions {
+    let mut supp = Suppressions::default();
+    for rule in &ctx.crate_allows {
+        supp.crate_wide.insert(rule.clone());
+    }
+    for (idx, comment) in scrubbed.comments.iter().enumerate() {
+        let Some(pos) = comment.find("heb-analyze:") else {
+            continue;
+        };
+        let rest = comment[pos + "heb-analyze:".len()..].trim();
+        if !rest.starts_with("allow") {
+            // Prose that merely mentions the tool, not a directive.
+            continue;
+        }
+        match parse_directive(rest) {
+            Ok(Directive::Allow(rule)) => {
+                supp.by_line.entry(idx).or_default().insert(rule);
+            }
+            Ok(Directive::AllowFile(rule)) => {
+                supp.file_wide.insert(rule);
+            }
+            Ok(Directive::AllowCrate(rule)) => {
+                if ctx.path.ends_with("src/lib.rs") {
+                    supp.crate_wide.insert(rule);
+                } else {
+                    diags.push(Diagnostic {
+                        rule: "HEB000",
+                        path: ctx.path.clone(),
+                        line: idx + 1,
+                        message: "allow-crate is only honoured in the crate's src/lib.rs"
+                            .to_string(),
+                        snippet: comment.trim().to_string(),
+                    });
+                }
+            }
+            Err(why) => {
+                diags.push(Diagnostic {
+                    rule: "HEB000",
+                    path: ctx.path.clone(),
+                    line: idx + 1,
+                    message: format!("malformed suppression: {why}"),
+                    snippet: comment.trim().to_string(),
+                });
+            }
+        }
+    }
+    supp
+}
+
+/// Parses `allow(HEB00N, reason)` / `allow-file(...)` / `allow-crate(...)`.
+fn parse_directive(rest: &str) -> Result<Directive, String> {
+    let (kind, args) = if let Some(a) = rest.strip_prefix("allow-file(") {
+        ("file", a)
+    } else if let Some(a) = rest.strip_prefix("allow-crate(") {
+        ("crate", a)
+    } else if let Some(a) = rest.strip_prefix("allow(") {
+        ("line", a)
+    } else {
+        return Err(format!(
+            "expected allow(...), allow-file(...), or allow-crate(...), got {rest:?}"
+        ));
+    };
+    // Trailing comment text after the closing parenthesis is fine.
+    let Some((args, _)) = args.split_once(')') else {
+        return Err("missing closing parenthesis".to_string());
+    };
+    let Some((rule, reason)) = args.split_once(',') else {
+        return Err("a reason is required: allow(HEB00N, why this is fine)".to_string());
+    };
+    let rule = rule.trim().to_string();
+    if !RULES.contains(&rule.as_str()) {
+        return Err(format!("unknown rule {rule:?}"));
+    }
+    if reason.trim().is_empty() {
+        return Err("the reason must be non-empty".to_string());
+    }
+    Ok(match kind {
+        "file" => Directive::AllowFile(rule),
+        "crate" => Directive::AllowCrate(rule),
+        _ => Directive::Allow(rule),
+    })
+}
+
+/// The set of 0-based lines inside `#[cfg(test)]`-gated items.
+fn test_spans(code: &[String]) -> BTreeSet<usize> {
+    let mut lines = BTreeSet::new();
+    for (idx, line) in code.iter().enumerate() {
+        let gated =
+            (line.contains("#[cfg(") && contains_word(line, "test")) || line.contains("#[test]");
+        if !gated || lines.contains(&idx) {
+            continue;
+        }
+        // Find the gated item's opening brace within the next few
+        // lines (attributes may stack above it).
+        let mut open = None;
+        'scan: for j in idx..code.len().min(idx + 6) {
+            let start = if j == idx {
+                line.find(']').map_or(0, |p| p + 1)
+            } else {
+                0
+            };
+            for (k, c) in code[j][start.min(code[j].len())..].char_indices() {
+                match c {
+                    '{' => {
+                        open = Some((j, start + k));
+                        break 'scan;
+                    }
+                    ';' => break 'scan, // e.g. `#[cfg(test)] use …;`
+                    _ => {}
+                }
+            }
+        }
+        let Some((open_line, open_col)) = open else {
+            lines.insert(idx);
+            continue;
+        };
+        // Brace-match to the item's end.
+        let mut depth = 0usize;
+        let mut end = open_line;
+        'outer: for (j, l) in code.iter().enumerate().skip(open_line) {
+            let from = if j == open_line { open_col } else { 0 };
+            for c in l[from.min(l.len())..].chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            end = j;
+                            break 'outer;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            end = j;
+        }
+        for l in idx..=end {
+            lines.insert(l);
+        }
+    }
+    lines
+}
+
+/// HEB004: `pub fn` parameters and returns that pass unit-suffixed
+/// quantities as bare `f64`.
+fn check_unit_discipline(
+    scrubbed: &Scrubbed,
+    test_lines: &BTreeSet<usize>,
+    emit: &mut impl FnMut(&'static str, usize, String),
+) {
+    let joined = scrubbed.joined_code();
+    let line_of = |offset: usize| joined[..offset].matches('\n').count();
+    let bytes = joined.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = joined[from..].find("pub fn ") {
+        let at = from + rel;
+        from = at + "pub fn ".len();
+        if at > 0 && is_ident_byte(bytes[at - 1]) {
+            continue;
+        }
+        if test_lines.contains(&line_of(at)) {
+            continue;
+        }
+        let Some(sig) = parse_signature(&joined, at + "pub fn ".len()) else {
+            continue;
+        };
+        for (name, ty, offset) in &sig.params {
+            if ty == "f64" {
+                if let Some(unit) = unit_for_suffix(name) {
+                    emit(
+                        "HEB004",
+                        line_of(*offset),
+                        format!(
+                            "public fn `{}` takes `{name}: f64`: quantities named \
+                             `*{}` carry units; use `heb_units::{unit}`",
+                            sig.name,
+                            suffix_of(name).unwrap_or_default(),
+                        ),
+                    );
+                }
+            }
+        }
+        if sig.ret.as_deref() == Some("f64") {
+            if let Some(unit) = unit_for_suffix(&sig.name) {
+                emit(
+                    "HEB004",
+                    line_of(at),
+                    format!(
+                        "public fn `{}` returns bare `f64`: its name carries units; \
+                         return `heb_units::{unit}`",
+                        sig.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+struct Signature {
+    name: String,
+    /// (param name, param type, byte offset of the param).
+    params: Vec<(String, String, usize)>,
+    ret: Option<String>,
+}
+
+/// Parses the signature starting right after `pub fn `.
+fn parse_signature(joined: &str, mut i: usize) -> Option<Signature> {
+    let bytes = joined.as_bytes();
+    let name_start = i;
+    while i < bytes.len() && is_ident_byte(bytes[i]) {
+        i += 1;
+    }
+    let name = joined[name_start..i].to_string();
+    if name.is_empty() {
+        return None;
+    }
+    // Skip generics: `<…>` with `->` guarded.
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'<') {
+        let mut depth = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'<' => depth += 1,
+                b'>' if i > 0 && bytes[i - 1] == b'-' => {}
+                b'>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    while i < bytes.len() && bytes[i] != b'(' {
+        i += 1;
+    }
+    let params_start = i + 1;
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if i >= bytes.len() {
+        return None;
+    }
+    let params_src = &joined[params_start..i];
+    let params = split_params(params_src)
+        .into_iter()
+        .filter_map(|(piece, rel)| {
+            let piece_trimmed = piece.trim();
+            let (raw_name, ty) = piece_trimmed.split_once(':')?;
+            let raw_name = raw_name.trim().trim_start_matches("mut ").trim();
+            if !raw_name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                || raw_name.is_empty()
+            {
+                return None;
+            }
+            Some((
+                raw_name.to_string(),
+                ty.trim().to_string(),
+                params_start + rel,
+            ))
+        })
+        .collect();
+    // Return type: `-> T` before `{`, `;`, or `where`.
+    let after = &joined[i + 1..];
+    let ret = after.trim_start().strip_prefix("->").map(|r| {
+        let end = r
+            .find(['{', ';'])
+            .or_else(|| r.find(" where "))
+            .unwrap_or(r.len());
+        r[..end].trim().to_string()
+    });
+    Some(Signature { name, params, ret })
+}
+
+/// Splits a parameter list on top-level commas; yields each piece with
+/// its byte offset into the list.
+fn split_params(src: &str) -> Vec<(&str, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, c) in src.char_indices() {
+        match c {
+            '(' | '[' | '{' | '<' => depth += 1,
+            ')' | ']' | '}' => depth -= 1,
+            '>' if !src[..i].ends_with('-') => depth -= 1,
+            ',' if depth == 0 => {
+                out.push((&src[start..i], start));
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < src.len() {
+        out.push((&src[start..], start));
+    }
+    out
+}
+
+fn suffix_of(name: &str) -> Option<&'static str> {
+    UNIT_SUFFIXES
+        .iter()
+        .filter(|(s, _)| name.ends_with(s) && name.len() > s.len())
+        .map(|(s, _)| *s)
+        .max_by_key(|s| s.len())
+}
+
+fn unit_for_suffix(name: &str) -> Option<&'static str> {
+    let suffix = suffix_of(name)?;
+    UNIT_SUFFIXES
+        .iter()
+        .find(|(s, _)| *s == suffix)
+        .map(|(_, u)| *u)
+}
+
+/// Parameter-name suffixes that imply a `heb-units` type.
+const UNIT_SUFFIXES: &[(&str, &str)] = &[
+    ("_w", "Watts"),
+    ("_kw", "Watts"),
+    ("_watts", "Watts"),
+    ("_wh", "Joules"),
+    ("_kwh", "Joules"),
+    ("_watt_hours", "Joules"),
+    ("_j", "Joules"),
+    ("_joules", "Joules"),
+    ("_v", "Volts"),
+    ("_volts", "Volts"),
+    ("_a", "Amps"),
+    ("_amps", "Amps"),
+    ("_ah", "AmpHours"),
+    ("_ohm", "Ohms"),
+    ("_ohms", "Ohms"),
+    ("_s", "Seconds"),
+    ("_secs", "Seconds"),
+    ("_seconds", "Seconds"),
+    ("_hours", "Seconds"),
+    ("_soc", "Ratio"),
+    ("_frac", "Ratio"),
+    ("_usd", "Dollars"),
+    ("_dollars", "Dollars"),
+];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whole-word containment (`Instant` but not `Instantaneous`).
+fn contains_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(word) {
+        let at = from + rel;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + word.len();
+    }
+    false
+}
+
+/// Literal pattern containment with a guard against over-matching
+/// method families (`.unwrap()` must not match `.unwrap_or()`, and
+/// `panic!` must be a word).
+fn find_pattern(line: &str, pat: &str) -> bool {
+    if pat == "panic!" {
+        return contains_word(line, "panic");
+    }
+    line.contains(pat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_ctx() -> FileContext {
+        FileContext::lib("core", "crates/core/src/x.rs")
+    }
+
+    #[test]
+    fn heb001_flags_wall_clock() {
+        let d = analyze_source("use std::time::Instant;\n", &sim_ctx());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "HEB001");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn heb001_ignores_comments_and_non_sim_crates() {
+        assert!(analyze_source("// Instantaneous draw\n", &sim_ctx()).is_empty());
+        let tele = FileContext::lib("telemetry", "crates/telemetry/src/x.rs");
+        assert!(analyze_source("use std::time::Instant;\n", &tele).is_empty());
+    }
+
+    #[test]
+    fn heb002_flags_hash_collections() {
+        let d = analyze_source("let m: HashMap<K, V> = HashMap::new();\n", &sim_ctx());
+        assert_eq!(d.len(), 1, "one diagnostic per line, not per mention");
+        assert_eq!(d[0].rule, "HEB002");
+    }
+
+    #[test]
+    fn heb003_flags_unwrap_but_not_unwrap_or() {
+        let d = analyze_source("let x = y.unwrap();\n", &sim_ctx());
+        assert_eq!(d[0].rule, "HEB003");
+        assert!(analyze_source("let x = y.unwrap_or(0);\n", &sim_ctx()).is_empty());
+        assert!(analyze_source("let x = y.unwrap_or_else(f);\n", &sim_ctx()).is_empty());
+    }
+
+    #[test]
+    fn heb003_exempts_tests_bins_and_harness_crates() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\n";
+        assert!(analyze_source(src, &sim_ctx()).is_empty());
+        let mut binctx = sim_ctx();
+        binctx.role = Role::Bin;
+        assert!(analyze_source("fn main() { x.unwrap(); }\n", &binctx).is_empty());
+        let harness = FileContext::lib("proptest", "crates/proptest/src/lib.rs");
+        assert!(analyze_source("pub fn f() { panic!(\"x\") }\n", &harness).is_empty());
+    }
+
+    #[test]
+    fn heb004_flags_unit_suffixed_f64_params_and_returns() {
+        let ctx = FileContext::lib("esd", "crates/esd/src/x.rs");
+        let d = analyze_source("pub fn set_cap(cap_wh: f64, n: usize) {}\n", &ctx);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "HEB004");
+        assert!(d[0].message.contains("Joules"));
+        let d = analyze_source("pub fn voltage_v(&self) -> f64 { 1.0 }\n", &ctx);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Volts"));
+        assert!(analyze_source("pub fn count(&self) -> f64 { 1.0 }\n", &ctx).is_empty());
+        assert!(analyze_source("pub fn cap_wh(&self) -> Joules { j }\n", &ctx).is_empty());
+    }
+
+    #[test]
+    fn heb004_only_in_physics_crates() {
+        let d = analyze_source("pub fn set_cap(cap_wh: f64) {}\n", &sim_ctx());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn heb005_guards_the_hash_path() {
+        let ctx = FileContext::lib("fleet", "crates/fleet/src/cache.rs");
+        let d = analyze_source("use heb_telemetry::RecorderHandle;\n", &ctx);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "HEB005");
+        let other = FileContext::lib("fleet", "crates/fleet/src/engine.rs");
+        assert!(analyze_source("use heb_telemetry::RecorderHandle;\n", &other).is_empty());
+    }
+
+    #[test]
+    fn suppressions_require_reasons_and_silence_findings() {
+        let src = "// heb-analyze: allow(HEB003, documented panicking constructor)\n\
+                   pub fn f() { panic!(\"x\") }\n";
+        assert!(analyze_source(src, &sim_ctx()).is_empty());
+        let trailing = "pub fn f() { x.unwrap() } // heb-analyze: allow(HEB003, setup)\n";
+        assert!(analyze_source(trailing, &sim_ctx()).is_empty());
+        let bad = "// heb-analyze: allow(HEB003)\npub fn f() { panic!(\"x\") }\n";
+        let d = analyze_source(bad, &sim_ctx());
+        assert!(d.iter().any(|d| d.rule == "HEB000"));
+        assert!(d.iter().any(|d| d.rule == "HEB003"), "not suppressed");
+    }
+
+    #[test]
+    fn file_and_crate_wide_suppressions() {
+        let src = "// heb-analyze: allow-file(HEB002, frozen before iteration)\n\
+                   fn a() -> HashMap<K,V> { HashMap::new() }\n\
+                   fn b() -> HashSet<K> { HashSet::new() }\n";
+        assert!(analyze_source(src, &sim_ctx()).is_empty());
+        let mut ctx = sim_ctx();
+        ctx.crate_allows.push("HEB002".to_string());
+        assert!(analyze_source("let m: HashMap<K,V> = m;\n", &ctx).is_empty());
+        // allow-crate outside lib.rs is itself a finding.
+        let stray = "// heb-analyze: allow-crate(HEB002, nope)\n";
+        let d = analyze_source(stray, &sim_ctx());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "HEB000");
+    }
+
+    #[test]
+    fn strings_and_doc_comments_never_fire() {
+        let src = "/// call `.unwrap()` at your peril; panic! ensues\n\
+                   pub fn f() -> String { \"panic!\".to_string() }\n";
+        assert!(analyze_source(src, &sim_ctx()).is_empty());
+    }
+}

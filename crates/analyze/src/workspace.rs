@@ -1,0 +1,196 @@
+//! Workspace discovery: find every Rust source file, classify it, and
+//! run the rules.
+
+use crate::diagnostics::{self, Diagnostic};
+use crate::lexer::scrub;
+use crate::rules::{analyze_source, FileContext, Role};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Analyses every crate under `<root>/crates` plus the root package's
+/// `src`, `tests`, and `examples`. Returns findings sorted by
+/// `(path, line, rule)`.
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered while walking or reading.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in sorted_dir(&crates_dir)? {
+            if entry.is_dir() {
+                let crate_name = file_name(&entry);
+                collect_crate(&entry, &crate_name, &mut files)?;
+            }
+        }
+    }
+    // The workspace-root `heb` umbrella package.
+    collect_crate(root, "heb", &mut files)?;
+
+    // Crate-wide suppressions live in each crate's src/lib.rs.
+    let mut crate_allows: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (path, ctx) in &files {
+        if ctx.path.ends_with("src/lib.rs") {
+            let source = std::fs::read_to_string(path)?;
+            let allows = lib_rs_crate_allows(&source);
+            if !allows.is_empty() {
+                crate_allows.insert(ctx.crate_name.clone(), allows);
+            }
+        }
+    }
+
+    let mut diags = Vec::new();
+    for (path, mut ctx) in files {
+        if let Some(allows) = crate_allows.get(&ctx.crate_name) {
+            ctx.crate_allows.clone_from(allows);
+        }
+        let source = std::fs::read_to_string(&path)?;
+        diags.extend(analyze_source(&source, &ctx));
+    }
+    diagnostics::sort(&mut diags);
+    Ok(diags)
+}
+
+/// Extracts `allow-crate(RULE, reason)` rule IDs from a `lib.rs`.
+fn lib_rs_crate_allows(source: &str) -> Vec<String> {
+    let scrubbed = scrub(source);
+    let mut out = Vec::new();
+    for comment in &scrubbed.comments {
+        if let Some(pos) = comment.find("heb-analyze:") {
+            let rest = comment[pos + "heb-analyze:".len()..].trim();
+            if let Some(args) = rest
+                .strip_prefix("allow-crate(")
+                .and_then(|a| a.strip_suffix(')'))
+            {
+                if let Some((rule, reason)) = args.split_once(',') {
+                    if crate::rules::RULES.contains(&rule.trim()) && !reason.trim().is_empty() {
+                        out.push(rule.trim().to_string());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Collects one crate directory's `.rs` files with their contexts.
+fn collect_crate(
+    dir: &Path,
+    crate_name: &str,
+    files: &mut Vec<(PathBuf, FileContext)>,
+) -> io::Result<()> {
+    for (sub, role) in [
+        ("src", Role::Lib),
+        ("tests", Role::Test),
+        ("benches", Role::Bench),
+        ("examples", Role::Example),
+    ] {
+        let sub_dir = dir.join(sub);
+        if !sub_dir.is_dir() {
+            continue;
+        }
+        let mut found = Vec::new();
+        walk(&sub_dir, &mut found)?;
+        for path in found {
+            let rel = rel_display(&path, dir);
+            let role = refine_role(&rel, role);
+            let display = if crate_name == "heb" {
+                rel.clone()
+            } else {
+                format!("crates/{}/{}", file_name(dir), rel)
+            };
+            files.push((
+                path,
+                FileContext {
+                    crate_name: crate_name.to_string(),
+                    role,
+                    path: display,
+                    crate_allows: Vec::new(),
+                },
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `src/bin/*` and `src/main.rs` are binaries, not library code.
+fn refine_role(rel: &str, base: Role) -> Role {
+    if base == Role::Lib && (rel.starts_with("src/bin/") || rel == "src/main.rs") {
+        Role::Bin
+    } else {
+        base
+    }
+}
+
+fn rel_display(path: &Path, base: &Path) -> String {
+    path.strip_prefix(base)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn file_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+fn sorted_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    Ok(entries)
+}
+
+/// Depth-first `.rs` file walk, deterministic order.
+///
+/// Directories named `fixtures` are skipped: they hold test *data* —
+/// deliberately-violating sources the rule tests feed to
+/// [`analyze_source`] directly — not code cargo compiles.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in sorted_dir(dir)? {
+        if entry.is_dir() {
+            if file_name(&entry) != "fixtures" {
+                walk(&entry, out)?;
+            }
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_paths_are_repo_relative() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let diags = analyze_workspace(&root).unwrap();
+        for d in &diags {
+            assert!(
+                d.path.starts_with("crates/")
+                    || d.path.starts_with("src/")
+                    || d.path.starts_with("tests/")
+                    || d.path.starts_with("examples/"),
+                "unexpected path shape: {}",
+                d.path
+            );
+        }
+    }
+
+    #[test]
+    fn refine_role_spots_binaries() {
+        assert_eq!(refine_role("src/bin/heb_fleet.rs", Role::Lib), Role::Bin);
+        assert_eq!(refine_role("src/main.rs", Role::Lib), Role::Bin);
+        assert_eq!(refine_role("src/lib.rs", Role::Lib), Role::Lib);
+    }
+}

@@ -1,0 +1,6 @@
+//! Seeded HEB000: a suppression directive with no reason.
+
+// heb-analyze: allow(HEB003)
+pub fn first(values: &[f64]) -> f64 {
+    *values.first().unwrap()
+}

@@ -1,0 +1,8 @@
+//! Clean HEB001 fixture: deterministic seeding, and the word Instant
+//! appears only in comments and strings.
+
+// Comments may discuss Instant or SystemTime freely.
+pub fn seed_from(tick: u64) -> u64 {
+    let label = "not an Instant";
+    tick.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(label.len() as u64)
+}

@@ -1,0 +1,8 @@
+//! Seeded HEB001 violation: wall-clock time in a sim crate.
+
+use std::time::Instant;
+
+pub fn elapsed_seed() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,13 @@
+//! Clean HEB002 fixture: ordered collections only.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(keys: &[u32]) -> (usize, usize) {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut distinct: BTreeSet<u32> = BTreeSet::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+        distinct.insert(k);
+    }
+    (counts.len(), distinct.len())
+}

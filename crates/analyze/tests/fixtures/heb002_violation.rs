@@ -1,0 +1,12 @@
+//! Seeded HEB002 violation: iteration-order-unstable map in a sim
+//! crate.
+
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u32]) -> usize {
+    let mut seen: HashMap<u32, usize> = HashMap::new();
+    for &k in keys {
+        *seen.entry(k).or_insert(0) += 1;
+    }
+    seen.len()
+}

@@ -1,0 +1,16 @@
+//! Clean HEB003 fixture: fallible library code; unwraps confined to
+//! the test module, which the rule exempts.
+
+pub fn first(values: &[f64]) -> Option<f64> {
+    values.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(first(&[1.0, 2.0]).unwrap(), 1.0);
+    }
+}

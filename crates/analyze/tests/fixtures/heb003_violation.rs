@@ -1,0 +1,5 @@
+//! Seeded HEB003 violation: a panic path in library code.
+
+pub fn first(values: &[f64]) -> f64 {
+    *values.first().unwrap()
+}

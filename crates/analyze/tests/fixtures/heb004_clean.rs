@@ -1,0 +1,8 @@
+//! Clean HEB004 fixture: unit-suffixed quantities carry their
+//! newtypes; dimensionless factors may stay `f64`.
+
+use heb_units::{Ohms, Volts, Watts};
+
+pub fn sag_estimate(load: Watts, resistance: Ohms, derate: f64) -> Volts {
+    Volts::new(load.get() * resistance.get() * derate)
+}

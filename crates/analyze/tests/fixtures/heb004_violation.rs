@@ -1,0 +1,6 @@
+//! Seeded HEB004 violation: a public physics function passing a
+//! unit-suffixed quantity as bare `f64`.
+
+pub fn sag_estimate(load_w: f64, resistance: f64) -> f64 {
+    load_w * resistance
+}

@@ -1,0 +1,9 @@
+//! Clean HEB005 fixture: the hash path folds only scenario content.
+
+pub fn hash_scenario(label: &str, seed: u64) -> u64 {
+    label
+        .bytes()
+        .fold(seed ^ 0x9E37_79B9_7F4A_7C15, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0100_0000_01B3)
+        })
+}

@@ -1,0 +1,8 @@
+//! Seeded HEB005 violation: telemetry state referenced on the cache
+//! hash path.
+
+use heb_telemetry::RecorderHandle;
+
+pub fn hash_with_recorder(recorder: &RecorderHandle, key: u64) -> u64 {
+    key ^ recorder.is_enabled() as u64
+}

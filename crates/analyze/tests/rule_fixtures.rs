@@ -1,0 +1,151 @@
+//! Fixture-based rule tests: every rule must fire on its seeded
+//! violation (with the right rule ID and line) and stay silent on the
+//! clean counterpart — plus the self-check that the workspace itself is
+//! analyzer-clean against the checked-in baseline.
+//!
+//! Fixtures live under `tests/fixtures/`, which cargo does not compile
+//! and the workspace walker deliberately skips: they are analyzer
+//! *inputs*, some of them violating on purpose.
+
+use heb_analyze::{analyze_source, Baseline, Diagnostic, FileContext};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+fn run(name: &str, ctx: &FileContext) -> Vec<Diagnostic> {
+    analyze_source(&fixture(name), ctx)
+}
+
+fn sim_ctx() -> FileContext {
+    FileContext::lib("core", "crates/core/src/fixture.rs")
+}
+
+#[test]
+fn heb001_fires_on_wall_clock_in_sim_crate() {
+    let diags = run("heb001_violation.rs", &sim_ctx());
+    assert!(!diags.is_empty(), "seeded Instant use must be flagged");
+    assert!(diags.iter().all(|d| d.rule == "HEB001"), "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.line == 6),
+        "must flag the Instant::now() call line: {diags:?}"
+    );
+}
+
+#[test]
+fn heb001_silent_on_clean_source_and_comments() {
+    assert_eq!(run("heb001_clean.rs", &sim_ctx()), vec![]);
+}
+
+#[test]
+fn heb001_does_not_apply_outside_sim_crates() {
+    let ctx = FileContext::lib("fleet", "crates/fleet/src/engine.rs");
+    assert_eq!(run("heb001_violation.rs", &ctx), vec![]);
+}
+
+#[test]
+fn heb002_fires_on_hashmap_in_sim_crate() {
+    let diags = run("heb002_violation.rs", &sim_ctx());
+    assert!(!diags.is_empty());
+    assert!(diags.iter().all(|d| d.rule == "HEB002"), "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.line == 7),
+        "must flag the HashMap construction line: {diags:?}"
+    );
+}
+
+#[test]
+fn heb002_silent_on_ordered_collections() {
+    assert_eq!(run("heb002_clean.rs", &sim_ctx()), vec![]);
+}
+
+#[test]
+fn heb003_fires_on_unwrap_in_library_code() {
+    let diags = run("heb003_violation.rs", &sim_ctx());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "HEB003");
+    assert_eq!(diags[0].line, 4);
+}
+
+#[test]
+fn heb003_silent_on_fallible_code_with_test_unwraps() {
+    assert_eq!(run("heb003_clean.rs", &sim_ctx()), vec![]);
+}
+
+#[test]
+fn heb004_fires_on_bare_f64_unit_parameter() {
+    let ctx = FileContext::lib("esd", "crates/esd/src/fixture.rs");
+    let diags = run("heb004_violation.rs", &ctx);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "HEB004");
+    assert_eq!(diags[0].line, 4);
+}
+
+#[test]
+fn heb004_silent_on_newtyped_signature() {
+    let ctx = FileContext::lib("esd", "crates/esd/src/fixture.rs");
+    assert_eq!(run("heb004_clean.rs", &ctx), vec![]);
+}
+
+#[test]
+fn heb005_fires_on_telemetry_in_cache_hash_path() {
+    let ctx = FileContext::lib("fleet", "crates/fleet/src/cache.rs");
+    let diags = run("heb005_violation.rs", &ctx);
+    assert!(!diags.is_empty());
+    assert!(diags.iter().all(|d| d.rule == "HEB005"), "{diags:?}");
+    assert!(diags.iter().any(|d| d.line == 4), "{diags:?}");
+}
+
+#[test]
+fn heb005_silent_on_content_only_hashing() {
+    let ctx = FileContext::lib("fleet", "crates/fleet/src/cache.rs");
+    assert_eq!(run("heb005_clean.rs", &ctx), vec![]);
+}
+
+#[test]
+fn heb005_scoped_to_the_hash_path_file_only() {
+    // The same telemetry reference is fine anywhere else in fleet.
+    let ctx = FileContext::lib("fleet", "crates/fleet/src/engine.rs");
+    assert_eq!(run("heb005_violation.rs", &ctx), vec![]);
+}
+
+#[test]
+fn heb000_fires_on_reasonless_directive_and_keeps_the_violation() {
+    let diags = run("heb000_malformed.rs", &sim_ctx());
+    assert!(
+        diags.iter().any(|d| d.rule == "HEB000" && d.line == 3),
+        "reasonless allow must be flagged: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == "HEB003" && d.line == 5),
+        "an invalid directive must not suppress the violation: {diags:?}"
+    );
+}
+
+#[test]
+fn workspace_is_clean_against_checked_in_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = heb_analyze::analyze_workspace(&root).expect("workspace scan");
+    let baseline =
+        Baseline::load(&root.join(heb_analyze::BASELINE_FILE)).expect("baseline readable");
+    let rec = baseline.reconcile(&diags);
+    assert!(
+        rec.new.is_empty(),
+        "new violations not in baseline:\n{}",
+        rec.new
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        rec.stale.is_empty(),
+        "stale baseline entries (ratchet down with --fix-baseline): {:?}",
+        rec.stale
+    );
+}

@@ -171,7 +171,7 @@ impl HybridBuffers {
         devices
             .iter()
             .map(|d| d.lifetime().projected_lifetime())
-            .min_by(|a, b| a.get().partial_cmp(&b.get()).expect("finite lifetimes"))
+            .min_by(|a, b| a.get().total_cmp(&b.get()))
     }
 
     /// Total battery life fraction consumed so far (0 for no battery).

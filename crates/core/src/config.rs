@@ -196,6 +196,7 @@ impl SimConfig {
     /// is the [`SimError`] display string.
     pub fn validate(&self) {
         if let Err(err) = self.try_validate() {
+            // heb-analyze: allow(HEB003, documented panicking twin of try_validate; should_panic tests pin the message)
             panic!("{err}");
         }
     }

@@ -163,8 +163,8 @@ fn assemble_points(specs: Vec<PointSpec>, reports: Vec<SimReport>) -> Vec<Capaci
     specs
         .into_iter()
         .map(|(label, sc_fraction, total_capacity, _)| {
-            let report = reports.next().expect("shave report");
-            let solar = reports.next().expect("solar report");
+            let report = super::take_report(&mut reports, "shave report");
+            let solar = super::take_report(&mut reports, "solar report");
             CapacityPoint {
                 label,
                 sc_fraction,

@@ -177,7 +177,7 @@ pub fn deployment_comparison_with(
 ) -> DeploymentResult {
     let batch = deployment_scenarios(base, racks, hours, seed);
     let mut reports = runner.run_batch(&batch).into_iter();
-    let cluster_level = reports.next().expect("cluster report");
+    let cluster_level = super::take_report(&mut reports, "cluster report");
     let rack_level = aggregate(reports.collect());
     DeploymentResult {
         cluster_level,

@@ -107,7 +107,7 @@ pub fn fault_intensity_sweep_with(
     for &intensity in intensities {
         let events = storm_for(base, hours, intensity, seed).len();
         for &policy in &PolicyKind::ALL {
-            let report = reports.next().expect("one report per sweep cell");
+            let report = super::take_report(&mut reports, "sweep-cell report");
             points.push(FaultSweepPoint {
                 policy,
                 intensity,

@@ -47,3 +47,24 @@ pub use sharing::{sharing_comparison, SharingResult};
 pub use valley::{
     deep_valley_absorption, deep_valley_absorption_with, valley_scenarios, ValleyPoint,
 };
+
+/// Pulls the next report off a runner's output while assembling an
+/// experiment result.
+///
+/// Every assembler pairs a `*_scenarios()` list with the reports from
+/// running exactly that list, so with a conforming
+/// [`crate::ScenarioRunner`] the iterator cannot run dry; a short batch
+/// is a broken runner contract and unrecoverable here.
+///
+/// # Panics
+///
+/// Panics when the runner returned fewer reports than scenarios.
+pub(crate) fn take_report(
+    reports: &mut impl Iterator<Item = crate::SimReport>,
+    what: &str,
+) -> crate::SimReport {
+    reports
+        .next()
+        // heb-analyze: allow(HEB003, runner contract: one report per scenario; centralised so each assembler carries no panic site)
+        .unwrap_or_else(|| panic!("runner returned too few reports: missing {what}"))
+}

@@ -94,8 +94,8 @@ pub fn outage_ride_through_with(
     PolicyKind::ALL
         .iter()
         .map(|&policy| {
-            let full = reports.next().expect("full-run report");
-            let warmup = reports.next().expect("warmup-run report");
+            let full = super::take_report(&mut reports, "full-run report");
+            let warmup = super::take_report(&mut reports, "warmup-run report");
             // Survival is the outage tick of the first shed at or past
             // the cut, in the original tick-count-as-seconds units.
             let survival = full

@@ -227,10 +227,10 @@ pub fn scheme_comparison_assemble(base: &SimConfig, reports: Vec<SimReport>) -> 
             .iter()
             .map(|&workload| WorkloadGroupResult {
                 workload,
-                report: reports.next().expect("workload report"),
+                report: super::take_report(&mut reports, "workload report"),
             })
             .collect();
-        let solar = reports.next().expect("solar report");
+        let solar = super::take_report(&mut reports, "solar report");
         out.push(SchemeResult {
             policy,
             per_workload,

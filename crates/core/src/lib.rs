@@ -56,6 +56,8 @@ mod controller;
 mod errors;
 pub mod experiments;
 mod faults;
+#[cfg(feature = "strict-invariants")]
+pub mod invariants;
 mod metrics;
 mod pat;
 mod policy;

@@ -257,7 +257,7 @@ impl SimReport {
             Some("heb-report v1") => {}
             other => return Err(format!("bad record header {other:?}")),
         }
-        let mut map = std::collections::HashMap::new();
+        let mut map = std::collections::BTreeMap::new();
         for line in lines {
             let line = line.trim();
             if line.is_empty() {

@@ -10,11 +10,11 @@
 //! depending on which pool drained faster than expected.
 
 use heb_units::{Joules, Ratio, Watts};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A bucketed PAT key: (SC level, battery level, mismatch) in grid
 /// units.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct PatKey {
     /// SC available energy, in energy-bucket units.
     pub sc_bucket: i64,
@@ -56,7 +56,10 @@ pub struct PatEntry {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerAllocationTable {
-    entries: HashMap<PatKey, PatEntry>,
+    // BTreeMap, not HashMap: the controller reports table contents and
+    // the similar-search iterates entries, so iteration order must be
+    // deterministic (HEB002).
+    entries: BTreeMap<PatKey, PatEntry>,
     energy_bucket: Joules,
     power_bucket: Watts,
     delta_r: Ratio,
@@ -74,7 +77,7 @@ impl PowerAllocationTable {
         assert!(energy_bucket.get() > 0.0, "energy bucket must be positive");
         assert!(power_bucket.get() > 0.0, "power bucket must be positive");
         Self {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             energy_bucket,
             power_bucket,
             delta_r,
@@ -182,7 +185,7 @@ impl PowerAllocationTable {
         self.entries.get(&key)
     }
 
-    /// Iterates all `(key, entry)` pairs (unordered).
+    /// Iterates all `(key, entry)` pairs in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&PatKey, &PatEntry)> {
         self.entries.iter()
     }

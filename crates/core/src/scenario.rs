@@ -392,6 +392,7 @@ impl Scenario {
     #[must_use]
     pub fn run_expect(&self) -> SimReport {
         self.run()
+            // heb-analyze: allow(HEB003, documented panicking twin of run; the fleet engine relies on its message format)
             .unwrap_or_else(|err| panic!("scenario {:?}: {err}", self.label))
     }
 }

@@ -145,6 +145,7 @@ impl Simulation {
     /// message is the corresponding [`SimError`] display string.
     #[must_use]
     pub fn new(config: SimConfig, archetypes: &[Archetype], seed: u64) -> Self {
+        // heb-analyze: allow(HEB003, documented panicking twin of try_new)
         Self::try_new(config, archetypes, seed).unwrap_or_else(|err| panic!("{err}"))
     }
 
@@ -251,6 +252,7 @@ impl Simulation {
     #[must_use]
     pub fn with_mode(self, mode: PowerMode) -> Self {
         self.try_with_mode(mode)
+            // heb-analyze: allow(HEB003, documented panicking twin of try_with_mode)
             .unwrap_or_else(|err| panic!("{err}"))
     }
 
@@ -364,6 +366,8 @@ impl Simulation {
     pub fn step(&mut self) {
         let dt = self.config.tick;
         let now = Seconds::new(self.tick_index as f64 * dt.get());
+        #[cfg(feature = "strict-invariants")]
+        let supplied_before = self.utility.energy_supplied() + self.renewable.energy_used();
 
         // Slot boundary: close the previous slot, restore shed servers
         // if the budget allows, and open the next slot.
@@ -580,6 +584,12 @@ impl Simulation {
             }
         }
         self.supply_fault_prev = supply_fault;
+        #[cfg(feature = "strict-invariants")]
+        {
+            let supplied_after = self.utility.energy_supplied() + self.renewable.energy_used();
+            crate::invariants::check_feed_balance(supplied_after - supplied_before, raw_limit, dt);
+            crate::invariants::check_soc_bounds(&self.buffers);
+        }
         self.tick_index += 1;
     }
 
@@ -927,6 +937,8 @@ impl Simulation {
     /// Slot bookkeeping: close the finished slot, reconfigure relays,
     /// open the next one.
     fn slot_boundary(&mut self, now: Seconds) {
+        #[cfg(feature = "strict-invariants")]
+        crate::invariants::check_energy_conservation(&self.report);
         if self.trace {
             self.emit_pool_state(now);
         }

@@ -13,13 +13,14 @@
 
 use heb_units::{AmpHours, Amps, Seconds};
 
-/// Runtime of a battery rated `capacity` over `rated_hours`, discharged
-/// at constant `current`, with Peukert exponent `k`.
+/// Runtime of a battery rated `capacity` over the `rated` discharge
+/// duration, discharged at constant `current`, with Peukert exponent
+/// `k`.
 ///
 /// # Panics
 ///
-/// Panics if `current`, `capacity`, or `rated_hours` are not positive,
-/// or if `k < 1`.
+/// Panics if `current`, `capacity`, or `rated` are not positive, or if
+/// `k < 1`.
 ///
 /// # Examples
 ///
@@ -28,18 +29,20 @@ use heb_units::{AmpHours, Amps, Seconds};
 /// use heb_units::{AmpHours, Amps, Seconds};
 ///
 /// // An 8 Ah (20-hour rate) battery at its rated 0.4 A lasts 20 h...
-/// let t = peukert_runtime(AmpHours::new(8.0), 20.0, Amps::new(0.4), 1.2);
+/// let rated = Seconds::from_hours(20.0);
+/// let t = peukert_runtime(AmpHours::new(8.0), rated, Amps::new(0.4), 1.2);
 /// assert!((t.as_hours() - 20.0).abs() < 1e-9);
 /// // ...but at 10x the current it lasts far less than 2 h:
-/// let t = peukert_runtime(AmpHours::new(8.0), 20.0, Amps::new(4.0), 1.2);
+/// let t = peukert_runtime(AmpHours::new(8.0), rated, Amps::new(4.0), 1.2);
 /// assert!(t.as_hours() < 2.0);
 /// ```
 #[must_use]
-pub fn peukert_runtime(capacity: AmpHours, rated_hours: f64, current: Amps, k: f64) -> Seconds {
+pub fn peukert_runtime(capacity: AmpHours, rated: Seconds, current: Amps, k: f64) -> Seconds {
     assert!(capacity.get() > 0.0, "capacity must be positive");
-    assert!(rated_hours > 0.0, "rated_hours must be positive");
+    assert!(rated.get() > 0.0, "rated duration must be positive");
     assert!(current.get() > 0.0, "current must be positive");
     assert!(k >= 1.0, "Peukert exponent must be >= 1");
+    let rated_hours = rated.as_hours();
     let hours = rated_hours * (capacity.get() / (current.get() * rated_hours)).powf(k);
     Seconds::from_hours(hours)
 }
@@ -58,15 +61,16 @@ pub fn peukert_runtime(capacity: AmpHours, rated_hours: f64, current: Amps, k: f
 ///
 /// ```
 /// use heb_esd::effective_capacity;
-/// use heb_units::{AmpHours, Amps};
+/// use heb_units::{AmpHours, Amps, Seconds};
 ///
-/// let at_rated = effective_capacity(AmpHours::new(8.0), 20.0, Amps::new(0.4), 1.2);
-/// let at_high = effective_capacity(AmpHours::new(8.0), 20.0, Amps::new(4.0), 1.2);
+/// let rated = Seconds::from_hours(20.0);
+/// let at_rated = effective_capacity(AmpHours::new(8.0), rated, Amps::new(0.4), 1.2);
+/// let at_high = effective_capacity(AmpHours::new(8.0), rated, Amps::new(4.0), 1.2);
 /// assert!(at_high < at_rated);
 /// ```
 #[must_use]
-pub fn effective_capacity(capacity: AmpHours, rated_hours: f64, current: Amps, k: f64) -> AmpHours {
-    let t = peukert_runtime(capacity, rated_hours, current, k);
+pub fn effective_capacity(capacity: AmpHours, rated: Seconds, current: Amps, k: f64) -> AmpHours {
+    let t = peukert_runtime(capacity, rated, current, k);
     AmpHours::new(current.get() * t.as_hours())
 }
 
@@ -74,9 +78,13 @@ pub fn effective_capacity(capacity: AmpHours, rated_hours: f64, current: Amps, k
 mod tests {
     use super::*;
 
+    fn rated() -> Seconds {
+        Seconds::from_hours(20.0)
+    }
+
     #[test]
     fn rated_current_gives_nameplate_capacity() {
-        let cap = effective_capacity(AmpHours::new(8.0), 20.0, Amps::new(0.4), 1.25);
+        let cap = effective_capacity(AmpHours::new(8.0), rated(), Amps::new(0.4), 1.25);
         assert!((cap.get() - 8.0).abs() < 1e-9);
     }
 
@@ -84,7 +92,7 @@ mod tests {
     fn capacity_monotonically_decreases_with_current() {
         let mut last = f64::INFINITY;
         for i in [0.4, 0.8, 1.6, 3.2, 6.4] {
-            let cap = effective_capacity(AmpHours::new(8.0), 20.0, Amps::new(i), 1.2).get();
+            let cap = effective_capacity(AmpHours::new(8.0), rated(), Amps::new(i), 1.2).get();
             assert!(cap < last, "capacity must fall as current rises");
             last = cap;
         }
@@ -94,7 +102,7 @@ mod tests {
     fn unity_exponent_is_ideal_battery() {
         // k = 1 means no rate-capacity effect at all.
         for i in [0.4, 2.0, 8.0] {
-            let cap = effective_capacity(AmpHours::new(8.0), 20.0, Amps::new(i), 1.0);
+            let cap = effective_capacity(AmpHours::new(8.0), rated(), Amps::new(i), 1.0);
             assert!((cap.get() - 8.0).abs() < 1e-9);
         }
     }
@@ -102,12 +110,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "current must be positive")]
     fn zero_current_panics() {
-        let _ = peukert_runtime(AmpHours::new(8.0), 20.0, Amps::zero(), 1.2);
+        let _ = peukert_runtime(AmpHours::new(8.0), rated(), Amps::zero(), 1.2);
     }
 
     #[test]
     #[should_panic(expected = "Peukert exponent")]
     fn sub_unity_exponent_panics() {
-        let _ = peukert_runtime(AmpHours::new(8.0), 20.0, Amps::new(1.0), 0.9);
+        let _ = peukert_runtime(AmpHours::new(8.0), rated(), Amps::new(1.0), 0.9);
     }
 }

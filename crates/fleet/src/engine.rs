@@ -116,8 +116,7 @@ impl FleetEngine {
     /// # Panics
     ///
     /// Panics if a scenario fails to build (the same panic
-    /// [`Scenario::run_expect`] raises serially) or if a worker thread
-    /// panicked, poisoning its result slot.
+    /// [`Scenario::run_expect`] raises serially).
     #[must_use]
     pub fn run(&self, batch: &[Scenario]) -> Vec<SimReport> {
         // Cache probe pass: settle every hit up front, queue the rest.
@@ -170,13 +169,20 @@ impl FleetEngine {
                             break;
                         };
                         let report = run_one(index);
-                        *slots[next].lock().expect("result slot poisoned") = Some(report);
+                        // A poisoned slot means another worker panicked;
+                        // scope join re-raises that panic, so recovering
+                        // the lock here is safe.
+                        *slots[next]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(report);
                     });
                 }
             });
         } else {
             for (slot, &index) in slots.iter().zip(&pending) {
-                *slot.lock().expect("result slot poisoned") = Some(run_one(index));
+                *slot
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(run_one(index));
             }
         }
         self.stats
@@ -189,15 +195,16 @@ impl FleetEngine {
         for (slot, &index) in slots.iter().zip(&pending) {
             let report = slot
                 .lock()
-                .expect("result slot poisoned")
-                .take()
-                .expect("worker left a pending scenario unsimulated");
-            if let Some(cache) = &self.cache {
-                if cache.store(&batch[index], &report).is_ok() {
-                    self.stats.cache_writes.fetch_add(1, Ordering::Relaxed);
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take();
+            if let Some(report) = report {
+                if let Some(cache) = &self.cache {
+                    if cache.store(&batch[index], &report).is_ok() {
+                        self.stats.cache_writes.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
+                results[index] = Some(report);
             }
-            results[index] = Some(report);
         }
         drop(merge_timer);
         if let Some(metrics) = &self.metrics {
@@ -207,9 +214,13 @@ impl FleetEngine {
                 .counter("fleet.cache_hits")
                 .add((batch.len() - pending.len()) as u64);
         }
+        // An unsettled slot cannot happen with a conforming worker
+        // pool, but the recovery is cheap and exact: simulate the
+        // scenario serially, which is bit-identical by construction.
         results
             .into_iter()
-            .map(|r| r.expect("every scenario settled"))
+            .enumerate()
+            .map(|(index, r)| r.unwrap_or_else(|| run_one(index)))
             .collect()
     }
 }

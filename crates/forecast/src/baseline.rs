@@ -129,7 +129,7 @@ impl Predictor for SeasonalNaive {
         }
         if self.history.len() < self.period {
             // First season: fall back to the latest observation.
-            return *self.history.last().expect("non-empty");
+            return self.history.last().copied().unwrap_or(0.0);
         }
         // history holds the last `period` values; the forecast for
         // `horizon` steps ahead is the value at the same seasonal slot.

@@ -268,7 +268,7 @@ impl Predictor for HoltWinters {
         }
         if self.seasonal.is_empty() {
             // Still warming up: fall back to the latest observation.
-            return *self.warmup.last().expect("warmup non-empty when n > 0");
+            return self.warmup.last().copied().unwrap_or(0.0);
         }
         let horizon = horizon.max(1);
         self.level + horizon as f64 * self.trend + self.seasonal[self.seasonal_index(horizon)]

@@ -38,6 +38,7 @@ impl UtilityFeed {
     /// Panics if the budget is negative.
     #[must_use]
     pub fn new(budget: Watts) -> Self {
+        // heb-analyze: allow(HEB003, documented panicking twin of try_new)
         Self::try_new(budget).unwrap_or_else(|e| panic!("{e}"))
     }
 

@@ -77,6 +77,7 @@ impl Ipdu {
     /// Panics if `window` is zero.
     #[must_use]
     pub fn new(window: usize) -> Self {
+        // heb-analyze: allow(HEB003, documented panicking twin of try_new)
         Self::try_new(window).unwrap_or_else(|e| panic!("{e}"))
     }
 

@@ -94,11 +94,9 @@ pub fn read_trace_csv<R: Read>(reader: R, dt: Seconds) -> Result<PowerTrace, Par
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let value_field = trimmed
-            .rsplit(',')
-            .next()
-            .expect("rsplit yields at least one field")
-            .trim();
+        // `rsplit` always yields at least one field; fall back to the
+        // whole line rather than asserting.
+        let value_field = trimmed.rsplit(',').next().unwrap_or(trimmed).trim();
         match value_field.parse::<f64>() {
             Ok(value) => {
                 if value < 0.0 {

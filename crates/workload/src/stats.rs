@@ -69,7 +69,7 @@ pub fn percentile(trace: &PowerTrace, q: f64) -> Watts {
     assert!(!trace.is_empty(), "cannot take a percentile of nothing");
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
     let mut values: Vec<f64> = trace.iter().map(Watts::get).collect();
-    values.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    values.sort_by(f64::total_cmp);
     let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
     Watts::new(values[rank - 1])
 }

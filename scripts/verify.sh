@@ -16,6 +16,13 @@ cargo build --release
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== heb-analyze (static analysis gate, ratcheting baseline)"
+cargo run -q -p heb-analyze
+
+echo "== strict-invariants (runtime conservation checks in the chaos suites)"
+cargo test -p heb-core --features strict-invariants -q
+cargo test -p heb-fleet --features strict-invariants -q
+
 echo "== telemetry-overhead guard (NullRecorder within 5% of baseline)"
 cargo bench -q -p heb-bench --bench microbench -- --telemetry-guard
 
