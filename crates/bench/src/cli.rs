@@ -10,6 +10,8 @@
 //! --jobs N       fleet-engine worker count (default: all cores)
 //! --no-cache     bypass the content-addressed result cache
 //! --cache-dir D  cache root (default results/cache)
+//! --max-retries N    attempts after a failed scenario (default 1)
+//! --timeout-secs S   per-scenario wall-clock watchdog (default off)
 //! ```
 //!
 //! [`BenchArgs::engine`] builds the [`FleetEngine`] the scenario-ised
@@ -18,7 +20,7 @@
 
 use std::path::PathBuf;
 
-use heb_fleet::{FleetEngine, ResultCache};
+use heb_fleet::{FleetEngine, HardenPolicy, ResultCache};
 
 use crate::{hours_arg, json_path};
 
@@ -37,6 +39,12 @@ pub struct BenchArgs {
     pub use_cache: bool,
     /// Result-cache root (`--cache-dir`, default `results/cache`).
     pub cache_dir: PathBuf,
+    /// Retries after a failed scenario attempt (`--max-retries`,
+    /// default 1 — a transient failure gets one more chance).
+    pub max_retries: u32,
+    /// Per-scenario wall-clock watchdog (`--timeout-secs`, default
+    /// off).
+    pub timeout_secs: Option<u64>,
     /// The raw argument list, for binary-specific flags.
     pub raw: Vec<String>,
 }
@@ -66,6 +74,10 @@ impl BenchArgs {
             use_cache: !args.iter().any(|a| a == "--no-cache"),
             cache_dir: value_of("--cache-dir")
                 .map_or_else(|| PathBuf::from("results/cache"), PathBuf::from),
+            max_retries: value_of("--max-retries")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1),
+            timeout_secs: value_of("--timeout-secs").and_then(|v| v.parse().ok()),
             raw: args.to_vec(),
         }
     }
@@ -77,10 +89,17 @@ impl BenchArgs {
     }
 
     /// Builds the fleet engine these arguments describe: `jobs`
-    /// workers, with the result cache attached unless `--no-cache`.
+    /// workers, the robustness policy (retries and watchdog), and the
+    /// result cache attached unless `--no-cache`. Every sim-driven
+    /// experiment binary inherits panic isolation, retry, and graceful
+    /// cache degradation through this one constructor.
     #[must_use]
     pub fn engine(&self) -> FleetEngine {
-        let engine = FleetEngine::new(self.jobs);
+        let engine = FleetEngine::new(self.jobs).with_policy(HardenPolicy {
+            max_retries: self.max_retries,
+            timeout_ms: self.timeout_secs.map(|s| s.saturating_mul(1000)),
+            ..HardenPolicy::default()
+        });
         if self.use_cache {
             engine.with_cache(ResultCache::new(&self.cache_dir))
         } else {
@@ -147,6 +166,23 @@ mod tests {
         let args = BenchArgs::from_slice(&to_args(&["--ablate-pat"]), 1.0, 1);
         assert!(args.flag("--ablate-pat"));
         assert!(!args.flag("--ablate-dr"));
+    }
+
+    #[test]
+    fn robustness_flags_parse_and_reach_the_engine() {
+        let args = BenchArgs::from_slice(
+            &to_args(&["--max-retries", "3", "--timeout-secs", "10"]),
+            1.0,
+            1,
+        );
+        assert_eq!(args.max_retries, 3);
+        assert_eq!(args.timeout_secs, Some(10));
+        let engine = args.engine();
+        assert_eq!(engine.policy().max_retries, 3);
+        assert_eq!(engine.policy().timeout_ms, Some(10_000));
+        let defaults = BenchArgs::from_slice(&[], 1.0, 1);
+        assert_eq!(defaults.max_retries, 1);
+        assert_eq!(defaults.timeout_secs, None);
     }
 
     #[test]

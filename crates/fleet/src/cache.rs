@@ -34,6 +34,29 @@ const MAGIC: &str = "heb-cache v1";
 /// Distinguishes concurrent writers of temp files within one process.
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// Why a cache read produced no usable entry (beyond a plain miss).
+///
+/// [`ResultCache::load`] folds every failure into a miss; the
+/// degradation layer uses [`ResultCache::try_load`] instead so it can
+/// tell a healthy miss from a cache directory that is actively failing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheReadError {
+    /// The entry exists but could not be read (permissions, I/O).
+    Io(std::io::ErrorKind),
+    /// The entry was read but is not a valid report for this scenario
+    /// (bad magic, transplanted key, truncated or garbage body).
+    Corrupt,
+}
+
+impl std::fmt::Display for CacheReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheReadError::Io(kind) => write!(f, "cache read failed: {kind}"),
+            CacheReadError::Corrupt => write!(f, "cache entry corrupt"),
+        }
+    }
+}
+
 /// A content-addressed store of simulation reports.
 #[derive(Debug, Clone)]
 pub struct ResultCache {
@@ -66,16 +89,68 @@ impl ResultCache {
     /// (absent, truncated, corrupt, or keyed to a different scenario).
     #[must_use]
     pub fn load(&self, scenario: &Scenario) -> Option<SimReport> {
-        let body = fs::read_to_string(self.entry_path(scenario)).ok()?;
+        self.try_load(scenario).ok().flatten()
+    }
+
+    /// Loads the cached report for `scenario`, distinguishing a healthy
+    /// miss (`Ok(None)`) from a failing cache.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheReadError::Io`] when the entry exists but cannot be read;
+    /// [`CacheReadError::Corrupt`] when it reads but does not decode to
+    /// a report keyed to this scenario. Both are safe to treat as a
+    /// miss — the caller re-simulates — but let the degradation layer
+    /// count genuine failures.
+    pub fn try_load(&self, scenario: &Scenario) -> Result<Option<SimReport>, CacheReadError> {
+        let body = match fs::read_to_string(self.entry_path(scenario)) {
+            Ok(body) => body,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(err) => return Err(CacheReadError::Io(err.kind())),
+        };
         let mut lines = body.splitn(3, '\n');
-        if lines.next()? != MAGIC {
-            return None;
+        if lines.next() != Some(MAGIC) {
+            return Err(CacheReadError::Corrupt);
         }
-        let keyed_to = lines.next()?.strip_prefix("scenario = ")?;
+        let keyed_to = lines
+            .next()
+            .and_then(|line| line.strip_prefix("scenario = "))
+            .ok_or(CacheReadError::Corrupt)?;
         if keyed_to != scenario.hash_hex() {
-            return None;
+            return Err(CacheReadError::Corrupt);
         }
-        SimReport::from_record(lines.next()?).ok()
+        let record = lines.next().ok_or(CacheReadError::Corrupt)?;
+        SimReport::from_record(record)
+            .map(Some)
+            .map_err(|_| CacheReadError::Corrupt)
+    }
+
+    /// Removes temp files left behind in the cache directory by
+    /// crashed runs, returning how many were reclaimed.
+    ///
+    /// The temp-file-then-rename write scheme ([`ResultCache::store`])
+    /// cleans up after itself on every path except a process that dies
+    /// between the write and the rename; those orphans would otherwise
+    /// accumulate forever. Called when the engine attaches a cache.
+    /// A temp file belonging to a *concurrently writing* process is
+    /// also swept — that writer's rename then fails and it re-cleans;
+    /// the cost is one lost cache write, never a corrupt entry.
+    pub fn sweep_stale_tmp(&self) -> usize {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut reclaimed = 0;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let is_tmp = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(".tmp."));
+            if is_tmp && fs::remove_file(&path).is_ok() {
+                reclaimed += 1;
+            }
+        }
+        reclaimed
     }
 
     /// Stores `report` as the result of `scenario`. Best-effort: I/O
@@ -196,6 +271,32 @@ mod tests {
         assert!(cache.load(&s).is_none(), "truncated entry must miss");
         fs::write(&path, "not a cache entry at all").unwrap();
         assert!(cache.load(&s).is_none(), "garbage entry must miss");
+    }
+
+    #[test]
+    fn try_load_classifies_misses_and_corruption() {
+        let cache = temp_cache("classify");
+        let s = scenario();
+        assert_eq!(cache.try_load(&s), Ok(None), "absent entry is a clean miss");
+        cache.store(&s, &s.run_expect()).unwrap();
+        assert!(matches!(cache.try_load(&s), Ok(Some(_))));
+        fs::write(cache.entry_path(&s), "garbage").unwrap();
+        assert_eq!(cache.try_load(&s), Err(CacheReadError::Corrupt));
+        assert!(cache.load(&s).is_none(), "load still degrades to a miss");
+    }
+
+    #[test]
+    fn sweep_reclaims_stale_tmp_files_only() {
+        let cache = temp_cache("sweep");
+        let s = scenario();
+        cache.store(&s, &s.run_expect()).unwrap();
+        // Orphans a crashed writer would leave behind.
+        fs::write(cache.dir().join("deadbeef.tmp.999.0"), "half-written").unwrap();
+        fs::write(cache.dir().join("deadbeef.tmp.999.1"), "half-written").unwrap();
+        assert_eq!(cache.sweep_stale_tmp(), 2);
+        assert_eq!(cache.len(), 1, "real entries survive the sweep");
+        assert!(cache.load(&s).is_some());
+        assert_eq!(cache.sweep_stale_tmp(), 0, "second sweep finds nothing");
     }
 
     #[test]

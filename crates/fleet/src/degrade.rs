@@ -1,0 +1,326 @@
+//! Graceful degradation wrapper around the result cache.
+//!
+//! The ladder (DESIGN §9): a healthy cache serves reads and writes
+//! (`read-write`). The first *hard* write failure — disk full,
+//! permission denied, read-only filesystem — drops it to `read-only`:
+//! existing entries keep serving, nothing new is persisted, and the run
+//! continues instead of erroring. Repeated read failures (unreadable or
+//! corrupt entries) then drop it to `disabled`: every probe is a miss
+//! and the engine simulates everything. Transitions are one-way within
+//! a run, counted, and drained by the engine as typed
+//! `CacheDegraded` telemetry events.
+
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use heb_core::{Scenario, SimReport};
+
+use crate::cache::{CacheReadError, ResultCache};
+use crate::failpoint::{site, Failpoints};
+
+/// Read failures tolerated before the cache is disabled outright.
+const READ_FAILURE_LIMIT: u32 = 3;
+
+/// The cache's current service level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Reads and writes both served.
+    #[default]
+    ReadWrite,
+    /// Reads served; writes skipped (storage is failing writes).
+    ReadOnly,
+    /// Cache out of the loop entirely; every probe is a miss.
+    Disabled,
+}
+
+impl CacheMode {
+    /// Stable lowercase name (`read-write` / `read-only` / `disabled`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheMode::ReadWrite => "read-write",
+            CacheMode::ReadOnly => "read-only",
+            CacheMode::Disabled => "disabled",
+        }
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            CacheMode::ReadWrite => 0,
+            CacheMode::ReadOnly => 1,
+            CacheMode::Disabled => 2,
+        }
+    }
+
+    fn from_rank(rank: u8) -> Self {
+        match rank {
+            0 => CacheMode::ReadWrite,
+            1 => CacheMode::ReadOnly,
+            _ => CacheMode::Disabled,
+        }
+    }
+}
+
+/// One downward mode transition, for telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The mode the cache dropped to.
+    pub to: CacheMode,
+    /// The classified failure that forced the drop.
+    pub reason: String,
+}
+
+/// A [`ResultCache`] that degrades instead of failing the run.
+#[derive(Debug)]
+pub struct DegradableCache {
+    inner: ResultCache,
+    mode: AtomicU8,
+    read_failures: AtomicU32,
+    write_skips: AtomicU32,
+    tmp_reclaimed: usize,
+    transitions: Mutex<Vec<Degradation>>,
+    failpoints: Option<Arc<Failpoints>>,
+}
+
+impl DegradableCache {
+    /// Wraps `inner`, sweeping temp files orphaned by crashed runs
+    /// (the count is surfaced via [`DegradableCache::tmp_reclaimed`]).
+    #[must_use]
+    pub fn open(inner: ResultCache) -> Self {
+        let tmp_reclaimed = inner.sweep_stale_tmp();
+        Self {
+            inner,
+            mode: AtomicU8::new(CacheMode::ReadWrite.rank()),
+            read_failures: AtomicU32::new(0),
+            write_skips: AtomicU32::new(0),
+            tmp_reclaimed,
+            transitions: Mutex::new(Vec::new()),
+            failpoints: None,
+        }
+    }
+
+    /// Attaches a failpoint set whose `cache.*` sites inject read and
+    /// write failures ahead of the real filesystem.
+    #[must_use]
+    pub fn with_failpoints(mut self, failpoints: Arc<Failpoints>) -> Self {
+        self.failpoints = Some(failpoints);
+        self
+    }
+
+    /// The wrapped cache.
+    #[must_use]
+    pub fn inner(&self) -> &ResultCache {
+        &self.inner
+    }
+
+    /// The current service level.
+    #[must_use]
+    pub fn mode(&self) -> CacheMode {
+        CacheMode::from_rank(self.mode.load(Ordering::Relaxed))
+    }
+
+    /// Temp files reclaimed when the cache was opened.
+    #[must_use]
+    pub fn tmp_reclaimed(&self) -> usize {
+        self.tmp_reclaimed
+    }
+
+    /// Writes skipped because the cache was no longer writable.
+    #[must_use]
+    pub fn write_skips(&self) -> u32 {
+        self.write_skips.load(Ordering::Relaxed)
+    }
+
+    /// Loads `scenario`'s entry; every failure degrades to a miss while
+    /// counting toward the disable threshold.
+    #[must_use]
+    pub fn load(&self, scenario: &Scenario) -> Option<SimReport> {
+        if self.mode() == CacheMode::Disabled {
+            return None;
+        }
+        if let Some(fp) = &self.failpoints {
+            if fp.fires(site::CACHE_LOAD_IO) {
+                self.note_read_failure("injected I/O read error");
+                return None;
+            }
+            if fp.fires(site::CACHE_LOAD_CORRUPT) {
+                self.note_read_failure("injected corrupt entry");
+                return None;
+            }
+        }
+        match self.inner.try_load(scenario) {
+            Ok(hit) => hit,
+            Err(CacheReadError::Corrupt) => {
+                self.note_read_failure("corrupt cache entry");
+                None
+            }
+            Err(CacheReadError::Io(kind)) => {
+                self.note_read_failure(&format!("cache read failed: {kind}"));
+                None
+            }
+        }
+    }
+
+    /// Stores a fresh result, returning whether it was persisted. Hard
+    /// storage failures drop the cache to read-only; softer errors are
+    /// retried on later stores until a small budget runs out.
+    pub fn store(&self, scenario: &Scenario, report: &SimReport) -> bool {
+        if self.mode() != CacheMode::ReadWrite {
+            self.write_skips.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if let Some(fp) = &self.failpoints {
+            if fp.fires(site::CACHE_STORE_FULL) {
+                self.degrade_to(CacheMode::ReadOnly, "injected ENOSPC on cache write");
+                return false;
+            }
+        }
+        match self.inner.store(scenario, report) {
+            Ok(()) => true,
+            Err(err) => {
+                if is_hard_write_error(&err) {
+                    self.degrade_to(
+                        CacheMode::ReadOnly,
+                        &format!("cache write failed hard: {err}"),
+                    );
+                }
+                false
+            }
+        }
+    }
+
+    /// Drains the mode transitions recorded since the last call, in
+    /// order — the engine converts these to `CacheDegraded` events.
+    #[must_use]
+    pub fn drain_transitions(&self) -> Vec<Degradation> {
+        let mut guard = self
+            .transitions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        std::mem::take(&mut *guard)
+    }
+
+    fn note_read_failure(&self, reason: &str) {
+        let seen = self.read_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if seen >= READ_FAILURE_LIMIT {
+            self.degrade_to(
+                CacheMode::Disabled,
+                &format!("{reason} ({seen} read failures)"),
+            );
+        }
+    }
+
+    fn degrade_to(&self, to: CacheMode, reason: &str) {
+        let previous = self.mode.fetch_max(to.rank(), Ordering::Relaxed);
+        if previous >= to.rank() {
+            return;
+        }
+        let mut guard = self
+            .transitions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.push(Degradation {
+            to,
+            reason: reason.to_string(),
+        });
+    }
+}
+
+/// Whether a write error means the storage itself is unusable (degrade
+/// to read-only) rather than one entry being unlucky (skip and retry
+/// on the next store).
+fn is_hard_write_error(err: &std::io::Error) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        err.kind(),
+        ErrorKind::StorageFull
+            | ErrorKind::PermissionDenied
+            | ErrorKind::ReadOnlyFilesystem
+            | ErrorKind::QuotaExceeded
+            | ErrorKind::NotADirectory
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heb_core::SimConfig;
+    use heb_workload::Archetype;
+    use std::fs;
+
+    fn scenario(seed: u64) -> Scenario {
+        Scenario::new(
+            format!("degrade-test/{seed}"),
+            SimConfig::prototype(),
+            &[Archetype::WebSearch],
+            0.05,
+            seed,
+        )
+    }
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        let root = std::env::temp_dir().join(format!("heb-degrade-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        root
+    }
+
+    #[test]
+    fn healthy_cache_round_trips_in_read_write_mode() {
+        let cache = DegradableCache::open(ResultCache::new(temp_root("healthy")));
+        let s = scenario(1);
+        let report = s.run_expect();
+        assert!(cache.load(&s).is_none());
+        assert!(cache.store(&s, &report));
+        assert_eq!(cache.load(&s), Some(report));
+        assert_eq!(cache.mode(), CacheMode::ReadWrite);
+        assert!(cache.drain_transitions().is_empty());
+    }
+
+    #[test]
+    fn unwritable_root_degrades_to_read_only_not_an_error() {
+        // The cache root is a *file*, so create_dir_all fails with
+        // NotADirectory on every store — a hard storage failure.
+        let root = temp_root("unwritable");
+        fs::write(&root, "in the way").unwrap();
+        let cache = DegradableCache::open(ResultCache::new(&root));
+        let s = scenario(2);
+        let report = s.run_expect();
+        assert!(!cache.store(&s, &report));
+        assert_eq!(cache.mode(), CacheMode::ReadOnly);
+        let transitions = cache.drain_transitions();
+        assert_eq!(transitions.len(), 1);
+        assert_eq!(transitions[0].to, CacheMode::ReadOnly);
+        // Later stores are skipped silently, and drained only once.
+        assert!(!cache.store(&s, &report));
+        assert_eq!(cache.write_skips(), 1);
+        assert!(cache.drain_transitions().is_empty());
+        let _ = fs::remove_file(&root);
+    }
+
+    #[test]
+    fn repeated_corruption_disables_the_cache() {
+        let cache = DegradableCache::open(ResultCache::new(temp_root("corrupt")));
+        let s = scenario(3);
+        cache.store(&s, &s.run_expect());
+        fs::write(cache.inner().entry_path(&s), "garbage").unwrap();
+        for _ in 0..READ_FAILURE_LIMIT {
+            assert!(cache.load(&s).is_none(), "corrupt entry degrades to miss");
+        }
+        assert_eq!(cache.mode(), CacheMode::Disabled);
+        let transitions = cache.drain_transitions();
+        assert_eq!(transitions.last().map(|t| t.to), Some(CacheMode::Disabled));
+        // Disabled: probes miss without touching the filesystem.
+        assert!(cache.load(&s).is_none());
+    }
+
+    #[test]
+    fn open_sweeps_orphaned_tmp_files() {
+        let inner = ResultCache::new(temp_root("tmp-sweep"));
+        let s = scenario(4);
+        inner.store(&s, &s.run_expect()).unwrap();
+        fs::write(inner.dir().join("feed.tmp.1.2"), "orphan").unwrap();
+        let cache = DegradableCache::open(inner);
+        assert_eq!(cache.tmp_reclaimed(), 1);
+        assert_eq!(cache.load(&s), Some(s.run_expect()));
+    }
+}

@@ -1,4 +1,4 @@
-//! The deterministically-parallel scenario executor.
+//! The deterministically-parallel, hardened scenario executor.
 //!
 //! Determinism argument: each [`Scenario`] is a pure function of its
 //! own fields — the simulation it builds seeds its own RNGs and shares
@@ -9,16 +9,41 @@
 //! is the submission order regardless of which worker finished first.
 //! `run` with any worker count is therefore bit-identical to
 //! [`heb_core::SerialRunner`].
+//!
+//! Robustness (DESIGN §9): every attempt runs under `catch_unwind`, so
+//! one scenario panicking cannot poison its siblings or the engine.
+//! Failures are classified ([`ScenarioFailure`]), retried on a
+//! seed-deterministic backoff schedule ([`HardenPolicy`]), and finally
+//! quarantined. [`FleetEngine::run_hardened`] returns the full
+//! per-scenario accounting; [`FleetEngine::run`] keeps the historical
+//! panicking contract on top of it. An optional [`RunJournal`] makes
+//! runs crash-safe and resumable, and the attached cache degrades
+//! (read-write → read-only → disabled) instead of erroring.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+// heb-analyze: allow(HEB003, imports the unwind-isolation primitives; the import itself panics nothing)
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::time::Duration;
 
 use heb_core::{Scenario, ScenarioRunner, SimReport};
-use heb_telemetry::Metrics;
+use heb_telemetry::{Event, FleetEvent, Metrics, RecorderHandle};
 
 use crate::cache::ResultCache;
+use crate::degrade::{CacheMode, DegradableCache};
+use crate::failpoint::site;
+#[cfg(feature = "failpoints")]
+use crate::failpoint::Failpoints;
+use crate::harden::{
+    HardenPolicy, ReportSource, RunOutcome, ScenarioFailure, ScenarioOutcome, ScenarioState,
+};
+use crate::journal::RunJournal;
 
-/// Counters describing what one `run` call actually did.
+/// How long an injected `worker.stall` failpoint sleeps, generously
+/// above the watchdog limits the chaos suite configures.
+const STALL_MS: u64 = 50;
+
+/// Counters describing what the engine has done so far.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
     /// Scenarios simulated (cache misses plus uncached runs).
@@ -27,6 +52,17 @@ pub struct EngineStats {
     pub cache_hits: usize,
     /// Fresh results persisted to the cache.
     pub cache_writes: usize,
+    /// Retry attempts scheduled after failed attempts.
+    pub retries: usize,
+    /// Scenarios quarantined after exhausting every attempt.
+    pub quarantined: usize,
+    /// Scenarios settled from a resumed run's journal store.
+    pub resumed: usize,
+    /// Stale temp files reclaimed when the cache was attached.
+    pub tmp_reclaimed: usize,
+    /// The attached cache's current service level (`ReadWrite` when no
+    /// cache is attached — nothing has degraded).
+    pub cache_mode: CacheMode,
 }
 
 /// Cumulative counters, updated atomically so workers need no lock.
@@ -35,6 +71,16 @@ struct AtomicStats {
     simulated: AtomicUsize,
     cache_hits: AtomicUsize,
     cache_writes: AtomicUsize,
+    retries: AtomicUsize,
+    quarantined: AtomicUsize,
+    resumed: AtomicUsize,
+}
+
+/// What one worker recorded for one claimed scenario.
+#[derive(Debug)]
+struct SlotOutcome {
+    attempts: u32,
+    result: Result<SimReport, ScenarioFailure>,
 }
 
 /// A fixed-width worker pool executing scenario batches, with an
@@ -42,12 +88,20 @@ struct AtomicStats {
 #[derive(Debug)]
 pub struct FleetEngine {
     jobs: usize,
-    cache: Option<ResultCache>,
+    cache: Option<DegradableCache>,
     stats: AtomicStats,
     /// Optional metrics registry: when attached, every `run` records
     /// per-phase wall-clock timings (`fleet.phase.*`) and per-scenario
     /// simulation latency (`fleet.scenario_seconds`).
     metrics: Option<Arc<Metrics>>,
+    /// Panic-isolation / retry / watchdog knobs (default: all off).
+    policy: HardenPolicy,
+    /// Optional recorder for typed robustness events (`fleet.*`).
+    recorder: Option<RecorderHandle>,
+    /// Failpoint set; only attachable under the `failpoints` feature.
+    failpoints: Option<Arc<crate::failpoint::Failpoints>>,
+    /// Guards the one-shot `fleet.cache.tmp_reclaimed` counter add.
+    tmp_counted: AtomicBool,
 }
 
 impl FleetEngine {
@@ -60,14 +114,25 @@ impl FleetEngine {
             cache: None,
             stats: AtomicStats::default(),
             metrics: None,
+            policy: HardenPolicy::default(),
+            recorder: None,
+            failpoints: None,
+            tmp_counted: AtomicBool::new(false),
         }
     }
 
     /// Attaches a result cache consulted before, and written after,
-    /// every simulation.
+    /// every simulation. The cache is wrapped for graceful degradation
+    /// and stale temp files from crashed runs are swept immediately.
     #[must_use]
     pub fn with_cache(mut self, cache: ResultCache) -> Self {
-        self.cache = Some(cache);
+        #[allow(unused_mut)]
+        let mut wrapped = DegradableCache::open(cache);
+        #[cfg(feature = "failpoints")]
+        if let Some(fp) = &self.failpoints {
+            wrapped = wrapped.with_failpoints(Arc::clone(fp));
+        }
+        self.cache = Some(wrapped);
         self
     }
 
@@ -76,6 +141,35 @@ impl FleetEngine {
     #[must_use]
     pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches the execution-robustness policy (retries, backoff,
+    /// watchdog, fail-fast).
+    #[must_use]
+    pub fn with_policy(mut self, policy: HardenPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches a recorder receiving the typed robustness events:
+    /// `RetryScheduled`, `ScenarioQuarantined`, `CacheDegraded`,
+    /// `RunResumed`.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Attaches a deterministic failpoint set (chaos testing only).
+    /// Also threads the set into an already-attached cache.
+    #[cfg(feature = "failpoints")]
+    #[must_use]
+    pub fn with_failpoints(mut self, failpoints: Arc<Failpoints>) -> Self {
+        if let Some(cache) = self.cache.take() {
+            self.cache = Some(cache.with_failpoints(Arc::clone(&failpoints)));
+        }
+        self.failpoints = Some(failpoints);
         self
     }
 
@@ -94,7 +188,13 @@ impl FleetEngine {
     /// The attached cache, if any.
     #[must_use]
     pub fn cache(&self) -> Option<&ResultCache> {
-        self.cache.as_ref()
+        self.cache.as_ref().map(DegradableCache::inner)
+    }
+
+    /// The robustness policy in force.
+    #[must_use]
+    pub fn policy(&self) -> &HardenPolicy {
+        &self.policy
     }
 
     /// Cumulative counters across every `run` call so far.
@@ -104,6 +204,17 @@ impl FleetEngine {
             simulated: self.stats.simulated.load(Ordering::Relaxed),
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
             cache_writes: self.stats.cache_writes.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            quarantined: self.stats.quarantined.load(Ordering::Relaxed),
+            resumed: self.stats.resumed.load(Ordering::Relaxed),
+            tmp_reclaimed: self
+                .cache
+                .as_ref()
+                .map_or(0, DegradableCache::tmp_reclaimed),
+            cache_mode: self
+                .cache
+                .as_ref()
+                .map_or_else(CacheMode::default, DegradableCache::mode),
         }
     }
 
@@ -112,27 +223,93 @@ impl FleetEngine {
     ///
     /// Cached scenarios are replayed without simulating; the rest are
     /// spread across the worker pool and their fresh results persisted.
+    /// This is [`FleetEngine::run_hardened`] with the historical
+    /// contract layered on top: the whole batch still executes (so
+    /// sibling results and cache writes land), then the first failure
+    /// is re-raised.
     ///
     /// # Panics
     ///
-    /// Panics if a scenario fails to build (the same panic
+    /// Panics if a scenario fails terminally (the same panic
     /// [`Scenario::run_expect`] raises serially).
     #[must_use]
     pub fn run(&self, batch: &[Scenario]) -> Vec<SimReport> {
-        // Cache probe pass: settle every hit up front, queue the rest.
+        let outcome = self.run_hardened(batch, None);
+        let Some(reports) = outcome.reports() else {
+            let mut payload = String::from("fleet run failed");
+            for o in &outcome.outcomes {
+                if o.state == ScenarioState::Done {
+                    continue;
+                }
+                payload = match &o.failure {
+                    // A worker panic's payload already carries the
+                    // `scenario "label": …` format from run_expect.
+                    Some(ScenarioFailure::Panic { message }) => message.clone(),
+                    Some(ScenarioFailure::Error { message }) => {
+                        format!("scenario {:?}: {message}", o.label)
+                    }
+                    Some(failure) => format!("scenario {:?}: {failure}", o.label),
+                    None => format!("scenario {:?}: did not complete", o.label),
+                };
+                break;
+            }
+            // heb-analyze: allow(HEB003, documented re-raise preserving run()'s historical panicking contract)
+            std::panic::resume_unwind(Box::new(payload));
+        };
+        reports
+    }
+
+    /// Executes `batch` under the robustness policy, accounting for
+    /// every scenario instead of panicking: panics are isolated per
+    /// attempt, failures retried then quarantined, and — when a
+    /// journal is attached — progress is persisted so an interrupted
+    /// run resumes bit-identically.
+    #[must_use]
+    pub fn run_hardened(&self, batch: &[Scenario], journal: Option<&RunJournal>) -> RunOutcome {
+        self.count_tmp_once();
+        if let Some(journal) = journal {
+            journal.record_batch_open(batch);
+        }
+
+        // Probe pass: settle resumed and cached scenarios up front,
+        // queue the rest.
         let probe_timer = self.metrics.as_ref().map(|m| m.timer("fleet.phase.probe"));
-        let mut results: Vec<Option<SimReport>> = Vec::with_capacity(batch.len());
+        let mut settled: Vec<Option<(SimReport, ReportSource)>> = Vec::with_capacity(batch.len());
         let mut pending: Vec<usize> = Vec::new();
         for (index, scenario) in batch.iter().enumerate() {
-            let hit = self.cache.as_ref().and_then(|c| c.load(scenario));
-            if hit.is_some() {
-                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-            } else {
-                pending.push(index);
+            if let Some(report) = journal.and_then(|j| j.completed_report(scenario)) {
+                self.stats.resumed.fetch_add(1, Ordering::Relaxed);
+                settled.push(Some((report, ReportSource::Resumed)));
+                continue;
             }
-            results.push(hit);
+            if let Some(report) = self.cache.as_ref().and_then(|c| c.load(scenario)) {
+                self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                // Mirror the hit into the run store so a later resume
+                // does not depend on the shared cache staying healthy.
+                if let Some(journal) = journal {
+                    journal.record_done(scenario, &report, 0);
+                }
+                settled.push(Some((report, ReportSource::Cache)));
+                continue;
+            }
+            pending.push(index);
+            settled.push(None);
         }
         drop(probe_timer);
+        let resumed = settled
+            .iter()
+            .filter(|s| matches!(s, Some((_, ReportSource::Resumed))))
+            .count();
+        let cache_hits = batch.len() - pending.len() - resumed;
+        if resumed > 0 {
+            if let Some(journal) = journal {
+                self.emit(|| FleetEvent::RunResumed {
+                    run_id: journal.run_id().to_string(),
+                    completed: resumed,
+                    remaining: batch.len() - resumed,
+                });
+            }
+        }
 
         // Simulation pass: workers pull pending scenarios off a shared
         // cursor; each result lands in the slot of its batch index, so
@@ -141,87 +318,316 @@ impl FleetEngine {
             .metrics
             .as_ref()
             .map(|m| m.timer("fleet.phase.simulate"));
-        let scenario_hist = self
-            .metrics
-            .as_ref()
-            .map(|m| m.histogram("fleet.scenario_seconds"));
-        let run_one = |index: usize| -> SimReport {
-            match &scenario_hist {
-                Some(hist) => {
-                    let start = std::time::Instant::now();
-                    let report = batch[index].run_expect();
-                    hist.observe(start.elapsed().as_secs_f64());
-                    report
-                }
-                None => batch[index].run_expect(),
-            }
-        };
-        let slots: Vec<Mutex<Option<SimReport>>> =
+        let slots: Vec<Mutex<Option<SlotOutcome>>> =
             pending.iter().map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let worker = || loop {
+            if abort.load(Ordering::Relaxed) {
+                break;
+            }
+            if let Some(fp) = &self.failpoints {
+                if fp.fires(site::RUN_ABORT) {
+                    // Emulated kill: stop scheduling; in-flight journal
+                    // state stays dangling exactly as SIGKILL leaves it.
+                    abort.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+            let next = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(&index) = pending.get(next) else {
+                break;
+            };
+            let outcome = self.run_scenario(&batch[index], journal);
+            if outcome.result.is_err() && self.policy.fail_fast {
+                abort.store(true, Ordering::Relaxed);
+            }
+            // A poisoned slot means another worker panicked through the
+            // isolation layer somehow; recovering the lock is safe —
+            // the slot value is only written once.
+            *slots[next].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
+        };
         let workers = self.jobs.min(pending.len());
         if workers > 1 {
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let next = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&index) = pending.get(next) else {
-                            break;
-                        };
-                        let report = run_one(index);
-                        // A poisoned slot means another worker panicked;
-                        // scope join re-raises that panic, so recovering
-                        // the lock here is safe.
-                        *slots[next]
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(report);
-                    });
+                    scope.spawn(worker);
                 }
             });
-        } else {
-            for (slot, &index) in slots.iter().zip(&pending) {
-                *slot
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(run_one(index));
-            }
+        } else if workers == 1 {
+            worker();
         }
-        self.stats
-            .simulated
-            .fetch_add(pending.len(), Ordering::Relaxed);
         drop(simulate_timer);
 
-        // Merge pass: persist fresh results and fill the output vector.
+        // Merge pass: persist fresh results, account for every
+        // scenario, and drain cache-degradation transitions.
         let merge_timer = self.metrics.as_ref().map(|m| m.timer("fleet.phase.merge"));
-        for (slot, &index) in slots.iter().zip(&pending) {
-            let report = slot
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .take();
-            if let Some(report) = report {
-                if let Some(cache) = &self.cache {
-                    if cache.store(&batch[index], &report).is_ok() {
-                        self.stats.cache_writes.fetch_add(1, Ordering::Relaxed);
+        let aborted = abort.load(Ordering::Relaxed);
+        let mut slot_results = slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner));
+        let mut simulated = 0usize;
+        let mut outcomes = Vec::with_capacity(batch.len());
+        for (index, scenario) in batch.iter().enumerate() {
+            let mut outcome = ScenarioOutcome {
+                index,
+                label: scenario.label().to_string(),
+                hash: scenario.hash_hex(),
+                state: ScenarioState::Pending,
+                attempts: 0,
+                source: ReportSource::None,
+                report: None,
+                failure: None,
+            };
+            if let Some((report, source)) = settled[index].take() {
+                outcome.state = ScenarioState::Done;
+                outcome.source = source;
+                outcome.report = Some(report);
+                outcomes.push(outcome);
+                continue;
+            }
+            match slot_results.next().flatten() {
+                Some(SlotOutcome {
+                    attempts,
+                    result: Ok(report),
+                }) => {
+                    simulated += 1;
+                    if let Some(cache) = &self.cache {
+                        if cache.store(scenario, &report) {
+                            self.stats.cache_writes.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
+                    outcome.state = ScenarioState::Done;
+                    outcome.attempts = attempts;
+                    outcome.source = ReportSource::Simulated;
+                    outcome.report = Some(report);
                 }
-                results[index] = Some(report);
+                Some(SlotOutcome {
+                    attempts,
+                    result: Err(failure),
+                }) => {
+                    simulated += 1;
+                    outcome.state = ScenarioState::Quarantined;
+                    outcome.attempts = attempts;
+                    outcome.failure = Some(failure);
+                }
+                // Never claimed: the run stopped first.
+                None => {
+                    outcome.failure = aborted.then_some(ScenarioFailure::Aborted);
+                }
+            }
+            outcomes.push(outcome);
+        }
+        if let Some(cache) = &self.cache {
+            for degradation in cache.drain_transitions() {
+                self.emit(|| FleetEvent::CacheDegraded {
+                    mode: degradation.to.name(),
+                    reason: degradation.reason,
+                });
             }
         }
         drop(merge_timer);
+
+        let run = RunOutcome { outcomes, aborted };
+        let counts = run.counts();
+        if let Some(journal) = journal {
+            journal.record_batch_close(
+                counts.done,
+                counts.failed,
+                counts.quarantined,
+                counts.pending,
+                aborted,
+            );
+        }
         if let Some(metrics) = &self.metrics {
             metrics.counter("fleet.scenarios").add(batch.len() as u64);
-            metrics.counter("fleet.simulated").add(pending.len() as u64);
-            metrics
-                .counter("fleet.cache_hits")
-                .add((batch.len() - pending.len()) as u64);
+            metrics.counter("fleet.simulated").add(simulated as u64);
+            metrics.counter("fleet.cache_hits").add(cache_hits as u64);
+            if resumed > 0 {
+                metrics.counter("fleet.resumed").add(resumed as u64);
+            }
+            if counts.quarantined > 0 {
+                metrics
+                    .counter("fleet.quarantined")
+                    .add(counts.quarantined as u64);
+            }
         }
-        // An unsettled slot cannot happen with a conforming worker
-        // pool, but the recovery is cheap and exact: simulate the
-        // scenario serially, which is bit-identical by construction.
-        results
-            .into_iter()
-            .enumerate()
-            .map(|(index, r)| r.unwrap_or_else(|| run_one(index)))
-            .collect()
+        run
+    }
+
+    /// Runs one scenario to a terminal per-scenario result: attempts
+    /// under `catch_unwind`, deterministic backoff between retries,
+    /// quarantine when the budget is exhausted.
+    fn run_scenario(&self, scenario: &Scenario, journal: Option<&RunJournal>) -> SlotOutcome {
+        self.stats.simulated.fetch_add(1, Ordering::Relaxed);
+        let hash = scenario.hash_hex();
+        let hash128 = scenario.content_hash();
+        let hist = self
+            .metrics
+            .as_ref()
+            .map(|m| m.histogram("fleet.scenario_seconds"));
+        let mut attempt = 1u32;
+        loop {
+            if let Some(journal) = journal {
+                journal.record_state(&hash, ScenarioState::Running, attempt, None);
+            }
+            // Keyed failpoints decide from the scenario hash, so the
+            // injected set is independent of worker scheduling.
+            let (inject_panic, stall) = match &self.failpoints {
+                Some(fp) => (
+                    fp.fires_keyed(site::WORKER_PANIC, hash128 as u64),
+                    fp.fires_keyed(site::WORKER_STALL, hash128 as u64),
+                ),
+                None => (false, false),
+            };
+            let start = hist.as_ref().map(|_| std::time::Instant::now());
+            let result = run_attempt(scenario, inject_panic, stall, self.policy.timeout_ms);
+            if let (Some(hist), Some(start)) = (&hist, start) {
+                hist.observe(start.elapsed().as_secs_f64());
+            }
+            match result {
+                Ok(report) => {
+                    if let Some(journal) = journal {
+                        journal.record_done(scenario, &report, attempt);
+                    }
+                    return SlotOutcome {
+                        attempts: attempt,
+                        result: Ok(report),
+                    };
+                }
+                Err(failure) => {
+                    let reason = failure.to_string();
+                    if let Some(journal) = journal {
+                        journal.record_state(&hash, ScenarioState::Failed, attempt, Some(&reason));
+                    }
+                    if attempt < self.policy.max_attempts() {
+                        let backoff = self.policy.backoff_ms(hash128, attempt);
+                        self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                        self.emit(|| FleetEvent::RetryScheduled {
+                            scenario: scenario.label().to_string(),
+                            attempt: attempt + 1,
+                            backoff_ms: backoff,
+                            reason: reason.clone(),
+                        });
+                        if backoff > 0 {
+                            std::thread::sleep(Duration::from_millis(backoff));
+                        }
+                        attempt += 1;
+                        continue;
+                    }
+                    if let Some(journal) = journal {
+                        journal.record_state(
+                            &hash,
+                            ScenarioState::Quarantined,
+                            attempt,
+                            Some(&reason),
+                        );
+                    }
+                    self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                    self.emit(|| FleetEvent::ScenarioQuarantined {
+                        scenario: scenario.label().to_string(),
+                        attempts: attempt,
+                        reason,
+                    });
+                    return SlotOutcome {
+                        attempts: attempt,
+                        result: Err(failure),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Records a robustness event if a recorder is attached and on.
+    fn emit(&self, event: impl FnOnce() -> FleetEvent) {
+        if let Some(recorder) = &self.recorder {
+            if recorder.is_enabled() {
+                recorder.record(&Event::Fleet(event()));
+            }
+        }
+    }
+
+    /// Adds the cache's tmp-sweep count to the metrics registry once
+    /// per engine (the sweep happens at attach time, not per run).
+    fn count_tmp_once(&self) {
+        if let (Some(metrics), Some(cache)) = (&self.metrics, &self.cache) {
+            if !self.tmp_counted.swap(true, Ordering::Relaxed) {
+                metrics
+                    .counter("fleet.cache.tmp_reclaimed")
+                    .add(cache.tmp_reclaimed() as u64);
+            }
+        }
+    }
+}
+
+/// Executes one attempt, classifying panics, typed errors, and — when
+/// a watchdog limit is set — timeouts.
+fn run_attempt(
+    scenario: &Scenario,
+    inject_panic: bool,
+    stall: bool,
+    timeout_ms: Option<u64>,
+) -> Result<SimReport, ScenarioFailure> {
+    let body = move |scenario: &Scenario| {
+        if inject_panic {
+            // heb-analyze: allow(HEB003, deliberate injected panic exercising the real catch_unwind isolation path)
+            panic!("injected failpoint {}", site::WORKER_PANIC);
+        }
+        if stall {
+            std::thread::sleep(Duration::from_millis(STALL_MS));
+        }
+        scenario.run()
+    };
+    let Some(limit_ms) = timeout_ms else {
+        return classify(catch_unwind(AssertUnwindSafe(|| body(scenario))));
+    };
+    // Watchdog: the attempt runs on its own thread so the worker can
+    // give up on it. A timed-out thread is abandoned, not killed — it
+    // finishes (or panics) into a dropped channel. That leak is the
+    // price of a watchdog without unsafe cancellation; bounded by
+    // attempts, and absent entirely when no timeout is configured.
+    let (sender, receiver) = mpsc::channel();
+    let clone = scenario.clone();
+    let spawned = std::thread::Builder::new()
+        .name("heb-fleet-attempt".to_string())
+        .spawn(move || {
+            let _ = sender.send(catch_unwind(AssertUnwindSafe(|| body(&clone))));
+        });
+    if spawned.is_err() {
+        // Cannot spawn (resource exhaustion): degrade to an unwatched
+        // inline attempt rather than failing the scenario outright.
+        return classify(catch_unwind(AssertUnwindSafe(|| body(scenario))));
+    }
+    match receiver.recv_timeout(Duration::from_millis(limit_ms)) {
+        Ok(result) => classify(result),
+        Err(_) => Err(ScenarioFailure::Timeout { limit_ms }),
+    }
+}
+
+/// Folds a caught attempt into the failure taxonomy.
+fn classify(
+    caught: std::thread::Result<Result<SimReport, heb_core::SimError>>,
+) -> Result<SimReport, ScenarioFailure> {
+    match caught {
+        Ok(Ok(report)) => Ok(report),
+        Ok(Err(err)) => Err(ScenarioFailure::Error {
+            message: err.to_string(),
+        }),
+        Err(payload) => Err(ScenarioFailure::Panic {
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Stringifies a panic payload (panics carry `&str` or `String` in
+/// practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -252,6 +658,12 @@ mod tests {
             .collect()
     }
 
+    /// A scenario whose `run` fails with a typed `SimError`
+    /// (`NoWorkloads`) — the cheap way to exercise the failure paths.
+    fn failing_scenario(label: &str) -> Scenario {
+        Scenario::new(label, SimConfig::prototype(), &[], 0.05, 11)
+    }
+
     #[test]
     fn parallel_matches_serial_bit_for_bit() {
         let batch = batch();
@@ -263,6 +675,7 @@ mod tests {
         assert_eq!(stats.simulated, batch.len());
         assert_eq!(stats.cache_hits, 0);
         assert_eq!(stats.cache_writes, 0, "no cache attached");
+        assert_eq!(stats.cache_mode, CacheMode::ReadWrite);
     }
 
     #[test]
@@ -308,5 +721,108 @@ mod tests {
             .with_metrics(Arc::new(Metrics::new()))
             .run(&batch);
         assert_eq!(plain, instrumented);
+    }
+
+    #[test]
+    fn run_hardened_quarantines_failures_without_poisoning_siblings() {
+        let mut batch = batch();
+        batch.insert(1, failing_scenario("engine-test/broken"));
+        let engine = FleetEngine::new(3);
+        let outcome = engine.run_hardened(&batch, None);
+        assert!(!outcome.aborted);
+        let counts = outcome.counts();
+        assert_eq!(counts.done, batch.len() - 1, "siblings must all finish");
+        assert_eq!(counts.quarantined, 1);
+        let broken = &outcome.outcomes[1];
+        assert_eq!(broken.state, ScenarioState::Quarantined);
+        assert_eq!(broken.attempts, 1, "no retries under the default policy");
+        assert!(matches!(
+            broken.failure,
+            Some(ScenarioFailure::Error { .. })
+        ));
+        assert!(outcome.reports().is_none());
+        assert_eq!(engine.stats().quarantined, 1);
+        // The engine is still usable after a quarantine.
+        assert_eq!(engine.run_hardened(&batch[..1], None).counts().done, 1);
+    }
+
+    #[test]
+    fn retries_are_counted_and_bounded() {
+        let engine = FleetEngine::new(1).with_policy(HardenPolicy {
+            max_retries: 2,
+            ..HardenPolicy::default()
+        });
+        let outcome = engine.run_hardened(&[failing_scenario("engine-test/retry")], None);
+        assert_eq!(outcome.outcomes[0].attempts, 3, "1 attempt + 2 retries");
+        assert_eq!(outcome.outcomes[0].state, ScenarioState::Quarantined);
+        assert_eq!(engine.stats().retries, 2);
+    }
+
+    #[test]
+    fn fail_fast_stops_scheduling_after_a_quarantine() {
+        let mut scenarios = vec![failing_scenario("engine-test/ff-broken")];
+        scenarios.extend(batch());
+        let engine = FleetEngine::new(1).with_policy(HardenPolicy {
+            fail_fast: true,
+            ..HardenPolicy::default()
+        });
+        let outcome = engine.run_hardened(&scenarios, None);
+        assert!(outcome.aborted);
+        let counts = outcome.counts();
+        assert_eq!(counts.quarantined, 1);
+        assert_eq!(counts.pending, scenarios.len() - 1, "rest never scheduled");
+        assert!(outcome.outcomes[1..]
+            .iter()
+            .all(|o| o.failure == Some(ScenarioFailure::Aborted)));
+    }
+
+    #[test]
+    fn run_re_raises_the_first_failure_with_the_scenario_label() {
+        let engine = FleetEngine::new(2);
+        let mut scenarios = batch();
+        scenarios.push(failing_scenario("engine-test/raise"));
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| engine.run(&scenarios)));
+        let payload = caught.expect_err("run must re-raise the failure");
+        let message = panic_message(payload.as_ref());
+        assert_eq!(
+            message, "scenario \"engine-test/raise\": need at least one workload",
+            "message must match Scenario::run_expect's format"
+        );
+    }
+
+    #[test]
+    fn watchdog_flags_overlong_scenarios_as_timeouts() {
+        // A 20-hour horizon cannot simulate in 1 ms even on absurd
+        // hardware, so the watchdog must fire.
+        let slow = Scenario::new(
+            "engine-test/slow",
+            SimConfig::prototype(),
+            &[Archetype::WebSearch],
+            20.0,
+            11,
+        );
+        let engine = FleetEngine::new(1).with_policy(HardenPolicy {
+            timeout_ms: Some(1),
+            ..HardenPolicy::default()
+        });
+        let outcome = engine.run_hardened(std::slice::from_ref(&slow), None);
+        assert_eq!(
+            outcome.outcomes[0].failure,
+            Some(ScenarioFailure::Timeout { limit_ms: 1 })
+        );
+        assert_eq!(outcome.outcomes[0].state, ScenarioState::Quarantined);
+    }
+
+    #[test]
+    fn hardened_path_is_bit_identical_to_serial() {
+        let batch = batch();
+        let serial = SerialRunner.run_batch(&batch);
+        let outcome = FleetEngine::new(4).run_hardened(&batch, None);
+        assert!(outcome.all_done());
+        assert_eq!(outcome.reports(), Some(serial));
+        assert!(outcome
+            .outcomes
+            .iter()
+            .all(|o| o.source == ReportSource::Simulated && o.attempts == 1));
     }
 }

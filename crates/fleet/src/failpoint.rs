@@ -1,0 +1,253 @@
+//! Deterministic, seeded failpoints for the execution-robustness layer.
+//!
+//! A [`Failpoints`] set maps *site* names (fixed strings compiled into
+//! the engine — see [`site`]) to firing rules parsed from a compact
+//! spec. Rules are pure functions of the per-site hit counter (or of a
+//! caller-supplied key), never of the wall clock or ambient entropy, so
+//! an injected failure storm replays bit-identically run after run —
+//! the property the chaos suite's "interrupted run equals clean run"
+//! assertions stand on.
+//!
+//! Spec grammar (comma-separated, `site=rule` per entry):
+//!
+//! ```text
+//! worker.panic=3        fire exactly on the 3rd hit of the site
+//! cache.store=2:4       fire on hits 2,3,4,5 (window of 4 from hit 2)
+//! cache.load.io=1+      fire on every hit from the 1st onward
+//! worker.panic=p0.25@7  keyed rule: fire for ~25% of keys, seed 7
+//! ```
+//!
+//! Hit counters are 1-based and advance on every [`Failpoints::fires`]
+//! call for the site, fired or not. Keyed (`p…@…`) rules ignore the
+//! counter entirely: whether they fire depends only on the key, so the
+//! injected set is independent of worker scheduling and `--jobs`.
+//!
+//! The facility is always compiled (it is a few branches on an
+//! `Option` that is `None` in production), but the ways to *attach* a
+//! set — `FleetEngine::with_failpoints`, `heb_fleet --inject` — only
+//! exist under the `failpoints` feature.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use heb_rng::splitmix64;
+
+/// The injection sites compiled into the fleet engine.
+pub mod site {
+    /// Cache read fails with an I/O error (entry unreadable).
+    pub const CACHE_LOAD_IO: &str = "cache.load.io";
+    /// Cache read returns a corrupt entry.
+    pub const CACHE_LOAD_CORRUPT: &str = "cache.load.corrupt";
+    /// Cache write fails as if the disk were full (ENOSPC).
+    pub const CACHE_STORE_FULL: &str = "cache.store.enospc";
+    /// Run-journal append fails with an I/O error.
+    pub const JOURNAL_APPEND: &str = "journal.append";
+    /// The worker panics inside the scenario run (exercises the real
+    /// `catch_unwind` isolation path).
+    pub const WORKER_PANIC: &str = "worker.panic";
+    /// The worker stalls for 50 ms before simulating (exercises the
+    /// wall-clock watchdog).
+    pub const WORKER_STALL: &str = "worker.stall";
+    /// The engine stops scheduling work, emulating a killed process:
+    /// in-flight journal state is left dangling exactly as SIGKILL
+    /// would leave it.
+    pub const RUN_ABORT: &str = "run.abort";
+}
+
+/// When a site fires, relative to its hit counter or a key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Rule {
+    /// Fire on hits `from .. from + count` (1-based); `count == None`
+    /// means "forever from `from`".
+    Window { from: u64, count: Option<u64> },
+    /// Fire for a deterministic ~`p` fraction of keys under `seed`.
+    Keyed { p: f64, seed: u64 },
+}
+
+#[derive(Debug)]
+struct Site {
+    rule: Rule,
+    hits: AtomicU64,
+    fired: AtomicU64,
+}
+
+/// A parsed, immutable set of failpoint rules with per-site counters.
+#[derive(Debug, Default)]
+pub struct Failpoints {
+    sites: BTreeMap<String, Site>,
+}
+
+impl Failpoints {
+    /// Parses a spec like `worker.panic=3,cache.store.enospc=1+`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut sites = BTreeMap::new();
+        for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+            let (name, rule) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("failpoint entry {entry:?}: expected site=rule"))?;
+            let rule = parse_rule(rule.trim())
+                .map_err(|why| format!("failpoint entry {entry:?}: {why}"))?;
+            sites.insert(
+                name.trim().to_string(),
+                Site {
+                    rule,
+                    hits: AtomicU64::new(0),
+                    fired: AtomicU64::new(0),
+                },
+            );
+        }
+        Ok(Self { sites })
+    }
+
+    /// Whether the site fires on this hit. Advances the site's hit
+    /// counter; unknown sites never fire (and count nothing).
+    pub fn fires(&self, name: &str) -> bool {
+        self.fires_keyed(name, 0)
+    }
+
+    /// Like [`Failpoints::fires`], but keyed rules (`p…@…`) decide from
+    /// `key` instead of the hit counter, so the outcome is independent
+    /// of call order across worker threads.
+    pub fn fires_keyed(&self, name: &str, key: u64) -> bool {
+        let Some(site) = self.sites.get(name) else {
+            return false;
+        };
+        let hit = site.hits.fetch_add(1, Ordering::Relaxed) + 1;
+        let fire = match site.rule {
+            Rule::Window { from, count } => {
+                hit >= from && count.is_none_or(|c| hit < from.saturating_add(c))
+            }
+            Rule::Keyed { p, seed } => {
+                let mut state = seed ^ key.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15;
+                let z = splitmix64(&mut state);
+                ((z >> 11) as f64 / (1u64 << 53) as f64) < p
+            }
+        };
+        if fire {
+            site.fired.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// How many times the site has been checked so far.
+    #[must_use]
+    pub fn hits(&self, name: &str) -> u64 {
+        self.sites
+            .get(name)
+            .map_or(0, |s| s.hits.load(Ordering::Relaxed))
+    }
+
+    /// How many times the site has actually fired so far.
+    #[must_use]
+    pub fn fired(&self, name: &str) -> u64 {
+        self.sites
+            .get(name)
+            .map_or(0, |s| s.fired.load(Ordering::Relaxed))
+    }
+
+    /// Whether the set defines no sites at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+}
+
+fn parse_rule(rule: &str) -> Result<Rule, String> {
+    if let Some(prob) = rule.strip_prefix('p') {
+        let (p, seed) = prob
+            .split_once('@')
+            .ok_or_else(|| "keyed rule needs p<fraction>@<seed>".to_string())?;
+        let p: f64 = p.parse().map_err(|e| format!("bad fraction: {e}"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("fraction {p} outside [0, 1]"));
+        }
+        let seed: u64 = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
+        return Ok(Rule::Keyed { p, seed });
+    }
+    if let Some(from) = rule.strip_suffix('+') {
+        let from = parse_hit(from)?;
+        return Ok(Rule::Window { from, count: None });
+    }
+    if let Some((from, count)) = rule.split_once(':') {
+        let from = parse_hit(from)?;
+        let count: u64 = count.parse().map_err(|e| format!("bad count: {e}"))?;
+        return Ok(Rule::Window {
+            from,
+            count: Some(count),
+        });
+    }
+    let from = parse_hit(rule)?;
+    Ok(Rule::Window {
+        from,
+        count: Some(1),
+    })
+}
+
+fn parse_hit(text: &str) -> Result<u64, String> {
+    let hit: u64 = text.parse().map_err(|e| format!("bad hit number: {e}"))?;
+    if hit == 0 {
+        return Err("hit numbers are 1-based".to_string());
+    }
+    Ok(hit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_hit_fires_once() {
+        let fp = Failpoints::parse("worker.panic=3").unwrap();
+        let fired: Vec<bool> = (0..5).map(|_| fp.fires(site::WORKER_PANIC)).collect();
+        assert_eq!(fired, [false, false, true, false, false]);
+        assert_eq!(fp.hits(site::WORKER_PANIC), 5);
+        assert_eq!(fp.fired(site::WORKER_PANIC), 1);
+    }
+
+    #[test]
+    fn windows_and_open_ends_fire_in_range() {
+        let fp = Failpoints::parse("a=2:3,b=4+").unwrap();
+        let a: Vec<bool> = (0..6).map(|_| fp.fires("a")).collect();
+        assert_eq!(a, [false, true, true, true, false, false]);
+        let b: Vec<bool> = (0..6).map(|_| fp.fires("b")).collect();
+        assert_eq!(b, [false, false, false, true, true, true]);
+    }
+
+    #[test]
+    fn unknown_sites_never_fire() {
+        let fp = Failpoints::parse("a=1+").unwrap();
+        assert!(!fp.fires("nonexistent.site"));
+        assert_eq!(fp.hits("nonexistent.site"), 0);
+        assert!(Failpoints::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn keyed_rules_depend_only_on_the_key() {
+        let fp = Failpoints::parse("w=p0.5@42").unwrap();
+        let picks: Vec<bool> = (0..64).map(|k| fp.fires_keyed("w", k)).collect();
+        // Re-checking the same keys in reverse order gives the same set.
+        let again: Vec<bool> = (0..64)
+            .rev()
+            .map(|k| fp.fires_keyed("w", k))
+            .rev()
+            .collect();
+        assert_eq!(picks, again);
+        let fired = picks.iter().filter(|&&f| f).count();
+        assert!((10..54).contains(&fired), "p0.5 fired {fired}/64");
+        // A different seed picks a different set.
+        let other = Failpoints::parse("w=p0.5@43").unwrap();
+        let picks_other: Vec<bool> = (0..64).map(|k| other.fires_keyed("w", k)).collect();
+        assert_ne!(picks, picks_other);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in ["a", "a=0", "a=x", "a=p2@1", "a=p0.5", "a=1:x"] {
+            assert!(Failpoints::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+}

@@ -13,7 +13,14 @@
 //!   unchanged performs zero simulations;
 //! * [`replicate`] / [`MetricSummary`] — seed replication and
 //!   distribution summaries (mean / p50 / p95 / min / max) across the
-//!   replica set.
+//!   replica set;
+//! * the **heb-harden** execution-robustness layer (DESIGN §9) —
+//!   per-scenario panic isolation with deterministic retry and
+//!   quarantine ([`HardenPolicy`], [`RunOutcome`]), a crash-safe
+//!   resumable run journal ([`RunJournal`]), graceful cache
+//!   degradation ([`DegradableCache`]), and seeded failpoints for
+//!   chaos testing ([`Failpoints`], attachable only under the
+//!   `failpoints` feature).
 //!
 //! The `heb_fleet` binary drives every scenario-ised experiment of the
 //! evaluation through this engine.
@@ -46,8 +53,19 @@
 
 mod aggregate;
 mod cache;
+mod degrade;
 mod engine;
+mod failpoint;
+mod harden;
+mod journal;
 
 pub use aggregate::{replicate, MetricSummary};
-pub use cache::{ResultCache, ENGINE_VERSION};
+pub use cache::{CacheReadError, ResultCache, ENGINE_VERSION};
+pub use degrade::{CacheMode, DegradableCache, Degradation};
 pub use engine::{EngineStats, FleetEngine};
+pub use failpoint::{site, Failpoints};
+pub use harden::{
+    HardenPolicy, ReportSource, RunOutcome, ScenarioFailure, ScenarioOutcome, ScenarioState,
+    StateCounts,
+};
+pub use journal::{FsyncPolicy, RunJournal, MANIFEST_FILE};

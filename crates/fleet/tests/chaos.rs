@@ -1,0 +1,209 @@
+//! Deterministic chaos suite (runs only with `--features failpoints`):
+//! injected kills, worker panics, and I/O storms must never change
+//! *what* the fleet computes — only how much work it takes to get
+//! there. Every test pins the final reports bit-identical to a clean,
+//! uninjected run.
+#![cfg(feature = "failpoints")]
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use heb_core::experiments::outage_scenarios;
+use heb_core::{Scenario, ScenarioRunner, SerialRunner, SimConfig};
+use heb_fleet::{
+    CacheMode, Failpoints, FleetEngine, FsyncPolicy, HardenPolicy, ResultCache, RunJournal,
+};
+use heb_telemetry::{Event, FleetEvent, RingRecorder};
+use heb_units::Watts;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("heb-fleet-chaos-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    root
+}
+
+fn batch() -> Vec<Scenario> {
+    let base = SimConfig::prototype().with_budget(Watts::new(250.0));
+    outage_scenarios(&base, 1.0, 4.0, 23)
+}
+
+fn fp(spec: &str) -> Arc<Failpoints> {
+    Arc::new(Failpoints::parse(spec).unwrap())
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_at_any_jobs() {
+    let batch = batch();
+    let serial = SerialRunner.run_batch(&batch);
+    for jobs in [1, 4] {
+        let runs = temp_dir(&format!("kill-j{jobs}"));
+
+        // Session one is killed mid-run: `run.abort` stops scheduling
+        // exactly as SIGKILL would, leaving the journal mid-flight.
+        {
+            let failpoints = fp("run.abort=4");
+            let journal = RunJournal::create(&runs, "r", FsyncPolicy::Never)
+                .unwrap()
+                .with_failpoints(Arc::clone(&failpoints));
+            let engine = FleetEngine::new(jobs).with_failpoints(failpoints);
+            let outcome = engine.run_hardened(&batch, Some(&journal));
+            assert!(outcome.aborted, "jobs={jobs}: the kill must land");
+            assert!(
+                outcome.counts().done < batch.len(),
+                "jobs={jobs}: the kill must interrupt real work"
+            );
+        }
+
+        // Session two resumes clean (no injection) and must converge
+        // to the exact uninterrupted result.
+        let journal = RunJournal::resume(&runs, "r", FsyncPolicy::Never).unwrap();
+        let engine = FleetEngine::new(jobs);
+        let outcome = engine.run_hardened(&batch, Some(&journal));
+        assert!(outcome.all_done(), "jobs={jobs}");
+        assert_eq!(
+            outcome.reports(),
+            Some(serial.clone()),
+            "jobs={jobs}: kill + resume must be bit-identical to a clean run"
+        );
+        assert!(
+            engine.stats().resumed > 0,
+            "jobs={jobs}: resume must reuse the first session's work"
+        );
+    }
+}
+
+#[test]
+fn injected_worker_panic_is_retried_and_recovered() {
+    let batch = batch();
+    let serial = SerialRunner.run_batch(&batch);
+    // With jobs=1 the hit counter advances once per attempt in batch
+    // order, so `worker.panic=3` panics exactly the third scenario's
+    // first attempt; its retry (hit 4) passes. A keyed (`p…@…`) rule
+    // would be wrong here: it re-fires on every retry of the same
+    // scenario and can only quarantine.
+    let failpoints = fp("worker.panic=3");
+    let ring = Arc::new(RingRecorder::new(256));
+    let engine = FleetEngine::new(1)
+        .with_policy(HardenPolicy {
+            max_retries: 1,
+            ..HardenPolicy::default()
+        })
+        .with_recorder(ring.clone())
+        .with_failpoints(Arc::clone(&failpoints));
+    let outcome = engine.run_hardened(&batch, None);
+    assert!(
+        failpoints.fired(heb_fleet::site::WORKER_PANIC) > 0,
+        "the storm must actually panic some attempts"
+    );
+    assert!(outcome.all_done(), "every panic must be retried to success");
+    assert_eq!(
+        outcome.reports(),
+        Some(serial),
+        "recovered run must be bit-identical"
+    );
+    assert!(engine.stats().retries > 0);
+    assert_eq!(engine.stats().quarantined, 0);
+    let retry_events = ring
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::Fleet(FleetEvent::RetryScheduled { .. })))
+        .count();
+    assert_eq!(retry_events, engine.stats().retries);
+}
+
+#[test]
+fn cache_io_storm_degrades_to_no_cache_and_completes() {
+    let batch = batch();
+    let serial = SerialRunner.run_batch(&batch);
+    let cache_root = temp_dir("storm-cache");
+    // Warm the cache so the storm has reads to corrupt.
+    assert!(FleetEngine::new(2)
+        .with_cache(ResultCache::new(&cache_root))
+        .run_hardened(&batch, None)
+        .all_done());
+
+    // Storm: every cache read fails — the first two as I/O errors,
+    // every later one as corruption (per-site counters, so the corrupt
+    // rule must start at its own hit 1 to leave no healthy window).
+    let ring = Arc::new(RingRecorder::new(64));
+    let engine = FleetEngine::new(2)
+        .with_cache(ResultCache::new(&cache_root))
+        .with_recorder(ring.clone())
+        .with_failpoints(fp("cache.load.io=1:2,cache.load.corrupt=1+"));
+    let outcome = engine.run_hardened(&batch, None);
+    assert!(outcome.all_done(), "the storm must not lose a scenario");
+    assert_eq!(
+        outcome.reports(),
+        Some(serial),
+        "degraded-cache run must be bit-identical"
+    );
+    let stats = engine.stats();
+    assert_eq!(stats.cache_mode, CacheMode::Disabled, "ladder bottoms out");
+    assert_eq!(stats.cache_hits, 0, "every probe failed into a miss");
+    assert_eq!(stats.simulated, batch.len(), "engine simulated everything");
+    let degradations: Vec<(String, String)> = ring
+        .events()
+        .into_iter()
+        .filter_map(|e| match e {
+            Event::Fleet(FleetEvent::CacheDegraded { mode, reason }) => {
+                Some((mode.to_string(), reason))
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(
+        degradations.iter().any(|(mode, _)| mode == "disabled"),
+        "degradation must be announced: {degradations:?}"
+    );
+}
+
+#[test]
+fn journal_append_failure_degrades_observability_not_results() {
+    let batch = batch();
+    let runs = temp_dir("journal-sick");
+    let failpoints = fp("journal.append=3+");
+    let journal = RunJournal::create(&runs, "r", FsyncPolicy::Never)
+        .unwrap()
+        .with_failpoints(failpoints);
+    let engine = FleetEngine::new(2);
+    let outcome = engine.run_hardened(&batch, Some(&journal));
+    assert!(outcome.all_done(), "a sick journal must not fail the run");
+    assert!(!journal.healthy(), "the sickness must be surfaced");
+    assert_eq!(
+        outcome.reports(),
+        Some(SerialRunner.run_batch(&batch)),
+        "results unaffected"
+    );
+}
+
+#[test]
+fn every_scenario_is_accounted_for_in_the_manifest_after_a_storm() {
+    let batch = batch();
+    let runs = temp_dir("manifest-audit");
+    let journal = RunJournal::create(&runs, "r", FsyncPolicy::Always).unwrap();
+    // Window rule: hits 2, 3, and 4 panic — the second scenario burns
+    // three attempts before its fourth succeeds (jobs=1 keeps the hit
+    // order equal to batch order).
+    let engine = FleetEngine::new(1)
+        .with_policy(HardenPolicy {
+            max_retries: 3,
+            ..HardenPolicy::default()
+        })
+        .with_failpoints(fp("worker.panic=2:3"));
+    let outcome = engine.run_hardened(&batch, Some(&journal));
+    assert!(outcome.all_done());
+    let manifest = fs::read_to_string(runs.join("r").join(heb_fleet::MANIFEST_FILE)).unwrap();
+    for scenario in &batch {
+        let hash = scenario.hash_hex();
+        assert!(
+            manifest.contains(&format!("\"hash\":\"{hash}\",\"state\":\"done\"")),
+            "scenario {} must reach done in the manifest",
+            scenario.label()
+        );
+    }
+    assert!(
+        manifest.contains("\"type\":\"batch.close\""),
+        "the batch must be closed"
+    );
+}

@@ -1,0 +1,126 @@
+//! Checkpoint/resume, end to end: an interrupted journaled run,
+//! resumed, must produce results bit-identical to the uninterrupted
+//! run — without re-simulating what the first session completed.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use heb_core::experiments::{outage_scenarios, valley_scenarios};
+use heb_core::{Scenario, ScenarioRunner, SerialRunner, SimConfig};
+use heb_fleet::{FleetEngine, FsyncPolicy, ReportSource, RunJournal};
+use heb_telemetry::{Event, FleetEvent, RingRecorder};
+use heb_units::Watts;
+
+fn temp_runs(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("heb-fleet-resume-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    root
+}
+
+fn mixed_batch() -> Vec<Scenario> {
+    let base = SimConfig::prototype().with_budget(Watts::new(250.0));
+    let mut batch = outage_scenarios(&base, 1.0, 4.0, 23);
+    batch.extend(valley_scenarios(&base, Watts::new(230.0), 3.0, 23));
+    batch
+}
+
+#[test]
+fn interrupted_run_resumes_bit_identically_at_any_jobs() {
+    let batch = mixed_batch();
+    let serial = SerialRunner.run_batch(&batch);
+    for jobs in [1, 4] {
+        let runs = temp_runs(&format!("interrupt-j{jobs}"));
+
+        // Session one: runs only a prefix of the batch (the shape an
+        // interrupted process leaves — some done, the rest untouched),
+        // then "dies" (journal dropped).
+        {
+            let journal = RunJournal::create(&runs, "r", FsyncPolicy::Never).unwrap();
+            let engine = FleetEngine::new(jobs);
+            let partial = engine.run_hardened(&batch[..batch.len() / 2], Some(&journal));
+            assert!(partial.all_done());
+        }
+
+        // Session two: resumes the same run id with the full batch.
+        let journal = RunJournal::resume(&runs, "r", FsyncPolicy::Never).unwrap();
+        let ring = Arc::new(RingRecorder::new(16));
+        let engine = FleetEngine::new(jobs).with_recorder(ring.clone());
+        let outcome = engine.run_hardened(&batch, Some(&journal));
+        assert!(outcome.all_done(), "jobs={jobs}");
+        assert_eq!(
+            outcome.reports(),
+            Some(serial.clone()),
+            "jobs={jobs}: resumed run must be bit-identical to uninterrupted"
+        );
+
+        // The completed prefix was settled from the journal store, not
+        // re-simulated.
+        let resumed = outcome
+            .outcomes
+            .iter()
+            .filter(|o| o.source == ReportSource::Resumed)
+            .count();
+        assert_eq!(resumed, batch.len() / 2, "jobs={jobs}");
+        assert_eq!(engine.stats().simulated, batch.len() - batch.len() / 2);
+        assert_eq!(engine.stats().resumed, batch.len() / 2);
+
+        // And the resume announced itself with a typed event.
+        let announced = ring.events().into_iter().find_map(|e| match e {
+            Event::Fleet(FleetEvent::RunResumed {
+                run_id,
+                completed,
+                remaining,
+            }) => Some((run_id, completed, remaining)),
+            _ => None,
+        });
+        assert_eq!(
+            announced,
+            Some((
+                "r".to_string(),
+                batch.len() / 2,
+                batch.len() - batch.len() / 2
+            ))
+        );
+    }
+}
+
+#[test]
+fn resuming_a_finished_run_simulates_nothing() {
+    let batch = mixed_batch();
+    let runs = temp_runs("finished");
+    {
+        let journal = RunJournal::create(&runs, "r", FsyncPolicy::Batch).unwrap();
+        let outcome = FleetEngine::new(4).run_hardened(&batch, Some(&journal));
+        assert!(outcome.all_done());
+        assert!(journal.healthy());
+    }
+    let journal = RunJournal::resume(&runs, "r", FsyncPolicy::Batch).unwrap();
+    let engine = FleetEngine::new(4);
+    let outcome = engine.run_hardened(&batch, Some(&journal));
+    assert!(outcome.all_done());
+    assert_eq!(outcome.reports(), Some(SerialRunner.run_batch(&batch)));
+    assert_eq!(engine.stats().simulated, 0, "nothing left to simulate");
+    assert_eq!(engine.stats().resumed, batch.len());
+}
+
+#[test]
+fn journal_and_cache_compose_without_double_counting() {
+    let batch = mixed_batch();
+    let runs = temp_runs("with-cache");
+    let cache_root = temp_runs("with-cache-cache");
+    {
+        let journal = RunJournal::create(&runs, "r", FsyncPolicy::Never).unwrap();
+        let engine = FleetEngine::new(2).with_cache(heb_fleet::ResultCache::new(&cache_root));
+        assert!(engine.run_hardened(&batch, Some(&journal)).all_done());
+    }
+    // Resume wins over the cache: journal-settled scenarios count as
+    // resumed, not as cache hits.
+    let journal = RunJournal::resume(&runs, "r", FsyncPolicy::Never).unwrap();
+    let engine = FleetEngine::new(2).with_cache(heb_fleet::ResultCache::new(&cache_root));
+    let outcome = engine.run_hardened(&batch, Some(&journal));
+    assert!(outcome.all_done());
+    assert_eq!(engine.stats().resumed, batch.len());
+    assert_eq!(engine.stats().cache_hits, 0);
+    assert_eq!(outcome.reports(), Some(SerialRunner.run_batch(&batch)));
+}

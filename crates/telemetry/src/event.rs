@@ -180,6 +180,57 @@ pub enum FaultEvent {
     },
 }
 
+/// Execution-robustness edges of the fleet engine (the `heb-harden`
+/// layer): retries, quarantines, cache degradation, and resumption.
+///
+/// Unlike the simulator events these carry owned `String` fields
+/// (scenario hashes, run ids, failure reasons), which are JSON-escaped
+/// on encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetEvent {
+    /// A failed scenario attempt was scheduled for a deterministic
+    /// backoff-then-retry.
+    RetryScheduled {
+        /// The scenario's content hash (32 hex digits).
+        scenario: String,
+        /// The attempt that just failed (1-based).
+        attempt: u32,
+        /// Backoff before the next attempt, in milliseconds.
+        backoff_ms: u64,
+        /// What the failed attempt died of.
+        reason: String,
+    },
+    /// A scenario exhausted every attempt and was quarantined: the run
+    /// continues without it instead of being poisoned.
+    ScenarioQuarantined {
+        /// The scenario's content hash (32 hex digits).
+        scenario: String,
+        /// Total attempts consumed.
+        attempts: u32,
+        /// The terminal failure.
+        reason: String,
+    },
+    /// The result cache dropped to a lower service level
+    /// (`read-write` → `read-only` → `disabled`).
+    CacheDegraded {
+        /// The mode the cache degraded *to* (`"read-only"` /
+        /// `"disabled"`).
+        mode: &'static str,
+        /// The classified I/O failure that forced the drop.
+        reason: String,
+    },
+    /// A journaled run was resumed and completed scenarios were
+    /// settled from the run store instead of re-executing.
+    RunResumed {
+        /// The run id (the journal directory name).
+        run_id: String,
+        /// Scenarios replayed from the run store.
+        completed: usize,
+        /// Scenarios still to execute.
+        remaining: usize,
+    },
+}
+
 /// One observable state change anywhere in the simulated stack.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -191,6 +242,8 @@ pub enum Event {
     Power(PowerEvent),
     /// Fault-injection edge.
     Fault(FaultEvent),
+    /// Fleet-engine robustness edge.
+    Fleet(FleetEvent),
 }
 
 impl Event {
@@ -222,6 +275,12 @@ impl Event {
                 FaultEvent::Injected { .. } => "fault.injected",
                 FaultEvent::Recovered { .. } => "fault.recovered",
             },
+            Event::Fleet(e) => match e {
+                FleetEvent::RetryScheduled { .. } => "fleet.retry_scheduled",
+                FleetEvent::ScenarioQuarantined { .. } => "fleet.scenario_quarantined",
+                FleetEvent::CacheDegraded { .. } => "fleet.cache_degraded",
+                FleetEvent::RunResumed { .. } => "fleet.run_resumed",
+            },
         }
     }
 
@@ -234,6 +293,7 @@ impl Event {
             Event::Esd(_) => "esd",
             Event::Power(_) => "power",
             Event::Fault(_) => "fault",
+            Event::Fleet(_) => "fleet",
         }
     }
 
@@ -342,6 +402,51 @@ impl Event {
                     let _ = write!(out, ",\"t\":{},\"kind\":\"{kind}\"", time.get());
                 }
             },
+            Event::Fleet(e) => match e {
+                FleetEvent::RetryScheduled {
+                    scenario,
+                    attempt,
+                    backoff_ms,
+                    reason,
+                } => {
+                    out.push_str(",\"scenario\":\"");
+                    write_escaped(out, scenario);
+                    let _ = write!(out, "\",\"attempt\":{attempt},\"backoff_ms\":{backoff_ms}");
+                    out.push_str(",\"reason\":\"");
+                    write_escaped(out, reason);
+                    out.push('"');
+                }
+                FleetEvent::ScenarioQuarantined {
+                    scenario,
+                    attempts,
+                    reason,
+                } => {
+                    out.push_str(",\"scenario\":\"");
+                    write_escaped(out, scenario);
+                    let _ = write!(out, "\",\"attempts\":{attempts}");
+                    out.push_str(",\"reason\":\"");
+                    write_escaped(out, reason);
+                    out.push('"');
+                }
+                FleetEvent::CacheDegraded { mode, reason } => {
+                    let _ = write!(out, ",\"mode\":\"{mode}\"");
+                    out.push_str(",\"reason\":\"");
+                    write_escaped(out, reason);
+                    out.push('"');
+                }
+                FleetEvent::RunResumed {
+                    run_id,
+                    completed,
+                    remaining,
+                } => {
+                    out.push_str(",\"run_id\":\"");
+                    write_escaped(out, run_id);
+                    let _ = write!(
+                        out,
+                        "\",\"completed\":{completed},\"remaining\":{remaining}"
+                    );
+                }
+            },
         }
         out.push('}');
     }
@@ -352,6 +457,28 @@ impl Event {
         let mut out = String::with_capacity(96);
         self.write_json(&mut out);
         out
+    }
+}
+
+/// Appends `value` to `out` with JSON string escaping (`"` `\` and
+/// control characters). The simulator events only carry values from a
+/// fixed vocabulary, but [`FleetEvent`] fields embed arbitrary failure
+/// messages and labels, which must not be able to break the line
+/// format.
+fn write_escaped(out: &mut String, value: &str) {
+    use std::fmt::Write;
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
     }
 }
 
@@ -448,5 +575,54 @@ mod tests {
     fn pool_names_are_stable() {
         assert_eq!(PoolId::SuperCap.name(), "sc");
         assert_eq!(PoolId::Battery.name(), "ba");
+    }
+
+    #[test]
+    fn fleet_events_encode_deterministically() {
+        let e = Event::Fleet(FleetEvent::RetryScheduled {
+            scenario: "00ab".to_string(),
+            attempt: 2,
+            backoff_ms: 40,
+            reason: "injected worker panic".to_string(),
+        });
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"fleet.retry_scheduled\",\"scenario\":\"00ab\",\
+             \"attempt\":2,\"backoff_ms\":40,\"reason\":\"injected worker panic\"}"
+        );
+        assert_eq!(e.category(), "fleet");
+        assert!(e.kind().starts_with("fleet."));
+
+        let r = Event::Fleet(FleetEvent::RunResumed {
+            run_id: "abcd1234".to_string(),
+            completed: 7,
+            remaining: 3,
+        });
+        assert_eq!(json_field(&r.to_json(), "run_id"), Some("abcd1234"));
+        assert_eq!(json_field(&r.to_json(), "completed"), Some("7"));
+    }
+
+    #[test]
+    fn fleet_event_strings_are_escaped() {
+        let e = Event::Fleet(FleetEvent::CacheDegraded {
+            mode: "read-only",
+            reason: "disk \"full\"\nand a tab\there".to_string(),
+        });
+        let line = e.to_json();
+        assert_eq!(
+            line,
+            "{\"type\":\"fleet.cache_degraded\",\"mode\":\"read-only\",\
+             \"reason\":\"disk \\\"full\\\"\\nand a tab\\there\"}"
+        );
+        assert_eq!(line.lines().count(), 1, "escaping must keep one line");
+
+        let q = Event::Fleet(FleetEvent::ScenarioQuarantined {
+            scenario: "ff".to_string(),
+            attempts: 3,
+            reason: "control char \u{1} and backslash \\".to_string(),
+        });
+        let line = q.to_json();
+        assert!(line.contains("\\u0001"));
+        assert!(line.contains("backslash \\\\"));
     }
 }

@@ -29,7 +29,9 @@ mod event;
 mod metrics;
 mod recorder;
 
-pub use event::{json_field, ControllerEvent, EsdEvent, Event, FaultEvent, PoolId, PowerEvent};
+pub use event::{
+    json_field, ControllerEvent, EsdEvent, Event, FaultEvent, FleetEvent, PoolId, PowerEvent,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, Metrics, ScopedTimer, Snapshot};
 pub use recorder::{
     null_recorder, JsonlRecorder, MetricsRecorder, NullRecorder, Recorder, RecorderHandle,

@@ -23,6 +23,31 @@ echo "== strict-invariants (runtime conservation checks in the chaos suites)"
 cargo test -p heb-core --features strict-invariants -q
 cargo test -p heb-fleet --features strict-invariants -q
 
+# heb-analyze is lexical (scans every line regardless of cfg), so the
+# single run above already vets the failpoint-gated code paths.
+echo "== failpoints chaos suite (deterministic fault injection)"
+cargo test -p heb-fleet --features failpoints -q
+cargo clippy -q -p heb-fleet --all-targets --features failpoints -- -D warnings
+
+echo "== kill-and-resume smoke (emulated mid-run kill, resume, diff vs clean)"
+cargo build -q --release -p heb-fleet --features failpoints
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+FLEET=target/release/heb_fleet
+FLAGS=(--hours 0.2 --filter outage --jobs 2 --no-cache --verbose)
+if "$FLEET" "${FLAGS[@]}" --runs-dir "$SMOKE/runs" --run-id smoke \
+    --inject run.abort=3 > "$SMOKE/killed.out"; then
+  echo "kill-and-resume smoke: the injected kill must exit non-zero" >&2
+  exit 1
+fi
+"$FLEET" "${FLAGS[@]}" --runs-dir "$SMOKE/runs" --resume smoke > "$SMOKE/resumed.out"
+"$FLEET" "${FLAGS[@]}" --runs-dir "$SMOKE/clean" --no-journal > "$SMOKE/clean.out"
+grep ' eff ' "$SMOKE/resumed.out" > "$SMOKE/resumed.eff"
+grep ' eff ' "$SMOKE/clean.out" > "$SMOKE/clean.eff"
+diff -u "$SMOKE/clean.eff" "$SMOKE/resumed.eff"
+grep -q 'settled from the prior' "$SMOKE/resumed.out"
+echo "kill-and-resume smoke: resumed run bit-identical to clean run"
+
 echo "== telemetry-overhead guard (NullRecorder within 5% of baseline)"
 cargo bench -q -p heb-bench --bench microbench -- --telemetry-guard
 
