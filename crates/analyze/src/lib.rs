@@ -31,7 +31,7 @@ pub mod workspace;
 
 pub use baseline::{Baseline, Reconciled};
 pub use diagnostics::Diagnostic;
-pub use rules::{analyze_source, FileContext, Role};
+pub use rules::{analyze_source, crate_class, CrateClass, FileContext, Role};
 pub use workspace::analyze_workspace;
 
 /// The default baseline file name, at the workspace root.

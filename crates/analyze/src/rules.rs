@@ -2,8 +2,8 @@
 //!
 //! | ID | Scope | Invariant |
 //! |----|-------|-----------|
-//! | HEB001 | sim-crate lib code | no wall-clock / OS entropy (`Instant`, `SystemTime`, `thread_rng`) — run determinism |
-//! | HEB002 | sim-crate lib code | no `HashMap`/`HashSet` — iteration-order nondeterminism; `BTreeMap`/`BTreeSet` required |
+//! | HEB001 | `Sim`/`Physics` lib code | no wall-clock / OS entropy (`Instant`, `SystemTime`, `thread_rng`) — run determinism |
+//! | HEB002 | `Sim`/`Physics`/`Service` lib code | no `HashMap`/`HashSet` — iteration-order nondeterminism; `BTreeMap`/`BTreeSet` required |
 //! | HEB003 | all lib code | no `.unwrap()` / `.expect(...)` / `panic!` — typed errors required |
 //! | HEB004 | physics-crate public fns | no bare `f64` for unit-suffixed quantities (`*_w`, `*_wh`, `*_v`, …) |
 //! | HEB005 | result-cache hash path | no `heb-telemetry` references — recorder hash-blindness |
@@ -13,24 +13,64 @@
 //! the offending line or the line above; `allow-file(...)` anywhere in
 //! the file; `allow-crate(...)` in the crate's `src/lib.rs`. The reason
 //! is mandatory — a suppression without one is itself a finding.
+//!
+//! Rule scope is **crate-level configuration**, not per-line
+//! suppression: every workspace crate is classified by
+//! [`crate_class`], and each class carries a documented rule profile.
+//! A crate the table does not know is held to the *strictest* profile,
+//! so adding a crate forces a deliberate classification decision here
+//! instead of silently escaping the gate.
 
 use crate::diagnostics::Diagnostic;
 use crate::lexer::{scrub, Scrubbed};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Crates whose library code feeds the simulation and therefore must
-/// be bit-deterministic (HEB001/HEB002). Identified by their directory
-/// name under `crates/`.
-pub const SIM_CRATES: &[&str] = &["core", "esd", "powersys", "workload", "forecast", "tco"];
+/// A crate's relationship to the determinism contract, which decides
+/// the rules its library code is held to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateClass {
+    /// Feeds the simulation; must be bit-deterministic.
+    /// HEB001 + HEB002 + HEB003.
+    Sim,
+    /// `Sim`, plus public signatures must speak `heb-units` types
+    /// rather than bare `f64`. HEB001 + HEB002 + HEB003 + HEB004.
+    Physics,
+    /// Long-running service code: reading clocks and opening sockets
+    /// is its *job*, so HEB001 does not apply — but its answers must
+    /// still be deterministic (HEB002) and it must not panic (HEB003).
+    Service,
+    /// Infrastructure and drivers (telemetry, fleet orchestration,
+    /// the analyzer itself): HEB003 only.
+    Infra,
+    /// Test/assertion harnesses whose very contract is panicking.
+    /// No rules; their output is asserts, not library behaviour.
+    Harness,
+}
 
-/// Crates modelling physical quantities, where public signatures must
-/// speak `heb-units` types rather than bare `f64` (HEB004).
-pub const PHYSICS_CRATES: &[&str] = &["esd", "powersys"];
-
-/// Crates exempt from HEB003: `proptest` is the assertion harness
-/// (panicking is its contract) and `bench` is the experiment driver
-/// (application code, morally a set of binaries).
-pub const PANIC_EXEMPT_CRATES: &[&str] = &["proptest", "bench"];
+/// Classifies a crate (by its directory name under `crates/`, or
+/// `heb` for the workspace-root umbrella package).
+///
+/// Unknown names fall through to [`CrateClass::Sim`] — the strictest
+/// profile — so a freshly added crate is flagged until it is
+/// classified here with a one-line rationale.
+#[must_use]
+pub fn crate_class(name: &str) -> CrateClass {
+    match name {
+        // Physical models: unit discipline on top of determinism.
+        "esd" | "powersys" => CrateClass::Physics,
+        // Simulation logic and its deterministic inputs. `rng` is the
+        // seeded entropy source itself — nothing needs determinism more.
+        "core" | "workload" | "forecast" | "tco" | "rng" => CrateClass::Sim,
+        // The capacity advisor measures latencies and serves sockets.
+        "serve" => CrateClass::Service,
+        // Drivers and observability; `heb` is the umbrella package.
+        "units" | "fleet" | "telemetry" | "analyze" | "heb" => CrateClass::Infra,
+        // `proptest` is the assertion shim (panicking is its contract);
+        // `bench` is the experiment driver, morally a set of binaries.
+        "proptest" | "bench" => CrateClass::Harness,
+        _ => CrateClass::Sim,
+    }
+}
 
 /// Files on the result cache's hash path (HEB005): nothing here may
 /// reference telemetry types, or recorder wiring could leak into cache
@@ -81,16 +121,29 @@ impl FileContext {
         }
     }
 
-    fn is_sim(&self) -> bool {
-        SIM_CRATES.contains(&self.crate_name.as_str())
+    fn class(&self) -> CrateClass {
+        crate_class(&self.crate_name)
+    }
+
+    /// HEB001: crates that must not read clocks or OS entropy.
+    fn needs_determinism(&self) -> bool {
+        matches!(self.class(), CrateClass::Sim | CrateClass::Physics)
+    }
+
+    /// HEB002: crates whose outputs must not depend on hash order.
+    fn needs_ordered_collections(&self) -> bool {
+        matches!(
+            self.class(),
+            CrateClass::Sim | CrateClass::Physics | CrateClass::Service
+        )
     }
 
     fn is_physics(&self) -> bool {
-        PHYSICS_CRATES.contains(&self.crate_name.as_str())
+        self.class() == CrateClass::Physics
     }
 
     fn is_panic_exempt(&self) -> bool {
-        PANIC_EXEMPT_CRATES.contains(&self.crate_name.as_str())
+        self.class() == CrateClass::Harness
     }
 
     fn is_hash_blind(&self) -> bool {
@@ -154,7 +207,7 @@ pub fn analyze_source(source: &str, ctx: &FileContext) -> Vec<Diagnostic> {
     };
 
     for (idx, code) in scrubbed.code.iter().enumerate() {
-        if ctx.is_sim() && lib_code(idx) {
+        if ctx.needs_determinism() && lib_code(idx) {
             for word in ["Instant", "SystemTime", "thread_rng", "from_entropy"] {
                 if contains_word(code, word) {
                     emit(
@@ -163,21 +216,24 @@ pub fn analyze_source(source: &str, ctx: &FileContext) -> Vec<Diagnostic> {
                         format!(
                             "`{word}` in simulation crate `{}`: wall-clock time and OS \
                              entropy break run determinism; use simulated time \
-                             (`heb_units::Seconds`) and seeded `heb_rng` streams",
+                             (`heb_units::Seconds`) and seeded `heb_rng` streams \
+                             (service crates are exempted by class, see `crate_class`)",
                             ctx.crate_name
                         ),
                     );
                 }
             }
+        }
+        if ctx.needs_ordered_collections() && lib_code(idx) {
             for word in ["HashMap", "HashSet"] {
                 if contains_word(code, word) {
                     emit(
                         "HEB002",
                         idx,
                         format!(
-                            "`{word}` in simulation crate `{}`: iteration order is \
-                             nondeterministic and poisons content-addressed caching; \
-                             use `BTreeMap`/`BTreeSet` or sorted keys",
+                            "`{word}` in deterministic crate `{}`: iteration order is \
+                             nondeterministic and poisons content-addressed caching \
+                             and answer bytes; use `BTreeMap`/`BTreeSet` or sorted keys",
                             ctx.crate_name
                         ),
                     );
@@ -645,6 +701,60 @@ mod tests {
         assert!(analyze_source("// Instantaneous draw\n", &sim_ctx()).is_empty());
         let tele = FileContext::lib("telemetry", "crates/telemetry/src/x.rs");
         assert!(analyze_source("use std::time::Instant;\n", &tele).is_empty());
+    }
+
+    #[test]
+    fn service_class_permits_clocks_but_keeps_order_and_panic_discipline() {
+        // The serve crate's whole job is clocks and sockets: HEB001
+        // must not fire there — by crate classification, with no
+        // per-line suppression comments needed.
+        let serve = FileContext::lib("serve", "crates/serve/src/service.rs");
+        let clocky = "use std::time::Instant;\nuse std::net::TcpListener;\n\
+                      pub fn t() -> Instant { Instant::now() }\n";
+        assert!(analyze_source(clocky, &serve).is_empty());
+        // …but its answers must stay deterministic (HEB002)…
+        let d = analyze_source("use std::collections::HashMap;\n", &serve);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "HEB002");
+        // …and it must not panic (HEB003).
+        let d = analyze_source("pub fn f() { x.unwrap(); }\n", &serve);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "HEB003");
+    }
+
+    #[test]
+    fn unknown_crates_default_to_the_strictest_class() {
+        assert_eq!(crate_class("brand-new-crate"), CrateClass::Sim);
+        let ctx = FileContext::lib("brand-new-crate", "crates/brand-new-crate/src/lib.rs");
+        let d = analyze_source("use std::time::Instant;\n", &ctx);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "HEB001");
+    }
+
+    #[test]
+    fn every_workspace_crate_is_deliberately_classified() {
+        // Mirror of the workspace layout: if a crate is added without
+        // updating `crate_class`, the unknown→Sim default will flag it
+        // in CI; this test documents the intended mapping.
+        for (name, class) in [
+            ("units", CrateClass::Infra),
+            ("esd", CrateClass::Physics),
+            ("powersys", CrateClass::Physics),
+            ("workload", CrateClass::Sim),
+            ("forecast", CrateClass::Sim),
+            ("core", CrateClass::Sim),
+            ("tco", CrateClass::Sim),
+            ("rng", CrateClass::Sim),
+            ("fleet", CrateClass::Infra),
+            ("telemetry", CrateClass::Infra),
+            ("analyze", CrateClass::Infra),
+            ("serve", CrateClass::Service),
+            ("proptest", CrateClass::Harness),
+            ("bench", CrateClass::Harness),
+            ("heb", CrateClass::Infra),
+        ] {
+            assert_eq!(crate_class(name), class, "{name}");
+        }
     }
 
     #[test]

@@ -12,6 +12,15 @@
 //! `NullRecorder`, failing (exit 1) if the attached side is more than
 //! 5 % slower. Together with the core `disabled_recorder_is_never_invoked`
 //! test this pins the "zero-cost when disabled" contract.
+//!
+//! `-- --throughput-baseline [PATH]` measures fleet-engine throughput
+//! and writes it to `PATH` (default `BENCH_engine_throughput.json`);
+//! the committed copy at the repo root is the regression reference.
+//! `-- --throughput-guard PATH` re-measures and fails (exit 1) if
+//! throughput fell below `floor_fraction` of the recorded baseline —
+//! the floor is deliberately generous (0.25) so the guard catches
+//! order-of-magnitude regressions (an accidentally quadratic probe
+//! pass, a sync added per tick) rather than machine-to-machine noise.
 
 use heb_core::{PolicyKind, PowerAllocationTable, Scenario, SimConfig, Simulation};
 use heb_esd::{LeadAcidBattery, StorageDevice, SuperCapacitor};
@@ -161,6 +170,102 @@ fn bench_fleet_engine() {
     }
 }
 
+/// The workload the throughput baseline and guard both measure: a
+/// 16-scenario uncached batch (every scenario simulates), best of
+/// `runs` passes at a fixed worker count.
+fn measure_throughput(jobs: usize, runs: usize) -> (f64, usize) {
+    let batch: Vec<Scenario> = (0..16)
+        .map(|i| {
+            Scenario::new(
+                format!("microbench/{i}"),
+                SimConfig::prototype().with_policy(PolicyKind::HebD),
+                &[Archetype::WebSearch, Archetype::Terasort],
+                0.05,
+                42 + i,
+            )
+        })
+        .collect();
+    let engine = FleetEngine::new(jobs);
+    let mut throughput = 0.0_f64;
+    for _ in 0..runs {
+        let start = Instant::now();
+        black_box(engine.run(black_box(&batch)));
+        throughput = throughput.max(batch.len() as f64 / start.elapsed().as_secs_f64());
+    }
+    (throughput, batch.len())
+}
+
+/// Fraction of the recorded baseline the current measurement must
+/// reach. Generous on purpose: CI containers and laptops differ by
+/// small factors, real regressions by large ones.
+const THROUGHPUT_FLOOR_FRACTION: f64 = 0.25;
+
+/// Worker count both modes pin, for comparability across machines.
+const THROUGHPUT_JOBS: usize = 4;
+
+fn throughput_baseline(path: &str) -> i32 {
+    let (scenarios_per_sec, batch) = measure_throughput(THROUGHPUT_JOBS, 3);
+    let body = format!(
+        "{{\n  \"bench\": \"fleet/engine_throughput\",\n  \"batch_size\": {batch},\n  \
+         \"jobs\": {THROUGHPUT_JOBS},\n  \"best_of\": 3,\n  \
+         \"scenarios_per_sec\": {scenarios_per_sec:.2},\n  \
+         \"floor_fraction\": {THROUGHPUT_FLOOR_FRACTION}\n}}\n"
+    );
+    match std::fs::write(path, body) {
+        Ok(()) => {
+            println!("throughput baseline: {scenarios_per_sec:.2} scenarios/s -> {path}");
+            0
+        }
+        Err(err) => {
+            eprintln!("FAIL: cannot write {path}: {err}");
+            1
+        }
+    }
+}
+
+fn throughput_guard(path: &str) -> i32 {
+    let raw = match std::fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(err) => {
+            eprintln!("FAIL: cannot read baseline {path}: {err}");
+            eprintln!("regenerate with: cargo bench -p heb-bench --bench microbench -- --throughput-baseline {path}");
+            return 1;
+        }
+    };
+    let baseline = match heb_serve::json::parse(&raw) {
+        Ok(json) => json,
+        Err(err) => {
+            eprintln!("FAIL: baseline {path} is not valid JSON: {err}");
+            return 1;
+        }
+    };
+    let field = |name: &str| baseline.get(name).and_then(heb_serve::Json::as_f64);
+    let (Some(recorded), Some(floor_fraction)) =
+        (field("scenarios_per_sec"), field("floor_fraction"))
+    else {
+        eprintln!("FAIL: baseline {path} lacks scenarios_per_sec / floor_fraction");
+        return 1;
+    };
+    let jobs = baseline
+        .get("jobs")
+        .and_then(heb_serve::Json::as_u64)
+        .map_or(THROUGHPUT_JOBS, |j| usize::try_from(j).unwrap_or(1).max(1));
+
+    println!("engine-throughput guard: 16-scenario uncached batch, jobs={jobs}\n");
+    let (measured, _) = measure_throughput(jobs, 3);
+    let floor = recorded * floor_fraction;
+    println!("baseline  {recorded:>10.2} scenarios/s  ({path})");
+    println!("measured  {measured:>10.2} scenarios/s");
+    println!("floor     {floor:>10.2} scenarios/s  (fraction {floor_fraction})");
+    if measured < floor {
+        eprintln!("FAIL: engine throughput regressed below {floor_fraction} of baseline");
+        1
+    } else {
+        println!("OK: engine throughput within the regression floor");
+        0
+    }
+}
+
 /// Best per-iteration seconds for one full control slot, with or
 /// without an explicitly attached `NullRecorder`.
 fn slot_latency(attach_null: bool, runs: usize, iters: u64) -> f64 {
@@ -213,6 +318,24 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--telemetry-guard") {
         std::process::exit(telemetry_guard());
+    }
+    // `cargo bench` may append its own flags; a following `--flag` is
+    // not a path operand.
+    let value_of = |flag: &str| {
+        argv.iter()
+            .position(|a| a == flag)
+            .map(|at| argv.get(at + 1).filter(|v| !v.starts_with("--")).cloned())
+    };
+    if let Some(path) = value_of("--throughput-baseline") {
+        let path = path.unwrap_or_else(|| "BENCH_engine_throughput.json".to_string());
+        std::process::exit(throughput_baseline(&path));
+    }
+    if let Some(path) = value_of("--throughput-guard") {
+        let Some(path) = path else {
+            eprintln!("--throughput-guard needs a baseline path");
+            std::process::exit(2);
+        };
+        std::process::exit(throughput_guard(&path));
     }
     println!("HEB micro-benchmarks (best-of-runs per-iteration latency)\n");
     bench_pat();

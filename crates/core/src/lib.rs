@@ -61,6 +61,7 @@ pub mod invariants;
 mod metrics;
 mod pat;
 mod policy;
+pub mod query;
 mod scenario;
 mod sim;
 
@@ -75,5 +76,6 @@ pub use faults::{
 pub use metrics::SimReport;
 pub use pat::{PatEntry, PatKey, PowerAllocationTable};
 pub use policy::{ChargePriority, DischargePriority, PeakSize, PolicyKind};
+pub use query::{demand_trace, QueryError, WhatIfQuery};
 pub use scenario::{ticks_for, ContentHasher, Scenario, ScenarioRunner, SerialRunner};
 pub use sim::{PowerMode, Simulation, SlotRecord};

@@ -117,6 +117,16 @@ impl PolicyKind {
         }
     }
 
+    /// Parses a scheme by its Table 2 display name (`"HEB-D"`,
+    /// `"BaOnly"`, …), case-insensitively. Returns `None` for unknown
+    /// names so callers can report bad input instead of panicking.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        PolicyKind::ALL
+            .into_iter()
+            .find(|p| p.name().eq_ignore_ascii_case(name))
+    }
+
     /// Whether the scheme provisions any super-capacitors.
     #[must_use]
     pub fn is_hybrid(self) -> bool {
@@ -188,6 +198,15 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn parse_round_trips_table2_names() {
+        for p in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(p.name()), Some(p));
+            assert_eq!(PolicyKind::parse(&p.name().to_ascii_lowercase()), Some(p));
+        }
+        assert_eq!(PolicyKind::parse("heb-x"), None);
     }
 
     #[test]

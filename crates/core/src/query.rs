@@ -1,0 +1,316 @@
+//! What-if provisioning queries: the typed request model of the
+//! capacity-advisor service (`heb_serve`, DESIGN §10).
+//!
+//! A [`WhatIfQuery`] names a workload mix, a horizon, and optional
+//! sizing overrides on top of [`SimConfig::prototype`]. It validates
+//! through [`SimConfig::builder`] — exactly the same gate the fleet
+//! CLI uses — and lowers to a [`Scenario`], so a query's identity is
+//! the scenario's content hash and warm answers come straight from the
+//! content-addressed result cache.
+//!
+//! The module also synthesises the aggregate demand trace a query
+//! implies ([`demand_trace`]), mirroring [`Simulation::try_new`]'s
+//! cluster setup bit-for-bit, so the paper's MPPU metric (§2.1) can be
+//! reported without re-running the simulation.
+
+use std::fmt;
+
+use heb_powersys::{Cluster, FrequencyLevel};
+use heb_units::{Joules, Watts};
+use heb_workload::{Archetype, PeakClass, PowerTrace};
+
+use crate::config::{ConfigError, SimConfig};
+use crate::policy::PolicyKind;
+use crate::scenario::{ticks_for, Scenario};
+
+/// Why a what-if query could not be lowered to a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The workload mix was empty.
+    NoWorkloads,
+    /// The horizon was zero, negative, or not finite.
+    BadHours(f64),
+    /// A sizing override failed [`SimConfig::builder`] validation.
+    Config(ConfigError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::NoWorkloads => write!(f, "query names no workloads"),
+            QueryError::BadHours(hours) => {
+                write!(f, "query horizon must be finite and positive, got {hours}")
+            }
+            QueryError::Config(err) => write!(f, "query config rejected: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ConfigError> for QueryError {
+    fn from(err: ConfigError) -> Self {
+        QueryError::Config(err)
+    }
+}
+
+/// A provisioning what-if: workload mix × buffer sizing × horizon.
+///
+/// `None` fields inherit [`SimConfig::prototype`] defaults, so the
+/// smallest valid query is just a workload mix and a horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfQuery {
+    /// Workload mix, assigned to servers round-robin.
+    pub workloads: Vec<Archetype>,
+    /// Simulated horizon in hours.
+    pub hours: f64,
+    /// Base seed for the per-server utilization generators.
+    pub seed: u64,
+    /// Cluster size override.
+    pub servers: Option<usize>,
+    /// Utility power budget override.
+    pub budget: Option<Watts>,
+    /// Total buffer capacity override.
+    pub capacity: Option<Joules>,
+    /// Super-capacitor share of the buffer capacity (0..=1).
+    pub sc_fraction: Option<f64>,
+    /// Battery depth-of-discharge limit (0..=1).
+    pub dod_limit: Option<f64>,
+    /// Buffer-management scheme override.
+    pub policy: Option<PolicyKind>,
+}
+
+impl WhatIfQuery {
+    /// A query for `workloads` over `hours` with every sizing knob at
+    /// its prototype default.
+    #[must_use]
+    pub fn new(workloads: Vec<Archetype>, hours: f64, seed: u64) -> Self {
+        Self {
+            workloads,
+            hours,
+            seed,
+            servers: None,
+            budget: None,
+            capacity: None,
+            sc_fraction: None,
+            dod_limit: None,
+            policy: None,
+        }
+    }
+
+    /// Resolves the query's configuration through
+    /// [`SimConfig::builder`], applying overrides on top of the
+    /// prototype defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns the builder's [`ConfigError`] for any out-of-range or
+    /// non-finite override.
+    pub fn config(&self) -> Result<SimConfig, ConfigError> {
+        let mut builder = SimConfig::prototype().to_builder();
+        if let Some(servers) = self.servers {
+            builder = builder.servers(servers);
+        }
+        if let Some(budget) = self.budget {
+            builder = builder.budget(budget);
+        }
+        if let Some(capacity) = self.capacity {
+            builder = builder.total_capacity(capacity);
+        }
+        if let Some(fraction) = self.sc_fraction {
+            builder = builder.sc_fraction(fraction);
+        }
+        if let Some(limit) = self.dod_limit {
+            builder = builder.dod_limit(limit);
+        }
+        if let Some(policy) = self.policy {
+            builder = builder.policy(policy);
+        }
+        builder.build()
+    }
+
+    /// The query's canonical display label. Cosmetic only: the label
+    /// is excluded from [`Scenario::content_hash`], so it never
+    /// affects cache identity.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let mix: Vec<&str> = self.workloads.iter().map(|w| w.abbreviation()).collect();
+        format!("serve/{}/h{}/seed{}", mix.join("+"), self.hours, self.seed)
+    }
+
+    /// Lowers the query to a runnable [`Scenario`]. The scenario's
+    /// content hash is the query's cache key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QueryError`] when the mix is empty, the horizon is
+    /// not positive and finite, or an override fails validation.
+    pub fn scenario(&self) -> Result<Scenario, QueryError> {
+        if self.workloads.is_empty() {
+            return Err(QueryError::NoWorkloads);
+        }
+        if !self.hours.is_finite() || self.hours <= 0.0 {
+            return Err(QueryError::BadHours(self.hours));
+        }
+        let config = self.config()?;
+        Ok(Scenario::new(
+            self.label(),
+            config,
+            &self.workloads,
+            self.hours,
+            self.seed,
+        ))
+    }
+
+    /// The fraction of the horizon in which aggregate demand reaches
+    /// the provisioned budget — the paper's MPPU (§2.1) — computed on
+    /// the synthesised demand trace.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`WhatIfQuery::scenario`].
+    pub fn mppu(&self) -> Result<f64, QueryError> {
+        if self.workloads.is_empty() {
+            return Err(QueryError::NoWorkloads);
+        }
+        if !self.hours.is_finite() || self.hours <= 0.0 {
+            return Err(QueryError::BadHours(self.hours));
+        }
+        let config = self.config()?;
+        let ticks = ticks_for(&config, self.hours);
+        let trace = demand_trace(&config, &self.workloads, ticks, self.seed);
+        Ok(trace.mppu(config.budget))
+    }
+}
+
+/// Synthesises the aggregate cluster demand trace a scenario implies:
+/// the same prototype cluster, round-robin workload assignment,
+/// per-server generator seeding (`seed + idx * 7919`), and frequency
+/// grouping as [`Simulation::try_new`], sampled once per tick with no
+/// power-capping feedback. This is the open-loop demand the paper's
+/// MPPU metric is defined over.
+///
+/// [`Simulation::try_new`]: crate::Simulation::try_new
+#[must_use]
+pub fn demand_trace(
+    config: &SimConfig,
+    workloads: &[Archetype],
+    ticks: u64,
+    seed: u64,
+) -> PowerTrace {
+    if workloads.is_empty() || config.servers == 0 {
+        return PowerTrace::new(Vec::new(), config.tick);
+    }
+    let mut cluster = Cluster::prototype(config.servers);
+    let mut generators = Vec::with_capacity(config.servers);
+    for idx in 0..config.servers {
+        let archetype = workloads[idx % workloads.len()];
+        generators.push(archetype.generator(seed.wrapping_add(idx as u64 * 7919)));
+        let freq = match archetype.peak_class() {
+            PeakClass::Small => FrequencyLevel::Low,
+            PeakClass::Large => FrequencyLevel::High,
+        };
+        cluster.servers_mut()[idx].set_frequency(freq);
+    }
+    let mut samples = Vec::with_capacity(ticks as usize);
+    for _ in 0..ticks {
+        let utilizations: Vec<_> = generators
+            .iter_mut()
+            .map(|g| g.next_utilization())
+            .collect();
+        cluster.set_utilizations(&utilizations);
+        samples.push(cluster.total_demand());
+    }
+    PowerTrace::new(samples, config.tick)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_query() -> WhatIfQuery {
+        WhatIfQuery::new(vec![Archetype::WebSearch, Archetype::Terasort], 0.05, 7)
+    }
+
+    #[test]
+    fn defaults_resolve_to_prototype_config() {
+        let query = quick_query();
+        let config = query.config().expect("prototype defaults must validate");
+        assert_eq!(config, SimConfig::prototype());
+    }
+
+    #[test]
+    fn overrides_flow_through_the_builder() {
+        let mut query = quick_query();
+        query.servers = Some(12);
+        query.budget = Some(Watts::new(400.0));
+        query.sc_fraction = Some(0.5);
+        query.policy = Some(PolicyKind::BaOnly);
+        let config = query.config().expect("valid overrides");
+        assert_eq!(config.servers, 12);
+        assert_eq!(config.budget, Watts::new(400.0));
+        assert!((config.sc_fraction.get() - 0.5).abs() < 1e-12);
+        assert_eq!(config.policy, PolicyKind::BaOnly);
+    }
+
+    #[test]
+    fn invalid_inputs_produce_typed_errors() {
+        let mut empty = quick_query();
+        empty.workloads.clear();
+        assert_eq!(empty.scenario().unwrap_err(), QueryError::NoWorkloads);
+
+        let mut negative = quick_query();
+        negative.hours = -1.0;
+        assert!(matches!(
+            negative.scenario().unwrap_err(),
+            QueryError::BadHours(h) if h == -1.0
+        ));
+
+        let mut bad = quick_query();
+        bad.sc_fraction = Some(1.5);
+        assert!(matches!(bad.scenario().unwrap_err(), QueryError::Config(_)));
+        assert!(!bad.scenario().unwrap_err().to_string().is_empty());
+    }
+
+    #[test]
+    fn identical_queries_share_a_content_hash() {
+        let a = quick_query().scenario().expect("valid");
+        let b = quick_query().scenario().expect("valid");
+        assert_eq!(a.content_hash(), b.content_hash());
+
+        let mut tweaked = quick_query();
+        tweaked.seed = 8;
+        let c = tweaked.scenario().expect("valid");
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn demand_trace_is_deterministic_and_horizon_sized() {
+        let query = quick_query();
+        let config = query.config().expect("valid");
+        let ticks = ticks_for(&config, query.hours);
+        let a = demand_trace(&config, &query.workloads, ticks, query.seed);
+        let b = demand_trace(&config, &query.workloads, ticks, query.seed);
+        assert_eq!(a.samples(), b.samples(), "same seed, same trace");
+        assert_eq!(a.len() as u64, ticks);
+        assert!(a.peak().get() > 0.0, "servers draw idle power at least");
+    }
+
+    #[test]
+    fn mppu_is_a_fraction_and_falls_with_budget() {
+        let query = quick_query();
+        let tight = {
+            let mut q = query.clone();
+            q.budget = Some(Watts::new(200.0));
+            q.mppu().expect("valid")
+        };
+        let generous = {
+            let mut q = query.clone();
+            q.budget = Some(Watts::new(500.0));
+            q.mppu().expect("valid")
+        };
+        assert!((0.0..=1.0).contains(&tight));
+        assert!((0.0..=1.0).contains(&generous));
+        assert!(generous <= tight, "raising the budget cannot raise MPPU");
+    }
+}

@@ -13,6 +13,10 @@
 //!
 //! The second invocation with a warm cache performs zero simulations;
 //! `--jobs N` is bit-identical to `--jobs 1` at any worker count.
+//! `--list` is a dry run: it enumerates every scenario the selected
+//! experiments would execute — one line per scenario with its
+//! warm/cold cache status, content hash, experiment, and label —
+//! without simulating or writing anything.
 //! Every run journals per-scenario progress to
 //! `<runs-dir>/<run-id>/manifest.jsonl` (run ids derive from the batch
 //! content, so the same arguments name the same run); `--resume ID`
@@ -291,13 +295,6 @@ fn fleet_main() -> i32 {
         }
     };
 
-    if args.list {
-        for exp in EXPERIMENTS {
-            println!("{:16} {}", exp.name, exp.what);
-        }
-        return 0;
-    }
-
     let base = match SimConfig::builder().build() {
         Ok(base) => base,
         Err(err) => {
@@ -337,6 +334,40 @@ fn fleet_main() -> i32 {
             (*exp, batch)
         })
         .collect();
+
+    // Dry-run enumeration: every scenario the run *would* execute,
+    // with its content hash and cache status. Nothing is simulated and
+    // nothing is written, so this is safe to point at a live cache.
+    if args.list {
+        let cache = args.cache.then(|| ResultCache::new(&args.cache_dir));
+        let (mut total, mut warm) = (0usize, 0usize);
+        for (exp, batch) in &batches {
+            eprintln!("# {:16} {}", exp.name, exp.what);
+            for scenario in batch {
+                let status = match &cache {
+                    Some(cache) if cache.probe(scenario) => {
+                        warm += 1;
+                        "warm"
+                    }
+                    Some(_) => "cold",
+                    None => "off",
+                };
+                total += 1;
+                println!(
+                    "{status:4}  {}  {:16}  {}",
+                    scenario.hash_hex(),
+                    exp.name,
+                    scenario.label()
+                );
+            }
+        }
+        if cache.is_some() {
+            eprintln!("{total} scenario(s): {warm} warm, {} cold", total - warm);
+        } else {
+            eprintln!("{total} scenario(s), cache disabled");
+        }
+        return 0;
+    }
 
     #[cfg(feature = "failpoints")]
     let failpoints = match args.inject.as_deref().map(Failpoints::parse) {

@@ -125,6 +125,15 @@ impl ResultCache {
             .map_err(|_| CacheReadError::Corrupt)
     }
 
+    /// Whether `scenario` has a *valid* warm entry: the entry exists,
+    /// decodes, and is keyed to this scenario. A dry-run probe for
+    /// `heb_fleet --list` and the capacity-advisor service — it never
+    /// simulates and never writes.
+    #[must_use]
+    pub fn probe(&self, scenario: &Scenario) -> bool {
+        matches!(self.try_load(scenario), Ok(Some(_)))
+    }
+
     /// Removes temp files left behind in the cache directory by
     /// crashed runs, returning how many were reclaimed.
     ///
@@ -278,11 +287,14 @@ mod tests {
         let cache = temp_cache("classify");
         let s = scenario();
         assert_eq!(cache.try_load(&s), Ok(None), "absent entry is a clean miss");
+        assert!(!cache.probe(&s), "probe reports cold");
         cache.store(&s, &s.run_expect()).unwrap();
         assert!(matches!(cache.try_load(&s), Ok(Some(_))));
+        assert!(cache.probe(&s), "probe reports warm");
         fs::write(cache.entry_path(&s), "garbage").unwrap();
         assert_eq!(cache.try_load(&s), Err(CacheReadError::Corrupt));
         assert!(cache.load(&s).is_none(), "load still degrades to a miss");
+        assert!(!cache.probe(&s), "probe treats corruption as cold");
     }
 
     #[test]

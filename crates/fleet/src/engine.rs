@@ -259,6 +259,28 @@ impl FleetEngine {
         reports
     }
 
+    /// Executes one scenario under the robustness policy and returns
+    /// its terminal outcome — the capacity-advisor service's unit of
+    /// work. Equivalent to [`FleetEngine::run_hardened`] with a
+    /// single-element batch and no journal: the cache is probed first,
+    /// failures are retried per the [`HardenPolicy`], and a scenario
+    /// that exhausts its attempts comes back quarantined instead of
+    /// panicking.
+    #[must_use]
+    pub fn run_one(&self, scenario: &Scenario) -> ScenarioOutcome {
+        let mut outcome = self.run_hardened(std::slice::from_ref(scenario), None);
+        outcome.outcomes.pop().unwrap_or(ScenarioOutcome {
+            index: 0,
+            label: scenario.label().to_string(),
+            hash: scenario.hash_hex(),
+            state: ScenarioState::Failed,
+            attempts: 0,
+            source: ReportSource::None,
+            report: None,
+            failure: Some(ScenarioFailure::Aborted),
+        })
+    }
+
     /// Executes `batch` under the robustness policy, accounting for
     /// every scenario instead of panicking: panics are isolated per
     /// attempt, failures retried then quarantined, and — when a

@@ -1,0 +1,212 @@
+//! One cache directory, many engines: the capacity-advisor service
+//! and `heb_fleet` batch runs share `results/cache` by design, so the
+//! store's concurrency story — atomic rename publication, per-writer
+//! temp names, sweep-vs-writer races — gets exercised here with two
+//! live engines instead of assertions about one.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use heb_core::{Scenario, SimConfig, SimReport};
+use heb_fleet::{FleetEngine, ResultCache, ScenarioState};
+use heb_workload::Archetype;
+
+fn temp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("heb-fleet-share-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    root
+}
+
+/// Distinct-by-seed scenarios, cheap enough to simulate by the dozen.
+fn batch(count: u64) -> Vec<Scenario> {
+    (0..count)
+        .map(|seed| {
+            Scenario::new(
+                "cache-sharing",
+                SimConfig::prototype(),
+                &[Archetype::WebSearch],
+                0.02,
+                seed,
+            )
+        })
+        .collect()
+}
+
+fn reports_of(outcome: &heb_fleet::RunOutcome) -> Vec<SimReport> {
+    outcome
+        .outcomes
+        .iter()
+        .map(|o| {
+            assert_eq!(o.state, ScenarioState::Done, "{}: {:?}", o.label, o.failure);
+            o.report.clone().expect("Done implies a report")
+        })
+        .collect()
+}
+
+/// Two engines over one directory, racing on the same scenarios: both
+/// must finish every scenario, agree bit-exactly on every report, and
+/// leave exactly one valid entry per distinct scenario behind.
+#[test]
+fn two_engines_share_one_cache_directory_concurrently() {
+    let root = temp_root("two-engines");
+    let scenarios = batch(8);
+
+    let run = |order: Vec<Scenario>| {
+        let cache = ResultCache::new(&root);
+        std::thread::spawn(move || {
+            let engine = FleetEngine::new(2).with_cache(cache);
+            let outcome = engine.run_hardened(&order, None);
+            (reports_of(&outcome), order, engine.stats())
+        })
+    };
+    // Opposite submission orders maximise same-scenario write races.
+    let forward = run(scenarios.clone());
+    let reverse = run(scenarios.iter().rev().cloned().collect());
+    let (reports_fwd, order_fwd, stats_fwd) = forward.join().expect("forward engine");
+    let (reports_rev, order_rev, stats_rev) = reverse.join().expect("reverse engine");
+
+    for (scenario, report) in order_fwd.iter().zip(&reports_fwd) {
+        let other = order_rev
+            .iter()
+            .position(|s| s.hash_hex() == scenario.hash_hex())
+            .expect("both engines ran every scenario");
+        assert_eq!(
+            *report,
+            reports_rev[other],
+            "engines must agree bit-exactly on {}",
+            scenario.label()
+        );
+    }
+
+    // Each engine accounts for all 8 scenarios; between them every
+    // scenario was simulated at least once (first writer) and the
+    // store never duplicated or lost an entry.
+    for stats in [&stats_fwd, &stats_rev] {
+        assert_eq!(stats.simulated + stats.cache_hits + stats.resumed, 8);
+    }
+    assert!(stats_fwd.simulated + stats_rev.simulated >= 8);
+
+    let cache = ResultCache::new(&root);
+    assert_eq!(cache.len(), 8, "one entry per distinct scenario");
+    for (scenario, report) in order_fwd.iter().zip(&reports_fwd) {
+        assert_eq!(
+            cache.load(scenario).as_ref(),
+            Some(report),
+            "entry for {} must replay what the engines returned",
+            scenario.label()
+        );
+    }
+    assert_eq!(
+        fs::read_dir(cache.dir()).expect("cache dir").count(),
+        8,
+        "no temp files left behind"
+    );
+}
+
+/// A sweeper hammering `sweep_stale_tmp` while a writer stores entries:
+/// the documented worst case is a lost write (the swept writer's rename
+/// fails), never a corrupt or missing published entry.
+#[test]
+fn tmp_sweep_racing_a_writer_never_corrupts_entries() {
+    let root = temp_root("sweep-race");
+    let writer_cache = ResultCache::new(&root);
+    let sweeper_cache = ResultCache::new(&root);
+    let scenarios = batch(6);
+    let reports: Vec<SimReport> = scenarios.iter().map(Scenario::run_expect).collect();
+    // Seed the directory so the sweeper has a live dir to scan.
+    writer_cache
+        .store(&scenarios[0], &reports[0])
+        .expect("seed store");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let sweeper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut reclaimed = 0;
+            while !stop.load(Ordering::Relaxed) {
+                reclaimed += sweeper_cache.sweep_stale_tmp();
+                std::thread::yield_now();
+            }
+            reclaimed
+        })
+    };
+
+    // Store every entry many times under the sweeper's nose; a store
+    // the sweep races may fail, so retry — lost writes are the
+    // documented cost, corruption never is.
+    for _ in 0..50 {
+        for (scenario, report) in scenarios.iter().zip(&reports) {
+            while writer_cache.store(scenario, report).is_err() {}
+            assert_eq!(
+                writer_cache.load(scenario).as_ref(),
+                Some(report),
+                "a successful store must be immediately replayable"
+            );
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let _ = sweeper.join().expect("sweeper thread");
+
+    let cache = ResultCache::new(&root);
+    assert_eq!(cache.len(), scenarios.len());
+    for (scenario, report) in scenarios.iter().zip(&reports) {
+        assert_eq!(cache.load(scenario).as_ref(), Some(report));
+    }
+    assert_eq!(cache.sweep_stale_tmp(), 0, "no orphaned temp files remain");
+}
+
+/// Engines attaching to a directory littered by a crashed foreign
+/// writer: the attach-time sweep reclaims the orphans, and racing
+/// attaches plus a run still produce only valid entries.
+#[test]
+fn attach_time_sweep_reclaims_a_crashed_writers_litter() {
+    let root = temp_root("attach-sweep");
+    let seed_cache = ResultCache::new(&root);
+    let scenarios = batch(4);
+    seed_cache
+        .store(&scenarios[0], &scenarios[0].run_expect())
+        .expect("seed store");
+    // Orphans from a "crashed" process that died between write and
+    // rename (pid 999999 is not us; the counter values are arbitrary).
+    for n in 0..3 {
+        fs::write(
+            seed_cache.dir().join(format!("deadbeef.tmp.999999.{n}")),
+            "half-written entry from a dead process",
+        )
+        .expect("plant orphan");
+    }
+
+    let engines: Vec<_> = (0..2)
+        .map(|_| {
+            let cache = ResultCache::new(&root);
+            let order = scenarios.clone();
+            std::thread::spawn(move || {
+                let engine = FleetEngine::new(2).with_cache(cache);
+                let outcome = engine.run_hardened(&order, None);
+                (reports_of(&outcome).len(), engine.stats())
+            })
+        })
+        .collect();
+    let results: Vec<_> = engines
+        .into_iter()
+        .map(|h| h.join().expect("engine thread"))
+        .collect();
+
+    let reclaimed: usize = results.iter().map(|(_, stats)| stats.tmp_reclaimed).sum();
+    assert_eq!(reclaimed, 3, "attach-time sweeps reclaim every orphan");
+    for (done, _) in &results {
+        assert_eq!(*done, 4);
+    }
+    let cache = ResultCache::new(&root);
+    assert_eq!(cache.len(), 4);
+    assert_eq!(
+        fs::read_dir(cache.dir()).expect("cache dir").count(),
+        4,
+        "orphans gone, only real entries remain"
+    );
+    for scenario in &scenarios {
+        assert!(cache.probe(scenario), "{} must be warm", scenario.label());
+    }
+}

@@ -1,0 +1,173 @@
+//! Capacity-advisor service CLI.
+//!
+//! ```text
+//! heb_serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR] [--no-cache]
+//!           [--max-retries N] [--timeout-secs S] [--events PATH]
+//! heb_serve --post PATH [--addr HOST:PORT] [--body JSON]
+//! ```
+//!
+//! Server mode prints `listening on HOST:PORT` once bound (CI parses
+//! this to learn the ephemeral port) and serves until `POST /shutdown`
+//! drains it. `--post` is a one-shot HTTP client — the CI smoke test
+//! and offline environments use it instead of `curl`; it prints the
+//! response body to stdout and exits 0 on 2xx, 1 otherwise.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use heb_fleet::HardenPolicy;
+use heb_serve::{http, Advisor, AdvisorConfig, Server};
+use heb_telemetry::{JsonlRecorder, RecorderHandle};
+
+const USAGE: &str = "usage: heb_serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR] \
+     [--no-cache] [--max-retries N] [--timeout-secs S] [--events PATH] \
+ |   heb_serve --post PATH [--addr HOST:PORT] [--body JSON]";
+
+struct Args {
+    addr: String,
+    workers: usize,
+    cache: bool,
+    cache_dir: String,
+    max_retries: u32,
+    timeout_secs: Option<u64>,
+    events: Option<String>,
+    post: Option<String>,
+    body: String,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        workers: 2,
+        cache: true,
+        cache_dir: "results/cache".to_string(),
+        max_retries: 1,
+        timeout_secs: Some(300),
+        events: None,
+        post: None,
+        body: String::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| format!("--workers needs an integer\n{USAGE}"))?;
+            }
+            "--no-cache" => args.cache = false,
+            "--cache-dir" => args.cache_dir = value("--cache-dir")?,
+            "--max-retries" => {
+                args.max_retries = value("--max-retries")?
+                    .parse()
+                    .map_err(|_| format!("--max-retries needs an integer\n{USAGE}"))?;
+            }
+            "--timeout-secs" => {
+                let secs: u64 = value("--timeout-secs")?
+                    .parse()
+                    .map_err(|_| format!("--timeout-secs needs an integer\n{USAGE}"))?;
+                args.timeout_secs = (secs > 0).then_some(secs);
+            }
+            "--events" => args.events = Some(value("--events")?),
+            "--post" => args.post = Some(value("--post")?),
+            "--body" => args.body = value("--body")?,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn client_main(args: &Args) -> ExitCode {
+    let path = args.post.as_deref().unwrap_or("/healthz");
+    let method = if path == "/healthz" || path == "/metrics" {
+        "GET"
+    } else {
+        "POST"
+    };
+    match http::request(&args.addr, method, path, &args.body) {
+        Ok((status, body)) => {
+            println!("{body}");
+            if (200..300).contains(&status) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("heb_serve: {method} {path} returned {status}");
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("heb_serve: request to {} failed: {err}", args.addr);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.post.is_some() {
+        return client_main(&args);
+    }
+
+    let config = AdvisorConfig {
+        workers: args.workers.max(1),
+        cache_dir: args.cache.then(|| args.cache_dir.clone().into()),
+        policy: HardenPolicy {
+            max_retries: args.max_retries,
+            backoff_base_ms: 50,
+            timeout_ms: args.timeout_secs.map(|s| s * 1000),
+            fail_fast: false,
+        },
+    };
+    let mut advisor = Advisor::new(&config);
+    if let Some(path) = &args.events {
+        match JsonlRecorder::create(path) {
+            Ok(recorder) => {
+                let handle: RecorderHandle = Arc::new(recorder);
+                advisor = advisor.with_recorder(handle);
+            }
+            Err(err) => {
+                eprintln!("--events {path}: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let server = match Server::bind(&args.addr, Arc::new(advisor)) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("heb_serve: cannot bind {}: {err}", args.addr);
+            return ExitCode::from(2);
+        }
+    };
+    match server.addr() {
+        Ok(addr) => println!("listening on {addr}"),
+        Err(err) => {
+            eprintln!("heb_serve: cannot read bound address: {err}");
+            return ExitCode::from(2);
+        }
+    }
+    match server.run() {
+        Ok(()) => {
+            println!("drained, shutting down");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("heb_serve: server failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

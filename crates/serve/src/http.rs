@@ -1,0 +1,177 @@
+//! Hand-rolled HTTP/1.1 wire format (the build environment is
+//! offline, so there is no HTTP dependency to reach for).
+//!
+//! Deliberately minimal: one request per connection
+//! (`Connection: close`), bodies sized by `Content-Length`, bounded
+//! header and body sizes, and a socket read timeout so a stalled peer
+//! cannot pin a connection thread forever.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted header block, in bytes.
+const MAX_HEADER_BYTES: usize = 8 * 1024;
+/// Largest accepted request body, in bytes.
+const MAX_BODY_BYTES: usize = 64 * 1024;
+/// Per-socket read timeout.
+pub(crate) const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed request head plus body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path (`/query`, `/healthz`, …), query string included.
+    pub path: String,
+    /// Request body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+/// Why a request could not be read off the wire.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure (including read timeout).
+    Io(std::io::Error),
+    /// The bytes did not form an acceptable request.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(err) => write!(f, "i/o error: {err}"),
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(err: std::io::Error) -> Self {
+        HttpError::Io(err)
+    }
+}
+
+/// Reads one request from `stream`.
+///
+/// # Errors
+///
+/// [`HttpError::Io`] on socket failure or timeout;
+/// [`HttpError::Malformed`] when the bytes violate the accepted
+/// subset (bad request line, oversized headers or body, bad
+/// `Content-Length`, non-UTF-8 body).
+pub fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, HttpError> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty request line"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or(HttpError::Malformed("request line lacks a path"))?
+        .to_string();
+    if !parts
+        .next()
+        .is_some_and(|version| version.starts_with("HTTP/1."))
+    {
+        return Err(HttpError::Malformed("not HTTP/1.x"));
+    }
+
+    let mut content_length = 0usize;
+    let mut header_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::Malformed("headers too large"));
+        }
+        let trimmed = header.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::Malformed("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| HttpError::Malformed("body is not UTF-8"))?;
+    Ok(HttpRequest { method, path, body })
+}
+
+/// The standard reason phrase for the status codes the service emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
+}
+
+/// Writes a full response (`Connection: close`, JSON content type).
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Issues one request to `addr` and returns `(status, body)` — the
+/// client half used by the `heb_serve` CLI's `--post` mode, the CI
+/// smoke test, and the integration suite.
+///
+/// # Errors
+///
+/// Socket failures, or `InvalidData` when the peer's response is not
+/// parseable HTTP.
+pub fn request(addr: &str, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 response"))?;
+    let (head, response_body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header break"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status code"))?;
+    Ok((status, response_body.to_string()))
+}

@@ -1,0 +1,171 @@
+//! Request coalescing: identical in-flight queries share one
+//! simulation.
+//!
+//! The first caller to ask for a key becomes the *leader* and runs the
+//! work; callers arriving while the leader is in flight become
+//! *followers* and block until the leader publishes the shared result.
+//! The flight is removed before publication, so a request arriving
+//! after completion starts a fresh flight (which will then hit the
+//! result cache instead of re-simulating).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// How a singleflight call obtained its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightRole {
+    /// This caller ran the work.
+    Leader,
+    /// This caller joined an identical in-flight call.
+    Follower,
+}
+
+struct Flight<T> {
+    slot: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+/// A keyed singleflight group over cloneable results.
+pub struct Singleflight<T> {
+    flights: Mutex<BTreeMap<String, Arc<Flight<T>>>>,
+}
+
+impl<T: Clone> Default for Singleflight<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> Singleflight<T> {
+    /// An empty group.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            flights: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Runs `work` for `key`, coalescing with any identical in-flight
+    /// call: exactly one caller per key executes `work` at a time;
+    /// the rest receive a clone of the leader's result.
+    pub fn run(&self, key: &str, work: impl FnOnce() -> T) -> (T, FlightRole) {
+        let (flight, role) = {
+            let mut flights = self.flights.lock().unwrap_or_else(PoisonError::into_inner);
+            match flights.get(key) {
+                Some(flight) => (Arc::clone(flight), FlightRole::Follower),
+                None => {
+                    let flight = Arc::new(Flight {
+                        slot: Mutex::new(None),
+                        ready: Condvar::new(),
+                    });
+                    flights.insert(key.to_string(), Arc::clone(&flight));
+                    (flight, FlightRole::Leader)
+                }
+            }
+        };
+        match role {
+            FlightRole::Leader => {
+                let result = work();
+                // Deregister *before* publishing: a caller that misses
+                // the flight after this point starts a fresh one and
+                // finds the result in the cache instead.
+                self.flights
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remove(key);
+                let mut slot = flight.slot.lock().unwrap_or_else(PoisonError::into_inner);
+                *slot = Some(result.clone());
+                drop(slot);
+                flight.ready.notify_all();
+                (result, FlightRole::Leader)
+            }
+            FlightRole::Follower => {
+                let mut slot = flight.slot.lock().unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    if let Some(result) = slot.as_ref() {
+                        return (result.clone(), FlightRole::Follower);
+                    }
+                    slot = flight
+                        .ready
+                        .wait(slot)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// Keys currently in flight (for the queue-depth gauge).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.flights
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn solo_caller_leads_and_cleans_up() {
+        let group: Singleflight<u32> = Singleflight::new();
+        let (value, role) = group.run("k", || 42);
+        assert_eq!((value, role), (42, FlightRole::Leader));
+        assert_eq!(group.in_flight(), 0, "flight deregisters after landing");
+    }
+
+    #[test]
+    fn concurrent_identical_keys_run_work_once() {
+        const THREADS: usize = 8;
+        let group: Arc<Singleflight<u64>> = Arc::new(Singleflight::new());
+        let executions = Arc::new(AtomicUsize::new(0));
+        let arrived = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new(Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let group = Arc::clone(&group);
+                let executions = Arc::clone(&executions);
+                let arrived = Arc::clone(&arrived);
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    gate.wait();
+                    arrived.fetch_add(1, Ordering::SeqCst);
+                    group.run("same", || {
+                        executions.fetch_add(1, Ordering::SeqCst);
+                        // Hold the flight open until every thread has
+                        // at least released the barrier, then a little
+                        // longer so they reach the flight map.
+                        while arrived.load(Ordering::SeqCst) < THREADS {
+                            std::thread::yield_now();
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                        7
+                    })
+                })
+            })
+            .collect();
+        let mut leaders = 0;
+        for handle in handles {
+            let (value, role) = handle.join().expect("thread");
+            assert_eq!(value, 7);
+            if role == FlightRole::Leader {
+                leaders += 1;
+            }
+        }
+        assert_eq!(executions.load(Ordering::SeqCst), 1, "one execution");
+        assert_eq!(leaders, 1, "exactly one leader");
+        assert_eq!(group.in_flight(), 0);
+    }
+
+    #[test]
+    fn different_keys_do_not_coalesce() {
+        let group: Singleflight<&'static str> = Singleflight::new();
+        let (a, _) = group.run("a", || "a");
+        let (b, _) = group.run("b", || "b");
+        assert_eq!((a, b), ("a", "b"));
+    }
+}

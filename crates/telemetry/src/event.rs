@@ -231,6 +231,40 @@ pub enum FleetEvent {
     },
 }
 
+/// Request-lifecycle edges of the capacity-advisor service
+/// (`heb_serve`): query arrival, how each answer was produced, and
+/// shutdown draining.
+///
+/// Like [`FleetEvent`] these carry owned `String` fields (scenario
+/// hashes, rejection reasons) that are JSON-escaped on encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeEvent {
+    /// A well-formed provisioning query was accepted for answering.
+    QueryReceived {
+        /// The scenario's content hash (32 hex digits).
+        scenario: String,
+    },
+    /// A query was answered.
+    QueryServed {
+        /// The scenario's content hash (32 hex digits).
+        scenario: String,
+        /// How the report was obtained: `"cache"`, `"simulated"`, or
+        /// `"coalesced"` (joined an identical in-flight simulation).
+        source: &'static str,
+    },
+    /// A query was refused before reaching the engine (parse or
+    /// validation failure).
+    QueryRejected {
+        /// Why the query was refused.
+        reason: String,
+    },
+    /// Graceful shutdown began; the server stops accepting and drains.
+    Draining {
+        /// Requests still in flight when draining started.
+        in_flight: usize,
+    },
+}
+
 /// One observable state change anywhere in the simulated stack.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -244,6 +278,8 @@ pub enum Event {
     Fault(FaultEvent),
     /// Fleet-engine robustness edge.
     Fleet(FleetEvent),
+    /// Capacity-advisor service request edge.
+    Serve(ServeEvent),
 }
 
 impl Event {
@@ -281,6 +317,12 @@ impl Event {
                 FleetEvent::CacheDegraded { .. } => "fleet.cache_degraded",
                 FleetEvent::RunResumed { .. } => "fleet.run_resumed",
             },
+            Event::Serve(e) => match e {
+                ServeEvent::QueryReceived { .. } => "serve.query_received",
+                ServeEvent::QueryServed { .. } => "serve.query_served",
+                ServeEvent::QueryRejected { .. } => "serve.query_rejected",
+                ServeEvent::Draining { .. } => "serve.draining",
+            },
         }
     }
 
@@ -294,6 +336,7 @@ impl Event {
             Event::Power(_) => "power",
             Event::Fault(_) => "fault",
             Event::Fleet(_) => "fleet",
+            Event::Serve(_) => "serve",
         }
     }
 
@@ -445,6 +488,26 @@ impl Event {
                         out,
                         "\",\"completed\":{completed},\"remaining\":{remaining}"
                     );
+                }
+            },
+            Event::Serve(e) => match e {
+                ServeEvent::QueryReceived { scenario } => {
+                    out.push_str(",\"scenario\":\"");
+                    write_escaped(out, scenario);
+                    out.push('"');
+                }
+                ServeEvent::QueryServed { scenario, source } => {
+                    out.push_str(",\"scenario\":\"");
+                    write_escaped(out, scenario);
+                    let _ = write!(out, "\",\"source\":\"{source}\"");
+                }
+                ServeEvent::QueryRejected { reason } => {
+                    out.push_str(",\"reason\":\"");
+                    write_escaped(out, reason);
+                    out.push('"');
+                }
+                ServeEvent::Draining { in_flight } => {
+                    let _ = write!(out, ",\"in_flight\":{in_flight}");
                 }
             },
         }
@@ -600,6 +663,35 @@ mod tests {
         });
         assert_eq!(json_field(&r.to_json(), "run_id"), Some("abcd1234"));
         assert_eq!(json_field(&r.to_json(), "completed"), Some("7"));
+    }
+
+    #[test]
+    fn serve_events_encode_deterministically_and_escape() {
+        let served = Event::Serve(ServeEvent::QueryServed {
+            scenario: "00ab".to_string(),
+            source: "cache",
+        });
+        assert_eq!(
+            served.to_json(),
+            "{\"type\":\"serve.query_served\",\"scenario\":\"00ab\",\"source\":\"cache\"}"
+        );
+        assert_eq!(served.category(), "serve");
+        assert!(served.kind().starts_with("serve."));
+
+        let received = Event::Serve(ServeEvent::QueryReceived {
+            scenario: "ff01".to_string(),
+        });
+        assert_eq!(json_field(&received.to_json(), "scenario"), Some("ff01"));
+
+        let rejected = Event::Serve(ServeEvent::QueryRejected {
+            reason: "bad \"json\"\nbody".to_string(),
+        });
+        let line = rejected.to_json();
+        assert!(line.contains("\\\"json\\\"\\n"));
+        assert_eq!(line.lines().count(), 1, "escaping must keep one line");
+
+        let draining = Event::Serve(ServeEvent::Draining { in_flight: 3 });
+        assert_eq!(json_field(&draining.to_json(), "in_flight"), Some("3"));
     }
 
     #[test]

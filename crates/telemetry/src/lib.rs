@@ -31,6 +31,7 @@ mod recorder;
 
 pub use event::{
     json_field, ControllerEvent, EsdEvent, Event, FaultEvent, FleetEvent, PoolId, PowerEvent,
+    ServeEvent,
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, Metrics, ScopedTimer, Snapshot};
 pub use recorder::{

@@ -144,6 +144,17 @@ impl Archetype {
         }
     }
 
+    /// Parses a workload name: the paper abbreviation (`"WS"`, `"PR"`,
+    /// …), case-insensitively. Returns `None` for unknown names, so
+    /// callers (the fleet CLI, the capacity-advisor service) can
+    /// report bad input instead of panicking.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        Archetype::ALL
+            .into_iter()
+            .find(|w| w.abbreviation().eq_ignore_ascii_case(name))
+    }
+
     /// Which peak-shape group the workload belongs to.
     #[must_use]
     pub fn peak_class(self) -> PeakClass {
@@ -262,6 +273,14 @@ mod tests {
 
     #[test]
     fn abbreviations_are_unique() {
+        for w in Archetype::ALL {
+            assert_eq!(Archetype::parse(w.abbreviation()), Some(w));
+            assert_eq!(
+                Archetype::parse(&w.abbreviation().to_ascii_lowercase()),
+                Some(w)
+            );
+        }
+        assert_eq!(Archetype::parse("nope"), None);
         let mut abbrs: Vec<_> = Archetype::ALL.iter().map(|w| w.abbreviation()).collect();
         abbrs.sort_unstable();
         abbrs.dedup();
