@@ -7,6 +7,7 @@
 //! | HEB003 | all lib code | no `.unwrap()` / `.expect(...)` / `panic!` — typed errors required |
 //! | HEB004 | physics-crate public fns | no bare `f64` for unit-suffixed quantities (`*_w`, `*_wh`, `*_v`, …) |
 //! | HEB005 | result-cache hash path | no `heb-telemetry` references — recorder hash-blindness |
+//! | HEB006 | `Sim`/`Physics` lib code outside the event core | no raw `tick_index` counters or tick-count-times-`dt` seconds arithmetic — timestamps are minted by `heb_core::event::SimClock` only |
 //! | HEB000 | everywhere | a malformed or reason-less suppression comment |
 //!
 //! Suppressions: `// heb-analyze: allow(HEB003, why this is fine)` on
@@ -77,8 +78,15 @@ pub fn crate_class(name: &str) -> CrateClass {
 /// keys/payloads and poison content addressing.
 pub const HASH_BLIND_FILES: &[&str] = &["crates/fleet/src/cache.rs"];
 
+/// The event core itself: the one place allowed to spell out the
+/// tick-index ↔ seconds conversion (HEB006). `SimClock::time_at` is
+/// the single authoritative formula; everywhere else must go through
+/// the clock so tick mode and event mode can never disagree on a
+/// timestamp.
+pub const CLOCK_FILES: &[&str] = &["crates/core/src/event.rs"];
+
 /// All rule IDs, for validation of suppression directives.
-pub const RULES: &[&str] = &["HEB001", "HEB002", "HEB003", "HEB004", "HEB005"];
+pub const RULES: &[&str] = &["HEB001", "HEB002", "HEB003", "HEB004", "HEB005", "HEB006"];
 
 /// What kind of target a file belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +156,13 @@ impl FileContext {
 
     fn is_hash_blind(&self) -> bool {
         HASH_BLIND_FILES.contains(&self.path.as_str())
+    }
+
+    /// HEB006: deterministic-simulation code that must mint timestamps
+    /// through `SimClock` rather than raw tick arithmetic. The event
+    /// core is the sole exemption — it *is* the clock.
+    fn needs_clock_discipline(&self) -> bool {
+        self.needs_determinism() && !CLOCK_FILES.contains(&self.path.as_str())
     }
 }
 
@@ -256,6 +271,27 @@ pub fn analyze_source(source: &str, ctx: &FileContext) -> Vec<Diagnostic> {
                         ),
                     );
                 }
+            }
+        }
+        if ctx.needs_clock_discipline() && lib_code(idx) {
+            if contains_word(code, "tick_index") {
+                emit(
+                    "HEB006",
+                    idx,
+                    "raw `tick_index` outside the event core: simulated time lives in \
+                     `heb_core::event::SimClock` (`index()`, `now()`, `time_at(i)`); \
+                     a second counter can drift from the driver's clock"
+                        .to_string(),
+                );
+            } else if code.contains("as f64 * dt") || code.contains("as f64 * self.dt") {
+                emit(
+                    "HEB006",
+                    idx,
+                    "tick-count-times-dt seconds arithmetic outside the event core: \
+                     mint timestamps with `SimClock::time_at` so tick mode and event \
+                     mode can never disagree on a timestamp"
+                        .to_string(),
+                );
             }
         }
         if ctx.is_hash_blind() && !test_lines.contains(&idx) {
@@ -811,6 +847,33 @@ mod tests {
         assert_eq!(d[0].rule, "HEB005");
         let other = FileContext::lib("fleet", "crates/fleet/src/engine.rs");
         assert!(analyze_source("use heb_telemetry::RecorderHandle;\n", &other).is_empty());
+    }
+
+    #[test]
+    fn heb006_flags_raw_tick_arithmetic_outside_the_event_core() {
+        let d = analyze_source("let t = self.tick_index + 1;\n", &sim_ctx());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "HEB006");
+        let d = analyze_source("let t = Seconds::new(ticks as f64 * dt);\n", &sim_ctx());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "HEB006");
+        let d = analyze_source("let t = n as f64 * self.dt.get();\n", &sim_ctx());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "HEB006");
+    }
+
+    #[test]
+    fn heb006_exempts_the_event_core_tests_and_infra_crates() {
+        let clock = FileContext::lib("core", "crates/core/src/event.rs");
+        let src = "pub fn time_at(&self, i: u64) -> Seconds { Seconds::new(i as f64 * dt) }\n";
+        assert!(analyze_source(src, &clock).is_empty());
+        // Ordinary physics math (power × dt) is not tick-index minting.
+        assert!(analyze_source("let e = power * dt.get();\n", &sim_ctx()).is_empty());
+        // Test code and non-sim crates are out of scope.
+        let gated = "#[cfg(test)]\nmod tests {\n    fn f() { let t = tick_index; }\n}\n";
+        assert!(analyze_source(gated, &sim_ctx()).is_empty());
+        let infra = FileContext::lib("fleet", "crates/fleet/src/engine.rs");
+        assert!(analyze_source("let t = tick_index;\n", &infra).is_empty());
     }
 
     #[test]

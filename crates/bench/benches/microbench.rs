@@ -21,10 +21,19 @@
 //! the floor is deliberately generous (0.25) so the guard catches
 //! order-of-magnitude regressions (an accidentally quadratic probe
 //! pass, a sync added per tick) rather than machine-to-machine noise.
+//!
+//! `-- --sparse-speedup-guard PATH` runs the sparse-workload
+//! microbench: the same valley-heavy simulation driven dense
+//! (`SimDriver::tick`) and leaping (`SimDriver::event`), asserting the
+//! reports are identical and failing (exit 1) if event mode's
+//! wall-clock speedup falls below the `sparse_speedup_floor` recorded
+//! in the baseline JSON. A speedup ratio is machine-independent, so
+//! unlike the throughput guard this floor is a hard product claim
+//! (≥ 5×), not a noise allowance.
 
-use heb_core::{PolicyKind, PowerAllocationTable, Scenario, SimConfig, Simulation};
+use heb_core::{PolicyKind, PowerAllocationTable, Scenario, SimConfig, SimDriver, Simulation};
 use heb_esd::{LeadAcidBattery, StorageDevice, SuperCapacitor};
-use heb_fleet::FleetEngine;
+use heb_fleet::{FleetEngine, RunPolicy};
 use heb_forecast::{HoltWinters, Predictor};
 use heb_units::{Joules, Ratio, Seconds, Watts};
 use heb_workload::Archetype;
@@ -159,7 +168,11 @@ fn bench_fleet_engine() {
         let mut throughput = 0.0_f64;
         for _ in 0..3 {
             let start = Instant::now();
-            black_box(engine.run(black_box(&batch)));
+            black_box(
+                engine
+                    .run(black_box(&batch), &RunPolicy::new())
+                    .expect_reports(),
+            );
             throughput = throughput.max(batch.len() as f64 / start.elapsed().as_secs_f64());
         }
         println!(
@@ -189,7 +202,11 @@ fn measure_throughput(jobs: usize, runs: usize) -> (f64, usize) {
     let mut throughput = 0.0_f64;
     for _ in 0..runs {
         let start = Instant::now();
-        black_box(engine.run(black_box(&batch)));
+        black_box(
+            engine
+                .run(black_box(&batch), &RunPolicy::new())
+                .expect_reports(),
+        );
         throughput = throughput.max(batch.len() as f64 / start.elapsed().as_secs_f64());
     }
     (throughput, batch.len())
@@ -209,7 +226,8 @@ fn throughput_baseline(path: &str) -> i32 {
         "{{\n  \"bench\": \"fleet/engine_throughput\",\n  \"batch_size\": {batch},\n  \
          \"jobs\": {THROUGHPUT_JOBS},\n  \"best_of\": 3,\n  \
          \"scenarios_per_sec\": {scenarios_per_sec:.2},\n  \
-         \"floor_fraction\": {THROUGHPUT_FLOOR_FRACTION}\n}}\n"
+         \"floor_fraction\": {THROUGHPUT_FLOOR_FRACTION},\n  \
+         \"sparse_speedup_floor\": {SPARSE_SPEEDUP_FLOOR}\n}}\n"
     );
     match std::fs::write(path, body) {
         Ok(()) => {
@@ -263,6 +281,98 @@ fn throughput_guard(path: &str) -> i32 {
     } else {
         println!("OK: engine throughput within the regression floor");
         0
+    }
+}
+
+/// The sparse microbench horizon: 8 simulated hours of overnight-style
+/// valley — long enough that the dense side takes milliseconds and the
+/// leaping side's fixed per-slot costs amortise away.
+const SPARSE_HOURS: f64 = 8.0;
+
+/// The committed speedup floor written into the baseline JSON.
+const SPARSE_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// A valley-heavy simulation the event driver can leap end to end:
+/// generous budget (utility mode throughout), steady 30 % load, no
+/// faults, noiseless metering.
+fn sparse_sim() -> Simulation {
+    Simulation::new(
+        SimConfig::prototype()
+            .with_policy(PolicyKind::HebD)
+            .with_budget(Watts::new(2000.0)),
+        &[Archetype::WordCount],
+        42,
+    )
+    .with_steady_workload(Ratio::new_clamped(0.3))
+}
+
+/// Measures the event-over-tick wall-clock speedup on the sparse trace
+/// (interleaved best-of, both sides snapshotting identical physics).
+/// Errors if the two drivers disagree on the report — the guard must
+/// never trade correctness for speed.
+fn measure_sparse_speedup(runs: usize) -> Result<(f64, f64, f64), String> {
+    let ticks = (SPARSE_HOURS * 3600.0).round() as u64;
+    let mut tick_best = f64::INFINITY;
+    let mut event_best = f64::INFINITY;
+    for _ in 0..runs {
+        let mut dense = SimDriver::tick(sparse_sim());
+        let start = Instant::now();
+        let tick_report = black_box(dense.run_ticks(ticks));
+        tick_best = tick_best.min(start.elapsed().as_secs_f64());
+
+        let mut leaping = SimDriver::event(sparse_sim());
+        let start = Instant::now();
+        let event_report = black_box(leaping.run_ticks(ticks));
+        event_best = event_best.min(start.elapsed().as_secs_f64());
+
+        if tick_report != event_report {
+            return Err("tick and event drivers disagree on the sparse report".to_string());
+        }
+    }
+    Ok((tick_best / event_best, tick_best, event_best))
+}
+
+fn sparse_speedup_guard(path: &str) -> i32 {
+    let floor = match std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {path}: {e}"))
+        .and_then(|raw| heb_serve::json::parse(&raw).map_err(|e| format!("baseline {path}: {e}")))
+    {
+        Ok(json) => match json
+            .get("sparse_speedup_floor")
+            .and_then(heb_serve::Json::as_f64)
+        {
+            Some(floor) => floor,
+            None => {
+                eprintln!("FAIL: baseline {path} lacks sparse_speedup_floor");
+                return 1;
+            }
+        },
+        Err(err) => {
+            eprintln!("FAIL: {err}");
+            return 1;
+        }
+    };
+    println!("sparse-speedup guard: {SPARSE_HOURS} h steady valley, tick vs event driver\n");
+    match measure_sparse_speedup(5) {
+        Err(err) => {
+            eprintln!("FAIL: {err}");
+            1
+        }
+        Ok((speedup, tick, event)) => {
+            println!("tick driver   {:>10.3} ms  (dense, best of 5)", tick * 1e3);
+            println!(
+                "event driver  {:>10.3} ms  (leaping, best of 5)",
+                event * 1e3
+            );
+            println!("speedup       {speedup:>10.2} x  (floor {floor} x, {path})");
+            if speedup < floor {
+                eprintln!("FAIL: event-mode speedup fell below the {floor}x floor");
+                1
+            } else {
+                println!("OK: event mode holds the sparse-workload speedup floor");
+                0
+            }
+        }
     }
 }
 
@@ -337,10 +447,23 @@ fn main() {
         };
         std::process::exit(throughput_guard(&path));
     }
+    if let Some(path) = value_of("--sparse-speedup-guard") {
+        let path = path.unwrap_or_else(|| "BENCH_engine_throughput.json".to_string());
+        std::process::exit(sparse_speedup_guard(&path));
+    }
     println!("HEB micro-benchmarks (best-of-runs per-iteration latency)\n");
     bench_pat();
     bench_forecast();
     bench_devices();
     bench_simulation();
     bench_fleet_engine();
+    match measure_sparse_speedup(3) {
+        Ok((speedup, tick, event)) => println!(
+            "{:<40} {speedup:>10.2} x  (tick {:.2} ms vs event {:.2} ms)",
+            "sim/sparse_event_speedup",
+            tick * 1e3,
+            event * 1e3
+        ),
+        Err(err) => println!("sim/sparse_event_speedup: {err}"),
+    }
 }

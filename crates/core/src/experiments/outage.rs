@@ -9,6 +9,7 @@
 //! around.
 
 use crate::config::SimConfig;
+use crate::event::SimClock;
 use crate::policy::PolicyKind;
 use crate::scenario::{Scenario, ScenarioRunner, SerialRunner};
 use crate::sim::PowerMode;
@@ -88,7 +89,7 @@ pub fn outage_ride_through_with(
 ) -> Vec<OutagePoint> {
     let warmup_ticks = (warmup_minutes * 60.0).round() as u64;
     let dt = base.tick.get();
-    let warmup_end = Seconds::new(warmup_ticks as f64 * dt);
+    let warmup_end = SimClock::new(base.tick).time_at(warmup_ticks);
     let batch = outage_scenarios(base, warmup_minutes, outage_minutes, seed);
     let mut reports = runner.run_batch(&batch).into_iter();
     PolicyKind::ALL

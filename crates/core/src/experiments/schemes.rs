@@ -9,7 +9,7 @@ use crate::config::SimConfig;
 use crate::metrics::SimReport;
 use crate::policy::PolicyKind;
 use crate::scenario::{Scenario, ScenarioRunner, SerialRunner};
-use crate::sim::{PowerMode, Simulation};
+use crate::sim::PowerMode;
 use heb_units::{Ratio, Seconds, Watts};
 use heb_workload::{Archetype, PeakClass, PowerTrace, SolarTraceBuilder};
 
@@ -137,7 +137,10 @@ fn sunrise_aligned_solar(seed: u64) -> PowerTrace {
     PowerTrace::new(rotated, trace.dt())
 }
 
-/// Runs one policy on one workload for `hours` under the base config.
+/// Runs one policy on one workload for `hours` under the base config —
+/// through the same [`Scenario`] + driver path every batch runner uses,
+/// so a one-off run and its batch twin are the same code (and the same
+/// bits).
 #[must_use]
 pub fn run_scheme(
     base: &SimConfig,
@@ -146,9 +149,14 @@ pub fn run_scheme(
     hours: f64,
     seed: u64,
 ) -> SimReport {
-    let config = base.clone().with_policy(policy);
-    let mut sim = Simulation::new(config, &[workload], seed);
-    sim.run_for_hours(hours)
+    Scenario::new(
+        format!("schemes/{}/{}", policy.name(), workload.abbreviation()),
+        base.clone().with_policy(policy),
+        &[workload],
+        hours,
+        seed,
+    )
+    .run_expect()
 }
 
 /// The mixed rack the solar (REU) run uses.

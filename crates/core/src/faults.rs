@@ -662,6 +662,25 @@ impl FaultInjector {
         self.pending.len() - self.cursor
     }
 
+    /// The next simulated time at which the injector's answers can
+    /// change: the earliest pending onset or active-fault end, whichever
+    /// comes first. `None` means the fault state is final — polls will
+    /// report nothing for the rest of time. The event core uses this to
+    /// bound quiet spans.
+    #[must_use]
+    pub fn next_transition_at(&self) -> Option<Seconds> {
+        let next_start = self.pending.get(self.cursor).map(|ev| ev.at);
+        let next_end = self
+            .active
+            .iter()
+            .filter_map(FaultEvent::end)
+            .min_by(|a, b| a.get().total_cmp(&b.get()));
+        match (next_start, next_end) {
+            (Some(s), Some(e)) => Some(if s.get() <= e.get() { s } else { e }),
+            (s, e) => s.or(e),
+        }
+    }
+
     /// The grid budget factor implied by the active utility faults:
     /// 1 when healthy, the most severe derate otherwise (a blackout is
     /// a derate to zero).
@@ -819,6 +838,33 @@ mod tests {
         assert_eq!(inj.budget_factor(), Ratio::ONE);
         assert!(!inj.any_active());
         assert_eq!(inj.remaining(), 0);
+    }
+
+    #[test]
+    fn next_transition_tracks_onsets_and_ends() {
+        let mut inj = FaultInjector::new(FaultSchedule::scripted(vec![
+            blackout(10.0, 20.0),
+            blackout(100.0, 5.0),
+        ]));
+        assert_eq!(inj.next_transition_at(), Some(Seconds::new(10.0)));
+        inj.poll(Seconds::new(10.0));
+        // Active until t=30, next onset t=100: the end comes first.
+        assert_eq!(inj.next_transition_at(), Some(Seconds::new(30.0)));
+        inj.poll(Seconds::new(30.0));
+        assert_eq!(inj.next_transition_at(), Some(Seconds::new(100.0)));
+        inj.poll(Seconds::new(200.0));
+        assert_eq!(inj.next_transition_at(), None);
+
+        // A permanent fault pins the state forever once started.
+        let mut inj = FaultInjector::new(FaultSchedule::scripted(vec![FaultEvent::permanent(
+            Seconds::new(5.0),
+            FaultKind::SolarDropout,
+        )]));
+        inj.poll(Seconds::new(5.0));
+        assert!(inj.any_active());
+        assert_eq!(inj.next_transition_at(), None);
+
+        assert_eq!(FaultInjector::idle().next_transition_at(), None);
     }
 
     #[test]

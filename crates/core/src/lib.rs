@@ -20,8 +20,12 @@
 //! * [`HebController`] — slot-level decision making: Holt-Winters
 //!   peak/valley prediction, small/large peak classification, PAT
 //!   lookup and update;
-//! * [`Simulation`] — the discrete-time engine tying cluster, feeds,
-//!   relays, buffers, and controller together at 1-second resolution;
+//! * [`Simulation`] — the engine state tying cluster, feeds, relays,
+//!   buffers, and controller together at 1-second tick resolution;
+//! * [`SimDriver`] — the discrete-event core ([`event`]) that advances
+//!   a simulation: [`DriverMode::Tick`] reproduces the seed tick loop
+//!   bit-for-bit, [`DriverMode::Event`] leaps provably-quiet spans for
+//!   valley-heavy traces without changing a single reported bit;
 //! * [`SimReport`] — the paper's four metrics: energy efficiency,
 //!   server downtime, battery lifetime, and renewable-energy
 //!   utilisation;
@@ -54,6 +58,7 @@ mod buffers;
 mod config;
 mod controller;
 mod errors;
+pub mod event;
 pub mod experiments;
 mod faults;
 #[cfg(feature = "strict-invariants")]
@@ -69,6 +74,8 @@ pub use buffers::HybridBuffers;
 pub use config::{ConfigError, SimConfig, SimConfigBuilder};
 pub use controller::{HebController, SlotPlan};
 pub use errors::SimError;
+pub use event::Event as SimEvent;
+pub use event::{DriverMode, EventHandler, EventQueue, Scheduled, SimClock, SimDriver};
 pub use faults::{
     FaultEvent, FaultInjector, FaultKind, FaultLedger, FaultProfile, FaultSchedule, FaultSpecError,
     FaultTransition,

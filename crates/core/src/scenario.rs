@@ -21,6 +21,7 @@
 
 use crate::config::SimConfig;
 use crate::errors::SimError;
+use crate::event::{DriverMode, SimDriver};
 use crate::faults::{FaultKind, FaultSchedule};
 use crate::metrics::SimReport;
 use crate::sim::{PowerMode, Simulation};
@@ -141,6 +142,12 @@ pub struct Scenario {
     /// only, so — like the label — it is excluded from
     /// [`Scenario::content_hash`].
     recorder: Option<heb_telemetry::RecorderHandle>,
+    /// How the built [`SimDriver`] advances time. [`DriverMode::Tick`]
+    /// (the default) reproduces the legacy fixed loop bit for bit and
+    /// keeps the legacy content hash; [`DriverMode::Event`] folds a
+    /// marker into the hash so event-mode results get their own cache
+    /// entries.
+    driver: DriverMode,
 }
 
 impl Scenario {
@@ -180,6 +187,7 @@ impl Scenario {
             ticks,
             seed,
             recorder: None,
+            driver: DriverMode::Tick,
         }
     }
 
@@ -226,6 +234,21 @@ impl Scenario {
     #[must_use]
     pub fn with_recorder(mut self, recorder: heb_telemetry::RecorderHandle) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Selects how the built driver advances time (chainable).
+    ///
+    /// Unlike the label and the recorder, the driver mode **does**
+    /// contribute to [`Scenario::content_hash`] when it is
+    /// [`DriverMode::Event`]: event-mode runs are verified bit-identical
+    /// to tick mode, but giving them distinct cache keys means a cache
+    /// populated before the event core existed can never be consulted
+    /// for — or poisoned by — event-mode results. [`DriverMode::Tick`]
+    /// folds nothing, preserving every pre-existing hash.
+    #[must_use]
+    pub fn with_driver_mode(mut self, driver: DriverMode) -> Self {
+        self.driver = driver;
         self
     }
 
@@ -285,6 +308,12 @@ impl Scenario {
         self.seed
     }
 
+    /// How the built driver advances time.
+    #[must_use]
+    pub fn driver_mode(&self) -> DriverMode {
+        self.driver
+    }
+
     /// The stable 128-bit content digest over every semantic field.
     ///
     /// Two scenarios share a hash exactly when they would produce the
@@ -340,6 +369,11 @@ impl Scenario {
         }
         h.write_u64(self.ticks);
         h.write_u64(self.seed);
+        // Tick mode folds nothing: every hash minted before the event
+        // core existed remains valid verbatim.
+        if self.driver == DriverMode::Event {
+            h.write_str("driver=event");
+        }
         h.finish()
     }
 
@@ -372,13 +406,29 @@ impl Scenario {
         Ok(sim)
     }
 
-    /// Runs the scenario to completion.
+    /// Builds the scenario's [`SimDriver`] — the one construction path
+    /// shared by the serial runner, the fleet engine, and the serve
+    /// service — without running it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when [`Scenario::build`] does.
+    pub fn build_driver(&self) -> Result<SimDriver, SimError> {
+        let sim = self.build()?;
+        Ok(match self.driver {
+            DriverMode::Tick => SimDriver::tick(sim),
+            DriverMode::Event => SimDriver::event(sim),
+        })
+    }
+
+    /// Runs the scenario to completion through its [`SimDriver`].
     ///
     /// # Errors
     ///
     /// Returns a [`SimError`] when [`Scenario::build`] does.
     pub fn run(&self) -> Result<SimReport, SimError> {
-        Ok(self.build()?.run_ticks(self.ticks))
+        let mut driver = self.build_driver()?;
+        Ok(driver.run_ticks(self.ticks))
     }
 
     /// Runs the scenario, panicking with the scenario label on error —
@@ -468,6 +518,15 @@ fn hash_fault_kind(h: &mut ContentHasher, kind: &FaultKind) {
 pub trait ScenarioRunner: Sync {
     /// Executes the batch, returning reports ordered by scenario index.
     fn run_batch(&self, batch: &[Scenario]) -> Vec<SimReport>;
+
+    /// Executes one scenario through its [`SimDriver`] — the single
+    /// construction path all runners share. Implementations that farm
+    /// scenarios out to workers call this per scenario; overriding it
+    /// is possible but forfeits the one-way-to-build guarantee, so
+    /// don't.
+    fn run_scenario(&self, scenario: &Scenario) -> SimReport {
+        scenario.run_expect()
+    }
 }
 
 /// The reference implementation: runs every scenario inline, in order.
@@ -477,7 +536,7 @@ pub struct SerialRunner;
 
 impl ScenarioRunner for SerialRunner {
     fn run_batch(&self, batch: &[Scenario]) -> Vec<SimReport> {
-        batch.iter().map(Scenario::run_expect).collect()
+        batch.iter().map(|s| self.run_scenario(s)).collect()
     }
 }
 
@@ -609,6 +668,57 @@ mod tests {
         assert_eq!(reports[0], batch[0].run().unwrap());
         assert_eq!(reports[1], batch[1].run().unwrap());
         assert_eq!(reports[2], batch[2].run().unwrap());
+    }
+
+    #[test]
+    fn event_mode_scenarios_match_tick_mode_bitwise() {
+        let tick = base().run().unwrap();
+        let event = base().with_driver_mode(DriverMode::Event).run().unwrap();
+        assert_eq!(tick, event);
+        // The hostile variant — faults, tight budget — must also agree.
+        let hostile = || {
+            Scenario::new(
+                "t/hostile",
+                SimConfig::prototype()
+                    .with_policy(PolicyKind::HebD)
+                    .with_budget(Watts::new(150.0)),
+                &[Archetype::Terasort],
+                0.5,
+                3,
+            )
+            .with_faults(FaultSchedule::parse("blackout@600~300").unwrap())
+        };
+        assert_eq!(
+            hostile().run().unwrap(),
+            hostile().with_driver_mode(DriverMode::Event).run().unwrap()
+        );
+    }
+
+    #[test]
+    fn driver_mode_hashing_is_tick_transparent_event_distinct() {
+        // Tick mode folds nothing: the default hash is the legacy hash.
+        assert_eq!(
+            base().content_hash(),
+            base().with_driver_mode(DriverMode::Tick).content_hash()
+        );
+        // Event mode gets its own cache identity.
+        assert_ne!(
+            base().content_hash(),
+            base().with_driver_mode(DriverMode::Event).content_hash()
+        );
+    }
+
+    #[test]
+    fn build_driver_honours_the_mode() {
+        assert_eq!(base().build_driver().unwrap().mode(), DriverMode::Tick);
+        assert_eq!(
+            base()
+                .with_driver_mode(DriverMode::Event)
+                .build_driver()
+                .unwrap()
+                .mode(),
+            DriverMode::Event
+        );
     }
 
     #[test]

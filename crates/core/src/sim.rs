@@ -16,6 +16,7 @@ use crate::buffers::HybridBuffers;
 use crate::config::SimConfig;
 use crate::controller::{HebController, SlotPlan};
 use crate::errors::SimError;
+use crate::event::SimClock;
 use crate::faults::{FaultInjector, FaultKind, FaultSchedule, FaultTransition};
 use crate::metrics::SimReport;
 use crate::policy::{ChargePriority, DischargePriority, PolicyKind};
@@ -25,11 +26,11 @@ use heb_powersys::{
     RenewableFeed, SwitchFabric, UtilityFeed,
 };
 use heb_telemetry::{
-    null_recorder, ControllerEvent, EsdEvent, Event, FaultEvent as TraceFaultEvent, PoolId,
-    PowerEvent, RecorderHandle,
+    null_recorder, ControllerEvent, DriverEvent, EsdEvent, Event, FaultEvent as TraceFaultEvent,
+    PoolId, PowerEvent, RecorderHandle,
 };
 use heb_units::{Joules, Ratio, Seconds, Watts};
-use heb_workload::{Archetype, PeakClass, PowerTrace, UtilizationGenerator};
+use heb_workload::{Archetype, BurstProfile, PeakClass, PowerTrace, UtilizationGenerator};
 
 /// Where the rack's power comes from.
 #[derive(Debug, Clone)]
@@ -110,7 +111,7 @@ pub struct Simulation {
     mode: PowerMode,
     generators: Vec<UtilizationGenerator>,
     plan: SlotPlan,
-    tick_index: u64,
+    clock: SimClock,
     slot_peak: Watts,
     slot_valley: Watts,
     report: SimReport,
@@ -203,7 +204,7 @@ impl Simulation {
             mode: PowerMode::Utility,
             generators,
             plan,
-            tick_index: 0,
+            clock: SimClock::new(config.tick),
             slot_peak: Watts::zero(),
             slot_valley: Watts::new(f64::INFINITY),
             report: SimReport::default(),
@@ -282,10 +283,43 @@ impl Simulation {
         self
     }
 
+    /// Replaces every server's workload stream with a constant,
+    /// noiseless level (chainable at construction). The streams this
+    /// produces satisfy [`heb_workload::UtilizationGenerator::steady_level`],
+    /// so an event-mode driver can leap across the whole valley —
+    /// the sparse-workload microbench and the leap equivalence tests
+    /// are built on this.
+    #[must_use]
+    pub fn with_steady_workload(mut self, utilization: Ratio) -> Self {
+        let profile = BurstProfile {
+            base_utilization: utilization.get(),
+            base_noise: 0.0,
+            bursts_per_hour: 0.0,
+            burst_amplitude: 0.0,
+            mean_burst_secs: 1.0,
+        };
+        for generator in &mut self.generators {
+            *generator = UtilizationGenerator::new(profile, 0);
+        }
+        self
+    }
+
     /// The configuration in force.
     #[must_use]
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// The simulation clock: completed tick count and tick duration.
+    /// Every timestamp the simulation emits derives from this clock.
+    #[must_use]
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The fault injector (the driver consults its published horizon).
+    pub(crate) fn injector(&self) -> &FaultInjector {
+        &self.injector
     }
 
     /// Presets both buffer pools to `soc` of their usable window —
@@ -365,13 +399,14 @@ impl Simulation {
     /// Advances one metering tick.
     pub fn step(&mut self) {
         let dt = self.config.tick;
-        let now = Seconds::new(self.tick_index as f64 * dt.get());
+        let idx = self.clock.index();
+        let now = self.clock.now();
         #[cfg(feature = "strict-invariants")]
         let supplied_before = self.utility.energy_supplied() + self.renewable.energy_used();
 
         // Slot boundary: close the previous slot, restore shed servers
         // if the budget allows, and open the next slot.
-        if self.tick_index > 0 && self.tick_index.is_multiple_of(self.config.ticks_per_slot()) {
+        if idx > 0 && idx.is_multiple_of(self.config.ticks_per_slot()) {
             self.slot_boundary(now);
         }
 
@@ -438,7 +473,7 @@ impl Simulation {
 
         // Periodic restore check (every 30 s): bring shed servers back
         // when supply can carry the whole rack again.
-        if self.tick_index.is_multiple_of(30) {
+        if idx.is_multiple_of(30) {
             self.try_restore(now);
         }
 
@@ -465,7 +500,7 @@ impl Simulation {
         let raw_limit = match &self.mode {
             PowerMode::Utility => self.utility.effective_budget(),
             PowerMode::Solar(trace) => {
-                let idx = (self.tick_index as usize) % trace.len().max(1);
+                let idx = (idx as usize) % trace.len().max(1);
                 let supply = trace.samples().get(idx).copied().unwrap_or_default();
                 self.renewable.set_supply(supply);
                 self.renewable.available()
@@ -590,7 +625,178 @@ impl Simulation {
             crate::invariants::check_feed_balance(supplied_after - supplied_before, raw_limit, dt);
             crate::invariants::check_soc_bounds(&self.buffers);
         }
-        self.tick_index += 1;
+        self.clock.advance();
+    }
+
+    /// Attempts to fast-forward up to `max_ticks` provably quiet ticks
+    /// in one call, returning how many were covered (`0` means "this
+    /// tick is not quiet — use [`Simulation::step`]").
+    ///
+    /// A tick is quiet when stepping it would move no energy through
+    /// the buffers and cross no decision point: utility mode at full
+    /// budget, no fault active or pending within the span, noiseless
+    /// metering, every server up with no restart surcharge, every
+    /// workload at a provably steady level, both pools unable to accept
+    /// charge, and no slot boundary at the current tick. Each condition
+    /// is re-verified *here*, not trusted from the caller, so the
+    /// result is bitwise identical to stepping the same span tick by
+    /// tick — the only skipped work is work that provably has no
+    /// observable effect (zero-valued RNG draws, `+0.0` accumulator
+    /// adds, idempotent relay/feed writes).
+    ///
+    /// Battery feedback state (SoC, temperature) is advanced through
+    /// per-tick [`StorageDevice::idle_settled`] calls until every
+    /// device reaches a bitwise fixed point, after which the remaining
+    /// span is covered by [`StorageDevice::idle_accumulate`] — so even
+    /// the self-discharge physics are exact, not approximated.
+    pub(crate) fn try_leap(&mut self, max_ticks: u64) -> u64 {
+        if max_ticks == 0
+            || !matches!(self.mode, PowerMode::Utility)
+            || self.prev_budget_factor != Ratio::ONE
+            || !self.prev_solar_online
+            || self.supply_fault_prev
+            || self.recovery_pending_since.is_some()
+            || self.injector.any_active()
+            || !self.ipdu.is_noiseless()
+            || !self.cluster.all_running_steady()
+        {
+            return 0;
+        }
+        let idx = self.clock.index();
+        let tps = self.config.ticks_per_slot();
+        if idx > 0 && idx.is_multiple_of(tps) {
+            return 0; // Slot boundaries always take the dense path.
+        }
+        let Some(levels) = self
+            .generators
+            .iter()
+            .map(UtilizationGenerator::steady_level)
+            .collect::<Option<Vec<_>>>()
+        else {
+            return 0;
+        };
+        if !(self.buffers.sc_pool().charge_quiescent() && self.buffers.ba_pool().charge_quiescent())
+        {
+            return 0;
+        }
+
+        // Span end: the horizon, the next slot boundary, and the next
+        // fault edge all bound it; the earliest wins.
+        let mut end = idx.saturating_add(max_ticks).min((idx / tps + 1) * tps);
+        if let Some(at) = self.injector.next_transition_at() {
+            let fire = self.clock.index_at_or_after(at);
+            if fire <= idx {
+                return 0;
+            }
+            end = end.min(fire);
+        }
+        if end <= idx {
+            return 0;
+        }
+
+        #[cfg(feature = "strict-invariants")]
+        let supplied_before = self.utility.energy_supplied() + self.renewable.energy_used();
+
+        // The steady levels make every per-tick quantity a constant:
+        // set utilizations once and precompute the power math. (If the
+        // demand turns out to exceed supply this is harmlessly redone
+        // by step(): the steady stream reproduces the same values.)
+        for (server, level) in self.cluster.servers_mut().iter_mut().zip(&levels) {
+            server.set_utilization(*level);
+        }
+        let dt = self.config.tick;
+        let demand = self.cluster.total_demand();
+        let raw_limit = self.utility.effective_budget();
+        let u2l = self
+            .config
+            .topology
+            .chain(DeliveryPath::UtilityToLoad)
+            .clone();
+        if demand > u2l.forward(raw_limit) {
+            return 0; // A standing mismatch discharges buffers: dense.
+        }
+        let raw_needed = u2l.required_input(demand);
+        let loss_per_tick = (raw_needed - demand) * dt;
+
+        let span = end - idx;
+        let mut done = 0_u64;
+        let mut settled = false;
+        // Phase 1: full per-tick device idles until every device hits a
+        // bitwise fixed point (usually the very first tick).
+        while done < span && !settled {
+            let now = self.clock.now();
+            let total = self.ipdu.record_steady(&self.cluster, now);
+            self.slot_peak = self.slot_peak.max(total);
+            self.slot_valley = self.slot_valley.min(total);
+            self.report.conversion_loss += loss_per_tick;
+            let _ = self.utility.draw(raw_needed, dt);
+            let mut all = true;
+            for d in self.buffers.sc_pool_mut().devices_mut() {
+                all &= d.idle_settled(dt);
+            }
+            for d in self.buffers.ba_pool_mut().devices_mut() {
+                all &= d.idle_settled(dt);
+            }
+            self.report.sim_time += dt;
+            self.clock.advance();
+            done += 1;
+            settled = all;
+            if !(settled
+                || (self.buffers.sc_pool().charge_quiescent()
+                    && self.buffers.ba_pool().charge_quiescent()))
+            {
+                // Idling opened charge headroom (self-discharge): the
+                // next tick would move energy, so hand back to step().
+                break;
+            }
+        }
+        // Phase 2: devices are frozen at their fixed point; only the
+        // calendar clocks and the scalar accumulators still move.
+        if settled && done < span {
+            let rest = span - done;
+            for _ in 0..rest {
+                let now = self.clock.now();
+                let total = self.ipdu.record_steady(&self.cluster, now);
+                self.slot_peak = self.slot_peak.max(total);
+                self.slot_valley = self.slot_valley.min(total);
+                self.report.conversion_loss += loss_per_tick;
+                let _ = self.utility.draw(raw_needed, dt);
+                self.report.sim_time += dt;
+                self.clock.advance();
+            }
+            for d in self.buffers.sc_pool_mut().devices_mut() {
+                d.idle_accumulate(dt, rest);
+            }
+            for d in self.buffers.ba_pool_mut().devices_mut() {
+                d.idle_accumulate(dt, rest);
+            }
+            done += rest;
+        }
+        // Running servers refresh their LRU stamp every tick; the span
+        // collapses to one write of the final timestamp.
+        self.cluster
+            .mark_all_active(self.clock.time_at(self.clock.index() - 1));
+        #[cfg(feature = "strict-invariants")]
+        {
+            let supplied_after = self.utility.energy_supplied() + self.renewable.energy_used();
+            crate::invariants::check_feed_balance(
+                supplied_after - supplied_before,
+                raw_limit,
+                dt * done as f64,
+            );
+            crate::invariants::check_soc_bounds(&self.buffers);
+        }
+        done
+    }
+
+    /// Records a completed leap in the telemetry stream (`time` is the
+    /// start of the leaped span).
+    pub(crate) fn note_leap(&mut self, ticks: u64) {
+        if self.trace {
+            let time = self.clock.time_at(self.clock.index() - ticks);
+            self.recorder
+                .record(&Event::Driver(DriverEvent::Leaped { time, ticks }));
+        }
     }
 
     /// Applies every fault edge the injector crossed since last tick:
@@ -1423,5 +1629,98 @@ mod tests {
         assert_eq!(r1.faults, r2.faults);
         assert_eq!(r1.server_downtime, r2.server_downtime);
         assert_eq!(r1.buffer_delivered, r2.buffer_delivered);
+    }
+
+    fn steady_quiet_sim() -> Simulation {
+        Simulation::new(
+            SimConfig::prototype().with_budget(Watts::new(2000.0)),
+            &[Archetype::WordCount],
+            42,
+        )
+        .with_steady_workload(Ratio::new_clamped(0.3))
+    }
+
+    /// The leap correctness anchor: fast-forwarding a quiet valley must
+    /// reproduce the stepped run bit for bit — report, slot state,
+    /// meter history, utility counters, and buffer microstate.
+    #[test]
+    fn try_leap_is_bit_identical_to_stepping() {
+        let n = 3000_u64;
+        let mut stepped = steady_quiet_sim();
+        for _ in 0..n {
+            stepped.step();
+        }
+        let mut leaped = steady_quiet_sim();
+        let mut leaps = 0_u64;
+        while leaped.clock().index() < n {
+            let got = leaped.try_leap(n - leaped.clock().index());
+            if got == 0 {
+                leaped.step();
+            } else {
+                leaps += 1;
+            }
+        }
+        assert!(leaps > 0, "a quiet valley must actually leap");
+        assert_eq!(stepped.snapshot(), leaped.snapshot());
+        assert_eq!(stepped.slot_log(), leaped.slot_log());
+        assert_eq!(
+            stepped.buffers().sc_available(),
+            leaped.buffers().sc_available()
+        );
+        assert_eq!(
+            stepped.buffers().ba_available(),
+            leaped.buffers().ba_available()
+        );
+        assert_eq!(
+            stepped.buffers().battery_projected_lifetime(),
+            leaped.buffers().battery_projected_lifetime()
+        );
+        // Continuing past the leap must also agree (internal state —
+        // LRU stamps, slot peaks, meter history — survived intact).
+        stepped.run_ticks(700);
+        leaped.run_ticks(700);
+        assert_eq!(stepped.snapshot(), leaped.snapshot());
+        assert_eq!(stepped.slot_log(), leaped.slot_log());
+    }
+
+    #[test]
+    fn try_leap_refuses_non_quiet_states() {
+        // Stochastic workloads: never quiet.
+        let mut s = sim(PolicyKind::HebD);
+        assert_eq!(s.try_leap(100), 0);
+        // Steady but mismatched (budget below demand): dense.
+        let mut starved = Simulation::new(
+            SimConfig::prototype().with_budget(Watts::new(60.0)),
+            &[Archetype::WordCount],
+            42,
+        )
+        .with_steady_workload(Ratio::new_clamped(0.9));
+        assert_eq!(starved.try_leap(100), 0);
+        // Slot boundaries take the dense path even in a quiet valley.
+        let mut quiet = steady_quiet_sim();
+        let tps = quiet.config().ticks_per_slot();
+        while quiet.clock().index() < tps {
+            if quiet.try_leap(tps - quiet.clock().index()) == 0 {
+                quiet.step();
+            }
+        }
+        assert_eq!(quiet.clock().index(), tps);
+        assert_eq!(quiet.try_leap(100), 0, "boundary tick must be dense");
+    }
+
+    #[test]
+    fn try_leap_stops_short_of_fault_onsets() {
+        let schedule = FaultSchedule::parse("brownout(0.5)@900~300").unwrap();
+        let mut s = steady_quiet_sim().with_faults(schedule);
+        // From tick 0 the span must cap at the slot boundary (600),
+        // never reaching the onset at 900.
+        let got = s.try_leap(10_000);
+        assert_eq!(got, 600);
+        s.step(); // boundary tick
+        let got = s.try_leap(10_000);
+        assert_eq!(got, 299, "span must stop before the onset at 900");
+        // At the onset the fault is active: dense until it clears.
+        s.step();
+        assert_eq!(s.try_leap(10_000), 0);
     }
 }

@@ -183,6 +183,23 @@ impl<D: StorageDevice> Bank<D> {
             .filter_map(|(d, &q)| (!q).then_some(d))
     }
 
+    /// Whether an offered charge would move no energy through this bank:
+    /// every in-service member is full with zero charge acceptance.
+    ///
+    /// In this state `Bank::charge` with any positive offer reduces to
+    /// exactly one [`StorageDevice::idle`] per member (in-service
+    /// members through their own full-device charge path, quarantined
+    /// members through the untouched-member sweep), which is what lets
+    /// the event core fast-forward quiet spans without calling the
+    /// dispatch machinery per tick.
+    #[must_use]
+    pub fn charge_quiescent(&self) -> bool {
+        self.devices
+            .iter()
+            .zip(self.quarantined.iter())
+            .all(|(d, &q)| q || (d.is_full() && d.max_charge_power().get() <= 0.0))
+    }
+
     /// Splits `total` across members proportionally to `weight`, calls
     /// `f` per member, and re-offers any shortfall to members the first
     /// pass did not touch. A member is driven **at most once per call**
@@ -405,6 +422,24 @@ mod tests {
         assert!(bank.discharge(Watts::new(100.0), TICK).is_empty());
         assert!(bank.charge(Watts::new(100.0), TICK).is_empty());
         assert_eq!(bank.open_circuit_voltage(), Volts::zero());
+    }
+
+    #[test]
+    fn charge_quiescence_tracks_headroom_and_quarantine() {
+        let mut bank = sc_bank(2);
+        // Factory-full modules accept nothing: quiescent.
+        assert!(bank.charge_quiescent());
+        // Drain one member; it now has headroom and a nonzero charge cap.
+        let _ = bank.devices_mut()[0].discharge(Watts::new(100.0), TICK);
+        assert!(!bank.charge_quiescent());
+        // Quarantining the drained member removes it from dispatch, so
+        // the bank is quiescent again even though the member could charge.
+        assert!(bank.quarantine(0));
+        assert!(bank.charge_quiescent());
+        assert!(bank.restore(0));
+        assert!(!bank.charge_quiescent());
+        // An empty bank has nothing to charge.
+        assert!(Bank::<SuperCapacitor>::empty().charge_quiescent());
     }
 
     #[test]

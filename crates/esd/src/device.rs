@@ -155,6 +155,38 @@ pub trait StorageDevice {
     /// well).
     fn idle(&mut self, dt: Seconds);
 
+    /// Performs one [`StorageDevice::idle`] step and reports whether the
+    /// device's *feedback* state — everything that influences future
+    /// charge/discharge behaviour — ended bitwise-identical to where it
+    /// started. Pure time accumulators (calendar-life clocks, cycle
+    /// counters) are excluded: they keep advancing but never feed back
+    /// into the physics.
+    ///
+    /// Once this returns `true`, every further idle of the same `dt` is
+    /// guaranteed to leave the feedback state untouched (the update is a
+    /// pure function of that state), so a caller may replay the
+    /// remaining idles of a quiet span with
+    /// [`StorageDevice::idle_accumulate`]. The default implementation is
+    /// conservative: it idles and reports `false`, which keeps unknown
+    /// chemistries on the exact per-tick path.
+    fn idle_settled(&mut self, dt: Seconds) -> bool {
+        self.idle(dt);
+        false
+    }
+
+    /// Replays only the pure-accumulator portion of `n` idle steps —
+    /// the part of [`StorageDevice::idle`] that is not covered by a
+    /// settled feedback state. Callers must only use this after
+    /// [`StorageDevice::idle_settled`] returned `true` for the same
+    /// `dt`; the result is then bitwise-identical to `n` further
+    /// [`StorageDevice::idle`] calls. The default implementation simply
+    /// performs the full idles, which is always correct.
+    fn idle_accumulate(&mut self, dt: Seconds, n: u64) {
+        for _ in 0..n {
+            self.idle(dt);
+        }
+    }
+
     /// Whether the device can still deliver meaningful power (not
     /// depleted to its DoD floor).
     fn is_depleted(&self) -> bool {

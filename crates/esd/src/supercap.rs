@@ -318,6 +318,15 @@ impl StorageDevice for SuperCapacitor {
         // Self-discharge is negligible on control-loop timescales.
     }
 
+    fn idle_settled(&mut self, _dt: Seconds) -> bool {
+        // idle() is a no-op, so the state is trivially settled.
+        true
+    }
+
+    fn idle_accumulate(&mut self, _dt: Seconds, _n: u64) {
+        // No accumulators advance during idle.
+    }
+
     fn degrade(&mut self, capacity_fade: Ratio, resistance_growth: f64) {
         // Electrolyte dry-out: capacitance fades and ESR grows. The
         // terminal voltage is unchanged, so stored energy scales down

@@ -43,7 +43,7 @@ use heb_core::{Scenario, SimConfig};
 use heb_fleet::Failpoints;
 use heb_fleet::{
     replicate, FleetEngine, FsyncPolicy, HardenPolicy, MetricSummary, ResultCache, RunJournal,
-    StateCounts,
+    RunPolicy, StateCounts,
 };
 use heb_telemetry::{JsonlRecorder, Metrics};
 use heb_units::Watts;
@@ -475,7 +475,7 @@ fn fleet_main() -> i32 {
         }
         let before = engine.stats();
         let start = Instant::now();
-        let outcome = engine.run_hardened(batch, journal.as_ref());
+        let outcome = engine.run(batch, &RunPolicy::new().maybe_journal(journal.as_ref()));
         let elapsed = start.elapsed();
         let after = engine.stats();
         grand_scenarios += batch.len();

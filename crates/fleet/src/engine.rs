@@ -14,10 +14,14 @@
 //! one scenario panicking cannot poison its siblings or the engine.
 //! Failures are classified ([`ScenarioFailure`]), retried on a
 //! seed-deterministic backoff schedule ([`HardenPolicy`]), and finally
-//! quarantined. [`FleetEngine::run_hardened`] returns the full
-//! per-scenario accounting; [`FleetEngine::run`] keeps the historical
-//! panicking contract on top of it. An optional [`RunJournal`] makes
-//! runs crash-safe and resumable, and the attached cache degrades
+//! quarantined.
+//!
+//! There is one entry point: [`FleetEngine::run`] takes a
+//! [`RunPolicy`] (per-run overrides of the engine's robustness knobs
+//! plus the optional crash-safe [`RunJournal`]) and returns a
+//! [`RunOutcome`] accounting for every scenario. The historical
+//! reports-or-panic contract is an explicit opt-in via
+//! [`RunOutcome::expect_reports`]. The attached cache degrades
 //! (read-write → read-only → disabled) instead of erroring.
 
 // heb-analyze: allow(HEB003, imports the unwind-isolation primitives; the import itself panics nothing)
@@ -35,7 +39,8 @@ use crate::failpoint::site;
 #[cfg(feature = "failpoints")]
 use crate::failpoint::Failpoints;
 use crate::harden::{
-    HardenPolicy, ReportSource, RunOutcome, ScenarioFailure, ScenarioOutcome, ScenarioState,
+    HardenPolicy, ReportSource, RunOutcome, RunPolicy, ScenarioFailure, ScenarioOutcome,
+    ScenarioState,
 };
 use crate::journal::RunJournal;
 
@@ -218,57 +223,34 @@ impl FleetEngine {
         }
     }
 
-    /// Executes `batch`, returning one report per scenario in
-    /// submission order — bit-identical to running the batch serially.
+    /// Executes `batch` under `policy` — the engine's single entry
+    /// point, replacing the old `run` / `run_one` / `run_hardened`
+    /// trio.
     ///
     /// Cached scenarios are replayed without simulating; the rest are
-    /// spread across the worker pool and their fresh results persisted.
-    /// This is [`FleetEngine::run_hardened`] with the historical
-    /// contract layered on top: the whole batch still executes (so
-    /// sibling results and cache writes land), then the first failure
-    /// is re-raised.
+    /// spread across the worker pool in submission order, bit-identical
+    /// to serial execution at any worker count. Panics are isolated per
+    /// attempt, failures retried then quarantined, and — when the
+    /// policy attaches a journal — progress is persisted so an
+    /// interrupted run resumes bit-identically. Knobs the policy leaves
+    /// unset inherit [`FleetEngine::with_policy`].
     ///
-    /// # Panics
-    ///
-    /// Panics if a scenario fails terminally (the same panic
-    /// [`Scenario::run_expect`] raises serially).
+    /// The returned [`RunOutcome`] accounts for every scenario; call
+    /// [`RunOutcome::expect_reports`] for the historical
+    /// reports-or-panic contract.
     #[must_use]
-    pub fn run(&self, batch: &[Scenario]) -> Vec<SimReport> {
-        let outcome = self.run_hardened(batch, None);
-        let Some(reports) = outcome.reports() else {
-            let mut payload = String::from("fleet run failed");
-            for o in &outcome.outcomes {
-                if o.state == ScenarioState::Done {
-                    continue;
-                }
-                payload = match &o.failure {
-                    // A worker panic's payload already carries the
-                    // `scenario "label": …` format from run_expect.
-                    Some(ScenarioFailure::Panic { message }) => message.clone(),
-                    Some(ScenarioFailure::Error { message }) => {
-                        format!("scenario {:?}: {message}", o.label)
-                    }
-                    Some(failure) => format!("scenario {:?}: {failure}", o.label),
-                    None => format!("scenario {:?}: did not complete", o.label),
-                };
-                break;
-            }
-            // heb-analyze: allow(HEB003, documented re-raise preserving run()'s historical panicking contract)
-            std::panic::resume_unwind(Box::new(payload));
-        };
-        reports
+    pub fn run(&self, batch: &[Scenario], policy: &RunPolicy) -> RunOutcome {
+        self.execute(batch, policy.resolve(self.policy), policy.journal_ref())
     }
 
-    /// Executes one scenario under the robustness policy and returns
-    /// its terminal outcome — the capacity-advisor service's unit of
-    /// work. Equivalent to [`FleetEngine::run_hardened`] with a
-    /// single-element batch and no journal: the cache is probed first,
-    /// failures are retried per the [`HardenPolicy`], and a scenario
-    /// that exhausts its attempts comes back quarantined instead of
-    /// panicking.
+    /// Executes one scenario and returns its terminal outcome.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run` with a single-scenario batch and a `RunPolicy`"
+    )]
     #[must_use]
     pub fn run_one(&self, scenario: &Scenario) -> ScenarioOutcome {
-        let mut outcome = self.run_hardened(std::slice::from_ref(scenario), None);
+        let mut outcome = self.run(std::slice::from_ref(scenario), &RunPolicy::new());
         outcome.outcomes.pop().unwrap_or(ScenarioOutcome {
             index: 0,
             label: scenario.label().to_string(),
@@ -281,13 +263,24 @@ impl FleetEngine {
         })
     }
 
-    /// Executes `batch` under the robustness policy, accounting for
-    /// every scenario instead of panicking: panics are isolated per
-    /// attempt, failures retried then quarantined, and — when a
-    /// journal is attached — progress is persisted so an interrupted
-    /// run resumes bit-identically.
+    /// Executes `batch` under the engine's robustness policy.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run` with `RunPolicy::new().maybe_journal(journal)`"
+    )]
     #[must_use]
     pub fn run_hardened(&self, batch: &[Scenario], journal: Option<&RunJournal>) -> RunOutcome {
+        self.run(batch, &RunPolicy::new().maybe_journal(journal))
+    }
+
+    /// The probe / simulate / merge pipeline behind [`FleetEngine::run`],
+    /// with the per-run effective policy already resolved.
+    fn execute(
+        &self,
+        batch: &[Scenario],
+        policy: HardenPolicy,
+        journal: Option<&RunJournal>,
+    ) -> RunOutcome {
         self.count_tmp_once();
         if let Some(journal) = journal {
             journal.record_batch_open(batch);
@@ -360,8 +353,8 @@ impl FleetEngine {
             let Some(&index) = pending.get(next) else {
                 break;
             };
-            let outcome = self.run_scenario(&batch[index], journal);
-            if outcome.result.is_err() && self.policy.fail_fast {
+            let outcome = self.run_scenario(&batch[index], policy, journal);
+            if outcome.result.is_err() && policy.fail_fast {
                 abort.store(true, Ordering::Relaxed);
             }
             // A poisoned slot means another worker panicked through the
@@ -480,7 +473,12 @@ impl FleetEngine {
     /// Runs one scenario to a terminal per-scenario result: attempts
     /// under `catch_unwind`, deterministic backoff between retries,
     /// quarantine when the budget is exhausted.
-    fn run_scenario(&self, scenario: &Scenario, journal: Option<&RunJournal>) -> SlotOutcome {
+    fn run_scenario(
+        &self,
+        scenario: &Scenario,
+        policy: HardenPolicy,
+        journal: Option<&RunJournal>,
+    ) -> SlotOutcome {
         self.stats.simulated.fetch_add(1, Ordering::Relaxed);
         let hash = scenario.hash_hex();
         let hash128 = scenario.content_hash();
@@ -503,7 +501,7 @@ impl FleetEngine {
                 None => (false, false),
             };
             let start = hist.as_ref().map(|_| std::time::Instant::now());
-            let result = run_attempt(scenario, inject_panic, stall, self.policy.timeout_ms);
+            let result = run_attempt(scenario, inject_panic, stall, policy.timeout_ms);
             if let (Some(hist), Some(start)) = (&hist, start) {
                 hist.observe(start.elapsed().as_secs_f64());
             }
@@ -522,8 +520,8 @@ impl FleetEngine {
                     if let Some(journal) = journal {
                         journal.record_state(&hash, ScenarioState::Failed, attempt, Some(&reason));
                     }
-                    if attempt < self.policy.max_attempts() {
-                        let backoff = self.policy.backoff_ms(hash128, attempt);
+                    if attempt < policy.max_attempts() {
+                        let backoff = policy.backoff_ms(hash128, attempt);
                         self.stats.retries.fetch_add(1, Ordering::Relaxed);
                         self.emit(|| FleetEvent::RetryScheduled {
                             scenario: scenario.label().to_string(),
@@ -655,7 +653,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 impl ScenarioRunner for FleetEngine {
     fn run_batch(&self, batch: &[Scenario]) -> Vec<SimReport> {
-        self.run(batch)
+        self.run(batch, &RunPolicy::new()).expect_reports()
     }
 }
 
@@ -691,7 +689,7 @@ mod tests {
         let batch = batch();
         let serial = SerialRunner.run_batch(&batch);
         let engine = FleetEngine::new(4);
-        let parallel = engine.run(&batch);
+        let parallel = engine.run(&batch, &RunPolicy::new()).expect_reports();
         assert_eq!(parallel, serial);
         let stats = engine.stats();
         assert_eq!(stats.simulated, batch.len());
@@ -703,7 +701,10 @@ mod tests {
     #[test]
     fn empty_batch_is_a_no_op() {
         let engine = FleetEngine::new(4);
-        assert!(engine.run(&[]).is_empty());
+        assert!(engine
+            .run(&[], &RunPolicy::new())
+            .expect_reports()
+            .is_empty());
         assert_eq!(engine.stats(), EngineStats::default());
     }
 
@@ -717,7 +718,7 @@ mod tests {
         let metrics = Arc::new(Metrics::new());
         let engine = FleetEngine::new(2).with_metrics(Arc::clone(&metrics));
         let batch = batch();
-        let reports = engine.run(&batch);
+        let reports = engine.run(&batch, &RunPolicy::new()).expect_reports();
         assert_eq!(reports.len(), batch.len());
         let snap = metrics.snapshot();
         assert_eq!(snap.counter("fleet.scenarios"), Some(batch.len() as u64));
@@ -738,19 +739,19 @@ mod tests {
     #[test]
     fn metrics_do_not_perturb_results() {
         let batch = batch();
-        let plain = FleetEngine::new(3).run(&batch);
+        let plain = FleetEngine::new(3).run(&batch, &RunPolicy::new());
         let instrumented = FleetEngine::new(3)
             .with_metrics(Arc::new(Metrics::new()))
-            .run(&batch);
+            .run(&batch, &RunPolicy::new());
         assert_eq!(plain, instrumented);
     }
 
     #[test]
-    fn run_hardened_quarantines_failures_without_poisoning_siblings() {
+    fn run_quarantines_failures_without_poisoning_siblings() {
         let mut batch = batch();
         batch.insert(1, failing_scenario("engine-test/broken"));
         let engine = FleetEngine::new(3);
-        let outcome = engine.run_hardened(&batch, None);
+        let outcome = engine.run(&batch, &RunPolicy::new());
         assert!(!outcome.aborted);
         let counts = outcome.counts();
         assert_eq!(counts.done, batch.len() - 1, "siblings must all finish");
@@ -765,16 +766,18 @@ mod tests {
         assert!(outcome.reports().is_none());
         assert_eq!(engine.stats().quarantined, 1);
         // The engine is still usable after a quarantine.
-        assert_eq!(engine.run_hardened(&batch[..1], None).counts().done, 1);
+        assert_eq!(engine.run(&batch[..1], &RunPolicy::new()).counts().done, 1);
     }
 
     #[test]
     fn retries_are_counted_and_bounded() {
-        let engine = FleetEngine::new(1).with_policy(HardenPolicy {
-            max_retries: 2,
-            ..HardenPolicy::default()
-        });
-        let outcome = engine.run_hardened(&[failing_scenario("engine-test/retry")], None);
+        // The per-run policy supplies the retry budget; the engine
+        // default (zero retries) is overridden for this call only.
+        let engine = FleetEngine::new(1);
+        let outcome = engine.run(
+            &[failing_scenario("engine-test/retry")],
+            &RunPolicy::new().retries(2),
+        );
         assert_eq!(outcome.outcomes[0].attempts, 3, "1 attempt + 2 retries");
         assert_eq!(outcome.outcomes[0].state, ScenarioState::Quarantined);
         assert_eq!(engine.stats().retries, 2);
@@ -788,7 +791,7 @@ mod tests {
             fail_fast: true,
             ..HardenPolicy::default()
         });
-        let outcome = engine.run_hardened(&scenarios, None);
+        let outcome = engine.run(&scenarios, &RunPolicy::new());
         assert!(outcome.aborted);
         let counts = outcome.counts();
         assert_eq!(counts.quarantined, 1);
@@ -803,8 +806,10 @@ mod tests {
         let engine = FleetEngine::new(2);
         let mut scenarios = batch();
         scenarios.push(failing_scenario("engine-test/raise"));
-        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| engine.run(&scenarios)));
-        let payload = caught.expect_err("run must re-raise the failure");
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            engine.run(&scenarios, &RunPolicy::new()).expect_reports()
+        }));
+        let payload = caught.expect_err("expect_reports must re-raise the failure");
         let message = panic_message(payload.as_ref());
         assert_eq!(
             message, "scenario \"engine-test/raise\": need at least one workload",
@@ -823,11 +828,8 @@ mod tests {
             20.0,
             11,
         );
-        let engine = FleetEngine::new(1).with_policy(HardenPolicy {
-            timeout_ms: Some(1),
-            ..HardenPolicy::default()
-        });
-        let outcome = engine.run_hardened(std::slice::from_ref(&slow), None);
+        let engine = FleetEngine::new(1);
+        let outcome = engine.run(std::slice::from_ref(&slow), &RunPolicy::new().timeout_ms(1));
         assert_eq!(
             outcome.outcomes[0].failure,
             Some(ScenarioFailure::Timeout { limit_ms: 1 })
@@ -839,12 +841,41 @@ mod tests {
     fn hardened_path_is_bit_identical_to_serial() {
         let batch = batch();
         let serial = SerialRunner.run_batch(&batch);
-        let outcome = FleetEngine::new(4).run_hardened(&batch, None);
+        let outcome = FleetEngine::new(4).run(&batch, &RunPolicy::new());
         assert!(outcome.all_done());
         assert_eq!(outcome.reports(), Some(serial));
         assert!(outcome
             .outcomes
             .iter()
             .all(|o| o.source == ReportSource::Simulated && o.attempts == 1));
+    }
+
+    #[test]
+    fn run_policy_inherits_then_overrides_the_engine_policy() {
+        let engine = FleetEngine::new(1).with_policy(HardenPolicy {
+            max_retries: 2,
+            ..HardenPolicy::default()
+        });
+        let batch = [failing_scenario("engine-test/inherit")];
+        // Unset knobs inherit the engine policy: 1 attempt + 2 retries.
+        let inherited = engine.run(&batch, &RunPolicy::new());
+        assert_eq!(inherited.outcomes[0].attempts, 3);
+        // A per-run override wins over the engine policy for that call.
+        let overridden = engine.run(&batch, &RunPolicy::new().retries(0));
+        assert_eq!(overridden.outcomes[0].attempts, 1);
+        // The engine policy itself is untouched.
+        assert_eq!(engine.policy().max_retries, 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_the_single_entry_point() {
+        let batch = batch();
+        let engine = FleetEngine::new(2);
+        let via_run = engine.run(&batch, &RunPolicy::new());
+        assert_eq!(engine.run_hardened(&batch, None), via_run);
+        let single = engine.run_one(&batch[0]);
+        assert_eq!(single.state, ScenarioState::Done);
+        assert_eq!(single.report, via_run.outcomes[0].report);
     }
 }

@@ -15,6 +15,8 @@ use std::fmt;
 use heb_core::SimReport;
 use heb_rng::splitmix64;
 
+use crate::journal::RunJournal;
+
 /// Why one scenario attempt (or the scenario terminally) failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScenarioFailure {
@@ -159,6 +161,115 @@ impl HardenPolicy {
     }
 }
 
+/// Per-run execution policy: the builder consumed by the fleet
+/// engine's single entry point, `FleetEngine::run`.
+///
+/// A `RunPolicy` absorbs the [`HardenPolicy`] knobs (retries, backoff,
+/// watchdog, fail-fast) plus the optional crash-safe [`RunJournal`].
+/// Every knob is an *override*: a field left unset inherits the
+/// engine's configured [`HardenPolicy`] (see
+/// `FleetEngine::with_policy`), so `RunPolicy::new()` runs exactly the
+/// way the engine was built to run. The historical panicking contract
+/// of the old `run` lives on [`RunOutcome::expect_reports`], not here.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunPolicy<'a> {
+    max_retries: Option<u32>,
+    backoff_base_ms: Option<u64>,
+    timeout_ms: Option<Option<u64>>,
+    fail_fast: Option<bool>,
+    journal: Option<&'a RunJournal>,
+}
+
+impl<'a> RunPolicy<'a> {
+    /// A policy that inherits every knob from the engine and attaches
+    /// no journal — the drop-in equivalent of the old `run_hardened`
+    /// with `journal: None`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides every robustness knob at once from a [`HardenPolicy`].
+    #[must_use]
+    pub fn harden(mut self, policy: HardenPolicy) -> Self {
+        self.max_retries = Some(policy.max_retries);
+        self.backoff_base_ms = Some(policy.backoff_base_ms);
+        self.timeout_ms = Some(policy.timeout_ms);
+        self.fail_fast = Some(policy.fail_fast);
+        self
+    }
+
+    /// Overrides the retry budget (retries after the first attempt).
+    #[must_use]
+    pub fn retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = Some(max_retries);
+        self
+    }
+
+    /// Overrides the base backoff between retries, in milliseconds.
+    #[must_use]
+    pub fn backoff_base_ms(mut self, ms: u64) -> Self {
+        self.backoff_base_ms = Some(ms);
+        self
+    }
+
+    /// Overrides the per-scenario watchdog limit, in milliseconds.
+    #[must_use]
+    pub fn timeout_ms(mut self, ms: u64) -> Self {
+        self.timeout_ms = Some(Some(ms));
+        self
+    }
+
+    /// Disables the watchdog even if the engine configures one.
+    #[must_use]
+    pub fn no_timeout(mut self) -> Self {
+        self.timeout_ms = Some(None);
+        self
+    }
+
+    /// Overrides fail-fast scheduling (stop after the first
+    /// quarantine).
+    #[must_use]
+    pub fn fail_fast(mut self, fail_fast: bool) -> Self {
+        self.fail_fast = Some(fail_fast);
+        self
+    }
+
+    /// Attaches a crash-safe run journal: progress is persisted so an
+    /// interrupted run resumes bit-identically.
+    #[must_use]
+    pub fn journal(mut self, journal: &'a RunJournal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// [`RunPolicy::journal`] taking an `Option` — convenient for
+    /// callers whose journal is itself optional.
+    #[must_use]
+    pub fn maybe_journal(mut self, journal: Option<&'a RunJournal>) -> Self {
+        self.journal = journal;
+        self
+    }
+
+    /// The attached journal, if any.
+    #[must_use]
+    pub fn journal_ref(&self) -> Option<&'a RunJournal> {
+        self.journal
+    }
+
+    /// Folds the overrides onto `base` (the engine's configured
+    /// policy), producing the effective [`HardenPolicy`] for one run.
+    #[must_use]
+    pub fn resolve(&self, base: HardenPolicy) -> HardenPolicy {
+        HardenPolicy {
+            max_retries: self.max_retries.unwrap_or(base.max_retries),
+            backoff_base_ms: self.backoff_base_ms.unwrap_or(base.backoff_base_ms),
+            timeout_ms: self.timeout_ms.unwrap_or(base.timeout_ms),
+            fail_fast: self.fail_fast.unwrap_or(base.fail_fast),
+        }
+    }
+}
+
 /// How a scenario's report was obtained (or why it is absent).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReportSource {
@@ -241,6 +352,42 @@ impl RunOutcome {
     #[must_use]
     pub fn reports(&self) -> Option<Vec<SimReport>> {
         self.outcomes.iter().map(|o| o.report.clone()).collect()
+    }
+
+    /// The reports in submission order, panicking on the first
+    /// failure — the historical contract of the pre-redesign
+    /// `FleetEngine::run`, now an explicit opt-in at the call site.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first non-`Done` scenario's failure with the same
+    /// payload [`heb_core::Scenario::run_expect`] would raise serially:
+    /// a worker panic's message verbatim, a typed error as
+    /// `scenario "label": message`.
+    #[must_use]
+    pub fn expect_reports(self) -> Vec<SimReport> {
+        if let Some(reports) = self.reports() {
+            return reports;
+        }
+        let mut payload = String::from("fleet run failed");
+        for o in &self.outcomes {
+            if o.state == ScenarioState::Done {
+                continue;
+            }
+            payload = match &o.failure {
+                // A worker panic's payload already carries the
+                // `scenario "label": …` format from run_expect.
+                Some(ScenarioFailure::Panic { message }) => message.clone(),
+                Some(ScenarioFailure::Error { message }) => {
+                    format!("scenario {:?}: {message}", o.label)
+                }
+                Some(failure) => format!("scenario {:?}: {failure}", o.label),
+                None => format!("scenario {:?}: did not complete", o.label),
+            };
+            break;
+        }
+        // heb-analyze: allow(HEB003, documented re-raise preserving the historical reports-or-panic contract)
+        std::panic::resume_unwind(Box::new(payload));
     }
 
     /// One-line per-state summary, e.g. `12 done, 1 quarantined`.
@@ -327,6 +474,92 @@ mod tests {
             assert!(failure.to_string().contains(needle));
             assert!(!failure.kind().is_empty());
         }
+    }
+
+    #[test]
+    fn run_policy_defaults_inherit_the_base_policy() {
+        let base = HardenPolicy {
+            max_retries: 3,
+            backoff_base_ms: 7,
+            timeout_ms: Some(250),
+            fail_fast: true,
+        };
+        assert_eq!(RunPolicy::new().resolve(base), base);
+        assert!(RunPolicy::new().journal_ref().is_none());
+    }
+
+    #[test]
+    fn run_policy_overrides_fold_per_field() {
+        let base = HardenPolicy {
+            max_retries: 3,
+            backoff_base_ms: 7,
+            timeout_ms: Some(250),
+            fail_fast: true,
+        };
+        let resolved = RunPolicy::new().retries(0).no_timeout().resolve(base);
+        assert_eq!(resolved.max_retries, 0, "overridden");
+        assert_eq!(resolved.timeout_ms, None, "watchdog disabled");
+        assert_eq!(resolved.backoff_base_ms, 7, "inherited");
+        assert!(resolved.fail_fast, "inherited");
+        let replaced = HardenPolicy {
+            max_retries: 1,
+            backoff_base_ms: 0,
+            timeout_ms: None,
+            fail_fast: false,
+        };
+        assert_eq!(
+            RunPolicy::new()
+                .harden(replaced)
+                .timeout_ms(9)
+                .resolve(base),
+            HardenPolicy {
+                timeout_ms: Some(9),
+                ..replaced
+            },
+            "harden() replaces every knob, later setters still win"
+        );
+    }
+
+    #[test]
+    fn expect_reports_returns_reports_when_all_done() {
+        let run = RunOutcome {
+            outcomes: vec![],
+            aborted: false,
+        };
+        assert!(run.expect_reports().is_empty());
+    }
+
+    #[test]
+    fn expect_reports_re_raises_the_first_failure() {
+        let outcome = |label: &str, failure| ScenarioOutcome {
+            index: 0,
+            label: label.into(),
+            hash: "h".into(),
+            state: ScenarioState::Quarantined,
+            attempts: 1,
+            source: ReportSource::None,
+            report: None,
+            failure: Some(failure),
+        };
+        let run = RunOutcome {
+            outcomes: vec![
+                outcome(
+                    "h/first",
+                    ScenarioFailure::Error {
+                        message: "need at least one workload".into(),
+                    },
+                ),
+                outcome("h/second", ScenarioFailure::Aborted),
+            ],
+            aborted: false,
+        };
+        let caught = std::panic::catch_unwind(move || run.expect_reports());
+        let payload = caught.expect_err("must re-raise");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("string payload")
+            .clone();
+        assert_eq!(message, "scenario \"h/first\": need at least one workload");
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //!
 //! * [`FleetEngine`] — a fixed worker pool executing a batch with
 //!   results in submission order, bit-identical to serial execution at
-//!   any `--jobs` level;
+//!   any `--jobs` level; its single entry point [`FleetEngine::run`]
+//!   takes a per-run [`RunPolicy`] and returns a [`RunOutcome`];
 //! * [`ResultCache`] — an on-disk store keyed by scenario content hash
 //!   and engine version, so re-running an experiment whose inputs are
 //!   unchanged performs zero simulations;
@@ -28,8 +29,8 @@
 //! # Examples
 //!
 //! ```
-//! use heb_core::{Scenario, ScenarioRunner, SimConfig};
-//! use heb_fleet::FleetEngine;
+//! use heb_core::{Scenario, SimConfig};
+//! use heb_fleet::{FleetEngine, RunPolicy};
 //! use heb_workload::Archetype;
 //!
 //! let batch: Vec<Scenario> = (0..4)
@@ -44,8 +45,9 @@
 //!     })
 //!     .collect();
 //! let engine = FleetEngine::new(2);
-//! let reports = engine.run_batch(&batch);
-//! assert_eq!(reports.len(), 4);
+//! let outcome = engine.run(&batch, &RunPolicy::new());
+//! assert!(outcome.all_done());
+//! assert_eq!(outcome.expect_reports().len(), 4);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -65,7 +67,7 @@ pub use degrade::{CacheMode, DegradableCache, Degradation};
 pub use engine::{EngineStats, FleetEngine};
 pub use failpoint::{site, Failpoints};
 pub use harden::{
-    HardenPolicy, ReportSource, RunOutcome, ScenarioFailure, ScenarioOutcome, ScenarioState,
-    StateCounts,
+    HardenPolicy, ReportSource, RunOutcome, RunPolicy, ScenarioFailure, ScenarioOutcome,
+    ScenarioState, StateCounts,
 };
 pub use journal::{FsyncPolicy, RunJournal, MANIFEST_FILE};

@@ -8,7 +8,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use heb_core::{FaultEvent, FaultKind, FaultSchedule, PowerMode, Scenario, SimConfig};
-use heb_fleet::{FleetEngine, ResultCache};
+use heb_fleet::{FleetEngine, ResultCache, RunPolicy};
 use heb_units::{Ratio, Seconds, Watts};
 use heb_workload::{Archetype, PowerTrace};
 
@@ -93,14 +93,18 @@ fn changed_field_misses_and_restored_field_hits_the_original() {
     let cache = ResultCache::new(&root);
     let original = base_scenario();
     let engine = FleetEngine::new(2).with_cache(cache.clone());
-    let first = engine.run(std::slice::from_ref(&original));
+    let first = engine
+        .run(std::slice::from_ref(&original), &RunPolicy::new())
+        .expect_reports();
     assert_eq!(engine.stats().cache_writes, 1);
 
     // A tweaked seed is a different scenario: the cache must not serve
     // the old report for it.
     let tweaked = original.clone().with_seed(100);
     assert!(cache.load(&tweaked).is_none(), "tweaked scenario must miss");
-    let second = engine.run(std::slice::from_ref(&tweaked));
+    let second = engine
+        .run(std::slice::from_ref(&tweaked), &RunPolicy::new())
+        .expect_reports();
     assert_eq!(engine.stats().simulated, 2, "the tweak forces a re-run");
     assert_ne!(second[0], first[0], "a new seed yields a new report");
 
@@ -108,7 +112,9 @@ fn changed_field_misses_and_restored_field_hits_the_original() {
     // comes back bit-exactly, with no simulation.
     let restored = tweaked.with_seed(99);
     assert_eq!(restored.content_hash(), original.content_hash());
-    let third = engine.run(std::slice::from_ref(&restored));
+    let third = engine
+        .run(std::slice::from_ref(&restored), &RunPolicy::new())
+        .expect_reports();
     assert_eq!(
         third[0], first[0],
         "restored scenario must replay the original"
@@ -123,7 +129,7 @@ fn changed_field_misses_and_restored_field_hits_the_original() {
 fn no_cache_engine_never_touches_disk() {
     let root = temp_root("nodisk");
     let engine = FleetEngine::new(2);
-    let _ = engine.run(&[base_scenario()]);
+    let _ = engine.run(&[base_scenario()], &RunPolicy::new());
     assert!(
         !root.exists(),
         "an engine without a cache must not create cache directories"

@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use heb_core::{Scenario, SimConfig, SimReport};
-use heb_fleet::{FleetEngine, ResultCache, ScenarioState};
+use heb_fleet::{FleetEngine, ResultCache, RunPolicy, ScenarioState};
 use heb_workload::Archetype;
 
 fn temp_root(tag: &str) -> PathBuf {
@@ -57,7 +57,7 @@ fn two_engines_share_one_cache_directory_concurrently() {
         let cache = ResultCache::new(&root);
         std::thread::spawn(move || {
             let engine = FleetEngine::new(2).with_cache(cache);
-            let outcome = engine.run_hardened(&order, None);
+            let outcome = engine.run(&order, &RunPolicy::new());
             (reports_of(&outcome), order, engine.stats())
         })
     };
@@ -184,7 +184,7 @@ fn attach_time_sweep_reclaims_a_crashed_writers_litter() {
             let order = scenarios.clone();
             std::thread::spawn(move || {
                 let engine = FleetEngine::new(2).with_cache(cache);
-                let outcome = engine.run_hardened(&order, None);
+                let outcome = engine.run(&order, &RunPolicy::new());
                 (reports_of(&outcome).len(), engine.stats())
             })
         })

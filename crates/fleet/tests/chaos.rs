@@ -13,6 +13,7 @@ use heb_core::experiments::outage_scenarios;
 use heb_core::{Scenario, ScenarioRunner, SerialRunner, SimConfig};
 use heb_fleet::{
     CacheMode, Failpoints, FleetEngine, FsyncPolicy, HardenPolicy, ResultCache, RunJournal,
+    RunPolicy,
 };
 use heb_telemetry::{Event, FleetEvent, RingRecorder};
 use heb_units::Watts;
@@ -47,7 +48,7 @@ fn kill_and_resume_is_bit_identical_at_any_jobs() {
                 .unwrap()
                 .with_failpoints(Arc::clone(&failpoints));
             let engine = FleetEngine::new(jobs).with_failpoints(failpoints);
-            let outcome = engine.run_hardened(&batch, Some(&journal));
+            let outcome = engine.run(&batch, &RunPolicy::new().journal(&journal));
             assert!(outcome.aborted, "jobs={jobs}: the kill must land");
             assert!(
                 outcome.counts().done < batch.len(),
@@ -59,7 +60,7 @@ fn kill_and_resume_is_bit_identical_at_any_jobs() {
         // to the exact uninterrupted result.
         let journal = RunJournal::resume(&runs, "r", FsyncPolicy::Never).unwrap();
         let engine = FleetEngine::new(jobs);
-        let outcome = engine.run_hardened(&batch, Some(&journal));
+        let outcome = engine.run(&batch, &RunPolicy::new().journal(&journal));
         assert!(outcome.all_done(), "jobs={jobs}");
         assert_eq!(
             outcome.reports(),
@@ -91,7 +92,7 @@ fn injected_worker_panic_is_retried_and_recovered() {
         })
         .with_recorder(ring.clone())
         .with_failpoints(Arc::clone(&failpoints));
-    let outcome = engine.run_hardened(&batch, None);
+    let outcome = engine.run(&batch, &RunPolicy::new());
     assert!(
         failpoints.fired(heb_fleet::site::WORKER_PANIC) > 0,
         "the storm must actually panic some attempts"
@@ -120,7 +121,7 @@ fn cache_io_storm_degrades_to_no_cache_and_completes() {
     // Warm the cache so the storm has reads to corrupt.
     assert!(FleetEngine::new(2)
         .with_cache(ResultCache::new(&cache_root))
-        .run_hardened(&batch, None)
+        .run(&batch, &RunPolicy::new())
         .all_done());
 
     // Storm: every cache read fails — the first two as I/O errors,
@@ -131,7 +132,7 @@ fn cache_io_storm_degrades_to_no_cache_and_completes() {
         .with_cache(ResultCache::new(&cache_root))
         .with_recorder(ring.clone())
         .with_failpoints(fp("cache.load.io=1:2,cache.load.corrupt=1+"));
-    let outcome = engine.run_hardened(&batch, None);
+    let outcome = engine.run(&batch, &RunPolicy::new());
     assert!(outcome.all_done(), "the storm must not lose a scenario");
     assert_eq!(
         outcome.reports(),
@@ -167,7 +168,7 @@ fn journal_append_failure_degrades_observability_not_results() {
         .unwrap()
         .with_failpoints(failpoints);
     let engine = FleetEngine::new(2);
-    let outcome = engine.run_hardened(&batch, Some(&journal));
+    let outcome = engine.run(&batch, &RunPolicy::new().journal(&journal));
     assert!(outcome.all_done(), "a sick journal must not fail the run");
     assert!(!journal.healthy(), "the sickness must be surfaced");
     assert_eq!(
@@ -191,7 +192,7 @@ fn every_scenario_is_accounted_for_in_the_manifest_after_a_storm() {
             ..HardenPolicy::default()
         })
         .with_failpoints(fp("worker.panic=2:3"));
-    let outcome = engine.run_hardened(&batch, Some(&journal));
+    let outcome = engine.run(&batch, &RunPolicy::new().journal(&journal));
     assert!(outcome.all_done());
     let manifest = fs::read_to_string(runs.join("r").join(heb_fleet::MANIFEST_FILE)).unwrap();
     for scenario in &batch {

@@ -7,7 +7,7 @@ use std::path::PathBuf;
 
 use heb_core::experiments::{outage_scenarios, scheme_comparison_scenarios, valley_scenarios};
 use heb_core::{Scenario, ScenarioRunner, SerialRunner, SimConfig};
-use heb_fleet::{FleetEngine, ResultCache};
+use heb_fleet::{FleetEngine, ResultCache, RunPolicy};
 use heb_units::Watts;
 
 /// A fresh cache root unique to this test run.
@@ -37,7 +37,7 @@ fn serial_parallel_and_cached_replay_are_bit_identical() {
     // Parallel, cold cache.
     let root = temp_root("tri");
     let engine = FleetEngine::new(8).with_cache(ResultCache::new(&root));
-    let parallel = engine.run(&batch);
+    let parallel = engine.run(&batch, &RunPolicy::new()).expect_reports();
     assert_eq!(parallel, serial, "--jobs 8 must be bit-identical to serial");
     let cold = engine.stats();
     assert_eq!(
@@ -50,7 +50,9 @@ fn serial_parallel_and_cached_replay_are_bit_identical() {
 
     // Warm replay through a fresh engine on the same cache directory.
     let replay_engine = FleetEngine::new(8).with_cache(ResultCache::new(&root));
-    let replayed = replay_engine.run(&batch);
+    let replayed = replay_engine
+        .run(&batch, &RunPolicy::new())
+        .expect_reports();
     assert_eq!(replayed, serial, "cache replay must be bit-identical");
     let warm = replay_engine.stats();
     assert_eq!(
@@ -65,10 +67,14 @@ fn serial_parallel_and_cached_replay_are_bit_identical() {
 #[test]
 fn worker_count_does_not_leak_into_results() {
     let batch = mixed_batch();
-    let one = FleetEngine::new(1).run(&batch);
+    let one = FleetEngine::new(1)
+        .run(&batch, &RunPolicy::new())
+        .expect_reports();
     for jobs in [2, 3, 8] {
         assert_eq!(
-            FleetEngine::new(jobs).run(&batch),
+            FleetEngine::new(jobs)
+                .run(&batch, &RunPolicy::new())
+                .expect_reports(),
             one,
             "jobs={jobs} diverged from jobs=1"
         );
@@ -78,9 +84,13 @@ fn worker_count_does_not_leak_into_results() {
 #[test]
 fn batch_order_is_submission_order() {
     let mut batch = mixed_batch();
-    let forward = FleetEngine::new(4).run(&batch);
+    let forward = FleetEngine::new(4)
+        .run(&batch, &RunPolicy::new())
+        .expect_reports();
     batch.reverse();
-    let mut backward = FleetEngine::new(4).run(&batch);
+    let mut backward = FleetEngine::new(4)
+        .run(&batch, &RunPolicy::new())
+        .expect_reports();
     backward.reverse();
     assert_eq!(forward, backward, "results must track submission order");
 }

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use heb_core::{FaultSchedule, PolicyKind, Scenario, SimConfig};
-use heb_fleet::FleetEngine;
+use heb_fleet::{FleetEngine, RunPolicy};
 use heb_telemetry::{RecorderHandle, RingRecorder};
 use heb_workload::Archetype;
 
@@ -41,7 +41,9 @@ fn traced_batch() -> (Vec<Scenario>, Vec<Arc<RingRecorder>>) {
 
 fn run_and_capture(jobs: usize) -> Vec<String> {
     let (batch, rings) = traced_batch();
-    let reports = FleetEngine::new(jobs).run(&batch);
+    let reports = FleetEngine::new(jobs)
+        .run(&batch, &RunPolicy::new())
+        .expect_reports();
     assert_eq!(reports.len(), batch.len());
     rings.iter().map(|ring| ring.to_jsonl()).collect()
 }
@@ -92,7 +94,11 @@ fn dropping_the_recorder_does_not_change_the_report() {
     for (a, b) in batch.iter().zip(&untraced) {
         assert_eq!(a.content_hash(), b.content_hash());
     }
-    let traced_reports = FleetEngine::new(2).run(&batch);
-    let untraced_reports = FleetEngine::new(2).run(&untraced);
+    let traced_reports = FleetEngine::new(2)
+        .run(&batch, &RunPolicy::new())
+        .expect_reports();
+    let untraced_reports = FleetEngine::new(2)
+        .run(&untraced, &RunPolicy::new())
+        .expect_reports();
     assert_eq!(traced_reports, untraced_reports);
 }

@@ -10,7 +10,9 @@ use std::sync::Arc;
 
 use heb_core::experiments::outage_scenarios;
 use heb_core::{Scenario, ScenarioRunner, SerialRunner, SimConfig};
-use heb_fleet::{FleetEngine, HardenPolicy, ResultCache, ScenarioFailure, ScenarioState};
+use heb_fleet::{
+    FleetEngine, HardenPolicy, ResultCache, RunPolicy, ScenarioFailure, ScenarioState,
+};
 use heb_telemetry::{Event, FleetEvent, RingRecorder};
 use heb_units::Watts;
 
@@ -39,7 +41,7 @@ fn broken_scenario_does_not_poison_siblings_at_any_jobs() {
         let mut batch = good.clone();
         batch.insert(batch.len() / 2, broken("poison/mid-batch"));
         let engine = FleetEngine::new(jobs);
-        let outcome = engine.run_hardened(&batch, None);
+        let outcome = engine.run(&batch, &RunPolicy::new());
         let counts = outcome.counts();
         assert_eq!(counts.done, good.len(), "jobs={jobs}: all siblings finish");
         assert_eq!(counts.quarantined, 1);
@@ -51,7 +53,10 @@ fn broken_scenario_does_not_poison_siblings_at_any_jobs() {
             .collect();
         assert_eq!(survivors, serial, "jobs={jobs}");
         // The engine is not poisoned: it runs the clean batch fine.
-        assert_eq!(engine.run_hardened(&good, None).counts().done, good.len());
+        assert_eq!(
+            engine.run(&good, &RunPolicy::new()).counts().done,
+            good.len()
+        );
     }
 }
 
@@ -62,7 +67,9 @@ fn run_re_raises_but_sibling_cache_writes_land_first() {
     let mut batch = good.clone();
     batch.push(broken("poison/last"));
     let engine = FleetEngine::new(2).with_cache(ResultCache::new(&root));
-    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| engine.run(&batch)));
+    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        engine.run(&batch, &RunPolicy::new()).expect_reports()
+    }));
     assert!(caught.is_err(), "run must re-raise the failure");
     let stats = engine.stats();
     assert_eq!(
@@ -72,7 +79,7 @@ fn run_re_raises_but_sibling_cache_writes_land_first() {
     );
     // A fresh engine replays the siblings from cache: zero simulations.
     let warm = FleetEngine::new(2).with_cache(ResultCache::new(&root));
-    let replayed = warm.run(&good);
+    let replayed = warm.run(&good, &RunPolicy::new()).expect_reports();
     assert_eq!(replayed, SerialRunner.run_batch(&good));
     assert_eq!(warm.stats().simulated, 0);
 }
@@ -80,8 +87,11 @@ fn run_re_raises_but_sibling_cache_writes_land_first() {
 #[test]
 fn re_raised_message_matches_run_expect() {
     let engine = FleetEngine::new(1);
-    let caught =
-        std::panic::catch_unwind(AssertUnwindSafe(|| engine.run(&[broken("poison/message")])));
+    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        engine
+            .run(&[broken("poison/message")], &RunPolicy::new())
+            .expect_reports()
+    }));
     let payload = caught.expect_err("must re-raise");
     let message = payload
         .downcast_ref::<String>()
@@ -106,7 +116,7 @@ fn quarantine_emits_typed_events_after_retries() {
             ..HardenPolicy::default()
         })
         .with_recorder(ring.clone());
-    let outcome = engine.run_hardened(&[broken("poison/events")], None);
+    let outcome = engine.run(&[broken("poison/events")], &RunPolicy::new());
     assert_eq!(outcome.outcomes[0].state, ScenarioState::Quarantined);
     assert!(matches!(
         outcome.outcomes[0].failure,

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use heb_core::experiments::{outage_scenarios, valley_scenarios};
 use heb_core::{Scenario, ScenarioRunner, SerialRunner, SimConfig};
-use heb_fleet::{FleetEngine, FsyncPolicy, ReportSource, RunJournal};
+use heb_fleet::{FleetEngine, FsyncPolicy, ReportSource, RunJournal, RunPolicy};
 use heb_telemetry::{Event, FleetEvent, RingRecorder};
 use heb_units::Watts;
 
@@ -38,7 +38,10 @@ fn interrupted_run_resumes_bit_identically_at_any_jobs() {
         {
             let journal = RunJournal::create(&runs, "r", FsyncPolicy::Never).unwrap();
             let engine = FleetEngine::new(jobs);
-            let partial = engine.run_hardened(&batch[..batch.len() / 2], Some(&journal));
+            let partial = engine.run(
+                &batch[..batch.len() / 2],
+                &RunPolicy::new().journal(&journal),
+            );
             assert!(partial.all_done());
         }
 
@@ -46,7 +49,7 @@ fn interrupted_run_resumes_bit_identically_at_any_jobs() {
         let journal = RunJournal::resume(&runs, "r", FsyncPolicy::Never).unwrap();
         let ring = Arc::new(RingRecorder::new(16));
         let engine = FleetEngine::new(jobs).with_recorder(ring.clone());
-        let outcome = engine.run_hardened(&batch, Some(&journal));
+        let outcome = engine.run(&batch, &RunPolicy::new().journal(&journal));
         assert!(outcome.all_done(), "jobs={jobs}");
         assert_eq!(
             outcome.reports(),
@@ -91,13 +94,13 @@ fn resuming_a_finished_run_simulates_nothing() {
     let runs = temp_runs("finished");
     {
         let journal = RunJournal::create(&runs, "r", FsyncPolicy::Batch).unwrap();
-        let outcome = FleetEngine::new(4).run_hardened(&batch, Some(&journal));
+        let outcome = FleetEngine::new(4).run(&batch, &RunPolicy::new().journal(&journal));
         assert!(outcome.all_done());
         assert!(journal.healthy());
     }
     let journal = RunJournal::resume(&runs, "r", FsyncPolicy::Batch).unwrap();
     let engine = FleetEngine::new(4);
-    let outcome = engine.run_hardened(&batch, Some(&journal));
+    let outcome = engine.run(&batch, &RunPolicy::new().journal(&journal));
     assert!(outcome.all_done());
     assert_eq!(outcome.reports(), Some(SerialRunner.run_batch(&batch)));
     assert_eq!(engine.stats().simulated, 0, "nothing left to simulate");
@@ -112,13 +115,15 @@ fn journal_and_cache_compose_without_double_counting() {
     {
         let journal = RunJournal::create(&runs, "r", FsyncPolicy::Never).unwrap();
         let engine = FleetEngine::new(2).with_cache(heb_fleet::ResultCache::new(&cache_root));
-        assert!(engine.run_hardened(&batch, Some(&journal)).all_done());
+        assert!(engine
+            .run(&batch, &RunPolicy::new().journal(&journal))
+            .all_done());
     }
     // Resume wins over the cache: journal-settled scenarios count as
     // resumed, not as cache hits.
     let journal = RunJournal::resume(&runs, "r", FsyncPolicy::Never).unwrap();
     let engine = FleetEngine::new(2).with_cache(heb_fleet::ResultCache::new(&cache_root));
-    let outcome = engine.run_hardened(&batch, Some(&journal));
+    let outcome = engine.run(&batch, &RunPolicy::new().journal(&journal));
     assert!(outcome.all_done());
     assert_eq!(engine.stats().resumed, batch.len());
     assert_eq!(engine.stats().cache_hits, 0);

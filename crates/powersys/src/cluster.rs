@@ -108,6 +108,27 @@ impl Cluster {
         self.servers.iter_mut().map(|s| s.tick(now, dt)).sum()
     }
 
+    /// Whether every server is running with no pending restart
+    /// surcharge. In this state a tick changes nothing but each
+    /// server's last-active stamp, so the event core can fast-forward
+    /// the rack across a quiet span and back-fill the stamps with
+    /// [`Cluster::mark_all_active`].
+    #[must_use]
+    pub fn all_running_steady(&self) -> bool {
+        self.servers
+            .iter()
+            .all(|s| s.state() == PowerState::On && !s.has_pending_restart())
+    }
+
+    /// Stamps every server as active at `now` without running a tick —
+    /// the bulk form of [`Server::mark_active`] for quiet-span
+    /// fast-forwarding.
+    pub fn mark_all_active(&mut self, now: Seconds) {
+        for s in &mut self.servers {
+            s.mark_active(now);
+        }
+    }
+
     /// Aggregate downtime across all servers (the paper's *server
     /// downtime* metric, Figure 12(b)).
     #[must_use]

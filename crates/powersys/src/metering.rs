@@ -161,6 +161,51 @@ impl Ipdu {
         reading
     }
 
+    /// Whether this meter adds measurement noise to its samples.
+    ///
+    /// A noiseless meter draws nothing from its RNG, so repeated samples
+    /// of an unchanged cluster are bitwise-identical — the property the
+    /// event-driven simulation core relies on to fast-forward quiet
+    /// spans.
+    #[must_use]
+    pub fn is_noiseless(&self) -> bool {
+        self.noise_std == 0.0
+    }
+
+    /// Records one noiseless steady-state sample and returns its total,
+    /// leaving history identical (by value) to what [`Ipdu::sample`]
+    /// would have produced, but recycling the evicted entry's allocation
+    /// once the window is full. Intended for the event core's quiet-span
+    /// fast path, where the cluster draw is provably constant tick over
+    /// tick and per-tick allocation would dominate the leap cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the meter was configured with noise
+    /// (see [`Ipdu::is_noiseless`]); noisy sampling must go through
+    /// [`Ipdu::sample`] so the RNG stream stays aligned.
+    pub fn record_steady(&mut self, cluster: &Cluster, at: Seconds) -> Watts {
+        assert!(
+            self.is_noiseless(),
+            "record_steady requires a noiseless meter"
+        );
+        if self.history.len() < self.window {
+            return self.sample(cluster, at).total;
+        }
+        // Window full: recycle the evicted reading's buffer.
+        // heb-analyze: allow(HEB003, pop is guarded by the length check above)
+        let mut reading = self.history.pop_front().unwrap();
+        reading.per_server.clear();
+        reading
+            .per_server
+            .extend(cluster.servers().iter().map(|s| s.power_draw()));
+        reading.total = reading.per_server.iter().copied().sum();
+        reading.at = at;
+        let total = reading.total;
+        self.history.push_back(reading);
+        total
+    }
+
     /// Samples the cluster through a possibly faulty metering path.
     ///
     /// - [`MeterFault::Healthy`] behaves exactly like [`Ipdu::sample`].
@@ -292,6 +337,36 @@ mod tests {
         assert_eq!(r.per_server[0].get(), 30.0);
         assert_eq!(r.per_server[1].get(), 70.0);
         assert_eq!(r.per_server[2].get(), 30.0);
+    }
+
+    #[test]
+    fn record_steady_matches_sample_bitwise() {
+        let mut cluster = Cluster::prototype(3);
+        cluster.servers_mut()[1].set_utilization(Ratio::ONE);
+        let mut sampled = Ipdu::new(4);
+        let mut steady = Ipdu::new(4);
+        // Cover both the filling phase and the recycling (window-full)
+        // phase; the two meters must agree bitwise throughout.
+        for t in 0..10 {
+            let at = Seconds::new(t as f64);
+            let a = sampled.sample(&cluster, at).total;
+            let b = steady.record_steady(&cluster, at);
+            assert_eq!(a.get().to_bits(), b.get().to_bits());
+        }
+        assert_eq!(sampled.len(), steady.len());
+        for (a, b) in sampled.history().zip(steady.history()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(sampled.peak_total(), steady.peak_total());
+        assert_eq!(sampled.valley_total(), steady.valley_total());
+    }
+
+    #[test]
+    #[should_panic(expected = "noiseless")]
+    fn record_steady_rejects_noisy_meter() {
+        let cluster = Cluster::prototype(1);
+        let mut ipdu = Ipdu::new(4).with_noise(0.01, 7);
+        let _ = ipdu.record_steady(&cluster, Seconds::zero());
     }
 
     #[test]

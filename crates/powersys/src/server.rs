@@ -213,6 +213,24 @@ impl Server {
         self.params.idle_power + dynamic
     }
 
+    /// Whether part of the boot-energy surcharge from the last restart
+    /// is still waiting to be drained by upcoming ticks. A running
+    /// server with no pending surcharge has a tick that reduces to
+    /// stamping [`Server::last_active`] — the property the event core's
+    /// quiet-span fast path relies on.
+    #[must_use]
+    pub fn has_pending_restart(&self) -> bool {
+        self.pending_restart_energy.get() > 0.0
+    }
+
+    /// Stamps the last-active time without running a tick. The event
+    /// core uses this to fast-forward a running, surcharge-free server
+    /// across a quiet span: `n` ticks of [`Server::tick`] in the `On`
+    /// state touch nothing but this timestamp.
+    pub fn mark_active(&mut self, now: Seconds) {
+        self.last_active = now;
+    }
+
     /// Advances one metering tick of length `dt` at simulation time
     /// `now`, returning the energy consumed this tick (including any
     /// amortised restart energy).

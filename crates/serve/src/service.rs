@@ -3,8 +3,8 @@
 //!
 //! A request flows: JSON body → [`WhatIfQuery`] (validated through
 //! `SimConfig::builder`) → [`Scenario`] → content hash → singleflight
-//! → bounded worker pool → [`FleetEngine::run_one`] (cache probe,
-//! retries, quarantine) → answer. The answer body is built purely
+//! → bounded worker pool → a single-scenario [`FleetEngine::run`]
+//! (cache probe, retries, quarantine) → answer. The answer body is built purely
 //! from the query and the report, with Rust's shortest-round-trip
 //! float formatting, so a warm (cache) answer is **byte-identical**
 //! to the cold (simulated) answer it replays.
@@ -14,7 +14,7 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 use heb_core::{PolicyKind, Scenario, SimConfig, SimReport, WhatIfQuery};
-use heb_fleet::{FleetEngine, HardenPolicy, ReportSource, ResultCache, ScenarioState};
+use heb_fleet::{FleetEngine, HardenPolicy, ReportSource, ResultCache, RunPolicy, ScenarioState};
 use heb_tco::{bill_run, Tariff};
 use heb_telemetry::{null_recorder, Event, Metrics, RecorderHandle, ServeEvent};
 use heb_units::{Joules, Watts};
@@ -231,15 +231,20 @@ impl Advisor {
         let queue_gauge = self.metrics.gauge("serve.queue.depth");
         let (outcome, role) = self.flights.run(&hash, || {
             self.pool.run(&queue_gauge, || {
-                let outcome = self.engine.run_one(&scenario);
-                match (outcome.state, outcome.report) {
-                    (ScenarioState::Done, Some(report)) => {
-                        Ok((report, outcome.source == ReportSource::Cache))
-                    }
-                    (_, _) => Err(outcome.failure.map_or_else(
-                        || "scenario did not complete".to_string(),
-                        |f| f.to_string(),
-                    )),
+                let mut run = self
+                    .engine
+                    .run(std::slice::from_ref(&scenario), &RunPolicy::new());
+                match run.outcomes.pop() {
+                    Some(outcome) => match (outcome.state, outcome.report) {
+                        (ScenarioState::Done, Some(report)) => {
+                            Ok((report, outcome.source == ReportSource::Cache))
+                        }
+                        (_, _) => Err(outcome.failure.map_or_else(
+                            || "scenario did not complete".to_string(),
+                            |f| f.to_string(),
+                        )),
+                    },
+                    None => Err("scenario did not complete".to_string()),
                 }
             })
         });

@@ -265,6 +265,22 @@ pub enum ServeEvent {
     },
 }
 
+/// Execution edges of the simulation driver itself (the event core's
+/// fast path), clock-stamped like the simulator events. These describe
+/// how the run was *executed*, not what the simulated plant did, so
+/// they only appear in event-mode traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriverEvent {
+    /// The event-mode driver fast-forwarded a provably quiet span
+    /// instead of stepping it tick by tick.
+    Leaped {
+        /// Simulated time at the start of the span.
+        time: Seconds,
+        /// Metering ticks the span covered.
+        ticks: u64,
+    },
+}
+
 /// One observable state change anywhere in the simulated stack.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -280,6 +296,8 @@ pub enum Event {
     Fleet(FleetEvent),
     /// Capacity-advisor service request edge.
     Serve(ServeEvent),
+    /// Simulation-driver execution edge.
+    Driver(DriverEvent),
 }
 
 impl Event {
@@ -323,6 +341,9 @@ impl Event {
                 ServeEvent::QueryRejected { .. } => "serve.query_rejected",
                 ServeEvent::Draining { .. } => "serve.draining",
             },
+            Event::Driver(e) => match e {
+                DriverEvent::Leaped { .. } => "driver.leaped",
+            },
         }
     }
 
@@ -337,6 +358,7 @@ impl Event {
             Event::Fault(_) => "fault",
             Event::Fleet(_) => "fleet",
             Event::Serve(_) => "serve",
+            Event::Driver(_) => "driver",
         }
     }
 
@@ -510,6 +532,11 @@ impl Event {
                     let _ = write!(out, ",\"in_flight\":{in_flight}");
                 }
             },
+            Event::Driver(e) => match e {
+                DriverEvent::Leaped { time, ticks } => {
+                    let _ = write!(out, ",\"t\":{},\"ticks\":{ticks}", time.get());
+                }
+            },
         }
         out.push('}');
     }
@@ -638,6 +665,21 @@ mod tests {
     fn pool_names_are_stable() {
         assert_eq!(PoolId::SuperCap.name(), "sc");
         assert_eq!(PoolId::Battery.name(), "ba");
+    }
+
+    #[test]
+    fn driver_events_encode_deterministically() {
+        let e = Event::Driver(DriverEvent::Leaped {
+            time: Seconds::new(1200.0),
+            ticks: 599,
+        });
+        assert_eq!(
+            e.to_json(),
+            "{\"type\":\"driver.leaped\",\"t\":1200,\"ticks\":599}"
+        );
+        assert_eq!(e.category(), "driver");
+        assert!(e.kind().starts_with("driver."));
+        assert_eq!(json_field(&e.to_json(), "ticks"), Some("599"));
     }
 
     #[test]

@@ -30,8 +30,8 @@ mod metrics;
 mod recorder;
 
 pub use event::{
-    json_field, ControllerEvent, EsdEvent, Event, FaultEvent, FleetEvent, PoolId, PowerEvent,
-    ServeEvent,
+    json_field, ControllerEvent, DriverEvent, EsdEvent, Event, FaultEvent, FleetEvent, PoolId,
+    PowerEvent, ServeEvent,
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, Metrics, ScopedTimer, Snapshot};
 pub use recorder::{

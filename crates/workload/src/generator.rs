@@ -92,6 +92,25 @@ impl UtilizationGenerator {
     pub fn in_burst(&self) -> bool {
         self.burst_remaining > 0
     }
+
+    /// The constant level every future sample is guaranteed to equal, if
+    /// the stream is provably steady: no noise, no burst arrivals, and
+    /// no burst in flight. Returns `None` for any stochastic profile.
+    ///
+    /// When this returns `Some`, [`Self::next_utilization`] would return
+    /// the same `Ratio` bitwise forever, so the event core may skip the
+    /// generator across a quiet span entirely. (The skipped RNG draws
+    /// are unobservable: a noiseless, burst-free profile multiplies
+    /// every draw by zero.)
+    #[must_use]
+    pub fn steady_level(&self) -> Option<Ratio> {
+        let p = &self.profile;
+        if p.base_noise == 0.0 && p.bursts_per_hour == 0.0 && self.burst_remaining == 0 {
+            Some(Ratio::new_clamped(p.base_utilization))
+        } else {
+            None
+        }
+    }
 }
 
 impl Iterator for UtilizationGenerator {
@@ -156,6 +175,28 @@ mod tests {
             .filter(|u| u.get() > p.base_utilization + 0.5 * p.burst_amplitude)
             .count();
         assert!(above > 0, "three hours of WS should contain bursts");
+    }
+
+    #[test]
+    fn steady_level_only_for_deterministic_profiles() {
+        let steady = BurstProfile {
+            base_utilization: 0.3,
+            base_noise: 0.0,
+            bursts_per_hour: 0.0,
+            burst_amplitude: 0.0,
+            mean_burst_secs: 1.0,
+        };
+        let mut g = UtilizationGenerator::new(steady, 17);
+        let level = g.steady_level().expect("noiseless profile is steady");
+        for _ in 0..1000 {
+            assert_eq!(g.next_utilization(), level);
+        }
+        assert_eq!(g.steady_level(), Some(level));
+
+        // Any stochastic ingredient disqualifies the stream.
+        for a in Archetype::ALL {
+            assert_eq!(a.generator(1).steady_level(), None);
+        }
     }
 
     #[test]

@@ -119,6 +119,7 @@ impl SolarTraceBuilder {
         let mut cloud_attenuation = 1.0_f64;
         let mut samples = Vec::with_capacity(ticks);
         for t in 0..ticks {
+            // heb-analyze: allow(HEB006, trace generation samples insolation at dt before any simulation exists; heb-workload cannot depend on heb-core's SimClock)
             let second_of_day = (t as f64 * self.dt.get()) % day_secs;
             let since_sunrise = second_of_day - self.sunrise_hour * 3600.0;
             let clear_sky = if (0.0..daylight).contains(&since_sunrise) {

@@ -82,4 +82,7 @@ cargo bench -q -p heb-bench --bench microbench -- --telemetry-guard
 echo "== engine-throughput guard (within floor of committed baseline)"
 cargo bench -q -p heb-bench --bench microbench -- --throughput-guard "$PWD/BENCH_engine_throughput.json"
 
+echo "== sparse-speedup guard (event driver >= floor x tick driver on a valley trace)"
+cargo bench -q -p heb-bench --bench microbench -- --sparse-speedup-guard "$PWD/BENCH_engine_throughput.json"
+
 echo "verify: all checks passed"
