@@ -56,6 +56,15 @@ impl Baseline {
     ///
     /// Returns a message when the header line is missing.
     pub fn parse(text: &str) -> Result<Self, String> {
+        // A file that does not end in a newline had its final line torn
+        // (e.g. a crash mid-write): drop the partial line rather than
+        // treating a truncated fingerprint as a distinct entry. The
+        // header line alone (no preceding newline) is kept — a
+        // header-only baseline is valid however it was written.
+        let text = match (text.ends_with('\n'), text.rfind('\n')) {
+            (false, Some(pos)) => &text[..=pos],
+            _ => text,
+        };
         let mut lines = text.lines();
         match lines.next() {
             Some(h) if h.trim() == HEADER => {}
@@ -172,5 +181,56 @@ mod tests {
     #[test]
     fn missing_header_is_an_error() {
         assert!(Baseline::parse("HEB003 x y\n").is_err());
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped_not_misparsed() {
+        // A crash mid-write leaves a truncated final fingerprint; the
+        // parser must drop it instead of inventing an entry that would
+        // immediately go stale (failing the gate for a phantom fix).
+        let torn = format!("{HEADER}\nHEB003 a.rs x.unwrap()\nHEB003 b.rs y.unw");
+        let base = Baseline::parse(&torn).unwrap();
+        assert_eq!(base.len(), 1);
+        let rec = base.reconcile(&[diag("HEB003", "x.unwrap()")]);
+        // diag() pins path to crates/x/src/lib.rs, so the surviving
+        // entry (a.rs) goes stale and the finding is new — but the torn
+        // b.rs fragment must not appear anywhere.
+        assert!(rec.stale.iter().all(|fp| !fp.contains("b.rs")));
+        // A header-only file without a trailing newline is still valid.
+        assert!(Baseline::parse(HEADER).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_entries_are_a_multiset_not_a_set() {
+        let text = format!(
+            "{HEADER}\nHEB003 crates/x/src/lib.rs a.unwrap()\nHEB003 crates/x/src/lib.rs a.unwrap()\n"
+        );
+        let base = Baseline::parse(&text).unwrap();
+        assert_eq!(base.len(), 2);
+        // Two observed findings consume both entries exactly.
+        let two = vec![diag("HEB003", "a.unwrap()"), diag("HEB003", "a.unwrap()")];
+        let rec = base.reconcile(&two);
+        assert!(rec.new.is_empty() && rec.stale.is_empty());
+        // One observed finding leaves exactly one stale entry.
+        let rec = base.reconcile(&two[..1]);
+        assert!(rec.new.is_empty());
+        assert_eq!(rec.stale.len(), 1);
+    }
+
+    #[test]
+    fn entries_for_deleted_files_go_stale() {
+        // When a file is deleted, its baselined findings disappear from
+        // the scan; every entry pointing at it must surface as stale so
+        // the baseline shrinks with the codebase.
+        let text = format!(
+            "{HEADER}\nHEB003 crates/gone/src/lib.rs a.unwrap()\n\
+             HEB002 crates/gone/src/lib.rs HashMap::new()\n\
+             HEB003 crates/x/src/lib.rs a.unwrap()\n"
+        );
+        let base = Baseline::parse(&text).unwrap();
+        let rec = base.reconcile(&[diag("HEB003", "a.unwrap()")]);
+        assert!(rec.new.is_empty());
+        assert_eq!(rec.stale.len(), 2);
+        assert!(rec.stale.iter().all(|fp| fp.contains("crates/gone/")));
     }
 }

@@ -11,11 +11,20 @@
 //! checked-in ratcheting baseline.
 //!
 //! The environment is offline (no registry crates, so no `syn`); the
-//! analysis is a purpose-built lexical pass — see [`lexer`] — in the
-//! same dependency-free spirit as the workspace's `heb-rng` and
-//! `proptest` shims. Lexical analysis is exactly right for these rules:
-//! each one is a "this token family must not appear in this scope"
-//! invariant, not a type-level property.
+//! analysis is purpose-built in the same dependency-free spirit as the
+//! workspace's `heb-rng` and `proptest` shims. It runs in two layers:
+//! a lexical pass ([`lexer`]) for the token-family rules HEB001–HEB006,
+//! and a semantic pass — a token-tree parser ([`parser`]) building a
+//! per-file item index ([`index`]) that feeds a workspace symbol table
+//! and conservative call-reachability graph — for HEB007–HEB010, where
+//! the invariant spans files (hash-path taint, event-handler
+//! completeness, deprecated-shim callers).
+//!
+//! The analyzer is production-shaped: per-file analysis runs in
+//! parallel with byte-identical output at any thread count
+//! ([`workspace`]), an incremental content-addressed cache under
+//! `results/analyze-cache/` skips unchanged files ([`cache`]), and
+//! findings render as text, JSON, or SARIF ([`sarif`]).
 //!
 //! See [`rules`] for the rule table and suppression syntax, and
 //! [`baseline`] for how the gate ratchets.
@@ -24,15 +33,30 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cache;
 pub mod diagnostics;
+pub mod index;
 pub mod lexer;
+pub mod parser;
+mod reach;
 pub mod rules;
+pub mod sarif;
 pub mod workspace;
 
 pub use baseline::{Baseline, Reconciled};
+pub use cache::AnalysisCache;
 pub use diagnostics::Diagnostic;
-pub use rules::{analyze_source, crate_class, CrateClass, FileContext, Role};
-pub use workspace::analyze_workspace;
+pub use rules::{
+    analyze_file, analyze_source, apply_suppressions, crate_class, Applied, CrateClass,
+    DirectiveKind, DirectiveRec, FileAnalysis, FileContext, Role,
+};
+pub use workspace::{
+    analyze_files, analyze_workspace, analyze_workspace_with, AnalysisReport, AnalyzeOptions,
+    RunStats,
+};
 
 /// The default baseline file name, at the workspace root.
 pub const BASELINE_FILE: &str = "heb-analyze.baseline";
+
+/// The default incremental-cache directory, relative to the root.
+pub const CACHE_DIR: &str = "results/analyze-cache";

@@ -1,13 +1,18 @@
 //! The `heb-analyze` binary: the CI gate.
 //!
 //! ```text
-//! heb-analyze [--root DIR] [--baseline FILE] [--json] [--fix-baseline] [--no-baseline]
+//! heb-analyze [--root DIR] [--baseline FILE] [--json] [--sarif FILE]
+//!             [--jobs N] [--no-cache] [--cache-dir DIR]
+//!             [--strict-suppressions] [--stats-json FILE]
+//!             [--fix-baseline] [--no-baseline]
 //! ```
 //!
-//! Exit codes: `0` clean (all findings baselined), `1` violations or a
-//! stale baseline, `2` usage or I/O error.
+//! Exit codes: `0` clean (all findings baselined, and — under
+//! `--strict-suppressions` — no unused suppressions), `1` violations,
+//! stale baseline, or strict-mode unused suppressions, `2` usage or
+//! I/O error.
 
-use heb_analyze::{analyze_workspace, baseline::Baseline, diagnostics};
+use heb_analyze::{analyze_workspace_with, baseline::Baseline, diagnostics, sarif, AnalyzeOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -15,6 +20,12 @@ struct Args {
     root: PathBuf,
     baseline: Option<PathBuf>,
     json: bool,
+    sarif: Option<PathBuf>,
+    jobs: usize,
+    no_cache: bool,
+    cache_dir: Option<PathBuf>,
+    strict_suppressions: bool,
+    stats_json: Option<PathBuf>,
     fix_baseline: bool,
     no_baseline: bool,
 }
@@ -24,6 +35,12 @@ fn parse_args() -> Result<Args, String> {
         root: PathBuf::from("."),
         baseline: None,
         json: false,
+        sarif: None,
+        jobs: 0,
+        no_cache: false,
+        cache_dir: None,
+        strict_suppressions: false,
+        stats_json: None,
         fix_baseline: false,
         no_baseline: false,
     };
@@ -37,12 +54,35 @@ fn parse_args() -> Result<Args, String> {
                 args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a file")?));
             }
             "--json" => args.json = true,
+            "--sarif" => {
+                args.sarif = Some(PathBuf::from(it.next().ok_or("--sarif needs a file")?));
+            }
+            "--jobs" => {
+                args.jobs = it
+                    .next()
+                    .ok_or("--jobs needs a thread count")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--no-cache" => args.no_cache = true,
+            "--cache-dir" => {
+                args.cache_dir = Some(PathBuf::from(
+                    it.next().ok_or("--cache-dir needs a directory")?,
+                ));
+            }
+            "--strict-suppressions" => args.strict_suppressions = true,
+            "--stats-json" => {
+                args.stats_json =
+                    Some(PathBuf::from(it.next().ok_or("--stats-json needs a file")?));
+            }
             "--fix-baseline" => args.fix_baseline = true,
             "--no-baseline" => args.no_baseline = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: heb-analyze [--root DIR] [--baseline FILE] [--json] \
-                     [--fix-baseline] [--no-baseline]"
+                     [--sarif FILE] [--jobs N] [--no-cache] [--cache-dir DIR] \
+                     [--strict-suppressions] [--stats-json FILE] [--fix-baseline] \
+                     [--no-baseline]"
                         .to_string(),
                 )
             }
@@ -64,31 +104,59 @@ fn main() -> ExitCode {
         .baseline
         .clone()
         .unwrap_or_else(|| args.root.join(heb_analyze::BASELINE_FILE));
+    let cache_dir = if args.no_cache {
+        None
+    } else {
+        Some(
+            args.cache_dir
+                .clone()
+                .unwrap_or_else(|| args.root.join(heb_analyze::CACHE_DIR)),
+        )
+    };
 
-    let diags = match analyze_workspace(&args.root) {
-        Ok(d) => d,
+    let opts = AnalyzeOptions {
+        jobs: args.jobs,
+        cache_dir,
+    };
+    let report = match analyze_workspace_with(&args.root, &opts) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("heb-analyze: failed to analyze workspace: {e}");
             return ExitCode::from(2);
         }
     };
+    let stats = report.stats;
+    eprintln!(
+        "heb-analyze: {} file(s), {} analyzed, {} cached, {} ms",
+        stats.files, stats.analyzed, stats.cached, stats.wall_ms
+    );
+    if let Some(path) = &args.stats_json {
+        let json = format!(
+            "{{\"files\":{},\"analyzed\":{},\"cached\":{},\"wall_ms\":{}}}\n",
+            stats.files, stats.analyzed, stats.cached, stats.wall_ms
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("heb-analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     if args.fix_baseline {
-        let text = Baseline::render(&diags);
+        let text = Baseline::render(&report.errors);
         if let Err(e) = std::fs::write(&baseline_path, text) {
             eprintln!("heb-analyze: cannot write {}: {e}", baseline_path.display());
             return ExitCode::from(2);
         }
         println!(
             "heb-analyze: wrote baseline with {} finding(s) to {}",
-            diags.len(),
+            report.errors.len(),
             baseline_path.display()
         );
         return ExitCode::SUCCESS;
     }
 
-    let (new, stale) = if args.no_baseline {
-        (diags.clone(), Vec::new())
+    let (mut new, stale) = if args.no_baseline {
+        (report.errors.clone(), Vec::new())
     } else {
         let base = match Baseline::load(&baseline_path) {
             Ok(b) => b,
@@ -97,9 +165,36 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let rec = base.reconcile(&diags);
+        let rec = base.reconcile(&report.errors);
         (rec.new, rec.stale)
     };
+
+    // Unused suppressions: warnings by default; hard failures under
+    // --strict-suppressions. They never reconcile against the baseline
+    // (the fix is deleting a comment, not baselining it).
+    if args.strict_suppressions {
+        new.extend(report.warnings.iter().cloned());
+        diagnostics::sort(&mut new);
+    } else {
+        for w in &report.warnings {
+            eprintln!("heb-analyze: warning: {w}");
+        }
+    }
+
+    if let Some(path) = &args.sarif {
+        // In strict mode the warnings are already in `new` as errors;
+        // don't list them twice.
+        let warnings: &[_] = if args.strict_suppressions {
+            &[]
+        } else {
+            &report.warnings
+        };
+        let doc = sarif::render(&new, warnings);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("heb-analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     if args.json {
         println!("{}", diagnostics::to_json(&new));
@@ -116,7 +211,7 @@ fn main() -> ExitCode {
         if !args.json {
             println!(
                 "heb-analyze: clean ({} file finding(s), all accounted)",
-                diags.len()
+                report.errors.len()
             );
         }
         ExitCode::SUCCESS

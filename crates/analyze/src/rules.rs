@@ -6,14 +6,21 @@
 //! | HEB002 | `Sim`/`Physics`/`Service` lib code | no `HashMap`/`HashSet` — iteration-order nondeterminism; `BTreeMap`/`BTreeSet` required |
 //! | HEB003 | all lib code | no `.unwrap()` / `.expect(...)` / `panic!` — typed errors required |
 //! | HEB004 | physics-crate public fns | no bare `f64` for unit-suffixed quantities (`*_w`, `*_wh`, `*_v`, …) |
-//! | HEB005 | result-cache hash path | no `heb-telemetry` references — recorder hash-blindness |
+//! | HEB005 | result-cache hash path | no `heb-telemetry` references — recorder hash-blindness (fast file-list pre-filter) |
 //! | HEB006 | `Sim`/`Physics` lib code outside the event core | no raw `tick_index` counters or tick-count-times-`dt` seconds arithmetic — timestamps are minted by `heb_core::event::SimClock` only |
-//! | HEB000 | everywhere | a malformed or reason-less suppression comment |
+//! | HEB007 | fns reachable from `Scenario` content hashing | no telemetry / clock / env / I/O taint anywhere on the hash path — call-graph generalisation of HEB005 |
+//! | HEB008 | `Sim` lib code + every `EventHandler` impl | no catch-all arms on event-core `Event` matches; every handler defines `next_activity` — a new variant must fail the gate |
+//! | HEB009 | `fleet`/`serve` lib code | no order-sensitive `f64` reductions in functions that also use parallel constructs — float addition is not associative |
+//! | HEB010 | everywhere | no new callers of `#[deprecated]` shims outside their defining file |
+//! | HEB000 | everywhere | a malformed, reason-less, or (in the workspace gate) unused suppression comment |
 //!
 //! Suppressions: `// heb-analyze: allow(HEB003, why this is fine)` on
 //! the offending line or the line above; `allow-file(...)` anywhere in
 //! the file; `allow-crate(...)` in the crate's `src/lib.rs`. The reason
-//! is mandatory — a suppression without one is itself a finding.
+//! is mandatory — a suppression without one is itself a finding, and a
+//! suppression that no longer suppresses anything is reported by the
+//! workspace gate so the suppression set ratchets down like the
+//! baseline does.
 //!
 //! Rule scope is **crate-level configuration**, not per-line
 //! suppression: every workspace crate is classified by
@@ -21,10 +28,18 @@
 //! A crate the table does not know is held to the *strictest* profile,
 //! so adding a crate forces a deliberate classification decision here
 //! instead of silently escaping the gate.
+//!
+//! HEB007–HEB010 are *semantic*: they consume the
+//! [`FileIndex`](crate::index::FileIndex) built by
+//! [`parser`](crate::parser) — per-file for HEB008's handler
+//! completeness and HEB009, cross-file via
+//! [`reach`](crate::reach) for HEB007, HEB008's wildcard check, and
+//! HEB010.
 
 use crate::diagnostics::Diagnostic;
+use crate::index::FileIndex;
 use crate::lexer::{scrub, Scrubbed};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// A crate's relationship to the determinism contract, which decides
 /// the rules its library code is held to.
@@ -75,18 +90,133 @@ pub fn crate_class(name: &str) -> CrateClass {
 
 /// Files on the result cache's hash path (HEB005): nothing here may
 /// reference telemetry types, or recorder wiring could leak into cache
-/// keys/payloads and poison content addressing.
+/// keys/payloads and poison content addressing. HEB005 is the fast
+/// lexical pre-filter; HEB007 follows the call graph from the hash
+/// roots so the file list can never go stale silently.
 pub const HASH_BLIND_FILES: &[&str] = &["crates/fleet/src/cache.rs"];
 
 /// The event core itself: the one place allowed to spell out the
 /// tick-index ↔ seconds conversion (HEB006). `SimClock::time_at` is
 /// the single authoritative formula; everywhere else must go through
 /// the clock so tick mode and event mode can never disagree on a
-/// timestamp.
+/// timestamp. Also where HEB008 harvests the `Event` variant set.
 pub const CLOCK_FILES: &[&str] = &["crates/core/src/event.rs"];
 
+/// Where the scenario content hash lives: HEB007's reachability roots
+/// are the [`HASH_ROOT_FNS`] defined in these files.
+pub const HASH_ROOT_FILES: &[&str] = &["crates/core/src/scenario.rs"];
+
+/// The hash-path entry points within [`HASH_ROOT_FILES`].
+pub const HASH_ROOT_FNS: &[&str] = &["content_hash", "hash_hex"];
+
+/// Tokens whose presence in a hash-path function body taints it
+/// (HEB007): recorder wiring, wall clocks, OS entropy, environment,
+/// and file/stream I/O all make the hash depend on something other
+/// than scenario content.
+pub const TAINT_TOKENS: &[&str] = &[
+    "heb_telemetry",
+    "Recorder",
+    "RecorderHandle",
+    "Metrics",
+    "Instant",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "env",
+    "fs",
+    "File",
+    "stdin",
+    "stdout",
+    "stderr",
+    "println",
+    "eprintln",
+    "read_to_string",
+];
+
+/// Tokens that mark a function body as using parallel or
+/// cross-thread constructs (HEB009).
+pub const PARALLEL_TOKENS: &[&str] = &[
+    "spawn",
+    "scope",
+    "par_iter",
+    "into_par_iter",
+    "par_chunks",
+    "rayon",
+    "channel",
+    "Sender",
+    "Receiver",
+];
+
+/// Line patterns that look like an order-sensitive `f64` reduction
+/// (HEB009).
+const REDUCTION_PATTERNS: &[&str] = &[
+    "sum::<f64>",
+    ".fold(0.0",
+    ".fold(0f64",
+    ".fold(0_f64",
+    ".reduce(",
+];
+
 /// All rule IDs, for validation of suppression directives.
-pub const RULES: &[&str] = &["HEB001", "HEB002", "HEB003", "HEB004", "HEB005", "HEB006"];
+pub const RULES: &[&str] = &[
+    "HEB001", "HEB002", "HEB003", "HEB004", "HEB005", "HEB006", "HEB007", "HEB008", "HEB009",
+    "HEB010",
+];
+
+/// One-line summaries per rule (HEB000 included), for SARIF metadata.
+pub const RULE_SUMMARIES: &[(&str, &str)] = &[
+    (
+        "HEB000",
+        "suppression hygiene: malformed, reason-less, or unused allow directives",
+    ),
+    (
+        "HEB001",
+        "no wall-clock time or OS entropy in simulation crates",
+    ),
+    (
+        "HEB002",
+        "no hash-ordered collections in deterministic crates",
+    ),
+    ("HEB003", "no unwrap/expect/panic in library code"),
+    (
+        "HEB004",
+        "no bare f64 for unit-suffixed quantities in physics APIs",
+    ),
+    (
+        "HEB005",
+        "result-cache hash path must not reference telemetry (file-list pre-filter)",
+    ),
+    (
+        "HEB006",
+        "timestamps are minted by SimClock, not raw tick arithmetic",
+    ),
+    (
+        "HEB007",
+        "nothing reachable from Scenario content hashing may touch telemetry/env/IO",
+    ),
+    (
+        "HEB008",
+        "Event matches need no catch-all; every EventHandler defines next_activity",
+    ),
+    (
+        "HEB009",
+        "no order-sensitive parallel f64 reductions in fleet/serve hot paths",
+    ),
+    (
+        "HEB010",
+        "no new callers of #[deprecated] shims outside their defining file",
+    ),
+];
+
+/// Maps a rule name to its canonical `&'static str` (used when
+/// deserializing cached diagnostics).
+#[must_use]
+pub fn rule_id(name: &str) -> Option<&'static str> {
+    if name == "HEB000" {
+        return Some("HEB000");
+    }
+    RULES.iter().find(|r| **r == name).copied()
+}
 
 /// What kind of target a file belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,61 +294,86 @@ impl FileContext {
     fn needs_clock_discipline(&self) -> bool {
         self.needs_determinism() && !CLOCK_FILES.contains(&self.path.as_str())
     }
-}
 
-/// A parsed `heb-analyze:` directive.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Directive {
-    Allow(String),
-    AllowFile(String),
-    AllowCrate(String),
-}
-
-/// Suppression state for one file.
-#[derive(Debug, Default)]
-struct Suppressions {
-    /// line (0-based) -> rules allowed on that line and the next.
-    by_line: BTreeMap<usize, BTreeSet<String>>,
-    file_wide: BTreeSet<String>,
-    crate_wide: BTreeSet<String>,
-}
-
-impl Suppressions {
-    fn allows(&self, line: usize, rule: &str) -> bool {
-        if self.file_wide.contains(rule) || self.crate_wide.contains(rule) {
-            return true;
-        }
-        let same = self.by_line.get(&line).is_some_and(|s| s.contains(rule));
-        let above = line > 0
-            && self
-                .by_line
-                .get(&(line - 1))
-                .is_some_and(|s| s.contains(rule));
-        same || above
+    /// HEB009: long-lived orchestration code whose aggregates feed
+    /// reports and answers.
+    fn is_hot_path_crate(&self) -> bool {
+        matches!(self.crate_name.as_str(), "fleet" | "serve")
     }
 }
 
-/// Analyses one file's source under the given context.
+/// Where a suppression directive applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// `allow(...)`: the directive's line and the line below it.
+    Line,
+    /// `allow-file(...)`: the whole file.
+    File,
+    /// `allow-crate(...)` in `src/lib.rs`: the whole crate.
+    Crate,
+}
+
+/// One well-formed suppression directive, with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectiveRec {
+    /// Scope.
+    pub kind: DirectiveKind,
+    /// The rule it suppresses.
+    pub rule: String,
+    /// 0-based line of the comment.
+    pub line: usize,
+}
+
+/// The full per-file analysis product: raw (pre-suppression) findings,
+/// the parsed suppression directives, and the structural index. This
+/// is the unit the incremental cache stores.
+#[derive(Debug, Clone, Default)]
+pub struct FileAnalysis {
+    /// Findings before suppression filtering (HEB000 included).
+    pub raw: Vec<Diagnostic>,
+    /// Well-formed directives found in the file.
+    pub directives: Vec<DirectiveRec>,
+    /// The structural item index.
+    pub index: FileIndex,
+}
+
+/// The result of applying suppressions to a file's findings.
+#[derive(Debug, Clone, Default)]
+pub struct Applied {
+    /// Findings that survived.
+    pub kept: Vec<Diagnostic>,
+    /// Per input directive: whether it suppressed at least one
+    /// finding. (`Crate`-kind directives are resolved by the
+    /// workspace pass, which sees the whole crate.)
+    pub used: Vec<bool>,
+    /// Crate-wide rules (from `FileContext::crate_allows`) that
+    /// suppressed at least one finding in this file.
+    pub crate_rules_used: BTreeSet<String>,
+}
+
+/// Analyses one file: lexical rules, per-file semantic rules, the
+/// item index, and directive collection — all pre-suppression.
 #[must_use]
-pub fn analyze_source(source: &str, ctx: &FileContext) -> Vec<Diagnostic> {
+pub fn analyze_file(source: &str, ctx: &FileContext) -> FileAnalysis {
     let scrubbed = scrub(source);
     let original: Vec<&str> = source.lines().collect();
-    let mut diags = Vec::new();
-    let supp = collect_suppressions(&scrubbed, ctx, &mut diags);
     let test_lines = test_spans(&scrubbed.code);
+    let mut index = crate::parser::parse_index(&scrubbed.code, &test_lines);
+    crate::index::scan_taints(&mut index, &scrubbed.code);
+
+    let mut raw = Vec::new();
+    let directives = collect_directives(&scrubbed, ctx, &mut raw);
 
     let lib_code = |line: usize| ctx.role == Role::Lib && !test_lines.contains(&line);
     let snippet = |line: usize| original.get(line).map_or("", |s| s.trim()).to_string();
     let mut emit = |rule: &'static str, line: usize, message: String| {
-        if !supp.allows(line, rule) {
-            diags.push(Diagnostic {
-                rule,
-                path: ctx.path.clone(),
-                line: line + 1,
-                message,
-                snippet: snippet(line),
-            });
-        }
+        raw.push(Diagnostic {
+            rule,
+            path: ctx.path.clone(),
+            line: line + 1,
+            message,
+            snippet: snippet(line),
+        });
     };
 
     for (idx, code) in scrubbed.code.iter().enumerate() {
@@ -316,40 +471,187 @@ pub fn analyze_source(source: &str, ctx: &FileContext) -> Vec<Diagnostic> {
         check_unit_discipline(&scrubbed, &test_lines, &mut emit);
     }
 
-    crate::diagnostics::sort(&mut diags);
-    diags
+    // HEB008 (handler half): every `EventHandler` impl must publish a
+    // horizon by defining `next_activity` itself — never inheriting a
+    // future default — so event mode can never silently stall on a
+    // handler that forgot to advertise its next wake-up.
+    if ctx.role == Role::Lib && !ctx.is_panic_exempt() {
+        for im in &index.impls {
+            if im.trait_name.as_deref() == Some("EventHandler")
+                && !im.in_test
+                && !im.fns.contains("next_activity")
+            {
+                emit(
+                    "HEB008",
+                    im.line,
+                    format!(
+                        "`impl EventHandler for {}` does not define `next_activity`: \
+                         every handler must publish its event horizon explicitly so \
+                         event-mode runs can never stall on a silent default",
+                        im.type_name
+                    ),
+                );
+            }
+        }
+    }
+
+    // HEB009: in fleet/serve library code, a function that uses
+    // parallel constructs must not also fold f64s in an
+    // order-sensitive way — float addition is not associative, and a
+    // nondeterministic sum poisons byte-identical reports.
+    if ctx.is_hot_path_crate() && ctx.role == Role::Lib {
+        for f in &index.fns {
+            if f.in_test {
+                continue;
+            }
+            let (start, end) = f.body;
+            let body_lines = || start..=end.min(scrubbed.code.len().saturating_sub(1));
+            let parallel = body_lines().any(|l| {
+                PARALLEL_TOKENS
+                    .iter()
+                    .any(|t| contains_word(&scrubbed.code[l], t))
+            });
+            if !parallel {
+                continue;
+            }
+            for l in body_lines() {
+                if REDUCTION_PATTERNS
+                    .iter()
+                    .any(|p| scrubbed.code[l].contains(p))
+                {
+                    emit(
+                        "HEB009",
+                        l,
+                        format!(
+                            "order-sensitive `f64` reduction in `{}`, which also uses \
+                             parallel constructs: float addition is not associative, so \
+                             the sum depends on arrival order; reduce in a deterministic \
+                             order (e.g. by batch index) and document it with a \
+                             suppression if the order is already fixed",
+                            f.name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    FileAnalysis {
+        raw,
+        directives,
+        index,
+    }
+}
+
+/// Applies suppression directives (and crate-wide allows) to a file's
+/// findings. HEB000 findings are never suppressible. Returns the kept
+/// findings plus per-directive usage, so the workspace gate can report
+/// suppressions that no longer suppress anything.
+#[must_use]
+pub fn apply_suppressions(
+    diags: Vec<Diagnostic>,
+    directives: &[DirectiveRec],
+    crate_allows: &[String],
+) -> Applied {
+    let mut applied = Applied {
+        used: vec![false; directives.len()],
+        ..Applied::default()
+    };
+    for d in diags {
+        if d.rule == "HEB000" {
+            applied.kept.push(d);
+            continue;
+        }
+        let line0 = d.line.saturating_sub(1);
+        let mut suppressed = false;
+        for (i, dir) in directives.iter().enumerate() {
+            if dir.rule != d.rule {
+                continue;
+            }
+            let hit = match dir.kind {
+                DirectiveKind::Line => dir.line == line0 || dir.line + 1 == line0,
+                DirectiveKind::File => true,
+                DirectiveKind::Crate => false, // resolved crate-wide by the workspace pass
+            };
+            if hit {
+                suppressed = true;
+                applied.used[i] = true;
+            }
+        }
+        if crate_allows.iter().any(|r| r == d.rule) {
+            suppressed = true;
+            applied.crate_rules_used.insert(d.rule.to_string());
+        }
+        if !suppressed {
+            applied.kept.push(d);
+        }
+    }
+    applied
+}
+
+/// Analyses one file's source under the given context, returning the
+/// post-suppression findings. This is the single-file view: the
+/// cross-file rules (HEB007, HEB008's wildcard half, HEB010) and
+/// unused-suppression reporting need the workspace pipeline
+/// ([`analyze_files`](crate::workspace::analyze_files)).
+#[must_use]
+pub fn analyze_source(source: &str, ctx: &FileContext) -> Vec<Diagnostic> {
+    let fa = analyze_file(source, ctx);
+    let mut kept = apply_suppressions(fa.raw, &fa.directives, &ctx.crate_allows).kept;
+    crate::diagnostics::sort(&mut kept);
+    kept
+}
+
+/// A parsed `heb-analyze:` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Directive {
+    Allow(String),
+    AllowFile(String),
+    AllowCrate(String),
 }
 
 /// Scans comments for `heb-analyze:` directives; malformed ones become
-/// HEB000 findings.
-fn collect_suppressions(
+/// HEB000 findings, well-formed ones are recorded with their scope.
+fn collect_directives(
     scrubbed: &Scrubbed,
     ctx: &FileContext,
     diags: &mut Vec<Diagnostic>,
-) -> Suppressions {
-    let mut supp = Suppressions::default();
-    for rule in &ctx.crate_allows {
-        supp.crate_wide.insert(rule.clone());
-    }
+) -> Vec<DirectiveRec> {
+    let mut out = Vec::new();
     for (idx, comment) in scrubbed.comments.iter().enumerate() {
-        let Some(pos) = comment.find("heb-analyze:") else {
+        // A directive must *start* the comment (after the `///`/`//!`
+        // marker tail): prose or doc examples that merely mention the
+        // syntax mid-sentence are not directives.
+        let trimmed = comment
+            .trim_start()
+            .trim_start_matches(['/', '!', '*'])
+            .trim_start();
+        let Some(rest) = trimmed.strip_prefix("heb-analyze:") else {
             continue;
         };
-        let rest = comment[pos + "heb-analyze:".len()..].trim();
+        let rest = rest.trim();
         if !rest.starts_with("allow") {
             // Prose that merely mentions the tool, not a directive.
             continue;
         }
         match parse_directive(rest) {
-            Ok(Directive::Allow(rule)) => {
-                supp.by_line.entry(idx).or_default().insert(rule);
-            }
-            Ok(Directive::AllowFile(rule)) => {
-                supp.file_wide.insert(rule);
-            }
+            Ok(Directive::Allow(rule)) => out.push(DirectiveRec {
+                kind: DirectiveKind::Line,
+                rule,
+                line: idx,
+            }),
+            Ok(Directive::AllowFile(rule)) => out.push(DirectiveRec {
+                kind: DirectiveKind::File,
+                rule,
+                line: idx,
+            }),
             Ok(Directive::AllowCrate(rule)) => {
                 if ctx.path.ends_with("src/lib.rs") {
-                    supp.crate_wide.insert(rule);
+                    out.push(DirectiveRec {
+                        kind: DirectiveKind::Crate,
+                        rule,
+                        line: idx,
+                    });
                 } else {
                     diags.push(Diagnostic {
                         rule: "HEB000",
@@ -372,7 +674,7 @@ fn collect_suppressions(
             }
         }
     }
-    supp
+    out
 }
 
 /// Parses `allow(HEB00N, reason)` / `allow-file(...)` / `allow-crate(...)`.
@@ -410,7 +712,7 @@ fn parse_directive(rest: &str) -> Result<Directive, String> {
 }
 
 /// The set of 0-based lines inside `#[cfg(test)]`-gated items.
-fn test_spans(code: &[String]) -> BTreeSet<usize> {
+pub(crate) fn test_spans(code: &[String]) -> BTreeSet<usize> {
     let mut lines = BTreeSet::new();
     for (idx, line) in code.iter().enumerate() {
         let gated =
@@ -690,7 +992,7 @@ fn is_ident_byte(b: u8) -> bool {
 }
 
 /// Whole-word containment (`Instant` but not `Instantaneous`).
-fn contains_word(line: &str, word: &str) -> bool {
+pub(crate) fn contains_word(line: &str, word: &str) -> bool {
     let bytes = line.as_bytes();
     let mut from = 0;
     while let Some(rel) = line[from..].find(word) {
@@ -910,5 +1212,70 @@ mod tests {
         let src = "/// call `.unwrap()` at your peril; panic! ensues\n\
                    pub fn f() -> String { \"panic!\".to_string() }\n";
         assert!(analyze_source(src, &sim_ctx()).is_empty());
+    }
+
+    #[test]
+    fn heb008_requires_next_activity_on_handler_impls() {
+        let src = "impl EventHandler for Quiet {\n    fn on_event(&mut self) {}\n}\n";
+        let d = analyze_source(src, &sim_ctx());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "HEB008");
+        assert_eq!(d[0].line, 1);
+        let ok = "impl EventHandler for Quiet {\n    fn next_activity(&self) -> Option<u64> \
+                  { None }\n}\n";
+        assert!(analyze_source(ok, &sim_ctx()).is_empty());
+        // Other traits and test-gated impls are out of scope.
+        let other = "impl Display for Quiet {\n    fn fmt(&self) {}\n}\n";
+        assert!(analyze_source(other, &sim_ctx()).is_empty());
+        let gated = "#[cfg(test)]\nmod tests {\n    impl EventHandler for Toy {\n        \
+                     fn on_event(&mut self) {}\n    }\n}\n";
+        assert!(analyze_source(gated, &sim_ctx()).is_empty());
+    }
+
+    #[test]
+    fn heb009_flags_parallel_float_folds_in_hot_crates_only() {
+        let fleet = FileContext::lib("fleet", "crates/fleet/src/agg.rs");
+        let par = "fn total(xs: &[f64]) -> f64 {\n    std::thread::scope(|s| {\n        \
+                   xs.iter().sum::<f64>()\n    })\n}\n";
+        let d = analyze_source(par, &fleet);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "HEB009");
+        assert_eq!(d[0].line, 3);
+        // Serial reductions are fine; parallel integer work is fine.
+        let serial = "fn total(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n";
+        assert!(analyze_source(serial, &fleet).is_empty());
+        let int_par = "fn count(xs: &[u64]) -> u64 {\n    std::thread::scope(|s| xs.len() \
+                       as u64)\n}\n";
+        assert!(analyze_source(int_par, &fleet).is_empty());
+        // Sim crates are governed by determinism rules, not HEB009.
+        assert!(analyze_source(par, &sim_ctx()).is_empty());
+    }
+
+    #[test]
+    fn new_rules_are_suppressible_by_directive() {
+        let fleet = FileContext::lib("fleet", "crates/fleet/src/agg.rs");
+        let src = "fn total(xs: &[f64]) -> f64 {\n    std::thread::scope(|s| {\n        \
+                   // heb-analyze: allow(HEB009, batch-index order is fixed)\n        \
+                   xs.iter().sum::<f64>()\n    })\n}\n";
+        assert!(analyze_source(src, &fleet).is_empty());
+    }
+
+    #[test]
+    fn apply_suppressions_reports_directive_usage() {
+        let ctx = sim_ctx();
+        let src = "// heb-analyze: allow(HEB003, used below)\npub fn f() { x.unwrap() }\n\
+                   // heb-analyze: allow(HEB001, nothing here uses clocks)\n";
+        let fa = analyze_file(src, &ctx);
+        assert_eq!(fa.directives.len(), 2);
+        let applied = apply_suppressions(fa.raw, &fa.directives, &[]);
+        assert!(applied.kept.is_empty());
+        assert_eq!(applied.used, vec![true, false], "second allow is unused");
+    }
+
+    #[test]
+    fn rule_id_maps_names_to_static_ids() {
+        assert_eq!(rule_id("HEB007"), Some("HEB007"));
+        assert_eq!(rule_id("HEB000"), Some("HEB000"));
+        assert_eq!(rule_id("HEB999"), None);
     }
 }

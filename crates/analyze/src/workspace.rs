@@ -1,78 +1,294 @@
-//! Workspace discovery: find every Rust source file, classify it, and
-//! run the rules.
+//! Workspace discovery and the analysis pipeline: find every Rust
+//! source file, classify it, analyze files in parallel (optionally
+//! through the incremental cache), run the cross-file rules, apply
+//! suppressions, and report unused ones.
+//!
+//! Determinism contract: the output is byte-identical at any `--jobs`
+//! value. Workers only fill a slot vector indexed by file position —
+//! thread scheduling decides *when* a slot is filled, never *what* goes
+//! in it or how results are ordered — and everything order-sensitive
+//! (cross-file rules, suppression application, sorting) runs serially
+//! on the completed vector.
 
+use crate::cache::{self, AnalysisCache};
 use crate::diagnostics::{self, Diagnostic};
-use crate::lexer::scrub;
-use crate::rules::{analyze_source, FileContext, Role};
-use std::collections::BTreeMap;
+use crate::rules::{
+    analyze_file, apply_suppressions, DirectiveKind, FileAnalysis, FileContext, Role,
+};
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
-/// Analyses every crate under `<root>/crates` plus the root package's
-/// `src`, `tests`, and `examples`. Returns findings sorted by
-/// `(path, line, rule)`.
+/// Options for a workspace analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeOptions {
+    /// Worker threads for per-file analysis; `0` means auto
+    /// (`available_parallelism`, capped at 8).
+    pub jobs: usize,
+    /// Incremental cache directory; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// Counters from one analysis run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Source files discovered.
+    pub files: usize,
+    /// Files analyzed from source this run.
+    pub analyzed: usize,
+    /// Files served from the incremental cache.
+    pub cached: usize,
+    /// Wall-clock duration of the whole run, milliseconds.
+    pub wall_ms: u64,
+}
+
+/// The full product of a workspace analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// Post-suppression findings, sorted by `(path, line, rule)`.
+    /// These reconcile against the baseline.
+    pub errors: Vec<Diagnostic>,
+    /// Unused-suppression warnings (rule `HEB000`), sorted. Never
+    /// baselined; `--strict-suppressions` promotes them to failures.
+    pub warnings: Vec<Diagnostic>,
+    /// Run counters (for `BENCH_analyze.json`).
+    pub stats: RunStats,
+}
+
+/// Analyses every crate under `<root>/crates` plus the root package,
+/// with options. See [`AnalysisReport`] for what comes back.
 ///
 /// # Errors
 ///
-/// Returns the first I/O error encountered while walking or reading.
-pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut files = Vec::new();
+/// Returns the first I/O error encountered while walking or reading
+/// source files (cache I/O never errors — it degrades to misses).
+pub fn analyze_workspace_with(root: &Path, opts: &AnalyzeOptions) -> io::Result<AnalysisReport> {
+    let start = Instant::now();
+    let mut found = Vec::new();
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
         for entry in sorted_dir(&crates_dir)? {
             if entry.is_dir() {
                 let crate_name = file_name(&entry);
-                collect_crate(&entry, &crate_name, &mut files)?;
+                collect_crate(&entry, &crate_name, &mut found)?;
             }
         }
     }
     // The workspace-root `heb` umbrella package.
-    collect_crate(root, "heb", &mut files)?;
+    collect_crate(root, "heb", &mut found)?;
 
-    // Crate-wide suppressions live in each crate's src/lib.rs.
-    let mut crate_allows: BTreeMap<String, Vec<String>> = BTreeMap::new();
-    for (path, ctx) in &files {
-        if ctx.path.ends_with("src/lib.rs") {
-            let source = std::fs::read_to_string(path)?;
-            let allows = lib_rs_crate_allows(&source);
-            if !allows.is_empty() {
-                crate_allows.insert(ctx.crate_name.clone(), allows);
+    let mut units = Vec::with_capacity(found.len());
+    for (path, ctx) in found {
+        units.push((std::fs::read_to_string(&path)?, ctx));
+    }
+
+    let cache = opts.cache_dir.as_deref().map(AnalysisCache::new);
+    let (analyses, cached) = run_units(&units, opts.jobs, cache.as_ref());
+    let (errors, warnings) = finish(&units, analyses);
+    Ok(AnalysisReport {
+        errors,
+        warnings,
+        stats: RunStats {
+            files: units.len(),
+            analyzed: units.len() - cached,
+            cached,
+            wall_ms: u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX),
+        },
+    })
+}
+
+/// Analyses every crate under `<root>/crates` plus the root package's
+/// `src`, `tests`, and `examples`. Returns findings sorted by
+/// `(path, line, rule)`. (The compatibility view of
+/// [`analyze_workspace_with`]: auto jobs, no cache, warnings dropped.)
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered while walking or reading.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    Ok(analyze_workspace_with(root, &AnalyzeOptions::default())?.errors)
+}
+
+/// Runs the full pipeline over in-memory `(source, context)` units —
+/// the workspace analysis minus the filesystem walk. This is the
+/// seam the determinism and cross-file rule tests drive.
+#[must_use]
+pub fn analyze_files(
+    units: &[(String, FileContext)],
+    jobs: usize,
+) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    let (analyses, _) = run_units(units, jobs, None);
+    finish(units, analyses)
+}
+
+/// Per-file analysis over a work-stealing cursor: workers claim unit
+/// indices and fill slots, so the result vector is identical for any
+/// worker count. Returns the analyses plus the cache-hit count.
+fn run_units(
+    units: &[(String, FileContext)],
+    jobs: usize,
+    cache: Option<&AnalysisCache>,
+) -> (Vec<FileAnalysis>, usize) {
+    let n = units.len();
+    let jobs = effective_jobs(jobs, n);
+    let cached = AtomicUsize::new(0);
+    let analyze_one = |i: usize| -> FileAnalysis {
+        let (source, ctx) = &units[i];
+        if let Some(c) = cache {
+            let key = cache::key(source, ctx);
+            if let Some(fa) = c.load(&key, &ctx.path) {
+                cached.fetch_add(1, Ordering::Relaxed);
+                return fa;
+            }
+            let fa = analyze_file(source, ctx);
+            c.store(&key, &fa);
+            return fa;
+        }
+        analyze_file(source, ctx)
+    };
+
+    let mut slots: Vec<Option<FileAnalysis>> = (0..n).map(|_| None).collect();
+    if jobs <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(analyze_one(i));
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let batches: Vec<Vec<(usize, FileAnalysis)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            out.push((i, analyze_one(i)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        // heb-analyze: allow(HEB003, re-raising a worker panic, not originating one)
+                        .unwrap_or_else(|e| std::panic::resume_unwind(e))
+                })
+                .collect()
+        });
+        for batch in batches {
+            for (i, fa) in batch {
+                slots[i] = Some(fa);
             }
         }
     }
-
-    let mut diags = Vec::new();
-    for (path, mut ctx) in files {
-        if let Some(allows) = crate_allows.get(&ctx.crate_name) {
-            ctx.crate_allows.clone_from(allows);
-        }
-        let source = std::fs::read_to_string(&path)?;
-        diags.extend(analyze_source(&source, &ctx));
-    }
-    diagnostics::sort(&mut diags);
-    Ok(diags)
+    let analyses = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| analyze_file(&units[i].0, &units[i].1)))
+        .collect();
+    (analyses, cached.into_inner())
 }
 
-/// Extracts `allow-crate(RULE, reason)` rule IDs from a `lib.rs`.
-fn lib_rs_crate_allows(source: &str) -> Vec<String> {
-    let scrubbed = scrub(source);
-    let mut out = Vec::new();
-    for comment in &scrubbed.comments {
-        if let Some(pos) = comment.find("heb-analyze:") {
-            let rest = comment[pos + "heb-analyze:".len()..].trim();
-            if let Some(args) = rest
-                .strip_prefix("allow-crate(")
-                .and_then(|a| a.strip_suffix(')'))
-            {
-                if let Some((rule, reason)) = args.split_once(',') {
-                    if crate::rules::RULES.contains(&rule.trim()) && !reason.trim().is_empty() {
-                        out.push(rule.trim().to_string());
-                    }
+fn effective_jobs(jobs: usize, n: usize) -> usize {
+    let auto = || {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(8)
+    };
+    let j = if jobs == 0 { auto() } else { jobs };
+    j.clamp(1, n.max(1))
+}
+
+/// The serial tail of the pipeline: cross-file rules, crate-wide
+/// allows, suppression application, unused-suppression warnings, and
+/// the final sort.
+fn finish(
+    units: &[(String, FileContext)],
+    analyses: Vec<FileAnalysis>,
+) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    // Crate-wide suppressions live in each crate's src/lib.rs.
+    let mut crate_allows: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+    for (i, (_, ctx)) in units.iter().enumerate() {
+        if ctx.path.ends_with("src/lib.rs") {
+            for d in &analyses[i].directives {
+                if d.kind == DirectiveKind::Crate {
+                    crate_allows
+                        .entry(ctx.crate_name.as_str())
+                        .or_default()
+                        .push(d.rule.clone());
                 }
             }
         }
     }
-    out
+
+    // Cross-file rules see everything; their findings are folded back
+    // into each file's raw set so line suppressions work on them too.
+    let mut extra: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    for d in crate::reach::cross_file(units, &analyses) {
+        extra.entry(d.path.clone()).or_default().push(d);
+    }
+
+    let empty: Vec<String> = Vec::new();
+    let mut errors = Vec::new();
+    let mut used_per_file: Vec<Vec<bool>> = Vec::with_capacity(units.len());
+    let mut crate_used: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    for (i, (_, ctx)) in units.iter().enumerate() {
+        let mut diags = analyses[i].raw.clone();
+        if let Some(ex) = extra.remove(&ctx.path) {
+            diags.extend(ex);
+        }
+        let allows = crate_allows.get(ctx.crate_name.as_str()).unwrap_or(&empty);
+        let mut applied = apply_suppressions(diags, &analyses[i].directives, allows);
+        errors.append(&mut applied.kept);
+        crate_used
+            .entry(ctx.crate_name.as_str())
+            .or_default()
+            .extend(applied.crate_rules_used);
+        used_per_file.push(applied.used);
+    }
+
+    // A suppression that suppressed nothing is itself a finding — the
+    // suppression set ratchets down like the baseline does.
+    let mut warnings = Vec::new();
+    for (i, (source, ctx)) in units.iter().enumerate() {
+        for (j, dir) in analyses[i].directives.iter().enumerate() {
+            let used = match dir.kind {
+                DirectiveKind::Crate => crate_used
+                    .get(ctx.crate_name.as_str())
+                    .is_some_and(|s| s.contains(&dir.rule)),
+                DirectiveKind::Line | DirectiveKind::File => used_per_file[i][j],
+            };
+            if !used {
+                warnings.push(Diagnostic {
+                    rule: "HEB000",
+                    path: ctx.path.clone(),
+                    line: dir.line + 1,
+                    message: format!(
+                        "unused suppression: this allow({}) no longer suppresses any \
+                         finding — delete it (or fix the rule/line it was meant for)",
+                        dir.rule
+                    ),
+                    snippet: source
+                        .lines()
+                        .nth(dir.line)
+                        .unwrap_or("")
+                        .trim()
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    diagnostics::sort(&mut errors);
+    diagnostics::sort(&mut warnings);
+    (errors, warnings)
 }
 
 /// Collects one crate directory's `.rs` files with their contexts.
@@ -153,7 +369,7 @@ fn sorted_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
 ///
 /// Directories named `fixtures` are skipped: they hold test *data* —
 /// deliberately-violating sources the rule tests feed to
-/// [`analyze_source`] directly — not code cargo compiles.
+/// [`crate::rules::analyze_source`] directly — not code cargo compiles.
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     for entry in sorted_dir(dir)? {
         if entry.is_dir() {
@@ -192,5 +408,50 @@ mod tests {
         assert_eq!(refine_role("src/bin/heb_fleet.rs", Role::Lib), Role::Bin);
         assert_eq!(refine_role("src/main.rs", Role::Lib), Role::Bin);
         assert_eq!(refine_role("src/lib.rs", Role::Lib), Role::Lib);
+    }
+
+    #[test]
+    fn parallel_output_matches_serial_and_stats_add_up() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let serial = analyze_workspace_with(
+            &root,
+            &AnalyzeOptions {
+                jobs: 1,
+                cache_dir: None,
+            },
+        )
+        .unwrap();
+        let parallel = analyze_workspace_with(
+            &root,
+            &AnalyzeOptions {
+                jobs: 4,
+                cache_dir: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.errors, parallel.errors);
+        assert_eq!(serial.warnings, parallel.warnings);
+        assert_eq!(serial.stats.files, parallel.stats.files);
+        assert_eq!(serial.stats.analyzed, serial.stats.files);
+        assert_eq!(serial.stats.cached, 0);
+    }
+
+    #[test]
+    fn warm_cache_run_reanalyzes_nothing_and_agrees() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let dir = std::env::temp_dir().join(format!("heb-analyze-ws-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = AnalyzeOptions {
+            jobs: 2,
+            cache_dir: Some(dir.clone()),
+        };
+        let cold = analyze_workspace_with(&root, &opts).unwrap();
+        assert_eq!(cold.stats.cached, 0, "cold run hits nothing");
+        let warm = analyze_workspace_with(&root, &opts).unwrap();
+        assert_eq!(warm.stats.analyzed, 0, "warm run re-analyzes nothing");
+        assert_eq!(warm.stats.cached, warm.stats.files);
+        assert_eq!(cold.errors, warm.errors);
+        assert_eq!(cold.warnings, warm.warnings);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,21 @@
+//! Near miss for HEB007: telemetry is touched by a helper that is
+//! NOT reachable from the content hash, so nothing may be flagged.
+
+pub struct Scenario {
+    seed: u64,
+}
+
+impl Scenario {
+    pub fn content_hash(&self) -> u64 {
+        fold_seed(self.seed)
+    }
+}
+
+fn fold_seed(seed: u64) -> u64 {
+    seed ^ 0x9e37
+}
+
+pub fn debug_dump(seed: u64) {
+    let handle = heb_telemetry::RecorderHandle::current();
+    handle.note(seed);
+}

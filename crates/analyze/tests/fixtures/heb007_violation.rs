@@ -1,0 +1,22 @@
+//! Seeded HEB007: the content hash transitively reaches a helper
+//! that touches telemetry.
+
+pub struct Scenario {
+    seed: u64,
+}
+
+impl Scenario {
+    pub fn content_hash(&self) -> u64 {
+        fold_seed(self.seed)
+    }
+}
+
+fn fold_seed(seed: u64) -> u64 {
+    note_progress(seed);
+    seed ^ 0x9e37
+}
+
+fn note_progress(seed: u64) {
+    let handle = heb_telemetry::RecorderHandle::current();
+    handle.note(seed);
+}

@@ -1,0 +1,26 @@
+//! Near misses for HEB008: an exhaustive event match, a wildcard on a
+//! *different* enum, and a handler that defines `next_activity`.
+
+pub struct Ready;
+
+impl EventHandler for Ready {
+    fn on_event(&mut self, _e: &Event) {}
+    fn next_activity(&self) -> Option<u64> {
+        None
+    }
+}
+
+pub fn dispatch(e: &Event) -> u32 {
+    match e {
+        Event::Tick => 1,
+        Event::SlotBoundary => 2,
+        Event::HorizonEnd => 3,
+    }
+}
+
+pub fn fault_kind(k: &FaultKind) -> u32 {
+    match k {
+        FaultKind::Grid => 1,
+        _ => 0,
+    }
+}

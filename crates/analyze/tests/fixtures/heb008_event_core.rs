@@ -1,0 +1,12 @@
+//! Companion fixture: a stand-in event core, the file HEB008 harvests
+//! the `Event` variant set from.
+
+pub enum Event {
+    Tick,
+    SlotBoundary,
+    HorizonEnd,
+}
+
+pub trait EventHandler {
+    fn next_activity(&self) -> Option<u64>;
+}

@@ -1,0 +1,16 @@
+//! Seeded HEB008: a wildcard arm on an event-core `Event` match, and
+//! a handler impl that does not define `next_activity`.
+
+pub struct Quiet;
+
+impl EventHandler for Quiet {
+    fn on_event(&mut self, _e: &Event) {}
+}
+
+pub fn dispatch(e: &Event) -> u32 {
+    match e {
+        Event::Tick => 1,
+        Event::SlotBoundary => 2,
+        _ => 0,
+    }
+}

@@ -1,0 +1,10 @@
+//! Near misses for HEB009: a serial f64 reduction (order is fixed),
+//! and parallel work over integers (addition is associative).
+
+pub fn total_power(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>()
+}
+
+pub fn count_ready(flags: &[bool]) -> usize {
+    std::thread::scope(|scope| flags.iter().filter(|f| **f).count())
+}

@@ -1,0 +1,7 @@
+//! Seeded HEB009: a parallel scope folding f64s in arrival order.
+
+pub fn total_power(samples: &[f64]) -> f64 {
+    std::thread::scope(|scope| {
+        samples.iter().sum::<f64>()
+    })
+}

@@ -1,0 +1,15 @@
+//! Near miss for HEB010: a local function that happens to share the
+//! shim's name (the call binds to it, not to the shim), plus a caller
+//! of the supported API.
+
+fn run_one(x: u32) -> u32 {
+    x + 1
+}
+
+pub fn answer(x: u32) -> u32 {
+    run_one(x) + run(x)
+}
+
+fn run(x: u32) -> u32 {
+    x
+}

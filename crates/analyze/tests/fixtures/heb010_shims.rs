@@ -1,0 +1,12 @@
+//! Companion fixture: the deprecated shim definitions HEB010 hunts
+//! callers of. The defining file itself may keep referencing them
+//! (pinned compatibility tests do).
+
+#[deprecated(note = "use FleetEngine::run")]
+pub fn run_one(x: u32) -> u32 {
+    x
+}
+
+pub fn run(x: u32) -> u32 {
+    x
+}

@@ -1,0 +1,6 @@
+//! Seeded HEB010: a fresh caller of a deprecated shim, outside the
+//! shim's defining file.
+
+pub fn answer(x: u32) -> u32 {
+    run_one(x)
+}

@@ -7,7 +7,7 @@
 //! and the workspace walker deliberately skips: they are analyzer
 //! *inputs*, some of them violating on purpose.
 
-use heb_analyze::{analyze_source, Baseline, Diagnostic, FileContext};
+use heb_analyze::{analyze_files, analyze_source, Baseline, Diagnostic, FileContext};
 use std::path::Path;
 
 fn fixture(name: &str) -> String {
@@ -127,6 +127,247 @@ fn heb000_fires_on_reasonless_directive_and_keeps_the_violation() {
     );
 }
 
+/// Builds in-memory `(source, context)` units from fixture files, for
+/// the cross-file rules that need a multi-file workspace view.
+fn units(list: &[(&str, FileContext)]) -> Vec<(String, FileContext)> {
+    list.iter()
+        .map(|(name, ctx)| (fixture(name), ctx.clone()))
+        .collect()
+}
+
+#[test]
+fn heb007_fires_on_taint_reachable_from_content_hash() {
+    let u = units(&[(
+        "heb007_violation.rs",
+        FileContext::lib("core", "crates/core/src/scenario.rs"),
+    )]);
+    let (errors, warnings) = analyze_files(&u, 1);
+    assert!(warnings.is_empty(), "{warnings:?}");
+    assert_eq!(errors.len(), 1, "{errors:?}");
+    assert_eq!(errors[0].rule, "HEB007");
+    assert_eq!(errors[0].line, 20, "the heb_telemetry line: {errors:?}");
+    assert!(
+        errors[0]
+            .message
+            .contains("content_hash -> fold_seed -> note_progress"),
+        "witness path must name the call chain: {}",
+        errors[0].message
+    );
+}
+
+#[test]
+fn heb007_silent_when_taint_is_unreachable() {
+    // Same telemetry touch, but in a helper the hash never calls — the
+    // near miss that separates reachability from HEB005's file list.
+    let u = units(&[(
+        "heb007_clean.rs",
+        FileContext::lib("core", "crates/core/src/scenario.rs"),
+    )]);
+    let (errors, warnings) = analyze_files(&u, 1);
+    assert_eq!(errors, vec![], "unreachable taint must not fire");
+    assert!(warnings.is_empty());
+}
+
+#[test]
+fn heb007_roots_are_scoped_to_the_hash_root_file() {
+    // The identical source outside crates/core/src/scenario.rs defines
+    // no roots, so nothing is reachable and nothing fires.
+    let u = units(&[(
+        "heb007_violation.rs",
+        FileContext::lib("core", "crates/core/src/other.rs"),
+    )]);
+    let (errors, _) = analyze_files(&u, 1);
+    assert_eq!(errors, vec![]);
+}
+
+#[test]
+fn heb008_fires_on_wildcard_arm_and_incomplete_handler() {
+    let u = units(&[
+        (
+            "heb008_event_core.rs",
+            FileContext::lib("core", "crates/core/src/event.rs"),
+        ),
+        (
+            "heb008_violation.rs",
+            FileContext::lib("core", "crates/core/src/dispatch.rs"),
+        ),
+    ]);
+    let (errors, warnings) = analyze_files(&u, 1);
+    assert!(warnings.is_empty(), "{warnings:?}");
+    assert_eq!(errors.len(), 2, "{errors:?}");
+    assert!(
+        errors
+            .iter()
+            .any(|d| d.rule == "HEB008" && d.line == 6 && d.message.contains("next_activity")),
+        "handler missing next_activity: {errors:?}"
+    );
+    assert!(
+        errors
+            .iter()
+            .any(|d| d.rule == "HEB008" && d.line == 14 && d.message.contains("catch-all")),
+        "wildcard arm on an Event match: {errors:?}"
+    );
+}
+
+#[test]
+fn heb008_silent_on_exhaustive_match_and_other_enums() {
+    let u = units(&[
+        (
+            "heb008_event_core.rs",
+            FileContext::lib("core", "crates/core/src/event.rs"),
+        ),
+        (
+            "heb008_clean.rs",
+            FileContext::lib("core", "crates/core/src/dispatch.rs"),
+        ),
+    ]);
+    let (errors, _) = analyze_files(&u, 1);
+    assert_eq!(
+        errors,
+        vec![],
+        "exhaustive Event match and FaultKind wildcard are both fine"
+    );
+}
+
+#[test]
+fn heb008_wildcard_check_is_scoped_to_sim_crates() {
+    // The same wildcard in an Infra crate is not event-dispatch code.
+    let u = units(&[
+        (
+            "heb008_event_core.rs",
+            FileContext::lib("core", "crates/core/src/event.rs"),
+        ),
+        (
+            "heb008_violation.rs",
+            FileContext::lib("telemetry", "crates/telemetry/src/dispatch.rs"),
+        ),
+    ]);
+    let (errors, _) = analyze_files(&u, 1);
+    // The handler-completeness half still applies (any non-harness
+    // crate can implement EventHandler); the wildcard half must not.
+    assert!(
+        errors.iter().all(|d| d.line != 14),
+        "wildcard must not fire outside Sim crates: {errors:?}"
+    );
+}
+
+#[test]
+fn heb009_fires_on_parallel_float_fold_fixture() {
+    let u = units(&[(
+        "heb009_violation.rs",
+        FileContext::lib("fleet", "crates/fleet/src/agg.rs"),
+    )]);
+    let (errors, warnings) = analyze_files(&u, 1);
+    assert!(warnings.is_empty());
+    assert_eq!(errors.len(), 1, "{errors:?}");
+    assert_eq!(errors[0].rule, "HEB009");
+    assert_eq!(errors[0].line, 5, "the sum::<f64> line: {errors:?}");
+}
+
+#[test]
+fn heb009_silent_on_serial_floats_and_parallel_integers() {
+    let u = units(&[(
+        "heb009_clean.rs",
+        FileContext::lib("fleet", "crates/fleet/src/agg.rs"),
+    )]);
+    let (errors, _) = analyze_files(&u, 1);
+    assert_eq!(errors, vec![]);
+}
+
+#[test]
+fn heb010_fires_on_cross_file_shim_caller() {
+    let u = units(&[
+        (
+            "heb010_shims.rs",
+            FileContext::lib("fleet", "crates/fleet/src/engine.rs"),
+        ),
+        (
+            "heb010_violation.rs",
+            FileContext::lib("serve", "crates/serve/src/caller.rs"),
+        ),
+    ]);
+    let (errors, warnings) = analyze_files(&u, 1);
+    assert!(warnings.is_empty());
+    assert_eq!(errors.len(), 1, "{errors:?}");
+    assert_eq!(errors[0].rule, "HEB010");
+    assert_eq!(errors[0].path, "crates/serve/src/caller.rs");
+    assert_eq!(errors[0].line, 5, "the run_one(x) call: {errors:?}");
+    assert!(
+        errors[0].message.contains("crates/fleet/src/engine.rs"),
+        "message names the defining file: {}",
+        errors[0].message
+    );
+}
+
+#[test]
+fn heb010_silent_on_local_namesakes_and_the_defining_file() {
+    let u = units(&[
+        (
+            "heb010_shims.rs",
+            FileContext::lib("fleet", "crates/fleet/src/engine.rs"),
+        ),
+        (
+            "heb010_clean.rs",
+            FileContext::lib("serve", "crates/serve/src/caller.rs"),
+        ),
+    ]);
+    let (errors, _) = analyze_files(&u, 1);
+    assert_eq!(
+        errors,
+        vec![],
+        "a local fn of the same name binds the call, not the shim"
+    );
+}
+
+#[test]
+fn unused_suppressions_warn_and_used_ones_do_not() {
+    let src = "// heb-analyze: allow(HEB003, used: the line below unwraps)\n\
+               pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+               // heb-analyze: allow(HEB001, unused: nothing here reads clocks)\n\
+               pub fn g() -> u32 { 7 }\n";
+    let u = vec![(
+        src.to_string(),
+        FileContext::lib("core", "crates/core/src/x.rs"),
+    )];
+    let (errors, warnings) = analyze_files(&u, 1);
+    assert_eq!(errors, vec![], "the used suppression still suppresses");
+    assert_eq!(warnings.len(), 1, "{warnings:?}");
+    assert_eq!(warnings[0].rule, "HEB000");
+    assert_eq!(warnings[0].line, 3, "the unused HEB001 allow: {warnings:?}");
+    assert!(warnings[0].message.contains("unused suppression"));
+}
+
+#[test]
+fn unused_crate_wide_suppressions_warn_too() {
+    let lib = "// heb-analyze: allow-crate(HEB002, legacy maps pending migration)\n\
+               pub fn nothing_ordered_here() {}\n";
+    let u = vec![(
+        lib.to_string(),
+        FileContext::lib("core", "crates/core/src/lib.rs"),
+    )];
+    let (errors, warnings) = analyze_files(&u, 1);
+    assert_eq!(errors, vec![]);
+    assert_eq!(warnings.len(), 1, "{warnings:?}");
+    assert_eq!(warnings[0].path, "crates/core/src/lib.rs");
+
+    // The same allow-crate with a HashMap user elsewhere in the crate
+    // is used — no warning.
+    let user = "pub fn m() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+    let u = vec![
+        (
+            lib.to_string(),
+            FileContext::lib("core", "crates/core/src/lib.rs"),
+        ),
+        (
+            user.to_string(),
+            FileContext::lib("core", "crates/core/src/maps.rs"),
+        ),
+    ];
+    let (errors, warnings) = analyze_files(&u, 1);
+    assert_eq!(errors, vec![], "crate-wide allow suppresses the finding");
+    assert_eq!(warnings, vec![], "and is therefore not unused");
+}
+
 #[test]
 fn workspace_is_clean_against_checked_in_baseline() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
@@ -147,5 +388,25 @@ fn workspace_is_clean_against_checked_in_baseline() {
         rec.stale.is_empty(),
         "stale baseline entries (ratchet down with --fix-baseline): {:?}",
         rec.stale
+    );
+}
+
+#[test]
+fn workspace_has_no_unused_suppressions() {
+    // The strict-suppressions CI gate, as a test: every allow comment
+    // in the workspace must still be earning its keep.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report =
+        heb_analyze::analyze_workspace_with(&root, &heb_analyze::AnalyzeOptions::default())
+            .expect("workspace scan");
+    assert!(
+        report.warnings.is_empty(),
+        "unused suppressions in the workspace:\n{}",
+        report
+            .warnings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
     );
 }

@@ -742,7 +742,6 @@ mod tests {
                 &[Archetype::Terasort],
                 3,
             )
-            // heb-analyze: allow(HEB003, literal spec in test)
             .with_faults(FaultSchedule::parse(schedule).unwrap())
         };
         let rt = SimDriver::tick(build()).run_ticks(2 * 3600);

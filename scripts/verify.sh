@@ -16,8 +16,35 @@ cargo build --release
 echo "== cargo test"
 cargo test --workspace -q
 
-echo "== heb-analyze (static analysis gate, ratcheting baseline)"
-cargo run -q -p heb-analyze
+echo "== heb-analyze (static analysis gate: cold run, then warm incremental run)"
+BENCH_ANALYZE="$(mktemp -d)"
+rm -rf results/analyze-cache
+cargo run -q --release -p heb-analyze -- --strict-suppressions --jobs 4 \
+  --sarif results/heb-analyze.sarif --stats-json "$BENCH_ANALYZE/cold.json"
+cargo run -q --release -p heb-analyze -- --strict-suppressions --jobs 4 \
+  --stats-json "$BENCH_ANALYZE/warm.json"
+python3 - "$BENCH_ANALYZE" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+cold = json.load(open(os.path.join(d, "cold.json")))
+warm = json.load(open(os.path.join(d, "warm.json")))
+if warm["analyzed"] != 0:
+    raise SystemExit(
+        f"heb-analyze: warm run re-analyzed {warm['analyzed']} file(s); "
+        "the incremental cache must serve every unchanged file")
+bench = {
+    "files": cold["files"],
+    "cold": {"analyzed": cold["analyzed"], "wall_ms": cold["wall_ms"]},
+    "warm": {"analyzed": warm["analyzed"], "cached": warm["cached"],
+             "wall_ms": warm["wall_ms"]},
+}
+json.dump(bench, open("BENCH_analyze.json", "w"), indent=2)
+open("BENCH_analyze.json", "a").write("\n")
+print(f"heb-analyze: cold {cold['wall_ms']} ms ({cold['analyzed']} analyzed), "
+      f"warm {warm['wall_ms']} ms (all {warm['cached']} cached) "
+      "-> BENCH_analyze.json")
+EOF
+rm -rf "$BENCH_ANALYZE"
 
 echo "== strict-invariants (runtime conservation checks in the chaos suites)"
 cargo test -p heb-core --features strict-invariants -q
