@@ -10,7 +10,7 @@
 //! | HEB006 | `Sim`/`Physics` lib code outside the event core | no raw `tick_index` counters or tick-count-times-`dt` seconds arithmetic — timestamps are minted by `heb_core::event::SimClock` only |
 //! | HEB007 | fns reachable from `Scenario` content hashing | no telemetry / clock / env / I/O taint anywhere on the hash path — call-graph generalisation of HEB005 |
 //! | HEB008 | `Sim` lib code + every `EventHandler` impl | no catch-all arms on event-core `Event` matches; every handler defines `next_activity` — a new variant must fail the gate |
-//! | HEB009 | `fleet`/`serve` lib code | no order-sensitive `f64` reductions in functions that also use parallel constructs — float addition is not associative |
+//! | HEB009 | `fleet`/`serve` lib code + the powersys `soa`/`agg` hot path | no order-sensitive `f64` reductions in functions that also use parallel constructs — float addition is not associative |
 //! | HEB010 | everywhere | no new callers of `#[deprecated]` shims outside their defining file |
 //! | HEB000 | everywhere | a malformed, reason-less, or (in the workspace gate) unused suppression comment |
 //!
@@ -101,6 +101,13 @@ pub const HASH_BLIND_FILES: &[&str] = &["crates/fleet/src/cache.rs"];
 /// the clock so tick mode and event mode can never disagree on a
 /// timestamp. Also where HEB008 harvests the `Event` variant set.
 pub const CLOCK_FILES: &[&str] = &["crates/core/src/event.rs"];
+
+/// Fleet-scale hot-path modules outside the orchestration crates: the
+/// struct-of-arrays cluster state and the hierarchical power
+/// aggregation tree. Their `f64` reductions feed bit-identical
+/// reports at 100 k-server scale, so HEB009's order-sensitivity rule
+/// binds here exactly as it does in `fleet`/`serve` lib code.
+pub const HOT_PATH_FILES: &[&str] = &["crates/powersys/src/soa.rs", "crates/powersys/src/agg.rs"];
 
 /// Where the scenario content hash lives: HEB007's reachability roots
 /// are the [`HASH_ROOT_FNS`] defined in these files.
@@ -296,9 +303,11 @@ impl FileContext {
     }
 
     /// HEB009: long-lived orchestration code whose aggregates feed
-    /// reports and answers.
+    /// reports and answers, plus the fleet-scale hot-path modules
+    /// ([`HOT_PATH_FILES`]) those aggregates are computed in.
     fn is_hot_path_crate(&self) -> bool {
         matches!(self.crate_name.as_str(), "fleet" | "serve")
+            || HOT_PATH_FILES.contains(&self.path.as_str())
     }
 }
 
@@ -1249,6 +1258,25 @@ mod tests {
         assert!(analyze_source(int_par, &fleet).is_empty());
         // Sim crates are governed by determinism rules, not HEB009.
         assert!(analyze_source(par, &sim_ctx()).is_empty());
+    }
+
+    #[test]
+    fn heb009_covers_the_powersys_hot_path_modules() {
+        let par = "fn total(xs: &[f64]) -> f64 {\n    std::thread::scope(|s| {\n        \
+                   xs.iter().sum::<f64>()\n    })\n}\n";
+        for path in HOT_PATH_FILES {
+            let ctx = FileContext::lib("powersys", path);
+            let d = analyze_source(par, &ctx);
+            assert!(
+                d.iter().any(|f| f.rule == "HEB009"),
+                "{path} must be in HEB009 scope: {d:?}"
+            );
+        }
+        // The rest of powersys keeps its sim-crate scoping.
+        let elsewhere = FileContext::lib("powersys", "crates/powersys/src/cluster.rs");
+        assert!(analyze_source(par, &elsewhere)
+            .iter()
+            .all(|f| f.rule != "HEB009"));
     }
 
     #[test]

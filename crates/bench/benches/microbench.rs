@@ -22,6 +22,16 @@
 //! order-of-magnitude regressions (an accidentally quadratic probe
 //! pass, a sync added per tick) rather than machine-to-machine noise.
 //!
+//! `-- --scale-sweep [PATH]` runs the megafleet scale trajectory
+//! (1 k / 10 k / 100 k servers, a steady 24 h day each, through the
+//! event driver) and records per-point wall-clock and server-hours/s
+//! into the baseline JSON, preserving the other recorded fields.
+//! `-- --scale-guard PATH` re-measures every recorded point and fails
+//! (exit 1) if a point's throughput fell below `scale_floor_fraction`
+//! of its recorded baseline, or if the largest fleet no longer
+//! finishes its day in single-digit seconds — the tentpole product
+//! claim, enforced as a hard cap rather than a relative floor.
+//!
 //! `-- --sparse-speedup-guard PATH` runs the sparse-workload
 //! microbench: the same valley-heavy simulation driven dense
 //! (`SimDriver::tick`) and leaping (`SimDriver::event`), asserting the
@@ -31,6 +41,7 @@
 //! unlike the throughput guard this floor is a hard product claim
 //! (≥ 5×), not a noise allowance.
 
+use heb_core::experiments::{megafleet_scenario, MEGAFLEET_SCALES};
 use heb_core::{PolicyKind, PowerAllocationTable, Scenario, SimConfig, SimDriver, Simulation};
 use heb_esd::{LeadAcidBattery, StorageDevice, SuperCapacitor};
 use heb_fleet::{FleetEngine, RunPolicy};
@@ -220,16 +231,111 @@ const THROUGHPUT_FLOOR_FRACTION: f64 = 0.25;
 /// Worker count both modes pin, for comparability across machines.
 const THROUGHPUT_JOBS: usize = 4;
 
-fn throughput_baseline(path: &str) -> i32 {
-    let (scenarios_per_sec, batch) = measure_throughput(THROUGHPUT_JOBS, 3);
-    let body = format!(
+/// One recorded (or freshly measured) megafleet scale point.
+#[derive(Debug, Clone, Copy)]
+struct ScalePoint {
+    servers: u64,
+    wall_secs: f64,
+    server_hours_per_sec: f64,
+}
+
+/// Simulated horizon of every scale point: one full day.
+const SCALE_HOURS: f64 = 24.0;
+
+/// Seed pinning the scale trajectory's scenarios.
+const SCALE_SEED: u64 = 2015;
+
+/// Fraction of a recorded scale point the re-measured throughput must
+/// reach — generous for the same machine-variance reason as
+/// [`THROUGHPUT_FLOOR_FRACTION`].
+const SCALE_FLOOR_FRACTION: f64 = 0.25;
+
+/// Hard wall-clock cap on the largest recorded fleet's day — the
+/// "100 k servers, 24 h, single-digit seconds" product claim.
+const SCALE_MAX_WALL_SECS: f64 = 10.0;
+
+/// Runs the megafleet day at `servers` and returns the best-of-`runs`
+/// wall-clock measurement.
+fn measure_scale_point(servers: u64, runs: usize) -> ScalePoint {
+    let scenario = megafleet_scenario(servers as usize, SCALE_HOURS, SCALE_SEED);
+    let mut wall_secs = f64::INFINITY;
+    for _ in 0..runs {
+        let start = Instant::now();
+        black_box(scenario.run_expect());
+        wall_secs = wall_secs.min(start.elapsed().as_secs_f64());
+    }
+    ScalePoint {
+        servers,
+        wall_secs,
+        server_hours_per_sec: servers as f64 * SCALE_HOURS / wall_secs.max(1e-9),
+    }
+}
+
+/// The scale points recorded in a parsed baseline, oldest format
+/// (no `scale` key) yielding an empty list.
+fn parse_scale(baseline: &heb_serve::Json) -> Vec<ScalePoint> {
+    baseline
+        .get("scale")
+        .and_then(heb_serve::Json::as_arr)
+        .map(|points| {
+            points
+                .iter()
+                .filter_map(|p| {
+                    Some(ScalePoint {
+                        servers: p.get("servers")?.as_u64()?,
+                        wall_secs: p.get("wall_secs")?.as_f64()?,
+                        server_hours_per_sec: p.get("server_hours_per_sec")?.as_f64()?,
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Serialises the complete baseline file: the engine-throughput
+/// fields plus the (possibly empty) megafleet scale trajectory.
+fn render_baseline(batch: usize, scenarios_per_sec: f64, scale: &[ScalePoint]) -> String {
+    let mut body = format!(
         "{{\n  \"bench\": \"fleet/engine_throughput\",\n  \"batch_size\": {batch},\n  \
          \"jobs\": {THROUGHPUT_JOBS},\n  \"best_of\": 3,\n  \
          \"scenarios_per_sec\": {scenarios_per_sec:.2},\n  \
          \"floor_fraction\": {THROUGHPUT_FLOOR_FRACTION},\n  \
-         \"sparse_speedup_floor\": {SPARSE_SPEEDUP_FLOOR}\n}}\n"
+         \"sparse_speedup_floor\": {SPARSE_SPEEDUP_FLOOR}"
     );
-    match std::fs::write(path, body) {
+    if scale.is_empty() {
+        body.push_str("\n}\n");
+        return body;
+    }
+    body.push_str(&format!(
+        ",\n  \"scale_hours\": {SCALE_HOURS},\n  \
+         \"scale_floor_fraction\": {SCALE_FLOOR_FRACTION},\n  \
+         \"scale_max_wall_secs\": {SCALE_MAX_WALL_SECS},\n  \"scale\": [\n"
+    ));
+    for (i, p) in scale.iter().enumerate() {
+        let comma = if i + 1 < scale.len() { "," } else { "" };
+        body.push_str(&format!(
+            "    {{\"servers\": {}, \"wall_secs\": {:.4}, \"server_hours_per_sec\": {:.1}}}{comma}\n",
+            p.servers, p.wall_secs, p.server_hours_per_sec
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    body
+}
+
+/// The baseline currently at `path`, if readable and valid.
+fn load_baseline(path: &str) -> Option<heb_serve::Json> {
+    let raw = std::fs::read_to_string(path).ok()?;
+    heb_serve::json::parse(&raw).ok()
+}
+
+fn throughput_baseline(path: &str) -> i32 {
+    let (scenarios_per_sec, batch) = measure_throughput(THROUGHPUT_JOBS, 3);
+    // Refreshing the throughput number must not drop a recorded scale
+    // trajectory — the two sweeps are updated independently.
+    let scale = load_baseline(path)
+        .map(|b| parse_scale(&b))
+        .unwrap_or_default();
+    match std::fs::write(path, render_baseline(batch, scenarios_per_sec, &scale)) {
         Ok(()) => {
             println!("throughput baseline: {scenarios_per_sec:.2} scenarios/s -> {path}");
             0
@@ -238,6 +344,107 @@ fn throughput_baseline(path: &str) -> i32 {
             eprintln!("FAIL: cannot write {path}: {err}");
             1
         }
+    }
+}
+
+fn scale_sweep(path: &str) -> i32 {
+    println!("megafleet scale sweep: steady {SCALE_HOURS} h day, event driver\n");
+    let scale: Vec<ScalePoint> = MEGAFLEET_SCALES
+        .iter()
+        .map(|&servers| {
+            let p = measure_scale_point(servers as u64, 2);
+            println!(
+                "{:<40} {:>10.3} s  ({:.3e} server-hours/s)",
+                format!("megafleet/{servers}"),
+                p.wall_secs,
+                p.server_hours_per_sec
+            );
+            p
+        })
+        .collect();
+    // Preserve the recorded engine-throughput number; measure it fresh
+    // only when the file does not exist yet.
+    let (scenarios_per_sec, batch) = match load_baseline(path).and_then(|b| {
+        Some((
+            b.get("scenarios_per_sec")?.as_f64()?,
+            b.get("batch_size")?.as_u64()? as usize,
+        ))
+    }) {
+        Some(kept) => kept,
+        None => measure_throughput(THROUGHPUT_JOBS, 3),
+    };
+    match std::fs::write(path, render_baseline(batch, scenarios_per_sec, &scale)) {
+        Ok(()) => {
+            println!("scale trajectory ({} points) -> {path}", scale.len());
+            0
+        }
+        Err(err) => {
+            eprintln!("FAIL: cannot write {path}: {err}");
+            1
+        }
+    }
+}
+
+fn scale_guard(path: &str) -> i32 {
+    let Some(baseline) = load_baseline(path) else {
+        eprintln!("FAIL: cannot read baseline {path}");
+        eprintln!(
+            "regenerate with: cargo bench -p heb-bench --bench microbench -- --scale-sweep {path}"
+        );
+        return 1;
+    };
+    let recorded = parse_scale(&baseline);
+    if recorded.is_empty() {
+        eprintln!("FAIL: baseline {path} records no scale trajectory");
+        eprintln!(
+            "regenerate with: cargo bench -p heb-bench --bench microbench -- --scale-sweep {path}"
+        );
+        return 1;
+    }
+    let floor_fraction = baseline
+        .get("scale_floor_fraction")
+        .and_then(heb_serve::Json::as_f64)
+        .unwrap_or(SCALE_FLOOR_FRACTION);
+    let max_wall = baseline
+        .get("scale_max_wall_secs")
+        .and_then(heb_serve::Json::as_f64)
+        .unwrap_or(SCALE_MAX_WALL_SECS);
+    println!(
+        "megafleet scale guard: {} recorded point(s), steady {SCALE_HOURS} h day\n",
+        recorded.len()
+    );
+    let largest = recorded.iter().map(|p| p.servers).max().unwrap_or(0);
+    let mut failed = false;
+    for r in &recorded {
+        let measured = measure_scale_point(r.servers, 2);
+        let floor = r.server_hours_per_sec * floor_fraction;
+        let mut verdict = if measured.server_hours_per_sec < floor {
+            failed = true;
+            "FAIL (below floor)"
+        } else {
+            "ok"
+        };
+        // The single-digit-seconds claim binds the trajectory's top.
+        if r.servers == largest && measured.wall_secs > max_wall {
+            failed = true;
+            verdict = "FAIL (over wall-clock cap)";
+        }
+        println!(
+            "megafleet/{:<8} recorded {:>9.3e}  measured {:>9.3e} server-hours/s  \
+             (floor {:>9.3e}, wall {:.3} s)  {verdict}",
+            r.servers,
+            r.server_hours_per_sec,
+            measured.server_hours_per_sec,
+            floor,
+            measured.wall_secs
+        );
+    }
+    if failed {
+        eprintln!("FAIL: megafleet scale trajectory regressed");
+        1
+    } else {
+        println!("OK: every scale point holds its throughput floor and the wall-clock cap");
+        0
     }
 }
 
@@ -450,6 +657,17 @@ fn main() {
     if let Some(path) = value_of("--sparse-speedup-guard") {
         let path = path.unwrap_or_else(|| "BENCH_engine_throughput.json".to_string());
         std::process::exit(sparse_speedup_guard(&path));
+    }
+    if let Some(path) = value_of("--scale-sweep") {
+        let path = path.unwrap_or_else(|| "BENCH_engine_throughput.json".to_string());
+        std::process::exit(scale_sweep(&path));
+    }
+    if let Some(path) = value_of("--scale-guard") {
+        let Some(path) = path else {
+            eprintln!("--scale-guard needs a baseline path");
+            std::process::exit(2);
+        };
+        std::process::exit(scale_guard(&path));
     }
     println!("HEB micro-benchmarks (best-of-runs per-iteration latency)\n");
     bench_pat();

@@ -159,6 +159,27 @@ impl HybridBuffers {
         self.ba_pool.idle(dt);
     }
 
+    /// One batched settling sweep over every device in both pools (SC
+    /// members first, then battery strings, quarantined members
+    /// included) — the bulk form of per-device
+    /// [`StorageDevice::idle_settled`] the event core probes with while
+    /// hunting a fixed point. True only when *every* device settled;
+    /// every device is driven exactly once regardless.
+    pub fn idle_settled_all(&mut self, dt: Seconds) -> bool {
+        let mut settled = true;
+        settled &= self.sc_pool.idle_settled(dt);
+        settled &= self.ba_pool.idle_settled(dt);
+        settled
+    }
+
+    /// Replays `n` idle steps for every device in both pools in one
+    /// sweep. Only valid after [`HybridBuffers::idle_settled_all`]
+    /// returned `true` for the same `dt`.
+    pub fn idle_accumulate_all(&mut self, dt: Seconds, n: u64) {
+        self.sc_pool.idle_accumulate(dt, n);
+        self.ba_pool.idle_accumulate(dt, n);
+    }
+
     /// Projected battery lifetime under the usage so far (the
     /// Figure 12(c) metric); `None` when there is no battery pool.
     #[must_use]

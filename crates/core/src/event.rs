@@ -640,14 +640,14 @@ mod tests {
         let clock = SimClock::new(Seconds::new(1.0));
         let mut cluster = Cluster::prototype(3);
         assert_eq!(cluster.next_activity(&clock), None);
-        cluster.servers_mut()[0].power_off();
+        cluster.power_off(0);
         assert_eq!(
             cluster.next_activity(&clock),
             Some((clock.now(), Event::RestoreDeadline))
         );
         // Powering back on leaves a restart surcharge pending: still
         // dense until it drains.
-        cluster.servers_mut()[0].power_on();
+        cluster.power_on(0);
         assert_eq!(
             cluster.next_activity(&clock),
             Some((clock.now(), Event::RestoreDeadline))

@@ -13,6 +13,7 @@ mod deployment;
 mod discharge;
 mod efficiency;
 mod faults;
+mod megafleet;
 mod outage;
 mod prediction;
 mod schemes;
@@ -36,6 +37,10 @@ pub use discharge::{discharge_curves, DischargeCurve};
 pub use efficiency::{efficiency_characterization, EfficiencyResult};
 pub use faults::{
     fault_intensity_sweep, fault_intensity_sweep_with, fault_sweep_scenarios, FaultSweepPoint,
+};
+pub use megafleet::{
+    megafleet_config, megafleet_day, megafleet_day_with, megafleet_scenario, megafleet_scenarios,
+    MegafleetPoint, MEGAFLEET_SCALES,
 };
 pub use outage::{outage_ride_through, outage_ride_through_with, outage_scenarios, OutagePoint};
 pub use prediction::{predictor_comparison, PredictionPoint};

@@ -210,7 +210,7 @@ pub fn demand_trace(
             PeakClass::Small => FrequencyLevel::Low,
             PeakClass::Large => FrequencyLevel::High,
         };
-        cluster.servers_mut()[idx].set_frequency(freq);
+        cluster.set_frequency(idx, freq);
     }
     let mut samples = Vec::with_capacity(ticks as usize);
     for _ in 0..ticks {

@@ -136,6 +136,11 @@ pub struct Scenario {
     mode: PowerMode,
     faults: Option<FaultSchedule>,
     initial_soc: Option<Ratio>,
+    /// When set, every server's workload stream is replaced by this
+    /// constant, noiseless utilization (see
+    /// [`Simulation::with_steady_workload`]) — the regime that lets the
+    /// event driver leap across megafleet-scale quiet spans.
+    steady: Option<Ratio>,
     ticks: u64,
     seed: u64,
     /// Telemetry sink installed on the built simulation. Observational
@@ -184,6 +189,7 @@ impl Scenario {
             mode: PowerMode::Utility,
             faults: None,
             initial_soc: None,
+            steady: None,
             ticks,
             seed,
             recorder: None,
@@ -209,6 +215,17 @@ impl Scenario {
     #[must_use]
     pub fn with_initial_soc(mut self, soc: Ratio) -> Self {
         self.initial_soc = Some(soc);
+        self
+    }
+
+    /// Replaces every server's workload stream with a constant,
+    /// noiseless utilization (chainable). Unlike the archetype mix the
+    /// override is semantic — it changes the report — so it folds into
+    /// [`Scenario::content_hash`]; scenarios without it keep their
+    /// legacy hash verbatim.
+    #[must_use]
+    pub fn with_steady_workload(mut self, utilization: Ratio) -> Self {
+        self.steady = Some(utilization);
         self
     }
 
@@ -296,6 +313,20 @@ impl Scenario {
         self.initial_soc
     }
 
+    /// The steady-workload override, if any.
+    #[must_use]
+    pub fn steady_workload(&self) -> Option<Ratio> {
+        self.steady
+    }
+
+    /// How many servers the scenario simulates — surfaced so fleet
+    /// tooling can flag megafleet-scale runs before paying for a cold
+    /// execution.
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.config.servers
+    }
+
     /// The horizon in metering ticks.
     #[must_use]
     pub fn ticks(&self) -> u64 {
@@ -369,6 +400,12 @@ impl Scenario {
         }
         h.write_u64(self.ticks);
         h.write_u64(self.seed);
+        // Folded only when set, so every hash minted before the knob
+        // existed remains valid verbatim.
+        if let Some(level) = self.steady {
+            h.write_str("steady-workload");
+            h.write_f64(level.get());
+        }
         // Tick mode folds nothing: every hash minted before the event
         // core existed remains valid verbatim.
         if self.driver == DriverMode::Event {
@@ -394,6 +431,9 @@ impl Scenario {
     pub fn build(&self) -> Result<Simulation, SimError> {
         let mut sim = Simulation::try_new(self.config.clone(), &self.workloads, self.seed)?
             .try_with_mode(self.mode.clone())?;
+        if let Some(level) = self.steady {
+            sim = sim.with_steady_workload(level);
+        }
         if let Some(schedule) = &self.faults {
             sim = sim.with_faults(schedule.clone());
         }
@@ -588,6 +628,12 @@ mod tests {
         assert_ne!(a.clone().with_ticks(721).content_hash(), h);
         assert_ne!(
             a.clone()
+                .with_steady_workload(Ratio::new_clamped(0.4))
+                .content_hash(),
+            h
+        );
+        assert_ne!(
+            a.clone()
                 .with_initial_soc(Ratio::new_clamped(0.5))
                 .content_hash(),
             h
@@ -626,6 +672,31 @@ mod tests {
             )
             .content_hash(),
             h
+        );
+    }
+
+    #[test]
+    fn steady_workload_flattens_demand_and_levels_move_the_hash() {
+        let steady = base().with_steady_workload(Ratio::new_clamped(0.5));
+        // Distinct levels get distinct cache identities.
+        assert_ne!(
+            steady.content_hash(),
+            base()
+                .with_steady_workload(Ratio::new_clamped(0.6))
+                .content_hash()
+        );
+        // A steady run sees zero mismatch under the prototype budget, so
+        // nothing is ever shed.
+        let report = steady.run().unwrap();
+        assert_eq!(report.shed_events, 0);
+        // Tick and event drivers agree bitwise on steady scenarios too.
+        assert_eq!(
+            report,
+            steady
+                .clone()
+                .with_driver_mode(DriverMode::Event)
+                .run()
+                .unwrap()
         );
     }
 

@@ -22,8 +22,8 @@ use crate::metrics::SimReport;
 use crate::policy::{ChargePriority, DischargePriority, PolicyKind};
 use heb_esd::{ChargeResult, DischargeResult, StorageDevice};
 use heb_powersys::{
-    Cluster, DeliveryPath, FrequencyLevel, Ipdu, MeterFault, PowerSource, PowerState,
-    RenewableFeed, SwitchFabric, UtilityFeed,
+    Cluster, DeliveryPath, FrequencyLevel, Ipdu, MeterFault, PowerSource, RenewableFeed,
+    SwitchFabric, UtilityFeed,
 };
 use heb_telemetry::{
     null_recorder, ControllerEvent, DriverEvent, EsdEvent, Event, FaultEvent as TraceFaultEvent,
@@ -175,7 +175,7 @@ impl Simulation {
                 PeakClass::Small => FrequencyLevel::Low,
                 PeakClass::Large => FrequencyLevel::High,
             };
-            cluster.servers_mut()[idx].set_frequency(freq);
+            cluster.set_frequency(idx, freq);
         }
         let sc_fraction = if config.policy == PolicyKind::BaOnly {
             heb_units::Ratio::ZERO
@@ -291,13 +291,7 @@ impl Simulation {
     /// are built on this.
     #[must_use]
     pub fn with_steady_workload(mut self, utilization: Ratio) -> Self {
-        let profile = BurstProfile {
-            base_utilization: utilization.get(),
-            base_noise: 0.0,
-            bursts_per_hour: 0.0,
-            burst_amplitude: 0.0,
-            mean_burst_secs: 1.0,
-        };
+        let profile = BurstProfile::steady(utilization.get());
         for generator in &mut self.generators {
             *generator = UtilizationGenerator::new(profile, 0);
         }
@@ -378,12 +372,7 @@ impl Simulation {
         let mut report = self.report.clone();
         report.server_downtime = self.cluster.total_downtime();
         report.server_restarts = self.cluster.total_restarts();
-        report.restart_waste = self
-            .cluster
-            .servers()
-            .iter()
-            .map(|s| s.params().restart_energy * s.restarts() as f64)
-            .sum();
+        report.restart_waste = self.cluster.total_restart_waste();
         report.battery_lifetime = self.buffers.battery_projected_lifetime();
         report.battery_life_used = self.buffers.battery_life_used();
         report.utility_supplied = self.utility.energy_supplied();
@@ -462,14 +451,8 @@ impl Simulation {
         let shed_events_before = self.report.shed_events;
 
         // Drive workloads.
-        for (server, generator) in self
-            .cluster
-            .servers_mut()
-            .iter_mut()
-            .zip(&mut self.generators)
-        {
-            server.set_utilization(generator.next_utilization());
-        }
+        self.cluster
+            .set_utilizations_with(self.generators.iter_mut().map(|g| g.next_utilization()));
 
         // Periodic restore check (every 30 s): bring shed servers back
         // when supply can carry the whole rack again.
@@ -701,9 +684,7 @@ impl Simulation {
         // set utilizations once and precompute the power math. (If the
         // demand turns out to exceed supply this is harmlessly redone
         // by step(): the steady stream reproduces the same values.)
-        for (server, level) in self.cluster.servers_mut().iter_mut().zip(&levels) {
-            server.set_utilization(*level);
-        }
+        self.cluster.set_utilizations(&levels);
         let dt = self.config.tick;
         let demand = self.cluster.total_demand();
         let raw_limit = self.utility.effective_budget();
@@ -730,13 +711,7 @@ impl Simulation {
             self.slot_valley = self.slot_valley.min(total);
             self.report.conversion_loss += loss_per_tick;
             let _ = self.utility.draw(raw_needed, dt);
-            let mut all = true;
-            for d in self.buffers.sc_pool_mut().devices_mut() {
-                all &= d.idle_settled(dt);
-            }
-            for d in self.buffers.ba_pool_mut().devices_mut() {
-                all &= d.idle_settled(dt);
-            }
+            let all = self.buffers.idle_settled_all(dt);
             self.report.sim_time += dt;
             self.clock.advance();
             done += 1;
@@ -764,12 +739,7 @@ impl Simulation {
                 self.report.sim_time += dt;
                 self.clock.advance();
             }
-            for d in self.buffers.sc_pool_mut().devices_mut() {
-                d.idle_accumulate(dt, rest);
-            }
-            for d in self.buffers.ba_pool_mut().devices_mut() {
-                d.idle_accumulate(dt, rest);
-            }
+            self.buffers.idle_accumulate_all(dt, rest);
             done += rest;
         }
         // Running servers refresh their LRU stamp every tick; the span
@@ -883,20 +853,18 @@ impl Simulation {
     /// side is already at its limit, so their share of the peak browns
     /// out — capped at the number of servers the mismatch spans.
     fn shed_stuck_relays(&mut self, mismatch: Watts, dt: Seconds, now: Seconds) {
-        let stuck = self.fabric.stuck_open_servers();
-        if stuck.is_empty() {
+        if self.fabric.stuck_open_count() == 0 {
             return;
         }
         let mut quota = (mismatch.get() / 70.0).ceil().max(1.0) as usize;
         let mut shed_count = 0_usize;
-        for id in stuck {
+        for id in self.fabric.stuck_open_iter() {
             if quota == 0 {
                 break;
             }
-            let server = &mut self.cluster.servers_mut()[id];
-            if server.state() == PowerState::On {
-                let draw = server.power_draw();
-                server.power_off();
+            if self.cluster.is_running(id) {
+                let draw = self.cluster.power_draw(id);
+                self.cluster.power_off(id);
                 self.report.unserved_energy += draw * dt;
                 shed_count += 1;
                 quota -= 1;
@@ -1106,12 +1074,7 @@ impl Simulation {
         if self.cluster.running_count() == self.cluster.len() {
             return;
         }
-        let prospective: Watts = self
-            .cluster
-            .servers()
-            .iter()
-            .map(heb_powersys::Server::prospective_draw)
-            .sum();
+        let prospective: Watts = self.cluster.prospective_total();
         // Use the *effective* supply: a derated or blacked-out feed
         // must not lure shed servers back mid-outage.
         let supply = match &self.mode {

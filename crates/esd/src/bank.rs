@@ -40,6 +40,12 @@ pub struct Bank<D> {
     /// Which logical pool this bank plays in the telemetry stream;
     /// `None` until [`Bank::set_recorder`] assigns one.
     pool: Option<PoolId>,
+    /// Dispatch scratch (per-member weights), recycled call to call so
+    /// the per-tick hot path does not allocate. Not state: excluded
+    /// from equality.
+    scratch_weights: Vec<Watts>,
+    /// Dispatch scratch (members driven this call), recycled likewise.
+    scratch_used: Vec<bool>,
 }
 
 /// Equality is over simulated state only — two banks with the same
@@ -63,6 +69,8 @@ impl<D: StorageDevice> Bank<D> {
             quarantined,
             recorder: null_recorder(),
             pool: None,
+            scratch_weights: Vec::new(),
+            scratch_used: Vec::new(),
         }
     }
 
@@ -226,14 +234,18 @@ impl<D: StorageDevice> Bank<D> {
         }
         // Quarantined members carry zero weight and are skipped by both
         // passes; they idle with the rest of the untouched members.
-        let weights: Vec<Watts> = self
-            .devices
-            .iter()
-            .zip(self.quarantined.iter())
-            .map(|(d, &q)| if q { Watts::zero() } else { weight(d) })
-            .collect();
+        let mut weights = std::mem::take(&mut self.scratch_weights);
+        weights.clear();
+        weights.extend(
+            self.devices
+                .iter()
+                .zip(self.quarantined.iter())
+                .map(|(d, &q)| if q { Watts::zero() } else { weight(d) }),
+        );
         let cap: Watts = weights.iter().copied().sum();
-        let mut used = vec![false; self.devices.len()];
+        let mut used = std::mem::take(&mut self.scratch_used);
+        used.clear();
+        used.resize(self.devices.len(), false);
         let mut remaining = total;
         // Pass 1: proportional split by capability.
         if cap.get() > 0.0 {
@@ -273,6 +285,8 @@ impl<D: StorageDevice> Bank<D> {
                 device.idle(dt);
             }
         }
+        self.scratch_weights = weights;
+        self.scratch_used = used;
         acc
     }
 }
@@ -368,6 +382,28 @@ impl<D: StorageDevice> StorageDevice for Bank<D> {
         }
     }
 
+    /// One batched settling sweep over every member (quarantined ones
+    /// included — their clocks advance exactly as [`Bank::idle`] would
+    /// advance them). True only when *every* member settled; no
+    /// short-circuit, so each member is driven exactly once.
+    fn idle_settled(&mut self, dt: Seconds) -> bool {
+        let mut settled = true;
+        for device in &mut self.devices {
+            settled &= device.idle_settled(dt);
+        }
+        settled
+    }
+
+    /// Replays `n` idle steps for every member in one sweep. Valid under
+    /// the same contract as the per-device method: only after
+    /// [`StorageDevice::idle_settled`] returned `true` for this bank at
+    /// the same `dt`, which implies every member settled.
+    fn idle_accumulate(&mut self, dt: Seconds, n: u64) {
+        for device in &mut self.devices {
+            device.idle_accumulate(dt, n);
+        }
+    }
+
     fn degrade(&mut self, capacity_fade: heb_units::Ratio, resistance_growth: f64) {
         // Ageing hits every member, quarantined or not — a string on the
         // repair bench fades just like its in-service siblings.
@@ -391,6 +427,8 @@ impl<D> FromIterator<D> for Bank<D> {
             quarantined,
             recorder: null_recorder(),
             pool: None,
+            scratch_weights: Vec::new(),
+            scratch_used: Vec::new(),
         }
     }
 }

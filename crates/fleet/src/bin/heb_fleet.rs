@@ -340,7 +340,7 @@ fn fleet_main() -> i32 {
     // nothing is written, so this is safe to point at a live cache.
     if args.list {
         let cache = args.cache.then(|| ResultCache::new(&args.cache_dir));
-        let (mut total, mut warm) = (0usize, 0usize);
+        let (mut total, mut warm, mut servers) = (0usize, 0usize, 0usize);
         for (exp, batch) in &batches {
             eprintln!("# {:16} {}", exp.name, exp.what);
             for scenario in batch {
@@ -353,18 +353,23 @@ fn fleet_main() -> i32 {
                     None => "off",
                 };
                 total += 1;
+                servers += scenario.servers();
                 println!(
-                    "{status:4}  {}  {:16}  {}",
+                    "{status:4}  {}  {:16}  {:>7}  {}",
                     scenario.hash_hex(),
                     exp.name,
+                    scenario.servers(),
                     scenario.label()
                 );
             }
         }
         if cache.is_some() {
-            eprintln!("{total} scenario(s): {warm} warm, {} cold", total - warm);
+            eprintln!(
+                "{total} scenario(s) over {servers} server(s): {warm} warm, {} cold",
+                total - warm
+            );
         } else {
-            eprintln!("{total} scenario(s), cache disabled");
+            eprintln!("{total} scenario(s) over {servers} server(s), cache disabled");
         }
         return 0;
     }
@@ -553,8 +558,9 @@ fn fleet_main() -> i32 {
         state_summary.push_str(&format!(", {} pending", totals.pending));
     }
     println!(
-        "total: {grand_scenarios} scenario(s), {} simulated, {} cache hit(s), {} written, {:.2?} wall",
+        "total: {grand_scenarios} scenario(s), {} simulated ({} server(s)), {} cache hit(s), {} written, {:.2?} wall",
         stats.simulated,
+        stats.servers_simulated,
         stats.cache_hits,
         stats.cache_writes,
         wall_start.elapsed()

@@ -53,6 +53,10 @@ const STALL_MS: u64 = 50;
 pub struct EngineStats {
     /// Scenarios simulated (cache misses plus uncached runs).
     pub simulated: usize,
+    /// Servers across every simulated scenario — the fleet-scale
+    /// denominator behind the wall-clock numbers (a cached megafleet
+    /// replay costs nothing, so cache hits do not count here).
+    pub servers_simulated: usize,
     /// Scenarios replayed from the result cache.
     pub cache_hits: usize,
     /// Fresh results persisted to the cache.
@@ -74,6 +78,7 @@ pub struct EngineStats {
 #[derive(Debug, Default)]
 struct AtomicStats {
     simulated: AtomicUsize,
+    servers_simulated: AtomicUsize,
     cache_hits: AtomicUsize,
     cache_writes: AtomicUsize,
     retries: AtomicUsize,
@@ -207,6 +212,7 @@ impl FleetEngine {
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             simulated: self.stats.simulated.load(Ordering::Relaxed),
+            servers_simulated: self.stats.servers_simulated.load(Ordering::Relaxed),
             cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
             cache_writes: self.stats.cache_writes.load(Ordering::Relaxed),
             retries: self.stats.retries.load(Ordering::Relaxed),
@@ -480,6 +486,9 @@ impl FleetEngine {
         journal: Option<&RunJournal>,
     ) -> SlotOutcome {
         self.stats.simulated.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .servers_simulated
+            .fetch_add(scenario.servers(), Ordering::Relaxed);
         let hash = scenario.hash_hex();
         let hash128 = scenario.content_hash();
         let hist = self
@@ -693,6 +702,11 @@ mod tests {
         assert_eq!(parallel, serial);
         let stats = engine.stats();
         assert_eq!(stats.simulated, batch.len());
+        assert_eq!(
+            stats.servers_simulated,
+            batch.len() * SimConfig::prototype().servers,
+            "every simulated scenario contributes its fleet size"
+        );
         assert_eq!(stats.cache_hits, 0);
         assert_eq!(stats.cache_writes, 0, "no cache attached");
         assert_eq!(stats.cache_mode, CacheMode::ReadWrite);

@@ -1,0 +1,155 @@
+//! Fleet-level parity for the struct-of-arrays cluster rework: the SoA
+//! state layout, the rack aggregation tree, and the batched ESD sweep
+//! must be invisible to every fleet consumer.
+//!
+//! Three contracts, property-tested across seeds, fault schedules, and
+//! worker counts:
+//!
+//! * reports *and* JSONL traces are invariant to `--jobs` — the
+//!   parallel engine produces byte-identical output to a serial run;
+//! * multi-rack fleets (above `RACK_FANOUT` servers, where the
+//!   aggregation tree stops degenerating to a flat sum) are
+//!   deterministic run-to-run, and event mode still matches tick mode
+//!   bit-for-bit at that scale;
+//! * reports survive the journal record round trip losslessly even
+//!   under fault storms.
+
+use std::sync::Arc;
+
+use heb_core::experiments::megafleet_scenario;
+use heb_core::{DriverMode, FaultSchedule, PolicyKind, Scenario, SimConfig, SimReport};
+use heb_fleet::{FleetEngine, RunPolicy};
+use heb_telemetry::{RecorderHandle, RingRecorder};
+use heb_workload::Archetype;
+use proptest::prelude::*;
+
+/// Short horizon (15 simulated minutes) keeping the property cases
+/// cheap while still crossing a slot boundary.
+const HOURS: f64 = 0.25;
+
+fn archetype_strategy() -> impl Strategy<Value = Archetype> {
+    proptest::sample::select(Archetype::ALL.to_vec())
+}
+
+/// Randomized fault schedules: nothing, a blackout, or a blackout
+/// followed by a brownout — the storm shapes the CLI accepts.
+fn fault_strategy() -> impl Strategy<Value = Option<FaultSchedule>> {
+    prop_oneof![
+        Just(None),
+        (30u64..300, 30u64..180).prop_map(|(at, dur)| {
+            Some(FaultSchedule::parse(&format!("blackout@{at}~{dur}")).expect("fault spec"))
+        }),
+        (30u64..240, 30u64..120, 60u64..180, 0.5..0.95f64).prop_map(|(at, dur, dur2, frac)| {
+            let spec = format!(
+                "blackout@{at}~{dur};brownout({frac:.2})@{}~{dur2}",
+                at + 360
+            );
+            Some(FaultSchedule::parse(&spec).expect("fault spec"))
+        }),
+    ]
+}
+
+fn scenario(
+    label: &str,
+    workload: Archetype,
+    seed: u64,
+    faults: Option<FaultSchedule>,
+) -> Scenario {
+    let config = SimConfig::prototype().with_policy(PolicyKind::HebD);
+    let scenario = Scenario::new(label, config, &[workload], HOURS, seed);
+    match faults {
+        Some(f) => scenario.with_faults(f),
+        None => scenario,
+    }
+}
+
+/// Trace lines with the event driver's additive leap telemetry
+/// removed.
+fn without_leaps(jsonl: &str) -> Vec<String> {
+    jsonl
+        .lines()
+        .filter(|line| !line.contains("\"type\":\"driver.leaped\""))
+        .map(str::to_string)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The parallel engine is a pure scheduler: reports and traces are
+    /// byte-identical to a serial run of the same scenarios.
+    #[test]
+    fn reports_and_traces_are_jobs_invariant(
+        seed in 0u64..10_000,
+        workload in archetype_strategy(),
+        faults in fault_strategy(),
+        jobs in 2usize..5,
+    ) {
+        let serial_ring = Arc::new(RingRecorder::new(8192));
+        let parallel_ring = Arc::new(RingRecorder::new(8192));
+        let serial = scenario("parity/jobs", workload, seed, faults.clone())
+            .with_recorder(Arc::clone(&serial_ring) as RecorderHandle);
+        let parallel = scenario("parity/jobs", workload, seed, faults)
+            .with_recorder(Arc::clone(&parallel_ring) as RecorderHandle);
+
+        let serial_reports = FleetEngine::new(1)
+            .run(std::slice::from_ref(&serial), &RunPolicy::new())
+            .expect_reports();
+        let parallel_reports = FleetEngine::new(jobs)
+            .run(std::slice::from_ref(&parallel), &RunPolicy::new())
+            .expect_reports();
+
+        prop_assert_eq!(&serial_reports, &parallel_reports, "--jobs must not change physics");
+        prop_assert_eq!(serial_ring.to_jsonl(), parallel_ring.to_jsonl());
+    }
+
+    /// Above one rack the aggregation tree's cached sums take over from
+    /// the flat degenerate path; runs must stay deterministic and the
+    /// event driver must still match the tick driver bit-for-bit.
+    #[test]
+    fn multi_rack_fleets_are_deterministic_and_driver_invariant(
+        servers in 65usize..200,
+        seed in 0u64..10_000,
+        jobs in 1usize..5,
+    ) {
+        let event_ring = Arc::new(RingRecorder::new(8192));
+        let rerun_ring = Arc::new(RingRecorder::new(8192));
+        let tick_ring = Arc::new(RingRecorder::new(8192));
+        let event = megafleet_scenario(servers, HOURS, seed)
+            .with_recorder(Arc::clone(&event_ring) as RecorderHandle);
+        let rerun = megafleet_scenario(servers, HOURS, seed)
+            .with_recorder(Arc::clone(&rerun_ring) as RecorderHandle);
+        let tick = megafleet_scenario(servers, HOURS, seed)
+            .with_driver_mode(DriverMode::Tick)
+            .with_recorder(Arc::clone(&tick_ring) as RecorderHandle);
+
+        let batch = vec![event, rerun, tick];
+        let reports = FleetEngine::new(jobs).run(&batch, &RunPolicy::new()).expect_reports();
+
+        prop_assert_eq!(&reports[0], &reports[1], "rerun must be bit-identical");
+        prop_assert_eq!(event_ring.to_jsonl(), rerun_ring.to_jsonl());
+        prop_assert_eq!(&reports[0], &reports[2], "event mode must match tick mode");
+        prop_assert_eq!(
+            without_leaps(&event_ring.to_jsonl()),
+            without_leaps(&tick_ring.to_jsonl()),
+            "leap telemetry must be purely additive at multi-rack scale"
+        );
+    }
+
+    /// Journal records round-trip losslessly even for fault-storm runs,
+    /// so crash-resume replays SoA-era reports verbatim.
+    #[test]
+    fn reports_round_trip_through_journal_records(
+        seed in 0u64..10_000,
+        workload in archetype_strategy(),
+        faults in fault_strategy(),
+    ) {
+        let run = scenario("parity/record", workload, seed, faults);
+        let reports = FleetEngine::new(1)
+            .run(std::slice::from_ref(&run), &RunPolicy::new())
+            .expect_reports();
+        let record = reports[0].to_record();
+        let back = SimReport::from_record(&record).expect("record must parse back");
+        prop_assert_eq!(&back, &reports[0]);
+    }
+}

@@ -1,6 +1,15 @@
 //! A rack of servers addressed as one load.
+//!
+//! Since the fleet-scale rework the cluster stores its servers as
+//! struct-of-arrays ([`crate::soa::ServerArrays`]) with a hierarchical
+//! sum cache ([`crate::agg::AggTree`]) on top; the historical
+//! object-per-server surface survives as thin views ([`Cluster::server`]
+//! materialises one [`Server`]) and targeted per-index mutators. All
+//! per-tick aggregate queries are O(dirty racks), not O(servers).
 
+use crate::agg::AggTree;
 use crate::server::{FrequencyLevel, PowerState, Server};
+use crate::soa::ServerArrays;
 use heb_units::{Joules, Ratio, Seconds, Watts};
 
 /// The server rack: the unit of load the HEB controller manages.
@@ -15,72 +24,146 @@ use heb_units::{Joules, Ratio, Seconds, Watts};
 /// cluster.set_all_utilization(Ratio::ONE);
 /// assert_eq!(cluster.total_demand().get(), 6.0 * 70.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Cluster {
-    servers: Vec<Server>,
+    fleet: ServerArrays,
+    agg: AggTree,
+}
+
+/// Equality is over simulated state only; the aggregation tree is an
+/// acceleration cache whose dirtiness depends on query history.
+impl PartialEq for Cluster {
+    fn eq(&self, other: &Self) -> bool {
+        self.fleet == other.fleet
+    }
 }
 
 impl Cluster {
-    /// Creates a cluster from pre-built servers.
+    /// Creates a cluster from pre-built servers (ids are positional).
     #[must_use]
     pub fn new(servers: Vec<Server>) -> Self {
-        Self { servers }
+        let fleet = ServerArrays::from_servers(&servers);
+        let agg = AggTree::new(fleet.len());
+        Self { fleet, agg }
     }
 
     /// A cluster of `n` prototype-spec servers with ids `0..n`.
     #[must_use]
     pub fn prototype(n: usize) -> Self {
         Self {
-            servers: (0..n).map(Server::prototype).collect(),
+            fleet: ServerArrays::prototype(n),
+            agg: AggTree::new(n),
         }
     }
 
     /// Number of servers (running or not).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.servers.len()
+        self.fleet.len()
     }
 
     /// Whether the cluster has no servers.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.servers.is_empty()
+        self.fleet.is_empty()
     }
 
-    /// Immutable access to the servers.
+    /// The underlying struct-of-arrays state (read-only).
     #[must_use]
-    pub fn servers(&self) -> &[Server] {
-        &self.servers
+    pub fn fleet(&self) -> &ServerArrays {
+        &self.fleet
     }
 
-    /// Mutable access to the servers.
-    pub fn servers_mut(&mut self) -> &mut [Server] {
-        &mut self.servers
+    /// Materialises server `idx` as an owned [`Server`] view — the
+    /// object-layout window onto the parallel arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn server(&self, idx: usize) -> Server {
+        self.fleet.materialize(idx)
     }
 
-    /// Iterator over running servers.
-    pub fn running(&self) -> impl Iterator<Item = &Server> {
-        self.servers.iter().filter(|s| s.state() == PowerState::On)
-    }
-
-    /// Number of running servers.
+    /// Number of running servers (O(1): maintained incrementally).
     #[must_use]
     pub fn running_count(&self) -> usize {
-        self.running().count()
+        self.fleet.running_count()
+    }
+
+    /// Whether server `idx` is running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn is_running(&self, idx: usize) -> bool {
+        self.fleet.state(idx) == PowerState::On
+    }
+
+    /// Instantaneous draw of server `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn power_draw(&self, idx: usize) -> Watts {
+        self.fleet.power_draw(idx)
+    }
+
+    /// Per-server draws in index order (the metering sweep).
+    pub fn power_draws(&self) -> impl Iterator<Item = Watts> + '_ {
+        (0..self.fleet.len()).map(|i| self.fleet.power_draw(i))
     }
 
     /// Sets every server's utilization for the next tick.
     pub fn set_all_utilization(&mut self, utilization: Ratio) {
-        for s in &mut self.servers {
-            s.set_utilization(utilization);
+        for i in 0..self.fleet.len() {
+            if self.fleet.set_utilization(i, utilization) {
+                self.agg.touch_demand(i);
+            }
         }
     }
 
     /// Sets per-server utilizations; extra values are ignored, missing
     /// values leave the server unchanged.
     pub fn set_utilizations(&mut self, utilizations: &[Ratio]) {
-        for (s, &u) in self.servers.iter_mut().zip(utilizations) {
-            s.set_utilization(u);
+        for (i, &u) in utilizations.iter().enumerate().take(self.fleet.len()) {
+            if self.fleet.set_utilization(i, u) {
+                self.agg.touch_demand(i);
+            }
+        }
+    }
+
+    /// Sets utilizations from a stream, applied in index order — the
+    /// allocation-free form of the per-tick workload drive.
+    pub fn set_utilizations_with(&mut self, utilizations: impl Iterator<Item = Ratio>) {
+        for (i, u) in utilizations.enumerate().take(self.fleet.len()) {
+            if self.fleet.set_utilization(i, u) {
+                self.agg.touch_demand(i);
+            }
+        }
+    }
+
+    /// Sets server `idx`'s utilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_utilization(&mut self, idx: usize, utilization: Ratio) {
+        if self.fleet.set_utilization(idx, utilization) {
+            self.agg.touch_demand(idx);
+        }
+    }
+
+    /// Sets server `idx`'s frequency-governor level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_frequency(&mut self, idx: usize, frequency: FrequencyLevel) {
+        if self.fleet.set_frequency(idx, frequency) {
+            self.agg.touch_demand(idx);
         }
     }
 
@@ -88,24 +171,32 @@ impl Cluster {
     /// servers) and a high-frequency group — the paper's method for
     /// constructing small-peak and large-peak demand shapes.
     pub fn split_frequency_groups(&mut self, low_count: usize) {
-        for (idx, s) in self.servers.iter_mut().enumerate() {
-            s.set_frequency(if idx < low_count {
-                FrequencyLevel::Low
-            } else {
-                FrequencyLevel::High
-            });
+        for idx in 0..self.fleet.len() {
+            self.set_frequency(
+                idx,
+                if idx < low_count {
+                    FrequencyLevel::Low
+                } else {
+                    FrequencyLevel::High
+                },
+            );
         }
     }
 
-    /// Aggregate instantaneous demand of all running servers.
+    /// Aggregate instantaneous demand of all running servers, served
+    /// from the hierarchical sum cache (O(dirty racks), bit-identical
+    /// to the flat sum for single-rack fleets — see [`crate::agg`]).
     #[must_use]
-    pub fn total_demand(&self) -> Watts {
-        self.servers.iter().map(Server::power_draw).sum()
+    pub fn total_demand(&mut self) -> Watts {
+        self.agg.total_demand(&self.fleet)
     }
 
     /// Advances every server one tick, returning total energy consumed.
     pub fn tick(&mut self, now: Seconds, dt: Seconds) -> Joules {
-        self.servers.iter_mut().map(|s| s.tick(now, dt)).sum()
+        // Ticking restamps every running server's LRU clock but leaves
+        // draws untouched (state, utilization, frequency unchanged).
+        self.agg.touch_all_lru();
+        self.fleet.tick_all(now, dt)
     }
 
     /// Whether every server is running with no pending restart
@@ -115,17 +206,16 @@ impl Cluster {
     /// [`Cluster::mark_all_active`].
     #[must_use]
     pub fn all_running_steady(&self) -> bool {
-        self.servers
-            .iter()
-            .all(|s| s.state() == PowerState::On && !s.has_pending_restart())
+        self.fleet.all_running_steady()
     }
 
     /// Stamps every server as active at `now` without running a tick —
-    /// the bulk form of [`Server::mark_active`] for quiet-span
+    /// the bulk form of the per-server stamp for quiet-span
     /// fast-forwarding.
     pub fn mark_all_active(&mut self, now: Seconds) {
-        for s in &mut self.servers {
-            s.mark_active(now);
+        self.agg.touch_all_lru();
+        for i in 0..self.fleet.len() {
+            self.fleet.mark_active(i, now);
         }
     }
 
@@ -133,37 +223,65 @@ impl Cluster {
     /// downtime* metric, Figure 12(b)).
     #[must_use]
     pub fn total_downtime(&self) -> Seconds {
-        self.servers.iter().map(Server::downtime).sum()
+        self.fleet.total_downtime()
     }
 
     /// Total off→on cycles across all servers.
     #[must_use]
     pub fn total_restarts(&self) -> u64 {
-        self.servers.iter().map(Server::restarts).sum()
+        self.fleet.total_restarts()
+    }
+
+    /// Boot energy charged across all restarts (the report's
+    /// restart-waste metric), summed in index order.
+    #[must_use]
+    pub fn total_restart_waste(&self) -> Joules {
+        self.fleet.total_restart_waste()
+    }
+
+    /// Aggregate prospective demand if every server ran (the restore
+    /// check's headroom quantity), summed flat in index order.
+    #[must_use]
+    pub fn prospective_total(&self) -> Watts {
+        self.fleet.prospective_total()
     }
 
     /// The id of the least-recently-used *running* server — the victim
     /// the paper shuts down first when buffers cannot cover a peak.
+    /// Served from the per-rack LRU cache.
     #[must_use]
-    pub fn least_recently_used_running(&self) -> Option<usize> {
-        self.running()
-            .min_by(|a, b| {
-                a.last_active()
-                    .get()
-                    .partial_cmp(&b.last_active().get())
-                    .unwrap_or(core::cmp::Ordering::Equal)
-            })
-            .map(Server::id)
+    pub fn least_recently_used_running(&mut self) -> Option<usize> {
+        self.agg.least_recently_used_running(&self.fleet)
     }
 
     /// Powers off the `count` least-recently-used running servers,
-    /// returning the ids actually shut down.
+    /// returning how many actually shut down. Each victim invalidates
+    /// only its own rack, so repeated shedding is O(racks + fanout) per
+    /// victim instead of a full fleet scan.
+    pub fn shed_least_recently_used_count(&mut self, count: usize) -> usize {
+        let mut shed = 0;
+        for _ in 0..count {
+            match self.least_recently_used_running() {
+                Some(id) => {
+                    self.power_off(id);
+                    shed += 1;
+                }
+                None => break,
+            }
+        }
+        shed
+    }
+
+    /// Powers off the `count` least-recently-used running servers,
+    /// returning the ids actually shut down (the allocating twin of
+    /// [`Cluster::shed_least_recently_used_count`], kept for tests and
+    /// post-hoc analyses that need the victim list).
     pub fn shed_least_recently_used(&mut self, count: usize) -> Vec<usize> {
         let mut shed = Vec::with_capacity(count);
         for _ in 0..count {
             match self.least_recently_used_running() {
                 Some(id) => {
-                    self.servers[id].power_off();
+                    self.power_off(id);
                     shed.push(id);
                 }
                 None => break,
@@ -172,10 +290,35 @@ impl Cluster {
         shed
     }
 
+    /// Shuts server `idx` down (power capping). Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn power_off(&mut self, idx: usize) {
+        if self.fleet.power_off(idx) {
+            self.agg.touch_demand(idx);
+            self.agg.touch_lru(idx);
+        }
+    }
+
+    /// Powers server `idx` back on, charging the restart energy to the
+    /// next tick. Idempotent for already-running servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn power_on(&mut self, idx: usize) {
+        if self.fleet.power_on(idx) {
+            self.agg.touch_demand(idx);
+            self.agg.touch_lru(idx);
+        }
+    }
+
     /// Powers on every off server.
     pub fn restore_all(&mut self) {
-        for s in &mut self.servers {
-            s.power_on();
+        for i in 0..self.fleet.len() {
+            self.power_on(i);
         }
     }
 }
@@ -208,9 +351,9 @@ mod tests {
         let _ = c.tick(Seconds::new(1.0), Seconds::new(1.0));
         // Make server 1 the least recently used by powering it off
         // before a later tick refreshes the others.
-        c.servers_mut()[1].power_off();
+        c.power_off(1);
         let _ = c.tick(Seconds::new(2.0), Seconds::new(1.0));
-        c.servers_mut()[1].power_on();
+        c.power_on(1);
         // Servers 0 and 2 were active at t=2; server 1 at t=1.
         assert_eq!(c.least_recently_used_running(), Some(1));
     }
@@ -237,9 +380,20 @@ mod tests {
     }
 
     #[test]
+    fn shed_count_twin_matches_victim_list() {
+        let mut a = Cluster::prototype(5);
+        let mut b = Cluster::prototype(5);
+        let _ = a.tick(Seconds::new(1.0), Seconds::new(1.0));
+        let _ = b.tick(Seconds::new(1.0), Seconds::new(1.0));
+        assert_eq!(a.shed_least_recently_used(3).len(), 3);
+        assert_eq!(b.shed_least_recently_used_count(3), 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn downtime_aggregates() {
         let mut c = Cluster::prototype(2);
-        c.servers_mut()[0].power_off();
+        c.power_off(0);
         let _ = c.tick(Seconds::new(0.0), Seconds::new(5.0));
         assert_eq!(c.total_downtime(), Seconds::new(5.0));
     }
@@ -248,7 +402,35 @@ mod tests {
     fn set_utilizations_partial() {
         let mut c = Cluster::prototype(3);
         c.set_utilizations(&[Ratio::ONE]);
-        assert_eq!(c.servers()[0].utilization(), Ratio::ONE);
-        assert_eq!(c.servers()[1].utilization(), Ratio::ZERO);
+        assert_eq!(c.server(0).utilization(), Ratio::ONE);
+        assert_eq!(c.server(1).utilization(), Ratio::ZERO);
     }
+
+    #[test]
+    fn materialized_view_round_trips() {
+        let mut c = Cluster::prototype(2);
+        c.set_utilization(1, Ratio::HALF);
+        c.set_frequency(1, FrequencyLevel::Low);
+        let servers: Vec<Server> = (0..c.len()).map(|i| c.server(i)).collect();
+        let mut rebuilt = Cluster::new(servers);
+        assert_eq!(rebuilt, c);
+        assert_eq!(
+            rebuilt.total_demand().get().to_bits(),
+            c.total_demand().get().to_bits()
+        );
+    }
+
+    #[test]
+    fn restart_waste_and_prospective_totals() {
+        let mut c = Cluster::prototype(3);
+        c.power_off(0);
+        c.power_off(1);
+        c.power_on(0);
+        c.power_on(1);
+        let per = ServerParams::prototype().restart_energy;
+        assert_eq!(c.total_restart_waste(), per * 2.0);
+        assert_eq!(c.prospective_total(), Watts::new(90.0));
+    }
+
+    use crate::server::ServerParams;
 }

@@ -26,20 +26,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agg;
 mod cluster;
 mod converter;
 mod error;
 mod feed;
 mod metering;
 mod server;
+pub mod soa;
 mod switch;
 mod topology;
 
+pub use agg::{AggTree, RACK_FANOUT};
 pub use cluster::Cluster;
 pub use converter::{Converter, ConverterChain};
 pub use error::PowerSysError;
 pub use feed::{RenewableFeed, UtilityFeed};
 pub use metering::{Ipdu, MeterFault, MeterReading};
 pub use server::{FrequencyLevel, PowerState, Server, ServerParams};
+pub use soa::ServerArrays;
 pub use switch::{PowerSource, SwitchFabric};
 pub use topology::{DeliveryPath, Topology};

@@ -133,32 +133,39 @@ impl Ipdu {
     }
 
     /// Samples the cluster at time `at`, appends to history, and returns
-    /// the reading.
-    pub fn sample(&mut self, cluster: &Cluster, at: Seconds) -> MeterReading {
-        let noise_std = self.noise_std;
-        let per_server: Vec<Watts> = cluster
-            .servers()
-            .iter()
-            .map(|s| {
-                let truth = s.power_draw();
-                if noise_std > 0.0 {
-                    (truth * (1.0 + noise_std * self.noise_sample())).max(Watts::zero())
-                } else {
-                    truth
-                }
-            })
-            .collect();
-        let total = per_server.iter().copied().sum();
-        let reading = MeterReading {
-            at,
-            per_server,
-            total,
+    /// a reference to the retained reading.
+    ///
+    /// Once the window is full the evicted reading's `per_server` buffer
+    /// is recycled for the new sample, so steady-state metering does no
+    /// per-tick allocation regardless of fleet size.
+    pub fn sample(&mut self, cluster: &Cluster, at: Seconds) -> &MeterReading {
+        let mut reading = if self.history.len() == self.window {
+            // heb-analyze: allow(HEB003, pop is guarded by the length check above)
+            let mut recycled = self.history.pop_front().unwrap();
+            recycled.per_server.clear();
+            recycled
+        } else {
+            MeterReading {
+                at,
+                per_server: Vec::with_capacity(cluster.len()),
+                total: Watts::zero(),
+            }
         };
-        if self.history.len() == self.window {
-            self.history.pop_front();
+        reading.at = at;
+        let noise_std = self.noise_std;
+        for i in 0..cluster.len() {
+            let truth = cluster.power_draw(i);
+            let sampled = if noise_std > 0.0 {
+                (truth * (1.0 + noise_std * self.noise_sample())).max(Watts::zero())
+            } else {
+                truth
+            };
+            reading.per_server.push(sampled);
         }
-        self.history.push_back(reading.clone());
-        reading
+        reading.total = reading.per_server.iter().copied().sum();
+        self.history.push_back(reading);
+        // heb-analyze: allow(HEB003, the reading was pushed on the line above)
+        self.history.back().unwrap()
     }
 
     /// Whether this meter adds measurement noise to its samples.
@@ -173,11 +180,10 @@ impl Ipdu {
     }
 
     /// Records one noiseless steady-state sample and returns its total,
-    /// leaving history identical (by value) to what [`Ipdu::sample`]
-    /// would have produced, but recycling the evicted entry's allocation
-    /// once the window is full. Intended for the event core's quiet-span
-    /// fast path, where the cluster draw is provably constant tick over
-    /// tick and per-tick allocation would dominate the leap cost.
+    /// leaving history identical to what [`Ipdu::sample`] would have
+    /// produced. Since [`Ipdu::sample`] now recycles evicted buffers
+    /// itself this is a thin wrapper, retained because the event core's
+    /// quiet-span fast path wants the noiseless-only contract enforced.
     ///
     /// # Panics
     ///
@@ -189,21 +195,7 @@ impl Ipdu {
             self.is_noiseless(),
             "record_steady requires a noiseless meter"
         );
-        if self.history.len() < self.window {
-            return self.sample(cluster, at).total;
-        }
-        // Window full: recycle the evicted reading's buffer.
-        // heb-analyze: allow(HEB003, pop is guarded by the length check above)
-        let mut reading = self.history.pop_front().unwrap();
-        reading.per_server.clear();
-        reading
-            .per_server
-            .extend(cluster.servers().iter().map(|s| s.power_draw()));
-        reading.total = reading.per_server.iter().copied().sum();
-        reading.at = at;
-        let total = reading.total;
-        self.history.push_back(reading);
-        total
+        self.sample(cluster, at).total
     }
 
     /// Samples the cluster through a possibly faulty metering path.
@@ -211,35 +203,34 @@ impl Ipdu {
     /// - [`MeterFault::Healthy`] behaves exactly like [`Ipdu::sample`].
     /// - [`MeterFault::Dropout`] returns `None` and records nothing —
     ///   the poll was simply lost.
-    /// - [`MeterFault::Freeze`] returns a copy of the latest retained
-    ///   reading (or `None` if there is none) without touching history:
-    ///   the agent keeps serving stale data.
+    /// - [`MeterFault::Freeze`] returns the latest retained reading (or
+    ///   `None` if there is none) without touching history: the agent
+    ///   keeps serving stale data.
     /// - [`MeterFault::Spike(f)`] takes a real sample, scales every
-    ///   channel by `f`, and *does* append the corrupted reading — bad
-    ///   data enters the history window just as it would in the field.
+    ///   channel by `f` in place, and *does* retain the corrupted
+    ///   reading — bad data enters the history window just as it would
+    ///   in the field.
     pub fn try_sample(
         &mut self,
         cluster: &Cluster,
         at: Seconds,
         fault: MeterFault,
-    ) -> Option<MeterReading> {
+    ) -> Option<&MeterReading> {
         match fault {
             MeterFault::Healthy => Some(self.sample(cluster, at)),
             MeterFault::Dropout => None,
-            MeterFault::Freeze => self.latest().cloned(),
+            MeterFault::Freeze => self.latest(),
             MeterFault::Spike(factor) => {
                 let factor = factor.max(0.0);
-                let mut reading = self.sample(cluster, at);
-                // Rewrite the just-appended entry in place so history
-                // and the returned value agree on the corrupt data.
-                for w in &mut reading.per_server {
+                let _ = self.sample(cluster, at);
+                // Corrupt the just-appended entry in place so history
+                // and the returned reference agree on the bad data.
+                let back = self.history.back_mut()?;
+                for w in &mut back.per_server {
                     *w = *w * factor;
                 }
-                reading.total = reading.per_server.iter().copied().sum();
-                if let Some(back) = self.history.back_mut() {
-                    *back = reading.clone();
-                }
-                Some(reading)
+                back.total = back.per_server.iter().copied().sum();
+                self.history.back()
             }
         }
     }
@@ -331,7 +322,7 @@ mod tests {
     #[test]
     fn per_server_readings_indexed_by_id() {
         let mut cluster = Cluster::prototype(3);
-        cluster.servers_mut()[1].set_utilization(Ratio::ONE);
+        cluster.set_utilization(1, Ratio::ONE);
         let mut ipdu = Ipdu::new(1);
         let r = ipdu.sample(&cluster, Seconds::zero());
         assert_eq!(r.per_server[0].get(), 30.0);
@@ -342,7 +333,7 @@ mod tests {
     #[test]
     fn record_steady_matches_sample_bitwise() {
         let mut cluster = Cluster::prototype(3);
-        cluster.servers_mut()[1].set_utilization(Ratio::ONE);
+        cluster.set_utilization(1, Ratio::ONE);
         let mut sampled = Ipdu::new(4);
         let mut steady = Ipdu::new(4);
         // Cover both the filling phase and the recycling (window-full)
@@ -450,7 +441,8 @@ mod tests {
         cluster.set_all_utilization(Ratio::ZERO); // truth drops to 60 W
         let stale = ipdu
             .try_sample(&cluster, Seconds::new(2.0), MeterFault::Freeze)
-            .unwrap();
+            .unwrap()
+            .clone();
         assert_eq!(stale.total.get(), 140.0, "freeze must serve stale data");
         assert_eq!(stale.at, Seconds::new(1.0));
         assert_eq!(ipdu.len(), 1, "freeze must not grow history");
@@ -461,10 +453,11 @@ mod tests {
         let mut cluster = Cluster::prototype(2);
         cluster.set_all_utilization(Ratio::ONE); // 140 W truth
         let mut ipdu = Ipdu::new(4);
-        let r = ipdu
+        let spiked = ipdu
             .try_sample(&cluster, Seconds::zero(), MeterFault::Spike(3.0))
-            .unwrap();
-        assert_eq!(r.total.get(), 420.0);
+            .unwrap()
+            .total;
+        assert_eq!(spiked.get(), 420.0);
         assert_eq!(ipdu.latest().unwrap().total.get(), 420.0);
         assert_eq!(ipdu.peak_total().get(), 420.0);
     }

@@ -69,6 +69,57 @@ impl ServerParams {
     }
 }
 
+/// The single authoritative prospective-draw expression. Both the
+/// object-per-server [`Server`] and the struct-of-arrays
+/// [`crate::soa::ServerArrays`] evaluate power through this one
+/// function, so the two layouts cannot drift apart bitwise.
+#[inline]
+pub(crate) fn prospective_draw_raw(
+    params: &ServerParams,
+    utilization: Ratio,
+    frequency: FrequencyLevel,
+) -> Watts {
+    let dynamic =
+        (params.peak_power - params.idle_power) * (utilization.get() * frequency.dynamic_scale());
+    params.idle_power + dynamic
+}
+
+/// One metering tick of the server power model over exploded state —
+/// the shared kernel behind [`Server::tick`] and the SoA batch sweep.
+/// Field-for-field identical to the historical per-object tick.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn tick_raw(
+    params: &ServerParams,
+    state: PowerState,
+    utilization: Ratio,
+    frequency: FrequencyLevel,
+    downtime: &mut Seconds,
+    last_active: &mut Seconds,
+    pending_restart_energy: &mut Joules,
+    now: Seconds,
+    dt: Seconds,
+) -> Joules {
+    match state {
+        PowerState::Off => {
+            *downtime += dt;
+            Joules::zero()
+        }
+        PowerState::On => {
+            *last_active = now;
+            let mut energy = prospective_draw_raw(params, utilization, frequency) * dt;
+            if pending_restart_energy.get() > 0.0 {
+                // Spread the boot-energy surcharge over the first
+                // post-restart ticks at up to peak draw.
+                let surcharge = (params.peak_power * dt).min(*pending_restart_energy);
+                *pending_restart_energy -= surcharge;
+                energy += surcharge;
+            }
+            energy
+        }
+    }
+}
+
 /// One simulated server.
 ///
 /// # Examples
@@ -208,9 +259,7 @@ impl Server {
     /// budget. Equals [`Server::power_draw`] for running servers.
     #[must_use]
     pub fn prospective_draw(&self) -> Watts {
-        let dynamic = (self.params.peak_power - self.params.idle_power)
-            * (self.utilization.get() * self.frequency.dynamic_scale());
-        self.params.idle_power + dynamic
+        prospective_draw_raw(&self.params, self.utilization, self.frequency)
     }
 
     /// Whether part of the boot-energy surcharge from the last restart
@@ -235,23 +284,49 @@ impl Server {
     /// `now`, returning the energy consumed this tick (including any
     /// amortised restart energy).
     pub fn tick(&mut self, now: Seconds, dt: Seconds) -> Joules {
-        match self.state {
-            PowerState::Off => {
-                self.downtime += dt;
-                Joules::zero()
-            }
-            PowerState::On => {
-                self.last_active = now;
-                let mut energy = self.power_draw() * dt;
-                if self.pending_restart_energy.get() > 0.0 {
-                    // Spread the boot-energy surcharge over the first
-                    // post-restart ticks at up to peak draw.
-                    let surcharge = (self.params.peak_power * dt).min(self.pending_restart_energy);
-                    self.pending_restart_energy -= surcharge;
-                    energy += surcharge;
-                }
-                energy
-            }
+        tick_raw(
+            &self.params,
+            self.state,
+            self.utilization,
+            self.frequency,
+            &mut self.downtime,
+            &mut self.last_active,
+            &mut self.pending_restart_energy,
+            now,
+            dt,
+        )
+    }
+
+    /// The undrained portion of the boot-energy surcharge (SoA
+    /// materialisation hook).
+    pub(crate) fn pending_restart_energy(&self) -> Joules {
+        self.pending_restart_energy
+    }
+
+    /// Reassembles a server from exploded state — the inverse of the
+    /// struct-of-arrays decomposition in [`crate::soa::ServerArrays`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        id: usize,
+        params: ServerParams,
+        state: PowerState,
+        frequency: FrequencyLevel,
+        utilization: Ratio,
+        downtime: Seconds,
+        restarts: u64,
+        last_active: Seconds,
+        pending_restart_energy: Joules,
+    ) -> Self {
+        Self {
+            id,
+            params,
+            state,
+            frequency,
+            utilization,
+            downtime,
+            restarts,
+            last_active,
+            pending_restart_energy,
         }
     }
 }

@@ -1,0 +1,360 @@
+//! Struct-of-arrays server state — the fleet-scale hot path.
+//!
+//! At O(10) servers the object-per-server [`Server`] layout is fine; at
+//! 100 k–1 M servers the per-tick loops (workload drive, metering,
+//! energy accounting) dominate wall-clock, and walking a `Vec<Server>`
+//! drags nine fields through cache for every one field touched.
+//! [`ServerArrays`] stores each field in its own parallel array so the
+//! sweeps (set utilizations, sum draws, tick energies) stream exactly
+//! the bytes they need. The relay positions are *not* duplicated here:
+//! [`crate::SwitchFabric`] already keeps them as a parallel array.
+//!
+//! Every per-index operation routes through the same raw kernels
+//! (`prospective_draw_raw`, `tick_raw`) as [`Server`], so a
+//! [`ServerArrays`] sweep is bit-for-bit the sequence of operations the
+//! legacy `Vec<Server>` loop performed in the same index order.
+//! [`crate::Cluster`] wraps this module (plus the
+//! [`crate::agg::AggTree`] sum cache) behind the historical cluster
+//! API.
+
+use crate::server::{
+    prospective_draw_raw, tick_raw, FrequencyLevel, PowerState, Server, ServerParams,
+};
+use heb_units::{Joules, Ratio, Seconds, Watts};
+
+/// Parallel per-server state arrays. Index `i` across every array is
+/// server `i` — the same id the [`crate::SwitchFabric`] relay array
+/// uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerArrays {
+    params: Vec<ServerParams>,
+    state: Vec<PowerState>,
+    frequency: Vec<FrequencyLevel>,
+    utilization: Vec<Ratio>,
+    downtime: Vec<Seconds>,
+    restarts: Vec<u64>,
+    last_active: Vec<Seconds>,
+    pending_restart: Vec<Joules>,
+    /// Count of servers currently `On`, maintained incrementally so
+    /// `running_count` is O(1) instead of an O(n) scan per tick.
+    on_count: usize,
+}
+
+impl ServerArrays {
+    /// Decomposes pre-built servers into parallel arrays. Server ids
+    /// are positional: element `i` becomes server `i`.
+    #[must_use]
+    pub fn from_servers(servers: &[Server]) -> Self {
+        let n = servers.len();
+        let mut arrays = Self {
+            params: Vec::with_capacity(n),
+            state: Vec::with_capacity(n),
+            frequency: Vec::with_capacity(n),
+            utilization: Vec::with_capacity(n),
+            downtime: Vec::with_capacity(n),
+            restarts: Vec::with_capacity(n),
+            last_active: Vec::with_capacity(n),
+            pending_restart: Vec::with_capacity(n),
+            on_count: 0,
+        };
+        for s in servers {
+            arrays.params.push(*s.params());
+            arrays.state.push(s.state());
+            arrays.frequency.push(s.frequency());
+            arrays.utilization.push(s.utilization());
+            arrays.downtime.push(s.downtime());
+            arrays.restarts.push(s.restarts());
+            arrays.last_active.push(s.last_active());
+            arrays.pending_restart.push(s.pending_restart_energy());
+            if s.state() == PowerState::On {
+                arrays.on_count += 1;
+            }
+        }
+        arrays
+    }
+
+    /// `n` running, idle prototype-spec servers.
+    #[must_use]
+    pub fn prototype(n: usize) -> Self {
+        let params = ServerParams::prototype();
+        Self {
+            params: vec![params; n],
+            state: vec![PowerState::On; n],
+            frequency: vec![FrequencyLevel::High; n],
+            utilization: vec![Ratio::ZERO; n],
+            downtime: vec![Seconds::zero(); n],
+            restarts: vec![0; n],
+            last_active: vec![Seconds::zero(); n],
+            pending_restart: vec![Joules::zero(); n],
+            on_count: n,
+        }
+    }
+
+    /// Number of servers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Whether there are no servers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// Number of servers currently running (O(1)).
+    #[must_use]
+    pub fn running_count(&self) -> usize {
+        self.on_count
+    }
+
+    /// Power state of server `i`.
+    #[must_use]
+    pub fn state(&self, i: usize) -> PowerState {
+        self.state[i]
+    }
+
+    /// Frequency level of server `i`.
+    #[must_use]
+    pub fn frequency(&self, i: usize) -> FrequencyLevel {
+        self.frequency[i]
+    }
+
+    /// Utilization of server `i`.
+    #[must_use]
+    pub fn utilization(&self, i: usize) -> Ratio {
+        self.utilization[i]
+    }
+
+    /// Last-active stamp of server `i`.
+    #[must_use]
+    pub fn last_active(&self, i: usize) -> Seconds {
+        self.last_active[i]
+    }
+
+    /// Whether server `i` still owes boot-surcharge energy.
+    #[must_use]
+    pub fn has_pending_restart(&self, i: usize) -> bool {
+        self.pending_restart[i].get() > 0.0
+    }
+
+    /// Instantaneous draw of server `i`: zero when off, otherwise the
+    /// shared prospective-draw kernel.
+    #[must_use]
+    pub fn power_draw(&self, i: usize) -> Watts {
+        match self.state[i] {
+            PowerState::Off => Watts::zero(),
+            PowerState::On => self.prospective_draw(i),
+        }
+    }
+
+    /// What server `i` would draw if running.
+    #[must_use]
+    pub fn prospective_draw(&self, i: usize) -> Watts {
+        prospective_draw_raw(&self.params[i], self.utilization[i], self.frequency[i])
+    }
+
+    /// Sets server `i`'s utilization (clamped to the unit interval).
+    /// Returns `true` when the stored value actually changed bitwise —
+    /// the aggregation tree uses this to skip invalidation for steady
+    /// workloads.
+    pub fn set_utilization(&mut self, i: usize, utilization: Ratio) -> bool {
+        let clamped = utilization.clamp_unit();
+        let changed = clamped.get().to_bits() != self.utilization[i].get().to_bits();
+        self.utilization[i] = clamped;
+        changed
+    }
+
+    /// Sets server `i`'s frequency level, reporting whether it changed.
+    pub fn set_frequency(&mut self, i: usize, frequency: FrequencyLevel) -> bool {
+        let changed = self.frequency[i] != frequency;
+        self.frequency[i] = frequency;
+        changed
+    }
+
+    /// Shuts server `i` down. Returns `true` if it was running.
+    pub fn power_off(&mut self, i: usize) -> bool {
+        if self.state[i] == PowerState::On {
+            self.state[i] = PowerState::Off;
+            self.on_count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Powers server `i` back on, charging the restart surcharge.
+    /// Returns `true` if it was off.
+    pub fn power_on(&mut self, i: usize) -> bool {
+        if self.state[i] == PowerState::Off {
+            self.state[i] = PowerState::On;
+            self.on_count += 1;
+            self.restarts[i] += 1;
+            self.pending_restart[i] = self.params[i].restart_energy;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Stamps server `i` active at `now` without a tick.
+    pub fn mark_active(&mut self, i: usize, now: Seconds) {
+        self.last_active[i] = now;
+    }
+
+    /// Advances server `i` one tick through the shared tick kernel.
+    pub fn tick_one(&mut self, i: usize, now: Seconds, dt: Seconds) -> Joules {
+        tick_raw(
+            &self.params[i],
+            self.state[i],
+            self.utilization[i],
+            self.frequency[i],
+            &mut self.downtime[i],
+            &mut self.last_active[i],
+            &mut self.pending_restart[i],
+            now,
+            dt,
+        )
+    }
+
+    /// Advances every server one tick in index order, summing energies
+    /// left to right — the exact reduction order of the historical
+    /// `servers.iter_mut().map(tick).sum()`.
+    pub fn tick_all(&mut self, now: Seconds, dt: Seconds) -> Joules {
+        let mut total = 0.0_f64;
+        for i in 0..self.len() {
+            total += self.tick_one(i, now, dt).get();
+        }
+        Joules::new(total)
+    }
+
+    /// Whether every server is running with no pending restart
+    /// surcharge (the event core's quiet-span predicate).
+    #[must_use]
+    pub fn all_running_steady(&self) -> bool {
+        self.on_count == self.len() && self.pending_restart.iter().all(|p| p.get() <= 0.0)
+    }
+
+    /// Aggregate downtime, summed in index order.
+    #[must_use]
+    pub fn total_downtime(&self) -> Seconds {
+        self.downtime.iter().sum()
+    }
+
+    /// Total off→on cycles.
+    #[must_use]
+    pub fn total_restarts(&self) -> u64 {
+        self.restarts.iter().sum()
+    }
+
+    /// Boot energy charged across every restart so far, summed in index
+    /// order exactly as the legacy per-server report fold did.
+    #[must_use]
+    pub fn total_restart_waste(&self) -> Joules {
+        (0..self.len())
+            .map(|i| self.params[i].restart_energy * self.restarts[i] as f64)
+            .sum()
+    }
+
+    /// Flat prospective-demand sum in index order (the restore-check
+    /// headroom quantity).
+    #[must_use]
+    pub fn prospective_total(&self) -> Watts {
+        (0..self.len()).map(|i| self.prospective_draw(i)).sum()
+    }
+
+    /// Materialises server `i` back into the object layout (tests,
+    /// debugging, thin-view accessors).
+    #[must_use]
+    pub fn materialize(&self, i: usize) -> Server {
+        Server::from_parts(
+            i,
+            self.params[i],
+            self.state[i],
+            self.frequency[i],
+            self.utilization[i],
+            self.downtime[i],
+            self.restarts[i],
+            self.last_active[i],
+            self.pending_restart[i],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive an object-layout server and the SoA layout through the
+    /// same history; every observable must match bitwise.
+    #[test]
+    fn soa_matches_server_object_bitwise() {
+        let mut obj = Server::prototype(0);
+        let mut soa = ServerArrays::prototype(1);
+        let dt = Seconds::new(1.0);
+        let script: &[(f64, bool)] = &[
+            (0.3, true),
+            (0.7, true),
+            (1.4, false), // clamped
+            (0.0, true),
+            (0.5, true),
+        ];
+        let mut t = 0.0;
+        for &(util, on) in script {
+            obj.set_utilization(Ratio::new_clamped(util));
+            let _ = soa.set_utilization(0, Ratio::new_unclamped(util));
+            if on {
+                obj.power_on();
+                let _ = soa.power_on(0);
+            } else {
+                obj.power_off();
+                let _ = soa.power_off(0);
+            }
+            assert_eq!(obj.power_draw(), soa.power_draw(0));
+            let ea = obj.tick(Seconds::new(t), dt);
+            let eb = soa.tick_one(0, Seconds::new(t), dt);
+            assert_eq!(ea.get().to_bits(), eb.get().to_bits());
+            t += 1.0;
+        }
+        assert_eq!(obj, soa.materialize(0));
+        assert_eq!(soa.total_downtime(), obj.downtime());
+        assert_eq!(soa.total_restarts(), obj.restarts());
+    }
+
+    #[test]
+    fn running_count_tracks_state_changes() {
+        let mut soa = ServerArrays::prototype(4);
+        assert_eq!(soa.running_count(), 4);
+        assert!(soa.power_off(2));
+        assert!(!soa.power_off(2), "double off is a no-op");
+        assert_eq!(soa.running_count(), 3);
+        assert!(soa.power_on(2));
+        assert!(!soa.power_on(2), "double on is a no-op");
+        assert_eq!(soa.running_count(), 4);
+        assert_eq!(soa.total_restarts(), 1);
+        assert!(soa.has_pending_restart(2));
+        assert!(!soa.all_running_steady());
+    }
+
+    #[test]
+    fn set_utilization_reports_bitwise_change() {
+        let mut soa = ServerArrays::prototype(1);
+        assert!(soa.set_utilization(0, Ratio::new_clamped(0.5)));
+        assert!(!soa.set_utilization(0, Ratio::new_clamped(0.5)));
+        // Out-of-range values clamp to the same stored bits: no change.
+        assert!(soa.set_utilization(0, Ratio::new_unclamped(2.0)));
+        assert!(!soa.set_utilization(0, Ratio::new_unclamped(3.0)));
+    }
+
+    #[test]
+    fn tick_all_sums_in_index_order() {
+        let mut soa = ServerArrays::prototype(3);
+        let _ = soa.set_utilization(1, Ratio::ONE);
+        let via_all = soa.clone().tick_all(Seconds::new(1.0), Seconds::new(1.0));
+        let mut manual = 0.0;
+        for i in 0..3 {
+            manual += soa.tick_one(i, Seconds::new(1.0), Seconds::new(1.0)).get();
+        }
+        assert_eq!(via_all.get().to_bits(), manual.to_bits());
+    }
+}

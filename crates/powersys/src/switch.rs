@@ -145,14 +145,19 @@ impl SwitchFabric {
         self.stuck_open.iter().filter(|&&s| s).count()
     }
 
-    /// Indices of relays currently stuck open.
-    #[must_use]
-    pub fn stuck_open_servers(&self) -> Vec<usize> {
+    /// Indices of relays currently stuck open, without allocating — the
+    /// hot-path form used once per tick by the fault layer.
+    pub fn stuck_open_iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.stuck_open
             .iter()
             .enumerate()
             .filter_map(|(idx, &s)| s.then_some(idx))
-            .collect()
+    }
+
+    /// Indices of relays currently stuck open.
+    #[must_use]
+    pub fn stuck_open_servers(&self) -> Vec<usize> {
+        self.stuck_open_iter().collect()
     }
 
     /// Points every relay at `source`.
@@ -196,14 +201,19 @@ impl SwitchFabric {
         self.positions.iter().filter(|&&p| p == source).count()
     }
 
-    /// Relay indices currently on `source`.
-    #[must_use]
-    pub fn servers_on(&self, source: PowerSource) -> Vec<usize> {
+    /// Relay indices currently on `source`, without allocating — the
+    /// hot-path form for per-tick scans over a fleet-sized fabric.
+    pub fn servers_on_iter(&self, source: PowerSource) -> impl Iterator<Item = usize> + '_ {
         self.positions
             .iter()
             .enumerate()
-            .filter_map(|(idx, &p)| (p == source).then_some(idx))
-            .collect()
+            .filter_map(move |(idx, &p)| (p == source).then_some(idx))
+    }
+
+    /// Relay indices currently on `source`.
+    #[must_use]
+    pub fn servers_on(&self, source: PowerSource) -> Vec<usize> {
+        self.servers_on_iter(source).collect()
     }
 
     /// The realised SC share of servers (an `R_λ` readback).

@@ -1,0 +1,292 @@
+//! SoA-layout parity: drive the struct-of-arrays [`Cluster`] and a
+//! reference `Vec<Server>` model (the pre-rework object-per-server
+//! layout) through identical randomized op scripts and demand that
+//! every observable matches — bitwise wherever the legacy layout had a
+//! defined reduction order.
+//!
+//! The reference model re-implements the historical cluster semantics
+//! directly on [`Server`] objects: flat index-order sweeps, and the
+//! `Iterator::min_by` (strict `<`, first-on-tie) LRU victim rule. Fleet
+//! sizes deliberately span multiple racks (`RACK_FANOUT` = 64) so the
+//! aggregation tree's invalidation logic is exercised, not just the
+//! single-rack degenerate case the golden traces pin down.
+
+use heb_powersys::{Cluster, FrequencyLevel, PowerState, Server, RACK_FANOUT};
+use heb_units::{Ratio, Seconds};
+use proptest::prelude::*;
+
+/// One step of the randomized cluster-mutation script.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Set one server's utilization (value may need clamping).
+    SetUtil { slot: usize, level: f64 },
+    /// Set every server's utilization.
+    SetAll { level: f64 },
+    /// Flip one server's frequency-governor level.
+    SetFreq { slot: usize, low: bool },
+    /// Advance one metering tick.
+    Tick { dt: f64 },
+    /// Shed the `count` least-recently-used running servers.
+    Shed { count: usize },
+    /// Power one server off (idempotent).
+    PowerOff { slot: usize },
+    /// Power one server on (idempotent, charges restart energy).
+    PowerOn { slot: usize },
+    /// Power every off server back on.
+    RestoreAll,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..512, -0.25..1.25f64).prop_map(|(slot, level)| Op::SetUtil { slot, level }),
+        (0.0..=1.0f64).prop_map(|level| Op::SetAll { level }),
+        (0usize..512, 0usize..2).prop_map(|(slot, low)| Op::SetFreq {
+            slot,
+            low: low == 1
+        }),
+        (0.5..120.0f64).prop_map(|dt| Op::Tick { dt }),
+        (0usize..8).prop_map(|count| Op::Shed { count }),
+        (0usize..512).prop_map(|slot| Op::PowerOff { slot }),
+        (0usize..512).prop_map(|slot| Op::PowerOn { slot }),
+        Just(Op::RestoreAll),
+    ]
+}
+
+/// The legacy object-per-server cluster, reconstructed: a `Vec<Server>`
+/// plus the flat sweeps the original implementation ran over it.
+struct Reference {
+    servers: Vec<Server>,
+}
+
+impl Reference {
+    fn new(n: usize) -> Self {
+        Self {
+            servers: (0..n).map(Server::prototype).collect(),
+        }
+    }
+
+    /// The legacy flat left-to-right demand sum.
+    fn flat_demand(&self) -> f64 {
+        self.servers
+            .iter()
+            .fold(0.0, |acc, s| acc + s.power_draw().get())
+    }
+
+    /// The aggregation tree's documented reduction order: per-rack
+    /// index-order sums, folded in rack order.
+    fn tree_demand(&self) -> f64 {
+        self.servers
+            .chunks(RACK_FANOUT)
+            .map(|rack| rack.iter().fold(0.0, |acc, s| acc + s.power_draw().get()))
+            .sum()
+    }
+
+    /// Flat index-order tick, summing energies left to right.
+    fn tick(&mut self, now: Seconds, dt: Seconds) -> f64 {
+        self.servers
+            .iter_mut()
+            .fold(0.0, |acc, s| acc + s.tick(now, dt).get())
+    }
+
+    /// `Iterator::min_by` victim selection: the first running server
+    /// with the strictly smallest last-active stamp.
+    fn lru_running(&self) -> Option<usize> {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, s) in self.servers.iter().enumerate() {
+            if s.state() != PowerState::On {
+                continue;
+            }
+            let stamp = s.last_active().get();
+            if best.is_none_or(|(b, _)| stamp < b) {
+                best = Some((stamp, i));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    fn shed_lru(&mut self, count: usize) -> Vec<usize> {
+        let mut shed = Vec::new();
+        for _ in 0..count {
+            match self.lru_running() {
+                Some(i) => {
+                    self.servers[i].power_off();
+                    shed.push(i);
+                }
+                None => break,
+            }
+        }
+        shed
+    }
+
+    fn running_count(&self) -> usize {
+        self.servers
+            .iter()
+            .filter(|s| s.state() == PowerState::On)
+            .count()
+    }
+}
+
+/// Applies one op to both layouts, asserting the per-op observables
+/// that must already agree (shed victim lists, tick energies).
+fn apply(op: &Op, cluster: &mut Cluster, model: &mut Reference, now: &mut f64) {
+    let n = model.servers.len();
+    match *op {
+        Op::SetUtil { slot, level } => {
+            let idx = slot % n;
+            let u = Ratio::new_unclamped(level);
+            cluster.set_utilization(idx, u);
+            model.servers[idx].set_utilization(u);
+        }
+        Op::SetAll { level } => {
+            let u = Ratio::new_clamped(level);
+            cluster.set_all_utilization(u);
+            for s in &mut model.servers {
+                s.set_utilization(u);
+            }
+        }
+        Op::SetFreq { slot, low } => {
+            let idx = slot % n;
+            let f = if low {
+                FrequencyLevel::Low
+            } else {
+                FrequencyLevel::High
+            };
+            cluster.set_frequency(idx, f);
+            model.servers[idx].set_frequency(f);
+        }
+        Op::Tick { dt } => {
+            let (t, step) = (Seconds::new(*now), Seconds::new(dt));
+            let ec = cluster.tick(t, step);
+            let em = model.tick(t, step);
+            prop_assert_eq!(ec.get().to_bits(), em.to_bits(), "tick energy diverged");
+            *now += dt;
+        }
+        Op::Shed { count } => {
+            let vc = cluster.shed_least_recently_used(count);
+            let vm = model.shed_lru(count);
+            prop_assert_eq!(vc, vm, "LRU shed victims diverged");
+        }
+        Op::PowerOff { slot } => {
+            let idx = slot % n;
+            cluster.power_off(idx);
+            model.servers[idx].power_off();
+        }
+        Op::PowerOn { slot } => {
+            let idx = slot % n;
+            cluster.power_on(idx);
+            model.servers[idx].power_on();
+        }
+        Op::RestoreAll => {
+            cluster.restore_all();
+            for s in &mut model.servers {
+                s.power_on();
+            }
+        }
+    }
+}
+
+/// Aggregate observables with a defined legacy reduction order must
+/// match bitwise after every op.
+fn check_aggregates(cluster: &mut Cluster, model: &Reference) {
+    let n = model.servers.len();
+    prop_assert_eq!(cluster.running_count(), model.running_count());
+    let total = cluster.total_demand().get();
+    prop_assert_eq!(
+        total.to_bits(),
+        model.tree_demand().to_bits(),
+        "cached total diverged from the rack-fold reference"
+    );
+    if n <= RACK_FANOUT {
+        // Single rack: the tree total degenerates to the legacy flat
+        // sum exactly — the bit-identity the golden traces rely on.
+        prop_assert_eq!(total.to_bits(), model.flat_demand().to_bits());
+    }
+    let downtime: f64 = model.servers.iter().map(|s| s.downtime().get()).sum();
+    prop_assert_eq!(cluster.total_downtime().get().to_bits(), downtime.to_bits());
+    let restarts: u64 = model.servers.iter().map(Server::restarts).sum();
+    prop_assert_eq!(cluster.total_restarts(), restarts);
+    let prospective: f64 = model
+        .servers
+        .iter()
+        .map(|s| s.prospective_draw().get())
+        .sum();
+    prop_assert_eq!(
+        cluster.prospective_total().get().to_bits(),
+        prospective.to_bits()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The headline parity property: random op scripts over fleets
+    /// spanning one to three racks leave the SoA cluster and the
+    /// object-layout reference in identical states.
+    #[test]
+    fn cluster_matches_object_layout_under_op_scripts(
+        n in 1usize..(RACK_FANOUT * 2 + 23),
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut cluster = Cluster::prototype(n);
+        let mut model = Reference::new(n);
+        let mut now = 1.0;
+        for op in &ops {
+            apply(op, &mut cluster, &mut model, &mut now);
+            check_aggregates(&mut cluster, &model);
+        }
+        // Final per-server materialization: every field bit-equal.
+        for (i, want) in model.servers.iter().enumerate() {
+            prop_assert_eq!(&cluster.server(i), want, "server {} diverged", i);
+        }
+    }
+
+    /// Rebuilding a cluster from its materialized servers is lossless,
+    /// regardless of the op history that produced the state.
+    #[test]
+    fn materialize_round_trips_after_op_scripts(
+        n in 1usize..(RACK_FANOUT + 11),
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+    ) {
+        let mut cluster = Cluster::prototype(n);
+        let mut model = Reference::new(n);
+        let mut now = 1.0;
+        for op in &ops {
+            apply(op, &mut cluster, &mut model, &mut now);
+        }
+        let servers: Vec<Server> = (0..n).map(|i| cluster.server(i)).collect();
+        let mut rebuilt = Cluster::new(servers);
+        prop_assert_eq!(&rebuilt, &cluster);
+        prop_assert_eq!(
+            rebuilt.total_demand().get().to_bits(),
+            cluster.total_demand().get().to_bits()
+        );
+    }
+
+    /// Shedding everything and restoring everything returns the fleet
+    /// to full strength with the restart book-keeping intact, at
+    /// multi-rack sizes.
+    #[test]
+    fn multi_rack_shed_restore_cycles(
+        n in (RACK_FANOUT + 1)..(RACK_FANOUT * 3 + 1),
+        cycles in 1usize..4,
+    ) {
+        let mut cluster = Cluster::prototype(n);
+        let mut model = Reference::new(n);
+        let mut now = 1.0;
+        for _ in 0..cycles {
+            apply(&Op::Tick { dt: 30.0 }, &mut cluster, &mut model, &mut now);
+            let vc = cluster.shed_least_recently_used(n + 5);
+            let vm = model.shed_lru(n + 5);
+            prop_assert_eq!(vc.len(), n);
+            prop_assert_eq!(vc, vm);
+            prop_assert_eq!(cluster.running_count(), 0);
+            prop_assert!(cluster.least_recently_used_running().is_none());
+            cluster.restore_all();
+            for s in &mut model.servers {
+                s.power_on();
+            }
+        }
+        check_aggregates(&mut cluster, &model);
+        prop_assert_eq!(cluster.total_restarts(), (n * cycles) as u64);
+    }
+}

@@ -64,6 +64,23 @@ impl BurstProfile {
             "burst duration must be positive"
         );
     }
+
+    /// A provably steady profile: constant `level`, no noise, no
+    /// bursts. Generators built from it report
+    /// [`steady_level`](crate::UtilizationGenerator::steady_level) as
+    /// `Some`, which is what lets the event-driven core fast-forward
+    /// whole fleets across quiet spans — the regime megafleet-scale
+    /// scenarios run in.
+    #[must_use]
+    pub fn steady(level: f64) -> Self {
+        Self {
+            base_utilization: level.clamp(0.0, 1.0),
+            base_noise: 0.0,
+            bursts_per_hour: 0.0,
+            burst_amplitude: 0.0,
+            mean_burst_secs: 1.0,
+        }
+    }
 }
 
 /// The eight workloads of Table 1.

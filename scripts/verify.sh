@@ -112,4 +112,7 @@ cargo bench -q -p heb-bench --bench microbench -- --throughput-guard "$PWD/BENCH
 echo "== sparse-speedup guard (event driver >= floor x tick driver on a valley trace)"
 cargo bench -q -p heb-bench --bench microbench -- --sparse-speedup-guard "$PWD/BENCH_engine_throughput.json"
 
+echo "== megafleet scale guard (1k/10k/100k-server day within per-point floors)"
+cargo bench -q -p heb-bench --bench microbench -- --scale-guard "$PWD/BENCH_engine_throughput.json"
+
 echo "verify: all checks passed"
